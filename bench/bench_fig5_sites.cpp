@@ -1,0 +1,50 @@
+// Figure 5: number of sites formed in the request corpus by each version of
+// the PSL.
+//
+// Paper shape: broadly flat in the early years, rapid growth 2013-2016,
+// then flattening; the newest list creates 359,966 more sites than the
+// first (at 498M-request HTTP Archive scale — ours is a ~1/1000-scale
+// corpus, so the absolute numbers are proportionally smaller).
+#include <iostream>
+
+#include "common.hpp"
+#include "psl/core/incremental.hpp"
+#include "psl/util/strings.hpp"
+#include "psl/util/table.hpp"
+
+int main() {
+  const auto& history = psl::bench::full_history();
+  const auto& corpus = psl::bench::full_corpus();
+
+  std::cout << "=== Figure 5: sites formed per PSL version ===\n";
+  std::cout << "corpus: " << psl::util::with_commas(static_cast<long long>(corpus.unique_host_count()))
+            << " unique hostnames, "
+            << psl::util::with_commas(static_cast<long long>(corpus.request_count()))
+            << " requests\n\n";
+
+  // Full resolution, as in the paper: every one of the 1,142 versions is
+  // evaluated (the incremental sweeper makes this cheap); the table prints
+  // an evenly spaced sample of the series.
+  psl::harm::IncrementalSweeper sweeper(history, corpus);
+  const auto full_series = sweeper.sweep_all();
+  std::vector<psl::harm::VersionMetrics> series;
+  for (std::size_t index : history.sampled_versions(psl::bench::kSweepPoints)) {
+    series.push_back(full_series[index]);
+  }
+
+  psl::util::TextTable table({"date", "rules", "sites", "mean hosts/site"});
+  for (const auto& m : series) {
+    table.add_row({m.date.to_string(), std::to_string(m.rule_count),
+                   std::to_string(m.site_count),
+                   psl::util::fmt_double(m.mean_hosts_per_site, 2)});
+  }
+  table.print(std::cout);
+
+  const auto additional = series.back().site_count - series.front().site_count;
+  std::cout << "\nnewest vs. oldest list: +"
+            << psl::util::with_commas(static_cast<long long>(additional))
+            << " sites (paper: +359,966 at full scale)\n";
+  std::cout << "older lists form fewer, larger sites -> privacy boundaries merge "
+            << "unrelated organizations.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Companion analysis: where the harm lives, by PSL section and IANA
+// root-zone category (extends the paper's Section 3 labelling to the harm
+// estimates). Expected shape: hosts are mostly under ICANN rules in generic
+// TLD space, but the HARMED hosts are overwhelmingly under PRIVATE-section
+// rules — shared-hosting platforms — with the Brazilian state domains the
+// main ICANN-section exception.
+#include <iostream>
+
+#include "common.hpp"
+#include "psl/core/categorize.hpp"
+#include "psl/util/table.hpp"
+
+int main() {
+  const auto& history = psl::bench::full_history();
+  const auto& corpus = psl::bench::full_corpus();
+  const auto& repos = psl::bench::repo_corpus();
+
+  std::cout << "=== Harm by suffix category ===\n\n";
+
+  const psl::harm::ImpactSummary impacts =
+      psl::harm::compute_etld_impacts(history, corpus, repos);
+  const psl::harm::CategoryBreakdown breakdown =
+      psl::harm::categorize_harm(history, corpus, impacts);
+
+  psl::util::TextTable by_section({"rule bucket", "hostnames", "harmed hostnames"});
+  by_section.add_row({"ICANN-section rules",
+                      std::to_string(breakdown.hosts_under_icann_rules),
+                      std::to_string(breakdown.harmed_under_icann_rules)});
+  by_section.add_row({"PRIVATE-section rules",
+                      std::to_string(breakdown.hosts_under_private_rules),
+                      std::to_string(breakdown.harmed_under_private_rules)});
+  by_section.add_row({"implicit * only",
+                      std::to_string(breakdown.hosts_under_implicit_star), "0"});
+  by_section.add_row({"IP literals", std::to_string(breakdown.ip_hosts), "0"});
+  by_section.print(std::cout);
+
+  std::cout << "\nBy IANA root-zone category of the eTLD:\n";
+  psl::util::TextTable by_category({"TLD category", "hostnames", "harmed hostnames"});
+  for (const auto& [category, count] : breakdown.hosts_by_tld_category) {
+    const auto harmed = breakdown.harmed_by_tld_category.find(category);
+    by_category.add_row({std::string(to_string(category)), std::to_string(count),
+                         std::to_string(harmed == breakdown.harmed_by_tld_category.end()
+                                            ? 0
+                                            : harmed->second)});
+  }
+  by_category.print(std::cout);
+
+  std::cout << "\nReading: the misclassification risk concentrates in PRIVATE-section\n"
+               "suffixes under generic TLDs — operator-submitted shared-hosting rules,\n"
+               "exactly the additions out-of-date lists keep missing.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Engineering bench: the DNS substrate — wire codec throughput, server
+// query handling, resolver cache behaviour, and full DBOUND discovery.
+#include <benchmark/benchmark.h>
+
+#include "psl/dbound/dbound.hpp"
+#include "psl/dns/resolver.hpp"
+
+namespace {
+
+using namespace psl::dns;
+
+Name name(std::string_view text) { return *Name::parse(text); }
+
+Message sample_response() {
+  Message m;
+  m.header.id = 42;
+  m.header.qr = true;
+  m.header.aa = true;
+  m.questions.push_back(Question{name("www.example.com"), Type::kA});
+  m.answers.push_back(
+      ResourceRecord{name("www.example.com"), Type::kA, 300, ARecord{{192, 0, 2, 7}}});
+  m.answers.push_back(ResourceRecord{name("www.example.com"), Type::kTxt, 300,
+                                     TxtRecord{{"v=spf1 include:_spf.example.com ~all"}}});
+  m.authority.push_back(ResourceRecord{
+      name("example.com"), Type::kSoa, 3600,
+      SoaRecord{name("ns1.example.com"), name("admin.example.com"), 1, 7200, 900, 1209600,
+                300}});
+  return m;
+}
+
+const AuthServer& server() {
+  static const AuthServer s = [] {
+    AuthServer srv;
+    Zone zone(name("myshopify.com"),
+              SoaRecord{name("ns1.myshopify.com"), name("admin.myshopify.com"), 1, 7200, 900,
+                        1209600, 300});
+    psl::dbound::publish_registry(zone, "myshopify.com");
+    for (int i = 0; i < 512; ++i) {
+      zone.add_a(name("store" + std::to_string(i) + ".myshopify.com"),
+                 {10, 0, static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i)});
+    }
+    srv.add_zone(std::move(zone));
+    return srv;
+  }();
+  return s;
+}
+
+void BM_EncodeMessage(benchmark::State& state) {
+  const Message m = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode(m));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeMessage);
+
+void BM_DecodeMessage(benchmark::State& state) {
+  const auto wire = encode(sample_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_DecodeMessage);
+
+void BM_ServerHandleWire(benchmark::State& state) {
+  Message q;
+  q.header.id = 1;
+  q.questions.push_back(Question{name("store37.myshopify.com"), Type::kA});
+  const auto wire = encode(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server().handle_wire(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerHandleWire);
+
+void BM_ResolverCacheHit(benchmark::State& state) {
+  StubResolver resolver(server());
+  resolver.query(name("store1.myshopify.com"), Type::kA, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.query(name("store1.myshopify.com"), Type::kA, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResolverCacheHit);
+
+void BM_ResolverCacheMiss(benchmark::State& state) {
+  StubResolver resolver(server());
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    // Flushing each round keeps every query on the wire path.
+    resolver.flush();
+    benchmark::DoNotOptimize(resolver.query(name("store1.myshopify.com"), Type::kA, now++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResolverCacheMiss);
+
+void BM_DboundDiscoveryWarm(benchmark::State& state) {
+  StubResolver resolver(server());
+  psl::dbound::discover(resolver, "store0.myshopify.com", 0);  // warm the platform record
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psl::dbound::discover(
+        resolver, "store" + std::to_string(i++ & 511) + ".myshopify.com", 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DboundDiscoveryWarm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Engineering/ablation bench: PSL matching throughput.
+//
+// DESIGN.md ablation #1: reversed-label trie (psl::List) vs. hash-set
+// per-depth probing (psl::FlatMatcher), over the full 9,368-rule list and
+// a realistic host mix. Also measures file parsing and list construction.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "psl/history/timeline.hpp"
+#include "psl/psl/flat_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/util/namegen.hpp"
+#include "psl/util/rng.hpp"
+
+namespace {
+
+const psl::List& full_list() {
+  static const psl::history::History history =
+      psl::history::generate_history(psl::history::TimelineSpec{});
+  return history.latest();
+}
+
+/// Hosts of varying depth, half under real suffixes, half random.
+const std::vector<std::string>& host_mix() {
+  static const std::vector<std::string> hosts = [] {
+    psl::util::Rng rng(7);
+    psl::util::NameGen names{rng.fork(1)};
+    const auto& rules = full_list().rules();
+    std::vector<std::string> out;
+    out.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      std::string host = names.fresh();
+      if (rng.chance(0.5)) {
+        const auto& rule = rules[rng.below(rules.size())];
+        std::string suffix;
+        for (const auto& label : rule.labels()) {
+          if (!suffix.empty()) suffix.push_back('.');
+          suffix += label;
+        }
+        host += "." + suffix;
+      } else {
+        host += "." + names.fresh() + (rng.chance(0.5) ? ".com" : ".net");
+      }
+      if (rng.chance(0.4)) host = "www." + host;
+      out.push_back(std::move(host));
+    }
+    return out;
+  }();
+  return hosts;
+}
+
+void BM_TrieMatch(benchmark::State& state) {
+  const psl::List& list = full_list();
+  const auto& hosts = host_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.match(hosts[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieMatch);
+
+void BM_FlatMatch(benchmark::State& state) {
+  const psl::FlatMatcher matcher(full_list());
+  const auto& hosts = host_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(hosts[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMatch);
+
+void BM_RegistrableDomain(benchmark::State& state) {
+  const psl::List& list = full_list();
+  const auto& hosts = host_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.registrable_domain(hosts[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistrableDomain);
+
+void BM_SameSite(benchmark::State& state) {
+  const psl::List& list = full_list();
+  const auto& hosts = host_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.same_site(hosts[i & 4095], hosts[(i + 1) & 4095]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SameSite);
+
+void BM_ParseFullList(benchmark::State& state) {
+  const std::string file = full_list().to_file();
+  for (auto _ : state) {
+    auto parsed = psl::List::parse(file);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * file.size()));
+}
+BENCHMARK(BM_ParseFullList);
+
+void BM_BuildFromRules(benchmark::State& state) {
+  const std::vector<psl::Rule> rules = full_list().rules();
+  for (auto _ : state) {
+    auto copy = rules;
+    benchmark::DoNotOptimize(psl::List::from_rules(std::move(copy)));
+  }
+}
+BENCHMARK(BM_BuildFromRules);
+
+void BM_FlatMatcherConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psl::FlatMatcher(full_list()));
+  }
+}
+BENCHMARK(BM_FlatMatcherConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

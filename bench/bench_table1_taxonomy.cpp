@@ -1,0 +1,41 @@
+// Table 1: open-source projects using the Public Suffix List by usage type.
+//
+// Paper values: Fixed 68 (24.9%) [production 43 / test 24 / other 1],
+// Updated 35 (12.8%) [build 24 / user 8 / server 3], Dependency 170 (62.3%)
+// [jre 113, ddns-scripts 15, oneforall 12, python-whois 10, domain_name 10,
+// other 10].
+#include <iostream>
+
+#include "common.hpp"
+#include "psl/core/repo_stats.hpp"
+#include "psl/util/table.hpp"
+
+int main() {
+  const auto& repos = psl::bench::repo_corpus();
+  const psl::harm::TaxonomyBreakdown t = psl::harm::taxonomy(repos);
+
+  std::cout << "=== Table 1: projects by usage type (n=" << t.total << ") ===\n\n";
+  psl::util::TextTable table({"Category", "Projects", "Share"});
+  auto row = [&](const std::string& name, std::size_t count) {
+    table.add_row({name, std::to_string(count), psl::util::fmt_percent(t.fraction(count), 1)});
+  };
+  row("Fixed (F)", t.fixed);
+  row("  Production (Prd.)", t.fixed_production);
+  row("  Test (T)", t.fixed_test);
+  row("  Other (O)", t.fixed_other);
+  row("Updated (U)", t.updated);
+  row("  Build", t.updated_build);
+  row("  User", t.updated_user);
+  row("  Server", t.updated_server);
+  row("Dependency (D)", t.dependency);
+  for (const auto& [lib, count] : t.dependency_by_lib) {
+    row("  " + std::string(to_string(lib)), count);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper: Fixed 24.9% / Updated 12.8% / Dependency 62.3%\n";
+  std::cout << "Here:  Fixed " << psl::util::fmt_percent(t.fraction(t.fixed), 1) << " / Updated "
+            << psl::util::fmt_percent(t.fraction(t.updated), 1) << " / Dependency "
+            << psl::util::fmt_percent(t.fraction(t.dependency), 1) << "\n";
+  return 0;
+}

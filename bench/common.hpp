@@ -1,0 +1,37 @@
+// Shared setup for the table/figure regeneration binaries: every bench runs
+// against the same default-spec corpora so the numbers are comparable
+// across binaries (and across runs — everything is seed-deterministic).
+#pragma once
+
+#include <cstdio>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/history/timeline.hpp"
+#include "psl/repos/corpus.hpp"
+
+namespace psl::bench {
+
+inline const history::History& full_history() {
+  static const history::History h = history::generate_history(history::TimelineSpec{});
+  return h;
+}
+
+inline const archive::Corpus& full_corpus() {
+  static const archive::Corpus c = [] {
+    std::fprintf(stderr, "[bench] generating request corpus (~100k hosts, ~500k requests)...\n");
+    return archive::generate_corpus(archive::CorpusSpec{}, full_history());
+  }();
+  return c;
+}
+
+inline const std::vector<repos::RepoRecord>& repo_corpus() {
+  static const std::vector<repos::RepoRecord> r =
+      repos::generate_repo_corpus(repos::RepoCorpusSpec{});
+  return r;
+}
+
+/// Versions sampled for the figure sweeps: enough points to see the curve,
+/// few enough that each binary finishes in seconds.
+inline constexpr std::size_t kSweepPoints = 48;
+
+}  // namespace psl::bench

@@ -1,0 +1,63 @@
+// Cookie guard: the paper's central harm, demonstrated end to end.
+//
+//   $ ./cookie_guard
+//
+// Replays the same Set-Cookie traffic through two browser cookie jars: one
+// using the PSL as of mid-2018 (the vintage bitwarden/server shipped with
+// at the paper's measurement date) and one using the newest list. The
+// stale jar accepts "supercookies" scoped to shared-hosting suffixes the
+// old list does not know, and then happily attaches them to requests for
+// other tenants — cross-organization tracking.
+#include <cstdio>
+
+#include "psl/history/timeline.hpp"
+#include "psl/web/cookie_jar.hpp"
+
+using psl::history::TimelineSpec;
+using psl::url::Url;
+using psl::web::CookieJar;
+using psl::web::SetCookieOutcome;
+
+namespace {
+
+void replay(CookieJar& jar, const char* label) {
+  std::printf("--- %s ---\n", label);
+
+  const auto origin = Url::parse("https://attacker-shop.myshopify.com/");
+  const auto outcome =
+      jar.set_from_header(*origin, "track=victim-123; Domain=myshopify.com; Path=/");
+  std::printf("  store sets 'track=...; Domain=myshopify.com' -> %s\n",
+              std::string(psl::web::to_string(outcome)).c_str());
+
+  for (const char* target :
+       {"https://attacker-shop.myshopify.com/", "https://victim-shop.myshopify.com/checkout"}) {
+    const auto url = Url::parse(target);
+    const auto sent = jar.cookies_for(*url);
+    std::printf("  request to %-46s -> %zu cookie(s) attached\n", target, sent.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating the synthetic PSL history (2007-2022)...\n");
+  const auto history = psl::history::generate_history(TimelineSpec{});
+
+  const psl::List stale = history.snapshot_at(psl::util::Date::from_civil(2018, 7, 22));
+  const psl::List& fresh = history.latest();
+  std::printf("  stale list: %zu rules (2018-07); fresh list: %zu rules (2022-10)\n\n",
+              stale.rule_count(), fresh.rule_count());
+
+  CookieJar stale_jar(stale);
+  replay(stale_jar, "browser with the STALE list (bitwarden-era copy)");
+
+  CookieJar fresh_jar(fresh);
+  replay(fresh_jar, "browser with the CURRENT list");
+
+  std::printf(
+      "With the stale list the supercookie lands and follows the user onto\n"
+      "every other myshopify.com store; the current list rejects it outright,\n"
+      "because myshopify.com was added to the PSL in 2021.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// crawl_measure: the measurement loop behind an HTTP-Archive-style corpus,
+// run for real.
+//
+//   $ ./crawl_measure
+//
+// Builds a virtual web from the synthetic request corpus (every page view
+// becomes an HTML page embedding its sub-resources; every resource host
+// sets tracker cookies), then crawls it twice over actual HTTP messages —
+// once with a 2015-vintage PSL, once with the current one — and compares
+// both the request logs (identical: the list does not change what you
+// fetch) and the cookie outcomes (very different: the list changes what
+// you ACCEPT).
+#include <cstdio>
+
+#include "psl/history/timeline.hpp"
+#include "psl/http/crawler.hpp"
+
+int main() {
+  std::printf("[1/3] Generating history + corpus...\n");
+  const auto history = psl::history::generate_history(psl::history::TimelineSpec{});
+  psl::archive::CorpusSpec corpus_spec;
+  corpus_spec.page_views = 3000;
+  corpus_spec.organizations = 3000;
+  corpus_spec.platform_tenant_scale = 0.1;
+  const auto corpus = psl::archive::generate_corpus(corpus_spec, history);
+
+  std::printf("[2/3] Materialising the virtual web (%zu pages)...\n", corpus_spec.page_views);
+  const psl::http::VirtualWeb web(corpus, history.latest(), /*max_pages=*/1500);
+  std::printf("      %zu origins, %zu seed pages\n", web.origin_count(),
+              web.page_urls().size());
+
+  std::printf("[3/3] Crawling twice over real HTTP...\n\n");
+  const psl::List stale = history.snapshot_at(psl::util::Date::from_civil(2015, 1, 1));
+
+  psl::http::Crawler stale_crawler(web, stale);
+  const auto stale_log = stale_crawler.crawl(web.page_urls());
+
+  psl::http::Crawler fresh_crawler(web, history.latest());
+  const auto fresh_log = fresh_crawler.crawl(web.page_urls());
+
+  const auto print = [](const char* label, const psl::http::CrawlStats& stats,
+                        std::size_t log_size) {
+    std::printf("--- crawler with %s ---\n", label);
+    std::printf("  pages fetched:       %zu\n", stats.pages_fetched);
+    std::printf("  resources fetched:   %zu\n", stats.resources_fetched);
+    std::printf("  request log entries: %zu\n", log_size);
+    std::printf("  http errors:         %zu\n", stats.http_errors);
+    std::printf("  cookies stored:      %zu\n", stats.cookies_stored);
+    std::printf("  cookies rejected:    %zu  <- supercookie defence\n",
+                stats.cookies_rejected);
+    std::printf("  cookies attached:    %zu\n\n", stats.cookies_attached);
+  };
+  print("2015-vintage PSL", stale_crawler.stats(), stale_log.size());
+  print("current PSL", fresh_crawler.stats(), fresh_log.size());
+
+  std::printf("Both crawlers fetched the identical request log (%s), but the stale\n"
+              "one accepted %zd tracking cookies the current list refuses — measuring\n"
+              "the web with a stale list ALSO means leaking while you measure.\n",
+              stale_log.size() == fresh_log.size() ? "verified" : "MISMATCH!",
+              static_cast<std::ptrdiff_t>(stale_crawler.stats().cookies_stored) -
+                  static_cast<std::ptrdiff_t>(fresh_crawler.stats().cookies_stored));
+  return 0;
+}

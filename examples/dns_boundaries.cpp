@@ -1,0 +1,86 @@
+// dns_boundaries: the paper's proposed alternative, working end to end.
+//
+//   $ ./dns_boundaries
+//
+// The paper closes by arguing that list-based privacy boundaries are
+// inherently stale and pointing at the IETF DBOUND idea: let domains
+// advertise their own boundaries in the DNS. This example runs that world:
+// a shared platform publishes a registry-policy _bound record, a brand
+// publishes an org record, and a browser-side client discovers boundaries
+// through a caching stub resolver — over real RFC 1035 wire messages —
+// then we flip a boundary on and watch every client converge within one
+// TTL, something no shipped list can do.
+#include <cstdio>
+
+#include "psl/dbound/dbound.hpp"
+
+using psl::dbound::discover;
+using psl::dns::Name;
+
+namespace {
+
+Name name(const char* text) { return *Name::parse(text); }
+
+void probe(psl::dns::StubResolver& resolver, const char* host, std::uint64_t now) {
+  const auto d = discover(resolver, host, now);
+  std::printf("  %-34s -> org: %-26s (%zu names walked)\n", host,
+              d.org_domain ? d.org_domain->c_str() : "(none advertised)", d.names_walked);
+}
+
+}  // namespace
+
+int main() {
+  // --- the authoritative world ---------------------------------------------
+  psl::dns::AuthServer internet;
+
+  psl::dns::Zone shopify(name("myshopify.com"),
+                         psl::dns::SoaRecord{name("ns1.myshopify.com"),
+                                             name("hostmaster.myshopify.com"), 1, 7200, 900,
+                                             1209600, /*negative ttl*/ 60});
+  psl::dbound::publish_registry(shopify, "myshopify.com", /*ttl=*/3600);
+  internet.add_zone(std::move(shopify));
+
+  psl::dns::Zone bigcorp(name("bigcorp.com"),
+                         psl::dns::SoaRecord{name("ns1.bigcorp.com"),
+                                             name("hostmaster.bigcorp.com"), 1, 7200, 900,
+                                             1209600, 60});
+  psl::dbound::publish_org(bigcorp, "bigcorp.com", "bigcorp.com");
+  internet.add_zone(std::move(bigcorp));
+
+  psl::dns::Zone startup(name("newplatform.io"),
+                         psl::dns::SoaRecord{name("ns1.newplatform.io"),
+                                             name("hostmaster.newplatform.io"), 1, 7200, 900,
+                                             1209600, 60});
+  internet.add_zone(std::move(startup));
+
+  psl::dns::StubResolver browser(internet);
+
+  std::printf("Boundary discovery straight from the DNS (no list shipped):\n");
+  probe(browser, "alice-store.myshopify.com", 0);
+  probe(browser, "checkout.alice-store.myshopify.com", 1);
+  probe(browser, "bob-store.myshopify.com", 2);
+  probe(browser, "mail.bigcorp.com", 3);
+  probe(browser, "www.bigcorp.com", 4);
+  probe(browser, "tenant1.newplatform.io", 5);
+
+  std::printf("\nsame_org(alice-store, bob-store) = %s  <- tenants separated, no PSL\n",
+              psl::dbound::same_org(browser, "alice-store.myshopify.com",
+                                    "bob-store.myshopify.com", 6)
+                  ? "true"
+                  : "false");
+
+  // --- a boundary change propagating ---------------------------------------
+  std::printf("\nnewplatform.io now opens tenant registrations and publishes\n"
+              "a registry boundary (with the PSL this would be a pull request\n"
+              "plus YEARS of stale embedded copies):\n");
+  psl::dns::Zone* zone = internet.find_zone(name("newplatform.io"));
+  psl::dbound::publish_registry(*zone, "newplatform.io", /*ttl=*/3600);
+
+  probe(browser, "tenant1.newplatform.io", 30);  // negative cache still live
+  std::printf("    ...one negative TTL (60s) later...\n");
+  probe(browser, "tenant1.newplatform.io", 100);
+
+  std::printf("\nResolver stats: %zu wire queries, %zu cache hits.\n",
+              browser.wire_queries(), browser.cache_hits());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// email_spoof_audit: the DMARC harm of a stale PSL, end to end.
+//
+//   $ ./email_spoof_audit
+//
+// RFC 7489 leans on the PSL twice: policy discovery falls back to the
+// *organizational domain* (the PSL registrable domain), and "relaxed"
+// identifier alignment accepts any DKIM/SPF domain with the same
+// organizational domain as the From: header. We run the same spoofed
+// message through two mail receivers — one whose PSL predates the
+// myshopify.com rule, one current — and show the stale receiver both
+// applies the platform's lax policy and lets a cross-tenant DKIM signature
+// align.
+#include <cstdio>
+
+#include "psl/email/dmarc.hpp"
+#include "psl/history/timeline.hpp"
+
+using psl::dns::Name;
+
+namespace {
+
+Name name(const char* text) { return *Name::parse(text); }
+
+void judge(const char* label, const psl::List& list, psl::dns::StubResolver& resolver,
+           const char* from_host, const char* dkim_domain) {
+  std::printf("--- receiver with %s ---\n", label);
+  std::printf("  From: header domain: %s\n", from_host);
+  std::printf("  org domain per list: %s\n",
+              psl::email::organizational_domain(list, from_host).c_str());
+
+  const auto lookup = psl::email::discover_policy(resolver, list, from_host, 0);
+  if (const auto policy = lookup.effective_policy()) {
+    std::printf("  DMARC policy found via %s: p(effective)=%s\n",
+                lookup.used_org_fallback ? "org-domain fallback" : "direct record",
+                std::string(to_string(*policy)).c_str());
+  } else {
+    std::printf("  no DMARC policy applies (no record at host or org domain)\n");
+  }
+
+  const bool aligned =
+      psl::email::identifier_aligned(list, from_host, dkim_domain, /*strict=*/false);
+  std::printf("  DKIM d=%s relaxed-aligns with From:? %s\n", dkim_domain,
+              aligned ? "YES - spoof authenticates" : "no");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Mail-side DNS: the platform publishes a deliberately lax DMARC record
+  // (platforms cannot reject on behalf of tenants).
+  psl::dns::AuthServer internet;
+  psl::dns::Zone com(name("com"),
+                     psl::dns::SoaRecord{name("a.gtld-servers.net"),
+                                         name("nstld.verisign-grs.com"), 1, 1800, 900, 604800,
+                                         60});
+  com.add_txt(name("_dmarc.myshopify.com"), "v=DMARC1; p=none; sp=none");
+  internet.add_zone(std::move(com));
+
+  // The lists: a 2018-vintage snapshot vs. the current one.
+  std::printf("Generating PSL history...\n\n");
+  const auto history = psl::history::generate_history(psl::history::TimelineSpec{});
+  const psl::List stale = history.snapshot_at(psl::util::Date::from_civil(2018, 7, 22));
+  const psl::List& current = history.latest();
+
+  // The attack: mail claiming to be victim-store, DKIM-signed by the
+  // attacker's own store on the same platform.
+  const char* from_host = "victim-store.myshopify.com";
+  const char* dkim_domain = "attacker-store.myshopify.com";
+  std::printf("Spoofed message: From: orders@%s, DKIM d=%s\n\n", from_host, dkim_domain);
+
+  psl::dns::StubResolver stale_resolver(internet);
+  judge("STALE list (2018 vintage)", stale, stale_resolver, from_host, dkim_domain);
+
+  psl::dns::StubResolver current_resolver(internet);
+  judge("CURRENT list", current, current_resolver, from_host, dkim_domain);
+
+  std::printf(
+      "The stale receiver treats every store as one organization: the\n"
+      "platform's p=none applies and the attacker's signature aligns.\n"
+      "The current receiver separates the tenants (myshopify.com is a\n"
+      "public suffix since 2021), so the spoof neither aligns nor inherits\n"
+      "any policy.\n");
+  return 0;
+}

@@ -1,0 +1,250 @@
+// psltool: a command-line front end for the library.
+//
+//   psltool lookup <host> [list-file]        suffix / site / rule for a host
+//   psltool check-cookie <origin-url> <set-cookie-header> [list-file]
+//   psltool check-cert <pattern> [list-file] wildcard issuance verdict
+//   psltool diff <old-list-file> <new-list-file>
+//   psltool scan <directory>                 audit embedded PSL copies
+//   psltool gen-list [YYYY-MM-DD]            emit a synthetic snapshot
+//
+// Without a list-file argument, commands run against the newest synthetic
+// list (the full 9,368-rule 2022-10-20 snapshot).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "psl/history/timeline.hpp"
+#include "psl/psl/lint.hpp"
+#include "psl/repos/scanner.hpp"
+#include "psl/tls/wildcard.hpp"
+#include "psl/url/url.hpp"
+#include "psl/util/strings.hpp"
+#include "psl/web/cookie_jar.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: psltool <command> [args]\n"
+               "  lookup <host> [list-file]\n"
+               "  check-cookie <origin-url> <set-cookie-header> [list-file]\n"
+               "  check-cert <pattern> [list-file]\n"
+               "  diff <old-list-file> <new-list-file>\n"
+               "  lint <list-file>\n"
+               "  scan <directory>\n"
+               "  advise <directory>\n"
+               "  gen-list [YYYY-MM-DD]\n");
+  return 2;
+}
+
+const psl::history::History& history() {
+  static const psl::history::History h =
+      psl::history::generate_history(psl::history::TimelineSpec{});
+  return h;
+}
+
+std::optional<psl::List> load_list(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "psltool: cannot open %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = psl::List::parse(buf.str());
+  if (!parsed) {
+    std::fprintf(stderr, "psltool: %s: %s\n", path, parsed.error().message.c_str());
+    return std::nullopt;
+  }
+  return *std::move(parsed);
+}
+
+int cmd_lookup(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto host = psl::url::Host::parse(argv[2]);
+  if (!host) {
+    std::fprintf(stderr, "psltool: bad host: %s\n", host.error().message.c_str());
+    return 1;
+  }
+  if (host->is_ip()) {
+    std::printf("%s is an IP literal: no public suffix; it is its own site\n",
+                host->name().c_str());
+    return 0;
+  }
+
+  const auto run = [&](const psl::List& list) {
+    const psl::Match m = list.match(host->name());
+    std::printf("host:               %s\n", host->name().c_str());
+    std::printf("public suffix:      %s\n", m.public_suffix.c_str());
+    std::printf("registrable domain: %s\n",
+                m.registrable_domain.empty() ? "(host is a public suffix)"
+                                             : m.registrable_domain.c_str());
+    std::printf("prevailing rule:    %s\n",
+                m.prevailing_rule.empty() ? "(implicit *)" : m.prevailing_rule.c_str());
+    std::printf("rule section:       %s\n",
+                !m.matched_explicit_rule ? "-"
+                : m.section == psl::Section::kPrivate ? "PRIVATE"
+                                                      : "ICANN");
+  };
+
+  if (argc > 3) {
+    const auto list = load_list(argv[3]);
+    if (!list) return 1;
+    run(*list);
+  } else {
+    run(history().latest());
+  }
+  return 0;
+}
+
+int cmd_check_cookie(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto origin = psl::url::Url::parse(argv[2]);
+  if (!origin) {
+    std::fprintf(stderr, "psltool: bad origin URL: %s\n", origin.error().message.c_str());
+    return 1;
+  }
+
+  const auto run = [&](const psl::List& list) {
+    psl::web::CookieJar jar(list);
+    const auto outcome = jar.set_from_header(*origin, argv[3]);
+    std::printf("origin:   %s\n", origin->to_string().c_str());
+    std::printf("header:   %s\n", argv[3]);
+    std::printf("verdict:  %s\n", std::string(to_string(outcome)).c_str());
+    if (outcome == psl::web::SetCookieOutcome::kStored) {
+      const psl::web::Cookie& c = jar.cookies().front();
+      std::printf("stored:   %s=%s; domain=%s%s; path=%s\n", c.name.c_str(), c.value.c_str(),
+                  c.host_only ? "" : ".", c.domain.c_str(), c.path.c_str());
+    }
+    return outcome == psl::web::SetCookieOutcome::kStored ? 0 : 1;
+  };
+
+  if (argc > 4) {
+    const auto list = load_list(argv[4]);
+    if (!list) return 1;
+    return run(*list);
+  }
+  return run(history().latest());
+}
+
+int cmd_check_cert(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto run = [&](const psl::List& list) {
+    const auto verdict = psl::tls::check_issuance(list, argv[2]);
+    std::printf("pattern: %s\nverdict: %s\n", argv[2],
+                std::string(to_string(verdict)).c_str());
+    return verdict == psl::tls::IssuanceVerdict::kOk ? 0 : 1;
+  };
+  if (argc > 3) {
+    const auto list = load_list(argv[3]);
+    if (!list) return 1;
+    return run(*list);
+  }
+  return run(history().latest());
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto old_list = load_list(argv[2]);
+  const auto new_list = load_list(argv[3]);
+  if (!old_list || !new_list) return 1;
+
+  const auto [added, removed] = old_list->diff(*new_list);
+  std::printf("%s: %zu rules\n%s: %zu rules\n", argv[2], old_list->rule_count(), argv[3],
+              new_list->rule_count());
+  std::printf("added (%zu):\n", added.size());
+  for (const auto& rule : added) std::printf("  + %s\n", rule.to_string().c_str());
+  std::printf("removed (%zu):\n", removed.size());
+  for (const auto& rule : removed) std::printf("  - %s\n", rule.to_string().c_str());
+  return added.empty() && removed.empty() ? 0 : 1;
+}
+
+int cmd_lint(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto list = load_list(argv[2]);
+  if (!list) return 1;
+  const auto findings = psl::lint(*list);
+  if (findings.empty()) {
+    std::printf("%s: %zu rules, no lint findings\n", argv[2], list->rule_count());
+    return 0;
+  }
+  for (const auto& f : findings) {
+    std::printf("%s: %s: %s (%s)\n",
+                f.severity == psl::LintSeverity::kError ? "error" : "warning",
+                std::string(to_string(f.code)).c_str(), f.rule_text.c_str(),
+                f.detail.c_str());
+  }
+  return 1;
+}
+
+int cmd_advise(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const psl::repos::Scanner scanner(history());
+  const auto findings = scanner.scan(argv[2]);
+  if (!findings) {
+    std::fprintf(stderr, "psltool: %s\n", findings.error().message.c_str());
+    return 1;
+  }
+  for (const auto& f : *findings) {
+    if (f.missing_rule_count == 0) continue;
+    std::printf("%s\n%s\n", std::string(72, '=').c_str(),
+                psl::repos::advisory_text(f).c_str());
+  }
+  return 0;
+}
+
+int cmd_scan(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const psl::repos::Scanner scanner(history());
+  const auto findings = scanner.scan(argv[2]);
+  if (!findings) {
+    std::fprintf(stderr, "psltool: %s\n", findings.error().message.c_str());
+    return 1;
+  }
+  if (findings->empty()) {
+    std::printf("no embedded PSL copies under %s\n", argv[2]);
+    return 0;
+  }
+  for (const auto& f : *findings) {
+    std::printf("%s\n  usage=%s rules=%zu", f.path.string().c_str(),
+                std::string(to_string(f.classified_usage)).c_str(), f.rule_count);
+    if (f.estimated_age_days) std::printf(" age=%dd", *f.estimated_age_days);
+    std::printf(" missing=%zu\n", f.missing_rule_count);
+  }
+  return 0;
+}
+
+int cmd_gen_list(int argc, char** argv) {
+  psl::List snapshot = [&] {
+    if (argc > 2) {
+      const auto date = psl::util::Date::parse(argv[2]);
+      if (!date) {
+        std::fprintf(stderr, "psltool: bad date %s (want YYYY-MM-DD)\n", argv[2]);
+        std::exit(1);
+      }
+      return history().snapshot_at(*date);
+    }
+    return history().snapshot(history().version_count() - 1);
+  }();
+  std::fputs(snapshot.to_file().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view command = argv[1];
+  if (command == "lookup") return cmd_lookup(argc, argv);
+  if (command == "check-cookie") return cmd_check_cookie(argc, argv);
+  if (command == "check-cert") return cmd_check_cert(argc, argv);
+  if (command == "diff") return cmd_diff(argc, argv);
+  if (command == "lint") return cmd_lint(argc, argv);
+  if (command == "scan") return cmd_scan(argc, argv);
+  if (command == "advise") return cmd_advise(argc, argv);
+  if (command == "gen-list") return cmd_gen_list(argc, argv);
+  return usage();
+}

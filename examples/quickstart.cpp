@@ -1,0 +1,69 @@
+// Quickstart: parse a Public Suffix List and ask the questions browsers ask.
+//
+//   $ ./quickstart
+//
+// Demonstrates the core psl::List API: parsing the published file format,
+// public_suffix() / registrable_domain() lookups, wildcard and exception
+// rules, and the same_site() predicate that defines privacy boundaries.
+#include <cstdio>
+
+#include "psl/psl/list.hpp"
+
+namespace {
+
+constexpr std::string_view kListFile = R"(// A miniature PSL in the published format
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+jp
+*.kawasaki.jp
+!city.kawasaki.jp
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+myshopify.com
+// ===END PRIVATE DOMAINS===
+)";
+
+void show(const psl::List& list, std::string_view host) {
+  const psl::Match m = list.match(host);
+  std::printf("  %-28s eTLD=%-16s eTLD+1=%-24s rule=%s\n", std::string(host).c_str(),
+              m.public_suffix.c_str(),
+              m.registrable_domain.empty() ? "(is a public suffix)" : m.registrable_domain.c_str(),
+              m.prevailing_rule.empty() ? "(implicit *)" : m.prevailing_rule.c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto parsed = psl::List::parse(kListFile);
+  if (!parsed) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const psl::List& list = *parsed;
+  std::printf("Loaded %zu rules.\n\n", list.rule_count());
+
+  std::printf("Suffix lookups:\n");
+  show(list, "www.google.com");
+  show(list, "maps.google.com");
+  show(list, "google.co.uk");
+  show(list, "co.uk");
+  show(list, "alice.github.io");
+  show(list, "mystore.myshopify.com");
+  show(list, "a.b.kawasaki.jp");          // wildcard rule
+  show(list, "assets.city.kawasaki.jp");  // exception rule
+  show(list, "something.unknown-tld");    // implicit * fallback
+
+  std::printf("\nSite boundaries (the privacy question):\n");
+  const auto same = [&](std::string_view a, std::string_view b) {
+    std::printf("  same_site(%s, %s) = %s\n", std::string(a).c_str(), std::string(b).c_str(),
+                list.same_site(a, b) ? "true" : "false");
+  };
+  same("www.google.com", "maps.google.com");
+  same("google.co.uk", "yahoo.co.uk");
+  same("alice.github.io", "bob.github.io");
+  same("shop1.myshopify.com", "shop2.myshopify.com");
+  return 0;
+}

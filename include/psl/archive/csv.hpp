@@ -1,0 +1,32 @@
+// Corpus (de)serialisation.
+//
+// The paper releases its gathered datasets ("Reproducibility and data
+// access"); this module is our equivalent: the synthetic request corpus can
+// be exported to a two-section CSV file and reloaded bit-identically, so an
+// analysis run can be shipped alongside the exact data it saw (or rerun
+// against someone else's corpus).
+//
+// Format:
+//   #hosts
+//   id,hostname
+//   ...
+//   #requests
+//   page_host_id,resource_host_id
+//   ...
+#pragma once
+
+#include <iosfwd>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::archive {
+
+/// Write the corpus. Deterministic output (ids are the corpus's own).
+void write_csv(const Corpus& corpus, std::ostream& out);
+
+/// Read a corpus back. Errors on malformed rows, out-of-range ids, or a
+/// missing section header.
+util::Result<Corpus> read_csv(std::istream& in);
+
+}  // namespace psl::archive

@@ -1,0 +1,60 @@
+/* C API for the PSL engine, shaped after libpsl so existing callers can
+ * switch with a search-and-replace. All functions are thread-safe for
+ * concurrent use of one psl_ctx_t after it is built (lookups are const);
+ * building/freeing must not race with lookups on the same context.
+ *
+ *   psl_ctx_t* psl = pslh_builtin();
+ *   int is = pslh_is_public_suffix(psl, "co.uk");              // 1
+ *   const char* rd = pslh_registrable_domain(psl, "a.b.co.uk");// "b.co.uk"
+ *   pslh_free_string(rd);
+ *
+ * Returned strings are heap-allocated copies; release them with
+ * pslh_free_string. The "pslh_" prefix ("PSL harms") avoids colliding with
+ * a real libpsl in the same process.
+ */
+#ifndef PSL_CAPI_PSL_C_H_
+#define PSL_CAPI_PSL_C_H_
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct pslh_ctx pslh_ctx_t;
+
+/* The built-in list: the newest snapshot of the synthetic 2007-2022
+ * history (9,368 rules). Never returns NULL. The returned context is owned
+ * by the library; do NOT free it. */
+const pslh_ctx_t* pslh_builtin(void);
+
+/* Load a list from a file in the published format. Returns NULL on parse
+ * errors. Free with pslh_free. */
+pslh_ctx_t* pslh_load_from_data(const char* data, size_t length);
+
+void pslh_free(pslh_ctx_t* ctx);
+
+/* 1 if `domain` is a public suffix under `ctx`, else 0. NULL-safe (0). */
+int pslh_is_public_suffix(const pslh_ctx_t* ctx, const char* domain);
+
+/* The public suffix (eTLD) of `domain` as a fresh string, or NULL on
+ * invalid input. Free with pslh_free_string. */
+const char* pslh_unregistrable_domain(const pslh_ctx_t* ctx, const char* domain);
+
+/* The registrable domain (eTLD+1), or NULL when `domain` is itself a
+ * public suffix or invalid. Free with pslh_free_string. */
+const char* pslh_registrable_domain(const pslh_ctx_t* ctx, const char* domain);
+
+/* 1 if the two hostnames belong to the same site, else 0. */
+int pslh_same_site(const pslh_ctx_t* ctx, const char* a, const char* b);
+
+/* Number of rules in the context's list. */
+size_t pslh_rule_count(const pslh_ctx_t* ctx);
+
+void pslh_free_string(const char* s);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* PSL_CAPI_PSL_C_H_ */

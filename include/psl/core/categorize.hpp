@@ -1,0 +1,43 @@
+// Category breakdowns of the harm: which *kinds* of suffix rules cause the
+// misclassification — ICANN vs PRIVATE section, and the IANA root-zone
+// category of the TLD under which they live. Section 3 of the paper labels
+// suffixes with the IANA database; this analysis extends that labelling to
+// the harm estimates (nearly all the high-impact late additions are
+// PRIVATE-section rules under generic TLDs).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/core/impact.hpp"
+#include "psl/history/history.hpp"
+#include "psl/iana/root_zone.hpp"
+
+namespace psl::harm {
+
+struct CategoryBreakdown {
+  /// Unique corpus hostnames whose eTLD (under the newest list) belongs to
+  /// each bucket.
+  std::map<iana::TldCategory, std::size_t> hosts_by_tld_category;
+  std::size_t hosts_under_icann_rules = 0;
+  std::size_t hosts_under_private_rules = 0;
+  std::size_t hosts_under_implicit_star = 0;  ///< no explicit rule matched
+  std::size_t ip_hosts = 0;
+
+  /// Same buckets restricted to *harmed* hostnames: hosts whose eTLD rule
+  /// is missing from at least one fixed-production project.
+  std::map<iana::TldCategory, std::size_t> harmed_by_tld_category;
+  std::size_t harmed_under_icann_rules = 0;
+  std::size_t harmed_under_private_rules = 0;
+};
+
+/// Compute the breakdown. `impacts` must come from compute_etld_impacts
+/// over the same history and corpus.
+CategoryBreakdown categorize_harm(const history::History& history,
+                                  const archive::Corpus& corpus,
+                                  const ImpactSummary& impacts);
+
+}  // namespace psl::harm

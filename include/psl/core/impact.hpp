@@ -1,0 +1,67 @@
+// Table 2 / Table 3 impact analysis: join the PSL history, the request
+// corpus, and the repository corpus to quantify which missing rules hurt
+// which projects, and by how many real hostnames.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/core/sweep.hpp"
+#include "psl/history/history.hpp"
+#include "psl/repos/repo.hpp"
+
+namespace psl::harm {
+
+/// One eTLD row of Table 2: an effective TLD observed in the corpus under
+/// the newest list, the date its rule entered the list, how many unique
+/// corpus hostnames live under it, and how many projects of each usage
+/// class carry a list copy predating the rule (and therefore mis-bound
+/// every one of those hostnames).
+struct EtldImpact {
+  std::string etld;
+  std::string rule_text;   ///< prevailing rule ("co.uk", "*.ck", ...)
+  util::Date rule_added{0};
+  std::size_t hostnames = 0;
+  std::size_t missing_dependency = 0;
+  std::size_t missing_fixed_production = 0;
+  std::size_t missing_fixed_test_other = 0;
+  std::size_t missing_updated = 0;
+};
+
+struct ImpactSummary {
+  /// All impacted eTLDs, sorted by hostnames descending.
+  std::vector<EtldImpact> impacts;
+  /// The paper's headline pair: eTLDs missing from at least one
+  /// fixed-production project, and the hostnames under them.
+  std::size_t harmed_etlds = 0;
+  std::size_t harmed_hostnames = 0;
+};
+
+/// Compute per-eTLD impacts. A project "misses" an eTLD's rule when its
+/// effective list date (its own embedded copy, or its dependency library's
+/// bundled copy) predates the rule's addition.
+ImpactSummary compute_etld_impacts(const history::History& history,
+                                   const archive::Corpus& corpus,
+                                   std::span<const repos::RepoRecord> repos);
+
+/// Table 3's final column: for one project's list vintage, the number of
+/// corpus hostnames assigned to a different site than under the newest
+/// list.
+struct RepoImpact {
+  const repos::RepoRecord* repo = nullptr;
+  std::size_t misclassified_hostnames = 0;
+};
+
+/// Per-repo divergence for every repo with a measurable list date
+/// (anchored_only restricts to the paper's named Table 3 projects).
+/// Snapshots are cached per distinct history version, so repos sharing a
+/// vintage cost one evaluation.
+std::vector<RepoImpact> per_repo_divergence(const history::History& history,
+                                            const archive::Corpus& corpus,
+                                            const Sweeper& sweeper,
+                                            std::span<const repos::RepoRecord> repos,
+                                            bool anchored_only = false);
+
+}  // namespace psl::harm

@@ -1,0 +1,76 @@
+// Incremental version sweeping.
+//
+// The paper evaluates the corpus under all 1,142 list versions. A full
+// recompute matches every unique hostname against every version —
+// O(versions x hosts). But consecutive versions differ by a handful of
+// rules, and a rule can only re-home hosts that live under its labels. The
+// IncrementalSweeper exploits this: it indexes hosts by every dotted suffix
+// once, then per version re-matches only the hosts under the added/removed
+// rules, maintaining the site structure, the per-request third-party flags,
+// and the divergence-vs-newest count as running state.
+//
+// DESIGN.md ablation #2; bench_ablation_incremental verifies agreement with
+// the full recompute and reports the speedup.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "psl/core/sweep.hpp"
+
+namespace psl::harm {
+
+class IncrementalSweeper {
+ public:
+  /// Builds the suffix index and initialises state at version 0.
+  /// `history` and `corpus` must outlive the sweeper.
+  IncrementalSweeper(const history::History& history, const archive::Corpus& corpus);
+
+  /// Metrics at the current version.
+  VersionMetrics current() const;
+  std::size_t current_version() const noexcept { return version_; }
+
+  /// Advance to a later version (monotone; re-matches only affected hosts)
+  /// and return its metrics.
+  /// Precondition: version_index >= current_version().
+  VersionMetrics advance_to(std::size_t version_index);
+
+  /// Sweep every version from the current one to the last, returning
+  /// metrics for each (the full-resolution Figs. 5-7 series).
+  std::vector<VersionMetrics> sweep_all();
+
+  /// Hosts re-matched so far (the work the incremental strategy did do).
+  std::size_t hosts_rematched() const noexcept { return hosts_rematched_; }
+
+ private:
+  void assign_initial(std::size_t version_index);
+  void rekey_host(archive::HostId host, const List& list);
+  std::string key_for(const std::string& host, const List& list) const;
+
+  const history::History& history_;
+  const archive::Corpus& corpus_;
+
+  // Host index: every dotted suffix -> hosts having it. Built once.
+  std::unordered_map<std::string, std::vector<archive::HostId>> hosts_by_suffix_;
+
+  // Per-version rule churn, prebuilt from the schedule so each advance is
+  // a handful of trie mutations instead of a snapshot + diff.
+  std::vector<std::vector<Rule>> adds_by_version_;
+  std::vector<std::vector<Rule>> removes_by_version_;
+
+  // Running state.
+  std::size_t version_ = 0;
+  List list_;                                     // materialised current list
+  std::vector<std::string> keys_;                 // site key per host
+  std::unordered_map<std::string, std::size_t> key_refcounts_;
+  std::vector<std::string> latest_keys_;          // newest version's keys
+  std::size_t divergent_ = 0;
+  std::vector<bool> request_third_party_;
+  std::size_t third_party_ = 0;
+  std::vector<std::vector<std::uint32_t>> requests_of_host_;  // host -> request idx
+
+  std::size_t hosts_rematched_ = 0;
+};
+
+}  // namespace psl::harm

@@ -1,0 +1,57 @@
+// Repository-corpus aggregations: Table 1's taxonomy breakdown, Fig. 3's
+// list-age distributions, and the stars/forks popularity correlation the
+// paper uses to justify stars as a popularity proxy.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "psl/repos/repo.hpp"
+
+namespace psl::harm {
+
+struct TaxonomyBreakdown {
+  std::size_t total = 0;
+
+  std::size_t fixed = 0;  // production + test + other
+  std::size_t fixed_production = 0;
+  std::size_t fixed_test = 0;
+  std::size_t fixed_other = 0;
+
+  std::size_t updated = 0;  // build + user + server
+  std::size_t updated_build = 0;
+  std::size_t updated_user = 0;
+  std::size_t updated_server = 0;
+
+  std::size_t dependency = 0;
+  std::map<repos::DependencyLib, std::size_t> dependency_by_lib;
+
+  double fraction(std::size_t count) const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(total);
+  }
+};
+
+TaxonomyBreakdown taxonomy(std::span<const repos::RepoRecord> repos);
+
+/// Fig. 3 inputs: list ages (days) per update strategy, at measurement
+/// time t. Only repos with a measurable own embedded copy contribute
+/// (dependency projects are excluded, as in the paper).
+struct AgeStats {
+  std::vector<double> all;
+  std::vector<double> fixed;
+  std::vector<double> updated;
+  double median_all = 0.0;
+  double median_fixed = 0.0;
+  double median_updated = 0.0;
+};
+
+AgeStats list_age_stats(std::span<const repos::RepoRecord> repos,
+                        util::Date t = util::kMeasurementDate);
+
+/// Pearson correlation between star and fork counts (the paper reports 0.96
+/// over the Table 3 projects). `anchored_only` restricts accordingly.
+double stars_forks_pearson(std::span<const repos::RepoRecord> repos,
+                           bool anchored_only = true);
+
+}  // namespace psl::harm

@@ -1,0 +1,56 @@
+// End-to-end harm report: one call that runs the whole measurement study —
+// PSL characterisation, repository taxonomy and ages, the version sweep,
+// and the impact join — and returns every number the paper's tables and
+// figures report. This is the library's top-level entry point; the
+// harm_report example and the integration tests drive it.
+#pragma once
+
+#include <cstddef>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/core/impact.hpp"
+#include "psl/core/repo_stats.hpp"
+#include "psl/core/sweep.hpp"
+#include "psl/history/history.hpp"
+#include "psl/repos/repo.hpp"
+
+namespace psl::harm {
+
+struct ReportOptions {
+  std::size_t sweep_points = 60;      ///< versions sampled for the figures
+  std::size_t top_etlds = 15;         ///< Table 2 rows to retain
+  util::Date measurement = util::kMeasurementDate;
+};
+
+struct HarmReport {
+  // Fig. 2
+  std::size_t first_version_rules = 0;
+  std::size_t last_version_rules = 0;
+  std::map<std::size_t, std::size_t> component_histogram;
+
+  // Table 1 / Fig. 3 / Fig. 4 inputs
+  TaxonomyBreakdown taxonomy;
+  AgeStats ages;
+  double stars_forks_correlation = 0.0;
+
+  // Figs. 5-7
+  std::vector<VersionMetrics> sweep;
+  /// Fig. 5's headline: sites created by the newest list beyond the first.
+  std::size_t additional_sites_latest_vs_first = 0;
+
+  // Table 2 + headline totals
+  std::vector<EtldImpact> top_impacts;
+  std::size_t harmed_etlds = 0;
+  std::size_t harmed_hostnames = 0;
+
+  // Table 3 final column. NOTE: each RepoImpact points into the `repos`
+  // span passed to generate_report, which must therefore outlive the
+  // report.
+  std::vector<RepoImpact> repo_impacts;
+};
+
+HarmReport generate_report(const history::History& history, const archive::Corpus& corpus,
+                           std::span<const repos::RepoRecord> repos,
+                           const ReportOptions& options = {});
+
+}  // namespace psl::harm

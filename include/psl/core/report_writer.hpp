@@ -1,0 +1,21 @@
+// Rendering a HarmReport as a self-contained markdown document — the
+// written artifact a measurement run produces (tables for every paper
+// artifact, ready to diff between runs or commit next to the data export).
+#pragma once
+
+#include <iosfwd>
+
+#include "psl/core/report.hpp"
+
+namespace psl::harm {
+
+struct ReportWriterOptions {
+  std::size_t sweep_rows = 16;     ///< sampled sweep rows in the figures table
+  bool include_repo_table = true;  ///< Table 3 section
+};
+
+/// Write `report` as markdown to `out`.
+void write_markdown(const HarmReport& report, std::ostream& out,
+                    const ReportWriterOptions& options = {});
+
+}  // namespace psl::harm

@@ -1,0 +1,60 @@
+// Site formation: the paper's three-step pipeline (Section 5).
+//
+//   (1) strip each URL to its domain name        -> done by url::Url;
+//   (2) determine the suffix of each UNIQUE      -> assign_sites(), one PSL
+//       domain name under a given PSL version       match per unique host;
+//   (3) group domain names by suffix into sites  -> site keys + site count.
+//
+// A "site" is an eTLD+1. Hosts that are themselves public suffixes form no
+// eTLD+1; each such host stands alone (it is nobody's subdomain), and IP
+// literals likewise group only with themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "psl/psl/list.hpp"
+
+namespace psl::harm {
+
+/// Compact site assignment over a fixed hostname universe: hosts with equal
+/// site_ids[i] belong to the same site under the list used. site_keys maps
+/// a site id back to its human-readable identity (the eTLD+1, or the host
+/// itself for suffix-only hosts and IP literals) so assignments produced
+/// under different lists can be compared by site *name*, the way the paper
+/// counts hosts "in different sites" across versions.
+struct SiteAssignment {
+  std::vector<std::uint32_t> site_ids;  ///< parallel to the input hostnames
+  std::vector<std::string> site_keys;   ///< indexed by site id
+  std::size_t site_count = 0;
+};
+
+/// Assign every hostname to a site under `list`. O(total labels) via one
+/// match per host; site identity is interned so comparisons downstream are
+/// integer equality.
+SiteAssignment assign_sites(const List& list, std::span<const std::string> hostnames);
+
+/// Aggregate shape of the site structure — Fig. 5's y-axis and the
+/// "sites become fewer but larger" observation.
+struct SiteStats {
+  std::size_t host_count = 0;
+  std::size_t site_count = 0;
+  double mean_hosts_per_site = 0.0;
+  std::size_t largest_site = 0;
+};
+
+SiteStats site_stats(const SiteAssignment& assignment);
+
+/// Number of positions where the two assignments put a host in a different
+/// grouping — Fig. 7's y-axis (divergence vs. the most recent list).
+/// Preconditions: both assignments cover the same hostname universe.
+std::size_t divergent_hosts(const SiteAssignment& a, const SiteAssignment& b);
+
+/// True if `host` looks like an IPv4/IPv6 literal rather than a DNS name.
+/// IP literals have no public suffix and are their own site.
+/// (Thin alias of url::looks_like_ip_literal, kept for pipeline callers.)
+bool is_ip_literal(std::string_view host) noexcept;
+
+}  // namespace psl::harm

@@ -1,0 +1,52 @@
+// The per-version sweep behind Figures 5, 6 and 7: evaluate the request
+// corpus under each historical list version and record how the privacy
+// boundaries it induces change.
+#pragma once
+
+#include <vector>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/core/site_former.hpp"
+#include "psl/history/history.hpp"
+
+namespace psl::harm {
+
+struct VersionMetrics {
+  std::size_t version_index = 0;
+  util::Date date{0};
+  std::size_t rule_count = 0;          ///< Fig. 2 companion series
+  std::size_t site_count = 0;          ///< Fig. 5
+  double mean_hosts_per_site = 0.0;    ///< Fig. 5 companion
+  std::size_t third_party_requests = 0;///< Fig. 6
+  std::size_t divergent_hosts = 0;     ///< Fig. 7 (vs. the newest version)
+};
+
+/// Evaluates corpus metrics under historical list versions. Construction
+/// caches the newest version's site assignment (Fig. 7's reference).
+class Sweeper {
+ public:
+  Sweeper(const history::History& history, const archive::Corpus& corpus);
+
+  /// Metrics for one version.
+  VersionMetrics evaluate(std::size_t version_index) const;
+
+  /// Metrics for a list that is not part of the history (e.g. a project's
+  /// embedded copy found by the scanner). version_index/date are left zero.
+  VersionMetrics evaluate_list(const List& list) const;
+
+  /// Sweep at most `max_points` versions evenly spaced across the history
+  /// (first and last included).
+  std::vector<VersionMetrics> sweep(std::size_t max_points) const;
+
+  /// Fig. 7 convenience: divergence for the list in force at `date`.
+  std::size_t divergence_at(util::Date date) const;
+
+  const SiteAssignment& latest_assignment() const noexcept { return latest_; }
+
+ private:
+  const history::History& history_;
+  const archive::Corpus& corpus_;
+  SiteAssignment latest_;
+};
+
+}  // namespace psl::harm

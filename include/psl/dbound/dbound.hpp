@@ -1,0 +1,70 @@
+// DBOUND-style DNS boundary advertisement.
+//
+// The paper's conclusion: the risks it measures "are inherent to any
+// list-based approach", and it points to the IETF DBOUND problem statement
+// (draft-sullivan-dbound-problem-statement) — advertising organizational
+// boundaries inside the DNS itself — as the alternative. This module
+// implements a concrete such protocol over our DNS substrate so the bench
+// suite can compare freshness: a DNS-advertised boundary becomes visible to
+// every client within one TTL, while a list-based boundary reaches only
+// clients whose embedded list postdates the rule.
+//
+// Protocol (one TXT record, published by the domain operator):
+//
+//   _bound.<domain>  TXT  "v=bound1; policy=registry"
+//       <domain> is suffix-like: every direct child is an independent
+//       organization (what a PSL rule for <domain> expresses);
+//
+//   _bound.<domain>  TXT  "v=bound1; org=<orgdomain>"
+//       names at/under <domain> belong to <orgdomain>. Only trusted when
+//       <orgdomain> is <domain> itself or an ancestor of it — a name
+//       cannot claim membership in an unrelated organization.
+//
+// Discovery walks from the host upward; the closest-encloser record wins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "psl/dns/resolver.hpp"
+#include "psl/dns/server.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::dbound {
+
+struct BoundRecord {
+  bool registry_policy = false;       ///< "policy=registry"
+  std::optional<std::string> org;     ///< "org=<domain>"
+};
+
+/// Render/parse the TXT payload.
+std::string make_registry_record();
+std::string make_org_record(std::string_view org_domain);
+util::Result<BoundRecord> parse_record(std::string_view txt);
+
+/// Publish helpers: install the record into the operator's zone.
+/// Preconditions: `domain` parses as a DNS name inside the zone.
+void publish_registry(dns::Zone& zone, std::string_view domain, std::uint32_t ttl = 3600);
+void publish_org(dns::Zone& zone, std::string_view domain, std::string_view org_domain,
+                 std::uint32_t ttl = 3600);
+
+struct Discovery {
+  /// The organizational domain for the queried host, if any record applied.
+  std::optional<std::string> org_domain;
+  std::size_t names_walked = 0;  ///< candidates probed (cache or wire)
+  bool found_record = false;     ///< a (trusted) _bound record was present
+};
+
+/// Discover the boundary for `host` at time `now`, walking at most
+/// `max_walk` enclosing names. Falls back to "no answer" (caller may then
+/// apply a PSL) when nothing is published.
+Discovery discover(dns::StubResolver& resolver, std::string_view host, std::uint64_t now,
+                   std::size_t max_walk = 8);
+
+/// Same-organization predicate via discovery: both hosts resolve a boundary
+/// and the boundaries are equal.
+bool same_org(dns::StubResolver& resolver, std::string_view a, std::string_view b,
+              std::uint64_t now);
+
+}  // namespace psl::dbound

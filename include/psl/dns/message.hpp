@@ -1,0 +1,124 @@
+// DNS messages (RFC 1035 section 4): header, questions, resource records,
+// and full-message wire encode/decode. Record data for the types this
+// substrate serves (A, NS, CNAME, SOA, TXT) is held in decoded form.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "psl/dns/name.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::dns {
+
+enum class Type : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kMx = 15,
+  kTxt = 16,
+};
+
+std::string_view to_string(Type type) noexcept;
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+struct Question {
+  Name qname;
+  Type qtype = Type::kA;
+  // qclass is always IN (1) in this substrate.
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+// Decoded RDATA per type.
+struct ARecord {
+  std::array<std::uint8_t, 4> address{};
+  friend bool operator==(const ARecord&, const ARecord&) = default;
+};
+struct NsRecord {
+  Name nsdname;
+  friend bool operator==(const NsRecord&, const NsRecord&) = default;
+};
+struct CnameRecord {
+  Name cname;
+  friend bool operator==(const CnameRecord&, const CnameRecord&) = default;
+};
+struct SoaRecord {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  friend bool operator==(const SoaRecord&, const SoaRecord&) = default;
+};
+struct MxRecord {
+  std::uint16_t preference = 0;
+  Name exchange;
+  friend bool operator==(const MxRecord&, const MxRecord&) = default;
+};
+struct TxtRecord {
+  /// Each element is one <character-string> (max 255 octets on the wire).
+  std::vector<std::string> strings;
+  /// All strings concatenated — the form applications consume.
+  std::string joined() const;
+  friend bool operator==(const TxtRecord&, const TxtRecord&) = default;
+};
+
+using Rdata = std::variant<ARecord, NsRecord, CnameRecord, SoaRecord, MxRecord, TxtRecord>;
+
+struct ResourceRecord {
+  Name name;
+  Type type = Type::kA;
+  std::uint32_t ttl = 0;
+  Rdata rdata;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  ///< response flag
+  bool aa = false;  ///< authoritative answer
+  bool tc = false;  ///< truncated
+  bool rd = true;   ///< recursion desired
+  bool ra = false;  ///< recursion available
+  Rcode rcode = Rcode::kNoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Serialise to RFC 1035 wire format (with name compression).
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Parse from wire format. Errors on truncation, bad pointers, unknown
+/// record types, or trailing garbage.
+util::Result<Message> decode(const std::uint8_t* data, std::size_t len);
+inline util::Result<Message> decode(const std::vector<std::uint8_t>& wire) {
+  return decode(wire.data(), wire.size());
+}
+
+}  // namespace psl::dns

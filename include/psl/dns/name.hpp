@@ -1,0 +1,109 @@
+// DNS domain names and their RFC 1035 wire representation.
+//
+// The paper's closing recommendation is to move boundary information out of
+// a shipped list and "integrate boundaries within the DNS infrastructure"
+// (the IETF DBOUND work). To evaluate that alternative honestly we build a
+// real DNS substrate; Name is its foundation: label sequences with the
+// RFC 1035 length-byte wire form, including message compression pointers on
+// decode and a compression dictionary on encode.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/util/result.hpp"
+
+namespace psl::dns {
+
+inline constexpr std::size_t kMaxLabelLen = 63;
+inline constexpr std::size_t kMaxNameLen = 255;
+
+/// A fully-qualified DNS name as an ordered label sequence ("www.example.com"
+/// = ["www","example","com"]). The root name has zero labels. Labels are
+/// stored lower-case; comparisons are exact.
+class Name {
+ public:
+  Name() = default;
+
+  /// Parse presentation form ("www.example.com", optional trailing dot,
+  /// "." = root). Errors on empty/overlong labels or an overlong name.
+  static util::Result<Name> parse(std::string_view text);
+
+  /// Build from labels (already validated lengths).
+  static util::Result<Name> from_labels(std::vector<std::string> labels);
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+  bool is_root() const noexcept { return labels_.empty(); }
+
+  /// Presentation form without trailing dot; "." for the root.
+  std::string to_string() const;
+
+  /// True if this name equals `ancestor` or is a descendant of it
+  /// ("www.example.com".is_subdomain_of("example.com") == true; every name
+  /// is a subdomain of the root).
+  bool is_subdomain_of(const Name& ancestor) const noexcept;
+
+  /// Name with the left-most label removed. Precondition: !is_root().
+  Name parent() const;
+
+  /// Name with `label` prepended. Errors on bad label.
+  util::Result<Name> child(std::string_view label) const;
+
+  friend bool operator==(const Name&, const Name&) = default;
+  friend auto operator<=>(const Name&, const Name&) = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Wire-format writer with RFC 1035 section 4.1.4 name compression: every
+/// name suffix written at an offset < 0x4000 is remembered and later
+/// occurrences emit a 2-byte pointer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(const std::uint8_t* data, std::size_t len);
+  void name(const Name& n);
+
+  std::size_t size() const noexcept { return out_.size(); }
+  const std::vector<std::uint8_t>& buffer() const noexcept { return out_; }
+  std::vector<std::uint8_t> take() && { return std::move(out_); }
+
+  /// Patch a previously written u16 (used for RDLENGTH back-fill).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::map<std::string, std::uint16_t> offsets_;  // dotted suffix -> offset
+};
+
+/// Bounds-checked wire-format reader; follows compression pointers with a
+/// loop guard.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  util::Result<std::uint8_t> u8();
+  util::Result<std::uint16_t> u16();
+  util::Result<std::uint32_t> u32();
+  util::Result<std::vector<std::uint8_t>> bytes(std::size_t count);
+  util::Result<Name> name();
+
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return len_ - pos_; }
+  bool at_end() const noexcept { return pos_ == len_; }
+  void seek(std::size_t pos) noexcept { pos_ = pos; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace psl::dns

@@ -1,0 +1,56 @@
+// A caching stub resolver over the authoritative server.
+//
+// Every query goes through the real wire codec (encode query -> server
+// decodes/answers -> decode reply), so the resolver exercises exactly what
+// a deployment would. Positive answers are cached per (name, type) until
+// their TTL expires; NXDOMAIN/NODATA are negative-cached for the zone SOA's
+// minimum TTL (RFC 2308). Time is explicit — callers pass `now` in seconds
+// — so freshness experiments (list age vs. DNS TTL) are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "psl/dns/server.hpp"
+
+namespace psl::dns {
+
+struct ResolveResult {
+  Rcode rcode = Rcode::kNoError;
+  std::vector<ResourceRecord> answers;
+  bool from_cache = false;
+
+  bool ok() const noexcept { return rcode == Rcode::kNoError && !answers.empty(); }
+};
+
+class StubResolver {
+ public:
+  /// `server` must outlive the resolver.
+  explicit StubResolver(const AuthServer& server) : server_(&server) {}
+
+  /// Resolve (name, type) at absolute time `now` (seconds).
+  ResolveResult query(const Name& name, Type type, std::uint64_t now);
+
+  /// Statistics.
+  std::size_t wire_queries() const noexcept { return wire_queries_; }
+  std::size_t cache_hits() const noexcept { return cache_hits_; }
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+  void flush() { cache_.clear(); }
+
+ private:
+  struct CacheEntry {
+    Rcode rcode;
+    std::vector<ResourceRecord> answers;
+    std::uint64_t expires_at;
+  };
+
+  const AuthServer* server_;
+  std::map<std::pair<Name, Type>, CacheEntry> cache_;
+  std::size_t wire_queries_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace psl::dns

@@ -1,0 +1,82 @@
+// Authoritative zones and an in-memory authoritative server.
+//
+// Zones hold resource records; AuthServer answers queries over the wire
+// format (decode -> lookup -> encode), implementing the authoritative
+// subset of RFC 1034 section 4.3.2: exact matches (AA answers), CNAME
+// chasing within the zone, empty NOERROR for existing names without the
+// queried type, and NXDOMAIN with the zone's SOA in the authority section
+// otherwise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "psl/dns/message.hpp"
+
+namespace psl::dns {
+
+class Zone {
+ public:
+  /// Precondition: soa describes this zone; its name is the origin.
+  Zone(Name origin, SoaRecord soa, std::uint32_t soa_ttl = 3600);
+
+  const Name& origin() const noexcept { return origin_; }
+  const SoaRecord& soa() const noexcept { return soa_; }
+  std::uint32_t soa_ttl() const noexcept { return soa_ttl_; }
+
+  /// Add a record. Precondition: record.name is within this zone.
+  void add(ResourceRecord record);
+
+  /// Convenience helpers.
+  void add_a(const Name& name, std::array<std::uint8_t, 4> address, std::uint32_t ttl = 300);
+  void add_txt(const Name& name, std::string text, std::uint32_t ttl = 300);
+  void add_cname(const Name& name, Name target, std::uint32_t ttl = 300);
+  void add_mx(const Name& name, std::uint16_t preference, Name exchange,
+              std::uint32_t ttl = 300);
+
+  /// Remove every record at `name` (any type). Returns how many were removed.
+  std::size_t remove(const Name& name);
+
+  /// All records exactly at (name, type).
+  std::vector<const ResourceRecord*> find(const Name& name, Type type) const;
+
+  /// True if any record (any type) exists at `name`.
+  bool name_exists(const Name& name) const;
+
+  std::size_t record_count() const noexcept { return records_.size(); }
+
+ private:
+  Name origin_;
+  SoaRecord soa_;
+  std::uint32_t soa_ttl_;
+  std::vector<ResourceRecord> records_;
+};
+
+class AuthServer {
+ public:
+  /// Add a zone. Later lookups pick the most-specific (longest-origin)
+  /// enclosing zone for each query.
+  void add_zone(Zone zone);
+
+  Zone* find_zone(const Name& qname);
+  const Zone* find_zone(const Name& qname) const;
+
+  /// Answer a decoded query message.
+  Message handle(const Message& query) const;
+
+  /// Answer over the wire: decode, handle, encode. A malformed query gets
+  /// a FORMERR response (with id 0 if even the id was unreadable).
+  std::vector<std::uint8_t> handle_wire(const std::uint8_t* data, std::size_t len) const;
+  std::vector<std::uint8_t> handle_wire(const std::vector<std::uint8_t>& wire) const {
+    return handle_wire(wire.data(), wire.size());
+  }
+
+  /// Total queries answered (mutable statistic for tests/benches).
+  std::size_t queries_handled() const noexcept { return queries_handled_; }
+
+ private:
+  std::vector<Zone> zones_;
+  mutable std::size_t queries_handled_ = 0;
+};
+
+}  // namespace psl::dns

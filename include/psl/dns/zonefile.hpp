@@ -1,0 +1,29 @@
+// RFC 1035 master-file ("zone file") parsing — the text format operators
+// actually maintain zones in. Supports the subset matching our record
+// types, with the common conveniences: $ORIGIN and $TTL directives,
+// relative names, "@" for the origin, per-record TTLs, comments, and
+// case-insensitive type/class tokens.
+//
+//   $ORIGIN example.com.
+//   $TTL 3600
+//   @        IN SOA ns1 admin 2022102001 7200 900 1209600 300
+//   @        IN NS  ns1
+//   ns1      IN A   192.0.2.53
+//   www  300 IN A   192.0.2.80
+//   _dmarc   IN TXT "v=DMARC1; p=reject"
+//   mail     IN MX  10 mx1.example.com.
+#pragma once
+
+#include <string_view>
+
+#include "psl/dns/server.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::dns {
+
+/// Parse a zone file into a Zone. The file must contain exactly one SOA
+/// record (which defines the zone's origin when no $ORIGIN is given first).
+/// Errors carry "zonefile.*" codes with line numbers.
+util::Result<Zone> parse_zone_file(std::string_view text);
+
+}  // namespace psl::dns

@@ -1,0 +1,80 @@
+// DMARC policy discovery and identifier alignment (RFC 7489 subset).
+//
+// Section 2 of the paper lists "finding DMARC policy records for email
+// subdomains" among the PSL's documented uses: RFC 7489 defines the
+// *organizational domain* of a mail identifier as its PSL registrable
+// domain, and both policy discovery (fall back to _dmarc.<orgdomain>) and
+// relaxed identifier alignment (same organizational domain) depend on it.
+//
+// A mail receiver running a stale list computes the wrong organizational
+// domain for hosts under missing suffixes: mail "From:" one myshopify
+// store relaxes-aligns with a DKIM signature from ANY other store, and the
+// policy applied is the platform's rather than the tenant's — spoofing that
+// a current list would stop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/dns/resolver.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::email {
+
+/// RFC 7489 section 3.2: the organizational domain is the PSL registrable
+/// domain; a host that is itself a public suffix is its own organizational
+/// domain.
+std::string organizational_domain(const List& list, std::string_view host);
+
+enum class Policy : std::uint8_t { kNone, kQuarantine, kReject };
+std::string_view to_string(Policy policy) noexcept;
+
+struct DmarcRecord {
+  Policy policy = Policy::kNone;            ///< p=
+  std::optional<Policy> subdomain_policy;   ///< sp= (defaults to p= when absent)
+  int pct = 100;                            ///< pct=
+  bool adkim_strict = false;                ///< adkim=s
+  bool aspf_strict = false;                 ///< aspf=r/s
+  std::vector<std::string> rua;             ///< aggregate report URIs
+
+  Policy effective_subdomain_policy() const noexcept {
+    return subdomain_policy.value_or(policy);
+  }
+};
+
+/// Parse a DMARC TXT payload ("v=DMARC1; p=reject; sp=none; adkim=s; ...").
+/// Errors when the v= tag is missing/misplaced or p= is absent/invalid.
+util::Result<DmarcRecord> parse_dmarc(std::string_view txt);
+
+struct DmarcLookup {
+  std::optional<DmarcRecord> record;
+  std::vector<std::string> queried_names;  ///< "_dmarc.x" names probed in order
+  bool used_org_fallback = false;          ///< record came from the org domain
+  /// True when the policy that applies is the record's sp= (the mail is
+  /// from a subdomain of the record's domain).
+  bool subdomain_policy_applies = false;
+
+  std::optional<Policy> effective_policy() const {
+    if (!record) return std::nullopt;
+    return subdomain_policy_applies ? record->effective_subdomain_policy() : record->policy;
+  }
+};
+
+/// RFC 7489 section 6.6.3 policy discovery: query _dmarc.<from_host>; if
+/// absent and <from_host> is not the organizational domain, query
+/// _dmarc.<orgdomain>. The PSL (`list`) determines the org domain — the
+/// stale-list failure mode lives exactly here.
+DmarcLookup discover_policy(dns::StubResolver& resolver, const List& list,
+                            std::string_view from_host, std::uint64_t now);
+
+/// RFC 7489 section 3.1 identifier alignment: in strict mode the domains
+/// must match exactly; in relaxed mode their organizational domains (per
+/// `list`) must match.
+bool identifier_aligned(const List& list, std::string_view from_domain,
+                        std::string_view authenticated_domain, bool strict);
+
+}  // namespace psl::email

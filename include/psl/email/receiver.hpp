@@ -1,0 +1,51 @@
+// The complete DMARC receiver pipeline (RFC 7489 section 6.6): evaluate
+// SPF for the envelope sender, check identifier alignment of SPF and DKIM
+// identities against the From: domain, discover the applicable policy, and
+// produce a disposition. Every PSL-dependent step (organizational domains
+// for alignment and policy fallback) takes the receiver's list — so the
+// same message can be judged under lists of different vintages.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psl/email/dmarc.hpp"
+#include "psl/email/spf.hpp"
+
+namespace psl::email {
+
+/// The authentication-relevant projection of one inbound message.
+struct MailMessage {
+  std::string from_domain;                      ///< RFC5322.From domain
+  std::string mail_from_domain;                 ///< RFC5321.MailFrom (SPF identity)
+  std::array<std::uint8_t, 4> sender_ip{};      ///< connecting SMTP client
+  std::vector<std::string> dkim_pass_domains;   ///< d= of signatures that verified
+};
+
+enum class Disposition : std::uint8_t {
+  kAccept,       ///< DMARC pass (or p=none)
+  kQuarantine,
+  kReject,
+  kNoPolicy,     ///< no DMARC record anywhere: local policy decides
+};
+
+std::string_view to_string(Disposition disposition) noexcept;
+
+struct ReceiverVerdict {
+  SpfOutcome spf;
+  bool spf_aligned = false;
+  bool dkim_aligned = false;
+  bool dmarc_pass = false;
+  DmarcLookup lookup;
+  Disposition disposition = Disposition::kNoPolicy;
+};
+
+/// Judge one message with the receiver's list and resolver.
+/// `strict_*` force strict alignment regardless of the record's adkim/aspf
+/// tags when the record is absent; when a record is found its tags govern.
+ReceiverVerdict evaluate_message(dns::StubResolver& resolver, const List& list,
+                                 const MailMessage& message, std::uint64_t now);
+
+}  // namespace psl::email

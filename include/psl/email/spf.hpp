@@ -1,0 +1,79 @@
+// SPF (RFC 7208 subset): sender-IP authorization via DNS TXT policy.
+//
+// SPF supplies one of the two authenticated identifiers DMARC aligns
+// against (the MAIL FROM domain). This evaluator implements the check_host
+// function over our DNS substrate for the mechanisms real policies are
+// overwhelmingly built from — ip4 (with CIDR), a, mx, include, all — plus
+// the redirect modifier, with the RFC's 10-DNS-mechanism limit and
+// permerror/temperror semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/dns/resolver.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::email {
+
+enum class SpfResult : std::uint8_t {
+  kPass,
+  kFail,
+  kSoftFail,
+  kNeutral,
+  kNone,       ///< no SPF record published
+  kPermError,  ///< unparseable record / too many DNS mechanisms
+  kTempError,  ///< DNS failure during evaluation
+};
+
+std::string_view to_string(SpfResult result) noexcept;
+
+/// One parsed mechanism/modifier of an SPF record.
+struct SpfTerm {
+  enum class Kind : std::uint8_t { kAll, kIp4, kA, kMx, kInclude, kRedirect };
+  /// '+' pass, '-' fail, '~' softfail, '?' neutral.
+  char qualifier = '+';
+  Kind kind = Kind::kAll;
+  std::string domain;                    ///< include/redirect/a/mx target (may be empty)
+  std::array<std::uint8_t, 4> address{}; ///< ip4
+  int prefix_len = 32;                   ///< ip4 CIDR
+};
+
+struct SpfRecord {
+  std::vector<SpfTerm> terms;  ///< mechanisms in order; redirect, if any, last
+};
+
+/// Parse an SPF TXT payload ("v=spf1 ip4:192.0.2.0/24 include:x.com -all").
+/// Unknown mechanisms/modifiers produce an error (RFC 7208: permerror).
+util::Result<SpfRecord> parse_spf(std::string_view txt);
+
+struct SpfOutcome {
+  SpfResult result = SpfResult::kNone;
+  std::size_t dns_mechanism_queries = 0;  ///< toward the limit of 10
+  std::string matched_mechanism;          ///< the term that decided (if any)
+};
+
+class SpfEvaluator {
+ public:
+  explicit SpfEvaluator(dns::StubResolver& resolver) : resolver_(&resolver) {}
+
+  /// RFC 7208 check_host(): is `sender_ip` authorized to send mail for
+  /// `domain`?
+  SpfOutcome check_host(const std::array<std::uint8_t, 4>& sender_ip,
+                        std::string_view domain, std::uint64_t now);
+
+ private:
+  SpfOutcome evaluate(const std::array<std::uint8_t, 4>& sender_ip, std::string_view domain,
+                      std::uint64_t now, std::size_t& query_budget, int depth);
+
+  dns::StubResolver* resolver_;
+};
+
+/// True if `ip` is within `network`/`prefix_len`.
+bool ip4_in_network(const std::array<std::uint8_t, 4>& ip,
+                    const std::array<std::uint8_t, 4>& network, int prefix_len) noexcept;
+
+}  // namespace psl::email

@@ -1,0 +1,80 @@
+// Versioned Public Suffix List store.
+//
+// The paper extracts all 1,142 dated versions of the PSL from its git
+// history (2007-03-22 .. 2022-10-20) and evaluates every analysis against
+// each version. History models exactly that: an ordered sequence of version
+// dates plus a rule schedule (each rule with an added date and an optional
+// removed date), from which the list state at any version or calendar date
+// can be materialised.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/psl/list.hpp"
+#include "psl/util/date.hpp"
+
+namespace psl::history {
+
+struct ScheduledRule {
+  Rule rule;
+  util::Date added;
+  std::optional<util::Date> removed;  ///< exclusive: absent from lists dated >= removed
+};
+
+class History {
+ public:
+  /// Preconditions: version_dates non-empty and strictly increasing; every
+  /// schedule entry satisfies !removed || *removed > added.
+  History(std::vector<util::Date> version_dates, std::vector<ScheduledRule> schedule);
+
+  std::size_t version_count() const noexcept { return version_dates_.size(); }
+  util::Date version_date(std::size_t index) const { return version_dates_.at(index); }
+  const std::vector<util::Date>& version_dates() const noexcept { return version_dates_; }
+
+  /// Index of the newest version dated <= `date`; nullopt if `date` precedes
+  /// the first version (no list existed yet).
+  std::optional<std::size_t> version_index_at(util::Date date) const noexcept;
+
+  /// Materialise the list as of a version / a calendar date. snapshot_at
+  /// of a pre-history date returns an empty list.
+  List snapshot(std::size_t version) const;
+  List snapshot_at(util::Date date) const;
+
+  /// Rule count at a version without materialising the full List.
+  std::size_t rule_count(std::size_t version) const noexcept;
+
+  /// The newest version's list, built once and cached.
+  const List& latest() const;
+
+  const std::vector<ScheduledRule>& schedule() const noexcept { return schedule_; }
+
+  /// When the rule with this canonical text ("co.uk", "*.ck", "!www.ck")
+  /// first entered the list; nullopt if never present.
+  std::optional<util::Date> added_date(std::string_view rule_text) const;
+
+  /// Evenly spaced version indices (first and last always included) — the
+  /// sampling grid the figure benches sweep instead of all 1,142 versions.
+  std::vector<std::size_t> sampled_versions(std::size_t max_points) const;
+
+  /// Per-version churn: how many rules each published version added and
+  /// removed (Fig. 2's growth spikes, seen as deltas). One entry per
+  /// version, in order.
+  struct VersionDelta {
+    std::size_t version_index = 0;
+    util::Date date{0};
+    std::size_t rules_added = 0;
+    std::size_t rules_removed = 0;
+  };
+  std::vector<VersionDelta> version_deltas() const;
+
+ private:
+  std::vector<util::Date> version_dates_;
+  std::vector<ScheduledRule> schedule_;  // sorted by added date
+  mutable std::optional<List> latest_cache_;
+};
+
+}  // namespace psl::history

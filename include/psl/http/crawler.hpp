@@ -1,0 +1,58 @@
+// The crawler: fetches pages from a VirtualWeb over serialised HTTP
+// messages, extracts sub-resource links from the HTML, fetches those too,
+// and records the resulting request log — the measurement loop behind a
+// corpus like the HTTP Archive. Cookie handling runs through a real
+// CookieJar under the crawler's own PSL, so a stale crawler both measures
+// AND leaks exactly like a stale browser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psl/http/html.hpp"
+#include "psl/http/vweb.hpp"
+#include "psl/web/cookie_jar.hpp"
+
+namespace psl::http {
+
+struct CrawlRecord {
+  std::string page_host;
+  std::string resource_host;
+};
+
+struct CrawlStats {
+  std::size_t pages_fetched = 0;
+  std::size_t resources_fetched = 0;
+  std::size_t http_errors = 0;           ///< non-200 responses
+  std::size_t cookies_stored = 0;
+  std::size_t cookies_rejected = 0;      ///< supercookie/foreign rejections
+  std::size_t cookies_attached = 0;      ///< cookies sent on requests
+};
+
+class Crawler {
+ public:
+  /// `web` is the universe to crawl; `list` is the crawler's embedded PSL
+  /// (possibly stale — that is the experiment). Both must outlive the
+  /// crawler.
+  Crawler(const VirtualWeb& web, const List& list);
+
+  /// Fetch every URL in `seeds` plus the sub-resources their HTML embeds.
+  /// Returns the request log in fetch order (one record per sub-resource,
+  /// plus one self-record per page — the document fetch).
+  std::vector<CrawlRecord> crawl(const std::vector<std::string>& seeds);
+
+  const CrawlStats& stats() const noexcept { return stats_; }
+  const web::CookieJar& cookies() const noexcept { return jar_; }
+
+ private:
+  Response fetch(const url::Url& target);
+
+  const VirtualWeb* web_;
+  const List* list_;
+  web::CookieJar jar_;
+  CrawlStats stats_;
+  std::int64_t clock_ = 0;
+};
+
+}  // namespace psl::http

@@ -1,0 +1,26 @@
+// Minimal HTML resource extraction: the crawler-side half of turning pages
+// into request logs. Finds src= / href= attribute values on the elements
+// that trigger fetches or navigation (script, img, link, iframe, a) and
+// resolves them against the page URL.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/url/url.hpp"
+
+namespace psl::http {
+
+struct ExtractedLink {
+  std::string tag;   ///< lower-case element name ("script", "img", "a", ...)
+  url::Url url;      ///< resolved against the page URL
+  bool is_resource;  ///< true for subresource fetches, false for navigation (a)
+};
+
+/// Extract fetchable URLs from an HTML document. Tolerant of real-world
+/// sloppiness: attribute order, single/double/no quotes, stray whitespace.
+/// Unresolvable or non-http(s) URLs are skipped.
+std::vector<ExtractedLink> extract_links(std::string_view html, const url::Url& page_url);
+
+}  // namespace psl::http

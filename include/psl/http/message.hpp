@@ -1,0 +1,62 @@
+// HTTP/1.1 messages (RFC 9112 subset): parse and serialise requests and
+// responses with case-insensitive header access. This is the transport the
+// crawl substrate speaks — the paper's corpus comes from a crawl (the HTTP
+// Archive), and our validation loop re-derives the corpus by actually
+// crawling a synthetic web over these messages.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "psl/util/result.hpp"
+
+namespace psl::http {
+
+/// Ordered header list with case-insensitive lookup (duplicates preserved —
+/// Set-Cookie legitimately repeats).
+class Headers {
+ public:
+  void add(std::string name, std::string value);
+  /// First value for `name`, if any.
+  std::optional<std::string_view> get(std::string_view name) const noexcept;
+  /// Every value for `name`, in order.
+  std::vector<std::string_view> get_all(std::string_view name) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<std::pair<std::string, std::string>>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";  ///< origin-form request target
+  Headers headers;
+  std::string body;
+
+  /// Serialise as an HTTP/1.1 request (adds Content-Length when a body is
+  /// present and none was set).
+  std::string serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  std::string serialize() const;
+};
+
+/// Parse a full request/response from a buffer. Requires the complete
+/// message (headers plus Content-Length bytes of body); errors carry
+/// "http.*" codes.
+util::Result<Request> parse_request(std::string_view wire);
+util::Result<Response> parse_response(std::string_view wire);
+
+}  // namespace psl::http

@@ -1,0 +1,53 @@
+// A virtual web: in-memory HTTP origins serving synthetic HTML, built from
+// the request corpus. Each corpus page view becomes a page whose HTML
+// embeds its sub-resource URLs; resource endpoints reply with Set-Cookie
+// headers like real trackers do. The crawler fetches these over real HTTP
+// messages — re-deriving the corpus's request log through the full
+// URL -> HTTP -> HTML pipeline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/http/message.hpp"
+#include "psl/psl/list.hpp"
+
+namespace psl::http {
+
+class VirtualWeb {
+ public:
+  /// Build from a corpus: page view N becomes https://<page-host>/page/N
+  /// with one <script src> / <img src> per sub-resource request. Resource
+  /// endpoints (/asset/...) set a tracking cookie scoped to their
+  /// registrable domain under `server_list` (servers are assumed fresh).
+  /// Only the first `max_pages` page views are materialised (0 = all).
+  VirtualWeb(const archive::Corpus& corpus, const List& server_list,
+             std::size_t max_pages = 0);
+
+  /// Serve a request addressed to `host`. Unknown host -> 502 (no such
+  /// origin); unknown path -> 404.
+  Response serve(const std::string& host, const Request& request) const;
+
+  /// Seed URLs: one per materialised page.
+  const std::vector<std::string>& page_urls() const noexcept { return page_urls_; }
+
+  std::size_t origin_count() const noexcept { return origins_.size(); }
+  std::size_t served() const noexcept { return served_; }
+
+ private:
+  struct Origin {
+    std::map<std::string, std::string> pages;  ///< path -> html
+    /// Set-Cookie headers attached to asset hits: the tracker's own
+    /// rd-scoped cookie, plus — for tenants of PRIVATE-section platforms —
+    /// the platform-wide supercookie attempt a correct client rejects.
+    std::vector<std::string> cookie_headers;
+  };
+
+  std::map<std::string, Origin> origins_;  // host -> origin
+  std::vector<std::string> page_urls_;
+  mutable std::size_t served_ = 0;
+};
+
+}  // namespace psl::http

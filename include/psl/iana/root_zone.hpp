@@ -1,0 +1,44 @@
+// IANA Root Zone Database categorisation.
+//
+// The paper labels top-level suffix entries using the IANA root zone as
+// generic, country-code, sponsored, or infrastructure TLDs. This module
+// embeds a static categorisation table (the root zone itself is a static
+// published database, so an embedded copy is the faithful substitute):
+// the full ISO-3166-derived ccTLD space is recognised structurally (any
+// two-letter ASCII TLD is country-code by IANA convention), the sponsored
+// and infrastructure sets are enumerated exactly, and everything else is
+// generic — which matches the real database, where generic is the default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace psl::iana {
+
+enum class TldCategory : std::uint8_t {
+  kGeneric,         ///< .com, .google, .app, ...
+  kCountryCode,     ///< .uk, .de, .jp, ...
+  kSponsored,       ///< .edu, .aero, .museum, ...
+  kInfrastructure,  ///< .arpa
+  kTest,            ///< reserved test TLDs (.test, .example, ...)
+};
+
+std::string_view to_string(TldCategory category) noexcept;
+
+class RootZone {
+ public:
+  /// The built-in categorisation table.
+  static const RootZone& builtin() noexcept;
+
+  /// Categorise a bare TLD ("uk", "com"; leading dot tolerated).
+  TldCategory categorize_tld(std::string_view tld) const noexcept;
+
+  /// Categorise a full suffix ("co.uk" -> category of "uk").
+  TldCategory categorize_suffix(std::string_view suffix) const noexcept;
+
+ private:
+  RootZone() = default;
+};
+
+}  // namespace psl::iana

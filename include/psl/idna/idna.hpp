@@ -1,0 +1,49 @@
+// IDNA-style host label conversion between U-labels (Unicode, UTF-8) and
+// A-labels ("xn--" punycode).
+//
+// This is a pragmatic subset of UTS #46 sufficient for PSL and hostname
+// handling: ASCII case folding, per-label punycode conversion, label syntax
+// checks (length, LDH for registrable names), and whole-host conversion.
+// Full Unicode normalisation/bidi checks are out of scope — PSL source
+// entries are already NFC, and the synthetic corpora only produce NFC input.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "psl/util/result.hpp"
+
+namespace psl::idna {
+
+inline constexpr std::string_view kAcePrefix = "xn--";
+
+/// Maximum length of a single DNS label in octets (RFC 1035).
+inline constexpr std::size_t kMaxLabelLength = 63;
+/// Maximum length of a full hostname in presentation form.
+inline constexpr std::size_t kMaxHostLength = 253;
+
+/// Convert one label to its ASCII (A-label) form:
+///  - pure-ASCII labels are lower-cased and returned as-is;
+///  - labels with non-ASCII code points are punycoded and prefixed "xn--".
+/// Errors on invalid UTF-8 or a resulting label longer than 63 octets.
+util::Result<std::string> label_to_ascii(std::string_view label);
+
+/// Convert one label to its Unicode (U-label) form: "xn--" labels are
+/// punycode-decoded; others are returned lower-cased. Errors on invalid
+/// punycode.
+util::Result<std::string> label_to_unicode(std::string_view label);
+
+/// Convert a whole dotted hostname to ASCII form, label by label.
+/// Empty labels (leading/trailing/double dots) are rejected, except that a
+/// single trailing dot (FQDN form) is stripped.
+util::Result<std::string> host_to_ascii(std::string_view host);
+
+/// Convert a whole dotted hostname to Unicode form, label by label.
+util::Result<std::string> host_to_unicode(std::string_view host);
+
+/// True if the label is valid LDH (letter/digit/hyphen, no leading or
+/// trailing hyphen, 1..63 chars). This is the syntax registrable hostname
+/// labels must satisfy.
+bool is_ldh_label(std::string_view label) noexcept;
+
+}  // namespace psl::idna

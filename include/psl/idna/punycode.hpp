@@ -1,0 +1,26 @@
+// Punycode (RFC 3492): the bootstring encoding that maps Unicode label
+// content into the ASCII letter-digit-hyphen repertoire used by the DNS.
+//
+// Internationalised PSL rules and hostnames are compared in their A-label
+// ("xn--...") form; these are the exact RFC 3492 encode/decode procedures
+// with the IDNA parameter set (base 36, tmin 1, tmax 26, skew 38, damp 700,
+// initial_bias 72, initial_n 128).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/idna/utf8.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::idna {
+
+/// Encode Unicode scalar values to a punycode string (without the "xn--"
+/// prefix). Errors if input contains non-scalar values or overflows.
+util::Result<std::string> punycode_encode(const std::vector<CodePoint>& input);
+
+/// Decode a punycode string (without the "xn--" prefix) to scalar values.
+util::Result<std::vector<CodePoint>> punycode_decode(std::string_view input);
+
+}  // namespace psl::idna

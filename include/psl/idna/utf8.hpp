@@ -1,0 +1,37 @@
+// Strict UTF-8 encoding/decoding of Unicode scalar values.
+//
+// The PSL contains internationalised suffixes both as U-labels (UTF-8, e.g.
+// "xn--"-free forms like 公司.cn's source entry) and A-labels. IDNA
+// conversion therefore needs a correct, strict UTF-8 codec: overlongs,
+// surrogates, and out-of-range sequences are rejected rather than passed
+// through, because a permissive decoder here would let two different byte
+// strings alias the same suffix and silently merge privacy boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/util/result.hpp"
+
+namespace psl::idna {
+
+using CodePoint = std::uint32_t;
+
+inline constexpr CodePoint kMaxCodePoint = 0x10FFFF;
+
+/// Decode a whole string to scalar values. Errors on any invalid sequence
+/// (truncated, overlong, surrogate, > U+10FFFF).
+util::Result<std::vector<CodePoint>> utf8_decode(std::string_view bytes);
+
+/// Encode scalar values to UTF-8. Errors on surrogates or > U+10FFFF.
+util::Result<std::string> utf8_encode(const std::vector<CodePoint>& code_points);
+
+/// True if the string is valid UTF-8 throughout.
+bool utf8_valid(std::string_view bytes) noexcept;
+
+/// True if every byte is ASCII (0x00-0x7F).
+bool is_ascii(std::string_view bytes) noexcept;
+
+}  // namespace psl::idna

@@ -1,0 +1,42 @@
+// Baseline suffix matcher: a hash set of rule strings probed per suffix
+// depth, as many ad-hoc PSL implementations do. Functionally equivalent to
+// List::match for well-formed input; exists so the ablation bench
+// (bench_micro_lookup) can compare it against the reversed-label trie.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "psl/psl/list.hpp"
+
+namespace psl {
+
+class FlatMatcher {
+ public:
+  explicit FlatMatcher(const List& list);
+
+  /// Same semantics as List::match (public-suffix algorithm with the
+  /// implicit "*" rule, wildcards, and exceptions).
+  Match match(std::string_view host) const;
+
+  std::string public_suffix(std::string_view host) const {
+    return match(host).public_suffix;
+  }
+
+ private:
+  struct Flags {
+    bool normal = false;
+    bool wildcard = false;
+    bool exception = false;
+    Section normal_section = Section::kIcann;
+    Section wildcard_section = Section::kIcann;
+    Section exception_section = Section::kIcann;
+  };
+
+  // Keyed by the rule's label string ("co.uk"); wildcard "*.ck" is stored
+  // under "ck" with the wildcard flag.
+  std::unordered_map<std::string, Flags> rules_;
+};
+
+}  // namespace psl

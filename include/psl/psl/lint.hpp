@@ -1,0 +1,42 @@
+// List linting: authoring-mistake detection for PSL files.
+//
+// The paper's repository survey found projects shipping hand-edited or
+// stale copies of the list; this linter catches the mistakes that make a
+// shipped copy subtly wrong rather than just old — shadowed rules,
+// exceptions with no wildcard to carve, wildcards whose parent is not
+// itself a suffix, and absurdly deep rules. psltool exposes it as
+// `psltool lint`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psl/psl/list.hpp"
+
+namespace psl {
+
+enum class LintSeverity : std::uint8_t { kWarning, kError };
+
+enum class LintCode : std::uint8_t {
+  kExceptionWithoutWildcard,  ///< "!foo.bar" but no "*.bar" rule
+  kRedundantRule,             ///< "a.b" plus "*.b": the wildcard covers it...
+  kWildcardParentMissing,     ///< "*.b" without a rule for "b" itself
+  kDuplicateRuleText,         ///< same text in both sections
+  kExcessiveDepth,            ///< more than 5 labels — almost surely a typo
+};
+
+std::string_view to_string(LintCode code) noexcept;
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  LintCode code = LintCode::kRedundantRule;
+  std::string rule_text;  ///< the offending rule
+  std::string detail;
+};
+
+/// Analyse a parsed list. The list itself is always usable — lint findings
+/// flag rules that probably do not mean what their author intended.
+std::vector<LintFinding> lint(const List& list);
+
+}  // namespace psl

@@ -1,0 +1,111 @@
+// The Public Suffix List engine: parsing the published file format and
+// answering suffix queries with the algorithm specified at
+// https://publicsuffix.org/list/ ("the prevailing rule is the matching rule
+// with the most labels; exception rules prevail over wildcards; if no rule
+// matches, the prevailing rule is '*'").
+//
+// Matching is O(#labels) per query via a reversed-label trie.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/psl/rule.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl {
+
+/// Outcome of matching a hostname against the list.
+struct Match {
+  std::string public_suffix;       ///< the eTLD, e.g. "co.uk"
+  std::string registrable_domain;  ///< eTLD+1, e.g. "example.co.uk"; empty if
+                                   ///< the host *is* a public suffix
+  bool matched_explicit_rule;      ///< false when only the implicit "*" applied
+  Section section;                 ///< section of the prevailing rule (kIcann
+                                   ///< for the implicit "*")
+  std::size_t rule_labels;         ///< labels matched by the prevailing rule
+  /// Canonical text of the prevailing explicit rule ("co.uk", "*.ck",
+  /// "!www.ck"); empty when only the implicit "*" applied. This is the key
+  /// the harm analysis uses to look up when the rule entered the list.
+  std::string prevailing_rule;
+};
+
+class List {
+ public:
+  List();
+
+  /// Parse the published file format: "//"-comments, blank lines, and the
+  /// "// ===BEGIN ICANN DOMAINS===" / "===BEGIN PRIVATE DOMAINS===" section
+  /// markers. Unparseable rule lines make the whole parse fail (the real
+  /// list is machine-generated; partial acceptance would hide corruption).
+  static util::Result<List> parse(std::string_view file_contents);
+
+  /// Build from pre-parsed rules.
+  static List from_rules(std::vector<Rule> rules);
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+  const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+  /// Full match for a normalised hostname (lower-case A-label form, as
+  /// produced by url::Host / idna::host_to_ascii). IP literals should not
+  /// be passed here — they have no suffix by definition.
+  Match match(std::string_view host) const;
+
+  /// The eTLD of `host` ("com" for "www.example.com"). Every host has one:
+  /// with no explicit rule the implicit "*" makes the last label the suffix.
+  std::string public_suffix(std::string_view host) const;
+
+  /// The eTLD+1 ("example.com"), or nullopt when the host is itself a
+  /// public suffix (e.g. "co.uk").
+  std::optional<std::string> registrable_domain(std::string_view host) const;
+
+  /// True if the host exactly equals a public suffix under this list.
+  bool is_public_suffix(std::string_view host) const;
+
+  /// True when the two hosts fall in the same site (equal registrable
+  /// domains). Hosts that *are* public suffixes are never same-site with
+  /// anything but themselves.
+  bool same_site(std::string_view a, std::string_view b) const;
+
+  /// Rules present in `newer` but not in this list, and vice versa.
+  /// The pair is (added, removed). Comparison includes the section.
+  std::pair<std::vector<Rule>, std::vector<Rule>> diff(const List& newer) const;
+
+  /// Incremental mutation, for replaying a version history without
+  /// rebuilding the trie. Preconditions: add_rule must not add a rule
+  /// already present; remove_rule's argument must be present. (Lists built
+  /// via parse/from_rules are duplicate-free.)
+  void add_rule(Rule rule);
+  bool remove_rule(const Rule& rule);
+
+  /// Rule-count breakdown by number of matched labels — Fig. 2's series.
+  std::map<std::size_t, std::size_t> component_histogram() const;
+
+  /// Serialise in the published file format (sorted, sectioned).
+  std::string to_file() const;
+
+ private:
+  struct TrieNode {
+    std::map<std::string, std::unique_ptr<TrieNode>, std::less<>> children;
+    // Rule terminating at this node, if any, by kind. A node can carry a
+    // normal rule and (via child '*') wildcards; exceptions are stored on
+    // the node of their full label sequence.
+    bool has_normal = false;
+    bool has_wildcard = false;   // set on the PARENT of the '*' label
+    bool has_exception = false;
+    Section normal_section = Section::kIcann;
+    Section wildcard_section = Section::kIcann;
+    Section exception_section = Section::kIcann;
+  };
+
+  void insert(const Rule& rule);
+
+  std::vector<Rule> rules_;
+  std::unique_ptr<TrieNode> root_;
+};
+
+}  // namespace psl

@@ -1,0 +1,69 @@
+// A single Public Suffix List rule.
+//
+// The list's format (publicsuffix.org/list) has three rule kinds:
+//   - normal rules:    "co.uk"         — the labels themselves are a suffix;
+//   - wildcard rules:  "*.ck"          — any single label under "ck" extends
+//                                        the suffix by one;
+//   - exception rules: "!www.ck"       — carves an eTLD+1 out of a wildcard.
+// Rules also belong to one of two sections: ICANN (delegated TLD space) or
+// PRIVATE (operator-submitted shared-hosting suffixes such as github.io).
+// The distinction matters to the paper: most privacy-harming late additions
+// (myshopify.com, digitaloceanspaces.com, ...) are PRIVATE-section rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/util/result.hpp"
+
+namespace psl {
+
+enum class RuleKind : std::uint8_t {
+  kNormal,
+  kWildcard,   ///< leading "*." label
+  kException,  ///< leading "!" marker
+};
+
+enum class Section : std::uint8_t {
+  kIcann,
+  kPrivate,
+};
+
+class Rule {
+ public:
+  /// Parse one rule line (already stripped of comments/whitespace).
+  /// Labels are IDNA-normalised to A-label form. Errors on empty rules,
+  /// empty labels, or misplaced '*'/'!' markers ('*' is only supported as a
+  /// full leading label, matching every rule in the published list).
+  static util::Result<Rule> parse(std::string_view text, Section section);
+
+  RuleKind kind() const noexcept { return kind_; }
+  Section section() const noexcept { return section_; }
+
+  /// Labels in presentation order, without the '!'/'*' markers:
+  /// "!www.ck" -> {"www", "ck"}; "*.ck" -> {"ck"} plus kind()==kWildcard.
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+  /// Number of labels the rule *matches* (wildcard counts its '*').
+  std::size_t match_label_count() const noexcept {
+    return labels_.size() + (kind_ == RuleKind::kWildcard ? 1 : 0);
+  }
+
+  /// Canonical text form ("!www.ck", "*.ck", "co.uk").
+  std::string to_string() const;
+
+  /// Ordering/equality on (kind, labels); section is identity-relevant too.
+  friend bool operator==(const Rule&, const Rule&) = default;
+
+ private:
+  Rule(RuleKind kind, Section section, std::vector<std::string> labels)
+      : kind_(kind), section_(section), labels_(std::move(labels)) {}
+
+  RuleKind kind_;
+  Section section_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace psl

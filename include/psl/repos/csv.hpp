@@ -1,0 +1,22 @@
+// Repository-corpus (de)serialisation — the equivalent of the paper's
+// released "full labelled dataset of repositories".
+//
+// Format: a header row, then one row per repository:
+//   name,usage,dependency_lib,stars,forks,list_date,library_list_date,
+//   last_commit,anchored
+// Dates are ISO "YYYY-MM-DD" or empty for nullopt.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "psl/repos/repo.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::repos {
+
+void write_csv(const std::vector<RepoRecord>& repos, std::ostream& out);
+
+util::Result<std::vector<RepoRecord>> read_csv(std::istream& in);
+
+}  // namespace psl::repos

@@ -1,0 +1,80 @@
+// The open-source-project corpus model.
+//
+// Section 4 of the paper classifies 273 GitHub repositories by how they
+// integrate the PSL. RepoRecord captures one repository's classification
+// plus the metadata the analyses use: star/fork counts (popularity), the
+// date of the embedded list copy (age), and last-commit date (activity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "psl/util/date.hpp"
+
+namespace psl::repos {
+
+/// Top-level integration strategy (Table 1).
+enum class Usage : std::uint8_t {
+  kFixedProduction,  ///< hard-coded list used in production code
+  kFixedTest,        ///< hard-coded list used only by the test suite
+  kFixedOther,       ///< hard-coded list present but unused
+  kUpdatedBuild,     ///< refreshed at build time, then frozen into the binary
+  kUpdatedUser,      ///< refreshed at startup of an often-restarted app
+  kUpdatedServer,    ///< refreshed at startup of a rarely-restarted daemon
+  kDependency,       ///< list comes via a third-party library
+};
+
+/// Which library a Dependency-usage project pulls the list through.
+enum class DependencyLib : std::uint8_t {
+  kNone,  ///< not a dependency-usage project
+  kJavaJre,
+  kShellDdnsScripts,
+  kPythonOneforall,
+  kPythonWhois,
+  kRubyDomainName,
+  kOther,
+};
+
+std::string_view to_string(Usage usage) noexcept;
+std::string_view to_string(DependencyLib lib) noexcept;
+
+/// True for the three Fixed sub-categories.
+bool is_fixed(Usage usage) noexcept;
+/// True for the three Updated sub-categories.
+bool is_updated(Usage usage) noexcept;
+
+struct RepoRecord {
+  std::string name;  ///< "owner/project"
+  Usage usage = Usage::kDependency;
+  DependencyLib dependency_lib = DependencyLib::kNone;
+  int stars = 0;
+  int forks = 0;
+  /// Date of the embedded list copy, when one could be identified.
+  /// (Dependency projects have none: which library version ships at build
+  /// time is ambiguous, so the paper does not assign them an age.)
+  std::optional<util::Date> list_date;
+  /// For Dependency projects: the date of the list copy bundled in the
+  /// library they pull the PSL through (the JRE's copy, etc.). Excluded
+  /// from the Fig. 3 age analysis — ambiguous at build time — but used for
+  /// Table 2's per-eTLD "projects missing the rule" counts.
+  std::optional<util::Date> library_list_date;
+  util::Date last_commit = util::Date(0);
+  bool anchored = false;  ///< a named project from the paper's Table 3
+
+  /// Age of the embedded list in days at measurement time t, as Fig. 3
+  /// defines it; nullopt when no list copy was identified.
+  std::optional<int> list_age(util::Date t = util::kMeasurementDate) const {
+    if (!list_date) return std::nullopt;
+    return t - *list_date;
+  }
+
+  /// The date whose list this project effectively applies: its own embedded
+  /// copy, or its dependency library's bundled copy.
+  std::optional<util::Date> effective_list_date() const {
+    return list_date ? list_date : library_list_date;
+  }
+};
+
+}  // namespace psl::repos

@@ -1,0 +1,81 @@
+// Filesystem scanner: the audit tool behind the paper's methodology.
+//
+// The paper located embedded PSL copies in repositories (files named
+// public_suffix_list.dat), determined how old each copy is, and classified
+// how the surrounding project uses it. Scanner does the same for a local
+// checkout: it walks a directory tree, parses every embedded list copy,
+// estimates the copy's vintage by matching its rules against a PSL History
+// (the newest rule present bounds the copy's date from below, the earliest
+// absent rule from above), and classifies the usage as fixed-production,
+// fixed-test, or updated-at-build from the surrounding files.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psl/history/history.hpp"
+#include "psl/repos/repo.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::repos {
+
+struct ScanFinding {
+  std::filesystem::path path;          ///< the embedded list copy
+  std::size_t rule_count = 0;
+  /// Estimated vintage: the add date of the newest rule in the copy that the
+  /// history knows (a copy cannot predate any rule it contains).
+  std::optional<util::Date> estimated_date;
+  std::optional<int> estimated_age_days;  ///< vs. the scan's measurement date
+  Usage classified_usage = Usage::kFixedProduction;
+  /// Rules in the history's latest list but absent from this copy — each one
+  /// a privacy boundary the embedding project will get wrong. Capped at
+  /// ScanOptions::max_missing_examples; `missing_rule_count` is the total.
+  std::vector<std::string> missing_rules;
+  std::size_t missing_rule_count = 0;
+};
+
+struct ScanOptions {
+  util::Date measurement = util::kMeasurementDate;
+  /// File names treated as embedded PSL copies. effective_tld_names.dat is
+  /// the list's pre-2016 name, still used by Java and others.
+  std::vector<std::string> list_filenames = {"public_suffix_list.dat",
+                                             "effective_tld_names.dat"};
+  std::size_t max_missing_examples = 10;
+  std::size_t max_depth = 32;
+};
+
+class Scanner {
+ public:
+  /// `history` supplies the dated rule schedule used for vintage estimation
+  /// and the latest list used for missing-rule reporting. Must outlive the
+  /// scanner.
+  Scanner(const history::History& history, ScanOptions options = {});
+
+  /// Walk `root` and analyze every embedded list copy found.
+  /// Errors only on filesystem failures (unreadable root); individual
+  /// unparseable files are reported as findings with rule_count 0.
+  util::Result<std::vector<ScanFinding>> scan(const std::filesystem::path& root) const;
+
+  /// Analyze one file as an embedded list copy.
+  ScanFinding analyze_file(const std::filesystem::path& file) const;
+
+  /// Usage classification from path context: test/fixture directories ->
+  /// fixed-test; an update script or fetch rule nearby -> updated-build;
+  /// otherwise fixed-production.
+  Usage classify_usage(const std::filesystem::path& file) const;
+
+ private:
+  const history::History& history_;
+  ScanOptions options_;
+};
+
+/// The maintainer advisory the paper sent for findings like this one
+/// ("we sought to notify the maintainers of those projects ... explaining
+/// the correct use of the public suffix list"): a ready-to-file issue body
+/// describing the stale copy, its concrete privacy impact, and the fix.
+std::string advisory_text(const ScanFinding& finding,
+                          util::Date measurement = util::kMeasurementDate);
+
+}  // namespace psl::repos

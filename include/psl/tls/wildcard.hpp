@@ -1,0 +1,62 @@
+// TLS certificate name matching and wildcard issuance checks.
+//
+// Section 4 of the paper lists "validation systems (such as SSL wildcard
+// issuance)" among the PSL's applications: the CA/Browser Forum Baseline
+// Requirements forbid issuing a wildcard certificate whose wildcard spans a
+// registry-controlled label — i.e. "*.<public suffix>" — because such a
+// certificate would cover every independent registrant under that suffix.
+// A CA running an out-of-date list will happily issue "*.myshopify.com",
+// a certificate valid for every store on the platform.
+//
+// This module implements RFC 6125 reference-identity matching (the
+// left-most-label wildcard rules browsers use) and the PSL-based issuance
+// check, so the harm can be demonstrated and measured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/psl/list.hpp"
+
+namespace psl::tls {
+
+/// RFC 6125 section 6.4.3 wildcard matching:
+///   * "*" is only recognised as the complete left-most label
+///     ("*.example.com" yes; "f*.example.com", "foo.*.com" no);
+///   * the wildcard matches exactly one label ("*.example.com" matches
+///     "a.example.com" but not "a.b.example.com" or "example.com");
+///   * comparison of the remaining labels is case-insensitive-equal
+///     (inputs here are assumed already lower-cased, as from url::Host).
+bool dns_name_matches(std::string_view pattern, std::string_view host) noexcept;
+
+enum class IssuanceVerdict : std::uint8_t {
+  kOk,
+  kRejectedSyntax,        ///< malformed pattern (embedded '*', empty label, ...)
+  kRejectedPublicSuffix,  ///< wildcard spans a public suffix ("*.co.uk")
+  kRejectedTld,           ///< wildcard directly under the root ("*")
+};
+
+std::string_view to_string(IssuanceVerdict verdict) noexcept;
+
+/// The CA-side check: may a certificate for `pattern` be issued under
+/// `list`? Non-wildcard patterns are only syntax-checked. Wildcards whose
+/// parent domain is a public suffix (or that cover everything) are
+/// rejected.
+IssuanceVerdict check_issuance(const List& list, std::string_view pattern);
+
+/// A minimal certificate: the DNS names from subjectAltName.
+struct Certificate {
+  std::vector<std::string> dns_names;
+
+  /// True if any SAN entry matches `host` under RFC 6125 rules.
+  bool matches(std::string_view host) const noexcept;
+};
+
+/// Hosts from `universe` that `pattern` would cover — used to quantify the
+/// blast radius of a wrongly-issued wildcard.
+std::vector<std::string> covered_hosts(std::string_view pattern,
+                                       const std::vector<std::string>& universe);
+
+}  // namespace psl::tls

@@ -1,0 +1,71 @@
+// Update-strategy simulation.
+//
+// Section 4 of the paper classifies how projects keep their embedded PSL
+// copy fresh: Fixed (never), Updated-at-build (fresh at each release, then
+// frozen), Updated-at-user-start (fresh at each app restart), and
+// Updated-at-server-start (fresh only at rare daemon restarts). Updates can
+// also FAIL, silently falling back to the embedded copy — the paper calls
+// the rarely-restarted server case "most at risk".
+//
+// UpdateSimulator turns those qualitative claims into numbers: given a
+// strategy, a release/restart cadence, and a fetch failure probability, it
+// simulates the effective list date a deployment carries on every day of a
+// window, across many trials, yielding the distribution of effective list
+// age at measurement time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psl/util/date.hpp"
+#include "psl/util/rng.hpp"
+
+namespace psl::updater {
+
+enum class Strategy : std::uint8_t {
+  kFixed,   ///< hard-coded copy, never refreshed
+  kBuild,   ///< refreshed when a new release is built
+  kUser,    ///< refreshed at every (frequent) application start
+  kServer,  ///< refreshed at every (rare) daemon restart
+};
+
+std::string_view to_string(Strategy strategy) noexcept;
+
+struct UpdatePolicy {
+  Strategy strategy = Strategy::kFixed;
+  /// Probability that one update attempt fails (network outage, moved URL,
+  /// TLS trust store too old, ...). On failure the deployment keeps
+  /// whatever list it already has.
+  double fetch_failure_rate = 0.0;
+  /// Days between releases (kBuild).
+  int build_interval_days = 90;
+  /// Days between restarts (kUser: ~1; kServer: large).
+  int restart_interval_days = 1;
+};
+
+struct SimulationSpec {
+  util::Date embed_date{0};  ///< date of the embedded fallback copy
+  util::Date start{0};       ///< deployment start
+  util::Date end{0};         ///< measurement date (age evaluated here)
+  std::size_t trials = 1000;
+  std::uint64_t seed = 4242;
+};
+
+struct SimulationResult {
+  /// Effective list age in days at `end`, one entry per trial.
+  std::vector<double> final_ages;
+  /// Mean effective age across the whole window and all trials.
+  double mean_age_over_window = 0.0;
+  double median_final_age = 0.0;
+  double p90_final_age = 0.0;
+  /// Fraction of trials still running the embedded copy at `end` (every
+  /// update attempt failed).
+  double stuck_on_fallback = 0.0;
+};
+
+/// Run the simulation. Deterministic in spec.seed.
+/// Preconditions: spec.end >= spec.start >= spec.embed_date; cadences > 0
+/// for the strategies that use them.
+SimulationResult simulate(const UpdatePolicy& policy, const SimulationSpec& spec);
+
+}  // namespace psl::updater

@@ -1,0 +1,69 @@
+// Hostname parsing, classification, and normalisation.
+//
+// Step (1) of the paper's pipeline is "strip each URL to the domain name
+// component". That requires distinguishing DNS names from IP literals
+// (IP hosts have no public suffix and form their own site), and normalising
+// names so that "WWW.Example.COM." and "www.example.com" compare equal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "psl/util/result.hpp"
+
+namespace psl::url {
+
+enum class HostKind : std::uint8_t {
+  kDnsName,  ///< a dotted DNS hostname ("www.example.com")
+  kIpv4,     ///< a dotted-quad IPv4 literal ("192.0.2.7")
+  kIpv6,     ///< an IPv6 literal (stored without brackets)
+};
+
+/// A parsed, normalised host. Invariants: for kDnsName, `name` is non-empty
+/// lower-case ASCII (A-label) form with no trailing dot; for IP literals,
+/// `name` is the canonical textual form.
+class Host {
+ public:
+  /// Parse and normalise. Accepts DNS names (including IDN U-labels, which
+  /// are converted to A-labels), IPv4 dotted-quads, and bracketed or bare
+  /// IPv6 literals.
+  static util::Result<Host> parse(std::string_view raw);
+
+  HostKind kind() const noexcept { return kind_; }
+  const std::string& name() const noexcept { return name_; }
+  bool is_ip() const noexcept { return kind_ != HostKind::kDnsName; }
+
+  friend bool operator==(const Host&, const Host&) = default;
+
+ private:
+  Host(HostKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  HostKind kind_;
+  std::string name_;
+};
+
+/// Strict dotted-quad IPv4 parse: exactly four decimal octets 0-255, no
+/// leading zeros (other than "0" itself). Returns the 4 octets.
+util::Result<std::array<std::uint8_t, 4>> parse_ipv4(std::string_view s);
+
+/// Parse an IPv6 literal (RFC 4291 text forms, including "::" compression
+/// and an embedded IPv4 tail). Returns the 8 groups.
+util::Result<std::array<std::uint16_t, 8>> parse_ipv6(std::string_view s);
+
+/// Canonical RFC 5952 text form of an IPv6 address (lower-case hex,
+/// longest zero run compressed, no leading zeros in groups).
+std::string format_ipv6(const std::array<std::uint16_t, 8>& groups);
+
+/// True if `s` could plausibly be an IPv4 literal (all labels numeric) —
+/// used to route parsing, per the URL spec's host parser.
+bool looks_like_ipv4(std::string_view s) noexcept;
+
+/// Cheap classification for corpus-scale loops: true if `host` looks like
+/// an IPv4/IPv6 literal rather than a DNS name (a colon anywhere, or an
+/// all-numeric final label — DNS TLDs are never numeric). IP literals have
+/// no public suffix and form their own site.
+bool looks_like_ip_literal(std::string_view host) noexcept;
+
+}  // namespace psl::url

@@ -1,0 +1,78 @@
+// A pragmatic URL parser covering the http(s)/ws(s)/ftp-style "special"
+// scheme grammar: scheme://[userinfo@]host[:port][/path][?query][#fragment].
+//
+// This is the front door of the measurement pipeline: HTTP-Archive-style
+// request URLs are reduced to their host component here before public-suffix
+// evaluation. Percent-decoding is deliberately not applied to the host —
+// hosts in our corpora are always literal — but the parser validates the
+// shape of every component so corrupt records are surfaced, not mis-binned.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "psl/url/host.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::url {
+
+class Url {
+ public:
+  /// Parse an absolute URL. Errors carry codes like "url.bad-scheme".
+  static util::Result<Url> parse(std::string_view raw);
+
+  const std::string& scheme() const noexcept { return scheme_; }
+  const Host& host() const noexcept { return host_; }
+  /// Port if explicitly present; otherwise nullopt (use effective_port()).
+  std::optional<std::uint16_t> port() const noexcept { return port_; }
+  /// Explicit port, or the scheme default (http 80, https 443, ws 80,
+  /// wss 443, ftp 21), or 0 for unknown schemes.
+  std::uint16_t effective_port() const noexcept;
+  const std::string& path() const noexcept { return path_; }        ///< includes leading '/'
+  const std::string& query() const noexcept { return query_; }      ///< without '?'
+  const std::string& fragment() const noexcept { return fragment_; }///< without '#'
+  const std::string& userinfo() const noexcept { return userinfo_; }
+
+  bool is_secure() const noexcept { return scheme_ == "https" || scheme_ == "wss"; }
+
+  /// Serialise back to string form (normalised scheme/host, default ports
+  /// omitted).
+  std::string to_string() const;
+
+  /// The paper's step (1): "strip each URL to the domain name component".
+  /// For DNS hosts this is the normalised hostname; IP literals return
+  /// their canonical text.
+  const std::string& domain_name() const noexcept { return host_.name(); }
+
+ private:
+  Url(std::string scheme, std::string userinfo, Host host, std::optional<std::uint16_t> port,
+      std::string path, std::string query, std::string fragment)
+      : scheme_(std::move(scheme)),
+        userinfo_(std::move(userinfo)),
+        host_(std::move(host)),
+        port_(port),
+        path_(std::move(path)),
+        query_(std::move(query)),
+        fragment_(std::move(fragment)) {}
+
+  std::string scheme_;
+  std::string userinfo_;
+  Host host_;
+  std::optional<std::uint16_t> port_;
+  std::string path_;
+  std::string query_;
+  std::string fragment_;
+};
+
+/// Default port for a scheme, or 0 if unknown.
+std::uint16_t default_port(std::string_view scheme) noexcept;
+
+/// Resolve a reference against a base URL (RFC 3986 section 5 subset):
+/// absolute references pass through; "//host/p" adopts the base scheme;
+/// "/p" replaces the path; "p", "./p" and "../p" merge with the base path
+/// (with dot-segment removal); "?q" and "#f" replace query/fragment.
+util::Result<Url> resolve(const Url& base, std::string_view reference);
+
+}  // namespace psl::url

@@ -1,0 +1,115 @@
+// Civil-calendar date arithmetic on a days-since-epoch representation.
+//
+// The paper's analyses are keyed on dates: PSL versions are dated commits,
+// list "age" is measured in days relative to a measurement date
+// (t = 2022-12-08 in the paper), and the harm curves are plotted against
+// version dates. Everything here is proleptic-Gregorian, using the
+// year/month/day <-> day-count algorithms from Howard Hinnant's
+// "chrono-Compatible Low-Level Date Algorithms".
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace psl::util {
+
+/// A calendar date, stored as days since 1970-01-01 (negative before).
+/// Regular value type: cheap to copy, totally ordered.
+class Date {
+ public:
+  /// Days since the Unix epoch (1970-01-01 == 0).
+  constexpr explicit Date(std::int32_t days_since_epoch = 0) noexcept
+      : days_(days_since_epoch) {}
+
+  /// Build from a civil year/month/day. Precondition: the triple is a real
+  /// calendar date (use is_valid_civil() to check first when unsure).
+  static constexpr Date from_civil(int year, unsigned month, unsigned day) noexcept {
+    return Date(days_from_civil(year, month, day));
+  }
+
+  /// Parse "YYYY-MM-DD". Returns nullopt on malformed input or an
+  /// impossible calendar date.
+  static std::optional<Date> parse(std::string_view iso);
+
+  /// True if (year, month, day) names a real proleptic-Gregorian date.
+  static constexpr bool is_valid_civil(int year, unsigned month, unsigned day) noexcept {
+    if (month < 1 || month > 12) return false;
+    return day >= 1 && day <= days_in_month(year, month);
+  }
+
+  constexpr std::int32_t days_since_epoch() const noexcept { return days_; }
+
+  /// Civil decomposition.
+  constexpr int year() const noexcept { return civil().y; }
+  constexpr unsigned month() const noexcept { return civil().m; }
+  constexpr unsigned day() const noexcept { return civil().d; }
+
+  /// 0 = Sunday ... 6 = Saturday.
+  constexpr unsigned weekday() const noexcept {
+    const std::int32_t z = days_;
+    return static_cast<unsigned>(z >= -4 ? (z + 4) % 7 : (z + 5) % 7 + 6);
+  }
+
+  /// "YYYY-MM-DD".
+  std::string to_string() const;
+
+  /// Fractional years since epoch; handy as a plot axis.
+  constexpr double fractional_year() const noexcept {
+    return 1970.0 + static_cast<double>(days_) / 365.2425;
+  }
+
+  constexpr Date operator+(std::int32_t days) const noexcept { return Date(days_ + days); }
+  constexpr Date operator-(std::int32_t days) const noexcept { return Date(days_ - days); }
+  /// Whole days between two dates (this - other).
+  constexpr std::int32_t operator-(Date other) const noexcept { return days_ - other.days_; }
+  constexpr Date& operator+=(std::int32_t days) noexcept { days_ += days; return *this; }
+  constexpr Date& operator-=(std::int32_t days) noexcept { days_ -= days; return *this; }
+
+  friend constexpr auto operator<=>(Date, Date) noexcept = default;
+
+ private:
+  struct Civil { int y; unsigned m; unsigned d; };
+
+  static constexpr bool is_leap(int y) noexcept {
+    return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+  }
+
+  static constexpr unsigned days_in_month(int y, unsigned m) noexcept {
+    constexpr unsigned char lengths[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+    return m == 2 && is_leap(y) ? 29 : lengths[m - 1];
+  }
+
+  // Hinnant's days_from_civil.
+  static constexpr std::int32_t days_from_civil(int y, unsigned m, unsigned d) noexcept {
+    y -= m <= 2;
+    const int era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+    const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+    return era * 146097 + static_cast<std::int32_t>(doe) - 719468;
+  }
+
+  // Hinnant's civil_from_days.
+  constexpr Civil civil() const noexcept {
+    std::int32_t z = days_ + 719468;
+    const std::int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(z - era * 146097);                 // [0, 146096]
+    const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+    const int y = static_cast<int>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);                 // [0, 365]
+    const unsigned mp = (5 * doy + 2) / 153;                                      // [0, 11]
+    const unsigned d = doy - (153 * mp + 2) / 5 + 1;                              // [1, 31]
+    const unsigned m = mp + (mp < 10 ? 3 : -9);                                   // [1, 12]
+    return Civil{y + (m <= 2), m, d};
+  }
+
+  std::int32_t days_;
+};
+
+/// The paper's measurement date: "t = 8 December 2022".
+inline constexpr Date kMeasurementDate = Date::from_civil(2022, 12, 8);
+
+}  // namespace psl::util

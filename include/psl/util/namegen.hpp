@@ -1,0 +1,40 @@
+// Deterministic generator of plausible, unique DNS labels.
+//
+// Synthetic suffix rules, registrable domains, and subdomain labels all need
+// pronounceable LDH strings that never collide (a collision would silently
+// merge two unrelated "organizations" and corrupt site counts). Labels are
+// built from consonant-vowel syllables with an optional numeric suffix when
+// the syllable space is exhausted.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "psl/util/rng.hpp"
+
+namespace psl::util {
+
+class NameGen {
+ public:
+  explicit NameGen(Rng rng) : rng_(rng) {}
+
+  /// A fresh label, 2-4 syllables, guaranteed distinct from every label this
+  /// instance has produced before.
+  std::string fresh();
+
+  /// A fresh label of roughly the requested syllable count.
+  std::string fresh(std::size_t syllables);
+
+  /// Reserve a label produced elsewhere so fresh() can never collide with it.
+  void reserve(const std::string& label) { used_.insert(label); }
+
+  std::size_t produced() const noexcept { return used_.size(); }
+
+ private:
+  std::string candidate(std::size_t syllables);
+
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace psl::util

@@ -1,0 +1,70 @@
+// A minimal expected<T, Error> used on every parse path (URLs, PSL files,
+// dates, cookie headers). We return Result rather than throwing because
+// malformed input is an ordinary outcome when scanning corpora — per the
+// Core Guidelines, exceptions are reserved for contract violations.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace psl::util {
+
+/// Error payload: a short machine-checkable code plus human context.
+struct Error {
+  std::string code;     ///< stable identifier, e.g. "url.bad-scheme"
+  std::string message;  ///< free-form detail for logs and test diagnostics
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}          // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok().
+  const T& value() const& noexcept {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & noexcept {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && noexcept {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& noexcept { return value(); }
+  T& operator*() & noexcept { return value(); }
+  T&& operator*() && noexcept { return std::move(*this).value(); }
+  const T* operator->() const noexcept { return &value(); }
+  T* operator->() noexcept { return &value(); }
+
+  /// Precondition: !ok().
+  const Error& error() const noexcept {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Convenience error factory.
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace psl::util

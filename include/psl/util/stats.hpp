@@ -1,0 +1,67 @@
+// Small statistics toolkit used by the measurement pipeline: medians and
+// percentiles (Fig. 3 list ages), Pearson correlation (stars vs. forks,
+// r = 0.96 in the paper), ECDFs (Fig. 3), and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace psl::util {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation. Returns 0 for fewer than two samples.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Median with linear interpolation between the two middle elements.
+/// Copies and sorts internally; returns 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// p-th percentile, p in [0, 100], linear interpolation between ranks.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson product-moment correlation coefficient. Returns 0 when either
+/// series is constant or the series are empty / of different lengths.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Empirical CDF: sorted (value, fraction <= value) steps.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> samples);
+
+  /// Fraction of samples <= x.
+  double at(double x) const noexcept;
+
+  std::size_t sample_count() const noexcept { return sorted_.size(); }
+
+  /// Evaluate at evenly spaced points across [min, max] — the series a
+  /// plotting script would consume.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+/// the end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  std::size_t total() const noexcept { return total_; }
+  double bin_low(std::size_t bin) const noexcept;
+  double bin_high(std::size_t bin) const noexcept;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace psl::util

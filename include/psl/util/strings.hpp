@@ -1,0 +1,41 @@
+// String helpers shared across the codebase. All functions are pure and
+// allocation is only performed where the signature returns std::string or a
+// vector; the _view variants never allocate.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psl::util {
+
+/// ASCII lower-casing (the PSL and DNS are ASCII-case-insensitive; non-ASCII
+/// bytes pass through untouched).
+std::string to_lower(std::string_view s);
+char to_lower(char c) noexcept;
+
+/// Split on a single character; empty fields are kept ("a..b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string_view>& parts, std::string_view sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// True if `host` equals `domain` or ends with "." + domain — the DNS
+/// "domain-match" used throughout site-membership logic.
+bool host_matches_domain(std::string_view host, std::string_view domain) noexcept;
+
+/// Number of '.'-separated labels ("a.b.c" -> 3, "" -> 0).
+std::size_t label_count(std::string_view host) noexcept;
+
+/// Format an integer with thousands separators ("50750" -> "50,750"),
+/// matching how the paper prints its headline counts.
+std::string with_commas(long long value);
+
+}  // namespace psl::util

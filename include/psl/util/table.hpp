@@ -1,0 +1,41 @@
+// Plain-text and CSV table rendering. The bench binaries print each of the
+// paper's tables/figures as an aligned text table (for eyeballing) and can
+// also emit CSV for downstream plotting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psl::util {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Render with single-space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (fields containing commas/quotes/newlines
+  /// are quoted, embedded quotes doubled).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience numeric formatting for table cells.
+std::string fmt_double(double v, int decimals);
+std::string fmt_percent(double fraction, int decimals);
+
+}  // namespace psl::util

@@ -1,0 +1,39 @@
+// Zipf-distributed sampling over ranks 1..n.
+//
+// Web hostname popularity is famously heavy-tailed; the HTTP-Archive-like
+// corpus draws page and resource hosts from Zipf distributions so that a
+// handful of hosts dominate request counts while a long tail of hosts appears
+// once or twice — the regime in which stale-PSL misclassification counts are
+// meaningful.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "psl/util/rng.hpp"
+
+namespace psl::util {
+
+/// Samples ranks in [0, n) with P(rank k) proportional to 1/(k+1)^s.
+/// Uses an exact inverse-CDF table (O(n) memory, O(log n) per sample),
+/// which is fine at corpus scale (n <= a few million).
+class ZipfSampler {
+ public:
+  /// Precondition: n >= 1, s > 0.
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return s_; }
+
+  /// Draw one rank in [0, size()).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Expected probability of a given rank; exposed for tests.
+  double probability(std::size_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1.0
+  double s_;
+};
+
+}  // namespace psl::util

@@ -1,0 +1,45 @@
+// Password-manager autofill matching — the paper's second motivating
+// application (Section 2). A password manager suggests stored credentials
+// on any domain in the same *site* as the domain they were saved on. With
+// an out-of-date list, good.example.co.uk's credentials get offered on
+// bad.example.co.uk, because the old list does not know example.co.uk is a
+// public suffix with independently-registered subdomains.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/psl/list.hpp"
+
+namespace psl::web {
+
+struct Credential {
+  std::string saved_host;  ///< host the credential was captured on
+  std::string username;
+  std::string password;
+};
+
+class AutofillMatcher {
+ public:
+  void store(std::string host, std::string username, std::string password);
+
+  std::size_t size() const noexcept { return credentials_.size(); }
+  const std::vector<Credential>& credentials() const noexcept { return credentials_; }
+
+  /// Credentials the manager would offer on `host` when it groups domains
+  /// into sites using `list`: every stored credential whose saved host is
+  /// same-site with `host`.
+  std::vector<const Credential*> suggestions(std::string_view host, const List& list) const;
+
+  /// Suggestions produced under `stale` but NOT under `current`: the
+  /// cross-organization leaks an out-of-date list causes. Each entry is a
+  /// credential that would wrongly be offered on `host`.
+  std::vector<const Credential*> leaked_suggestions(std::string_view host, const List& stale,
+                                                    const List& current) const;
+
+ private:
+  std::vector<Credential> credentials_;
+};
+
+}  // namespace psl::web

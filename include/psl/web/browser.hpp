@@ -1,0 +1,81 @@
+// A minimal browser model: one place where every PSL-gated mechanism this
+// library implements acts together. A Browser owns a cookie jar, a
+// site-partitioned storage area, and a referrer policy, all driven by ONE
+// Public Suffix List — so instantiating two Browsers over the same traffic,
+// one with a stale list and one with the current list, surfaces precisely
+// the behavioural differences the paper quantifies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psl/web/cookie_jar.hpp"
+#include "psl/web/navigation.hpp"
+
+namespace psl::web {
+
+/// One subresource fetch a page performs, with the Set-Cookie headers the
+/// server responds with (if any).
+struct ResourceFetch {
+  url::Url url;
+  std::vector<std::string> set_cookie_headers;
+};
+
+/// What the browser did for one fetch.
+struct FetchLog {
+  std::string resource_host;
+  bool cross_site = false;           ///< per this browser's list
+  std::string referrer_sent;         ///< Referer header value ("" = none)
+  std::size_t cookies_attached = 0;  ///< cookies sent on the request
+  std::size_t cookies_stored = 0;    ///< Set-Cookie headers accepted
+  std::size_t cookies_rejected = 0;  ///< rejected (supercookie/foreign/...)
+};
+
+struct PageVisit {
+  std::string page_host;
+  std::vector<FetchLog> fetches;
+
+  std::size_t total_cookies_attached_cross_site() const {
+    std::size_t n = 0;
+    for (const FetchLog& f : fetches) {
+      if (f.cross_site) n += f.cookies_attached;
+    }
+    return n;
+  }
+};
+
+class Browser {
+ public:
+  /// `list` governs every boundary decision; must outlive the browser.
+  explicit Browser(const List& list)
+      : list_(&list), cookies_(list), storage_(list) {}
+
+  /// Load `page` and fetch its subresources at time `now`: attach matching
+  /// cookies to each request, send a Referer per the same-site policy, and
+  /// process the servers' Set-Cookie responses.
+  PageVisit visit(const url::Url& page, const std::vector<ResourceFetch>& resources,
+                  std::int64_t now = 0);
+
+  CookieJar& cookies() noexcept { return cookies_; }
+  const CookieJar& cookies() const noexcept { return cookies_; }
+  StoragePartitioner& storage() noexcept { return storage_; }
+  const List& list() const noexcept { return *list_; }
+
+  /// Totals across every visit() so far. Comparing these counters between
+  /// a stale-list browser and a current-list browser over identical traffic
+  /// quantifies the stale list's leaks: it sends full-URL referrers on
+  /// fetches the current list knows are cross-organization, and it attaches
+  /// cookies where the current list would isolate.
+  std::size_t cross_site_cookie_sends() const noexcept { return cross_site_cookie_sends_; }
+  std::size_t full_url_referrers() const noexcept { return full_url_referrers_; }
+
+ private:
+  const List* list_;
+  CookieJar cookies_;
+  StoragePartitioner storage_;
+  std::size_t cross_site_cookie_sends_ = 0;
+  std::size_t full_url_referrers_ = 0;
+};
+
+}  // namespace psl::web

@@ -1,0 +1,58 @@
+// Cookie model and Set-Cookie header parsing (RFC 6265 subset).
+//
+// Cookies are the paper's canonical privacy mechanism: browsers consult the
+// PSL when a server sets a cookie with a Domain attribute, rejecting
+// "supercookies" whose domain is a public suffix (a cookie on .co.uk would
+// be readable by every UK company). An out-of-date list makes this check
+// pass for suffixes it should reject — the concrete harm the examples and
+// benches demonstrate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "psl/util/result.hpp"
+
+namespace psl::web {
+
+struct Cookie {
+  std::string name;
+  std::string value;
+  /// Domain the cookie is scoped to. host_only == true means it only
+  /// matches `domain` exactly; false (a Domain attribute was present) means
+  /// it domain-matches every subdomain of `domain` too.
+  std::string domain;
+  bool host_only = true;
+  std::string path = "/";
+  bool secure = false;
+  bool http_only = false;
+  /// Remaining lifetime in seconds from Max-Age; nullopt = session cookie.
+  std::optional<std::int64_t> max_age;
+  /// Absolute expiry instant, filled by the jar (set time + max_age);
+  /// nullopt = session cookie.
+  std::optional<std::int64_t> expires_at;
+
+  bool expired(std::int64_t now) const noexcept {
+    return expires_at.has_value() && *expires_at <= now;
+  }
+};
+
+/// Parse a Set-Cookie header value ("id=7; Domain=example.com; Path=/a;
+/// Secure; HttpOnly; Max-Age=3600"). Unknown attributes are ignored, per
+/// RFC 6265. The Domain attribute is normalised to lower case and a leading
+/// dot is stripped. Errors on an empty/invalid name-value pair.
+util::Result<Cookie> parse_set_cookie(std::string_view header);
+
+/// RFC 6265 section 5.1.3 domain-match: true if `host` is `domain` or a
+/// dot-separated subdomain of it.
+bool domain_match(std::string_view host, std::string_view domain) noexcept;
+
+/// RFC 6265 section 5.1.4 path-match.
+bool path_match(std::string_view request_path, std::string_view cookie_path) noexcept;
+
+/// The default cookie path for a request path ("/a/b/c.html" -> "/a/b").
+std::string default_path(std::string_view request_path);
+
+}  // namespace psl::web

@@ -1,0 +1,63 @@
+// A browser-like cookie store whose Domain-attribute acceptance is governed
+// by a Public Suffix List — the exact mechanism whose failure mode the paper
+// studies. Two jars over the same traffic, one with an old list and one with
+// the newest, diverge precisely on the suffixes the old list is missing:
+// the old jar accepts Domain=<missing suffix> cookies that leak across every
+// organization under that suffix.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "psl/psl/list.hpp"
+#include "psl/url/url.hpp"
+#include "psl/web/cookie.hpp"
+
+namespace psl::web {
+
+enum class SetCookieOutcome : std::uint8_t {
+  kStored,             ///< accepted and stored (or replaced an older cookie)
+  kRejectedSupercookie,///< Domain attribute is a public suffix for another host
+  kRejectedForeign,    ///< Domain attribute does not cover the setting host
+  kRejectedSecure,     ///< Secure cookie set from an insecure origin
+  kRejectedParse,      ///< header failed to parse
+};
+
+std::string_view to_string(SetCookieOutcome outcome) noexcept;
+
+class CookieJar {
+ public:
+  /// `list` governs the supercookie check; must outlive the jar.
+  explicit CookieJar(const List& list) : list_(&list) {}
+
+  /// Process a Set-Cookie header received from `origin` at time `now`
+  /// (seconds; any monotonic epoch works as long as callers are
+  /// consistent).
+  ///
+  /// RFC 6265 section 5.3 steps relevant to the PSL: if the Domain
+  /// attribute names a public suffix, the cookie is rejected unless the
+  /// attribute equals the request host exactly (in which case it degrades
+  /// to host-only). A Max-Age <= 0 deletes the matching cookie.
+  SetCookieOutcome set_from_header(const url::Url& origin, std::string_view set_cookie,
+                                   std::int64_t now = 0);
+
+  /// Cookies that would be sent on a request to `target` at time `now`,
+  /// per the domain/path/secure/expiry matching rules. `http_api` false
+  /// simulates document.cookie access, which skips HttpOnly cookies.
+  std::vector<const Cookie*> cookies_for(const url::Url& target, bool http_api = true,
+                                         std::int64_t now = 0) const;
+
+  /// Drop every cookie that has expired by `now`. Returns how many.
+  std::size_t purge_expired(std::int64_t now);
+
+  std::size_t size() const noexcept { return cookies_.size(); }
+  const std::vector<Cookie>& cookies() const noexcept { return cookies_; }
+  void clear() noexcept { cookies_.clear(); }
+
+ private:
+  const List* list_;
+  std::vector<Cookie> cookies_;
+};
+
+}  // namespace psl::web

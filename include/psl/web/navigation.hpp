@@ -1,0 +1,89 @@
+// Site-keyed browser state and navigation policies.
+//
+// Beyond cookies, modern browsers key several mechanisms on the *site*
+// (eTLD+1) — all of which inherit the PSL's staleness:
+//
+//   * storage partitioning: localStorage/indexedDB (and, under "state
+//     partitioning", even third-party cookies and caches) are keyed by the
+//     top-level site. A stale list merges partitions across unrelated
+//     tenants, letting one tenant read state another wrote;
+//   * referrer policy: strict-origin-when-cross-origin sends the full URL
+//     on same-site navigations but only the origin cross-site. A stale
+//     list leaks full URLs (paths, query strings) to "same-site" domains
+//     that are actually foreign organizations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "psl/psl/list.hpp"
+#include "psl/url/url.hpp"
+
+namespace psl::web {
+
+/// Site-keyed key/value storage (a localStorage stand-in). The partition
+/// key is the registrable domain of the top-level host (or the host itself
+/// when it is a public suffix / IP literal) under the jar's list.
+class StoragePartitioner {
+ public:
+  /// `list` must outlive the partitioner.
+  explicit StoragePartitioner(const List& list) : list_(&list) {}
+
+  /// The partition key for a top-level host.
+  std::string partition_key(std::string_view top_level_host) const;
+
+  void set_item(std::string_view top_level_host, std::string key, std::string value);
+  std::optional<std::string> get_item(std::string_view top_level_host,
+                                      std::string_view key) const;
+  std::size_t partition_count() const noexcept { return partitions_.size(); }
+
+  /// True if the two hosts read/write the same partition — the privacy
+  /// question. Under a correct list, tenants of a shared platform never
+  /// share a partition.
+  bool shares_partition(std::string_view host_a, std::string_view host_b) const {
+    return partition_key(host_a) == partition_key(host_b);
+  }
+
+ private:
+  const List* list_;
+  std::map<std::string, std::map<std::string, std::string, std::less<>>, std::less<>>
+      partitions_;
+};
+
+enum class ReferrerPolicy : std::uint8_t {
+  kNoReferrer,
+  kSameOriginOnly,                ///< full URL same-origin, nothing otherwise
+  kStrictOriginWhenCrossOrigin,   ///< the web default
+  kSameSiteFullUrl,               ///< full URL same-SITE, origin cross-site —
+                                  ///< the PSL-dependent variant browsers use
+                                  ///< for several features
+};
+
+/// The Referer header value sent when navigating from `from` to `to` under
+/// `policy`, using `list` for site boundaries. Empty string = no header.
+/// Downgrades (https -> http) never send more than the origin and
+/// kNoReferrer/kSameOriginOnly behave per their names.
+std::string referrer_for(const List& list, const url::Url& from, const url::Url& to,
+                         ReferrerPolicy policy);
+
+enum class DocumentDomainOutcome : std::uint8_t {
+  kAllowed,
+  kRejectedNotSuffix,     ///< requested value is not a parent of the host
+  kRejectedPublicSuffix,  ///< requested value is a public suffix (or above)
+  kRejectedIp,            ///< IP-literal documents cannot relax
+};
+
+std::string_view to_string(DocumentDomainOutcome outcome) noexcept;
+
+/// The legacy document.domain relaxation: a page at `host` may set
+/// document.domain to a value that (a) is `host` itself or a parent of it,
+/// and (b) has a registrable domain under `list` — i.e. is NOT a public
+/// suffix. This check is the HTML spec's PSL dependency: with a stale list,
+/// a page on tenant1.myshopify.com may set document.domain="myshopify.com"
+/// and become same-origin-domain with every other store that does the same.
+DocumentDomainOutcome check_document_domain(const List& list, std::string_view host,
+                                            std::string_view requested);
+
+}  // namespace psl::web

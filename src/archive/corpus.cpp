@@ -1,0 +1,338 @@
+#include "psl/archive/corpus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <cmath>
+#include <set>
+#include <cstdio>
+
+#include "psl/history/timeline.hpp"
+#include "psl/util/namegen.hpp"
+#include "psl/util/rng.hpp"
+#include "psl/util/strings.hpp"
+#include "psl/util/zipf.hpp"
+
+namespace psl::archive {
+
+namespace {
+
+using util::Rng;
+
+constexpr std::string_view kOrgSubdomains[] = {
+    "cdn", "static", "api", "shop", "blog", "mail", "img", "app",
+    "m",   "assets", "media", "news", "store", "dev", "docs", "login",
+};
+
+constexpr std::string_view kTrackerSubdomains[] = {
+    "cdn", "pixel", "tag", "ads", "js", "sync", "beacon", "metrics",
+};
+
+// Labels for organizations registered directly under once-wildcarded ccTLDs
+// (parliament.uk-style): institutional second-level names with several
+// subdomains each, which the early broad wildcards over-split.
+constexpr std::string_view kInstitutionSubdomains[] = {"www", "assets", "mail", "search"};
+
+/// Everything the request generator needs to know about one "organization"
+/// (a classic registrant, a platform tenant, or a tracker).
+struct Org {
+  std::vector<HostId> hosts;
+  /// For platform tenants: the org holding the platform's shared asset
+  /// hosts (cdn.myshopify.com, ...), which tenant pages fetch from heavily.
+  /// Under a list missing the platform rule those fetches look first-party;
+  /// with the rule they are third-party — the source of Fig. 6's rise.
+  std::size_t shared_platform_org = kNoOrg;
+  /// Fraction of first-party resource picks redirected to the shared org.
+  double shared_fetch_rate = 0.0;
+
+  static constexpr std::size_t kNoOrg = static_cast<std::size_t>(-1);
+};
+
+class Builder {
+ public:
+  Builder(const CorpusSpec& spec, const history::History& history)
+      : spec_(spec),
+        history_(history),
+        latest_(history.latest()),
+        rng_(spec.seed),
+        names_(rng_.fork(11)) {}
+
+  Corpus build() {
+    build_suffix_pool();
+    build_organizations();
+    build_platform_tenants();
+    build_generic_platform_tenants();
+    build_trackers();
+    build_ip_hosts();
+    generate_requests();
+    return Corpus(std::move(hostnames_), std::move(requests_));
+  }
+
+ private:
+  HostId intern(std::string host) {
+    hostnames_.push_back(std::move(host));
+    return static_cast<HostId>(hostnames_.size() - 1);
+  }
+
+  // --- universe --------------------------------------------------------------
+
+  void build_suffix_pool() {
+    // Weighted pool of ICANN normal suffixes for organization placement.
+    // "com" dominates real registrations; ccTLD second-level zones follow.
+    double total = 0.0;
+    for (const Rule& rule : latest_.rules()) {
+      if (rule.kind() != RuleKind::kNormal || rule.section() == Section::kPrivate) continue;
+      const std::string text = rule.to_string();
+      double weight;
+      if (text == "com") weight = 2500;
+      else if (text == "net" || text == "org") weight = 320;
+      else if (rule.labels().size() == 1) weight = text.size() == 2 ? 8 : 1.5;
+      else if (rule.labels().size() == 2) weight = 2.5;
+      else weight = 0.3;
+      suffix_pool_.push_back(text);
+      suffix_weights_.push_back(weight);
+      total += weight;
+    }
+    suffix_cdf_.reserve(suffix_weights_.size());
+    double acc = 0.0;
+    for (double w : suffix_weights_) {
+      acc += w / total;
+      suffix_cdf_.push_back(acc);
+    }
+    if (!suffix_cdf_.empty()) suffix_cdf_.back() = 1.0;
+  }
+
+  const std::string& sample_suffix() {
+    const double u = rng_.uniform01();
+    const auto it = std::lower_bound(suffix_cdf_.begin(), suffix_cdf_.end(), u);
+    return suffix_pool_[static_cast<std::size_t>(it - suffix_cdf_.begin())];
+  }
+
+  void build_organizations() {
+    static constexpr std::string_view kRetiredWildcardCcs[] = {"uk", "jp", "nz", "za"};
+    const auto direct_count =
+        static_cast<std::size_t>(spec_.cc_direct_fraction *
+                                 static_cast<double>(spec_.organizations));
+
+    for (std::size_t i = 0; i < spec_.organizations; ++i) {
+      Org org;
+      std::string registrable;
+      if (i < direct_count) {
+        // Institutional name directly under a once-wildcarded ccTLD.
+        // These are government/university-style sites with above-average
+        // traffic; entering the page pool several times weights their page
+        // views up, which is what surfaces the wildcard-era over-splitting
+        // (Fig. 6's early drop in third-party classifications).
+        registrable = names_.fresh(2 + rng_.below(2)) + "." +
+                      std::string(kRetiredWildcardCcs[rng_.below(std::size(kRetiredWildcardCcs))]);
+        org.hosts.push_back(intern(registrable));
+        for (std::string_view sub : kInstitutionSubdomains) {
+          org.hosts.push_back(intern(std::string(sub) + "." + registrable));
+        }
+        for (std::size_t w = 0; w < spec_.institution_page_weight; ++w) {
+          page_pool_.push_back(orgs_.size());
+        }
+      } else {
+        registrable = names_.fresh() + "." + sample_suffix();
+        if (rng_.chance(0.7)) org.hosts.push_back(intern(registrable));
+        org.hosts.push_back(intern("www." + registrable));
+        const std::size_t extra = rng_.below(6);
+        std::vector<std::string_view> pool(std::begin(kOrgSubdomains), std::end(kOrgSubdomains));
+        rng_.shuffle(pool);
+        for (std::size_t k = 0; k < extra; ++k) {
+          org.hosts.push_back(intern(std::string(pool[k]) + "." + registrable));
+        }
+        for (std::size_t w = 0; w < spec_.org_page_weight; ++w) {
+          page_pool_.push_back(orgs_.size());
+        }
+      }
+      orgs_.push_back(std::move(org));
+    }
+  }
+
+  /// One tenant block under `suffix`: a shared-asset org plus `tenants`
+  /// single-host tenant orgs feeding the page pool (or the CDN pool).
+  void emit_platform(const std::string& suffix, std::size_t tenants, bool cdn_like,
+                     double shared_fetch_rate) {
+    if (tenants == 0) return;
+
+    std::size_t shared_org_index = Org::kNoOrg;
+    if (shared_fetch_rate > 0.0) {
+      shared_org_index = orgs_.size();
+      Org shared;
+      shared.hosts.push_back(intern("cdn." + suffix));
+      if (tenants >= 16) shared.hosts.push_back(intern("assets." + suffix));
+      orgs_.push_back(std::move(shared));
+    }
+
+    for (std::size_t i = 0; i < tenants; ++i) {
+      Org org;
+      org.hosts.push_back(intern(names_.fresh() + "." + suffix));
+      org.shared_platform_org = shared_org_index;
+      org.shared_fetch_rate = shared_fetch_rate;
+      if (cdn_like) {
+        cdn_pool_.push_back(orgs_.size());
+      } else {
+        page_pool_.push_back(orgs_.size());
+      }
+      orgs_.push_back(std::move(org));
+    }
+  }
+
+  void build_platform_tenants() {
+    for (const history::PlatformAnchor& anchor : history::platform_anchors()) {
+      const auto tenants = static_cast<std::size_t>(
+          anchor.tenant_weight * spec_.platform_tenant_scale + 0.5);
+      emit_platform(std::string(anchor.rule_text), tenants, anchor.cdn_like,
+                    anchor.shared_fetch_rate);
+    }
+  }
+
+  /// The long tail of unnamed PRIVATE rules in the history also hosts
+  /// content. Tenant volume scales with the rule's age — older suffixes
+  /// accumulated more registrations and traffic (the effect behind Fig. 7's
+  /// "older rules shift more hostnames").
+  void build_generic_platform_tenants() {
+    if (spec_.generic_platform_tenant_mean <= 0.0) return;
+
+    std::set<std::string_view> anchored;
+    for (const history::PlatformAnchor& anchor : history::platform_anchors()) {
+      anchored.insert(anchor.rule_text);
+    }
+
+    const util::Date first = history_.version_date(0);
+    const util::Date last = history_.version_date(history_.version_count() - 1);
+    const double range_days = std::max(1, last - first);
+
+    for (const history::ScheduledRule& sr : history_.schedule()) {
+      if (sr.rule.section() != Section::kPrivate) continue;
+      if (sr.rule.kind() != RuleKind::kNormal) continue;
+      if (sr.removed) continue;
+      const std::string text = sr.rule.to_string();
+      if (anchored.contains(text)) continue;
+
+      const double age_frac = static_cast<double>(last - sr.added) / range_days;
+      const double mean =
+          spec_.generic_platform_tenant_mean * std::pow(std::max(age_frac, 0.0), 1.2);
+      const auto tenants = static_cast<std::size_t>(mean * rng_.lognormal(0.0, 0.6) + 0.5);
+      emit_platform(text, std::min<std::size_t>(tenants, 400), /*cdn_like=*/false,
+                    /*shared_fetch_rate=*/0.25);
+    }
+  }
+
+  void build_trackers() {
+    for (std::size_t i = 0; i < spec_.trackers; ++i) {
+      Org org;
+      const std::string registrable = names_.fresh() + (rng_.chance(0.8) ? ".com" : ".net");
+      const std::size_t host_count = 1 + rng_.below(4);
+      std::vector<std::string_view> pool(std::begin(kTrackerSubdomains),
+                                         std::end(kTrackerSubdomains));
+      rng_.shuffle(pool);
+      for (std::size_t k = 0; k < host_count; ++k) {
+        org.hosts.push_back(intern(std::string(pool[k]) + "." + registrable));
+      }
+      tracker_pool_.push_back(orgs_.size());
+      orgs_.push_back(std::move(org));
+    }
+  }
+
+  void build_ip_hosts() {
+    const std::size_t count = spec_.ip_literal_fraction > 0.0 ? 32 : 0;
+    char buf[20];
+    for (std::size_t i = 0; i < count; ++i) {
+      std::snprintf(buf, sizeof buf, "%u.%u.%u.%u",
+                    static_cast<unsigned>(10 + rng_.below(200)),
+                    static_cast<unsigned>(rng_.below(256)),
+                    static_cast<unsigned>(rng_.below(256)),
+                    static_cast<unsigned>(1 + rng_.below(254)));
+      ip_hosts_.push_back(intern(buf));
+    }
+  }
+
+  // --- requests ---------------------------------------------------------------
+
+  HostId random_host_of(const Org& org) {
+    return org.hosts[rng_.below(org.hosts.size())];
+  }
+
+  void generate_requests() {
+    // Zipf rank -> page-pool entry; the pool is shuffled first so popularity
+    // is independent of creation order.
+    rng_.shuffle(page_pool_);
+    rng_.shuffle(tracker_pool_);
+    util::ZipfSampler page_zipf(page_pool_.size(), spec_.page_zipf_exponent);
+    if (!tracker_pool_.empty()) {
+      tracker_zipf_.emplace(tracker_pool_.size(), spec_.tracker_zipf_exponent);
+    }
+
+    requests_.reserve(spec_.page_views * (spec_.resources_per_page_mean + 1));
+    for (std::size_t pv = 0; pv < spec_.page_views; ++pv) {
+      const Org& page_org = orgs_[page_pool_[page_zipf.sample(rng_)]];
+      const HostId page = random_host_of(page_org);
+      requests_.push_back(Request{page, page});  // the document fetch
+
+      const std::size_t resources =
+          spec_.resources_per_page_mean / 2 + rng_.below(spec_.resources_per_page_mean + 1);
+      for (std::size_t r = 0; r < resources; ++r) {
+        requests_.push_back(Request{page, pick_resource_host(page_org)});
+      }
+    }
+  }
+
+  HostId pick_resource_host(const Org& page_org) {
+    if (!ip_hosts_.empty() && rng_.chance(spec_.ip_literal_fraction)) {
+      return ip_hosts_[rng_.below(ip_hosts_.size())];
+    }
+    const double roll = rng_.uniform01();
+    if (roll < spec_.first_party_fraction) {
+      // Platform tenants load much of their "own" page weight from the
+      // platform's shared asset hosts.
+      if (page_org.shared_platform_org != Org::kNoOrg &&
+          rng_.chance(page_org.shared_fetch_rate)) {
+        return random_host_of(orgs_[page_org.shared_platform_org]);
+      }
+      return random_host_of(page_org);
+    }
+    if (roll < spec_.first_party_fraction + spec_.tracker_fraction) {
+      // Tracker/CDN resource: mostly classic trackers, partly CDN-platform
+      // tenant buckets (the digitaloceanspaces.com-style hosts).
+      if (!cdn_pool_.empty() && rng_.chance(0.25)) {
+        return random_host_of(orgs_[cdn_pool_[rng_.below(cdn_pool_.size())]]);
+      }
+      if (tracker_zipf_) {
+        return random_host_of(orgs_[tracker_pool_[tracker_zipf_->sample(rng_)]]);
+      }
+    }
+    // Cross-reference to a random other organization (links, embeds, fonts).
+    const Org& other = orgs_[page_pool_[rng_.below(page_pool_.size())]];
+    return random_host_of(other);
+  }
+
+  CorpusSpec spec_;
+  const history::History& history_;
+  const List& latest_;
+  Rng rng_;
+  util::NameGen names_;
+
+  std::vector<std::string> suffix_pool_;
+  std::vector<double> suffix_weights_;
+  std::vector<double> suffix_cdf_;
+
+  std::vector<Org> orgs_;
+  std::vector<std::size_t> page_pool_;     // org indices visitable as pages
+  std::vector<std::size_t> tracker_pool_;  // org indices acting as trackers
+  std::optional<util::ZipfSampler> tracker_zipf_;
+  std::vector<std::size_t> cdn_pool_;      // org indices acting as CDN buckets
+  std::vector<HostId> ip_hosts_;
+
+  std::vector<std::string> hostnames_;
+  std::vector<Request> requests_;
+};
+
+}  // namespace
+
+Corpus generate_corpus(const CorpusSpec& spec, const history::History& history) {
+  return Builder(spec, history).build();
+}
+
+}  // namespace psl::archive

@@ -1,0 +1,100 @@
+#include "psl/archive/csv.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::archive {
+
+void write_csv(const Corpus& corpus, std::ostream& out) {
+  out << "#hosts\n";
+  const auto& hosts = corpus.hostnames();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    out << i << ',' << hosts[i] << '\n';
+  }
+  out << "#requests\n";
+  for (const Request& r : corpus.requests()) {
+    out << r.page_host << ',' << r.resource_host << '\n';
+  }
+}
+
+namespace {
+
+util::Result<std::uint64_t> parse_u64(std::string_view field) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    return util::make_error("csv.bad-number", "not an unsigned integer: " + std::string(field));
+  }
+  return value;
+}
+
+}  // namespace
+
+util::Result<Corpus> read_csv(std::istream& in) {
+  std::vector<std::string> hosts;
+  std::vector<Request> requests;
+
+  enum class Section { kNone, kHosts, kRequests } section = Section::kNone;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view s = util::trim(line);
+    if (s.empty()) continue;
+    if (s == "#hosts") {
+      section = Section::kHosts;
+      continue;
+    }
+    if (s == "#requests") {
+      section = Section::kRequests;
+      continue;
+    }
+    if (section == Section::kNone) {
+      return util::make_error("csv.no-section",
+                              "line " + std::to_string(line_no) + ": data before a section");
+    }
+
+    const std::size_t comma = s.find(',');
+    if (comma == std::string_view::npos) {
+      return util::make_error("csv.bad-row",
+                              "line " + std::to_string(line_no) + ": missing comma");
+    }
+    const std::string_view first = s.substr(0, comma);
+    const std::string_view second = s.substr(comma + 1);
+
+    if (section == Section::kHosts) {
+      auto id = parse_u64(first);
+      if (!id) return id.error();
+      if (*id != hosts.size()) {
+        return util::make_error("csv.bad-host-id",
+                                "line " + std::to_string(line_no) + ": ids must be dense");
+      }
+      if (second.empty()) {
+        return util::make_error("csv.empty-host",
+                                "line " + std::to_string(line_no) + ": empty hostname");
+      }
+      hosts.emplace_back(second);
+    } else {
+      auto page = parse_u64(first);
+      if (!page) return page.error();
+      auto resource = parse_u64(second);
+      if (!resource) return resource.error();
+      if (*page >= hosts.size() || *resource >= hosts.size()) {
+        return util::make_error("csv.bad-request-id",
+                                "line " + std::to_string(line_no) + ": id out of range");
+      }
+      requests.push_back(
+          Request{static_cast<HostId>(*page), static_cast<HostId>(*resource)});
+    }
+  }
+  if (section == Section::kNone) {
+    return util::make_error("csv.empty", "no sections found");
+  }
+  return Corpus(std::move(hosts), std::move(requests));
+}
+
+}  // namespace psl::archive

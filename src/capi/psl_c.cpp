@@ -1,0 +1,72 @@
+#include "psl/capi/psl_c.h"
+
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "psl/history/timeline.hpp"
+#include "psl/psl/list.hpp"
+
+struct pslh_ctx {
+  psl::List list;
+};
+
+namespace {
+
+const char* dup_string(const std::string& s) {
+  char* out = new (std::nothrow) char[s.size() + 1];
+  if (out == nullptr) return nullptr;
+  std::memcpy(out, s.c_str(), s.size() + 1);
+  return out;
+}
+
+}  // namespace
+
+extern "C" {
+
+const pslh_ctx_t* pslh_builtin(void) {
+  static const pslh_ctx ctx = [] {
+    const auto history = psl::history::generate_history(psl::history::TimelineSpec{});
+    return pslh_ctx{history.snapshot(history.version_count() - 1)};
+  }();
+  return &ctx;
+}
+
+pslh_ctx_t* pslh_load_from_data(const char* data, size_t length) {
+  if (data == nullptr) return nullptr;
+  auto parsed = psl::List::parse(std::string_view(data, length));
+  if (!parsed) return nullptr;
+  return new (std::nothrow) pslh_ctx{*std::move(parsed)};
+}
+
+void pslh_free(pslh_ctx_t* ctx) { delete ctx; }
+
+int pslh_is_public_suffix(const pslh_ctx_t* ctx, const char* domain) {
+  if (ctx == nullptr || domain == nullptr) return 0;
+  return ctx->list.is_public_suffix(domain) ? 1 : 0;
+}
+
+const char* pslh_unregistrable_domain(const pslh_ctx_t* ctx, const char* domain) {
+  if (ctx == nullptr || domain == nullptr || domain[0] == '\0') return nullptr;
+  return dup_string(ctx->list.public_suffix(domain));
+}
+
+const char* pslh_registrable_domain(const pslh_ctx_t* ctx, const char* domain) {
+  if (ctx == nullptr || domain == nullptr) return nullptr;
+  const auto rd = ctx->list.registrable_domain(domain);
+  if (!rd) return nullptr;
+  return dup_string(*rd);
+}
+
+int pslh_same_site(const pslh_ctx_t* ctx, const char* a, const char* b) {
+  if (ctx == nullptr || a == nullptr || b == nullptr) return 0;
+  return ctx->list.same_site(a, b) ? 1 : 0;
+}
+
+size_t pslh_rule_count(const pslh_ctx_t* ctx) {
+  return ctx == nullptr ? 0 : ctx->list.rule_count();
+}
+
+void pslh_free_string(const char* s) { delete[] s; }
+
+}  // extern "C"

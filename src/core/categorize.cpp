@@ -1,0 +1,52 @@
+#include "psl/core/categorize.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "psl/core/site_former.hpp"
+
+namespace psl::harm {
+
+CategoryBreakdown categorize_harm(const history::History& history,
+                                  const archive::Corpus& corpus,
+                                  const ImpactSummary& impacts) {
+  const List& latest = history.latest();
+  const iana::RootZone& zone = iana::RootZone::builtin();
+
+  // The harmed eTLD set (missing from >= 1 fixed-production project).
+  std::unordered_set<std::string> harmed_etlds;
+  for (const EtldImpact& impact : impacts.impacts) {
+    if (impact.missing_fixed_production > 0) harmed_etlds.insert(impact.etld);
+  }
+
+  CategoryBreakdown breakdown;
+  for (const std::string& host : corpus.hostnames()) {
+    if (is_ip_literal(host)) {
+      ++breakdown.ip_hosts;
+      continue;
+    }
+    const Match m = latest.match(host);
+    const iana::TldCategory category = zone.categorize_suffix(m.public_suffix);
+    ++breakdown.hosts_by_tld_category[category];
+
+    if (!m.matched_explicit_rule) {
+      ++breakdown.hosts_under_implicit_star;
+    } else if (m.section == Section::kPrivate) {
+      ++breakdown.hosts_under_private_rules;
+    } else {
+      ++breakdown.hosts_under_icann_rules;
+    }
+
+    if (harmed_etlds.contains(m.public_suffix)) {
+      ++breakdown.harmed_by_tld_category[category];
+      if (m.matched_explicit_rule && m.section == Section::kPrivate) {
+        ++breakdown.harmed_under_private_rules;
+      } else if (m.matched_explicit_rule) {
+        ++breakdown.harmed_under_icann_rules;
+      }
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace psl::harm

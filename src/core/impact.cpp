@@ -1,0 +1,126 @@
+#include "psl/core/impact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace psl::harm {
+
+ImpactSummary compute_etld_impacts(const history::History& history,
+                                   const archive::Corpus& corpus,
+                                   std::span<const repos::RepoRecord> repos) {
+  const List& latest = history.latest();
+
+  // Pass 1: group unique corpus hostnames by their eTLD under the newest
+  // list, remembering the prevailing rule per eTLD.
+  struct SuffixAgg {
+    std::string rule_text;
+    std::size_t hostnames = 0;
+  };
+  std::unordered_map<std::string, SuffixAgg> by_suffix;
+  for (const std::string& host : corpus.hostnames()) {
+    if (is_ip_literal(host)) continue;
+    Match m = latest.match(host);
+    if (m.registrable_domain.empty() || !m.matched_explicit_rule) continue;
+    SuffixAgg& agg = by_suffix[m.public_suffix];
+    if (agg.rule_text.empty()) agg.rule_text = std::move(m.prevailing_rule);
+    ++agg.hostnames;
+  }
+
+  // Pass 2: date every rule once.
+  std::unordered_map<std::string, util::Date> added_index;
+  added_index.reserve(history.schedule().size());
+  for (const auto& sr : history.schedule()) {
+    auto [it, inserted] = added_index.emplace(sr.rule.to_string(), sr.added);
+    if (!inserted && sr.added < it->second) it->second = sr.added;
+  }
+
+  // Pass 3: per eTLD, count projects whose effective list predates the rule.
+  ImpactSummary summary;
+  summary.impacts.reserve(by_suffix.size());
+  for (auto& [suffix, agg] : by_suffix) {
+    const auto added_it = added_index.find(agg.rule_text);
+    if (added_it == added_index.end()) continue;  // rule unknown to history
+
+    EtldImpact impact;
+    impact.etld = suffix;
+    impact.rule_text = agg.rule_text;
+    impact.rule_added = added_it->second;
+    impact.hostnames = agg.hostnames;
+
+    for (const repos::RepoRecord& repo : repos) {
+      const auto list_date = repo.effective_list_date();
+      if (!list_date || *list_date >= impact.rule_added) continue;
+      switch (repo.usage) {
+        case repos::Usage::kDependency:
+          ++impact.missing_dependency;
+          break;
+        case repos::Usage::kFixedProduction:
+          ++impact.missing_fixed_production;
+          break;
+        case repos::Usage::kFixedTest:
+        case repos::Usage::kFixedOther:
+          ++impact.missing_fixed_test_other;
+          break;
+        case repos::Usage::kUpdatedBuild:
+        case repos::Usage::kUpdatedUser:
+        case repos::Usage::kUpdatedServer:
+          ++impact.missing_updated;
+          break;
+      }
+    }
+
+    if (impact.missing_fixed_production > 0) {
+      ++summary.harmed_etlds;
+      summary.harmed_hostnames += impact.hostnames;
+    }
+    summary.impacts.push_back(std::move(impact));
+  }
+
+  std::sort(summary.impacts.begin(), summary.impacts.end(),
+            [](const EtldImpact& a, const EtldImpact& b) {
+              if (a.hostnames != b.hostnames) return a.hostnames > b.hostnames;
+              return a.etld < b.etld;
+            });
+  return summary;
+}
+
+std::vector<RepoImpact> per_repo_divergence(const history::History& history,
+                                            const archive::Corpus& corpus,
+                                            const Sweeper& sweeper,
+                                            std::span<const repos::RepoRecord> repos,
+                                            bool anchored_only) {
+  // Repos sharing a list vintage resolve to the same history version; cache
+  // the divergence per version index.
+  std::map<std::size_t, std::size_t> divergence_by_version;
+
+  std::vector<RepoImpact> out;
+  for (const repos::RepoRecord& repo : repos) {
+    if (anchored_only && !repo.anchored) continue;
+    const auto list_date = repo.effective_list_date();
+    if (!list_date) continue;
+
+    RepoImpact impact;
+    impact.repo = &repo;
+
+    const auto version = history.version_index_at(*list_date);
+    if (!version) {
+      // A list older than the history itself diverges on everything that
+      // any explicit rule ever grouped; evaluate against the empty list.
+      impact.misclassified_hostnames =
+          divergent_hosts(assign_sites(List{}, corpus.hostnames()),
+                          sweeper.latest_assignment());
+    } else {
+      auto it = divergence_by_version.find(*version);
+      if (it == divergence_by_version.end()) {
+        const std::size_t d = sweeper.evaluate(*version).divergent_hosts;
+        it = divergence_by_version.emplace(*version, d).first;
+      }
+      impact.misclassified_hostnames = it->second;
+    }
+    out.push_back(impact);
+  }
+  return out;
+}
+
+}  // namespace psl::harm

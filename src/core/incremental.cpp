@@ -1,0 +1,186 @@
+#include "psl/core/incremental.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "psl/core/site_former.hpp"
+#include "psl/util/strings.hpp"
+
+namespace psl::harm {
+
+IncrementalSweeper::IncrementalSweeper(const history::History& history,
+                                       const archive::Corpus& corpus)
+    : history_(history), corpus_(corpus) {
+  const auto& hosts = corpus_.hostnames();
+
+  // Suffix index: "www.example.co.uk" registers under uk, co.uk,
+  // example.co.uk and www.example.co.uk.
+  for (archive::HostId id = 0; id < hosts.size(); ++id) {
+    const std::string& host = hosts[id];
+    if (is_ip_literal(host)) continue;
+    std::string_view view = host;
+    while (true) {
+      hosts_by_suffix_[std::string(view)].push_back(id);
+      const std::size_t dot = view.find('.');
+      if (dot == std::string_view::npos) break;
+      view = view.substr(dot + 1);
+    }
+  }
+
+  // Request adjacency.
+  requests_of_host_.resize(hosts.size());
+  const auto& requests = corpus_.requests();
+  for (std::uint32_t r = 0; r < requests.size(); ++r) {
+    requests_of_host_[requests[r].page_host].push_back(r);
+    if (requests[r].resource_host != requests[r].page_host) {
+      requests_of_host_[requests[r].resource_host].push_back(r);
+    }
+  }
+
+  // Reference keys from the newest list (for divergence).
+  {
+    const SiteAssignment latest = assign_sites(history_.latest(), hosts);
+    latest_keys_.reserve(hosts.size());
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      latest_keys_.push_back(latest.site_keys[latest.site_ids[i]]);
+    }
+  }
+
+  // Per-version churn from the schedule (dates are snapped to versions).
+  adds_by_version_.resize(history_.version_count());
+  removes_by_version_.resize(history_.version_count());
+  for (const history::ScheduledRule& sr : history_.schedule()) {
+    if (const auto idx = history_.version_index_at(sr.added);
+        idx && history_.version_date(*idx) == sr.added) {
+      adds_by_version_[*idx].push_back(sr.rule);
+    }
+    if (sr.removed) {
+      if (const auto idx = history_.version_index_at(*sr.removed);
+          idx && history_.version_date(*idx) == *sr.removed) {
+        removes_by_version_[*idx].push_back(sr.rule);
+      }
+    }
+  }
+
+  assign_initial(0);
+}
+
+std::string IncrementalSweeper::key_for(const std::string& host, const List& list) const {
+  if (is_ip_literal(host)) return host;
+  Match m = list.match(host);
+  return m.registrable_domain.empty() ? host : std::move(m.registrable_domain);
+}
+
+void IncrementalSweeper::assign_initial(std::size_t version_index) {
+  version_ = version_index;
+  list_ = history_.snapshot(version_index);
+
+  const auto& hosts = corpus_.hostnames();
+  keys_.clear();
+  keys_.reserve(hosts.size());
+  key_refcounts_.clear();
+  divergent_ = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    keys_.push_back(key_for(hosts[i], list_));
+    ++key_refcounts_[keys_.back()];
+    if (keys_.back() != latest_keys_[i]) ++divergent_;
+  }
+
+  const auto& requests = corpus_.requests();
+  request_third_party_.assign(requests.size(), false);
+  third_party_ = 0;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const bool third = keys_[requests[r].page_host] != keys_[requests[r].resource_host];
+    request_third_party_[r] = third;
+    third_party_ += third;
+  }
+}
+
+void IncrementalSweeper::rekey_host(archive::HostId host, const List& list) {
+  ++hosts_rematched_;
+  std::string fresh = key_for(corpus_.hostname(host), list);
+  std::string& slot = keys_[host];
+  if (fresh == slot) return;
+
+  // Site structure.
+  auto old_it = key_refcounts_.find(slot);
+  assert(old_it != key_refcounts_.end());
+  if (--old_it->second == 0) key_refcounts_.erase(old_it);
+  ++key_refcounts_[fresh];
+
+  // Divergence.
+  const bool was_divergent = slot != latest_keys_[host];
+  const bool now_divergent = fresh != latest_keys_[host];
+  if (was_divergent && !now_divergent) --divergent_;
+  if (!was_divergent && now_divergent) ++divergent_;
+
+  slot = std::move(fresh);
+
+  // Third-party flags of every request touching this host.
+  const auto& requests = corpus_.requests();
+  for (std::uint32_t r : requests_of_host_[host]) {
+    const bool third = keys_[requests[r].page_host] != keys_[requests[r].resource_host];
+    if (third != static_cast<bool>(request_third_party_[r])) {
+      request_third_party_[r] = third;
+      third_party_ += third ? 1 : -1;
+    }
+  }
+}
+
+VersionMetrics IncrementalSweeper::current() const {
+  VersionMetrics m;
+  m.version_index = version_;
+  m.date = history_.version_date(version_);
+  m.rule_count = list_.rule_count();
+  m.site_count = key_refcounts_.size();
+  m.mean_hosts_per_site =
+      key_refcounts_.empty()
+          ? 0.0
+          : static_cast<double>(keys_.size()) / static_cast<double>(key_refcounts_.size());
+  m.third_party_requests = third_party_;
+  m.divergent_hosts = divergent_;
+  return m;
+}
+
+VersionMetrics IncrementalSweeper::advance_to(std::size_t version_index) {
+  assert(version_index >= version_);
+  if (version_index == version_) return current();
+
+  // Replay the per-version churn into the live trie, collecting hosts
+  // affected by any changed rule: exactly those carrying the rule's label
+  // string as a dotted suffix (wildcards/exceptions reach one label deeper
+  // or shallower, but all such hosts still carry the rule's base labels).
+  std::unordered_set<archive::HostId> affected;
+  const auto collect = [&](const Rule& rule) {
+    const auto it = hosts_by_suffix_.find(util::join(rule.labels(), "."));
+    if (it == hosts_by_suffix_.end()) return;
+    affected.insert(it->second.begin(), it->second.end());
+  };
+
+  for (std::size_t v = version_ + 1; v <= version_index; ++v) {
+    for (const Rule& rule : removes_by_version_[v]) {
+      list_.remove_rule(rule);
+      collect(rule);
+    }
+    for (const Rule& rule : adds_by_version_[v]) {
+      list_.add_rule(rule);
+      collect(rule);
+    }
+  }
+
+  version_ = version_index;
+  for (archive::HostId host : affected) rekey_host(host, list_);
+  return current();
+}
+
+std::vector<VersionMetrics> IncrementalSweeper::sweep_all() {
+  std::vector<VersionMetrics> out;
+  out.reserve(history_.version_count() - version_);
+  out.push_back(current());
+  for (std::size_t v = version_ + 1; v < history_.version_count(); ++v) {
+    out.push_back(advance_to(v));
+  }
+  return out;
+}
+
+}  // namespace psl::harm

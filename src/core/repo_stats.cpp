@@ -1,0 +1,55 @@
+#include "psl/core/repo_stats.hpp"
+
+#include "psl/util/stats.hpp"
+
+namespace psl::harm {
+
+TaxonomyBreakdown taxonomy(std::span<const repos::RepoRecord> repos) {
+  TaxonomyBreakdown t;
+  t.total = repos.size();
+  for (const repos::RepoRecord& r : repos) {
+    switch (r.usage) {
+      case repos::Usage::kFixedProduction: ++t.fixed_production; break;
+      case repos::Usage::kFixedTest: ++t.fixed_test; break;
+      case repos::Usage::kFixedOther: ++t.fixed_other; break;
+      case repos::Usage::kUpdatedBuild: ++t.updated_build; break;
+      case repos::Usage::kUpdatedUser: ++t.updated_user; break;
+      case repos::Usage::kUpdatedServer: ++t.updated_server; break;
+      case repos::Usage::kDependency:
+        ++t.dependency;
+        ++t.dependency_by_lib[r.dependency_lib];
+        break;
+    }
+  }
+  t.fixed = t.fixed_production + t.fixed_test + t.fixed_other;
+  t.updated = t.updated_build + t.updated_user + t.updated_server;
+  return t;
+}
+
+AgeStats list_age_stats(std::span<const repos::RepoRecord> repos, util::Date t) {
+  AgeStats stats;
+  for (const repos::RepoRecord& r : repos) {
+    const auto age = r.list_age(t);
+    if (!age) continue;
+    const auto days = static_cast<double>(*age);
+    stats.all.push_back(days);
+    if (repos::is_fixed(r.usage)) stats.fixed.push_back(days);
+    if (repos::is_updated(r.usage)) stats.updated.push_back(days);
+  }
+  stats.median_all = util::median(stats.all);
+  stats.median_fixed = util::median(stats.fixed);
+  stats.median_updated = util::median(stats.updated);
+  return stats;
+}
+
+double stars_forks_pearson(std::span<const repos::RepoRecord> repos, bool anchored_only) {
+  std::vector<double> stars, forks;
+  for (const repos::RepoRecord& r : repos) {
+    if (anchored_only && !r.anchored) continue;
+    stars.push_back(static_cast<double>(r.stars));
+    forks.push_back(static_cast<double>(r.forks));
+  }
+  return util::pearson(stars, forks);
+}
+
+}  // namespace psl::harm

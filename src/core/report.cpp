@@ -1,0 +1,41 @@
+#include "psl/core/report.hpp"
+
+namespace psl::harm {
+
+HarmReport generate_report(const history::History& history, const archive::Corpus& corpus,
+                           std::span<const repos::RepoRecord> repos,
+                           const ReportOptions& options) {
+  HarmReport report;
+
+  report.first_version_rules = history.rule_count(0);
+  report.last_version_rules = history.rule_count(history.version_count() - 1);
+  report.component_histogram = history.latest().component_histogram();
+
+  report.taxonomy = taxonomy(repos);
+  report.ages = list_age_stats(repos, options.measurement);
+  report.stars_forks_correlation = stars_forks_pearson(repos);
+
+  const Sweeper sweeper(history, corpus);
+  report.sweep = sweeper.sweep(options.sweep_points);
+  if (!report.sweep.empty()) {
+    const std::size_t first_sites = report.sweep.front().site_count;
+    const std::size_t last_sites = report.sweep.back().site_count;
+    report.additional_sites_latest_vs_first =
+        last_sites > first_sites ? last_sites - first_sites : 0;
+  }
+
+  ImpactSummary impacts = compute_etld_impacts(history, corpus, repos);
+  report.harmed_etlds = impacts.harmed_etlds;
+  report.harmed_hostnames = impacts.harmed_hostnames;
+  if (impacts.impacts.size() > options.top_etlds) {
+    impacts.impacts.resize(options.top_etlds);
+  }
+  report.top_impacts = std::move(impacts.impacts);
+
+  report.repo_impacts =
+      per_repo_divergence(history, corpus, sweeper, repos, /*anchored_only=*/true);
+
+  return report;
+}
+
+}  // namespace psl::harm

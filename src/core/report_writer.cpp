@@ -1,0 +1,127 @@
+#include "psl/core/report_writer.hpp"
+
+#include <ostream>
+
+#include "psl/util/strings.hpp"
+#include "psl/util/table.hpp"
+
+namespace psl::harm {
+
+namespace {
+
+void md_table(std::ostream& out, const std::vector<std::string>& headers,
+              const std::vector<std::vector<std::string>>& rows) {
+  out << '|';
+  for (const auto& h : headers) out << ' ' << h << " |";
+  out << "\n|";
+  for (std::size_t i = 0; i < headers.size(); ++i) out << "---|";
+  out << '\n';
+  for (const auto& row : rows) {
+    out << '|';
+    for (const auto& cell : row) out << ' ' << cell << " |";
+    out << '\n';
+  }
+  out << '\n';
+}
+
+std::string num(std::size_t v) { return util::with_commas(static_cast<long long>(v)); }
+
+}  // namespace
+
+void write_markdown(const HarmReport& report, std::ostream& out,
+                    const ReportWriterOptions& options) {
+  out << "# PSL privacy-harm measurement report\n\n";
+
+  // --- the list ---------------------------------------------------------
+  out << "## The Public Suffix List (Fig. 2)\n\n";
+  out << "Rules grew from **" << num(report.first_version_rules) << "** to **"
+      << num(report.last_version_rules) << "** across the measured history.\n\n";
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [components, count] : report.component_histogram) {
+      rows.push_back({std::to_string(components), num(count),
+                      util::fmt_percent(static_cast<double>(count) /
+                                            static_cast<double>(report.last_version_rules),
+                                        1)});
+    }
+    md_table(out, {"components", "rules", "share"}, rows);
+  }
+
+  // --- taxonomy ---------------------------------------------------------
+  out << "## Project taxonomy (Table 1)\n\n";
+  {
+    const TaxonomyBreakdown& t = report.taxonomy;
+    md_table(out, {"category", "projects", "share"},
+             {{"fixed", num(t.fixed), util::fmt_percent(t.fraction(t.fixed), 1)},
+              {"&nbsp;&nbsp;production", num(t.fixed_production),
+               util::fmt_percent(t.fraction(t.fixed_production), 1)},
+              {"&nbsp;&nbsp;test", num(t.fixed_test),
+               util::fmt_percent(t.fraction(t.fixed_test), 1)},
+              {"&nbsp;&nbsp;other", num(t.fixed_other),
+               util::fmt_percent(t.fraction(t.fixed_other), 1)},
+              {"updated", num(t.updated), util::fmt_percent(t.fraction(t.updated), 1)},
+              {"dependency", num(t.dependency),
+               util::fmt_percent(t.fraction(t.dependency), 1)}});
+  }
+
+  // --- ages -------------------------------------------------------------
+  out << "## Embedded-list ages (Fig. 3)\n\n";
+  out << "Median list age: **" << util::fmt_double(report.ages.median_all, 0)
+      << " days** overall, **" << util::fmt_double(report.ages.median_fixed, 0)
+      << "** for fixed copies, **" << util::fmt_double(report.ages.median_updated, 0)
+      << "** for updated projects' fallbacks. Stars-forks Pearson r = "
+      << util::fmt_double(report.stars_forks_correlation, 3) << " (Fig. 4).\n\n";
+
+  // --- sweep ------------------------------------------------------------
+  out << "## Boundaries under each list version (Figs. 5-7)\n\n";
+  {
+    std::vector<std::vector<std::string>> rows;
+    const std::size_t n = report.sweep.size();
+    const std::size_t step =
+        options.sweep_rows == 0 || n <= options.sweep_rows ? 1 : n / options.sweep_rows;
+    for (std::size_t i = 0; i < n; i += step) {
+      const VersionMetrics& m = report.sweep[i];
+      rows.push_back({m.date.to_string(), num(m.rule_count), num(m.site_count),
+                      num(m.third_party_requests), num(m.divergent_hosts)});
+    }
+    if ((n - 1) % step != 0) {
+      const VersionMetrics& m = report.sweep.back();
+      rows.push_back({m.date.to_string(), num(m.rule_count), num(m.site_count),
+                      num(m.third_party_requests), num(m.divergent_hosts)});
+    }
+    md_table(out, {"date", "rules", "sites", "third-party requests", "divergent hosts"},
+             rows);
+  }
+  out << "The newest list forms **" << num(report.additional_sites_latest_vs_first)
+      << "** more sites over the corpus than the oldest.\n\n";
+
+  // --- impacts ----------------------------------------------------------
+  out << "## Missing-eTLD impact (Table 2)\n\n";
+  out << "**" << num(report.harmed_etlds)
+      << " eTLDs** are missing from at least one fixed-production project, affecting **"
+      << num(report.harmed_hostnames) << " hostnames**.\n\n";
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const EtldImpact& i : report.top_impacts) {
+      rows.push_back({i.etld, num(i.hostnames), i.rule_added.to_string(),
+                      num(i.missing_dependency), num(i.missing_fixed_production),
+                      num(i.missing_fixed_test_other), num(i.missing_updated)});
+    }
+    md_table(out, {"eTLD", "hostnames", "rule added", "D", "Prd", "T/O", "U"}, rows);
+  }
+
+  // --- per-repo ---------------------------------------------------------
+  if (options.include_repo_table && !report.repo_impacts.empty()) {
+    out << "## Per-project misclassified hostnames (Table 3)\n\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const RepoImpact& impact : report.repo_impacts) {
+      rows.push_back({impact.repo->name, std::string(to_string(impact.repo->usage)),
+                      std::to_string(impact.repo->stars),
+                      std::to_string(impact.repo->list_age().value_or(-1)),
+                      num(impact.misclassified_hostnames)});
+    }
+    md_table(out, {"repository", "usage", "stars", "list age (d)", "misclassified"}, rows);
+  }
+}
+
+}  // namespace psl::harm

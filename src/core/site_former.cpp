@@ -1,0 +1,63 @@
+#include "psl/core/site_former.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "psl/url/host.hpp"
+
+namespace psl::harm {
+
+bool is_ip_literal(std::string_view host) noexcept {
+  return url::looks_like_ip_literal(host);
+}
+
+SiteAssignment assign_sites(const List& list, std::span<const std::string> hostnames) {
+  SiteAssignment out;
+  out.site_ids.reserve(hostnames.size());
+
+  std::unordered_map<std::string, std::uint32_t> interned;
+  interned.reserve(hostnames.size());
+
+  for (const std::string& host : hostnames) {
+    std::string key;
+    if (is_ip_literal(host)) {
+      key = host;  // an IP is only ever same-site with itself
+    } else {
+      Match m = list.match(host);
+      // A host that *is* a public suffix has no eTLD+1; it stands alone.
+      key = m.registrable_domain.empty() ? host : std::move(m.registrable_domain);
+    }
+    const auto [it, inserted] =
+        interned.emplace(std::move(key), static_cast<std::uint32_t>(interned.size()));
+    if (inserted) out.site_keys.push_back(it->first);
+    out.site_ids.push_back(it->second);
+  }
+  out.site_count = interned.size();
+  return out;
+}
+
+SiteStats site_stats(const SiteAssignment& assignment) {
+  SiteStats stats;
+  stats.host_count = assignment.site_ids.size();
+  stats.site_count = assignment.site_count;
+  if (assignment.site_count == 0) return stats;
+
+  std::vector<std::size_t> sizes(assignment.site_count, 0);
+  for (std::uint32_t id : assignment.site_ids) ++sizes[id];
+  stats.largest_site = *std::max_element(sizes.begin(), sizes.end());
+  stats.mean_hosts_per_site =
+      static_cast<double>(stats.host_count) / static_cast<double>(stats.site_count);
+  return stats;
+}
+
+std::size_t divergent_hosts(const SiteAssignment& a, const SiteAssignment& b) {
+  assert(a.site_ids.size() == b.site_ids.size());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.site_ids.size(); ++i) {
+    if (a.site_keys[a.site_ids[i]] != b.site_keys[b.site_ids[i]]) ++count;
+  }
+  return count;
+}
+
+}  // namespace psl::harm

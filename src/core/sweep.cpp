@@ -1,0 +1,55 @@
+#include "psl/core/sweep.hpp"
+
+namespace psl::harm {
+
+Sweeper::Sweeper(const history::History& history, const archive::Corpus& corpus)
+    : history_(history),
+      corpus_(corpus),
+      latest_(assign_sites(history.latest(), corpus.hostnames())) {}
+
+VersionMetrics Sweeper::evaluate_list(const List& list) const {
+  VersionMetrics m;
+  m.rule_count = list.rule_count();
+
+  const SiteAssignment assignment = assign_sites(list, corpus_.hostnames());
+  const SiteStats stats = site_stats(assignment);
+  m.site_count = stats.site_count;
+  m.mean_hosts_per_site = stats.mean_hosts_per_site;
+
+  // Fig. 6: a request is third-party when the resource host is not
+  // same-site with the page host under this version's boundaries.
+  std::size_t third_party = 0;
+  for (const archive::Request& r : corpus_.requests()) {
+    if (assignment.site_ids[r.page_host] != assignment.site_ids[r.resource_host]) {
+      ++third_party;
+    }
+  }
+  m.third_party_requests = third_party;
+
+  // Fig. 7: hosts grouped differently than under the newest list.
+  m.divergent_hosts = harm::divergent_hosts(assignment, latest_);
+  return m;
+}
+
+VersionMetrics Sweeper::evaluate(std::size_t version_index) const {
+  VersionMetrics m = evaluate_list(history_.snapshot(version_index));
+  m.version_index = version_index;
+  m.date = history_.version_date(version_index);
+  return m;
+}
+
+std::vector<VersionMetrics> Sweeper::sweep(std::size_t max_points) const {
+  std::vector<VersionMetrics> out;
+  for (std::size_t index : history_.sampled_versions(max_points)) {
+    out.push_back(evaluate(index));
+  }
+  return out;
+}
+
+std::size_t Sweeper::divergence_at(util::Date date) const {
+  const SiteAssignment assignment =
+      assign_sites(history_.snapshot_at(date), corpus_.hostnames());
+  return harm::divergent_hosts(assignment, latest_);
+}
+
+}  // namespace psl::harm

@@ -1,0 +1,131 @@
+#include "psl/dbound/dbound.hpp"
+
+#include <cassert>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::dbound {
+
+namespace {
+
+constexpr std::string_view kVersionTag = "v=bound1";
+constexpr std::string_view kBoundLabel = "_bound";
+
+dns::Name must_name(std::string_view text) {
+  auto name = dns::Name::parse(text);
+  assert(name.ok());
+  return *std::move(name);
+}
+
+}  // namespace
+
+std::string make_registry_record() {
+  return std::string(kVersionTag) + "; policy=registry";
+}
+
+std::string make_org_record(std::string_view org_domain) {
+  return std::string(kVersionTag) + "; org=" + std::string(org_domain);
+}
+
+util::Result<BoundRecord> parse_record(std::string_view txt) {
+  BoundRecord record;
+  bool versioned = false;
+  for (std::string_view part : util::split(txt, ';')) {
+    part = util::trim(part);
+    if (part.empty()) continue;
+    if (part == kVersionTag) {
+      versioned = true;
+    } else if (part == "policy=registry") {
+      record.registry_policy = true;
+    } else if (util::starts_with(part, "org=")) {
+      const std::string_view value = util::trim(part.substr(4));
+      if (value.empty()) {
+        return util::make_error("dbound.empty-org", "org= with no domain");
+      }
+      record.org = util::to_lower(value);
+    }
+    // Unknown tags are ignored for extensibility.
+  }
+  if (!versioned) {
+    return util::make_error("dbound.no-version", "missing v=bound1 tag");
+  }
+  if (record.registry_policy == record.org.has_value()) {
+    return util::make_error("dbound.bad-record",
+                            "exactly one of policy=registry / org= required");
+  }
+  return record;
+}
+
+void publish_registry(dns::Zone& zone, std::string_view domain, std::uint32_t ttl) {
+  const auto name = must_name(domain).child(std::string(kBoundLabel));
+  assert(name.ok());
+  zone.add_txt(*name, make_registry_record(), ttl);
+}
+
+void publish_org(dns::Zone& zone, std::string_view domain, std::string_view org_domain,
+                 std::uint32_t ttl) {
+  const auto name = must_name(domain).child(std::string(kBoundLabel));
+  assert(name.ok());
+  zone.add_txt(*name, make_org_record(org_domain), ttl);
+}
+
+Discovery discover(dns::StubResolver& resolver, std::string_view host, std::uint64_t now,
+                   std::size_t max_walk) {
+  Discovery result;
+
+  auto parsed_host = dns::Name::parse(host);
+  if (!parsed_host) return result;
+  const dns::Name host_name = *std::move(parsed_host);
+
+  // Walk candidates from the host upward (closest encloser first).
+  dns::Name candidate = host_name;
+  for (std::size_t step = 0; step < max_walk && candidate.label_count() >= 1; ++step) {
+    ++result.names_walked;
+    const auto query_name = candidate.child(std::string(kBoundLabel));
+    if (!query_name) break;
+    const dns::ResolveResult answer = resolver.query(*query_name, dns::Type::kTxt, now);
+
+    if (answer.ok()) {
+      for (const dns::ResourceRecord& rr : answer.answers) {
+        if (rr.type != dns::Type::kTxt) continue;
+        const auto record = parse_record(std::get<dns::TxtRecord>(rr.rdata).joined());
+        if (!record) continue;
+
+        if (record->registry_policy) {
+          // <candidate> is suffix-like: the org is one label below it on
+          // the host's path. The candidate itself has no organization.
+          if (host_name == candidate) return result;
+          const std::size_t child_depth = candidate.label_count() + 1;
+          const auto& labels = host_name.labels();
+          std::vector<std::string> org_labels(labels.end() - static_cast<long>(child_depth),
+                                              labels.end());
+          auto org = dns::Name::from_labels(std::move(org_labels));
+          assert(org.ok());
+          result.org_domain = org->to_string();
+          result.found_record = true;
+          return result;
+        }
+
+        // org= record: trusted only if the claimed org encloses the host.
+        auto org_name = dns::Name::parse(*record->org);
+        if (org_name && host_name.is_subdomain_of(*org_name)) {
+          result.org_domain = org_name->to_string();
+          result.found_record = true;
+          return result;
+        }
+      }
+    }
+    if (candidate.label_count() == 1) break;
+    candidate = candidate.parent();
+  }
+  return result;
+}
+
+bool same_org(dns::StubResolver& resolver, std::string_view a, std::string_view b,
+              std::uint64_t now) {
+  const Discovery da = discover(resolver, a, now);
+  const Discovery db = discover(resolver, b, now);
+  return da.org_domain && db.org_domain && *da.org_domain == *db.org_domain;
+}
+
+}  // namespace psl::dbound

@@ -1,0 +1,268 @@
+#include "psl/dns/message.hpp"
+
+namespace psl::dns {
+
+std::string_view to_string(Type type) noexcept {
+  switch (type) {
+    case Type::kA: return "A";
+    case Type::kNs: return "NS";
+    case Type::kCname: return "CNAME";
+    case Type::kSoa: return "SOA";
+    case Type::kMx: return "MX";
+    case Type::kTxt: return "TXT";
+  }
+  return "TYPE?";
+}
+
+std::string TxtRecord::joined() const {
+  std::string out;
+  for (const std::string& s : strings) out += s;
+  return out;
+}
+
+namespace {
+
+constexpr std::uint16_t kClassIn = 1;
+
+void encode_record(WireWriter& w, const ResourceRecord& rr) {
+  w.name(rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(kClassIn);
+  w.u32(rr.ttl);
+
+  const std::size_t rdlength_at = w.size();
+  w.u16(0);  // back-patched
+  const std::size_t rdata_start = w.size();
+
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, ARecord>) {
+          w.bytes(data.address.data(), data.address.size());
+        } else if constexpr (std::is_same_v<T, NsRecord>) {
+          w.name(data.nsdname);
+        } else if constexpr (std::is_same_v<T, CnameRecord>) {
+          w.name(data.cname);
+        } else if constexpr (std::is_same_v<T, MxRecord>) {
+          w.u16(data.preference);
+          w.name(data.exchange);
+        } else if constexpr (std::is_same_v<T, SoaRecord>) {
+          w.name(data.mname);
+          w.name(data.rname);
+          w.u32(data.serial);
+          w.u32(data.refresh);
+          w.u32(data.retry);
+          w.u32(data.expire);
+          w.u32(data.minimum);
+        } else if constexpr (std::is_same_v<T, TxtRecord>) {
+          for (const std::string& s : data.strings) {
+            // Long strings are split into 255-octet character-strings.
+            std::size_t offset = 0;
+            do {
+              const std::size_t chunk = std::min<std::size_t>(s.size() - offset, 255);
+              w.u8(static_cast<std::uint8_t>(chunk));
+              w.bytes(reinterpret_cast<const std::uint8_t*>(s.data()) + offset, chunk);
+              offset += chunk;
+            } while (offset < s.size());
+            if (s.empty()) {
+              // An explicitly empty character-string.
+            }
+          }
+          if (data.strings.empty()) w.u8(0);
+        }
+      },
+      rr.rdata);
+
+  w.patch_u16(rdlength_at, static_cast<std::uint16_t>(w.size() - rdata_start));
+}
+
+util::Result<ResourceRecord> decode_record(WireReader& r) {
+  ResourceRecord rr;
+  auto name = r.name();
+  if (!name) return name.error();
+  rr.name = *std::move(name);
+
+  auto type = r.u16();
+  if (!type) return type.error();
+  auto klass = r.u16();
+  if (!klass) return klass.error();
+  if (*klass != kClassIn) {
+    return util::make_error("dns.bad-class", "only class IN is supported");
+  }
+  auto ttl = r.u32();
+  if (!ttl) return ttl.error();
+  rr.ttl = *ttl;
+  auto rdlength = r.u16();
+  if (!rdlength) return rdlength.error();
+  const std::size_t rdata_end = r.position() + *rdlength;
+  if (rdata_end > r.position() + r.remaining()) {
+    return util::make_error("dns.truncated", "rdata past end");
+  }
+
+  switch (static_cast<Type>(*type)) {
+    case Type::kA: {
+      auto raw = r.bytes(4);
+      if (!raw) return raw.error();
+      ARecord a;
+      std::copy(raw->begin(), raw->end(), a.address.begin());
+      rr.type = Type::kA;
+      rr.rdata = a;
+      break;
+    }
+    case Type::kNs: {
+      auto n = r.name();
+      if (!n) return n.error();
+      rr.type = Type::kNs;
+      rr.rdata = NsRecord{*std::move(n)};
+      break;
+    }
+    case Type::kCname: {
+      auto n = r.name();
+      if (!n) return n.error();
+      rr.type = Type::kCname;
+      rr.rdata = CnameRecord{*std::move(n)};
+      break;
+    }
+    case Type::kSoa: {
+      SoaRecord soa;
+      auto mname = r.name();
+      if (!mname) return mname.error();
+      soa.mname = *std::move(mname);
+      auto rname = r.name();
+      if (!rname) return rname.error();
+      soa.rname = *std::move(rname);
+      for (std::uint32_t* field :
+           {&soa.serial, &soa.refresh, &soa.retry, &soa.expire, &soa.minimum}) {
+        auto v = r.u32();
+        if (!v) return v.error();
+        *field = *v;
+      }
+      rr.type = Type::kSoa;
+      rr.rdata = std::move(soa);
+      break;
+    }
+    case Type::kMx: {
+      MxRecord mx;
+      auto pref = r.u16();
+      if (!pref) return pref.error();
+      mx.preference = *pref;
+      auto exchange = r.name();
+      if (!exchange) return exchange.error();
+      mx.exchange = *std::move(exchange);
+      rr.type = Type::kMx;
+      rr.rdata = std::move(mx);
+      break;
+    }
+    case Type::kTxt: {
+      TxtRecord txt;
+      while (r.position() < rdata_end) {
+        auto len = r.u8();
+        if (!len) return len.error();
+        auto raw = r.bytes(*len);
+        if (!raw) return raw.error();
+        txt.strings.emplace_back(raw->begin(), raw->end());
+      }
+      rr.type = Type::kTxt;
+      rr.rdata = std::move(txt);
+      break;
+    }
+    default:
+      return util::make_error("dns.unknown-type",
+                              "unsupported record type " + std::to_string(*type));
+  }
+
+  if (r.position() != rdata_end) {
+    return util::make_error("dns.bad-rdlength", "rdata length mismatch");
+  }
+  return rr;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  WireWriter w;
+  w.u16(message.header.id);
+
+  std::uint16_t flags = 0;
+  if (message.header.qr) flags |= 0x8000;
+  if (message.header.aa) flags |= 0x0400;
+  if (message.header.tc) flags |= 0x0200;
+  if (message.header.rd) flags |= 0x0100;
+  if (message.header.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(message.header.rcode);
+  w.u16(flags);
+
+  w.u16(static_cast<std::uint16_t>(message.questions.size()));
+  w.u16(static_cast<std::uint16_t>(message.answers.size()));
+  w.u16(static_cast<std::uint16_t>(message.authority.size()));
+  w.u16(static_cast<std::uint16_t>(message.additional.size()));
+
+  for (const Question& q : message.questions) {
+    w.name(q.qname);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(kClassIn);
+  }
+  for (const ResourceRecord& rr : message.answers) encode_record(w, rr);
+  for (const ResourceRecord& rr : message.authority) encode_record(w, rr);
+  for (const ResourceRecord& rr : message.additional) encode_record(w, rr);
+  return std::move(w).take();
+}
+
+util::Result<Message> decode(const std::uint8_t* data, std::size_t len) {
+  WireReader r(data, len);
+  Message m;
+
+  auto id = r.u16();
+  if (!id) return id.error();
+  m.header.id = *id;
+  auto flags = r.u16();
+  if (!flags) return flags.error();
+  m.header.qr = (*flags & 0x8000) != 0;
+  m.header.aa = (*flags & 0x0400) != 0;
+  m.header.tc = (*flags & 0x0200) != 0;
+  m.header.rd = (*flags & 0x0100) != 0;
+  m.header.ra = (*flags & 0x0080) != 0;
+  m.header.rcode = static_cast<Rcode>(*flags & 0x000F);
+
+  auto qd = r.u16();
+  auto an = r.u16();
+  auto ns = r.u16();
+  auto ar = r.u16();
+  if (!qd || !an || !ns || !ar) return util::make_error("dns.truncated", "header counts");
+
+  for (std::uint16_t i = 0; i < *qd; ++i) {
+    Question q;
+    auto name = r.name();
+    if (!name) return name.error();
+    q.qname = *std::move(name);
+    auto type = r.u16();
+    if (!type) return type.error();
+    q.qtype = static_cast<Type>(*type);
+    auto klass = r.u16();
+    if (!klass) return klass.error();
+    if (*klass != kClassIn) {
+      return util::make_error("dns.bad-class", "only class IN is supported");
+    }
+    m.questions.push_back(std::move(q));
+  }
+
+  auto read_records = [&](std::uint16_t count,
+                          std::vector<ResourceRecord>& out) -> util::Result<bool> {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      auto rr = decode_record(r);
+      if (!rr) return rr.error();
+      out.push_back(*std::move(rr));
+    }
+    return true;
+  };
+  if (auto ok = read_records(*an, m.answers); !ok) return ok.error();
+  if (auto ok = read_records(*ns, m.authority); !ok) return ok.error();
+  if (auto ok = read_records(*ar, m.additional); !ok) return ok.error();
+
+  if (!r.at_end()) {
+    return util::make_error("dns.trailing-bytes", "garbage after message");
+  }
+  return m;
+}
+
+}  // namespace psl::dns

@@ -1,0 +1,197 @@
+#include "psl/dns/name.hpp"
+
+#include <algorithm>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::dns {
+
+namespace {
+
+util::Result<bool> validate_label(std::string_view label) {
+  if (label.empty()) {
+    return util::make_error("dns.empty-label", "empty label");
+  }
+  if (label.size() > kMaxLabelLen) {
+    return util::make_error("dns.label-too-long", "label exceeds 63 octets");
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<Name> Name::parse(std::string_view text) {
+  text = util::trim(text);
+  if (text.empty()) {
+    return util::make_error("dns.empty-name", "empty name");
+  }
+  if (text == ".") return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+
+  std::vector<std::string> labels;
+  for (std::string_view label : util::split(text, '.')) {
+    auto ok = validate_label(label);
+    if (!ok) return ok.error();
+    labels.push_back(util::to_lower(label));
+  }
+  return from_labels(std::move(labels));
+}
+
+util::Result<Name> Name::from_labels(std::vector<std::string> labels) {
+  std::size_t wire_len = 1;  // terminating root byte
+  for (const std::string& label : labels) {
+    auto ok = validate_label(label);
+    if (!ok) return ok.error();
+    wire_len += 1 + label.size();
+  }
+  if (wire_len > kMaxNameLen) {
+    return util::make_error("dns.name-too-long", "name exceeds 255 octets");
+  }
+  Name n;
+  n.labels_ = std::move(labels);
+  return n;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  return util::join(labels_, ".");
+}
+
+bool Name::is_subdomain_of(const Name& ancestor) const noexcept {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  return std::equal(ancestor.labels_.rbegin(), ancestor.labels_.rend(), labels_.rbegin());
+}
+
+Name Name::parent() const {
+  Name n;
+  n.labels_.assign(labels_.begin() + 1, labels_.end());
+  return n;
+}
+
+util::Result<Name> Name::child(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(util::to_lower(label));
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+// --- WireWriter --------------------------------------------------------------
+
+void WireWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+void WireWriter::bytes(const std::uint8_t* data, std::size_t len) {
+  out_.insert(out_.end(), data, data + len);
+}
+
+void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  out_[offset] = static_cast<std::uint8_t>(v >> 8);
+  out_[offset + 1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+void WireWriter::name(const Name& n) {
+  const auto& labels = n.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // Dotted form of the remaining suffix, the compression-map key.
+    std::string suffix;
+    for (std::size_t k = i; k < labels.size(); ++k) {
+      if (!suffix.empty()) suffix.push_back('.');
+      suffix += labels[k];
+    }
+    const auto it = offsets_.find(suffix);
+    if (it != offsets_.end()) {
+      u16(static_cast<std::uint16_t>(0xC000 | it->second));
+      return;
+    }
+    if (out_.size() < 0x4000) {
+      offsets_.emplace(std::move(suffix), static_cast<std::uint16_t>(out_.size()));
+    }
+    u8(static_cast<std::uint8_t>(labels[i].size()));
+    bytes(reinterpret_cast<const std::uint8_t*>(labels[i].data()), labels[i].size());
+  }
+  u8(0);  // root
+}
+
+// --- WireReader --------------------------------------------------------------
+
+util::Result<std::uint8_t> WireReader::u8() {
+  if (pos_ + 1 > len_) return util::make_error("dns.truncated", "u8 past end");
+  return data_[pos_++];
+}
+
+util::Result<std::uint16_t> WireReader::u16() {
+  if (pos_ + 2 > len_) return util::make_error("dns.truncated", "u16 past end");
+  const std::uint16_t v =
+      static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+util::Result<std::uint32_t> WireReader::u32() {
+  auto hi = u16();
+  if (!hi) return hi.error();
+  auto lo = u16();
+  if (!lo) return lo.error();
+  return (static_cast<std::uint32_t>(*hi) << 16) | *lo;
+}
+
+util::Result<std::vector<std::uint8_t>> WireReader::bytes(std::size_t count) {
+  if (pos_ + count > len_) return util::make_error("dns.truncated", "bytes past end");
+  std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + count);
+  pos_ += count;
+  return out;
+}
+
+util::Result<Name> WireReader::name() {
+  std::vector<std::string> labels;
+  std::size_t pos = pos_;
+  std::size_t consumed_end = 0;  // where parsing resumes after the first pointer
+  int jumps = 0;
+
+  while (true) {
+    if (pos >= len_) return util::make_error("dns.truncated", "name past end");
+    const std::uint8_t len = data_[pos];
+
+    if ((len & 0xC0) == 0xC0) {
+      if (pos + 2 > len_) return util::make_error("dns.truncated", "pointer past end");
+      if (++jumps > 32) {
+        return util::make_error("dns.pointer-loop", "too many compression pointers");
+      }
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | data_[pos + 1];
+      if (consumed_end == 0) consumed_end = pos + 2;
+      if (target >= pos) {
+        return util::make_error("dns.bad-pointer", "forward compression pointer");
+      }
+      pos = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0) {
+      return util::make_error("dns.bad-label-type", "reserved label type");
+    }
+    if (len == 0) {
+      if (consumed_end == 0) consumed_end = pos + 1;
+      break;
+    }
+    if (pos + 1 + len > len_) {
+      return util::make_error("dns.truncated", "label past end");
+    }
+    labels.emplace_back(reinterpret_cast<const char*>(data_ + pos + 1), len);
+    pos += 1 + len;
+  }
+
+  pos_ = consumed_end;
+  return Name::from_labels(std::move(labels));
+}
+
+}  // namespace psl::dns

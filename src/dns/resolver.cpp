@@ -1,0 +1,55 @@
+#include "psl/dns/resolver.hpp"
+
+#include <algorithm>
+
+namespace psl::dns {
+
+ResolveResult StubResolver::query(const Name& name, Type type, std::uint64_t now) {
+  const auto key = std::make_pair(name, type);
+  const auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.expires_at > now) {
+    ++cache_hits_;
+    ResolveResult hit;
+    hit.rcode = it->second.rcode;
+    hit.answers = it->second.answers;
+    hit.from_cache = true;
+    return hit;
+  }
+
+  // Cache miss: run the full wire round trip.
+  Message query_msg;
+  query_msg.header.id = next_id_++;
+  query_msg.questions.push_back(Question{name, type});
+  const std::vector<std::uint8_t> reply_wire = server_->handle_wire(encode(query_msg));
+  ++wire_queries_;
+
+  ResolveResult result;
+  auto reply = decode(reply_wire);
+  if (!reply) {
+    result.rcode = Rcode::kServFail;
+    return result;
+  }
+  result.rcode = reply->header.rcode;
+  result.answers = reply->answers;
+
+  // TTL for the cache entry: minimum answer TTL on success; the SOA minimum
+  // (negative TTL, RFC 2308) otherwise.
+  std::uint32_t ttl = 0;
+  if (!reply->answers.empty()) {
+    ttl = reply->answers.front().ttl;
+    for (const ResourceRecord& rr : reply->answers) ttl = std::min(ttl, rr.ttl);
+  } else {
+    for (const ResourceRecord& rr : reply->authority) {
+      if (rr.type == Type::kSoa) {
+        ttl = std::get<SoaRecord>(rr.rdata).minimum;
+        break;
+      }
+    }
+  }
+  if (ttl > 0) {
+    cache_[key] = CacheEntry{result.rcode, result.answers, now + ttl};
+  }
+  return result;
+}
+
+}  // namespace psl::dns

@@ -1,0 +1,135 @@
+#include "psl/dns/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psl::dns {
+
+Zone::Zone(Name origin, SoaRecord soa, std::uint32_t soa_ttl)
+    : origin_(std::move(origin)), soa_(std::move(soa)), soa_ttl_(soa_ttl) {}
+
+void Zone::add(ResourceRecord record) {
+  assert(record.name.is_subdomain_of(origin_));
+  records_.push_back(std::move(record));
+}
+
+void Zone::add_a(const Name& name, std::array<std::uint8_t, 4> address, std::uint32_t ttl) {
+  add(ResourceRecord{name, Type::kA, ttl, ARecord{address}});
+}
+
+void Zone::add_txt(const Name& name, std::string text, std::uint32_t ttl) {
+  add(ResourceRecord{name, Type::kTxt, ttl, TxtRecord{{std::move(text)}}});
+}
+
+void Zone::add_cname(const Name& name, Name target, std::uint32_t ttl) {
+  add(ResourceRecord{name, Type::kCname, ttl, CnameRecord{std::move(target)}});
+}
+
+void Zone::add_mx(const Name& name, std::uint16_t preference, Name exchange,
+                  std::uint32_t ttl) {
+  add(ResourceRecord{name, Type::kMx, ttl, MxRecord{preference, std::move(exchange)}});
+}
+
+std::size_t Zone::remove(const Name& name) {
+  const auto before = records_.size();
+  std::erase_if(records_, [&](const ResourceRecord& rr) { return rr.name == name; });
+  return before - records_.size();
+}
+
+std::vector<const ResourceRecord*> Zone::find(const Name& name, Type type) const {
+  std::vector<const ResourceRecord*> out;
+  for (const ResourceRecord& rr : records_) {
+    if (rr.name == name && rr.type == type) out.push_back(&rr);
+  }
+  return out;
+}
+
+bool Zone::name_exists(const Name& name) const {
+  return std::any_of(records_.begin(), records_.end(),
+                     [&](const ResourceRecord& rr) { return rr.name == name; });
+}
+
+void AuthServer::add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+
+Zone* AuthServer::find_zone(const Name& qname) {
+  return const_cast<Zone*>(static_cast<const AuthServer*>(this)->find_zone(qname));
+}
+
+const Zone* AuthServer::find_zone(const Name& qname) const {
+  const Zone* best = nullptr;
+  for (const Zone& zone : zones_) {
+    if (!qname.is_subdomain_of(zone.origin())) continue;
+    if (best == nullptr || zone.origin().label_count() > best->origin().label_count()) {
+      best = &zone;
+    }
+  }
+  return best;
+}
+
+Message AuthServer::handle(const Message& query) const {
+  ++queries_handled_;
+
+  Message reply;
+  reply.header.id = query.header.id;
+  reply.header.qr = true;
+  reply.header.rd = query.header.rd;
+  reply.questions = query.questions;
+
+  if (query.questions.size() != 1) {
+    reply.header.rcode = Rcode::kFormErr;
+    return reply;
+  }
+  const Question& q = query.questions.front();
+
+  const Zone* zone = find_zone(q.qname);
+  if (zone == nullptr) {
+    reply.header.rcode = Rcode::kRefused;  // not authoritative for the name
+    return reply;
+  }
+  reply.header.aa = true;
+
+  // Chase CNAMEs within the zone (bounded: a chain longer than 8 is a
+  // configuration error, answer what we have).
+  Name current = q.qname;
+  for (int hops = 0; hops < 8; ++hops) {
+    const auto exact = zone->find(current, q.qtype);
+    if (!exact.empty()) {
+      for (const ResourceRecord* rr : exact) reply.answers.push_back(*rr);
+      return reply;
+    }
+    const auto cname = zone->find(current, Type::kCname);
+    if (!cname.empty() && q.qtype != Type::kCname) {
+      reply.answers.push_back(*cname.front());
+      current = std::get<CnameRecord>(cname.front()->rdata).cname;
+      if (!current.is_subdomain_of(zone->origin())) break;  // out-of-zone target
+      continue;
+    }
+    break;
+  }
+
+  // No data: distinguish NODATA (name exists) from NXDOMAIN.
+  if (!zone->name_exists(q.qname) && q.qname != zone->origin()) {
+    reply.header.rcode = Rcode::kNxDomain;
+  }
+  reply.authority.push_back(
+      ResourceRecord{zone->origin(), Type::kSoa, zone->soa_ttl(), zone->soa()});
+  return reply;
+}
+
+std::vector<std::uint8_t> AuthServer::handle_wire(const std::uint8_t* data,
+                                                  std::size_t len) const {
+  auto query = decode(data, len);
+  if (!query) {
+    Message formerr;
+    formerr.header.qr = true;
+    formerr.header.rcode = Rcode::kFormErr;
+    // Best effort: echo the id if at least two bytes arrived.
+    if (len >= 2) {
+      formerr.header.id = static_cast<std::uint16_t>((data[0] << 8) | data[1]);
+    }
+    return encode(formerr);
+  }
+  return encode(handle(*query));
+}
+
+}  // namespace psl::dns

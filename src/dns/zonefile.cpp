@@ -1,0 +1,242 @@
+#include "psl/dns/zonefile.hpp"
+
+#include <charconv>
+#include <optional>
+#include <vector>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::dns {
+
+namespace {
+
+util::Error at_line(std::size_t line_no, std::string code, std::string message) {
+  return util::make_error(std::move(code),
+                          "line " + std::to_string(line_no) + ": " + std::move(message));
+}
+
+/// Tokenise one zone-file line: whitespace-separated fields, double-quoted
+/// strings kept intact (quotes stripped), ';' starts a comment.
+util::Result<std::vector<std::string>> tokenize(std::string_view line, std::size_t line_no) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ';') break;  // comment
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t close = line.find('"', i + 1);
+      if (close == std::string_view::npos) {
+        return at_line(line_no, "zonefile.unterminated-string", "missing closing quote");
+      }
+      out.emplace_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' && line[end] != ';') {
+      ++end;
+    }
+    out.emplace_back(line.substr(i, end - i));
+    i = end;
+  }
+  return out;
+}
+
+util::Result<std::uint32_t> parse_u32(std::string_view field, std::size_t line_no) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    return at_line(line_no, "zonefile.bad-number",
+                   "expected a number, got '" + std::string(field) + "'");
+  }
+  return value;
+}
+
+/// Resolve a possibly-relative owner/target name against the origin.
+util::Result<Name> resolve_name(std::string_view token, const std::optional<Name>& origin,
+                                std::size_t line_no) {
+  if (token == "@") {
+    if (!origin) return at_line(line_no, "zonefile.no-origin", "'@' with no $ORIGIN");
+    return *origin;
+  }
+  if (!token.empty() && token.back() == '.') {
+    return Name::parse(token);  // absolute
+  }
+  if (!origin) {
+    return at_line(line_no, "zonefile.no-origin",
+                   "relative name '" + std::string(token) + "' with no $ORIGIN");
+  }
+  auto relative = Name::parse(token);
+  if (!relative) return relative.error();
+  std::vector<std::string> labels = relative->labels();
+  labels.insert(labels.end(), origin->labels().begin(), origin->labels().end());
+  return Name::from_labels(std::move(labels));
+}
+
+struct PendingRecord {
+  ResourceRecord record;
+};
+
+}  // namespace
+
+util::Result<Zone> parse_zone_file(std::string_view text) {
+  std::optional<Name> origin;
+  std::uint32_t default_ttl = 3600;
+  std::optional<Name> last_owner;
+
+  std::optional<SoaRecord> soa;
+  std::uint32_t soa_ttl = 3600;
+  std::optional<Name> soa_owner;
+  std::vector<ResourceRecord> records;
+
+  std::size_t line_no = 0;
+  for (std::string_view raw_line : util::split(text, '\n')) {
+    ++line_no;
+    // Leading whitespace means "same owner as the previous record".
+    const bool continuation =
+        !raw_line.empty() && (raw_line.front() == ' ' || raw_line.front() == '\t');
+
+    auto tokens = tokenize(raw_line, line_no);
+    if (!tokens) return tokens.error();
+    if (tokens->empty()) continue;
+    std::size_t cursor = 0;
+
+    // Directives.
+    if ((*tokens)[0] == "$ORIGIN") {
+      if (tokens->size() < 2) return at_line(line_no, "zonefile.bad-directive", "$ORIGIN needs a name");
+      auto name = Name::parse((*tokens)[1]);
+      if (!name) return name.error();
+      origin = *std::move(name);
+      continue;
+    }
+    if ((*tokens)[0] == "$TTL") {
+      if (tokens->size() < 2) return at_line(line_no, "zonefile.bad-directive", "$TTL needs a value");
+      auto ttl = parse_u32((*tokens)[1], line_no);
+      if (!ttl) return ttl.error();
+      default_ttl = *ttl;
+      continue;
+    }
+
+    // Owner name.
+    Name owner;
+    if (continuation) {
+      if (!last_owner) {
+        return at_line(line_no, "zonefile.no-owner", "continuation line before any record");
+      }
+      owner = *last_owner;
+    } else {
+      auto resolved = resolve_name((*tokens)[cursor], origin, line_no);
+      if (!resolved) return resolved.error();
+      owner = *std::move(resolved);
+      ++cursor;
+    }
+
+    // Optional TTL, optional class "IN", then the type.
+    std::uint32_t ttl = default_ttl;
+    if (cursor < tokens->size()) {
+      std::uint32_t value = 0;
+      const std::string& tok = (*tokens)[cursor];
+      const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+      if (ec == std::errc{} && ptr == tok.data() + tok.size()) {
+        ttl = value;
+        ++cursor;
+      }
+    }
+    if (cursor < tokens->size() && util::to_lower((*tokens)[cursor]) == "in") ++cursor;
+    if (cursor >= tokens->size()) {
+      return at_line(line_no, "zonefile.no-type", "missing record type");
+    }
+    const std::string type = util::to_lower((*tokens)[cursor]);
+    ++cursor;
+
+    const auto need = [&](std::size_t n) -> bool { return tokens->size() - cursor >= n; };
+
+    if (type == "soa") {
+      if (!need(7)) return at_line(line_no, "zonefile.bad-soa", "SOA needs 7 fields");
+      if (soa) return at_line(line_no, "zonefile.duplicate-soa", "second SOA record");
+      SoaRecord record;
+      auto mname = resolve_name((*tokens)[cursor++], origin, line_no);
+      if (!mname) return mname.error();
+      record.mname = *std::move(mname);
+      auto rname = resolve_name((*tokens)[cursor++], origin, line_no);
+      if (!rname) return rname.error();
+      record.rname = *std::move(rname);
+      for (std::uint32_t* field :
+           {&record.serial, &record.refresh, &record.retry, &record.expire, &record.minimum}) {
+        auto value = parse_u32((*tokens)[cursor++], line_no);
+        if (!value) return value.error();
+        *field = *value;
+      }
+      soa = std::move(record);
+      soa_ttl = ttl;
+      soa_owner = owner;
+    } else if (type == "a") {
+      if (!need(1)) return at_line(line_no, "zonefile.bad-a", "A needs an address");
+      const std::string& addr = (*tokens)[cursor++];
+      std::array<std::uint8_t, 4> octets{};
+      int part = 0;
+      std::size_t start = 0;
+      for (int k = 0; k < 4; ++k) {
+        const std::size_t dot = addr.find('.', start);
+        const std::string_view field(addr.data() + start,
+                                     (dot == std::string::npos ? addr.size() : dot) - start);
+        auto value = parse_u32(field, line_no);
+        if (!value || *value > 255 || (k < 3 && dot == std::string::npos)) {
+          return at_line(line_no, "zonefile.bad-a", "invalid IPv4 address");
+        }
+        octets[static_cast<std::size_t>(part++)] = static_cast<std::uint8_t>(*value);
+        start = dot + 1;
+      }
+      records.push_back(ResourceRecord{owner, Type::kA, ttl, ARecord{octets}});
+    } else if (type == "ns") {
+      if (!need(1)) return at_line(line_no, "zonefile.bad-ns", "NS needs a target");
+      auto target = resolve_name((*tokens)[cursor++], origin, line_no);
+      if (!target) return target.error();
+      records.push_back(ResourceRecord{owner, Type::kNs, ttl, NsRecord{*std::move(target)}});
+    } else if (type == "cname") {
+      if (!need(1)) return at_line(line_no, "zonefile.bad-cname", "CNAME needs a target");
+      auto target = resolve_name((*tokens)[cursor++], origin, line_no);
+      if (!target) return target.error();
+      records.push_back(
+          ResourceRecord{owner, Type::kCname, ttl, CnameRecord{*std::move(target)}});
+    } else if (type == "mx") {
+      if (!need(2)) return at_line(line_no, "zonefile.bad-mx", "MX needs preference + target");
+      auto pref = parse_u32((*tokens)[cursor++], line_no);
+      if (!pref) return pref.error();
+      auto target = resolve_name((*tokens)[cursor++], origin, line_no);
+      if (!target) return target.error();
+      records.push_back(ResourceRecord{
+          owner, Type::kMx, ttl,
+          MxRecord{static_cast<std::uint16_t>(*pref), *std::move(target)}});
+    } else if (type == "txt") {
+      if (!need(1)) return at_line(line_no, "zonefile.bad-txt", "TXT needs a string");
+      TxtRecord txt;
+      while (cursor < tokens->size()) txt.strings.push_back((*tokens)[cursor++]);
+      records.push_back(ResourceRecord{owner, Type::kTxt, ttl, std::move(txt)});
+    } else {
+      return at_line(line_no, "zonefile.unknown-type", "unsupported type '" + type + "'");
+    }
+    last_owner = owner;
+  }
+
+  if (!soa || !soa_owner) {
+    return util::make_error("zonefile.no-soa", "zone file has no SOA record");
+  }
+
+  Zone zone(*soa_owner, *std::move(soa), soa_ttl);
+  for (ResourceRecord& record : records) {
+    if (!record.name.is_subdomain_of(zone.origin())) {
+      return util::make_error("zonefile.out-of-zone",
+                              "record " + record.name.to_string() + " outside origin " +
+                                  zone.origin().to_string());
+    }
+    zone.add(std::move(record));
+  }
+  return zone;
+}
+
+}  // namespace psl::dns

@@ -1,0 +1,138 @@
+#include "psl/email/dmarc.hpp"
+
+#include "psl/util/strings.hpp"
+
+namespace psl::email {
+
+std::string organizational_domain(const List& list, std::string_view host) {
+  std::string_view h = host;
+  if (!h.empty() && h.back() == '.') h.remove_suffix(1);
+  const auto rd = list.registrable_domain(h);
+  return rd ? *rd : std::string(h);
+}
+
+std::string_view to_string(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::kNone: return "none";
+    case Policy::kQuarantine: return "quarantine";
+    case Policy::kReject: return "reject";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::optional<Policy> parse_policy(std::string_view value) {
+  if (value == "none") return Policy::kNone;
+  if (value == "quarantine") return Policy::kQuarantine;
+  if (value == "reject") return Policy::kReject;
+  return std::nullopt;
+}
+
+}  // namespace
+
+util::Result<DmarcRecord> parse_dmarc(std::string_view txt) {
+  const auto tags = util::split(txt, ';');
+  if (tags.empty() || util::trim(tags[0]) != "v=DMARC1") {
+    return util::make_error("dmarc.no-version", "first tag must be v=DMARC1");
+  }
+
+  DmarcRecord record;
+  bool have_p = false;
+  for (std::size_t i = 1; i < tags.size(); ++i) {
+    const std::string_view tag = util::trim(tags[i]);
+    if (tag.empty()) continue;
+    const std::size_t eq = tag.find('=');
+    if (eq == std::string_view::npos) {
+      return util::make_error("dmarc.bad-tag", "tag without '='");
+    }
+    const std::string key = util::to_lower(util::trim(tag.substr(0, eq)));
+    const std::string_view value = util::trim(tag.substr(eq + 1));
+
+    if (key == "p") {
+      const auto p = parse_policy(value);
+      if (!p) return util::make_error("dmarc.bad-policy", "p= must be none/quarantine/reject");
+      record.policy = *p;
+      have_p = true;
+    } else if (key == "sp") {
+      const auto p = parse_policy(value);
+      if (!p) return util::make_error("dmarc.bad-policy", "sp= must be none/quarantine/reject");
+      record.subdomain_policy = *p;
+    } else if (key == "pct") {
+      int pct = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return util::make_error("dmarc.bad-pct", "pct= not numeric");
+        pct = pct * 10 + (c - '0');
+      }
+      if (pct > 100) return util::make_error("dmarc.bad-pct", "pct= above 100");
+      record.pct = pct;
+    } else if (key == "adkim") {
+      record.adkim_strict = value == "s";
+    } else if (key == "aspf") {
+      record.aspf_strict = value == "s";
+    } else if (key == "rua") {
+      for (std::string_view uri : util::split(value, ',')) {
+        record.rua.emplace_back(util::trim(uri));
+      }
+    }
+    // Unknown tags are ignored, per the RFC.
+  }
+  if (!have_p) {
+    return util::make_error("dmarc.no-policy", "missing required p= tag");
+  }
+  return record;
+}
+
+namespace {
+
+/// Query _dmarc.<domain> TXT and return the first parseable DMARC record.
+std::optional<DmarcRecord> query_dmarc(dns::StubResolver& resolver, std::string_view domain,
+                                       std::uint64_t now, std::vector<std::string>& queried) {
+  auto name = dns::Name::parse("_dmarc." + std::string(domain));
+  if (!name) return std::nullopt;
+  queried.push_back(name->to_string());
+  const dns::ResolveResult answer = resolver.query(*name, dns::Type::kTxt, now);
+  if (!answer.ok()) return std::nullopt;
+  for (const dns::ResourceRecord& rr : answer.answers) {
+    if (rr.type != dns::Type::kTxt) continue;
+    const auto record = parse_dmarc(std::get<dns::TxtRecord>(rr.rdata).joined());
+    if (record.ok()) return *record;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DmarcLookup discover_policy(dns::StubResolver& resolver, const List& list,
+                            std::string_view from_host, std::uint64_t now) {
+  DmarcLookup lookup;
+
+  if (auto record = query_dmarc(resolver, from_host, now, lookup.queried_names)) {
+    lookup.record = std::move(record);
+    return lookup;
+  }
+
+  const std::string org = organizational_domain(list, from_host);
+  if (org != from_host) {
+    if (auto record = query_dmarc(resolver, org, now, lookup.queried_names)) {
+      lookup.record = std::move(record);
+      lookup.used_org_fallback = true;
+      // The mail came from a subdomain of the record's domain, so the
+      // subdomain policy (sp=) governs.
+      lookup.subdomain_policy_applies = true;
+    }
+  }
+  return lookup;
+}
+
+bool identifier_aligned(const List& list, std::string_view from_domain,
+                        std::string_view authenticated_domain, bool strict) {
+  std::string_view a = from_domain;
+  std::string_view b = authenticated_domain;
+  if (!a.empty() && a.back() == '.') a.remove_suffix(1);
+  if (!b.empty() && b.back() == '.') b.remove_suffix(1);
+  if (strict) return a == b;
+  return organizational_domain(list, a) == organizational_domain(list, b);
+}
+
+}  // namespace psl::email

@@ -1,0 +1,58 @@
+#include "psl/email/receiver.hpp"
+
+namespace psl::email {
+
+std::string_view to_string(Disposition disposition) noexcept {
+  switch (disposition) {
+    case Disposition::kAccept: return "accept";
+    case Disposition::kQuarantine: return "quarantine";
+    case Disposition::kReject: return "reject";
+    case Disposition::kNoPolicy: return "no-policy";
+  }
+  return "unknown";
+}
+
+ReceiverVerdict evaluate_message(dns::StubResolver& resolver, const List& list,
+                                 const MailMessage& message, std::uint64_t now) {
+  ReceiverVerdict verdict;
+
+  // 1. Policy discovery (determines alignment strictness too).
+  verdict.lookup = discover_policy(resolver, list, message.from_domain, now);
+  const bool aspf_strict = verdict.lookup.record && verdict.lookup.record->aspf_strict;
+  const bool adkim_strict = verdict.lookup.record && verdict.lookup.record->adkim_strict;
+
+  // 2. SPF for the envelope sender.
+  SpfEvaluator spf(resolver);
+  verdict.spf = spf.check_host(message.sender_ip, message.mail_from_domain, now);
+  verdict.spf_aligned =
+      verdict.spf.result == SpfResult::kPass &&
+      identifier_aligned(list, message.from_domain, message.mail_from_domain, aspf_strict);
+
+  // 3. DKIM alignment (signature validity is the caller's statement).
+  for (const std::string& d : message.dkim_pass_domains) {
+    if (identifier_aligned(list, message.from_domain, d, adkim_strict)) {
+      verdict.dkim_aligned = true;
+      break;
+    }
+  }
+
+  // 4. DMARC pass: either aligned authenticated identifier.
+  verdict.dmarc_pass = verdict.spf_aligned || verdict.dkim_aligned;
+
+  // 5. Disposition.
+  const auto policy = verdict.lookup.effective_policy();
+  if (!policy) {
+    verdict.disposition = Disposition::kNoPolicy;
+  } else if (verdict.dmarc_pass) {
+    verdict.disposition = Disposition::kAccept;
+  } else {
+    switch (*policy) {
+      case Policy::kNone: verdict.disposition = Disposition::kAccept; break;
+      case Policy::kQuarantine: verdict.disposition = Disposition::kQuarantine; break;
+      case Policy::kReject: verdict.disposition = Disposition::kReject; break;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace psl::email

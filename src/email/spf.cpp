@@ -1,0 +1,293 @@
+#include "psl/email/spf.hpp"
+
+#include <charconv>
+
+#include "psl/url/host.hpp"
+#include "psl/util/strings.hpp"
+
+namespace psl::email {
+
+std::string_view to_string(SpfResult result) noexcept {
+  switch (result) {
+    case SpfResult::kPass: return "pass";
+    case SpfResult::kFail: return "fail";
+    case SpfResult::kSoftFail: return "softfail";
+    case SpfResult::kNeutral: return "neutral";
+    case SpfResult::kNone: return "none";
+    case SpfResult::kPermError: return "permerror";
+    case SpfResult::kTempError: return "temperror";
+  }
+  return "unknown";
+}
+
+bool ip4_in_network(const std::array<std::uint8_t, 4>& ip,
+                    const std::array<std::uint8_t, 4>& network, int prefix_len) noexcept {
+  if (prefix_len <= 0) return true;
+  if (prefix_len > 32) return false;
+  const auto to_u32 = [](const std::array<std::uint8_t, 4>& a) {
+    return (static_cast<std::uint32_t>(a[0]) << 24) | (static_cast<std::uint32_t>(a[1]) << 16) |
+           (static_cast<std::uint32_t>(a[2]) << 8) | a[3];
+  };
+  const std::uint32_t mask =
+      prefix_len == 32 ? 0xFFFFFFFFu : ~((1u << (32 - prefix_len)) - 1);
+  return (to_u32(ip) & mask) == (to_u32(network) & mask);
+}
+
+namespace {
+
+constexpr std::size_t kDnsMechanismLimit = 10;
+constexpr int kIncludeDepthLimit = 10;
+
+util::Result<SpfTerm> parse_term(std::string_view token) {
+  SpfTerm term;
+  if (!token.empty() &&
+      (token[0] == '+' || token[0] == '-' || token[0] == '~' || token[0] == '?')) {
+    term.qualifier = token[0];
+    token.remove_prefix(1);
+  }
+
+  const std::string lowered = util::to_lower(token);
+  const std::string_view t = lowered;
+
+  if (t == "all") {
+    term.kind = SpfTerm::Kind::kAll;
+    return term;
+  }
+  if (util::starts_with(t, "ip4:")) {
+    term.kind = SpfTerm::Kind::kIp4;
+    std::string_view value = t.substr(4);
+    const std::size_t slash = value.find('/');
+    if (slash != std::string_view::npos) {
+      const std::string_view prefix = value.substr(slash + 1);
+      int len = -1;
+      const auto [ptr, ec] = std::from_chars(prefix.data(), prefix.data() + prefix.size(), len);
+      if (ec != std::errc{} || ptr != prefix.data() + prefix.size() || len < 0 || len > 32) {
+        return util::make_error("spf.bad-cidr", "invalid ip4 prefix length");
+      }
+      term.prefix_len = len;
+      value = value.substr(0, slash);
+    }
+    auto parsed = url::parse_ipv4(value);
+    if (!parsed) return util::make_error("spf.bad-ip4", "invalid ip4 address");
+    term.address = *parsed;
+    return term;
+  }
+  if (t == "a" || util::starts_with(t, "a:")) {
+    term.kind = SpfTerm::Kind::kA;
+    if (util::starts_with(t, "a:")) term.domain = std::string(t.substr(2));
+    return term;
+  }
+  if (t == "mx" || util::starts_with(t, "mx:")) {
+    term.kind = SpfTerm::Kind::kMx;
+    if (util::starts_with(t, "mx:")) term.domain = std::string(t.substr(3));
+    return term;
+  }
+  if (util::starts_with(t, "include:")) {
+    term.kind = SpfTerm::Kind::kInclude;
+    term.domain = std::string(t.substr(8));
+    if (term.domain.empty()) return util::make_error("spf.bad-include", "empty include target");
+    return term;
+  }
+  if (util::starts_with(t, "redirect=")) {
+    term.kind = SpfTerm::Kind::kRedirect;
+    term.domain = std::string(t.substr(9));
+    if (term.domain.empty()) return util::make_error("spf.bad-redirect", "empty redirect target");
+    return term;
+  }
+  return util::make_error("spf.unknown-term", "unsupported mechanism: " + std::string(t));
+}
+
+}  // namespace
+
+util::Result<SpfRecord> parse_spf(std::string_view txt) {
+  const auto tokens = util::split(txt, ' ');
+  if (tokens.empty() || util::trim(tokens[0]) != "v=spf1") {
+    return util::make_error("spf.no-version", "record must start with v=spf1");
+  }
+  SpfRecord record;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = util::trim(tokens[i]);
+    if (token.empty()) continue;
+    auto term = parse_term(token);
+    if (!term) return term.error();
+    record.terms.push_back(*std::move(term));
+  }
+  return record;
+}
+
+namespace {
+
+SpfResult qualifier_result(char q) {
+  switch (q) {
+    case '-': return SpfResult::kFail;
+    case '~': return SpfResult::kSoftFail;
+    case '?': return SpfResult::kNeutral;
+    default: return SpfResult::kPass;
+  }
+}
+
+}  // namespace
+
+SpfOutcome SpfEvaluator::check_host(const std::array<std::uint8_t, 4>& sender_ip,
+                                    std::string_view domain, std::uint64_t now) {
+  std::size_t budget = kDnsMechanismLimit;
+  return evaluate(sender_ip, domain, now, budget, 0);
+}
+
+SpfOutcome SpfEvaluator::evaluate(const std::array<std::uint8_t, 4>& sender_ip,
+                                  std::string_view domain, std::uint64_t now,
+                                  std::size_t& query_budget, int depth) {
+  SpfOutcome outcome;
+  if (depth > kIncludeDepthLimit) {
+    outcome.result = SpfResult::kPermError;
+    return outcome;
+  }
+
+  auto qname = dns::Name::parse(domain);
+  if (!qname) {
+    outcome.result = SpfResult::kPermError;
+    return outcome;
+  }
+
+  const dns::ResolveResult answer = resolver_->query(*qname, dns::Type::kTxt, now);
+  if (answer.rcode == dns::Rcode::kServFail) {
+    outcome.result = SpfResult::kTempError;
+    return outcome;
+  }
+
+  // Find the (single) SPF record among the TXT strings.
+  std::optional<SpfRecord> record;
+  for (const dns::ResourceRecord& rr : answer.answers) {
+    if (rr.type != dns::Type::kTxt) continue;
+    const std::string text = std::get<dns::TxtRecord>(rr.rdata).joined();
+    if (!util::starts_with(text, "v=spf1")) continue;
+    auto parsed = parse_spf(text);
+    if (!parsed) {
+      outcome.result = SpfResult::kPermError;
+      return outcome;
+    }
+    if (record) {
+      // RFC 7208 section 4.5: multiple records are a permerror.
+      outcome.result = SpfResult::kPermError;
+      return outcome;
+    }
+    record = *std::move(parsed);
+  }
+  if (!record) {
+    outcome.result = SpfResult::kNone;
+    return outcome;
+  }
+
+  const auto charge = [&]() -> bool {
+    if (query_budget == 0) return false;
+    --query_budget;
+    ++outcome.dns_mechanism_queries;
+    return true;
+  };
+
+  const auto a_matches = [&](std::string_view target) {
+    auto target_name = dns::Name::parse(target);
+    if (!target_name) return false;
+    const dns::ResolveResult a = resolver_->query(*target_name, dns::Type::kA, now);
+    for (const dns::ResourceRecord& rr : a.answers) {
+      if (rr.type != dns::Type::kA) continue;
+      if (std::get<dns::ARecord>(rr.rdata).address == sender_ip) return true;
+    }
+    return false;
+  };
+
+  for (const SpfTerm& term : record->terms) {
+    switch (term.kind) {
+      case SpfTerm::Kind::kAll:
+        outcome.result = qualifier_result(term.qualifier);
+        outcome.matched_mechanism = "all";
+        return outcome;
+
+      case SpfTerm::Kind::kIp4:
+        if (ip4_in_network(sender_ip, term.address, term.prefix_len)) {
+          outcome.result = qualifier_result(term.qualifier);
+          outcome.matched_mechanism = "ip4";
+          return outcome;
+        }
+        break;
+
+      case SpfTerm::Kind::kA: {
+        if (!charge()) {
+          outcome.result = SpfResult::kPermError;
+          return outcome;
+        }
+        const std::string target =
+            term.domain.empty() ? std::string(domain) : term.domain;
+        if (a_matches(target)) {
+          outcome.result = qualifier_result(term.qualifier);
+          outcome.matched_mechanism = "a";
+          return outcome;
+        }
+        break;
+      }
+
+      case SpfTerm::Kind::kMx: {
+        if (!charge()) {
+          outcome.result = SpfResult::kPermError;
+          return outcome;
+        }
+        const std::string target =
+            term.domain.empty() ? std::string(domain) : term.domain;
+        auto target_name = dns::Name::parse(target);
+        if (!target_name) break;
+        const dns::ResolveResult mx = resolver_->query(*target_name, dns::Type::kMx, now);
+        for (const dns::ResourceRecord& rr : mx.answers) {
+          if (rr.type != dns::Type::kMx) continue;
+          if (a_matches(std::get<dns::MxRecord>(rr.rdata).exchange.to_string())) {
+            outcome.result = qualifier_result(term.qualifier);
+            outcome.matched_mechanism = "mx";
+            return outcome;
+          }
+        }
+        break;
+      }
+
+      case SpfTerm::Kind::kInclude: {
+        if (!charge()) {
+          outcome.result = SpfResult::kPermError;
+          return outcome;
+        }
+        SpfOutcome inner = evaluate(sender_ip, term.domain, now, query_budget, depth + 1);
+        outcome.dns_mechanism_queries += inner.dns_mechanism_queries;
+        // RFC 7208 table: include matches iff the inner result is pass;
+        // inner permerror/none propagate as permerror.
+        if (inner.result == SpfResult::kPass) {
+          outcome.result = qualifier_result(term.qualifier);
+          outcome.matched_mechanism = "include:" + term.domain;
+          return outcome;
+        }
+        if (inner.result == SpfResult::kPermError || inner.result == SpfResult::kNone) {
+          outcome.result = SpfResult::kPermError;
+          return outcome;
+        }
+        if (inner.result == SpfResult::kTempError) {
+          outcome.result = SpfResult::kTempError;
+          return outcome;
+        }
+        break;
+      }
+
+      case SpfTerm::Kind::kRedirect: {
+        if (!charge()) {
+          outcome.result = SpfResult::kPermError;
+          return outcome;
+        }
+        SpfOutcome inner = evaluate(sender_ip, term.domain, now, query_budget, depth + 1);
+        inner.dns_mechanism_queries += outcome.dns_mechanism_queries;
+        if (inner.result == SpfResult::kNone) inner.result = SpfResult::kPermError;
+        return inner;
+      }
+    }
+  }
+
+  // Fell off the record: neutral, per RFC 7208 section 4.7.
+  outcome.result = SpfResult::kNeutral;
+  return outcome;
+}
+
+}  // namespace psl::email

@@ -1,0 +1,108 @@
+#include "psl/history/history.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psl::history {
+
+History::History(std::vector<util::Date> version_dates, std::vector<ScheduledRule> schedule)
+    : version_dates_(std::move(version_dates)), schedule_(std::move(schedule)) {
+  assert(!version_dates_.empty());
+  assert(std::is_sorted(version_dates_.begin(), version_dates_.end(),
+                        [](util::Date a, util::Date b) { return a <= b; }));
+  for ([[maybe_unused]] const ScheduledRule& sr : schedule_) {
+    assert(!sr.removed || *sr.removed > sr.added);
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const ScheduledRule& a, const ScheduledRule& b) { return a.added < b.added; });
+}
+
+std::optional<std::size_t> History::version_index_at(util::Date date) const noexcept {
+  const auto it = std::upper_bound(version_dates_.begin(), version_dates_.end(), date);
+  if (it == version_dates_.begin()) return std::nullopt;
+  return static_cast<std::size_t>(it - version_dates_.begin()) - 1;
+}
+
+List History::snapshot(std::size_t version) const {
+  const util::Date date = version_dates_.at(version);
+  std::vector<Rule> rules;
+  rules.reserve(schedule_.size());
+  for (const ScheduledRule& sr : schedule_) {
+    if (sr.added > date) break;  // schedule_ is sorted by added date
+    if (sr.removed && *sr.removed <= date) continue;
+    rules.push_back(sr.rule);
+  }
+  return List::from_rules(std::move(rules));
+}
+
+List History::snapshot_at(util::Date date) const {
+  const auto index = version_index_at(date);
+  if (!index) return List{};
+  return snapshot(*index);
+}
+
+std::size_t History::rule_count(std::size_t version) const noexcept {
+  const util::Date date = version_dates_[version];
+  std::size_t count = 0;
+  for (const ScheduledRule& sr : schedule_) {
+    if (sr.added > date) break;
+    if (sr.removed && *sr.removed <= date) continue;
+    ++count;
+  }
+  return count;
+}
+
+const List& History::latest() const {
+  if (!latest_cache_) latest_cache_ = snapshot(version_count() - 1);
+  return *latest_cache_;
+}
+
+std::optional<util::Date> History::added_date(std::string_view rule_text) const {
+  std::optional<util::Date> earliest;
+  for (const ScheduledRule& sr : schedule_) {
+    if (sr.rule.to_string() == rule_text) {
+      if (!earliest || sr.added < *earliest) earliest = sr.added;
+    }
+  }
+  return earliest;
+}
+
+std::vector<History::VersionDelta> History::version_deltas() const {
+  std::vector<VersionDelta> out;
+  out.reserve(version_dates_.size());
+  for (std::size_t i = 0; i < version_dates_.size(); ++i) {
+    out.push_back(VersionDelta{i, version_dates_[i], 0, 0});
+  }
+  // Schedule dates are snapped onto version dates, so exact lookups apply.
+  const auto index_of = [&](util::Date d) -> std::optional<std::size_t> {
+    const auto it = std::lower_bound(version_dates_.begin(), version_dates_.end(), d);
+    if (it == version_dates_.end() || *it != d) return std::nullopt;
+    return static_cast<std::size_t>(it - version_dates_.begin());
+  };
+  for (const ScheduledRule& sr : schedule_) {
+    if (const auto idx = index_of(sr.added)) ++out[*idx].rules_added;
+    if (sr.removed) {
+      if (const auto idx = index_of(*sr.removed)) ++out[*idx].rules_removed;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> History::sampled_versions(std::size_t max_points) const {
+  const std::size_t n = version_count();
+  std::vector<std::size_t> out;
+  if (max_points == 0) return out;
+  if (max_points >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    out.push_back(i * (n - 1) / (max_points - 1));
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace psl::history

@@ -1,0 +1,449 @@
+#include "psl/history/timeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "psl/util/namegen.hpp"
+#include "psl/util/rng.hpp"
+
+namespace psl::history {
+
+namespace {
+
+using util::Date;
+
+// ---------------------------------------------------------------------------
+// Static vocabulary
+// ---------------------------------------------------------------------------
+
+// Classic gTLD / sponsored / infrastructure TLDs present from the start.
+constexpr std::string_view kCoreTlds[] = {
+    "com", "net",  "org",  "edu",    "gov",  "mil",  "int",   "arpa",
+    "info", "biz", "name", "pro",    "mobi", "aero", "asia",  "cat",
+    "coop", "jobs", "museum", "tel", "travel", "post", "xxx",
+};
+
+// Real ccTLDs (a representative 150 of the ~250 in the root zone; the
+// remainder are padded with synthetic two-letter codes so the count matches).
+constexpr std::string_view kCcTlds[] = {
+    "ac", "ad", "ae", "af", "ag", "ai", "al", "am", "ao", "ar", "at", "au",
+    "aw", "az", "ba", "bb", "bd", "be", "bf", "bg", "bh", "bi", "bj", "bm",
+    "bn", "bo", "br", "bs", "bt", "bw", "by", "bz", "ca", "cc", "cd", "cf",
+    "cg", "ch", "ci", "ck", "cl", "cm", "cn", "co", "cr", "cu", "cv", "cy",
+    "cz", "de", "dj", "dk", "dm", "do", "dz", "ec", "ee", "eg", "er", "es",
+    "et", "eu", "fi", "fj", "fk", "fm", "fo", "fr", "ga", "gd", "ge", "gf",
+    "gg", "gh", "gi", "gl", "gm", "gn", "gp", "gq", "gr", "gt", "gu", "gw",
+    "gy", "hk", "hn", "hr", "ht", "hu", "id", "ie", "il", "im", "in", "iq",
+    "ir", "is", "it", "je", "jm", "jo", "jp", "ke", "kg", "kh", "ki", "km",
+    "kn", "kp", "kr", "kw", "ky", "kz", "la", "lb", "lc", "li", "lk", "lr",
+    "ls", "lt", "lu", "lv", "ly", "ma", "mc", "md", "me", "mg", "mh", "mk",
+    "ml", "mm", "mn", "mo", "mp", "mq", "mr", "ms", "mt", "mu", "mv", "mw",
+    "mx", "my", "mz", "na", "nc", "ne", "nf", "ng", "ni", "nl", "no", "np",
+    "nr", "nu", "nz", "om", "pa", "pe", "pf", "pg", "ph", "pk", "pl", "pm",
+    "pn", "pr", "ps", "pt", "pw", "py", "qa", "re", "ro", "rs", "ru", "rw",
+    "sa", "sb", "sc", "sd", "se", "sg", "sh", "si", "sk", "sl", "sm", "sn",
+    "so", "sr", "st", "sv", "sy", "sz", "tc", "td", "tg", "th", "tj", "tk",
+    "tl", "tm", "tn", "to", "tr", "tt", "tv", "tw", "tz", "ua", "ug", "uk",
+    "us", "uy", "uz", "va", "vc", "ve", "vg", "vi", "vn", "vu", "wf", "ws",
+    "ye", "za", "zm", "zw",
+};
+
+// Second-level zone labels used by structured ccTLD registries.
+constexpr std::string_view kSldZones[] = {
+    "com", "co",  "net", "org", "gov", "edu", "ac", "mil", "or",  "ne",
+    "go",  "in",  "info", "web", "biz", "name", "sch", "pub", "int", "res",
+    "alt", "pro", "art", "law", "med", "eco", "rec", "firm", "store", "k12",
+};
+
+// ccTLDs that seed with a broad wildcard rule (*.cc) — as the early real
+// list did — each later replaced by explicit second-level rules.
+struct WildcardRetirement {
+  std::string_view cc;
+  Date removed;
+  std::initializer_list<std::string_view> replacement_zones;
+};
+
+const WildcardRetirement kWildcardRetirements[] = {
+    {"uk", Date::from_civil(2009, 9, 10),
+     {"co", "org", "me", "net", "ltd", "plc", "ac", "gov", "mod", "nhs", "police", "sch"}},
+    {"jp", Date::from_civil(2012, 5, 20),
+     {"co", "or", "ne", "ac", "ad", "ed", "go", "gr", "lg"}},
+    {"nz", Date::from_civil(2012, 9, 10),
+     {"co", "net", "org", "govt", "ac", "school", "geek", "gen", "kiwi", "maori"}},
+    {"za", Date::from_civil(2013, 6, 1),
+     {"co", "net", "org", "gov", "ac", "web", "edu"}},
+};
+
+// ccTLDs that keep a broad wildcard for the whole timeline (as *.ck, *.er,
+// *.fj, ... do in the real list).
+constexpr std::string_view kPermanentWildcards[] = {
+    "bd", "ck", "er", "fj", "fk", "gu", "kh", "mm", "np", "pg", "mv", "ye",
+};
+
+// The 47 Japanese prefectures, for the mid-2012 city-registration spike.
+constexpr std::string_view kJpPrefectures[] = {
+    "aichi",    "akita",    "aomori",  "chiba",    "ehime",    "fukui",
+    "fukuoka",  "fukushima", "gifu",   "gunma",    "hiroshima", "hokkaido",
+    "hyogo",    "ibaraki",  "ishikawa", "iwate",   "kagawa",   "kagoshima",
+    "kanagawa", "kochi",    "kumamoto", "kyoto",   "mie",      "miyagi",
+    "miyazaki", "nagano",   "nagasaki", "nara",    "niigata",  "oita",
+    "okayama",  "okinawa",  "osaka",   "saga",     "saitama",  "shiga",
+    "shimane",  "shizuoka", "tochigi", "tokushima", "tokyo",   "tottori",
+    "toyama",   "wakayama", "yamagata", "yamaguchi", "yamanashi",
+};
+
+// US states for seed k12.{state}.us-style three-component rules.
+constexpr std::string_view kUsStates[] = {
+    "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga", "hi", "ia",
+    "id", "il", "in", "ks", "ky", "la", "ma", "md", "me", "mi", "mn", "mo",
+    "ms", "mt", "nc", "nd", "ne", "nh", "nj", "nm", "nv", "ny", "oh", "ok",
+    "or", "pa", "ri", "sc", "sd", "tn", "tx", "ut", "va", "vt", "wa", "wi",
+    "wv", "wy",
+};
+
+// Named platform rules with fixed add dates. Dates are chosen so that the
+// Table 3 anchor projects' embedded lists (dated t - age, t = 2022-12-08)
+// miss/contain each rule the way the paper's Table 2 reports. tenant_weight
+// is proportional to Table 2's "hostnames" column for the late rules, and to
+// plausible relative volumes for the early (never-missing) platforms.
+constexpr PlatformAnchor kAnchors[] = {
+    {"blogspot.com", Section::kPrivate, Date::from_civil(2009, 4, 10), 2500, false, 0.05},
+    {"appspot.com", Section::kPrivate, Date::from_civil(2009, 9, 21), 1200, false, 0.15},
+    {"cloudfront.net", Section::kPrivate, Date::from_civil(2010, 11, 5), 800, true, 0.0},
+    {"herokuapp.com", Section::kPrivate, Date::from_civil(2013, 5, 20), 2000, false, 0.3},
+    {"github.io", Section::kPrivate, Date::from_civil(2013, 8, 14), 6000, false, 0.35},
+    {"azurewebsites.net", Section::kPrivate, Date::from_civil(2014, 3, 10), 1500, false, 0.3},
+    {"fastly.net", Section::kPrivate, Date::from_civil(2015, 2, 10), 800, true, 0.0},
+    {"wordpress.com", Section::kPrivate, Date::from_civil(2015, 9, 1), 3500, false, 0.4},
+    {"sp.gov.br", Section::kIcann, Date::from_civil(2017, 6, 20), 2024, false, 0.3},
+    {"mg.gov.br", Section::kIcann, Date::from_civil(2017, 6, 20), 1153, false, 0.3},
+    {"pr.gov.br", Section::kIcann, Date::from_civil(2017, 6, 20), 891, false, 0.3},
+    {"rs.gov.br", Section::kIcann, Date::from_civil(2017, 6, 20), 747, false, 0.3},
+    {"sc.gov.br", Section::kIcann, Date::from_civil(2017, 6, 20), 714, false, 0.3},
+    {"altervista.org", Section::kPrivate, Date::from_civil(2019, 9, 15), 1954, false, 0.4},
+    {"netlify.app", Section::kPrivate, Date::from_civil(2019, 12, 10), 1278, false, 0.5},
+    {"r.appspot.com", Section::kPrivate, Date::from_civil(2019, 12, 10), 3194, false, 0.5},
+    {"lpages.co", Section::kPrivate, Date::from_civil(2020, 3, 25), 1067, false, 0.5},
+    {"readthedocs.io", Section::kPrivate, Date::from_civil(2020, 3, 20), 1887, false, 0.45},
+    {"web.app", Section::kPrivate, Date::from_civil(2020, 4, 15), 871, false, 0.5},
+    {"carrd.co", Section::kPrivate, Date::from_civil(2020, 5, 10), 776, false, 0.5},
+    {"myshopify.com", Section::kPrivate, Date::from_civil(2021, 2, 20), 7848, false, 0.6},
+    {"smushcdn.com", Section::kPrivate, Date::from_civil(2021, 2, 20), 3337, true, 0.0},
+    {"digitaloceanspaces.com", Section::kPrivate, Date::from_civil(2022, 2, 5), 3359, true, 0.0},
+};
+
+Rule must_parse(std::string_view text, Section section) {
+  auto rule = Rule::parse(text, section);
+  if (!rule) {
+    throw std::logic_error("timeline: bad built-in rule '" + std::string(text) +
+                           "': " + rule.error().message);
+  }
+  return *std::move(rule);
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+class Generator {
+ public:
+  explicit Generator(const TimelineSpec& spec)
+      : spec_(spec),
+        rng_(spec.seed),
+        names_(rng_.fork(1)),
+        // Structural block sizes scale with the requested final rule count so
+        // TimelineSpec::tiny() keeps the same shape at a tenth the volume.
+        scale_(static_cast<double>(spec.final_rule_count) / 9368.0) {}
+
+  History generate() {
+    build_seed_rules();
+    build_wildcard_retirements();
+    build_jp_spike();
+    build_gtld_wave();
+    build_three_component_stream();
+    build_four_component_rules();
+    build_anchor_rules();
+    build_private_filler();
+    std::vector<Date> versions = build_version_dates();
+    snap_schedule_to_versions(versions);
+    return History(std::move(versions), std::move(schedule_));
+  }
+
+ private:
+  std::size_t scaled(std::size_t full) const {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(static_cast<double>(full) * scale_));
+  }
+
+  void add(Rule rule, Date added, std::optional<Date> removed = std::nullopt) {
+    schedule_.push_back(ScheduledRule{std::move(rule), added, removed});
+  }
+
+  bool claim_text(const std::string& text) { return used_texts_.insert(text).second; }
+
+  /// Random date uniform in [lo, hi].
+  Date random_date(Date lo, Date hi) {
+    return Date(static_cast<std::int32_t>(
+        rng_.between(lo.days_since_epoch(), hi.days_since_epoch())));
+  }
+
+  // --- seed (first version) ------------------------------------------------
+
+  void build_seed_rules() {
+    const Date t0 = spec_.first_version;
+    std::size_t count = 0;
+    auto seed_rule = [&](std::string_view text, Section section) {
+      if (!claim_text(std::string(text))) return;
+      add(must_parse(text, section), t0);
+      ++count;
+    };
+
+    for (std::string_view tld : kCoreTlds) seed_rule(tld, Section::kIcann);
+    for (std::string_view cc : kCcTlds) seed_rule(cc, Section::kIcann);
+
+    // Broad wildcards present from day one. The retired ones carry their
+    // retirement date; the permanent ones never go away.
+    for (const auto& retirement : kWildcardRetirements) {
+      const std::string text = "*." + std::string(retirement.cc);
+      if (claim_text(text)) {
+        add(must_parse(text, Section::kIcann), t0, retirement.removed);
+        ++count;
+      }
+    }
+    for (std::string_view cc : kPermanentWildcards) {
+      seed_rule("*." + std::string(cc), Section::kIcann);
+    }
+    seed_rule("!www.ck", Section::kIcann);
+    seed_rule("!metro.tokyo.jp", Section::kIcann);
+
+    // Structured ccTLD second-level zones (skipping the wildcarded ccTLDs,
+    // whose zones arrive with the wildcard retirement).
+    std::set<std::string_view> wildcarded;
+    for (const auto& r : kWildcardRetirements) wildcarded.insert(r.cc);
+    for (std::string_view cc : kPermanentWildcards) wildcarded.insert(cc);
+
+    const std::size_t sld_target = count + scaled(1300);
+    for (std::string_view cc : kCcTlds) {
+      if (count >= sld_target) break;
+      if (wildcarded.contains(cc)) continue;
+      if (!rng_.chance(0.55)) continue;  // not every registry is structured
+      const std::size_t zones = 8 + rng_.below(18);
+      std::vector<std::string_view> pool(std::begin(kSldZones), std::end(kSldZones));
+      rng_.shuffle(pool);
+      for (std::size_t i = 0; i < zones && i < pool.size() && count < sld_target; ++i) {
+        seed_rule(std::string(pool[i]) + "." + std::string(cc), Section::kIcann);
+      }
+    }
+
+    // Three-component seed rules: US k12-style plus a few *.edu.au-style.
+    const std::size_t three_target = count + scaled(170);
+    for (std::string_view state : kUsStates) {
+      if (count >= three_target) break;
+      seed_rule("k12." + std::string(state) + ".us", Section::kIcann);
+      seed_rule("cc." + std::string(state) + ".us", Section::kIcann);
+      seed_rule("lib." + std::string(state) + ".us", Section::kIcann);
+    }
+    while (count < three_target) {
+      seed_rule(names_.fresh(1) + "." + std::string(kSldZones[rng_.below(std::size(kSldZones))]) +
+                    "." + std::string(kCcTlds[rng_.below(std::size(kCcTlds))]),
+                Section::kIcann);
+    }
+
+    // A small early PRIVATE section.
+    seed_rule("operaunite.com", Section::kPrivate);
+    seed_rule("dyndns.org", Section::kPrivate);
+
+    // Two-component filler up to the seed total.
+    while (count < spec_.seed_rule_count) {
+      seed_rule(names_.fresh(1) + "." + std::string(kCcTlds[rng_.below(std::size(kCcTlds))]),
+                Section::kIcann);
+    }
+  }
+
+  // --- timeline events -------------------------------------------------------
+
+  void build_wildcard_retirements() {
+    // Each retirement replaces the wildcard with explicit second-level rules
+    // plus (for jp) the prefecture rules that the city spike later extends.
+    for (const auto& retirement : kWildcardRetirements) {
+      for (std::string_view zone : retirement.replacement_zones) {
+        const std::string text = std::string(zone) + "." + std::string(retirement.cc);
+        if (claim_text(text)) add(must_parse(text, Section::kIcann), retirement.removed);
+      }
+      if (retirement.cc == "jp") {
+        for (std::string_view pref : kJpPrefectures) {
+          const std::string text = std::string(pref) + ".jp";
+          if (claim_text(text)) add(must_parse(text, Section::kIcann), retirement.removed);
+        }
+      }
+    }
+  }
+
+  void build_jp_spike() {
+    // "In mid-2012, a significant number of suffixes (~1623) are added to
+    // support 4th-level name registrations within the Japanese registry."
+    const Date spike = Date::from_civil(2012, 7, 15);
+    const std::size_t target = scaled(1623);
+    std::size_t made = 0;
+    util::NameGen city_names(rng_.fork(2));
+    while (made < target) {
+      for (std::string_view pref : kJpPrefectures) {
+        if (made >= target) break;
+        const std::string text = city_names.fresh(2) + "." + std::string(pref) + ".jp";
+        if (claim_text(text)) {
+          add(must_parse(text, Section::kIcann), spike);
+          ++made;
+        }
+      }
+    }
+  }
+
+  void build_gtld_wave() {
+    // The ICANN new-gTLD programme: ~1300 single-component rules delegated
+    // across 2013-10 .. 2016-12.
+    const Date lo = Date::from_civil(2013, 10, 1);
+    const Date hi = Date::from_civil(2016, 12, 31);
+    const std::size_t target = scaled(1300);
+    for (std::size_t i = 0; i < target;) {
+      const std::string text = names_.fresh(1 + rng_.below(2));
+      if (!claim_text(text)) continue;
+      add(must_parse(text, Section::kIcann), random_date(lo, hi));
+      ++i;
+    }
+  }
+
+  void build_three_component_stream() {
+    // Steady multi-label additions 2013-2022 (registry restructurings,
+    // region-scoped platform zones).
+    const Date lo = Date::from_civil(2013, 1, 1);
+    const Date hi = spec_.last_version;
+    const std::size_t target = scaled(550);
+    for (std::size_t i = 0; i < target;) {
+      const std::string cc(kCcTlds[rng_.below(std::size(kCcTlds))]);
+      const std::string zone(kSldZones[rng_.below(std::size(kSldZones))]);
+      const std::string text = names_.fresh(2) + "." + zone + "." + cc;
+      if (!claim_text(text)) continue;
+      const Section section = rng_.chance(0.4) ? Section::kPrivate : Section::kIcann;
+      add(must_parse(text, section), random_date(lo, hi));
+      ++i;
+    }
+  }
+
+  void build_four_component_rules() {
+    // "~0.1% of entries have four or more components" — e.g. regional object
+    // storage zones. A handful, added late.
+    const Date lo = Date::from_civil(2018, 1, 1);
+    const Date hi = Date::from_civil(2021, 12, 31);
+    const std::size_t target = std::max<std::size_t>(2, scaled(9));
+    for (std::size_t i = 0; i < target;) {
+      const std::string text =
+          names_.fresh(1) + ".compute." + names_.fresh(2) + ".com";
+      if (!claim_text(text)) continue;
+      add(must_parse(text, Section::kPrivate), random_date(lo, hi));
+      ++i;
+    }
+  }
+
+  void build_anchor_rules() {
+    for (const PlatformAnchor& anchor : kAnchors) {
+      if (!claim_text(std::string(anchor.rule_text))) continue;
+      add(must_parse(anchor.rule_text, anchor.section), anchor.added);
+    }
+  }
+
+  void build_private_filler() {
+    // Whatever is left to reach the exact final rule count: the long tail of
+    // shared-hosting platforms submitting their zones, 2009 -> end.
+    std::size_t final_count = 0;
+    for (const ScheduledRule& sr : schedule_) {
+      if (!sr.removed) ++final_count;
+    }
+    if (final_count > spec_.final_rule_count) {
+      throw std::logic_error("timeline: structural rules exceed final_rule_count; "
+                             "use a larger final_rule_count in the spec");
+    }
+
+    static constexpr std::string_view kPlatformTlds[] = {
+        "com", "net", "org", "io", "co", "app", "dev", "cloud", "site", "host",
+    };
+    const Date lo = Date::from_civil(2009, 1, 1);
+    const Date hi = spec_.last_version;
+    while (final_count < spec_.final_rule_count) {
+      const std::string text =
+          names_.fresh() + "." + std::string(kPlatformTlds[rng_.below(std::size(kPlatformTlds))]);
+      if (!claim_text(text)) continue;
+      // Additions skew later: the PRIVATE section grew fastest post-2015.
+      const Date d1 = random_date(lo, hi);
+      const Date d2 = random_date(lo, hi);
+      add(must_parse(text, Section::kPrivate), std::max(d1, d2));
+      ++final_count;
+    }
+  }
+
+  std::vector<Date> build_version_dates() {
+    // Versions: first and last pinned, plus the dated structural events
+    // (wildcard retirements, the JP spike, anchor additions); the remainder
+    // uniform across the range, deduplicated — the real list ships several
+    // versions a month. Rule add dates are then snapped forward to the next
+    // version, because a rule only reaches users via a published version.
+    std::set<std::int32_t> days;
+    days.insert(spec_.first_version.days_since_epoch());
+    days.insert(spec_.last_version.days_since_epoch());
+    for (const auto& retirement : kWildcardRetirements) {
+      days.insert(retirement.removed.days_since_epoch());
+    }
+    days.insert(Date::from_civil(2012, 7, 15).days_since_epoch());
+    for (const PlatformAnchor& anchor : kAnchors) {
+      days.insert(anchor.added.days_since_epoch());
+    }
+    while (days.size() < spec_.version_count) {
+      days.insert(static_cast<std::int32_t>(rng_.between(
+          spec_.first_version.days_since_epoch(), spec_.last_version.days_since_epoch())));
+    }
+    std::vector<Date> out;
+    out.reserve(days.size());
+    for (std::int32_t d : days) out.emplace_back(d);
+    return out;
+  }
+
+  void snap_schedule_to_versions(const std::vector<Date>& versions) {
+    const auto snap_forward = [&](Date d) {
+      const auto it = std::lower_bound(versions.begin(), versions.end(), d);
+      return it == versions.end() ? versions.back() : *it;
+    };
+    for (ScheduledRule& sr : schedule_) {
+      sr.added = snap_forward(sr.added);
+      if (sr.removed) {
+        Date snapped = snap_forward(*sr.removed);
+        // Keep the removal strictly after the addition.
+        if (snapped <= sr.added) {
+          const auto it =
+              std::upper_bound(versions.begin(), versions.end(), sr.added);
+          if (it == versions.end()) {
+            sr.removed = std::nullopt;  // nothing after: the rule simply stays
+            continue;
+          }
+          snapped = *it;
+        }
+        sr.removed = snapped;
+      }
+    }
+  }
+
+  TimelineSpec spec_;
+  util::Rng rng_;
+  util::NameGen names_;
+  double scale_;
+  std::vector<ScheduledRule> schedule_;
+  std::set<std::string> used_texts_;
+};
+
+}  // namespace
+
+std::span<const PlatformAnchor> platform_anchors() noexcept { return kAnchors; }
+
+History generate_history(const TimelineSpec& spec) { return Generator(spec).generate(); }
+
+}  // namespace psl::history

@@ -1,0 +1,71 @@
+#include "psl/http/crawler.hpp"
+
+namespace psl::http {
+
+Crawler::Crawler(const VirtualWeb& web, const List& list)
+    : web_(&web), list_(&list), jar_(list) {}
+
+Response Crawler::fetch(const url::Url& target) {
+  Request request;
+  request.target = target.path();
+  request.headers.add("Host", target.host().name());
+  request.headers.add("User-Agent", "psl-harms-crawler/1.0");
+  stats_.cookies_attached += jar_.cookies_for(target, /*http_api=*/true, clock_).size();
+
+  // The wire round trip: serialise, let the origin parse and answer,
+  // parse the reply — the full crawl path, not a shortcut.
+  const std::string request_wire = request.serialize();
+  const auto parsed_request = parse_request(request_wire);
+  Response response;
+  if (!parsed_request) {
+    response.status = 400;
+    response.reason = "Bad Request";
+  } else {
+    response = web_->serve(target.host().name(), *parsed_request);
+  }
+  const auto parsed_response = parse_response(response.serialize());
+  if (!parsed_response) {
+    Response error;
+    error.status = 502;
+    return error;
+  }
+
+  for (const std::string_view header : parsed_response->headers.get_all("Set-Cookie")) {
+    const auto outcome = jar_.set_from_header(target, header, clock_);
+    if (outcome == web::SetCookieOutcome::kStored) {
+      ++stats_.cookies_stored;
+    } else {
+      ++stats_.cookies_rejected;
+    }
+  }
+  ++clock_;
+  return *std::move(parsed_response);
+}
+
+std::vector<CrawlRecord> Crawler::crawl(const std::vector<std::string>& seeds) {
+  std::vector<CrawlRecord> log;
+
+  for (const std::string& seed : seeds) {
+    const auto page_url = url::Url::parse(seed);
+    if (!page_url) continue;
+
+    const Response page = fetch(*page_url);
+    ++stats_.pages_fetched;
+    if (page.status != 200) {
+      ++stats_.http_errors;
+      continue;
+    }
+    log.push_back(CrawlRecord{page_url->host().name(), page_url->host().name()});
+
+    for (const ExtractedLink& link : extract_links(page.body, *page_url)) {
+      if (!link.is_resource) continue;  // navigation links are out of scope
+      const Response resource = fetch(link.url);
+      ++stats_.resources_fetched;
+      if (resource.status != 200) ++stats_.http_errors;
+      log.push_back(CrawlRecord{page_url->host().name(), link.url.host().name()});
+    }
+  }
+  return log;
+}
+
+}  // namespace psl::http

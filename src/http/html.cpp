@@ -1,0 +1,124 @@
+#include "psl/http/html.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::http {
+
+namespace {
+
+struct TagSpec {
+  std::string_view name;
+  std::string_view attribute;
+  bool is_resource;
+};
+
+constexpr std::array<TagSpec, 6> kTags{{
+    {"script", "src", true},
+    {"img", "src", true},
+    {"iframe", "src", true},
+    {"link", "href", true},
+    {"a", "href", false},
+    {"source", "src", true},
+}};
+
+/// Case-insensitive search for `needle` in `haystack` starting at `from`.
+std::size_t ifind(std::string_view haystack, std::string_view needle, std::size_t from) {
+  if (needle.empty() || haystack.size() < needle.size()) return std::string_view::npos;
+  for (std::size_t i = from; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t k = 0; k < needle.size(); ++k) {
+      if (util::to_lower(haystack[i + k]) != util::to_lower(needle[k])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Value of `attribute` inside a tag's attribute section, or empty.
+std::string_view attribute_value(std::string_view tag_body, std::string_view attribute) {
+  std::size_t pos = 0;
+  while ((pos = ifind(tag_body, attribute, pos)) != std::string_view::npos) {
+    // Must be a standalone attribute name (not part of data-src etc.).
+    if (pos > 0) {
+      const char before = tag_body[pos - 1];
+      if (before != ' ' && before != '\t' && before != '\n' && before != '"' &&
+          before != '\'') {
+        pos += attribute.size();
+        continue;
+      }
+    }
+    std::size_t cursor = pos + attribute.size();
+    while (cursor < tag_body.size() &&
+           (tag_body[cursor] == ' ' || tag_body[cursor] == '\t')) {
+      ++cursor;
+    }
+    if (cursor >= tag_body.size() || tag_body[cursor] != '=') {
+      pos += attribute.size();
+      continue;
+    }
+    ++cursor;
+    while (cursor < tag_body.size() &&
+           (tag_body[cursor] == ' ' || tag_body[cursor] == '\t')) {
+      ++cursor;
+    }
+    if (cursor >= tag_body.size()) return {};
+    const char quote = tag_body[cursor];
+    if (quote == '"' || quote == '\'') {
+      const std::size_t close = tag_body.find(quote, cursor + 1);
+      if (close == std::string_view::npos) return {};
+      return tag_body.substr(cursor + 1, close - cursor - 1);
+    }
+    // Unquoted value: runs to whitespace or tag end.
+    std::size_t end = cursor;
+    while (end < tag_body.size() && tag_body[end] != ' ' && tag_body[end] != '\t' &&
+           tag_body[end] != '>') {
+      ++end;
+    }
+    return tag_body.substr(cursor, end - cursor);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<ExtractedLink> extract_links(std::string_view html, const url::Url& page_url) {
+  std::vector<ExtractedLink> out;
+
+  std::size_t pos = 0;
+  while ((pos = html.find('<', pos)) != std::string_view::npos) {
+    const std::size_t end = html.find('>', pos);
+    if (end == std::string_view::npos) break;
+    const std::string_view tag_body = html.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+    if (tag_body.empty() || tag_body.front() == '/' || tag_body.front() == '!') continue;
+
+    // Element name.
+    std::size_t name_end = 0;
+    while (name_end < tag_body.size() && tag_body[name_end] != ' ' &&
+           tag_body[name_end] != '\t' && tag_body[name_end] != '\n' &&
+           tag_body[name_end] != '/') {
+      ++name_end;
+    }
+    const std::string name = util::to_lower(tag_body.substr(0, name_end));
+
+    for (const TagSpec& spec : kTags) {
+      if (name != spec.name) continue;
+      const std::string_view value = attribute_value(tag_body, spec.attribute);
+      if (value.empty()) break;
+      auto resolved = url::resolve(page_url, value);
+      if (!resolved) break;
+      if (resolved->scheme() != "http" && resolved->scheme() != "https") break;
+      out.push_back(ExtractedLink{name, *std::move(resolved), spec.is_resource});
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace psl::http

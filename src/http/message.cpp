@@ -1,0 +1,181 @@
+#include "psl/http/message.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (util::to_lower(a[i]) != util::to_lower(b[i])) return false;
+  }
+  return true;
+}
+
+bool valid_token(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return (c > ' ' && c < 0x7f) && c != ':' && c != '(' && c != ')' && c != ',' &&
+           c != ';';
+  });
+}
+
+struct StartAndHeaders {
+  std::string_view start_line;
+  Headers headers;
+  std::string_view body;
+};
+
+util::Result<StartAndHeaders> split_message(std::string_view wire) {
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return util::make_error("http.no-header-end", "missing CRLFCRLF");
+  }
+  const std::string_view head = wire.substr(0, head_end);
+  const std::string_view body = wire.substr(head_end + 4);
+
+  StartAndHeaders out;
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos <= head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    if (first) {
+      out.start_line = line;
+      first = false;
+    } else {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return util::make_error("http.bad-header", "header line without ':'");
+      }
+      const std::string_view name = line.substr(0, colon);
+      if (!valid_token(name)) {
+        return util::make_error("http.bad-header-name", "invalid header field name");
+      }
+      out.headers.add(std::string(name), std::string(util::trim(line.substr(colon + 1))));
+    }
+    pos = eol + 2;
+  }
+  if (out.start_line.empty()) {
+    return util::make_error("http.empty-start-line", "empty start line");
+  }
+
+  // Body per Content-Length (absent => empty body expected).
+  std::size_t content_length = 0;
+  if (const auto header = out.headers.get("Content-Length")) {
+    const auto [ptr, ec] =
+        std::from_chars(header->data(), header->data() + header->size(), content_length);
+    if (ec != std::errc{} || ptr != header->data() + header->size()) {
+      return util::make_error("http.bad-content-length", "non-numeric Content-Length");
+    }
+  }
+  if (body.size() < content_length) {
+    return util::make_error("http.truncated-body", "body shorter than Content-Length");
+  }
+  out.body = body.substr(0, content_length);
+  return out;
+}
+
+void serialize_headers(std::string& out, const Headers& headers, std::size_t body_size) {
+  bool has_length = false;
+  for (const auto& [name, value] : headers.entries()) {
+    out += name + ": " + value + "\r\n";
+    if (iequals(name, "Content-Length")) has_length = true;
+  }
+  if (!has_length && body_size > 0) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+void Headers::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const noexcept {
+  for (const auto& [key, value] : entries_) {
+    if (iequals(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> Headers::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& [key, value] : entries_) {
+    if (iequals(key, name)) out.emplace_back(value);
+  }
+  return out;
+}
+
+std::string Request::serialize() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+util::Result<Request> parse_request(std::string_view wire) {
+  auto parts = split_message(wire);
+  if (!parts) return parts.error();
+
+  const auto fields = util::split(parts->start_line, ' ');
+  if (fields.size() != 3 || !util::starts_with(fields[2], "HTTP/")) {
+    return util::make_error("http.bad-request-line", "want 'METHOD target HTTP/x.y'");
+  }
+  if (!valid_token(fields[0]) || fields[1].empty()) {
+    return util::make_error("http.bad-request-line", "bad method or target");
+  }
+  Request request;
+  request.method = std::string(fields[0]);
+  request.target = std::string(fields[1]);
+  request.headers = std::move(parts->headers);
+  request.body = std::string(parts->body);
+  return request;
+}
+
+util::Result<Response> parse_response(std::string_view wire) {
+  auto parts = split_message(wire);
+  if (!parts) return parts.error();
+
+  const std::string_view line = parts->start_line;
+  if (!util::starts_with(line, "HTTP/")) {
+    return util::make_error("http.bad-status-line", "missing HTTP version");
+  }
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return util::make_error("http.bad-status-line", "missing status code");
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? line.size() : sp2 - sp1 - 1);
+  int status = 0;
+  const auto [ptr, ec] = std::from_chars(code.data(), code.data() + code.size(), status);
+  if (ec != std::errc{} || ptr != code.data() + code.size() || status < 100 || status > 599) {
+    return util::make_error("http.bad-status", "status code not in [100,599]");
+  }
+
+  Response response;
+  response.status = status;
+  response.reason =
+      sp2 == std::string_view::npos ? std::string{} : std::string(line.substr(sp2 + 1));
+  response.headers = std::move(parts->headers);
+  response.body = std::string(parts->body);
+  return response;
+}
+
+}  // namespace psl::http

@@ -1,0 +1,102 @@
+#include "psl/http/vweb.hpp"
+
+#include "psl/url/host.hpp"
+
+namespace psl::http {
+
+VirtualWeb::VirtualWeb(const archive::Corpus& corpus, const List& server_list,
+                       std::size_t max_pages) {
+  // Group the request log into page views (a request whose resource equals
+  // its page is the document fetch that opens a view).
+  std::size_t page_index = 0;
+  std::string html;
+  std::string current_host;
+  std::string current_path;
+
+  const auto flush = [&]() {
+    if (current_host.empty()) return;
+    html += "</body></html>\n";
+    origins_[current_host].pages[current_path] = std::move(html);
+    html.clear();
+    current_host.clear();
+  };
+
+  for (const archive::Request& r : corpus.requests()) {
+    const std::string& page = corpus.hostname(r.page_host);
+    const std::string& resource = corpus.hostname(r.resource_host);
+    if (r.page_host == r.resource_host) {
+      flush();
+      if (max_pages != 0 && page_index >= max_pages) break;
+      current_host = page;
+      current_path = "/page/" + std::to_string(page_index);
+      page_urls_.push_back("https://" + page + current_path);
+      html = "<html><head><title>page " + std::to_string(page_index) +
+             "</title></head><body>\n";
+      ++page_index;
+      continue;
+    }
+    if (current_host.empty()) continue;
+    // Alternate element kinds for realism; both are sub-resources.
+    const std::string url = "https://" + resource + "/asset/" + std::to_string(page_index);
+    if (html.size() % 2 == 0) {
+      html += "<script src=\"" + url + "\"></script>\n";
+    } else {
+      html += "<img src='" + url + "'>\n";
+    }
+  }
+  flush();
+
+  // Every host that appears as a resource gets a cookie-setting asset
+  // endpoint: its own rd-scoped tracking cookie, plus — on shared-hosting
+  // platforms — the platform-wide supercookie attempt that distinguishes
+  // fresh from stale clients.
+  for (const std::string& host : corpus.hostnames()) {
+    Origin& origin = origins_[host];  // creates hosts that only serve assets
+    if (origin.cookie_headers.empty() && !url::looks_like_ip_literal(host)) {
+      const Match m = server_list.match(host);
+      if (!m.registrable_domain.empty()) {
+        origin.cookie_headers.push_back("uid=u-" + host +
+                                        "; Domain=" + m.registrable_domain);
+        if (m.matched_explicit_rule && m.section == Section::kPrivate) {
+          origin.cookie_headers.push_back("track=all; Domain=" + m.public_suffix);
+        }
+      }
+    }
+  }
+}
+
+Response VirtualWeb::serve(const std::string& host, const Request& request) const {
+  ++served_;
+  Response response;
+
+  const auto origin = origins_.find(host);
+  if (origin == origins_.end()) {
+    response.status = 502;
+    response.reason = "Bad Gateway";
+    response.body = "no such origin\n";
+    return response;
+  }
+
+  const auto page = origin->second.pages.find(request.target);
+  if (page != origin->second.pages.end()) {
+    response.headers.add("Content-Type", "text/html");
+    response.body = page->second;
+    return response;
+  }
+
+  if (request.target.rfind("/asset/", 0) == 0) {
+    response.headers.add("Content-Type", "application/javascript");
+    for (const std::string& header : origin->second.cookie_headers) {
+      response.headers.add("Set-Cookie", header);
+    }
+    response.body = "/* asset */\n";
+    return response;
+  }
+
+  response.status = 404;
+  response.reason = "Not Found";
+  response.body = "not found\n";
+  return response;
+}
+
+}  // namespace psl::http

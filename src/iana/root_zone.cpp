@@ -1,0 +1,83 @@
+#include "psl/iana/root_zone.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::iana {
+
+std::string_view to_string(TldCategory category) noexcept {
+  switch (category) {
+    case TldCategory::kGeneric: return "generic";
+    case TldCategory::kCountryCode: return "country-code";
+    case TldCategory::kSponsored: return "sponsored";
+    case TldCategory::kInfrastructure: return "infrastructure";
+    case TldCategory::kTest: return "test";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The complete sponsored-TLD set per the IANA root zone database.
+constexpr std::array<std::string_view, 14> kSponsored = {
+    "aero", "asia", "cat",  "coop",   "edu",  "gov",  "int",
+    "jobs", "mil",  "museum", "post", "tel",  "travel", "xxx",
+};
+
+// Reserved test/documentation TLDs (RFC 2606 / RFC 6761).
+constexpr std::array<std::string_view, 4> kTest = {
+    "test", "example", "invalid", "localhost",
+};
+
+template <std::size_t N>
+bool contains(const std::array<std::string_view, N>& set, std::string_view s) noexcept {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+
+bool is_two_letter_alpha(std::string_view s) noexcept {
+  return s.size() == 2 &&
+         std::all_of(s.begin(), s.end(), [](char c) { return c >= 'a' && c <= 'z'; });
+}
+
+// Internationalised ccTLDs appear in the root zone as A-labels; the IDN
+// ccTLD fast-track entries all carry country status. We recognise the
+// common ones used by PSL entries.
+constexpr std::array<std::string_view, 8> kIdnCountryCode = {
+    "xn--fiqs8s",  // 中国 (China)
+    "xn--fiqz9s",  // 中國
+    "xn--j6w193g", // 香港 (Hong Kong)
+    "xn--kprw13d", // 台湾 (Taiwan)
+    "xn--kpry57d", // 台灣
+    "xn--p1ai",    // рф (Russia)
+    "xn--wgbh1c",  // مصر (Egypt)
+    "xn--mgbaam7a8h",  // امارات (UAE)
+};
+
+}  // namespace
+
+const RootZone& RootZone::builtin() noexcept {
+  static const RootZone instance;
+  return instance;
+}
+
+TldCategory RootZone::categorize_tld(std::string_view tld) const noexcept {
+  if (!tld.empty() && tld.front() == '.') tld.remove_prefix(1);
+
+  if (tld == "arpa") return TldCategory::kInfrastructure;
+  if (contains(kTest, tld)) return TldCategory::kTest;
+  if (contains(kSponsored, tld)) return TldCategory::kSponsored;
+  if (is_two_letter_alpha(tld)) return TldCategory::kCountryCode;
+  if (contains(kIdnCountryCode, tld)) return TldCategory::kCountryCode;
+  return TldCategory::kGeneric;
+}
+
+TldCategory RootZone::categorize_suffix(std::string_view suffix) const noexcept {
+  const std::size_t last_dot = suffix.rfind('.');
+  const std::string_view tld =
+      last_dot == std::string_view::npos ? suffix : suffix.substr(last_dot + 1);
+  return categorize_tld(tld);
+}
+
+}  // namespace psl::iana

@@ -1,0 +1,115 @@
+#include "psl/idna/idna.hpp"
+
+#include "psl/idna/punycode.hpp"
+#include "psl/idna/utf8.hpp"
+#include "psl/util/strings.hpp"
+
+namespace psl::idna {
+
+namespace {
+
+// Lower-case ASCII letters inside a code point sequence (IDNA case folding
+// for the subset we support).
+void fold_case(std::vector<CodePoint>& cps) {
+  for (auto& cp : cps) {
+    if (cp >= 'A' && cp <= 'Z') cp += 'a' - 'A';
+  }
+}
+
+}  // namespace
+
+util::Result<std::string> label_to_ascii(std::string_view label) {
+  if (label.empty()) {
+    return util::make_error("idna.empty-label", "empty label");
+  }
+  if (is_ascii(label)) {
+    std::string lowered = util::to_lower(label);
+    if (lowered.size() > kMaxLabelLength) {
+      return util::make_error("idna.label-too-long", "label exceeds 63 octets");
+    }
+    return lowered;
+  }
+
+  auto decoded = utf8_decode(label);
+  if (!decoded) return decoded.error();
+  fold_case(*decoded);
+
+  auto encoded = punycode_encode(*decoded);
+  if (!encoded) return encoded.error();
+
+  std::string out(kAcePrefix);
+  out += *encoded;
+  if (out.size() > kMaxLabelLength) {
+    return util::make_error("idna.label-too-long", "A-label exceeds 63 octets");
+  }
+  return out;
+}
+
+util::Result<std::string> label_to_unicode(std::string_view label) {
+  if (label.empty()) {
+    return util::make_error("idna.empty-label", "empty label");
+  }
+  if (!util::starts_with(util::to_lower(label), std::string(kAcePrefix))) {
+    if (is_ascii(label)) return util::to_lower(label);
+    // Already a U-label: validate the UTF-8 and case-fold.
+    auto decoded = utf8_decode(label);
+    if (!decoded) return decoded.error();
+    fold_case(*decoded);
+    return utf8_encode(*decoded);
+  }
+
+  auto decoded = punycode_decode(label.substr(kAcePrefix.size()));
+  if (!decoded) return decoded.error();
+  fold_case(*decoded);
+  return utf8_encode(*decoded);
+}
+
+namespace {
+
+template <typename PerLabel>
+util::Result<std::string> convert_host(std::string_view host, PerLabel per_label) {
+  if (host.empty()) {
+    return util::make_error("idna.empty-host", "empty hostname");
+  }
+  // FQDN form: strip one trailing dot.
+  if (host.back() == '.') host.remove_suffix(1);
+  if (host.empty()) {
+    return util::make_error("idna.empty-host", "hostname was only a dot");
+  }
+
+  std::string out;
+  out.reserve(host.size());
+  for (std::string_view label : util::split(host, '.')) {
+    auto converted = per_label(label);
+    if (!converted) return converted.error();
+    if (!out.empty()) out.push_back('.');
+    out += *converted;
+  }
+  if (out.size() > kMaxHostLength) {
+    return util::make_error("idna.host-too-long", "hostname exceeds 253 octets");
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<std::string> host_to_ascii(std::string_view host) {
+  return convert_host(host, [](std::string_view l) { return label_to_ascii(l); });
+}
+
+util::Result<std::string> host_to_unicode(std::string_view host) {
+  return convert_host(host, [](std::string_view l) { return label_to_unicode(l); });
+}
+
+bool is_ldh_label(std::string_view label) noexcept {
+  if (label.empty() || label.size() > kMaxLabelLength) return false;
+  if (label.front() == '-' || label.back() == '-') return false;
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace psl::idna

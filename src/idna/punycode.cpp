@@ -1,0 +1,170 @@
+#include "psl/idna/punycode.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace psl::idna {
+
+namespace {
+
+// RFC 3492 section 5: parameter values for IDNA.
+constexpr std::uint32_t kBase = 36;
+constexpr std::uint32_t kTMin = 1;
+constexpr std::uint32_t kTMax = 26;
+constexpr std::uint32_t kSkew = 38;
+constexpr std::uint32_t kDamp = 700;
+constexpr std::uint32_t kInitialBias = 72;
+constexpr std::uint32_t kInitialN = 128;
+constexpr char kDelimiter = '-';
+
+constexpr std::uint32_t kMaxUint = std::numeric_limits<std::uint32_t>::max();
+
+// RFC 3492 section 6.1: bias adaptation.
+std::uint32_t adapt(std::uint32_t delta, std::uint32_t num_points, bool first_time) {
+  delta = first_time ? delta / kDamp : delta / 2;
+  delta += delta / num_points;
+  std::uint32_t k = 0;
+  while (delta > ((kBase - kTMin) * kTMax) / 2) {
+    delta /= kBase - kTMin;
+    k += kBase;
+  }
+  return k + (((kBase - kTMin + 1) * delta) / (delta + kSkew));
+}
+
+// Digit value -> basic code point (lower case).
+char encode_digit(std::uint32_t d) {
+  return d < 26 ? static_cast<char>('a' + d) : static_cast<char>('0' + d - 26);
+}
+
+// Basic code point -> digit value, or kBase on non-digit.
+std::uint32_t decode_digit(char c) {
+  if (c >= '0' && c <= '9') return static_cast<std::uint32_t>(c - '0') + 26;
+  if (c >= 'a' && c <= 'z') return static_cast<std::uint32_t>(c - 'a');
+  if (c >= 'A' && c <= 'Z') return static_cast<std::uint32_t>(c - 'A');
+  return kBase;
+}
+
+constexpr bool is_basic(CodePoint cp) noexcept { return cp < 0x80; }
+
+}  // namespace
+
+util::Result<std::string> punycode_encode(const std::vector<CodePoint>& input) {
+  for (CodePoint cp : input) {
+    if (cp > kMaxCodePoint || (cp >= 0xD800 && cp <= 0xDFFF)) {
+      return util::make_error("punycode.bad-scalar", "non-scalar code point in input");
+    }
+  }
+
+  std::string output;
+  // Copy basic code points, then the delimiter if any were copied.
+  for (CodePoint cp : input) {
+    if (is_basic(cp)) output.push_back(static_cast<char>(cp));
+  }
+  const std::uint32_t basic_count = static_cast<std::uint32_t>(output.size());
+  std::uint32_t handled = basic_count;
+  if (basic_count > 0) output.push_back(kDelimiter);
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t delta = 0;
+  std::uint32_t bias = kInitialBias;
+
+  while (handled < input.size()) {
+    // Find the smallest code point >= n among the unhandled ones.
+    std::uint32_t m = kMaxUint;
+    for (CodePoint cp : input) {
+      if (cp >= n && cp < m) m = cp;
+    }
+    if (m - n > (kMaxUint - delta) / (handled + 1)) {
+      return util::make_error("punycode.overflow", "delta overflow during encode");
+    }
+    delta += (m - n) * (handled + 1);
+    n = m;
+
+    for (CodePoint cp : input) {
+      if (cp < n) {
+        if (++delta == 0) {
+          return util::make_error("punycode.overflow", "delta wrapped during encode");
+        }
+      }
+      if (cp == n) {
+        // Encode delta as a variable-length integer.
+        std::uint32_t q = delta;
+        for (std::uint32_t k = kBase;; k += kBase) {
+          const std::uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+          if (q < t) break;
+          output.push_back(encode_digit(t + (q - t) % (kBase - t)));
+          q = (q - t) / (kBase - t);
+        }
+        output.push_back(encode_digit(q));
+        bias = adapt(delta, handled + 1, handled == basic_count);
+        delta = 0;
+        ++handled;
+      }
+    }
+    ++delta;
+    ++n;
+  }
+  return output;
+}
+
+util::Result<std::vector<CodePoint>> punycode_decode(std::string_view input) {
+  std::vector<CodePoint> output;
+
+  // Locate the last delimiter; everything before it is basic code points.
+  const std::size_t last_delim = input.rfind(kDelimiter);
+  std::size_t in = 0;
+  if (last_delim != std::string_view::npos) {
+    for (std::size_t i = 0; i < last_delim; ++i) {
+      const auto c = static_cast<unsigned char>(input[i]);
+      if (c >= 0x80) {
+        return util::make_error("punycode.non-basic", "non-ASCII byte before delimiter");
+      }
+      output.push_back(c);
+    }
+    in = last_delim + 1;
+  }
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t i = 0;
+  std::uint32_t bias = kInitialBias;
+
+  while (in < input.size()) {
+    const std::uint32_t old_i = i;
+    std::uint32_t w = 1;
+    for (std::uint32_t k = kBase;; k += kBase) {
+      if (in >= input.size()) {
+        return util::make_error("punycode.truncated", "input ended mid-integer");
+      }
+      const std::uint32_t digit = decode_digit(input[in++]);
+      if (digit >= kBase) {
+        return util::make_error("punycode.bad-digit", "invalid punycode digit");
+      }
+      if (digit > (kMaxUint - i) / w) {
+        return util::make_error("punycode.overflow", "i overflow during decode");
+      }
+      i += digit * w;
+      const std::uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+      if (digit < t) break;
+      if (w > kMaxUint / (kBase - t)) {
+        return util::make_error("punycode.overflow", "w overflow during decode");
+      }
+      w *= kBase - t;
+    }
+
+    const auto out_len = static_cast<std::uint32_t>(output.size());
+    bias = adapt(i - old_i, out_len + 1, old_i == 0);
+    if (i / (out_len + 1) > kMaxUint - n) {
+      return util::make_error("punycode.overflow", "n overflow during decode");
+    }
+    n += i / (out_len + 1);
+    i %= out_len + 1;
+    if (n > kMaxCodePoint || (n >= 0xD800 && n <= 0xDFFF)) {
+      return util::make_error("punycode.bad-scalar", "decoded non-scalar code point");
+    }
+    output.insert(output.begin() + i, n);
+    ++i;
+  }
+  return output;
+}
+
+}  // namespace psl::idna

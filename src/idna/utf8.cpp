@@ -1,0 +1,112 @@
+#include "psl/idna/utf8.hpp"
+
+namespace psl::idna {
+
+namespace {
+
+constexpr bool is_continuation(unsigned char b) noexcept { return (b & 0xC0) == 0x80; }
+
+constexpr bool is_surrogate(CodePoint cp) noexcept { return cp >= 0xD800 && cp <= 0xDFFF; }
+
+}  // namespace
+
+util::Result<std::vector<CodePoint>> utf8_decode(std::string_view bytes) {
+  std::vector<CodePoint> out;
+  out.reserve(bytes.size());
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    const auto b0 = static_cast<unsigned char>(bytes[i]);
+    if (b0 < 0x80) {
+      out.push_back(b0);
+      ++i;
+      continue;
+    }
+
+    std::size_t len = 0;
+    CodePoint cp = 0;
+    CodePoint min_cp = 0;
+    if ((b0 & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b0 & 0x1F;
+      min_cp = 0x80;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b0 & 0x0F;
+      min_cp = 0x800;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b0 & 0x07;
+      min_cp = 0x10000;
+    } else {
+      return util::make_error("utf8.bad-lead",
+                              "invalid lead byte at offset " + std::to_string(i));
+    }
+
+    if (i + len > bytes.size()) {
+      return util::make_error("utf8.truncated",
+                              "truncated sequence at offset " + std::to_string(i));
+    }
+    for (std::size_t k = 1; k < len; ++k) {
+      const auto b = static_cast<unsigned char>(bytes[i + k]);
+      if (!is_continuation(b)) {
+        return util::make_error("utf8.bad-continuation",
+                                "invalid continuation at offset " + std::to_string(i + k));
+      }
+      cp = (cp << 6) | (b & 0x3F);
+    }
+    if (cp < min_cp) {
+      return util::make_error("utf8.overlong",
+                              "overlong encoding at offset " + std::to_string(i));
+    }
+    if (is_surrogate(cp)) {
+      return util::make_error("utf8.surrogate",
+                              "surrogate code point at offset " + std::to_string(i));
+    }
+    if (cp > kMaxCodePoint) {
+      return util::make_error("utf8.out-of-range",
+                              "code point above U+10FFFF at offset " + std::to_string(i));
+    }
+    out.push_back(cp);
+    i += len;
+  }
+  return out;
+}
+
+util::Result<std::string> utf8_encode(const std::vector<CodePoint>& code_points) {
+  std::string out;
+  out.reserve(code_points.size());
+  for (CodePoint cp : code_points) {
+    if (is_surrogate(cp) || cp > kMaxCodePoint) {
+      return util::make_error("utf8.bad-scalar", "cannot encode U+" + std::to_string(cp));
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+  return out;
+}
+
+bool utf8_valid(std::string_view bytes) noexcept {
+  return utf8_decode(bytes).ok();
+}
+
+bool is_ascii(std::string_view bytes) noexcept {
+  for (char c : bytes) {
+    if (static_cast<unsigned char>(c) >= 0x80) return false;
+  }
+  return true;
+}
+
+}  // namespace psl::idna

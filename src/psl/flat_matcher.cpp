@@ -1,0 +1,114 @@
+#include "psl/psl/flat_matcher.hpp"
+
+#include <algorithm>
+
+#include "psl/util/strings.hpp"
+
+namespace psl {
+
+FlatMatcher::FlatMatcher(const List& list) {
+  for (const Rule& rule : list.rules()) {
+    std::string key = util::join(rule.labels(), ".");
+    Flags& f = rules_[std::move(key)];
+    switch (rule.kind()) {
+      case RuleKind::kNormal:
+        f.normal = true;
+        f.normal_section = rule.section();
+        break;
+      case RuleKind::kWildcard:
+        f.wildcard = true;
+        f.wildcard_section = rule.section();
+        break;
+      case RuleKind::kException:
+        f.exception = true;
+        f.exception_section = rule.section();
+        break;
+    }
+  }
+}
+
+Match FlatMatcher::match(std::string_view host) const {
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+  const std::vector<std::string_view> labels = util::split(host, '.');
+  const std::size_t n = labels.size();
+
+  std::size_t best_len = 1;
+  bool explicit_rule = false;
+  Section best_section = Section::kIcann;
+  RuleKind best_kind = RuleKind::kNormal;
+  std::size_t exception_depth = 0;
+
+  // Probe every suffix of the host, shortest first, mirroring the trie walk.
+  std::string suffix;
+  for (std::size_t depth = 1; depth <= n; ++depth) {
+    const std::string_view label = labels[n - depth];
+    if (label.empty()) break;
+
+    // Wildcard check: a wildcard stored at the (depth-1)-label suffix covers
+    // this label. For depth==1 the parent is the root, which never carries a
+    // wildcard in the published format ("*" alone is illegal).
+    if (depth >= 2) {
+      const auto parent = rules_.find(suffix);
+      if (parent != rules_.end() && parent->second.wildcard && depth >= best_len) {
+        best_len = depth;
+        best_section = parent->second.wildcard_section;
+        best_kind = RuleKind::kWildcard;
+        explicit_rule = true;
+      }
+    }
+
+    if (suffix.empty()) {
+      suffix.assign(label);
+    } else {
+      std::string extended(label);
+      extended.push_back('.');
+      extended += suffix;
+      suffix = std::move(extended);
+    }
+
+    const auto it = rules_.find(suffix);
+    if (it == rules_.end()) continue;
+    if (it->second.normal && depth >= best_len) {
+      best_len = depth;
+      best_section = it->second.normal_section;
+      best_kind = RuleKind::kNormal;
+      explicit_rule = true;
+    }
+    if (it->second.exception) {
+      exception_depth = depth;
+      best_section = it->second.exception_section;
+      explicit_rule = true;
+    }
+  }
+
+  std::size_t ps_len = exception_depth > 0 ? exception_depth - 1 : best_len;
+  ps_len = std::min(ps_len, n);
+
+  auto join_tail = [&](std::size_t count) {
+    std::string out;
+    for (std::size_t i = n - count; i < n; ++i) {
+      if (!out.empty()) out.push_back('.');
+      out += labels[i];
+    }
+    return out;
+  };
+
+  Match result;
+  result.public_suffix = join_tail(ps_len);
+  result.registrable_domain = n > ps_len ? join_tail(ps_len + 1) : std::string{};
+  result.matched_explicit_rule = explicit_rule;
+  result.section = best_section;
+  result.rule_labels = ps_len;
+  if (explicit_rule) {
+    if (exception_depth > 0) {
+      result.prevailing_rule = "!" + join_tail(std::min(exception_depth, n));
+    } else if (best_kind == RuleKind::kWildcard) {
+      result.prevailing_rule = "*." + join_tail(ps_len - 1);
+    } else {
+      result.prevailing_rule = result.public_suffix;
+    }
+  }
+  return result;
+}
+
+}  // namespace psl

@@ -1,0 +1,93 @@
+#include "psl/psl/lint.hpp"
+
+#include <map>
+#include <set>
+
+#include "psl/util/strings.hpp"
+
+namespace psl {
+
+std::string_view to_string(LintCode code) noexcept {
+  switch (code) {
+    case LintCode::kExceptionWithoutWildcard: return "exception-without-wildcard";
+    case LintCode::kRedundantRule: return "redundant-rule";
+    case LintCode::kWildcardParentMissing: return "wildcard-parent-missing";
+    case LintCode::kDuplicateRuleText: return "duplicate-rule-text";
+    case LintCode::kExcessiveDepth: return "excessive-depth";
+  }
+  return "unknown";
+}
+
+std::vector<LintFinding> lint(const List& list) {
+  std::vector<LintFinding> findings;
+
+  // Index rule label-strings by kind.
+  std::set<std::string> normals, wildcards, exceptions;
+  std::map<std::string, int> text_counts;
+  for (const Rule& rule : list.rules()) {
+    const std::string labels = util::join(rule.labels(), ".");
+    switch (rule.kind()) {
+      case RuleKind::kNormal: normals.insert(labels); break;
+      case RuleKind::kWildcard: wildcards.insert(labels); break;
+      case RuleKind::kException: exceptions.insert(labels); break;
+    }
+    ++text_counts[rule.to_string()];
+  }
+
+  for (const Rule& rule : list.rules()) {
+    const std::string labels = util::join(rule.labels(), ".");
+    const std::string text = rule.to_string();
+
+    if (rule.match_label_count() > 5) {
+      findings.push_back({LintSeverity::kWarning, LintCode::kExcessiveDepth, text,
+                          "rules deeper than 5 labels are almost always typos"});
+    }
+
+    switch (rule.kind()) {
+      case RuleKind::kException: {
+        // "!www.ck" carves out of "*.ck": the parent labels must carry a
+        // wildcard, otherwise the exception changes nothing useful.
+        const std::size_t dot = labels.find('.');
+        const std::string parent = dot == std::string::npos ? "" : labels.substr(dot + 1);
+        if (!wildcards.contains(parent)) {
+          findings.push_back({LintSeverity::kError, LintCode::kExceptionWithoutWildcard, text,
+                              "no '*." + parent + "' wildcard for this exception to carve"});
+        }
+        break;
+      }
+      case RuleKind::kWildcard: {
+        // "*.b" almost always accompanies a rule for "b" itself; without
+        // one, "b" is only a suffix via the implicit star.
+        if (!normals.contains(labels)) {
+          findings.push_back({LintSeverity::kWarning, LintCode::kWildcardParentMissing, text,
+                              "no plain rule for '" + labels + "' alongside the wildcard"});
+        }
+        break;
+      }
+      case RuleKind::kNormal: {
+        // "a.b" next to "*.b" is redundant: the wildcard already makes
+        // every child of b a suffix. (Not an error — the published list
+        // contains a few for documentation value.)
+        const std::size_t dot = labels.find('.');
+        if (dot != std::string::npos) {
+          const std::string parent = labels.substr(dot + 1);
+          if (wildcards.contains(parent)) {
+            findings.push_back({LintSeverity::kWarning, LintCode::kRedundantRule, text,
+                                "covered by '*." + parent + "'"});
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  for (const auto& [text, count] : text_counts) {
+    if (count > 1) {
+      findings.push_back({LintSeverity::kWarning, LintCode::kDuplicateRuleText, text,
+                          "appears in both the ICANN and PRIVATE sections"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace psl

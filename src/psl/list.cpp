@@ -1,0 +1,290 @@
+#include "psl/psl/list.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "psl/util/strings.hpp"
+
+namespace psl {
+
+List::List() : root_(std::make_unique<TrieNode>()) {}
+
+namespace {
+
+constexpr std::string_view kIcannBegin = "===BEGIN ICANN DOMAINS===";
+constexpr std::string_view kIcannEnd = "===END ICANN DOMAINS===";
+constexpr std::string_view kPrivateBegin = "===BEGIN PRIVATE DOMAINS===";
+constexpr std::string_view kPrivateEnd = "===END PRIVATE DOMAINS===";
+
+}  // namespace
+
+util::Result<List> List::parse(std::string_view file_contents) {
+  std::vector<Rule> rules;
+  Section section = Section::kIcann;
+
+  std::size_t line_no = 0;
+  for (std::string_view line : util::split(file_contents, '\n')) {
+    ++line_no;
+    std::string_view s = util::trim(line);
+    if (s.empty()) continue;
+
+    if (util::starts_with(s, "//")) {
+      const std::string_view comment = util::trim(s.substr(2));
+      if (comment == kIcannBegin || comment == kIcannEnd || comment == kPrivateEnd) {
+        section = Section::kIcann;
+      } else if (comment == kPrivateBegin) {
+        section = Section::kPrivate;
+      }
+      continue;
+    }
+
+    // The published format terminates a rule at the first whitespace.
+    const std::size_t space = s.find_first_of(" \t");
+    if (space != std::string_view::npos) s = s.substr(0, space);
+
+    auto rule = Rule::parse(s, section);
+    if (!rule) {
+      return util::make_error(rule.error().code,
+                              "line " + std::to_string(line_no) + ": " + rule.error().message);
+    }
+    rules.push_back(*std::move(rule));
+  }
+
+  return from_rules(std::move(rules));
+}
+
+List List::from_rules(std::vector<Rule> rules) {
+  List list;
+  // De-duplicate identical rules (same kind + labels + section).
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.labels() != b.labels()) return a.labels() < b.labels();
+    if (a.kind() != b.kind()) return a.kind() < b.kind();
+    return a.section() < b.section();
+  });
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+
+  list.rules_ = std::move(rules);
+  for (const Rule& rule : list.rules_) list.insert(rule);
+  return list;
+}
+
+void List::insert(const Rule& rule) {
+  TrieNode* node = root_.get();
+  const auto& labels = rule.labels();
+  // Walk labels right-to-left ("co.uk" inserts uk -> co).
+  for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+    auto child = node->children.find(*it);
+    if (child == node->children.end()) {
+      child = node->children.emplace(*it, std::make_unique<TrieNode>()).first;
+    }
+    node = child->second.get();
+  }
+  switch (rule.kind()) {
+    case RuleKind::kNormal:
+      node->has_normal = true;
+      node->normal_section = rule.section();
+      break;
+    case RuleKind::kWildcard:
+      // "*.ck" is stored on the node for "ck": any single extra label matches.
+      node->has_wildcard = true;
+      node->wildcard_section = rule.section();
+      break;
+    case RuleKind::kException:
+      node->has_exception = true;
+      node->exception_section = rule.section();
+      break;
+  }
+}
+
+Match List::match(std::string_view host) const {
+  // Normalised input expected: lower-case, no trailing dot. We tolerate a
+  // trailing dot defensively since the cost is one branch.
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+
+  const std::vector<std::string_view> labels = util::split(host, '.');
+  const std::size_t n = labels.size();
+
+  // Walk the trie right-to-left, recording the prevailing match.
+  std::size_t best_len = 1;  // the implicit "*" rule: last label is the suffix
+  bool explicit_rule = false;
+  Section best_section = Section::kIcann;
+  RuleKind best_kind = RuleKind::kNormal;
+  std::size_t exception_depth = 0;  // rule depth of a matched exception, if any
+
+  const TrieNode* node = root_.get();
+  for (std::size_t depth = 1; depth <= n && node != nullptr; ++depth) {
+    const std::string_view label = labels[n - depth];
+    if (label.empty()) break;  // malformed host ("a..b"); stop matching
+
+    // A wildcard on the current node covers this label, whatever it is.
+    if (node->has_wildcard && depth >= best_len) {
+      best_len = depth;
+      best_section = node->wildcard_section;
+      best_kind = RuleKind::kWildcard;
+      explicit_rule = true;
+    }
+
+    const auto child = node->children.find(label);
+    if (child == node->children.end()) {
+      node = nullptr;
+      break;
+    }
+    node = child->second.get();
+
+    if (node->has_normal && depth >= best_len) {
+      best_len = depth;
+      best_section = node->normal_section;
+      best_kind = RuleKind::kNormal;
+      explicit_rule = true;
+    }
+    if (node->has_exception) {
+      // Exception prevails over everything; its public suffix drops the
+      // leftmost (deepest) label of the rule.
+      exception_depth = depth;
+      best_section = node->exception_section;
+      explicit_rule = true;
+      // Keep walking: the spec has no nested exceptions in practice, but a
+      // longer exception would prevail if present.
+    }
+  }
+
+  std::size_t ps_len = exception_depth > 0 ? exception_depth - 1 : best_len;
+  ps_len = std::min(ps_len, n);
+
+  auto join_tail = [&](std::size_t count) {
+    std::string out;
+    for (std::size_t i = n - count; i < n; ++i) {
+      if (!out.empty()) out.push_back('.');
+      out += labels[i];
+    }
+    return out;
+  };
+
+  Match result;
+  result.public_suffix = join_tail(ps_len);
+  result.registrable_domain = n > ps_len ? join_tail(ps_len + 1) : std::string{};
+  result.matched_explicit_rule = explicit_rule;
+  result.section = best_section;
+  result.rule_labels = ps_len;
+  if (explicit_rule) {
+    if (exception_depth > 0) {
+      result.prevailing_rule = "!" + join_tail(std::min(exception_depth, n));
+    } else if (best_kind == RuleKind::kWildcard) {
+      // The wildcard rule's stored labels are the suffix minus its leftmost
+      // (the '*') label.
+      result.prevailing_rule = "*." + join_tail(ps_len - 1);
+    } else {
+      result.prevailing_rule = result.public_suffix;
+    }
+  }
+  return result;
+}
+
+std::string List::public_suffix(std::string_view host) const {
+  return match(host).public_suffix;
+}
+
+std::optional<std::string> List::registrable_domain(std::string_view host) const {
+  Match m = match(host);
+  if (m.registrable_domain.empty()) return std::nullopt;
+  return std::move(m.registrable_domain);
+}
+
+bool List::is_public_suffix(std::string_view host) const {
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+  return !host.empty() && match(host).registrable_domain.empty();
+}
+
+bool List::same_site(std::string_view a, std::string_view b) const {
+  const auto ra = registrable_domain(a);
+  const auto rb = registrable_domain(b);
+  if (!ra || !rb) {
+    // A host that *is* a public suffix forms no site; only literal equality
+    // keeps two such hosts together.
+    std::string_view a2 = a, b2 = b;
+    if (!a2.empty() && a2.back() == '.') a2.remove_suffix(1);
+    if (!b2.empty() && b2.back() == '.') b2.remove_suffix(1);
+    return !ra && !rb && a2 == b2;
+  }
+  return *ra == *rb;
+}
+
+void List::add_rule(Rule rule) {
+  insert(rule);
+  rules_.push_back(std::move(rule));
+}
+
+bool List::remove_rule(const Rule& rule) {
+  const auto it = std::find(rules_.begin(), rules_.end(), rule);
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+
+  // Clear the rule's flag on its trie node. Child nodes are left in place
+  // (harmless: nodes without flags never influence matching).
+  TrieNode* node = root_.get();
+  const auto& labels = rule.labels();
+  for (auto label_it = labels.rbegin(); label_it != labels.rend(); ++label_it) {
+    const auto child = node->children.find(*label_it);
+    if (child == node->children.end()) return false;  // unreachable given the precondition
+    node = child->second.get();
+  }
+  switch (rule.kind()) {
+    case RuleKind::kNormal: node->has_normal = false; break;
+    case RuleKind::kWildcard: node->has_wildcard = false; break;
+    case RuleKind::kException: node->has_exception = false; break;
+  }
+  return true;
+}
+
+std::pair<std::vector<Rule>, std::vector<Rule>> List::diff(const List& newer) const {
+  auto key = [](const Rule& r) { return std::make_tuple(r.labels(), r.kind(), r.section()); };
+  auto less = [&](const Rule& a, const Rule& b) { return key(a) < key(b); };
+
+  std::vector<Rule> old_sorted = rules_;
+  std::vector<Rule> new_sorted = newer.rules_;
+  std::sort(old_sorted.begin(), old_sorted.end(), less);
+  std::sort(new_sorted.begin(), new_sorted.end(), less);
+
+  std::vector<Rule> added, removed;
+  std::set_difference(new_sorted.begin(), new_sorted.end(), old_sorted.begin(), old_sorted.end(),
+                      std::back_inserter(added), less);
+  std::set_difference(old_sorted.begin(), old_sorted.end(), new_sorted.begin(), new_sorted.end(),
+                      std::back_inserter(removed), less);
+  return {std::move(added), std::move(removed)};
+}
+
+std::map<std::size_t, std::size_t> List::component_histogram() const {
+  std::map<std::size_t, std::size_t> out;
+  for (const Rule& r : rules_) ++out[r.match_label_count()];
+  return out;
+}
+
+std::string List::to_file() const {
+  std::vector<const Rule*> icann, priv;
+  for (const Rule& r : rules_) {
+    (r.section() == Section::kIcann ? icann : priv).push_back(&r);
+  }
+  auto text_less = [](const Rule* a, const Rule* b) {
+    return a->to_string() < b->to_string();
+  };
+  std::sort(icann.begin(), icann.end(), text_less);
+  std::sort(priv.begin(), priv.end(), text_less);
+
+  std::string out;
+  out += "// This file is generated by psl-harms; format: publicsuffix.org/list\n";
+  out += "// ===BEGIN ICANN DOMAINS===\n";
+  for (const Rule* r : icann) {
+    out += r->to_string();
+    out.push_back('\n');
+  }
+  out += "// ===END ICANN DOMAINS===\n";
+  out += "// ===BEGIN PRIVATE DOMAINS===\n";
+  for (const Rule* r : priv) {
+    out += r->to_string();
+    out.push_back('\n');
+  }
+  out += "// ===END PRIVATE DOMAINS===\n";
+  return out;
+}
+
+}  // namespace psl

@@ -1,0 +1,207 @@
+#include "psl/repos/corpus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "psl/util/namegen.hpp"
+#include "psl/util/rng.hpp"
+
+namespace psl::repos {
+
+namespace {
+
+// The paper's Table 3: fixed-usage projects where the embedded list's age
+// could be determined (age in days relative to t = 2022-12-08).
+const AnchorRepo kAnchors[] = {
+    // --- Production ---
+    {"bitwarden/server", Usage::kFixedProduction, 10959, 1087, 1596},
+    {"bitwarden/mobile", Usage::kFixedProduction, 4059, 635, 1596},
+    {"sleuthkit/autopsy", Usage::kFixedProduction, 1720, 561, 746},
+    {"alkacon/opencms-core", Usage::kFixedProduction, 473, 384, 1778},
+    {"firewalla/firewalla", Usage::kFixedProduction, 434, 117, 746},
+    {"SAP/SapMachine", Usage::kFixedProduction, 397, 79, 376},
+    {"Yubico/python-fido2", Usage::kFixedProduction, 324, 102, 188},
+    {"gorhill/uBO-Scope", Usage::kFixedProduction, 222, 20, 1927},
+    {"fgont/ipv6toolkit", Usage::kFixedProduction, 222, 66, 1791},
+    {"LeFroid/Viper-Browser", Usage::kFixedProduction, 164, 22, 529},
+    {"Keeper-Security/Commander", Usage::kFixedProduction, 145, 67, 1113},
+    {"nabeelio/phpvms", Usage::kFixedProduction, 134, 116, 644},
+    {"coreruleset/ftw", Usage::kFixedProduction, 104, 36, 750},
+    {"gorhill/publicsuffixlist.js", Usage::kFixedProduction, 79, 12, 289},
+    {"Twi1ight/TSpider", Usage::kFixedProduction, 68, 21, 2070},
+    {"j3ssie/go-auxs", Usage::kFixedProduction, 60, 22, 664},
+    {"Intsights/PyDomainExtractor", Usage::kFixedProduction, 59, 5, 31},
+    {"alterakey/trueseeing", Usage::kFixedProduction, 47, 13, 296},
+    {"BenWiederhake/domain-word", Usage::kFixedProduction, 40, 3, 1233},
+    {"timlib/webXray", Usage::kFixedProduction, 27, 22, 1659},
+    {"mecsa/mecsa-st", Usage::kFixedProduction, 20, 5, 1659},
+    {"amphp/artax", Usage::kFixedProduction, 20, 4, 2054},
+    {"dicekeys/dicekeys-app-typescript", Usage::kFixedProduction, 15, 4, 825},
+    {"netarchivesuite/netarchivesuite", Usage::kFixedProduction, 14, 22, 1778},
+    {"mallardduck/php-whois-client", Usage::kFixedProduction, 11, 3, 657},
+    {"kee-org/keevault2", Usage::kFixedProduction, 10, 4, 895},
+    {"AdaptedAS/url_parser", Usage::kFixedProduction, 9, 3, 924},
+    {"h-i-13/WHOISpy", Usage::kFixedProduction, 9, 3, 1527},
+    {"oaplatform/oap", Usage::kFixedProduction, 9, 5, 1527},
+    {"amphp/http-client-cookies", Usage::kFixedProduction, 7, 5, 162},
+    {"hrbrmstr/psl", Usage::kFixedProduction, 6, 5, 1527},
+    {"szopoviktor/unique-email-address", Usage::kFixedProduction, 6, 2, 810},
+    {"WebCuratorTool/webcurator", Usage::kFixedProduction, 6, 4, 973},
+    // --- Test ---
+    {"ClickHouse/ClickHouse", Usage::kFixedTest, 26127, 5725, 737},
+    {"win-acme/win-acme", Usage::kFixedTest, 4620, 770, 560},
+    {"yasserg/crawler4j", Usage::kFixedTest, 4336, 1923, 1527},
+    {"jeremykendall/php-domain-parser", Usage::kFixedTest, 1021, 121, 296},
+    {"rockdaboot/wget2", Usage::kFixedTest, 365, 61, 1805},
+    {"DNS-OARC/dsc", Usage::kFixedTest, 94, 23, 1010},
+    {"rushmorem/publicsuffix", Usage::kFixedTest, 90, 17, 636},
+    {"park-manager/park-manager", Usage::kFixedTest, 49, 7, 653},
+    {"addr-rs/addr", Usage::kFixedTest, 40, 11, 636},
+    {"datablade-io/daisy", Usage::kFixedTest, 32, 7, 737},
+    {"elliotwutingfeng/go-fasttld", Usage::kFixedTest, 10, 3, 221},
+    {"m2osw/libtld", Usage::kFixedTest, 9, 3, 581},
+    {"Komposten/public_suffix", Usage::kFixedTest, 8, 2, 1217},
+    // --- Other ---
+    {"du5/gfwlist", Usage::kFixedOther, 29, 16, 1023},
+};
+
+class Builder {
+ public:
+  explicit Builder(const RepoCorpusSpec& spec)
+      : spec_(spec), rng_(spec.seed), names_(rng_.fork(3)) {}
+
+  std::vector<RepoRecord> build() {
+    std::size_t remaining_prod = spec_.fixed_production;
+    std::size_t remaining_test = spec_.fixed_test;
+    std::size_t remaining_other = spec_.fixed_other;
+
+    if (spec_.include_anchors) {
+      for (const AnchorRepo& a : anchor_repos()) {
+        std::size_t* budget = nullptr;
+        switch (a.usage) {
+          case Usage::kFixedProduction: budget = &remaining_prod; break;
+          case Usage::kFixedTest: budget = &remaining_test; break;
+          case Usage::kFixedOther: budget = &remaining_other; break;
+          default: throw std::logic_error("anchor with non-fixed usage");
+        }
+        if (*budget == 0) continue;  // spec smaller than the anchor set
+        --*budget;
+        RepoRecord r;
+        r.name = std::string(a.name);
+        r.usage = a.usage;
+        r.stars = a.stars;
+        r.forks = a.forks;
+        r.list_date = spec_.measurement - a.list_age_days;
+        r.last_commit = synth_last_commit(a.stars);
+        r.anchored = true;
+        out_.push_back(std::move(r));
+      }
+    }
+
+    // Unnamed fixed projects: the paper could not obtain a list age for
+    // these (e.g. vendored under a rewritten filename), so they carry none.
+    emit_plain(remaining_prod, Usage::kFixedProduction, DependencyLib::kNone, false);
+    emit_plain(remaining_test, Usage::kFixedTest, DependencyLib::kNone, false);
+    emit_plain(remaining_other, Usage::kFixedOther, DependencyLib::kNone, false);
+
+    // Updated projects all embed a fallback copy whose age is measurable;
+    // the paper reports a median of 915 days for this group.
+    emit_plain(spec_.updated_build, Usage::kUpdatedBuild, DependencyLib::kNone, true);
+    emit_plain(spec_.updated_user, Usage::kUpdatedUser, DependencyLib::kNone, true);
+    emit_plain(spec_.updated_server, Usage::kUpdatedServer, DependencyLib::kNone, true);
+
+    emit_plain(spec_.dep_jre, Usage::kDependency, DependencyLib::kJavaJre, false);
+    emit_plain(spec_.dep_ddns_scripts, Usage::kDependency, DependencyLib::kShellDdnsScripts, false);
+    emit_plain(spec_.dep_oneforall, Usage::kDependency, DependencyLib::kPythonOneforall, false);
+    emit_plain(spec_.dep_python_whois, Usage::kDependency, DependencyLib::kPythonWhois, false);
+    emit_plain(spec_.dep_ruby_domain_name, Usage::kDependency, DependencyLib::kRubyDomainName,
+               false);
+    emit_plain(spec_.dep_other, Usage::kDependency, DependencyLib::kOther, false);
+
+    return std::move(out_);
+  }
+
+ private:
+  void emit_plain(std::size_t count, Usage usage, DependencyLib lib, bool with_age) {
+    for (std::size_t i = 0; i < count; ++i) {
+      RepoRecord r;
+      r.name = names_.fresh() + "/" + names_.fresh();
+      r.usage = usage;
+      r.dependency_lib = lib;
+      r.stars = synth_stars();
+      r.forks = synth_forks(r.stars);
+      if (with_age) r.list_date = spec_.measurement - synth_updated_age();
+      if (usage == Usage::kDependency) {
+        r.library_list_date = spec_.measurement - synth_library_age(lib);
+      }
+      r.last_commit = synth_last_commit(r.stars);
+      out_.push_back(std::move(r));
+    }
+  }
+
+  /// Age of the list copy bundled inside each dependency library. The JRE's
+  /// copy is notoriously stale; the smaller language libraries refresh on
+  /// their own release cadence.
+  int synth_library_age(DependencyLib lib) {
+    double median_days;
+    switch (lib) {
+      case DependencyLib::kJavaJre: median_days = 1500; break;
+      case DependencyLib::kShellDdnsScripts: median_days = 1100; break;
+      case DependencyLib::kPythonOneforall: median_days = 900; break;
+      case DependencyLib::kPythonWhois: median_days = 500; break;
+      case DependencyLib::kRubyDomainName: median_days = 420; break;
+      default: median_days = 700; break;
+    }
+    const double v = rng_.lognormal(std::log(median_days), 0.45);
+    return std::clamp(static_cast<int>(std::lround(v)), 10, 3000);
+  }
+
+  /// Star counts are heavy-tailed; the paper reports a median of 60 among
+  /// fixed-production projects with a few >10k outliers.
+  int synth_stars() {
+    const double v = rng_.lognormal(std::log(60.0), 1.6);
+    return std::max(0, static_cast<int>(std::lround(v)));
+  }
+
+  /// Forks scale with stars (Pearson r = 0.96 in the paper): proportional
+  /// with modest multiplicative noise.
+  int synth_forks(int stars) {
+    const double ratio = 0.12 * std::exp(0.25 * rng_.normal());
+    return std::max(0, static_cast<int>(std::lround(stars * ratio + rng_.below(3))));
+  }
+
+  /// Ages of the fallback copies inside updated-strategy projects
+  /// (median ~915 days in the paper; the 0.45 sigma keeps the overall
+  /// fixed+updated median near the paper's 871).
+  int synth_updated_age() {
+    const double v = rng_.lognormal(std::log(850.0), 0.45);
+    return std::clamp(static_cast<int>(std::lround(v)), 10, 2600);
+  }
+
+  /// Days-since-last-commit: popular projects are usually active.
+  util::Date synth_last_commit(int stars) {
+    const double scale = stars >= 500 ? 45.0 : 280.0;
+    const int days_ago =
+        std::clamp(static_cast<int>(std::lround(rng_.lognormal(std::log(scale), 1.0))), 0, 2000);
+    return spec_.measurement - days_ago;
+  }
+
+  RepoCorpusSpec spec_;
+  util::Rng rng_;
+  util::NameGen names_;
+  std::vector<RepoRecord> out_;
+};
+
+}  // namespace
+
+std::vector<AnchorRepo> anchor_repos() {
+  return std::vector<AnchorRepo>(std::begin(kAnchors), std::end(kAnchors));
+}
+
+std::vector<RepoRecord> generate_repo_corpus(const RepoCorpusSpec& spec) {
+  return Builder(spec).build();
+}
+
+}  // namespace psl::repos

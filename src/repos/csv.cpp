@@ -1,0 +1,133 @@
+#include "psl/repos/csv.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::repos {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "name,usage,dependency_lib,stars,forks,list_date,library_list_date,last_commit,anchored";
+
+std::string_view usage_token(Usage usage) { return to_string(usage); }
+
+util::Result<Usage> parse_usage(std::string_view token) {
+  for (Usage usage :
+       {Usage::kFixedProduction, Usage::kFixedTest, Usage::kFixedOther, Usage::kUpdatedBuild,
+        Usage::kUpdatedUser, Usage::kUpdatedServer, Usage::kDependency}) {
+    if (token == to_string(usage)) return usage;
+  }
+  return util::make_error("csv.bad-usage", "unknown usage: " + std::string(token));
+}
+
+util::Result<DependencyLib> parse_lib(std::string_view token) {
+  for (DependencyLib lib :
+       {DependencyLib::kNone, DependencyLib::kJavaJre, DependencyLib::kShellDdnsScripts,
+        DependencyLib::kPythonOneforall, DependencyLib::kPythonWhois,
+        DependencyLib::kRubyDomainName, DependencyLib::kOther}) {
+    if (token == to_string(lib)) return lib;
+  }
+  return util::make_error("csv.bad-lib", "unknown dependency lib: " + std::string(token));
+}
+
+std::string date_field(const std::optional<util::Date>& date) {
+  return date ? date->to_string() : std::string{};
+}
+
+util::Result<std::optional<util::Date>> parse_date_field(std::string_view field) {
+  if (field.empty()) return std::optional<util::Date>{};
+  const auto date = util::Date::parse(field);
+  if (!date) {
+    return util::make_error("csv.bad-date", "bad date: " + std::string(field));
+  }
+  return std::optional<util::Date>(*date);
+}
+
+util::Result<int> parse_int(std::string_view field) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    return util::make_error("csv.bad-number", "not an integer: " + std::string(field));
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_csv(const std::vector<RepoRecord>& repos, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const RepoRecord& r : repos) {
+    out << r.name << ',' << usage_token(r.usage) << ',' << to_string(r.dependency_lib) << ','
+        << r.stars << ',' << r.forks << ',' << date_field(r.list_date) << ','
+        << date_field(r.library_list_date) << ',' << r.last_commit.to_string() << ','
+        << (r.anchored ? 1 : 0) << '\n';
+  }
+}
+
+util::Result<std::vector<RepoRecord>> read_csv(std::istream& in) {
+  std::vector<RepoRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view s = util::trim(line);
+    if (s.empty()) continue;
+    if (!header_seen) {
+      if (s != kHeader) {
+        return util::make_error("csv.bad-header", "unexpected header row");
+      }
+      header_seen = true;
+      continue;
+    }
+
+    const auto fields = util::split(s, ',');
+    if (fields.size() != 9) {
+      return util::make_error(
+          "csv.bad-row", "line " + std::to_string(line_no) + ": expected 9 fields, got " +
+                             std::to_string(fields.size()));
+    }
+
+    RepoRecord r;
+    r.name = std::string(fields[0]);
+    auto usage = parse_usage(fields[1]);
+    if (!usage) return usage.error();
+    r.usage = *usage;
+    auto lib = parse_lib(fields[2]);
+    if (!lib) return lib.error();
+    r.dependency_lib = *lib;
+    auto stars = parse_int(fields[3]);
+    if (!stars) return stars.error();
+    r.stars = *stars;
+    auto forks = parse_int(fields[4]);
+    if (!forks) return forks.error();
+    r.forks = *forks;
+    auto list_date = parse_date_field(fields[5]);
+    if (!list_date) return list_date.error();
+    r.list_date = *list_date;
+    auto library_date = parse_date_field(fields[6]);
+    if (!library_date) return library_date.error();
+    r.library_list_date = *library_date;
+    auto commit = parse_date_field(fields[7]);
+    if (!commit) return commit.error();
+    if (!commit->has_value()) {
+      return util::make_error("csv.bad-date",
+                              "line " + std::to_string(line_no) + ": last_commit required");
+    }
+    r.last_commit = **commit;
+    auto anchored = parse_int(fields[8]);
+    if (!anchored) return anchored.error();
+    r.anchored = *anchored != 0;
+    out.push_back(std::move(r));
+  }
+  if (!header_seen) {
+    return util::make_error("csv.empty", "no header row");
+  }
+  return out;
+}
+
+}  // namespace psl::repos

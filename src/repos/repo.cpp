@@ -1,0 +1,41 @@
+#include "psl/repos/repo.hpp"
+
+namespace psl::repos {
+
+std::string_view to_string(Usage usage) noexcept {
+  switch (usage) {
+    case Usage::kFixedProduction: return "fixed-production";
+    case Usage::kFixedTest: return "fixed-test";
+    case Usage::kFixedOther: return "fixed-other";
+    case Usage::kUpdatedBuild: return "updated-build";
+    case Usage::kUpdatedUser: return "updated-user";
+    case Usage::kUpdatedServer: return "updated-server";
+    case Usage::kDependency: return "dependency";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DependencyLib lib) noexcept {
+  switch (lib) {
+    case DependencyLib::kNone: return "none";
+    case DependencyLib::kJavaJre: return "java:jre";
+    case DependencyLib::kShellDdnsScripts: return "shell:ddns-scripts";
+    case DependencyLib::kPythonOneforall: return "python:oneforall";
+    case DependencyLib::kPythonWhois: return "python:python-whois";
+    case DependencyLib::kRubyDomainName: return "ruby:domain_name";
+    case DependencyLib::kOther: return "other";
+  }
+  return "unknown";
+}
+
+bool is_fixed(Usage usage) noexcept {
+  return usage == Usage::kFixedProduction || usage == Usage::kFixedTest ||
+         usage == Usage::kFixedOther;
+}
+
+bool is_updated(Usage usage) noexcept {
+  return usage == Usage::kUpdatedBuild || usage == Usage::kUpdatedUser ||
+         usage == Usage::kUpdatedServer;
+}
+
+}  // namespace psl::repos

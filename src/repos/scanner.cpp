@@ -1,0 +1,192 @@
+#include "psl/repos/scanner.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::repos {
+
+namespace fs = std::filesystem;
+
+Scanner::Scanner(const history::History& history, ScanOptions options)
+    : history_(history), options_(std::move(options)) {}
+
+namespace {
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+bool path_mentions(const fs::path& path, std::initializer_list<std::string_view> needles) {
+  const std::string as_lower = util::to_lower(path.generic_string());
+  return std::any_of(needles.begin(), needles.end(), [&](std::string_view needle) {
+    return as_lower.find(needle) != std::string::npos;
+  });
+}
+
+/// True if a sibling/ancestor build file appears to re-fetch the list
+/// (references the canonical URL or an obvious update script name).
+bool has_update_machinery(const fs::path& list_file) {
+  static constexpr std::string_view kBuildFiles[] = {
+      "Makefile", "makefile", "CMakeLists.txt", "update.sh", "update_psl.sh",
+      "update-psl.sh", "build.gradle", "build.sh",
+  };
+  fs::path dir = list_file.parent_path();
+  for (int depth = 0; depth < 3 && !dir.empty(); ++depth, dir = dir.parent_path()) {
+    for (std::string_view candidate : kBuildFiles) {
+      const fs::path p = dir / fs::path(std::string(candidate));
+      std::error_code ec;
+      if (!fs::is_regular_file(p, ec)) continue;
+      if (const auto contents = read_file(p)) {
+        if (contents->find("publicsuffix.org") != std::string::npos ||
+            contents->find("public_suffix_list") != std::string::npos) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Usage Scanner::classify_usage(const fs::path& file) const {
+  if (path_mentions(file, {"/test/", "/tests/", "/testdata/", "/fixtures/", "/spec/"})) {
+    return Usage::kFixedTest;
+  }
+  if (has_update_machinery(file)) {
+    return Usage::kUpdatedBuild;
+  }
+  return Usage::kFixedProduction;
+}
+
+ScanFinding Scanner::analyze_file(const fs::path& file) const {
+  ScanFinding finding;
+  finding.path = file;
+  finding.classified_usage = classify_usage(file);
+
+  const auto contents = read_file(file);
+  if (!contents) return finding;
+
+  const auto parsed = List::parse(*contents);
+  if (!parsed) return finding;
+  const List& copy = *parsed;
+  finding.rule_count = copy.rule_count();
+
+  // Vintage: a copy cannot predate any rule it contains, so the newest
+  // known add date among its rules is the estimate. Build a text->added
+  // index once per call; the schedule is shared across rules.
+  std::unordered_map<std::string, util::Date> added_index;
+  added_index.reserve(history_.schedule().size());
+  for (const auto& sr : history_.schedule()) {
+    auto [it, inserted] = added_index.emplace(sr.rule.to_string(), sr.added);
+    if (!inserted && sr.added < it->second) it->second = sr.added;
+  }
+
+  std::optional<util::Date> newest;
+  for (const Rule& rule : copy.rules()) {
+    const auto it = added_index.find(rule.to_string());
+    if (it == added_index.end()) continue;
+    if (!newest || it->second > *newest) newest = it->second;
+  }
+  finding.estimated_date = newest;
+  if (newest) finding.estimated_age_days = options_.measurement - *newest;
+
+  // Missing rules vs. the latest list.
+  const auto [added, removed] = copy.diff(history_.latest());
+  finding.missing_rule_count = added.size();
+  for (const Rule& rule : added) {
+    if (finding.missing_rules.size() >= options_.max_missing_examples) break;
+    finding.missing_rules.push_back(rule.to_string());
+  }
+  return finding;
+}
+
+std::string advisory_text(const ScanFinding& finding, util::Date measurement) {
+  std::string out;
+  out += "Subject: Out-of-date Public Suffix List copy in " +
+         finding.path.filename().string() + "\n\n";
+  out += "Hello! This project ships an embedded copy of the Public Suffix List\n";
+  out += "at `" + finding.path.generic_string() + "` (" +
+         std::to_string(finding.rule_count) + " rules).\n\n";
+
+  if (finding.estimated_date) {
+    out += "The newest rule in that copy dates it to about " +
+           finding.estimated_date->to_string() + " - roughly " +
+           std::to_string(measurement - *finding.estimated_date) +
+           " days old at " + measurement.to_string() + ".\n";
+  } else {
+    out += "The copy could not be dated against the list's published history,\n";
+    out += "which usually means it was modified by hand.\n";
+  }
+
+  if (finding.missing_rule_count > 0) {
+    out += "It is missing " + std::to_string(finding.missing_rule_count) +
+           " rules present in the current list, including:\n";
+    for (const std::string& rule : finding.missing_rules) {
+      out += "  - " + rule + "\n";
+    }
+    out += "\nEach missing rule is a privacy boundary this code will get wrong:\n";
+    out += "domains under those suffixes are separately-owned registrations,\n";
+    out += "but this copy groups them into one organization (shared cookies,\n";
+    out += "password autofill across tenants, merged storage, ...).\n";
+  }
+
+  out += "\nRecommended fix: fetch the list at build time from\n";
+  out += "https://publicsuffix.org/list/public_suffix_list.dat and refresh it\n";
+  out += "on every release (or at application start), rather than vendoring a\n";
+  out += "fixed copy. The list changes several times a month.\n";
+
+  switch (finding.classified_usage) {
+    case Usage::kFixedTest:
+      out += "\n(This copy appears to live in test fixtures; pinned test data is\n";
+      out += "fine, but make sure production code paths use a fresh list.)\n";
+      break;
+    case Usage::kUpdatedBuild:
+      out += "\n(This project already refreshes the list at build time - consider\n";
+      out += "also refreshing this embedded fallback so failed fetches degrade\n";
+      out += "to something recent.)\n";
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+util::Result<std::vector<ScanFinding>> Scanner::scan(const fs::path& root) const {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return util::make_error("scan.bad-root",
+                            "not a readable directory: " + root.generic_string());
+  }
+
+  std::vector<ScanFinding> findings;
+  fs::recursive_directory_iterator it(
+      root, fs::directory_options::skip_permission_denied, ec);
+  if (ec) {
+    return util::make_error("scan.walk-failed", ec.message());
+  }
+  for (const fs::directory_entry& entry : it) {
+    if (it.depth() > static_cast<int>(options_.max_depth)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string filename = entry.path().filename().string();
+    const bool is_list = std::any_of(
+        options_.list_filenames.begin(), options_.list_filenames.end(),
+        [&](const std::string& candidate) { return filename == candidate; });
+    if (!is_list) continue;
+    findings.push_back(analyze_file(entry.path()));
+  }
+  return findings;
+}
+
+}  // namespace psl::repos

@@ -1,0 +1,90 @@
+#include "psl/tls/wildcard.hpp"
+
+#include <algorithm>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::tls {
+
+bool dns_name_matches(std::string_view pattern, std::string_view host) noexcept {
+  if (pattern.empty() || host.empty()) return false;
+  if (!pattern.empty() && pattern.back() == '.') pattern.remove_suffix(1);
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+
+  if (pattern.find('*') == std::string_view::npos) {
+    return pattern == host;
+  }
+
+  // The wildcard must be the complete left-most label.
+  if (!util::starts_with(pattern, "*.")) return false;
+  const std::string_view tail = pattern.substr(2);
+  if (tail.empty() || tail.find('*') != std::string_view::npos) return false;
+
+  // The host must be exactly one label deeper than the tail.
+  const std::size_t dot = host.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  return host.substr(dot + 1) == tail;
+}
+
+std::string_view to_string(IssuanceVerdict verdict) noexcept {
+  switch (verdict) {
+    case IssuanceVerdict::kOk: return "ok";
+    case IssuanceVerdict::kRejectedSyntax: return "rejected-syntax";
+    case IssuanceVerdict::kRejectedPublicSuffix: return "rejected-public-suffix";
+    case IssuanceVerdict::kRejectedTld: return "rejected-tld";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool valid_pattern_labels(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (std::string_view label : util::split(name, '.')) {
+    if (label.empty()) return false;
+    if (label.find('*') != std::string_view::npos) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IssuanceVerdict check_issuance(const List& list, std::string_view pattern) {
+  if (pattern.empty()) return IssuanceVerdict::kRejectedSyntax;
+  if (!pattern.empty() && pattern.back() == '.') pattern.remove_suffix(1);
+
+  if (pattern == "*") return IssuanceVerdict::kRejectedTld;
+
+  if (pattern.find('*') == std::string_view::npos) {
+    return valid_pattern_labels(pattern) ? IssuanceVerdict::kOk
+                                         : IssuanceVerdict::kRejectedSyntax;
+  }
+
+  if (!util::starts_with(pattern, "*.")) return IssuanceVerdict::kRejectedSyntax;
+  const std::string_view parent = pattern.substr(2);
+  if (!valid_pattern_labels(parent)) return IssuanceVerdict::kRejectedSyntax;
+
+  // CABF BR 3.2.2.6: no wildcard immediately above a registry-controlled
+  // label. "*.<public suffix>" covers every registrant under the suffix.
+  if (list.is_public_suffix(parent)) {
+    return IssuanceVerdict::kRejectedPublicSuffix;
+  }
+  return IssuanceVerdict::kOk;
+}
+
+bool Certificate::matches(std::string_view host) const noexcept {
+  return std::any_of(dns_names.begin(), dns_names.end(), [&](const std::string& pattern) {
+    return dns_name_matches(pattern, host);
+  });
+}
+
+std::vector<std::string> covered_hosts(std::string_view pattern,
+                                       const std::vector<std::string>& universe) {
+  std::vector<std::string> out;
+  for (const std::string& host : universe) {
+    if (dns_name_matches(pattern, host)) out.push_back(host);
+  }
+  return out;
+}
+
+}  // namespace psl::tls

@@ -1,0 +1,90 @@
+#include "psl/updater/update_policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "psl/util/stats.hpp"
+
+namespace psl::updater {
+
+std::string_view to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kFixed: return "fixed";
+    case Strategy::kBuild: return "updated-build";
+    case Strategy::kUser: return "updated-user";
+    case Strategy::kServer: return "updated-server";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Interval between update opportunities for a policy, or 0 for never.
+int opportunity_interval(const UpdatePolicy& policy) {
+  switch (policy.strategy) {
+    case Strategy::kFixed: return 0;
+    case Strategy::kBuild: return policy.build_interval_days;
+    case Strategy::kUser:
+    case Strategy::kServer: return policy.restart_interval_days;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SimulationResult simulate(const UpdatePolicy& policy, const SimulationSpec& spec) {
+  assert(spec.end >= spec.start);
+  assert(spec.start >= spec.embed_date);
+
+  const int interval = opportunity_interval(policy);
+  assert(policy.strategy == Strategy::kFixed || interval > 0);
+
+  util::Rng rng(spec.seed);
+  const int window_days = spec.end - spec.start;
+
+  SimulationResult result;
+  result.final_ages.reserve(spec.trials);
+
+  double age_sum = 0.0;
+  std::size_t age_samples = 0;
+  std::size_t stuck = 0;
+
+  for (std::size_t trial = 0; trial < spec.trials; ++trial) {
+    // The list the deployment currently applies. An update opportunity
+    // (build or restart) refreshes it to "today" unless the fetch fails.
+    util::Date list_date = spec.embed_date;
+    bool ever_succeeded = false;
+
+    // Desynchronise deployments: the first opportunity lands uniformly
+    // within one interval of the start.
+    int next_opportunity =
+        interval > 0 ? static_cast<int>(rng.below(static_cast<std::uint64_t>(interval))) : -1;
+
+    for (int day = 0; day <= window_days; ++day) {
+      const util::Date today = spec.start + day;
+      if (interval > 0 && day == next_opportunity) {
+        if (!rng.chance(policy.fetch_failure_rate)) {
+          list_date = today;
+          ever_succeeded = true;
+        }
+        next_opportunity += interval;
+      }
+      age_sum += today - list_date;
+      ++age_samples;
+    }
+
+    result.final_ages.push_back(static_cast<double>(spec.end - list_date));
+    if (!ever_succeeded && policy.strategy != Strategy::kFixed) ++stuck;
+    if (policy.strategy == Strategy::kFixed) ++stuck;  // by definition
+  }
+
+  result.mean_age_over_window =
+      age_samples == 0 ? 0.0 : age_sum / static_cast<double>(age_samples);
+  result.median_final_age = util::median(result.final_ages);
+  result.p90_final_age = util::percentile(result.final_ages, 90.0);
+  result.stuck_on_fallback =
+      static_cast<double>(stuck) / static_cast<double>(std::max<std::size_t>(spec.trials, 1));
+  return result;
+}
+
+}  // namespace psl::updater

@@ -1,0 +1,222 @@
+#include "psl/url/host.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "psl/idna/idna.hpp"
+#include "psl/util/strings.hpp"
+
+namespace psl::url {
+
+namespace {
+
+bool all_digits(std::string_view s) noexcept {
+  return !s.empty() && std::all_of(s.begin(), s.end(),
+                                   [](char c) { return c >= '0' && c <= '9'; });
+}
+
+}  // namespace
+
+bool looks_like_ipv4(std::string_view s) noexcept {
+  if (!s.empty() && s.back() == '.') s.remove_suffix(1);
+  const auto labels = util::split(s, '.');
+  if (labels.empty()) return false;
+  // Per the URL spec, a host whose final label is numeric is treated as an
+  // IPv4 candidate; we use the stricter "all labels numeric" since our
+  // corpora never emit mixed forms.
+  return std::all_of(labels.begin(), labels.end(),
+                     [](std::string_view l) { return all_digits(l); });
+}
+
+bool looks_like_ip_literal(std::string_view host) noexcept {
+  if (host.empty()) return false;
+  if (host.find(':') != std::string_view::npos) return true;  // IPv6
+  const std::size_t last_dot = host.rfind('.');
+  const std::string_view last =
+      last_dot == std::string_view::npos ? host : host.substr(last_dot + 1);
+  return all_digits(last);
+}
+
+util::Result<std::array<std::uint8_t, 4>> parse_ipv4(std::string_view s) {
+  const auto labels = util::split(s, '.');
+  if (labels.size() != 4) {
+    return util::make_error("ipv4.bad-shape", "expected four dot-separated octets");
+  }
+  std::array<std::uint8_t, 4> out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string_view l = labels[i];
+    if (!all_digits(l) || l.size() > 3) {
+      return util::make_error("ipv4.bad-octet", "octet is not 1-3 digits");
+    }
+    if (l.size() > 1 && l.front() == '0') {
+      return util::make_error("ipv4.leading-zero", "octet has a leading zero");
+    }
+    int value = 0;
+    for (char c : l) value = value * 10 + (c - '0');
+    if (value > 255) {
+      return util::make_error("ipv4.octet-range", "octet exceeds 255");
+    }
+    out[i] = static_cast<std::uint8_t>(value);
+  }
+  return out;
+}
+
+namespace {
+
+util::Result<std::uint16_t> parse_hex_group(std::string_view g) {
+  if (g.empty() || g.size() > 4) {
+    return util::make_error("ipv6.bad-group", "group must be 1-4 hex digits");
+  }
+  std::uint32_t value = 0;
+  for (char c : g) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return util::make_error("ipv6.bad-group", "non-hex digit in group");
+    value = value * 16 + static_cast<std::uint32_t>(digit);
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
+util::Result<std::array<std::uint16_t, 8>> parse_ipv6(std::string_view s) {
+  if (s.empty()) return util::make_error("ipv6.empty", "empty IPv6 literal");
+
+  // Split on "::" (at most one occurrence).
+  const std::size_t gap = s.find("::");
+  if (gap != std::string_view::npos && s.find("::", gap + 1) != std::string_view::npos) {
+    return util::make_error("ipv6.double-gap", "more than one '::'");
+  }
+
+  auto parse_side = [](std::string_view side,
+                       std::vector<std::uint16_t>& out) -> util::Result<bool> {
+    if (side.empty()) return true;
+    auto groups = util::split(side, ':');
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const std::string_view g = groups[i];
+      if (g.find('.') != std::string_view::npos) {
+        // Embedded IPv4 — only legal as the final component.
+        if (i + 1 != groups.size()) {
+          return util::make_error("ipv6.bad-v4-position", "IPv4 tail not at end");
+        }
+        auto v4 = parse_ipv4(g);
+        if (!v4) return v4.error();
+        out.push_back(static_cast<std::uint16_t>(((*v4)[0] << 8) | (*v4)[1]));
+        out.push_back(static_cast<std::uint16_t>(((*v4)[2] << 8) | (*v4)[3]));
+        continue;
+      }
+      auto group = parse_hex_group(g);
+      if (!group) return group.error();
+      out.push_back(*group);
+    }
+    return true;
+  };
+
+  std::vector<std::uint16_t> head, tail;
+  if (gap == std::string_view::npos) {
+    auto r = parse_side(s, head);
+    if (!r) return r.error();
+    if (head.size() != 8) {
+      return util::make_error("ipv6.bad-length", "expected 8 groups without '::'");
+    }
+  } else {
+    auto r1 = parse_side(s.substr(0, gap), head);
+    if (!r1) return r1.error();
+    auto r2 = parse_side(s.substr(gap + 2), tail);
+    if (!r2) return r2.error();
+    if (head.size() + tail.size() >= 8) {
+      return util::make_error("ipv6.bad-length", "'::' must compress at least one group");
+    }
+  }
+
+  std::array<std::uint16_t, 8> out{};
+  std::copy(head.begin(), head.end(), out.begin());
+  std::copy(tail.begin(), tail.end(), out.end() - static_cast<long>(tail.size()));
+  return out;
+}
+
+std::string format_ipv6(const std::array<std::uint16_t, 8>& groups) {
+  // RFC 5952: find the longest run of zero groups (length >= 2) to compress;
+  // the leftmost wins ties.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+util::Result<Host> Host::parse(std::string_view raw) {
+  std::string_view s = util::trim(raw);
+  if (s.empty()) return util::make_error("host.empty", "empty host");
+
+  if (s.front() == '[') {
+    if (s.back() != ']') {
+      return util::make_error("host.bad-brackets", "'[' without matching ']'");
+    }
+    s = s.substr(1, s.size() - 2);
+    auto v6 = parse_ipv6(s);
+    if (!v6) return v6.error();
+    return Host(HostKind::kIpv6, format_ipv6(*v6));
+  }
+
+  if (s.find(':') != std::string_view::npos) {
+    // A bare colon means an unbracketed IPv6 literal.
+    auto v6 = parse_ipv6(s);
+    if (!v6) return v6.error();
+    return Host(HostKind::kIpv6, format_ipv6(*v6));
+  }
+
+  if (looks_like_ipv4(s)) {
+    std::string_view v4 = s;
+    if (!v4.empty() && v4.back() == '.') v4.remove_suffix(1);
+    auto parsed = parse_ipv4(v4);
+    if (!parsed) return parsed.error();
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (*parsed)[0], (*parsed)[1], (*parsed)[2],
+                  (*parsed)[3]);
+    return Host(HostKind::kIpv4, buf);
+  }
+
+  auto ascii = idna::host_to_ascii(s);
+  if (!ascii) return ascii.error();
+  // Reject characters that can never appear in a DNS hostname. We allow
+  // '_' (service labels like _dmarc) on top of strict LDH.
+  for (char c : *ascii) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' ||
+                    c == '_' || c == '.';
+    if (!ok) {
+      return util::make_error("host.bad-char",
+                              std::string("invalid hostname character '") + c + "'");
+    }
+  }
+  return Host(HostKind::kDnsName, *std::move(ascii));
+}
+
+}  // namespace psl::url

@@ -1,0 +1,35 @@
+#include "psl/util/date.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace psl::util {
+
+std::optional<Date> Date::parse(std::string_view iso) {
+  // Exactly "YYYY-MM-DD" with 4-2-2 digit groups; no leniency, because the
+  // corpora we generate always serialise through to_string().
+  if (iso.size() != 10 || iso[4] != '-' || iso[7] != '-') return std::nullopt;
+
+  auto parse_uint = [](std::string_view s, int& out) {
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc{} && ptr == s.data() + s.size();
+  };
+
+  int y = 0, m = 0, d = 0;
+  if (!parse_uint(iso.substr(0, 4), y) || !parse_uint(iso.substr(5, 2), m) ||
+      !parse_uint(iso.substr(8, 2), d)) {
+    return std::nullopt;
+  }
+  if (m < 1 || !is_valid_civil(y, static_cast<unsigned>(m), static_cast<unsigned>(d))) {
+    return std::nullopt;
+  }
+  return from_civil(y, static_cast<unsigned>(m), static_cast<unsigned>(d));
+}
+
+std::string Date::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", year(), month(), day());
+  return buf;
+}
+
+}  // namespace psl::util

@@ -1,0 +1,43 @@
+#include "psl/util/namegen.hpp"
+
+namespace psl::util {
+
+namespace {
+
+constexpr std::string_view kOnsets[] = {
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p",
+    "r", "s", "t", "v", "w", "z", "br", "ch", "cl", "cr", "dr",
+    "fl", "gr", "pl", "pr", "sh", "sl", "st", "th", "tr",
+};
+
+constexpr std::string_view kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"};
+
+constexpr std::string_view kCodas[] = {"", "", "", "n", "r", "s", "l", "x", "m", "t", "k"};
+
+}  // namespace
+
+std::string NameGen::candidate(std::size_t syllables) {
+  std::string out;
+  for (std::size_t i = 0; i < syllables; ++i) {
+    out += kOnsets[rng_.below(std::size(kOnsets))];
+    out += kVowels[rng_.below(std::size(kVowels))];
+  }
+  out += kCodas[rng_.below(std::size(kCodas))];
+  return out;
+}
+
+std::string NameGen::fresh(std::size_t syllables) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::string c = candidate(syllables);
+    if (used_.insert(c).second) return c;
+  }
+  // Dense region of the name space: disambiguate with a numeric suffix.
+  for (std::uint64_t n = 2;; ++n) {
+    std::string c = candidate(syllables) + std::to_string(n);
+    if (used_.insert(c).second) return c;
+  }
+}
+
+std::string NameGen::fresh() { return fresh(2 + rng_.below(3)); }
+
+}  // namespace psl::util

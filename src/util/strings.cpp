@@ -1,0 +1,104 @@
+#include "psl/util/strings.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace psl::util {
+
+char to_lower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return to_lower(c); });
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+namespace {
+
+template <typename Parts>
+std::string join_impl(const Parts& parts, std::string_view sep) {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size() + sep.size();
+  out.reserve(total);
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out.append(sep);
+    out.append(p);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string join(const std::vector<std::string_view>& parts, std::string_view sep) {
+  return join_impl(parts, sep);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  return join_impl(parts, sep);
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool host_matches_domain(std::string_view host, std::string_view domain) noexcept {
+  if (domain.empty() || host.size() < domain.size()) return false;
+  if (host == domain) return true;
+  return host.size() > domain.size() && ends_with(host, domain) &&
+         host[host.size() - domain.size() - 1] == '.';
+}
+
+std::size_t label_count(std::string_view host) noexcept {
+  if (host.empty()) return 0;
+  return static_cast<std::size_t>(std::count(host.begin(), host.end(), '.')) + 1;
+}
+
+std::string with_commas(long long value) {
+  char digits[32];
+  const bool negative = value < 0;
+  std::snprintf(digits, sizeof digits, "%lld", negative ? -value : value);
+  const std::string_view raw = digits;
+  std::string out;
+  if (negative) out.push_back('-');
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace psl::util

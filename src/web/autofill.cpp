@@ -1,0 +1,32 @@
+#include "psl/web/autofill.hpp"
+
+#include <algorithm>
+
+namespace psl::web {
+
+void AutofillMatcher::store(std::string host, std::string username, std::string password) {
+  credentials_.push_back(
+      Credential{std::move(host), std::move(username), std::move(password)});
+}
+
+std::vector<const Credential*> AutofillMatcher::suggestions(std::string_view host,
+                                                            const List& list) const {
+  std::vector<const Credential*> out;
+  for (const Credential& c : credentials_) {
+    if (list.same_site(host, c.saved_host)) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const Credential*> AutofillMatcher::leaked_suggestions(
+    std::string_view host, const List& stale, const List& current) const {
+  std::vector<const Credential*> out;
+  for (const Credential& c : credentials_) {
+    if (stale.same_site(host, c.saved_host) && !current.same_site(host, c.saved_host)) {
+      out.push_back(&c);
+    }
+  }
+  return out;
+}
+
+}  // namespace psl::web

@@ -1,0 +1,49 @@
+#include "psl/web/browser.hpp"
+
+namespace psl::web {
+
+PageVisit Browser::visit(const url::Url& page, const std::vector<ResourceFetch>& resources,
+                         std::int64_t now) {
+  PageVisit log;
+  log.page_host = page.host().name();
+
+  // The document fetch itself delivers first-party cookies.
+  // (No Set-Cookie modelling for the document; callers can use cookies()
+  // directly when they need it.)
+
+  for (const ResourceFetch& fetch : resources) {
+    FetchLog entry;
+    entry.resource_host = fetch.url.host().name();
+
+    const bool both_dns = !page.host().is_ip() && !fetch.url.host().is_ip();
+    entry.cross_site = both_dns
+                           ? !list_->same_site(page.host().name(), fetch.url.host().name())
+                           : page.host().name() != fetch.url.host().name();
+
+    entry.referrer_sent =
+        referrer_for(*list_, page, fetch.url, ReferrerPolicy::kSameSiteFullUrl);
+    // Count fetches that received the page's full URL (path included) —
+    // more of these under a stale list means more URL disclosure to what
+    // are actually foreign organizations.
+    const std::string origin_only = page.scheme() + "://" + page.host().name();
+    if (!entry.referrer_sent.empty() && entry.referrer_sent != origin_only) {
+      ++full_url_referrers_;
+    }
+
+    entry.cookies_attached = cookies_.cookies_for(fetch.url, /*http_api=*/true, now).size();
+    if (entry.cross_site) cross_site_cookie_sends_ += entry.cookies_attached;
+
+    for (const std::string& header : fetch.set_cookie_headers) {
+      const SetCookieOutcome outcome = cookies_.set_from_header(fetch.url, header, now);
+      if (outcome == SetCookieOutcome::kStored) {
+        ++entry.cookies_stored;
+      } else {
+        ++entry.cookies_rejected;
+      }
+    }
+    log.fetches.push_back(std::move(entry));
+  }
+  return log;
+}
+
+}  // namespace psl::web

@@ -1,0 +1,99 @@
+#include "psl/web/cookie.hpp"
+
+#include <charconv>
+
+#include "psl/util/strings.hpp"
+
+namespace psl::web {
+
+namespace {
+
+bool valid_cookie_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (char c : name) {
+    // RFC 6265 token: no CTLs, separators, or whitespace.
+    const bool bad = c <= ' ' || c == 0x7f || c == '(' || c == ')' || c == '<' || c == '>' ||
+                     c == '@' || c == ',' || c == ';' || c == ':' || c == '\\' || c == '"' ||
+                     c == '/' || c == '[' || c == ']' || c == '?' || c == '=' || c == '{' ||
+                     c == '}';
+    if (bad) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<Cookie> parse_set_cookie(std::string_view header) {
+  const auto parts = util::split(header, ';');
+  if (parts.empty()) {
+    return util::make_error("cookie.empty", "empty Set-Cookie header");
+  }
+
+  // First part: name=value.
+  const std::string_view pair = util::trim(parts[0]);
+  const std::size_t eq = pair.find('=');
+  if (eq == std::string_view::npos) {
+    return util::make_error("cookie.no-equals", "missing '=' in cookie pair");
+  }
+  Cookie cookie;
+  cookie.name = std::string(util::trim(pair.substr(0, eq)));
+  cookie.value = std::string(util::trim(pair.substr(eq + 1)));
+  if (!valid_cookie_name(cookie.name)) {
+    return util::make_error("cookie.bad-name", "invalid cookie name token");
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view attr = util::trim(parts[i]);
+    const std::size_t attr_eq = attr.find('=');
+    const std::string key =
+        util::to_lower(attr_eq == std::string_view::npos ? attr : attr.substr(0, attr_eq));
+    const std::string_view value =
+        attr_eq == std::string_view::npos ? std::string_view{}
+                                          : util::trim(attr.substr(attr_eq + 1));
+
+    if (key == "domain") {
+      std::string_view d = value;
+      if (!d.empty() && d.front() == '.') d.remove_prefix(1);
+      if (d.empty()) {
+        return util::make_error("cookie.bad-domain", "empty Domain attribute");
+      }
+      cookie.domain = util::to_lower(d);
+      cookie.host_only = false;
+    } else if (key == "path") {
+      if (!value.empty() && value.front() == '/') cookie.path = std::string(value);
+    } else if (key == "secure") {
+      cookie.secure = true;
+    } else if (key == "httponly") {
+      cookie.http_only = true;
+    } else if (key == "max-age") {
+      std::int64_t seconds = 0;
+      const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), seconds);
+      if (ec == std::errc{} && ptr == value.data() + value.size()) {
+        cookie.max_age = seconds;
+      }
+      // Malformed Max-Age is ignored per the RFC's lenient attribute rules.
+    }
+    // Unknown attributes: ignored.
+  }
+  return cookie;
+}
+
+bool domain_match(std::string_view host, std::string_view domain) noexcept {
+  return util::host_matches_domain(host, domain);
+}
+
+bool path_match(std::string_view request_path, std::string_view cookie_path) noexcept {
+  if (request_path == cookie_path) return true;
+  if (!util::starts_with(request_path, cookie_path)) return false;
+  if (!cookie_path.empty() && cookie_path.back() == '/') return true;
+  return request_path.size() > cookie_path.size() && request_path[cookie_path.size()] == '/';
+}
+
+std::string default_path(std::string_view request_path) {
+  if (request_path.empty() || request_path.front() != '/') return "/";
+  const std::size_t last_slash = request_path.rfind('/');
+  if (last_slash == 0) return "/";
+  return std::string(request_path.substr(0, last_slash));
+}
+
+}  // namespace psl::web

@@ -1,0 +1,106 @@
+#include "psl/web/cookie_jar.hpp"
+
+#include <algorithm>
+
+namespace psl::web {
+
+std::string_view to_string(SetCookieOutcome outcome) noexcept {
+  switch (outcome) {
+    case SetCookieOutcome::kStored: return "stored";
+    case SetCookieOutcome::kRejectedSupercookie: return "rejected-supercookie";
+    case SetCookieOutcome::kRejectedForeign: return "rejected-foreign";
+    case SetCookieOutcome::kRejectedSecure: return "rejected-secure";
+    case SetCookieOutcome::kRejectedParse: return "rejected-parse";
+  }
+  return "unknown";
+}
+
+SetCookieOutcome CookieJar::set_from_header(const url::Url& origin,
+                                            std::string_view set_cookie, std::int64_t now) {
+  auto parsed = parse_set_cookie(set_cookie);
+  if (!parsed) return SetCookieOutcome::kRejectedParse;
+  Cookie cookie = *std::move(parsed);
+  if (cookie.max_age) {
+    // RFC 6265: Max-Age <= 0 means "expire immediately" — used to delete.
+    cookie.expires_at = now + std::max<std::int64_t>(*cookie.max_age, 0);
+  }
+
+  const std::string& host = origin.host().name();
+
+  if (!cookie.host_only) {
+    // RFC 6265 5.3 step 5 + the public-suffix carve-out: a Domain attribute
+    // naming a public suffix is only allowed when it equals the request
+    // host itself, and then the cookie becomes host-only.
+    if (origin.host().is_ip()) {
+      // IP hosts can never use Domain attributes.
+      if (cookie.domain != host) return SetCookieOutcome::kRejectedForeign;
+      cookie.host_only = true;
+    } else if (list_->is_public_suffix(cookie.domain)) {
+      if (cookie.domain == host) {
+        cookie.host_only = true;
+      } else {
+        return SetCookieOutcome::kRejectedSupercookie;
+      }
+    } else if (!domain_match(host, cookie.domain)) {
+      return SetCookieOutcome::kRejectedForeign;
+    }
+  }
+  if (cookie.host_only) cookie.domain = host;
+
+  if (cookie.secure && !origin.is_secure()) {
+    return SetCookieOutcome::kRejectedSecure;
+  }
+
+  if (cookie.path == "/" ) {
+    // An absent Path attribute takes the default path of the request URL.
+    // parse_set_cookie leaves "/" for both "absent" and an explicit
+    // Path=/ — identical behaviour either way.
+    cookie.path = default_path(origin.path());
+    if (cookie.path.empty()) cookie.path = "/";
+  }
+
+  // Replace an existing cookie with the same (name, domain, path) identity.
+  // An already-expired cookie (Max-Age <= 0) acts as a deletion.
+  const auto same_identity = [&](const Cookie& c) {
+    return c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path &&
+           c.host_only == cookie.host_only;
+  };
+  const auto it = std::find_if(cookies_.begin(), cookies_.end(), same_identity);
+  if (cookie.expired(now)) {
+    if (it != cookies_.end()) cookies_.erase(it);
+    return SetCookieOutcome::kStored;
+  }
+  if (it != cookies_.end()) {
+    *it = std::move(cookie);
+  } else {
+    cookies_.push_back(std::move(cookie));
+  }
+  return SetCookieOutcome::kStored;
+}
+
+std::vector<const Cookie*> CookieJar::cookies_for(const url::Url& target, bool http_api,
+                                                  std::int64_t now) const {
+  std::vector<const Cookie*> out;
+  const std::string& host = target.host().name();
+  for (const Cookie& c : cookies_) {
+    if (c.expired(now)) continue;
+    if (c.host_only) {
+      if (host != c.domain) continue;
+    } else if (!domain_match(host, c.domain)) {
+      continue;
+    }
+    if (!path_match(target.path(), c.path)) continue;
+    if (c.secure && !target.is_secure()) continue;
+    if (c.http_only && !http_api) continue;
+    out.push_back(&c);
+  }
+  return out;
+}
+
+std::size_t CookieJar::purge_expired(std::int64_t now) {
+  const auto before = cookies_.size();
+  std::erase_if(cookies_, [&](const Cookie& c) { return c.expired(now); });
+  return before - cookies_.size();
+}
+
+}  // namespace psl::web

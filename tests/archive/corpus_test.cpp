@@ -1,0 +1,161 @@
+#include "psl/archive/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "psl/history/timeline.hpp"
+#include "psl/util/strings.hpp"
+
+namespace psl::archive {
+namespace {
+
+const history::History& tiny_hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+const Corpus& tiny_corpus() {
+  static const Corpus c = generate_corpus(CorpusSpec::tiny(), tiny_hist());
+  return c;
+}
+
+TEST(CorpusTest, ProducesHostsAndRequests) {
+  const Corpus& c = tiny_corpus();
+  EXPECT_GT(c.unique_host_count(), 500u);
+  EXPECT_GT(c.request_count(), 2000u);
+}
+
+TEST(CorpusTest, HostnamesAreUnique) {
+  const Corpus& c = tiny_corpus();
+  std::unordered_set<std::string> seen(c.hostnames().begin(), c.hostnames().end());
+  EXPECT_EQ(seen.size(), c.unique_host_count());
+}
+
+TEST(CorpusTest, RequestsReferenceValidHosts) {
+  const Corpus& c = tiny_corpus();
+  for (const Request& r : c.requests()) {
+    ASSERT_LT(r.page_host, c.unique_host_count());
+    ASSERT_LT(r.resource_host, c.unique_host_count());
+  }
+}
+
+TEST(CorpusTest, DeterministicForSameSeed) {
+  const Corpus a = generate_corpus(CorpusSpec::tiny(), tiny_hist());
+  const Corpus b = generate_corpus(CorpusSpec::tiny(), tiny_hist());
+  ASSERT_EQ(a.unique_host_count(), b.unique_host_count());
+  EXPECT_EQ(a.hostnames(), b.hostnames());
+  ASSERT_EQ(a.request_count(), b.request_count());
+  for (std::size_t i = 0; i < a.request_count(); ++i) {
+    ASSERT_EQ(a.requests()[i].page_host, b.requests()[i].page_host);
+    ASSERT_EQ(a.requests()[i].resource_host, b.requests()[i].resource_host);
+  }
+}
+
+TEST(CorpusTest, SeedChangesCorpus) {
+  CorpusSpec spec = CorpusSpec::tiny();
+  spec.seed += 1;
+  const Corpus other = generate_corpus(spec, tiny_hist());
+  EXPECT_NE(other.hostnames(), tiny_corpus().hostnames());
+}
+
+TEST(CorpusTest, EveryPageEmitsDocumentRequest) {
+  const Corpus& c = tiny_corpus();
+  std::size_t self_requests = 0;
+  for (const Request& r : c.requests()) {
+    if (r.page_host == r.resource_host) ++self_requests;
+  }
+  EXPECT_GE(self_requests, CorpusSpec::tiny().page_views);
+}
+
+TEST(CorpusTest, ContainsPlatformTenantsProportionalToWeights) {
+  // At scale 1.0 the corpus holds ~tenant_weight hosts per anchor platform;
+  // tiny uses 0.02. Check the biggest anchor is present and roughly scaled.
+  const Corpus& c = tiny_corpus();
+  std::unordered_map<std::string, std::size_t> per_suffix;
+  for (const std::string& host : c.hostnames()) {
+    for (const auto& anchor : history::platform_anchors()) {
+      if (util::host_matches_domain(host, std::string(anchor.rule_text)) &&
+          host != anchor.rule_text) {
+        ++per_suffix[std::string(anchor.rule_text)];
+      }
+    }
+  }
+  // myshopify.com: 7848 * 0.02 ~ 157 (plus 1-2 shared hosts).
+  const double expected = 7848 * 0.02;
+  EXPECT_NEAR(per_suffix["myshopify.com"], expected, expected * 0.2 + 5);
+  // Ordering: myshopify > web.app, mirroring Table 2.
+  EXPECT_GT(per_suffix["myshopify.com"], per_suffix["web.app"]);
+}
+
+TEST(CorpusTest, ZeroTenantScaleOmitsPlatformHosts) {
+  CorpusSpec spec = CorpusSpec::tiny();
+  spec.platform_tenant_scale = 0.0;
+  spec.generic_platform_tenant_mean = 0.0;
+  const Corpus c = generate_corpus(spec, tiny_hist());
+  for (const std::string& host : c.hostnames()) {
+    EXPECT_FALSE(util::host_matches_domain(host, "myshopify.com")) << host;
+  }
+}
+
+TEST(CorpusTest, ContainsInstitutionalCcHosts) {
+  // parliament.uk-style hosts under retired-wildcard ccTLDs must exist —
+  // they carry the Fig. 6 early-drop signal.
+  const Corpus& c = tiny_corpus();
+  std::size_t direct_cc = 0;
+  for (const std::string& host : c.hostnames()) {
+    const auto labels = util::split(host, '.');
+    if (labels.size() == 2 &&
+        (labels[1] == "uk" || labels[1] == "jp" || labels[1] == "nz" || labels[1] == "za")) {
+      ++direct_cc;
+    }
+  }
+  EXPECT_GT(direct_cc, 10u);
+}
+
+TEST(CorpusTest, ContainsIpLiteralHosts) {
+  const Corpus& c = tiny_corpus();
+  const bool has_ip = std::any_of(
+      c.hostnames().begin(), c.hostnames().end(), [](const std::string& h) {
+        return h.find_first_not_of("0123456789.") == std::string::npos;
+      });
+  EXPECT_TRUE(has_ip);
+}
+
+TEST(CorpusTest, HostnamesAreWellFormedDnsNamesOrIps) {
+  const Corpus& c = tiny_corpus();
+  for (const std::string& host : c.hostnames()) {
+    ASSERT_FALSE(host.empty());
+    ASSERT_EQ(host, util::to_lower(host)) << host;
+    ASSERT_EQ(host.find(".."), std::string::npos) << host;
+    ASSERT_NE(host.front(), '.') << host;
+    ASSERT_NE(host.back(), '.') << host;
+  }
+}
+
+TEST(CorpusTest, ThirdPartyRequestsExist) {
+  // Under the newest list a solid share of requests crosses site boundaries.
+  const Corpus& c = tiny_corpus();
+  const List& latest = tiny_hist().latest();
+  std::size_t third = 0, sample = 0;
+  for (std::size_t i = 0; i < c.request_count(); i += 7) {
+    const Request& r = c.requests()[i];
+    ++sample;
+    if (!latest.same_site(c.hostname(r.page_host), c.hostname(r.resource_host))) ++third;
+  }
+  const double frac = static_cast<double>(third) / static_cast<double>(sample);
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.8);
+}
+
+TEST(CorpusTest, HostIdsAreDense) {
+  const Corpus& c = tiny_corpus();
+  EXPECT_EQ(c.hostname(0), c.hostnames().front());
+  EXPECT_EQ(c.hostname(static_cast<HostId>(c.unique_host_count() - 1)),
+            c.hostnames().back());
+}
+
+}  // namespace
+}  // namespace psl::archive

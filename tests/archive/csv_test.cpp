@@ -1,0 +1,63 @@
+#include "psl/archive/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "psl/history/timeline.hpp"
+
+namespace psl::archive {
+namespace {
+
+const Corpus& tiny_corpus() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  static const Corpus c = generate_corpus(CorpusSpec::tiny(), h);
+  return c;
+}
+
+TEST(CorpusCsvTest, RoundTripsExactly) {
+  std::stringstream buffer;
+  write_csv(tiny_corpus(), buffer);
+
+  const auto back = read_csv(buffer);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back->hostnames(), tiny_corpus().hostnames());
+  ASSERT_EQ(back->request_count(), tiny_corpus().request_count());
+  for (std::size_t i = 0; i < back->request_count(); ++i) {
+    ASSERT_EQ(back->requests()[i].page_host, tiny_corpus().requests()[i].page_host);
+    ASSERT_EQ(back->requests()[i].resource_host, tiny_corpus().requests()[i].resource_host);
+  }
+}
+
+TEST(CorpusCsvTest, EmptyCorpus) {
+  std::stringstream buffer;
+  write_csv(Corpus({}, {}), buffer);
+  const auto back = read_csv(buffer);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->unique_host_count(), 0u);
+}
+
+TEST(CorpusCsvTest, RejectsMalformedInput) {
+  const auto fail = [](std::string_view text) {
+    std::stringstream in{std::string(text)};
+    return !read_csv(in).ok();
+  };
+  EXPECT_TRUE(fail(""));
+  EXPECT_TRUE(fail("0,a.com\n"));                       // data before a section
+  EXPECT_TRUE(fail("#hosts\nnot-a-row\n"));             // missing comma
+  EXPECT_TRUE(fail("#hosts\n5,a.com\n"));               // non-dense id
+  EXPECT_TRUE(fail("#hosts\n0,\n"));                    // empty hostname
+  EXPECT_TRUE(fail("#hosts\n0,a.com\n#requests\n0,7\n"));  // id out of range
+  EXPECT_TRUE(fail("#hosts\n0,a.com\n#requests\nx,0\n"));  // non-numeric
+}
+
+TEST(CorpusCsvTest, AcceptsBlankLines) {
+  std::stringstream in{"#hosts\n0,a.com\n\n1,b.com\n#requests\n\n0,1\n"};
+  const auto back = read_csv(in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->unique_host_count(), 2u);
+  EXPECT_EQ(back->request_count(), 1u);
+}
+
+}  // namespace
+}  // namespace psl::archive

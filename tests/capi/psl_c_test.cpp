@@ -1,0 +1,64 @@
+#include "psl/capi/psl_c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+/// RAII wrapper for C-API strings inside the tests.
+std::string take(const char* s) {
+  std::string out = s == nullptr ? std::string{} : std::string(s);
+  pslh_free_string(s);
+  return out;
+}
+
+TEST(CApiTest, BuiltinIsLoaded) {
+  const pslh_ctx_t* psl = pslh_builtin();
+  ASSERT_NE(psl, nullptr);
+  EXPECT_EQ(pslh_rule_count(psl), 9368u);
+  EXPECT_EQ(pslh_builtin(), psl);  // singleton
+}
+
+TEST(CApiTest, BuiltinLookups) {
+  const pslh_ctx_t* psl = pslh_builtin();
+  EXPECT_EQ(pslh_is_public_suffix(psl, "com"), 1);
+  EXPECT_EQ(pslh_is_public_suffix(psl, "co.uk"), 1);
+  EXPECT_EQ(pslh_is_public_suffix(psl, "myshopify.com"), 1);
+  EXPECT_EQ(pslh_is_public_suffix(psl, "example.com"), 0);
+
+  EXPECT_EQ(take(pslh_unregistrable_domain(psl, "www.amazon.co.uk")), "co.uk");
+  EXPECT_EQ(take(pslh_registrable_domain(psl, "www.amazon.co.uk")), "amazon.co.uk");
+  EXPECT_EQ(pslh_registrable_domain(psl, "co.uk"), nullptr);
+
+  EXPECT_EQ(pslh_same_site(psl, "a.example.com", "b.example.com"), 1);
+  EXPECT_EQ(pslh_same_site(psl, "a.myshopify.com", "b.myshopify.com"), 0);
+}
+
+TEST(CApiTest, LoadFromData) {
+  const std::string file = "com\nuk\nco.uk\n";
+  pslh_ctx_t* psl = pslh_load_from_data(file.data(), file.size());
+  ASSERT_NE(psl, nullptr);
+  EXPECT_EQ(pslh_rule_count(psl), 3u);
+  EXPECT_EQ(take(pslh_registrable_domain(psl, "shop.example.co.uk")), "example.co.uk");
+  pslh_free(psl);
+}
+
+TEST(CApiTest, LoadRejectsBadData) {
+  const std::string bad = "a..b\n";
+  EXPECT_EQ(pslh_load_from_data(bad.data(), bad.size()), nullptr);
+  EXPECT_EQ(pslh_load_from_data(nullptr, 0), nullptr);
+}
+
+TEST(CApiTest, NullSafety) {
+  EXPECT_EQ(pslh_is_public_suffix(nullptr, "com"), 0);
+  EXPECT_EQ(pslh_is_public_suffix(pslh_builtin(), nullptr), 0);
+  EXPECT_EQ(pslh_registrable_domain(nullptr, "x.com"), nullptr);
+  EXPECT_EQ(pslh_unregistrable_domain(pslh_builtin(), ""), nullptr);
+  EXPECT_EQ(pslh_same_site(pslh_builtin(), nullptr, "x.com"), 0);
+  EXPECT_EQ(pslh_rule_count(nullptr), 0u);
+  pslh_free(nullptr);          // no-ops
+  pslh_free_string(nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include "psl/core/categorize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psl/history/timeline.hpp"
+#include "psl/repos/corpus.hpp"
+
+namespace psl::harm {
+namespace {
+
+const history::History& hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+const archive::Corpus& corpus() {
+  static const archive::Corpus c =
+      archive::generate_corpus(archive::CorpusSpec::tiny(), hist());
+  return c;
+}
+
+const ImpactSummary& impacts() {
+  static const ImpactSummary s = compute_etld_impacts(
+      hist(), corpus(), repos::generate_repo_corpus(repos::RepoCorpusSpec{}));
+  return s;
+}
+
+const CategoryBreakdown& breakdown() {
+  static const CategoryBreakdown b = categorize_harm(hist(), corpus(), impacts());
+  return b;
+}
+
+TEST(CategorizeTest, BucketsPartitionTheHostUniverse) {
+  const CategoryBreakdown& b = breakdown();
+  std::size_t by_category = 0;
+  for (const auto& [category, count] : b.hosts_by_tld_category) by_category += count;
+  EXPECT_EQ(by_category + b.ip_hosts, corpus().unique_host_count());
+
+  EXPECT_EQ(b.hosts_under_icann_rules + b.hosts_under_private_rules +
+                b.hosts_under_implicit_star + b.ip_hosts,
+            corpus().unique_host_count());
+}
+
+TEST(CategorizeTest, EveryBucketPopulated) {
+  const CategoryBreakdown& b = breakdown();
+  EXPECT_GT(b.hosts_under_icann_rules, 0u);
+  EXPECT_GT(b.hosts_under_private_rules, 0u);
+  EXPECT_GT(b.ip_hosts, 0u);
+  EXPECT_GT(b.hosts_by_tld_category.at(iana::TldCategory::kGeneric), 0u);
+  EXPECT_GT(b.hosts_by_tld_category.at(iana::TldCategory::kCountryCode), 0u);
+}
+
+TEST(CategorizeTest, HarmedIsSubsetOfAll) {
+  const CategoryBreakdown& b = breakdown();
+  for (const auto& [category, count] : b.harmed_by_tld_category) {
+    EXPECT_LE(count, b.hosts_by_tld_category.at(category));
+  }
+  EXPECT_LE(b.harmed_under_private_rules, b.hosts_under_private_rules);
+  EXPECT_LE(b.harmed_under_icann_rules, b.hosts_under_icann_rules);
+}
+
+TEST(CategorizeTest, HarmedTotalsMatchImpactSummary) {
+  const CategoryBreakdown& b = breakdown();
+  std::size_t harmed_total = 0;
+  for (const auto& [category, count] : b.harmed_by_tld_category) harmed_total += count;
+  EXPECT_EQ(harmed_total, impacts().harmed_hostnames);
+}
+
+TEST(CategorizeTest, PrivateRulesDominateTheHarm) {
+  // The paper's high-impact late rules (myshopify, digitalocean, ...) are
+  // PRIVATE-section entries; the gov.br anchors are the ICANN exception.
+  const CategoryBreakdown& b = breakdown();
+  EXPECT_GT(b.harmed_under_private_rules, b.harmed_under_icann_rules);
+}
+
+}  // namespace
+}  // namespace psl::harm

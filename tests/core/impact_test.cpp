@@ -1,0 +1,165 @@
+#include "psl/core/impact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "psl/history/timeline.hpp"
+#include "psl/repos/corpus.hpp"
+
+namespace psl::harm {
+namespace {
+
+const history::History& hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+const archive::Corpus& corpus() {
+  static const archive::Corpus c =
+      archive::generate_corpus(archive::CorpusSpec::tiny(), hist());
+  return c;
+}
+
+const std::vector<repos::RepoRecord>& repo_corpus() {
+  static const std::vector<repos::RepoRecord> r =
+      repos::generate_repo_corpus(repos::RepoCorpusSpec{});
+  return r;
+}
+
+const ImpactSummary& summary() {
+  static const ImpactSummary s = compute_etld_impacts(hist(), corpus(), repo_corpus());
+  return s;
+}
+
+TEST(ImpactTest, ImpactsSortedByHostnamesDescending) {
+  const auto& impacts = summary().impacts;
+  ASSERT_FALSE(impacts.empty());
+  for (std::size_t i = 1; i < impacts.size(); ++i) {
+    EXPECT_GE(impacts[i - 1].hostnames, impacts[i].hostnames);
+  }
+}
+
+TEST(ImpactTest, LateAnchorsAreMissedByManyProjects) {
+  // digitaloceanspaces.com entered in Feb 2022: almost every fixed list
+  // copy predates it.
+  const auto& impacts = summary().impacts;
+  const auto dos = std::find_if(impacts.begin(), impacts.end(), [](const EtldImpact& i) {
+    return i.etld == "digitaloceanspaces.com";
+  });
+  ASSERT_NE(dos, impacts.end());
+  EXPECT_GT(dos->missing_fixed_production, 20u);
+  EXPECT_GT(dos->missing_dependency, 100u);
+  EXPECT_GT(dos->hostnames, 0u);
+}
+
+TEST(ImpactTest, EarlyRulesAreMissedByNoProject) {
+  const auto& impacts = summary().impacts;
+  const auto blogspot = std::find_if(impacts.begin(), impacts.end(), [](const EtldImpact& i) {
+    return i.etld == "blogspot.com";
+  });
+  ASSERT_NE(blogspot, impacts.end());
+  EXPECT_EQ(blogspot->missing_fixed_production, 0u);
+  EXPECT_EQ(blogspot->missing_dependency, 0u);
+}
+
+TEST(ImpactTest, MissCountsOrderedByRuleAge) {
+  // A later-added rule can only be missed by at least as many projects.
+  const auto& impacts = summary().impacts;
+  auto find = [&](std::string_view etld) {
+    return std::find_if(impacts.begin(), impacts.end(),
+                        [&](const EtldImpact& i) { return i.etld == etld; });
+  };
+  const auto sp = find("sp.gov.br");          // 2017
+  const auto myshopify = find("myshopify.com");  // 2021
+  const auto dos = find("digitaloceanspaces.com");  // 2022
+  ASSERT_NE(sp, impacts.end());
+  ASSERT_NE(myshopify, impacts.end());
+  ASSERT_NE(dos, impacts.end());
+  EXPECT_LE(sp->missing_fixed_production, myshopify->missing_fixed_production);
+  EXPECT_LE(myshopify->missing_fixed_production, dos->missing_fixed_production);
+}
+
+TEST(ImpactTest, PaperShapeForSpGovBr) {
+  // Table 2: sp.gov.br is missed by exactly 2 fixed-production projects
+  // (only the two whose lists predate mid-2017: TSpider and artax).
+  const auto& impacts = summary().impacts;
+  const auto sp = std::find_if(impacts.begin(), impacts.end(),
+                               [](const EtldImpact& i) { return i.etld == "sp.gov.br"; });
+  ASSERT_NE(sp, impacts.end());
+  EXPECT_EQ(sp->missing_fixed_production, 2u);
+}
+
+TEST(ImpactTest, HeadlineTotalsConsistent) {
+  const ImpactSummary& s = summary();
+  std::size_t etlds = 0, hostnames = 0;
+  for (const EtldImpact& i : s.impacts) {
+    if (i.missing_fixed_production > 0) {
+      ++etlds;
+      hostnames += i.hostnames;
+    }
+  }
+  EXPECT_EQ(s.harmed_etlds, etlds);
+  EXPECT_EQ(s.harmed_hostnames, hostnames);
+  EXPECT_GT(s.harmed_etlds, 0u);
+  EXPECT_GT(s.harmed_hostnames, s.harmed_etlds);
+}
+
+TEST(ImpactTest, RuleAddedDatesComeFromHistory) {
+  for (const EtldImpact& i : summary().impacts) {
+    const auto added = hist().added_date(i.rule_text);
+    ASSERT_TRUE(added.has_value()) << i.rule_text;
+    EXPECT_EQ(*added, i.rule_added) << i.rule_text;
+  }
+}
+
+TEST(PerRepoDivergenceTest, OlderListsMisclassifyMore) {
+  const Sweeper sweeper(hist(), corpus());
+  const auto impacts =
+      per_repo_divergence(hist(), corpus(), sweeper, repo_corpus(), /*anchored_only=*/true);
+  ASSERT_FALSE(impacts.empty());
+
+  // bitwarden (age 1596) must misclassify more hosts than SapMachine (376).
+  auto find = [&](std::string_view name) {
+    return std::find_if(impacts.begin(), impacts.end(), [&](const RepoImpact& r) {
+      return r.repo->name == name;
+    });
+  };
+  const auto bitwarden = find("bitwarden/server");
+  const auto sap = find("SAP/SapMachine");
+  ASSERT_NE(bitwarden, impacts.end());
+  ASSERT_NE(sap, impacts.end());
+  EXPECT_GT(bitwarden->misclassified_hostnames, sap->misclassified_hostnames);
+}
+
+TEST(PerRepoDivergenceTest, AnchoredOnlyFiltersByFlag) {
+  const Sweeper sweeper(hist(), corpus());
+  const auto anchored =
+      per_repo_divergence(hist(), corpus(), sweeper, repo_corpus(), /*anchored_only=*/true);
+  const auto all =
+      per_repo_divergence(hist(), corpus(), sweeper, repo_corpus(), /*anchored_only=*/false);
+  EXPECT_EQ(anchored.size(), 47u);  // Table 3's project count
+  EXPECT_GT(all.size(), anchored.size());
+  for (const RepoImpact& r : anchored) EXPECT_TRUE(r.repo->anchored);
+}
+
+TEST(PerRepoDivergenceTest, SameVintageSameResult) {
+  // bitwarden/server and bitwarden/mobile share a list age; the cached
+  // evaluation must give identical counts.
+  const Sweeper sweeper(hist(), corpus());
+  const auto impacts =
+      per_repo_divergence(hist(), corpus(), sweeper, repo_corpus(), /*anchored_only=*/true);
+  auto find = [&](std::string_view name) {
+    return std::find_if(impacts.begin(), impacts.end(), [&](const RepoImpact& r) {
+      return r.repo->name == name;
+    });
+  };
+  const auto server = find("bitwarden/server");
+  const auto mobile = find("bitwarden/mobile");
+  ASSERT_NE(server, impacts.end());
+  ASSERT_NE(mobile, impacts.end());
+  EXPECT_EQ(server->misclassified_hostnames, mobile->misclassified_hostnames);
+}
+
+}  // namespace
+}  // namespace psl::harm

@@ -1,0 +1,84 @@
+#include "psl/core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psl/history/timeline.hpp"
+
+namespace psl::harm {
+namespace {
+
+const history::History& hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+const archive::Corpus& corpus() {
+  static const archive::Corpus c =
+      archive::generate_corpus(archive::CorpusSpec::tiny(), hist());
+  return c;
+}
+
+TEST(IncrementalSweeperTest, AgreesWithFullRecomputeEverywhere) {
+  const Sweeper full(hist(), corpus());
+  IncrementalSweeper incremental(hist(), corpus());
+
+  for (std::size_t v : hist().sampled_versions(16)) {
+    const VersionMetrics a = incremental.advance_to(v);
+    const VersionMetrics b = full.evaluate(v);
+    ASSERT_EQ(a.site_count, b.site_count) << "version " << v;
+    ASSERT_EQ(a.third_party_requests, b.third_party_requests) << "version " << v;
+    ASSERT_EQ(a.divergent_hosts, b.divergent_hosts) << "version " << v;
+    ASSERT_EQ(a.rule_count, b.rule_count) << "version " << v;
+    ASSERT_DOUBLE_EQ(a.mean_hosts_per_site, b.mean_hosts_per_site) << "version " << v;
+  }
+}
+
+TEST(IncrementalSweeperTest, SweepAllCoversEveryVersion) {
+  IncrementalSweeper incremental(hist(), corpus());
+  const auto series = incremental.sweep_all();
+  ASSERT_EQ(series.size(), hist().version_count());
+  EXPECT_EQ(series.front().version_index, 0u);
+  EXPECT_EQ(series.back().version_index, hist().version_count() - 1);
+  EXPECT_EQ(series.back().divergent_hosts, 0u);
+}
+
+TEST(IncrementalSweeperTest, RematchesFarFewerHostsThanFullSweep) {
+  IncrementalSweeper incremental(hist(), corpus());
+  incremental.sweep_all();
+  const std::size_t full_work = corpus().unique_host_count() * hist().version_count();
+  EXPECT_LT(incremental.hosts_rematched(), full_work / 10);
+}
+
+TEST(IncrementalSweeperTest, AdvanceToSameVersionIsIdempotent) {
+  IncrementalSweeper incremental(hist(), corpus());
+  const VersionMetrics a = incremental.advance_to(5);
+  const VersionMetrics b = incremental.advance_to(5);
+  EXPECT_EQ(a.site_count, b.site_count);
+  EXPECT_EQ(a.third_party_requests, b.third_party_requests);
+  EXPECT_EQ(a.divergent_hosts, b.divergent_hosts);
+}
+
+TEST(IncrementalSweeperTest, SkippingVersionsMatchesDirectEvaluation) {
+  const Sweeper full(hist(), corpus());
+  IncrementalSweeper incremental(hist(), corpus());
+  // Jump straight to a late version without visiting intermediates.
+  const std::size_t target = hist().version_count() - 2;
+  const VersionMetrics a = incremental.advance_to(target);
+  const VersionMetrics b = full.evaluate(target);
+  EXPECT_EQ(a.site_count, b.site_count);
+  EXPECT_EQ(a.third_party_requests, b.third_party_requests);
+  EXPECT_EQ(a.divergent_hosts, b.divergent_hosts);
+}
+
+TEST(IncrementalSweeperTest, InitialStateMatchesVersionZero) {
+  const Sweeper full(hist(), corpus());
+  const IncrementalSweeper incremental(hist(), corpus());
+  const VersionMetrics a = incremental.current();
+  const VersionMetrics b = full.evaluate(0);
+  EXPECT_EQ(a.site_count, b.site_count);
+  EXPECT_EQ(a.third_party_requests, b.third_party_requests);
+  EXPECT_EQ(a.divergent_hosts, b.divergent_hosts);
+}
+
+}  // namespace
+}  // namespace psl::harm

@@ -1,0 +1,84 @@
+#include "psl/core/repo_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psl/repos/corpus.hpp"
+
+namespace psl::harm {
+namespace {
+
+const std::vector<repos::RepoRecord>& repo_corpus() {
+  static const std::vector<repos::RepoRecord> r =
+      repos::generate_repo_corpus(repos::RepoCorpusSpec{});
+  return r;
+}
+
+TEST(TaxonomyTest, ReproducesTable1) {
+  const TaxonomyBreakdown t = taxonomy(repo_corpus());
+  EXPECT_EQ(t.total, 273u);
+  EXPECT_EQ(t.fixed, 68u);
+  EXPECT_EQ(t.fixed_production, 43u);
+  EXPECT_EQ(t.fixed_test, 24u);
+  EXPECT_EQ(t.fixed_other, 1u);
+  EXPECT_EQ(t.updated, 35u);
+  EXPECT_EQ(t.updated_build, 24u);
+  EXPECT_EQ(t.updated_user, 8u);
+  EXPECT_EQ(t.updated_server, 3u);
+  EXPECT_EQ(t.dependency, 170u);
+  EXPECT_EQ(t.dependency_by_lib.at(repos::DependencyLib::kJavaJre), 113u);
+}
+
+TEST(TaxonomyTest, PaperFractions) {
+  const TaxonomyBreakdown t = taxonomy(repo_corpus());
+  // "24.9% ... include a fixed, hard-coded list ... only 12.8% include a
+  //  version that is routinely updated ... 62.3% ... through a third-party
+  //  library."
+  EXPECT_NEAR(t.fraction(t.fixed), 0.249, 0.002);
+  EXPECT_NEAR(t.fraction(t.updated), 0.128, 0.002);
+  EXPECT_NEAR(t.fraction(t.dependency), 0.623, 0.002);
+}
+
+TEST(TaxonomyTest, EmptyCorpus) {
+  const TaxonomyBreakdown t = taxonomy({});
+  EXPECT_EQ(t.total, 0u);
+  EXPECT_EQ(t.fraction(0), 0.0);
+}
+
+TEST(AgeStatsTest, FixedMedianMatchesPaper) {
+  const AgeStats stats = list_age_stats(repo_corpus());
+  EXPECT_DOUBLE_EQ(stats.median_fixed, 825.0);
+  EXPECT_EQ(stats.fixed.size(), 47u);  // the Table 3 anchors
+}
+
+TEST(AgeStatsTest, MediansInPaperBallpark) {
+  const AgeStats stats = list_age_stats(repo_corpus());
+  // Paper: all 871, updated 915. Synthetic sampling adds noise.
+  EXPECT_NEAR(stats.median_all, 871.0, 150.0);
+  EXPECT_NEAR(stats.median_updated, 915.0, 200.0);
+  EXPECT_EQ(stats.all.size(), stats.fixed.size() + stats.updated.size());
+}
+
+TEST(AgeStatsTest, DependencyProjectsExcluded) {
+  const AgeStats stats = list_age_stats(repo_corpus());
+  // 47 fixed anchors + 35 updated = 82 ages; 170 dependency projects
+  // contribute nothing despite having library dates.
+  EXPECT_EQ(stats.all.size(), 82u);
+}
+
+TEST(AgeStatsTest, AgesScaleWithMeasurementDate) {
+  const util::Date later = util::kMeasurementDate + 100;
+  const AgeStats now = list_age_stats(repo_corpus());
+  const AgeStats shifted = list_age_stats(repo_corpus(), later);
+  EXPECT_DOUBLE_EQ(shifted.median_fixed, now.median_fixed + 100.0);
+}
+
+TEST(PearsonTest, AnchoredCorrelationNearPaper) {
+  EXPECT_NEAR(stars_forks_pearson(repo_corpus()), 0.96, 0.03);
+}
+
+TEST(PearsonTest, FullCorpusCorrelationIsStrong) {
+  EXPECT_GT(stars_forks_pearson(repo_corpus(), /*anchored_only=*/false), 0.7);
+}
+
+}  // namespace
+}  // namespace psl::harm

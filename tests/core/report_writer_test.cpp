@@ -1,0 +1,104 @@
+#include "psl/core/report_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "psl/util/strings.hpp"
+
+#include "psl/history/timeline.hpp"
+#include "psl/repos/corpus.hpp"
+
+namespace psl::harm {
+namespace {
+
+// repo_impacts holds pointers into the repo corpus, so the corpus must
+// outlive the report.
+struct Fixture {
+  std::vector<repos::RepoRecord> repos;
+  HarmReport report;
+};
+
+const HarmReport& report() {
+  static const Fixture f = [] {
+    const auto history = history::generate_history(history::TimelineSpec::tiny());
+    const auto corpus = archive::generate_corpus(archive::CorpusSpec::tiny(), history);
+    Fixture fixture;
+    fixture.repos = repos::generate_repo_corpus(repos::RepoCorpusSpec{});
+    ReportOptions options;
+    options.sweep_points = 10;
+    fixture.report = generate_report(history, corpus, fixture.repos, options);
+    return fixture;
+  }();
+  return f.report;
+}
+
+std::string render(const ReportWriterOptions& options = {}) {
+  std::ostringstream out;
+  write_markdown(report(), out, options);
+  return out.str();
+}
+
+TEST(ReportWriterTest, ContainsEverySection) {
+  const std::string md = render();
+  EXPECT_NE(md.find("# PSL privacy-harm measurement report"), std::string::npos);
+  EXPECT_NE(md.find("## The Public Suffix List (Fig. 2)"), std::string::npos);
+  EXPECT_NE(md.find("## Project taxonomy (Table 1)"), std::string::npos);
+  EXPECT_NE(md.find("## Embedded-list ages (Fig. 3)"), std::string::npos);
+  EXPECT_NE(md.find("## Boundaries under each list version (Figs. 5-7)"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Missing-eTLD impact (Table 2)"), std::string::npos);
+  EXPECT_NE(md.find("## Per-project misclassified hostnames (Table 3)"),
+            std::string::npos);
+}
+
+TEST(ReportWriterTest, CarriesHeadlineNumbers) {
+  const std::string md = render();
+  EXPECT_NE(md.find(util::with_commas(static_cast<long long>(report().harmed_etlds))),
+            std::string::npos);
+  EXPECT_NE(md.find("bitwarden/server"), std::string::npos);
+  EXPECT_NE(md.find("myshopify.com"), std::string::npos);
+}
+
+TEST(ReportWriterTest, TablesAreWellFormedMarkdown) {
+  const std::string md = render();
+  // Every table header must be followed by a separator row.
+  std::size_t pos = 0;
+  std::size_t tables = 0;
+  while ((pos = md.find("|---|", pos)) != std::string::npos) {
+    ++tables;
+    pos += 5;
+  }
+  EXPECT_GE(tables, 4u);
+}
+
+TEST(ReportWriterTest, RepoTableCanBeDisabled) {
+  ReportWriterOptions options;
+  options.include_repo_table = false;
+  const std::string md = render(options);
+  EXPECT_EQ(md.find("## Per-project misclassified hostnames"), std::string::npos);
+}
+
+TEST(ReportWriterTest, SweepRowLimitRespected) {
+  ReportWriterOptions options;
+  options.sweep_rows = 4;
+  const std::string md = render(options);
+  // Count rows in the figures table: lines between its header and the next
+  // section heading that start with "| 2".
+  const std::size_t begin = md.find("## Boundaries");
+  const std::size_t end = md.find("## Missing-eTLD");
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  std::size_t rows = 0;
+  for (std::size_t pos = begin; pos < end;) {
+    pos = md.find("\n| 2", pos);
+    if (pos == std::string::npos || pos >= end) break;
+    ++rows;
+    pos += 4;
+  }
+  EXPECT_LE(rows, 6u);  // 4 sampled + possibly the forced last row
+  EXPECT_GE(rows, 3u);
+}
+
+}  // namespace
+}  // namespace psl::harm

@@ -1,0 +1,123 @@
+#include "psl/core/site_former.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace psl::harm {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+TEST(IsIpLiteralTest, Classification) {
+  EXPECT_TRUE(is_ip_literal("192.0.2.7"));
+  EXPECT_TRUE(is_ip_literal("10.0.0.1"));
+  EXPECT_TRUE(is_ip_literal("2001:db8::1"));
+  EXPECT_TRUE(is_ip_literal("::1"));
+  EXPECT_FALSE(is_ip_literal("example.com"));
+  EXPECT_FALSE(is_ip_literal("1.2.3.com"));
+  EXPECT_FALSE(is_ip_literal(""));
+  // All-numeric final label means IP-like even if malformed as IPv4.
+  EXPECT_TRUE(is_ip_literal("999.999.999.999"));
+}
+
+TEST(AssignSitesTest, PaperFigure1Scenario) {
+  // PSL v1 (no example.co.uk): 3 sites; PSL v2 (with it): 4 sites — exactly
+  // the numbers in the paper's Figure 1 discussion.
+  const std::vector<std::string> hosts{
+      "example.co.uk", "good.example.co.uk", "bad.example.co.uk", "www.other.com"};
+
+  const List v1 = make_list("com\nuk\nco.uk\n");
+  const SiteAssignment a1 = assign_sites(v1, hosts);
+  // All three example.co.uk hosts share one site under v1.
+  EXPECT_EQ(a1.site_ids[0], a1.site_ids[1]);
+  EXPECT_EQ(a1.site_ids[1], a1.site_ids[2]);
+  EXPECT_NE(a1.site_ids[0], a1.site_ids[3]);
+  EXPECT_EQ(a1.site_count, 2u);
+
+  const List v2 = make_list("com\nuk\nco.uk\nexample.co.uk\n");
+  const SiteAssignment a2 = assign_sites(v2, hosts);
+  // example.co.uk becomes a suffix: every host stands alone.
+  EXPECT_NE(a2.site_ids[0], a2.site_ids[1]);
+  EXPECT_NE(a2.site_ids[1], a2.site_ids[2]);
+  EXPECT_EQ(a2.site_count, 4u);
+}
+
+TEST(AssignSitesTest, SiteKeysAreRegistrableDomains) {
+  const List list = make_list("com\n");
+  const std::vector<std::string> hosts{"www.example.com", "cdn.example.com", "example.com"};
+  const SiteAssignment a = assign_sites(list, hosts);
+  EXPECT_EQ(a.site_count, 1u);
+  EXPECT_EQ(a.site_keys[a.site_ids[0]], "example.com");
+}
+
+TEST(AssignSitesTest, SuffixOnlyHostsStandAlone) {
+  const List list = make_list("com\ngithub.io\n");
+  const std::vector<std::string> hosts{"github.io", "alice.github.io", "com"};
+  const SiteAssignment a = assign_sites(list, hosts);
+  EXPECT_EQ(a.site_count, 3u);
+  EXPECT_EQ(a.site_keys[a.site_ids[0]], "github.io");
+  EXPECT_EQ(a.site_keys[a.site_ids[1]], "alice.github.io");
+}
+
+TEST(AssignSitesTest, IpLiteralsGroupOnlyWithThemselves) {
+  const List list = make_list("com\n");
+  const std::vector<std::string> hosts{"192.0.2.7", "192.0.2.8", "192.0.2.7", "a.com"};
+  const SiteAssignment a = assign_sites(list, hosts);
+  EXPECT_EQ(a.site_ids[0], a.site_ids[2]);
+  EXPECT_NE(a.site_ids[0], a.site_ids[1]);
+  EXPECT_EQ(a.site_count, 3u);
+}
+
+TEST(AssignSitesTest, EmptyUniverse) {
+  const List list = make_list("com\n");
+  const SiteAssignment a = assign_sites(list, {});
+  EXPECT_EQ(a.site_count, 0u);
+  EXPECT_TRUE(a.site_ids.empty());
+}
+
+TEST(SiteStatsTest, ComputesShape) {
+  const List list = make_list("com\nnet\n");
+  const std::vector<std::string> hosts{"a.x.com", "b.x.com", "c.x.com", "a.y.net"};
+  const SiteStats stats = site_stats(assign_sites(list, hosts));
+  EXPECT_EQ(stats.host_count, 4u);
+  EXPECT_EQ(stats.site_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_hosts_per_site, 2.0);
+  EXPECT_EQ(stats.largest_site, 3u);
+}
+
+TEST(SiteStatsTest, EmptyAssignment) {
+  const SiteStats stats = site_stats(SiteAssignment{});
+  EXPECT_EQ(stats.site_count, 0u);
+  EXPECT_EQ(stats.mean_hosts_per_site, 0.0);
+}
+
+TEST(DivergentHostsTest, CountsKeyDifferences) {
+  const std::vector<std::string> hosts{
+      "example.co.uk", "good.example.co.uk", "bad.example.co.uk", "www.other.com"};
+  const List v1 = make_list("com\nuk\nco.uk\n");
+  const List v2 = make_list("com\nuk\nco.uk\nexample.co.uk\n");
+  const SiteAssignment a1 = assign_sites(v1, hosts);
+  const SiteAssignment a2 = assign_sites(v2, hosts);
+  // v1 keys: example.co.uk x3, other.com. v2 keys: example.co.uk(self),
+  // good..., bad..., other.com. Two hosts change key.
+  EXPECT_EQ(divergent_hosts(a1, a2), 2u);
+  EXPECT_EQ(divergent_hosts(a2, a1), 2u);
+  EXPECT_EQ(divergent_hosts(a1, a1), 0u);
+}
+
+TEST(DivergentHostsTest, IdenticalListsNeverDiverge) {
+  const List list = make_list("com\nuk\nco.uk\n");
+  const std::vector<std::string> hosts{"a.b.com", "c.co.uk", "10.0.0.1"};
+  const SiteAssignment a = assign_sites(list, hosts);
+  const SiteAssignment b = assign_sites(list, hosts);
+  EXPECT_EQ(divergent_hosts(a, b), 0u);
+}
+
+}  // namespace
+}  // namespace psl::harm

@@ -1,0 +1,112 @@
+#include "psl/core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psl/history/timeline.hpp"
+
+namespace psl::harm {
+namespace {
+
+const history::History& hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+const archive::Corpus& corpus() {
+  static const archive::Corpus c =
+      archive::generate_corpus(archive::CorpusSpec::tiny(), hist());
+  return c;
+}
+
+const Sweeper& sweeper() {
+  static const Sweeper s(hist(), corpus());
+  return s;
+}
+
+TEST(SweeperTest, LatestVersionHasZeroDivergence) {
+  const VersionMetrics m = sweeper().evaluate(hist().version_count() - 1);
+  EXPECT_EQ(m.divergent_hosts, 0u);
+}
+
+TEST(SweeperTest, FirstVersionDivergesMost) {
+  const VersionMetrics first = sweeper().evaluate(0);
+  const VersionMetrics mid = sweeper().evaluate(hist().version_count() / 2);
+  EXPECT_GT(first.divergent_hosts, 0u);
+  EXPECT_GE(first.divergent_hosts, mid.divergent_hosts);
+}
+
+TEST(SweeperTest, SiteCountGrowsOverTime) {
+  // Fig. 5's core claim: newer lists form more sites over the same corpus.
+  const VersionMetrics first = sweeper().evaluate(0);
+  const VersionMetrics last = sweeper().evaluate(hist().version_count() - 1);
+  EXPECT_GT(last.site_count, first.site_count);
+  // And sites get smaller on average as they get more numerous.
+  EXPECT_LT(last.mean_hosts_per_site, first.mean_hosts_per_site);
+}
+
+TEST(SweeperTest, MetricsCarryVersionMetadata) {
+  const std::size_t idx = hist().version_count() / 2;
+  const VersionMetrics m = sweeper().evaluate(idx);
+  EXPECT_EQ(m.version_index, idx);
+  EXPECT_EQ(m.date, hist().version_date(idx));
+  EXPECT_EQ(m.rule_count, hist().rule_count(idx));
+  EXPECT_GT(m.site_count, 0u);
+  EXPECT_GT(m.third_party_requests, 0u);
+}
+
+TEST(SweeperTest, ThirdPartyCountBoundedByRequests) {
+  const VersionMetrics m = sweeper().evaluate(0);
+  EXPECT_LE(m.third_party_requests, corpus().request_count());
+  EXPECT_GT(m.third_party_requests, 0u);
+}
+
+TEST(SweeperTest, SweepCoversEndpointsInOrder) {
+  const auto series = sweeper().sweep(7);
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_EQ(series.front().version_index, 0u);
+  EXPECT_EQ(series.back().version_index, hist().version_count() - 1);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LT(series[i - 1].version_index, series[i].version_index);
+    EXPECT_LT(series[i - 1].date, series[i].date);
+  }
+}
+
+TEST(SweeperTest, DivergenceIsMonotoneDecreasingOverVersions) {
+  // Fig. 7: older lists put more hostnames in the wrong site. Allow tiny
+  // local non-monotonicity from rule removals, but require the big picture.
+  const auto series = sweeper().sweep(10);
+  EXPECT_GT(series.front().divergent_hosts, series.back().divergent_hosts);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i].divergent_hosts,
+              series[i - 1].divergent_hosts + corpus().unique_host_count() / 50);
+  }
+}
+
+TEST(SweeperTest, DivergenceAtDateMatchesVersionEvaluation) {
+  const std::size_t idx = hist().version_count() / 2;
+  const util::Date date = hist().version_date(idx);
+  EXPECT_EQ(sweeper().divergence_at(date), sweeper().evaluate(idx).divergent_hosts);
+}
+
+TEST(SweeperTest, EvaluateListMatchesSnapshotEvaluation) {
+  const std::size_t idx = hist().version_count() / 3;
+  const List snapshot = hist().snapshot(idx);
+  const VersionMetrics via_list = sweeper().evaluate_list(snapshot);
+  const VersionMetrics via_index = sweeper().evaluate(idx);
+  EXPECT_EQ(via_list.site_count, via_index.site_count);
+  EXPECT_EQ(via_list.third_party_requests, via_index.third_party_requests);
+  EXPECT_EQ(via_list.divergent_hosts, via_index.divergent_hosts);
+}
+
+TEST(SweeperTest, EmptyListFormsCoarsestBoundaries) {
+  const VersionMetrics m = sweeper().evaluate_list(List{});
+  const VersionMetrics latest = sweeper().evaluate(hist().version_count() - 1);
+  EXPECT_LT(m.site_count, latest.site_count);
+}
+
+TEST(SweeperTest, LatestAssignmentCoversAllHosts) {
+  EXPECT_EQ(sweeper().latest_assignment().site_ids.size(), corpus().unique_host_count());
+}
+
+}  // namespace
+}  // namespace psl::harm

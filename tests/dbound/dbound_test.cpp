@@ -1,0 +1,172 @@
+#include "psl/dbound/dbound.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::dbound {
+namespace {
+
+using dns::Name;
+
+Name name(std::string_view text) { return *Name::parse(text); }
+
+dns::SoaRecord soa(std::string_view zone) {
+  return dns::SoaRecord{name("ns1." + std::string(zone)), name("admin." + std::string(zone)),
+                        1, 7200, 900, 1209600, 60};
+}
+
+/// A world where myshopify.com advertises registry-like boundaries and
+/// bigcorp.com advertises one org across two branded domains.
+dns::AuthServer make_world() {
+  dns::AuthServer server;
+
+  dns::Zone shopify(name("myshopify.com"), soa("myshopify.com"));
+  publish_registry(shopify, "myshopify.com");
+  server.add_zone(std::move(shopify));
+
+  dns::Zone bigcorp(name("bigcorp.com"), soa("bigcorp.com"));
+  publish_org(bigcorp, "bigcorp.com", "bigcorp.com");
+  server.add_zone(std::move(bigcorp));
+
+  dns::Zone shop(name("bigcorp-shop.com"), soa("bigcorp-shop.com"));
+  // A foreign org claim: bigcorp-shop.com claims to be part of bigcorp.com.
+  // bigcorp.com does not enclose it, so discovery must DISTRUST this.
+  publish_org(shop, "bigcorp-shop.com", "bigcorp.com");
+  server.add_zone(std::move(shop));
+
+  dns::Zone plain(name("plain.com"), soa("plain.com"));
+  plain.add_a(name("www.plain.com"), {192, 0, 2, 1});
+  server.add_zone(std::move(plain));
+
+  return server;
+}
+
+TEST(BoundRecordTest, RenderAndParse) {
+  const auto registry = parse_record(make_registry_record());
+  ASSERT_TRUE(registry.ok());
+  EXPECT_TRUE(registry->registry_policy);
+  EXPECT_FALSE(registry->org.has_value());
+
+  const auto org = parse_record(make_org_record("example.com"));
+  ASSERT_TRUE(org.ok());
+  EXPECT_FALSE(org->registry_policy);
+  EXPECT_EQ(*org->org, "example.com");
+}
+
+TEST(BoundRecordTest, ParseRejections) {
+  EXPECT_FALSE(parse_record("").ok());
+  EXPECT_FALSE(parse_record("policy=registry").ok());               // no version
+  EXPECT_FALSE(parse_record("v=bound1").ok());                      // no payload
+  EXPECT_FALSE(parse_record("v=bound1; org=").ok());                // empty org
+  EXPECT_FALSE(parse_record("v=bound1; policy=registry; org=x.com").ok());  // both
+}
+
+TEST(BoundRecordTest, UnknownTagsIgnored) {
+  const auto r = parse_record("v=bound1; future=stuff; org=Example.COM");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->org, "example.com");
+}
+
+TEST(DiscoveryTest, RegistryPolicyYieldsTenantOrg) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  const Discovery d = discover(resolver, "store1.myshopify.com", 0);
+  ASSERT_TRUE(d.org_domain.has_value());
+  EXPECT_EQ(*d.org_domain, "store1.myshopify.com");
+  EXPECT_TRUE(d.found_record);
+}
+
+TEST(DiscoveryTest, RegistryPolicyForDeepHost) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  const Discovery d = discover(resolver, "www.checkout.store1.myshopify.com", 0);
+  ASSERT_TRUE(d.org_domain.has_value());
+  EXPECT_EQ(*d.org_domain, "store1.myshopify.com");
+}
+
+TEST(DiscoveryTest, SuffixHostItselfHasNoOrg) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  const Discovery d = discover(resolver, "myshopify.com", 0);
+  EXPECT_FALSE(d.org_domain.has_value());
+}
+
+TEST(DiscoveryTest, OrgRecordCoversSubdomains) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  for (const char* host : {"bigcorp.com", "www.bigcorp.com", "a.b.bigcorp.com"}) {
+    const Discovery d = discover(resolver, host, 0);
+    ASSERT_TRUE(d.org_domain.has_value()) << host;
+    EXPECT_EQ(*d.org_domain, "bigcorp.com") << host;
+  }
+}
+
+TEST(DiscoveryTest, ForeignOrgClaimDistrusted) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  const Discovery d = discover(resolver, "www.bigcorp-shop.com", 0);
+  // The org= claim points outside the host's ancestry: ignored.
+  EXPECT_FALSE(d.org_domain.has_value());
+}
+
+TEST(DiscoveryTest, NoRecordMeansNoAnswer) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  const Discovery d = discover(resolver, "www.plain.com", 0);
+  EXPECT_FALSE(d.org_domain.has_value());
+  EXPECT_FALSE(d.found_record);
+  EXPECT_GT(d.names_walked, 1u);
+}
+
+TEST(DiscoveryTest, SameOrgPredicate) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  // Two tenants are different orgs — the correct boundary, with no PSL.
+  EXPECT_FALSE(same_org(resolver, "a.myshopify.com", "b.myshopify.com", 0));
+  EXPECT_TRUE(same_org(resolver, "www.bigcorp.com", "mail.bigcorp.com", 0));
+  EXPECT_TRUE(
+      same_org(resolver, "x.store1.myshopify.com", "y.store1.myshopify.com", 0));
+}
+
+TEST(DiscoveryTest, BoundaryChangeVisibleWithinTtl) {
+  // The headline freshness property: a newly published boundary reaches
+  // clients after at most one TTL, not after their next list update.
+  dns::AuthServer server;
+  dns::Zone zone(name("newplatform.com"), soa("newplatform.com"));
+  zone.add_a(name("www.newplatform.com"), {192, 0, 2, 9});
+  server.add_zone(std::move(zone));
+  dns::StubResolver resolver(server);
+
+  // Before publication: tenants look like one org to DBOUND (no record).
+  EXPECT_FALSE(discover(resolver, "t1.newplatform.com", 0).found_record);
+
+  dns::Zone* z = server.find_zone(name("_bound.newplatform.com"));
+  ASSERT_NE(z, nullptr);
+  publish_registry(*z, "newplatform.com", /*ttl=*/3600);
+
+  // The negative answer is cached (SOA minimum 60s)...
+  EXPECT_FALSE(discover(resolver, "t1.newplatform.com", 30).found_record);
+  // ...but within one negative TTL the new boundary is live everywhere.
+  const Discovery fresh = discover(resolver, "t1.newplatform.com", 61);
+  ASSERT_TRUE(fresh.found_record);
+  EXPECT_EQ(*fresh.org_domain, "t1.newplatform.com");
+}
+
+TEST(DiscoveryTest, CachingReducesWireQueries) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  discover(resolver, "store1.myshopify.com", 0);
+  const std::size_t first = resolver.wire_queries();
+  discover(resolver, "store2.myshopify.com", 1);
+  // store2 probes _bound.store2... (new) then _bound.myshopify.com (cached).
+  EXPECT_EQ(resolver.wire_queries(), first + 1);
+}
+
+TEST(DiscoveryTest, MalformedHost) {
+  const dns::AuthServer server = make_world();
+  dns::StubResolver resolver(server);
+  EXPECT_FALSE(discover(resolver, "", 0).org_domain.has_value());
+  EXPECT_FALSE(discover(resolver, "bad..host", 0).org_domain.has_value());
+}
+
+}  // namespace
+}  // namespace psl::dbound

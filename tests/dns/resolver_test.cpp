@@ -1,0 +1,111 @@
+#include "psl/dns/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::dns {
+namespace {
+
+Name name(std::string_view text) { return *Name::parse(text); }
+
+AuthServer make_server() {
+  Zone zone(name("example.com"),
+            SoaRecord{name("ns1.example.com"), name("admin.example.com"), 1, 7200, 900, 1209600,
+                      /*minimum=*/120});
+  zone.add_a(name("www.example.com"), {192, 0, 2, 7}, /*ttl=*/300);
+  zone.add_txt(name("_bound.example.com"), "v=bound1; org=example.com", /*ttl=*/60);
+  AuthServer server;
+  server.add_zone(std::move(zone));
+  return server;
+}
+
+TEST(StubResolverTest, ResolvesThroughWire) {
+  const AuthServer server = make_server();
+  StubResolver resolver(server);
+  const ResolveResult result = resolver.query(name("www.example.com"), Type::kA, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.from_cache);
+  EXPECT_EQ(resolver.wire_queries(), 1u);
+  EXPECT_EQ(std::get<ARecord>(result.answers[0].rdata).address[3], 7);
+}
+
+TEST(StubResolverTest, CachesWithinTtl) {
+  const AuthServer server = make_server();
+  StubResolver resolver(server);
+  resolver.query(name("www.example.com"), Type::kA, 1000);
+  const ResolveResult hit = resolver.query(name("www.example.com"), Type::kA, 1000 + 299);
+  EXPECT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(resolver.wire_queries(), 1u);
+  EXPECT_EQ(resolver.cache_hits(), 1u);
+}
+
+TEST(StubResolverTest, RefetchesAfterTtlExpiry) {
+  const AuthServer server = make_server();
+  StubResolver resolver(server);
+  resolver.query(name("www.example.com"), Type::kA, 1000);
+  const ResolveResult miss = resolver.query(name("www.example.com"), Type::kA, 1000 + 300);
+  EXPECT_FALSE(miss.from_cache);
+  EXPECT_EQ(resolver.wire_queries(), 2u);
+}
+
+TEST(StubResolverTest, TtlChangePropagatesAfterExpiry) {
+  // The freshness property the DBOUND comparison relies on: when the
+  // operator changes a record, every client sees the new value within one
+  // TTL — unlike an embedded list.
+  AuthServer server = make_server();
+  StubResolver resolver(server);
+  const Name bound = name("_bound.example.com");
+  EXPECT_EQ(std::get<TxtRecord>(resolver.query(bound, Type::kTxt, 0).answers[0].rdata).joined(),
+            "v=bound1; org=example.com");
+
+  Zone* zone = server.find_zone(bound);
+  ASSERT_NE(zone, nullptr);
+  zone->remove(bound);
+  zone->add_txt(bound, "v=bound1; policy=registry", 60);
+
+  // Still cached inside the TTL window...
+  EXPECT_EQ(std::get<TxtRecord>(resolver.query(bound, Type::kTxt, 30).answers[0].rdata).joined(),
+            "v=bound1; org=example.com");
+  // ...fresh after it.
+  EXPECT_EQ(std::get<TxtRecord>(resolver.query(bound, Type::kTxt, 61).answers[0].rdata).joined(),
+            "v=bound1; policy=registry");
+}
+
+TEST(StubResolverTest, NegativeCachingUsesSoaMinimum) {
+  const AuthServer server = make_server();
+  StubResolver resolver(server);
+  const ResolveResult miss = resolver.query(name("nope.example.com"), Type::kA, 1000);
+  EXPECT_EQ(miss.rcode, Rcode::kNxDomain);
+  EXPECT_FALSE(miss.ok());
+
+  const ResolveResult cached = resolver.query(name("nope.example.com"), Type::kA, 1000 + 119);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.rcode, Rcode::kNxDomain);
+  EXPECT_EQ(resolver.wire_queries(), 1u);
+
+  resolver.query(name("nope.example.com"), Type::kA, 1000 + 121);
+  EXPECT_EQ(resolver.wire_queries(), 2u);
+}
+
+TEST(StubResolverTest, FlushClearsCache) {
+  const AuthServer server = make_server();
+  StubResolver resolver(server);
+  resolver.query(name("www.example.com"), Type::kA, 0);
+  EXPECT_EQ(resolver.cache_size(), 1u);
+  resolver.flush();
+  EXPECT_EQ(resolver.cache_size(), 0u);
+  resolver.query(name("www.example.com"), Type::kA, 0);
+  EXPECT_EQ(resolver.wire_queries(), 2u);
+}
+
+TEST(StubResolverTest, DistinctTypesCachedSeparately) {
+  const AuthServer server = make_server();
+  StubResolver resolver(server);
+  resolver.query(name("www.example.com"), Type::kA, 0);
+  resolver.query(name("www.example.com"), Type::kTxt, 0);
+  EXPECT_EQ(resolver.wire_queries(), 2u);
+  EXPECT_EQ(resolver.cache_size(), 2u);
+}
+
+}  // namespace
+}  // namespace psl::dns

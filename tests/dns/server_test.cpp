@@ -1,0 +1,134 @@
+#include "psl/dns/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::dns {
+namespace {
+
+Name name(std::string_view text) { return *Name::parse(text); }
+
+SoaRecord example_soa() {
+  return SoaRecord{name("ns1.example.com"), name("admin.example.com"),
+                   2022102001, 7200, 900, 1209600, 300};
+}
+
+AuthServer make_server() {
+  Zone zone(name("example.com"), example_soa());
+  zone.add_a(name("www.example.com"), {192, 0, 2, 7});
+  zone.add_a(name("www.example.com"), {192, 0, 2, 8});
+  zone.add_txt(name("_dmarc.example.com"), "v=DMARC1; p=reject");
+  zone.add_cname(name("alias.example.com"), name("www.example.com"));
+  AuthServer server;
+  server.add_zone(std::move(zone));
+  return server;
+}
+
+Message query(std::string_view qname, Type type) {
+  Message m;
+  m.header.id = 7;
+  m.questions.push_back(Question{name(qname), type});
+  return m;
+}
+
+TEST(AuthServerTest, AnswersExactMatch) {
+  const AuthServer server = make_server();
+  const Message reply = server.handle(query("www.example.com", Type::kA));
+  EXPECT_TRUE(reply.header.qr);
+  EXPECT_TRUE(reply.header.aa);
+  EXPECT_EQ(reply.header.rcode, Rcode::kNoError);
+  EXPECT_EQ(reply.answers.size(), 2u);  // both A records
+  EXPECT_EQ(reply.header.id, 7);
+}
+
+TEST(AuthServerTest, AnswersTxt) {
+  const AuthServer server = make_server();
+  const Message reply = server.handle(query("_dmarc.example.com", Type::kTxt));
+  ASSERT_EQ(reply.answers.size(), 1u);
+  EXPECT_EQ(std::get<TxtRecord>(reply.answers[0].rdata).joined(), "v=DMARC1; p=reject");
+}
+
+TEST(AuthServerTest, ChasesCname) {
+  const AuthServer server = make_server();
+  const Message reply = server.handle(query("alias.example.com", Type::kA));
+  ASSERT_EQ(reply.answers.size(), 3u);  // the CNAME plus both target A records
+  EXPECT_EQ(reply.answers[0].type, Type::kCname);
+  EXPECT_EQ(reply.answers[1].type, Type::kA);
+  EXPECT_EQ(reply.answers[2].type, Type::kA);
+}
+
+TEST(AuthServerTest, NxDomainCarriesSoa) {
+  const AuthServer server = make_server();
+  const Message reply = server.handle(query("missing.example.com", Type::kA));
+  EXPECT_EQ(reply.header.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(reply.answers.empty());
+  ASSERT_EQ(reply.authority.size(), 1u);
+  EXPECT_EQ(reply.authority[0].type, Type::kSoa);
+}
+
+TEST(AuthServerTest, NoDataIsNoErrorWithSoa) {
+  const AuthServer server = make_server();
+  const Message reply = server.handle(query("www.example.com", Type::kTxt));
+  EXPECT_EQ(reply.header.rcode, Rcode::kNoError);
+  EXPECT_TRUE(reply.answers.empty());
+  ASSERT_EQ(reply.authority.size(), 1u);
+}
+
+TEST(AuthServerTest, RefusesForeignNames) {
+  const AuthServer server = make_server();
+  const Message reply = server.handle(query("www.other.org", Type::kA));
+  EXPECT_EQ(reply.header.rcode, Rcode::kRefused);
+  EXPECT_FALSE(reply.header.aa);
+}
+
+TEST(AuthServerTest, MostSpecificZoneWins) {
+  AuthServer server;
+  Zone parent(name("example.com"), example_soa());
+  parent.add_a(name("www.sub.example.com"), {10, 0, 0, 1});
+  server.add_zone(std::move(parent));
+  Zone child(name("sub.example.com"),
+             SoaRecord{name("ns.sub.example.com"), name("admin.sub.example.com"), 1, 1, 1, 1, 60});
+  child.add_a(name("www.sub.example.com"), {10, 0, 0, 2});
+  server.add_zone(std::move(child));
+
+  const Message reply = server.handle(query("www.sub.example.com", Type::kA));
+  ASSERT_EQ(reply.answers.size(), 1u);
+  EXPECT_EQ(std::get<ARecord>(reply.answers[0].rdata).address[3], 2);
+}
+
+TEST(AuthServerTest, WirePathRoundTrips) {
+  const AuthServer server = make_server();
+  const auto reply_wire = server.handle_wire(encode(query("www.example.com", Type::kA)));
+  const auto reply = decode(reply_wire);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->answers.size(), 2u);
+}
+
+TEST(AuthServerTest, MalformedWireGetsFormErr) {
+  const AuthServer server = make_server();
+  const std::uint8_t junk[] = {0xAB, 0xCD, 0xFF};
+  const auto reply_wire = server.handle_wire(junk, sizeof junk);
+  const auto reply = decode(reply_wire);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->header.rcode, Rcode::kFormErr);
+  EXPECT_EQ(reply->header.id, 0xABCD);  // best-effort id echo
+}
+
+TEST(AuthServerTest, MultiQuestionRejected) {
+  const AuthServer server = make_server();
+  Message m = query("www.example.com", Type::kA);
+  m.questions.push_back(Question{name("x.example.com"), Type::kA});
+  EXPECT_EQ(server.handle(m).header.rcode, Rcode::kFormErr);
+}
+
+TEST(ZoneTest, RemoveRecords) {
+  Zone zone(name("example.com"), example_soa());
+  zone.add_txt(name("t.example.com"), "one");
+  zone.add_txt(name("t.example.com"), "two");
+  EXPECT_EQ(zone.record_count(), 2u);
+  EXPECT_EQ(zone.remove(name("t.example.com")), 2u);
+  EXPECT_EQ(zone.record_count(), 0u);
+  EXPECT_FALSE(zone.name_exists(name("t.example.com")));
+}
+
+}  // namespace
+}  // namespace psl::dns

@@ -1,0 +1,119 @@
+#include "psl/dns/zonefile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::dns {
+namespace {
+
+constexpr std::string_view kSampleZone = R"($ORIGIN example.com.
+$TTL 3600
+@        IN SOA ns1 admin 2022102001 7200 900 1209600 300
+@        IN NS  ns1
+ns1      IN A   192.0.2.53
+www  300 IN A   192.0.2.80
+www      IN A   192.0.2.81
+alias    IN CNAME www
+mail     IN MX  10 mx1.example.com.
+_dmarc   IN TXT "v=DMARC1; p=reject"
+multi    IN TXT "part one " "part two"
+; a comment line
+deep.sub IN A   10.0.0.1
+)";
+
+Zone parse_ok(std::string_view text) {
+  auto zone = parse_zone_file(text);
+  EXPECT_TRUE(zone.ok()) << (zone.ok() ? "" : zone.error().message);
+  return *std::move(zone);
+}
+
+TEST(ZoneFileTest, ParsesSampleZone) {
+  const Zone zone = parse_ok(kSampleZone);
+  EXPECT_EQ(zone.origin().to_string(), "example.com");
+  EXPECT_EQ(zone.soa().serial, 2022102001u);
+  EXPECT_EQ(zone.soa().minimum, 300u);
+  EXPECT_EQ(zone.record_count(), 9u);
+}
+
+TEST(ZoneFileTest, RelativeAndAbsoluteNames) {
+  const Zone zone = parse_ok(kSampleZone);
+  const auto ns = zone.find(*Name::parse("example.com"), Type::kNs);
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(std::get<NsRecord>(ns[0]->rdata).nsdname.to_string(), "ns1.example.com");
+
+  const auto mx = zone.find(*Name::parse("mail.example.com"), Type::kMx);
+  ASSERT_EQ(mx.size(), 1u);
+  EXPECT_EQ(std::get<MxRecord>(mx[0]->rdata).exchange.to_string(), "mx1.example.com");
+  EXPECT_EQ(std::get<MxRecord>(mx[0]->rdata).preference, 10);
+}
+
+TEST(ZoneFileTest, PerRecordTtlOverridesDefault) {
+  const Zone zone = parse_ok(kSampleZone);
+  const auto www = zone.find(*Name::parse("www.example.com"), Type::kA);
+  ASSERT_EQ(www.size(), 2u);
+  EXPECT_EQ(www[0]->ttl, 300u);   // explicit
+  EXPECT_EQ(www[1]->ttl, 3600u);  // $TTL default
+}
+
+TEST(ZoneFileTest, QuotedTxtStrings) {
+  const Zone zone = parse_ok(kSampleZone);
+  const auto dmarc = zone.find(*Name::parse("_dmarc.example.com"), Type::kTxt);
+  ASSERT_EQ(dmarc.size(), 1u);
+  EXPECT_EQ(std::get<TxtRecord>(dmarc[0]->rdata).joined(), "v=DMARC1; p=reject");
+
+  const auto multi = zone.find(*Name::parse("multi.example.com"), Type::kTxt);
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_EQ(std::get<TxtRecord>(multi[0]->rdata).strings.size(), 2u);
+  EXPECT_EQ(std::get<TxtRecord>(multi[0]->rdata).joined(), "part one part two");
+}
+
+TEST(ZoneFileTest, ParsedZoneServesQueries) {
+  AuthServer server;
+  server.add_zone(parse_ok(kSampleZone));
+  Message query;
+  query.header.id = 1;
+  query.questions.push_back(Question{*Name::parse("alias.example.com"), Type::kA});
+  const Message reply = server.handle(query);
+  ASSERT_EQ(reply.answers.size(), 3u);  // CNAME + two As
+  EXPECT_EQ(reply.answers[0].type, Type::kCname);
+}
+
+TEST(ZoneFileTest, Rejections) {
+  const auto fails = [](std::string_view text, std::string_view code) {
+    const auto zone = parse_zone_file(text);
+    EXPECT_FALSE(zone.ok()) << text;
+    if (!zone.ok()) {
+      EXPECT_EQ(zone.error().code, code) << zone.error().message;
+    }
+  };
+  fails("", "zonefile.no-soa");
+  fails("www IN A 1.2.3.4\n", "zonefile.no-origin");
+  fails("$ORIGIN x.com.\n@ IN A 1.2.3.4\n", "zonefile.no-soa");
+  fails("$ORIGIN x.com.\n@ IN SOA ns1 a 1 2 3 4\n", "zonefile.bad-soa");  // 6 fields
+  fails("$ORIGIN x.com.\n@ IN SOA ns1 a 1 2 3 4 5\n@ IN SOA ns1 a 1 2 3 4 5\n",
+        "zonefile.duplicate-soa");
+  fails("$ORIGIN x.com.\n@ IN SOA ns1 a 1 2 3 4 5\nwww IN A 1.2.999.4\n", "zonefile.bad-a");
+  fails("$ORIGIN x.com.\n@ IN SOA ns1 a 1 2 3 4 5\nwww IN WKS whatever\n",
+        "zonefile.unknown-type");
+  fails("$ORIGIN x.com.\n@ IN SOA ns1 a 1 2 3 4 5\nt IN TXT \"open\n",
+        "zonefile.unterminated-string");
+  fails("$ORIGIN x.com.\n@ IN SOA ns1 a 1 2 3 4 5\nfoo.other.org. IN A 1.2.3.4\n",
+        "zonefile.out-of-zone");
+}
+
+TEST(ZoneFileTest, ErrorsCarryLineNumbers) {
+  const auto zone = parse_zone_file("$ORIGIN x.com.\n@ IN SOA ns1 a 1 2 3 4 5\nbad line here\n");
+  ASSERT_FALSE(zone.ok());
+  EXPECT_NE(zone.error().message.find("line 3"), std::string::npos);
+}
+
+TEST(ZoneFileTest, ContinuationLinesInheritOwner) {
+  const Zone zone = parse_ok(
+      "$ORIGIN x.com.\n"
+      "@ IN SOA ns1 a 1 2 3 4 5\n"
+      "www IN A 1.2.3.4\n"
+      "    IN A 1.2.3.5\n");
+  EXPECT_EQ(zone.find(*Name::parse("www.x.com"), Type::kA).size(), 2u);
+}
+
+}  // namespace
+}  // namespace psl::dns

@@ -1,0 +1,187 @@
+#include "psl/email/dmarc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::email {
+namespace {
+
+using dns::Name;
+
+Name name(std::string_view text) { return *Name::parse(text); }
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+const List& current_list() {
+  static const List list = make_list("com\nuk\nco.uk\nmyshopify.com\n");
+  return list;
+}
+
+const List& stale_list() {
+  static const List list = make_list("com\nuk\nco.uk\n");
+  return list;
+}
+
+dns::AuthServer make_mail_world() {
+  dns::AuthServer server;
+  dns::Zone com(name("com"),
+                dns::SoaRecord{name("a.gtld-servers.net"), name("nstld.verisign-grs.com"), 1,
+                               1800, 900, 604800, 60});
+  // The platform's DMARC record: lax, as platforms must be.
+  com.add_txt(name("_dmarc.myshopify.com"), "v=DMARC1; p=none; sp=none");
+  // A security-conscious tenant's own strict record.
+  com.add_txt(name("_dmarc.securestore.myshopify.com"),
+              "v=DMARC1; p=reject; adkim=s; aspf=s");
+  // A classic org with a strict record at the org domain only.
+  com.add_txt(name("_dmarc.bank.com"), "v=DMARC1; p=reject; sp=quarantine");
+  server.add_zone(std::move(com));
+  return server;
+}
+
+// --- organizational domain ---------------------------------------------------
+
+TEST(OrgDomainTest, UsesRegistrableDomain) {
+  EXPECT_EQ(organizational_domain(current_list(), "mail.accounts.bank.com"), "bank.com");
+  EXPECT_EQ(organizational_domain(current_list(), "bank.com"), "bank.com");
+  EXPECT_EQ(organizational_domain(current_list(), "a.store.myshopify.com"),
+            "store.myshopify.com");
+}
+
+TEST(OrgDomainTest, SuffixIsItsOwnOrgDomain) {
+  EXPECT_EQ(organizational_domain(current_list(), "co.uk"), "co.uk");
+  EXPECT_EQ(organizational_domain(current_list(), "myshopify.com"), "myshopify.com");
+}
+
+TEST(OrgDomainTest, StaleListMergesTenants) {
+  // The failure mode: without the myshopify.com rule the org domain of
+  // every store is the platform apex.
+  EXPECT_EQ(organizational_domain(stale_list(), "a.store.myshopify.com"), "myshopify.com");
+}
+
+// --- record parsing ----------------------------------------------------------
+
+TEST(DmarcParseTest, FullRecord) {
+  const auto r = parse_dmarc(
+      "v=DMARC1; p=quarantine; sp=reject; pct=50; adkim=s; aspf=r; "
+      "rua=mailto:agg@bank.com,mailto:backup@bank.com");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->policy, Policy::kQuarantine);
+  EXPECT_EQ(r->effective_subdomain_policy(), Policy::kReject);
+  EXPECT_EQ(r->pct, 50);
+  EXPECT_TRUE(r->adkim_strict);
+  EXPECT_FALSE(r->aspf_strict);
+  ASSERT_EQ(r->rua.size(), 2u);
+  EXPECT_EQ(r->rua[0], "mailto:agg@bank.com");
+}
+
+TEST(DmarcParseTest, SpDefaultsToP) {
+  const auto r = parse_dmarc("v=DMARC1; p=reject");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->effective_subdomain_policy(), Policy::kReject);
+}
+
+TEST(DmarcParseTest, Rejections) {
+  EXPECT_FALSE(parse_dmarc("").ok());
+  EXPECT_FALSE(parse_dmarc("p=reject; v=DMARC1").ok());   // v= must be first
+  EXPECT_FALSE(parse_dmarc("v=DMARC1").ok());             // no p=
+  EXPECT_FALSE(parse_dmarc("v=DMARC1; p=banana").ok());
+  EXPECT_FALSE(parse_dmarc("v=DMARC1; p=reject; pct=120").ok());
+  EXPECT_FALSE(parse_dmarc("v=DMARC1; p=reject; pct=x").ok());
+  EXPECT_FALSE(parse_dmarc("v=DMARC1; broken; p=reject").ok());
+}
+
+TEST(DmarcParseTest, UnknownTagsIgnored) {
+  const auto r = parse_dmarc("v=DMARC1; p=none; fo=1; ri=86400");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->policy, Policy::kNone);
+}
+
+// --- discovery ---------------------------------------------------------------
+
+TEST(DmarcDiscoveryTest, DirectRecordWins) {
+  const dns::AuthServer server = make_mail_world();
+  dns::StubResolver resolver(server);
+  const DmarcLookup lookup =
+      discover_policy(resolver, current_list(), "securestore.myshopify.com", 0);
+  ASSERT_TRUE(lookup.record.has_value());
+  EXPECT_EQ(lookup.record->policy, Policy::kReject);
+  EXPECT_FALSE(lookup.used_org_fallback);
+  EXPECT_EQ(*lookup.effective_policy(), Policy::kReject);
+}
+
+TEST(DmarcDiscoveryTest, OrgFallbackAppliesSubdomainPolicy) {
+  const dns::AuthServer server = make_mail_world();
+  dns::StubResolver resolver(server);
+  const DmarcLookup lookup =
+      discover_policy(resolver, current_list(), "newsletter.bank.com", 0);
+  ASSERT_TRUE(lookup.record.has_value());
+  EXPECT_TRUE(lookup.used_org_fallback);
+  EXPECT_TRUE(lookup.subdomain_policy_applies);
+  EXPECT_EQ(*lookup.effective_policy(), Policy::kQuarantine);  // sp=
+  ASSERT_EQ(lookup.queried_names.size(), 2u);
+  EXPECT_EQ(lookup.queried_names[0], "_dmarc.newsletter.bank.com");
+  EXPECT_EQ(lookup.queried_names[1], "_dmarc.bank.com");
+}
+
+TEST(DmarcDiscoveryTest, NoRecordAnywhere) {
+  const dns::AuthServer server = make_mail_world();
+  dns::StubResolver resolver(server);
+  const DmarcLookup lookup = discover_policy(resolver, current_list(), "nothing.com", 0);
+  EXPECT_FALSE(lookup.record.has_value());
+  EXPECT_FALSE(lookup.effective_policy().has_value());
+}
+
+TEST(DmarcDiscoveryTest, StaleListFallsBackToPlatformPolicy) {
+  // The paper's DMARC harm: a receiver with a stale list computes the org
+  // domain of spoofed-store.myshopify.com as myshopify.com and applies the
+  // PLATFORM's lax p=none — mail claiming to be the store sails through.
+  // A receiver with the current list computes org = the store itself,
+  // finds no record there, and (correctly) applies no platform policy.
+  const dns::AuthServer server = make_mail_world();
+
+  dns::StubResolver stale_resolver(server);
+  const DmarcLookup stale_lookup =
+      discover_policy(stale_resolver, stale_list(), "spoofed-store.myshopify.com", 0);
+  ASSERT_TRUE(stale_lookup.record.has_value());
+  EXPECT_TRUE(stale_lookup.used_org_fallback);
+  EXPECT_EQ(*stale_lookup.effective_policy(), Policy::kNone);
+
+  dns::StubResolver fresh_resolver(server);
+  const DmarcLookup fresh_lookup =
+      discover_policy(fresh_resolver, current_list(), "spoofed-store.myshopify.com", 0);
+  EXPECT_FALSE(fresh_lookup.record.has_value());
+}
+
+// --- alignment ---------------------------------------------------------------
+
+TEST(AlignmentTest, StrictRequiresExactMatch) {
+  EXPECT_TRUE(identifier_aligned(current_list(), "bank.com", "bank.com", /*strict=*/true));
+  EXPECT_FALSE(identifier_aligned(current_list(), "bank.com", "mail.bank.com", true));
+}
+
+TEST(AlignmentTest, RelaxedUsesOrgDomain) {
+  EXPECT_TRUE(identifier_aligned(current_list(), "newsletter.bank.com", "mail.bank.com",
+                                 /*strict=*/false));
+  EXPECT_FALSE(identifier_aligned(current_list(), "bank.com", "evil.com", false));
+}
+
+TEST(AlignmentTest, StaleListAlignsAcrossTenants) {
+  // Cross-tenant spoofing: DKIM d=attacker.myshopify.com relax-aligns with
+  // From: victim.myshopify.com under the stale list only.
+  EXPECT_TRUE(identifier_aligned(stale_list(), "victim.myshopify.com",
+                                 "attacker.myshopify.com", /*strict=*/false));
+  EXPECT_FALSE(identifier_aligned(current_list(), "victim.myshopify.com",
+                                  "attacker.myshopify.com", /*strict=*/false));
+}
+
+TEST(PolicyNames, ToString) {
+  EXPECT_EQ(to_string(Policy::kNone), "none");
+  EXPECT_EQ(to_string(Policy::kQuarantine), "quarantine");
+  EXPECT_EQ(to_string(Policy::kReject), "reject");
+}
+
+}  // namespace
+}  // namespace psl::email

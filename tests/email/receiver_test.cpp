@@ -1,0 +1,142 @@
+#include "psl/email/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::email {
+namespace {
+
+using dns::Name;
+
+Name name(std::string_view text) { return *Name::parse(text); }
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+const List& current_list() {
+  static const List list = make_list("com\nmyshopify.com\n");
+  return list;
+}
+
+const List& stale_list() {
+  static const List list = make_list("com\n");
+  return list;
+}
+
+dns::AuthServer make_world() {
+  dns::AuthServer server;
+  dns::Zone com(name("com"),
+                dns::SoaRecord{name("ns1.example.com"), name("admin.example.com"), 1, 7200,
+                               900, 1209600, 60});
+  // bank.com: strict DMARC, SPF covering its own server.
+  com.add_txt(name("_dmarc.bank.com"), "v=DMARC1; p=reject");
+  com.add_txt(name("bank.com"), "v=spf1 ip4:192.0.2.25 -all");
+  com.add_txt(name("newsletter.bank.com"), "v=spf1 ip4:192.0.2.26 -all");
+  // The shopify platform: lax policy, platform-wide SPF.
+  com.add_txt(name("_dmarc.myshopify.com"), "v=DMARC1; p=none; sp=none");
+  com.add_txt(name("attacker-store.myshopify.com"), "v=spf1 ip4:203.0.113.66 -all");
+  server.add_zone(std::move(com));
+  return server;
+}
+
+class ReceiverTest : public ::testing::Test {
+ protected:
+  ReceiverTest() : server_(make_world()), resolver_(server_) {}
+  dns::AuthServer server_;
+  dns::StubResolver resolver_;
+};
+
+TEST_F(ReceiverTest, LegitimateMailPassesViaSpf) {
+  MailMessage msg;
+  msg.from_domain = "bank.com";
+  msg.mail_from_domain = "bank.com";
+  msg.sender_ip = {192, 0, 2, 25};
+  const auto verdict = evaluate_message(resolver_, current_list(), msg, 0);
+  EXPECT_EQ(verdict.spf.result, SpfResult::kPass);
+  EXPECT_TRUE(verdict.spf_aligned);
+  EXPECT_TRUE(verdict.dmarc_pass);
+  EXPECT_EQ(verdict.disposition, Disposition::kAccept);
+}
+
+TEST_F(ReceiverTest, SubdomainBounceAlignsRelaxed) {
+  // MAIL FROM newsletter.bank.com, From: bank.com — relaxed alignment.
+  MailMessage msg;
+  msg.from_domain = "bank.com";
+  msg.mail_from_domain = "newsletter.bank.com";
+  msg.sender_ip = {192, 0, 2, 26};
+  const auto verdict = evaluate_message(resolver_, current_list(), msg, 0);
+  EXPECT_TRUE(verdict.spf_aligned);
+  EXPECT_EQ(verdict.disposition, Disposition::kAccept);
+}
+
+TEST_F(ReceiverTest, SpoofedBankMailRejected) {
+  MailMessage msg;
+  msg.from_domain = "bank.com";
+  msg.mail_from_domain = "bank.com";
+  msg.sender_ip = {203, 0, 113, 99};  // not authorized
+  const auto verdict = evaluate_message(resolver_, current_list(), msg, 0);
+  EXPECT_EQ(verdict.spf.result, SpfResult::kFail);
+  EXPECT_FALSE(verdict.dmarc_pass);
+  EXPECT_EQ(verdict.disposition, Disposition::kReject);
+}
+
+TEST_F(ReceiverTest, DkimAlignmentAlsoPasses) {
+  MailMessage msg;
+  msg.from_domain = "bank.com";
+  msg.mail_from_domain = "bounce.esp-bulk.com";  // unaligned SPF identity
+  msg.sender_ip = {203, 0, 113, 99};
+  msg.dkim_pass_domains = {"mail.bank.com"};  // relaxed-aligns with bank.com
+  const auto verdict = evaluate_message(resolver_, current_list(), msg, 0);
+  EXPECT_FALSE(verdict.spf_aligned);
+  EXPECT_TRUE(verdict.dkim_aligned);
+  EXPECT_EQ(verdict.disposition, Disposition::kAccept);
+}
+
+TEST_F(ReceiverTest, CrossTenantSpoofJudgedByListVintage) {
+  // The paper's harm as a full receiver pipeline: the attacker controls
+  // attacker-store.myshopify.com (valid SPF for their own store) and sends
+  // mail with From: victim-store.myshopify.com.
+  MailMessage msg;
+  msg.from_domain = "victim-store.myshopify.com";
+  msg.mail_from_domain = "attacker-store.myshopify.com";
+  msg.sender_ip = {203, 0, 113, 66};  // authorized for the ATTACKER's store
+
+  // Stale receiver: SPF passes and "aligns" (same org under the stale
+  // list), the platform's p=none applies -> clean DMARC PASS for a spoof.
+  dns::StubResolver stale_resolver(server_);
+  const auto stale_verdict = evaluate_message(stale_resolver, stale_list(), msg, 0);
+  EXPECT_EQ(stale_verdict.spf.result, SpfResult::kPass);
+  EXPECT_TRUE(stale_verdict.spf_aligned);
+  EXPECT_TRUE(stale_verdict.dmarc_pass);
+  EXPECT_EQ(stale_verdict.disposition, Disposition::kAccept);
+
+  // Current receiver: SPF still passes for the attacker's own domain, but
+  // it does NOT align with the victim's From: domain, and no policy is
+  // inherited from the platform.
+  dns::StubResolver fresh_resolver(server_);
+  const auto fresh_verdict = evaluate_message(fresh_resolver, current_list(), msg, 0);
+  EXPECT_EQ(fresh_verdict.spf.result, SpfResult::kPass);
+  EXPECT_FALSE(fresh_verdict.spf_aligned);
+  EXPECT_FALSE(fresh_verdict.dmarc_pass);
+  EXPECT_EQ(fresh_verdict.disposition, Disposition::kNoPolicy);
+}
+
+TEST_F(ReceiverTest, NoPolicyAnywhere) {
+  MailMessage msg;
+  msg.from_domain = "random.com";
+  msg.mail_from_domain = "random.com";
+  msg.sender_ip = {1, 2, 3, 4};
+  const auto verdict = evaluate_message(resolver_, current_list(), msg, 0);
+  EXPECT_EQ(verdict.disposition, Disposition::kNoPolicy);
+}
+
+TEST(DispositionNames, ToString) {
+  EXPECT_EQ(to_string(Disposition::kAccept), "accept");
+  EXPECT_EQ(to_string(Disposition::kReject), "reject");
+  EXPECT_EQ(to_string(Disposition::kNoPolicy), "no-policy");
+}
+
+}  // namespace
+}  // namespace psl::email

@@ -1,0 +1,150 @@
+#include "psl/email/spf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::email {
+namespace {
+
+using dns::Name;
+
+Name name(std::string_view text) { return *Name::parse(text); }
+
+dns::AuthServer make_mail_world() {
+  dns::AuthServer server;
+  dns::Zone com(name("com"),
+                dns::SoaRecord{name("ns1.example.com"), name("admin.example.com"), 1, 7200,
+                               900, 1209600, 60});
+  // bank.com: mail from its own servers and its ESP.
+  com.add_txt(name("bank.com"), "v=spf1 ip4:192.0.2.0/28 mx include:esp.com -all");
+  com.add_mx(name("bank.com"), 10, name("mail.bank.com"));
+  com.add_a(name("mail.bank.com"), {198, 51, 100, 25});
+  // The ESP's record.
+  com.add_txt(name("esp.com"), "v=spf1 ip4:203.0.113.0/24 ~all");
+  // a-mechanism target.
+  com.add_txt(name("apex.com"), "v=spf1 a -all");
+  com.add_a(name("apex.com"), {192, 0, 2, 80});
+  // redirect.
+  com.add_txt(name("brand.com"), "v=spf1 redirect=bank.com");
+  // softfail-only.
+  com.add_txt(name("soft.com"), "v=spf1 ~all");
+  // no final all -> neutral.
+  com.add_txt(name("openend.com"), "v=spf1 ip4:10.0.0.1");
+  // broken record.
+  com.add_txt(name("broken.com"), "v=spf1 ptr:legacy.com -all");
+  // two records -> permerror.
+  com.add_txt(name("double.com"), "v=spf1 -all");
+  com.add_txt(name("double.com"), "v=spf1 +all");
+  // unrelated TXT next to a valid record is fine.
+  com.add_txt(name("mixed.com"), "google-site-verification=abc123");
+  com.add_txt(name("mixed.com"), "v=spf1 ip4:192.0.2.99 -all");
+  // include loop.
+  com.add_txt(name("loop-a.com"), "v=spf1 include:loop-b.com -all");
+  com.add_txt(name("loop-b.com"), "v=spf1 include:loop-a.com -all");
+  server.add_zone(std::move(com));
+  return server;
+}
+
+class SpfTest : public ::testing::Test {
+ protected:
+  SpfTest() : server_(make_mail_world()), resolver_(server_), spf_(resolver_) {}
+  dns::AuthServer server_;
+  dns::StubResolver resolver_;
+  SpfEvaluator spf_;
+};
+
+TEST(SpfParseTest, ParsesTypicalRecord) {
+  const auto r = parse_spf("v=spf1 ip4:192.0.2.0/24 a mx include:x.com -all");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->terms.size(), 5u);
+  EXPECT_EQ(r->terms[0].kind, SpfTerm::Kind::kIp4);
+  EXPECT_EQ(r->terms[0].prefix_len, 24);
+  EXPECT_EQ(r->terms[4].kind, SpfTerm::Kind::kAll);
+  EXPECT_EQ(r->terms[4].qualifier, '-');
+}
+
+TEST(SpfParseTest, Rejections) {
+  EXPECT_FALSE(parse_spf("").ok());
+  EXPECT_FALSE(parse_spf("v=spf2 -all").ok());
+  EXPECT_FALSE(parse_spf("v=spf1 ip4:999.1.1.1 -all").ok());
+  EXPECT_FALSE(parse_spf("v=spf1 ip4:1.2.3.4/40 -all").ok());
+  EXPECT_FALSE(parse_spf("v=spf1 exists:%{i}.x.com -all").ok());
+  EXPECT_FALSE(parse_spf("v=spf1 include: -all").ok());
+}
+
+TEST(Ip4NetworkTest, PrefixMatching) {
+  EXPECT_TRUE(ip4_in_network({192, 0, 2, 5}, {192, 0, 2, 0}, 28));
+  EXPECT_FALSE(ip4_in_network({192, 0, 2, 16}, {192, 0, 2, 0}, 28));
+  EXPECT_TRUE(ip4_in_network({10, 1, 2, 3}, {10, 0, 0, 0}, 8));
+  EXPECT_TRUE(ip4_in_network({1, 2, 3, 4}, {9, 9, 9, 9}, 0));  // /0 matches all
+  EXPECT_TRUE(ip4_in_network({1, 2, 3, 4}, {1, 2, 3, 4}, 32));
+  EXPECT_FALSE(ip4_in_network({1, 2, 3, 5}, {1, 2, 3, 4}, 32));
+}
+
+TEST_F(SpfTest, Ip4MechanismPasses) {
+  const auto outcome = spf_.check_host({192, 0, 2, 5}, "bank.com", 0);
+  EXPECT_EQ(outcome.result, SpfResult::kPass);
+  EXPECT_EQ(outcome.matched_mechanism, "ip4");
+}
+
+TEST_F(SpfTest, MxMechanismPasses) {
+  const auto outcome = spf_.check_host({198, 51, 100, 25}, "bank.com", 0);
+  EXPECT_EQ(outcome.result, SpfResult::kPass);
+  EXPECT_EQ(outcome.matched_mechanism, "mx");
+}
+
+TEST_F(SpfTest, IncludePasses) {
+  const auto outcome = spf_.check_host({203, 0, 113, 7}, "bank.com", 0);
+  EXPECT_EQ(outcome.result, SpfResult::kPass);
+  EXPECT_EQ(outcome.matched_mechanism, "include:esp.com");
+}
+
+TEST_F(SpfTest, UnauthorizedIpFails) {
+  const auto outcome = spf_.check_host({8, 8, 8, 8}, "bank.com", 0);
+  EXPECT_EQ(outcome.result, SpfResult::kFail);
+  EXPECT_EQ(outcome.matched_mechanism, "all");
+}
+
+TEST_F(SpfTest, AMechanism) {
+  EXPECT_EQ(spf_.check_host({192, 0, 2, 80}, "apex.com", 0).result, SpfResult::kPass);
+  EXPECT_EQ(spf_.check_host({192, 0, 2, 81}, "apex.com", 0).result, SpfResult::kFail);
+}
+
+TEST_F(SpfTest, RedirectFollowsTarget) {
+  EXPECT_EQ(spf_.check_host({192, 0, 2, 5}, "brand.com", 0).result, SpfResult::kPass);
+  EXPECT_EQ(spf_.check_host({8, 8, 8, 8}, "brand.com", 0).result, SpfResult::kFail);
+}
+
+TEST_F(SpfTest, SoftFailAndNeutral) {
+  EXPECT_EQ(spf_.check_host({8, 8, 8, 8}, "soft.com", 0).result, SpfResult::kSoftFail);
+  EXPECT_EQ(spf_.check_host({8, 8, 8, 8}, "openend.com", 0).result, SpfResult::kNeutral);
+}
+
+TEST_F(SpfTest, NoRecordIsNone) {
+  EXPECT_EQ(spf_.check_host({1, 2, 3, 4}, "nothing.com", 0).result, SpfResult::kNone);
+}
+
+TEST_F(SpfTest, BrokenRecordIsPermError) {
+  EXPECT_EQ(spf_.check_host({1, 2, 3, 4}, "broken.com", 0).result, SpfResult::kPermError);
+}
+
+TEST_F(SpfTest, MultipleRecordsArePermError) {
+  EXPECT_EQ(spf_.check_host({1, 2, 3, 4}, "double.com", 0).result, SpfResult::kPermError);
+}
+
+TEST_F(SpfTest, UnrelatedTxtIgnored) {
+  EXPECT_EQ(spf_.check_host({192, 0, 2, 99}, "mixed.com", 0).result, SpfResult::kPass);
+}
+
+TEST_F(SpfTest, IncludeLoopHitsQueryLimit) {
+  const auto outcome = spf_.check_host({1, 2, 3, 4}, "loop-a.com", 0);
+  EXPECT_EQ(outcome.result, SpfResult::kPermError);
+}
+
+TEST(SpfResultNames, ToString) {
+  EXPECT_EQ(to_string(SpfResult::kPass), "pass");
+  EXPECT_EQ(to_string(SpfResult::kSoftFail), "softfail");
+  EXPECT_EQ(to_string(SpfResult::kPermError), "permerror");
+}
+
+}  // namespace
+}  // namespace psl::email

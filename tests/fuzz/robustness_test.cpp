@@ -1,0 +1,169 @@
+// Robustness ("poor man's fuzzing") tests: every parser in the library must
+// return an error — never crash, hang, or trip UB — on arbitrary input.
+// Inputs are deterministic pseudo-random byte strings plus structured
+// mutations of valid inputs (the mutants that historically find bugs).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "psl/dns/message.hpp"
+#include "psl/idna/idna.hpp"
+#include "psl/idna/punycode.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/url/url.hpp"
+#include "psl/util/rng.hpp"
+#include "psl/web/cookie.hpp"
+
+namespace psl {
+namespace {
+
+/// Random bytes with a mix of printable and raw values.
+std::string random_blob(util::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.below(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (rng.chance(0.7)) {
+      // Mostly characters that appear in the grammars under test.
+      static constexpr char kAlphabet[] =
+          "abcdefghijklmnopqrstuvwxyz0123456789.-*!:/?#@=; \t%[]_";
+      out.push_back(kAlphabet[rng.below(sizeof kAlphabet - 1)]);
+    } else {
+      out.push_back(static_cast<char>(rng.below(256)));
+    }
+  }
+  return out;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RobustnessTest, UrlParserNeverCrashes) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = random_blob(rng, 120);
+    const auto result = url::Url::parse(input);
+    if (result.ok()) {
+      // Whatever parsed must serialise and re-parse consistently.
+      const auto again = url::Url::parse(result->to_string());
+      ASSERT_TRUE(again.ok()) << input;
+    }
+  }
+}
+
+TEST_P(RobustnessTest, HostParserNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 3000; ++i) {
+    const auto result = url::Host::parse(random_blob(rng, 80));
+    if (result.ok()) {
+      ASSERT_FALSE(result->name().empty());
+    }
+  }
+}
+
+TEST_P(RobustnessTest, PslListParserNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 800; ++i) {
+    // Multi-line blobs exercise the section/comment machinery too.
+    std::string file;
+    const std::size_t lines = rng.below(20);
+    for (std::size_t l = 0; l < lines; ++l) {
+      file += random_blob(rng, 40);
+      file.push_back('\n');
+    }
+    const auto result = List::parse(file);
+    if (result.ok()) {
+      // Every accepted list must answer queries without incident.
+      ASSERT_GE(result->public_suffix("www.example.com").size(), 1u);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, PslMatchNeverCrashesOnHostileHosts) {
+  const auto list = List::parse("com\nco.uk\n*.ck\n!www.ck\n");
+  ASSERT_TRUE(list.ok());
+  util::Rng rng(GetParam() ^ 0x3333);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string host = random_blob(rng, 100);
+    const Match m = list->match(host);
+    ASSERT_LE(m.public_suffix.size(), host.size() + 1);
+  }
+}
+
+TEST_P(RobustnessTest, CookieParserNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x4444);
+  for (int i = 0; i < 5000; ++i) {
+    const auto result = web::parse_set_cookie(random_blob(rng, 150));
+    if (result.ok()) {
+      ASSERT_FALSE(result->name.empty());
+    }
+  }
+}
+
+TEST_P(RobustnessTest, PunycodeDecoderNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x5555);
+  for (int i = 0; i < 5000; ++i) {
+    const auto decoded = idna::punycode_decode(random_blob(rng, 60));
+    if (decoded.ok()) {
+      // Anything decodable must re-encode.
+      ASSERT_TRUE(idna::punycode_encode(*decoded).ok());
+    }
+  }
+}
+
+TEST_P(RobustnessTest, IdnaHostConversionNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x6666);
+  for (int i = 0; i < 4000; ++i) {
+    (void)idna::host_to_ascii(random_blob(rng, 80));
+    (void)idna::host_to_unicode(random_blob(rng, 80));
+  }
+}
+
+TEST_P(RobustnessTest, DnsDecoderNeverCrashesOnRandomBytes) {
+  util::Rng rng(GetParam() ^ 0x7777);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string blob = random_blob(rng, 200);
+    (void)dns::decode(reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size());
+  }
+}
+
+TEST_P(RobustnessTest, DnsDecoderSurvivesMutatedValidMessages) {
+  // Mutation fuzzing: flip bytes of a real message; the decoder must either
+  // reject or produce a message that re-encodes.
+  dns::Message m;
+  m.header.id = 99;
+  m.header.qr = true;
+  m.questions.push_back(dns::Question{*dns::Name::parse("www.example.com"), dns::Type::kA});
+  m.answers.push_back(dns::ResourceRecord{*dns::Name::parse("www.example.com"), dns::Type::kA,
+                                          300, dns::ARecord{{192, 0, 2, 1}}});
+  m.answers.push_back(dns::ResourceRecord{*dns::Name::parse("t.example.com"), dns::Type::kTxt,
+                                          60, dns::TxtRecord{{"v=bound1; policy=registry"}}});
+  const auto wire = encode(m);
+
+  util::Rng rng(GetParam() ^ 0x8888);
+  for (int i = 0; i < 4000; ++i) {
+    auto mutated = wire;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto result = dns::decode(mutated);
+    if (result.ok()) {
+      (void)dns::encode(*result);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, DnsNameReaderNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string blob = random_blob(rng, 64);
+    dns::WireReader reader(reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size());
+    (void)reader.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest, ::testing::Values(1, 7, 31, 127, 8191));
+
+}  // namespace
+}  // namespace psl

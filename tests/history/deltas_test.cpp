@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "psl/history/timeline.hpp"
+
+namespace psl::history {
+namespace {
+
+const History& hist() {
+  static const History h = generate_history(TimelineSpec{});
+  return h;
+}
+
+TEST(VersionDeltasTest, OneEntryPerVersionInOrder) {
+  const auto deltas = hist().version_deltas();
+  ASSERT_EQ(deltas.size(), hist().version_count());
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(deltas[i].version_index, i);
+    EXPECT_EQ(deltas[i].date, hist().version_date(i));
+  }
+}
+
+TEST(VersionDeltasTest, TotalsMatchScheduleAndRuleCounts) {
+  const auto deltas = hist().version_deltas();
+  std::size_t added = 0, removed = 0;
+  for (const auto& d : deltas) {
+    added += d.rules_added;
+    removed += d.rules_removed;
+  }
+  EXPECT_EQ(added, hist().schedule().size());
+  EXPECT_EQ(added - removed, hist().rule_count(hist().version_count() - 1));
+}
+
+TEST(VersionDeltasTest, DeltasReconstructRuleCounts) {
+  // Prefix sums of (added - removed) must equal rule_count at each sampled
+  // version — an independent consistency check of snapshot logic.
+  const auto deltas = hist().version_deltas();
+  std::size_t running = 0;
+  std::size_t next_sample = 0;
+  const auto samples = hist().sampled_versions(12);
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    running += deltas[i].rules_added;
+    running -= deltas[i].rules_removed;
+    if (next_sample < samples.size() && samples[next_sample] == i) {
+      EXPECT_EQ(running, hist().rule_count(i)) << "at version " << i;
+      ++next_sample;
+    }
+  }
+}
+
+TEST(VersionDeltasTest, JpSpikeIsTheLargestPostSeedVersion) {
+  const auto deltas = hist().version_deltas();
+  ASSERT_GT(deltas.size(), 1u);
+  // Version 0 is the seed (all 2,447 initial rules at once); among the
+  // published updates after it, the mid-2012 JP city event is the largest.
+  const auto biggest = std::max_element(
+      deltas.begin() + 1, deltas.end(),
+      [](const auto& a, const auto& b) { return a.rules_added < b.rules_added; });
+  ASSERT_NE(biggest, deltas.end());
+  EXPECT_EQ(biggest->date.year(), 2012);
+  EXPECT_GT(biggest->rules_added, 1500u);
+}
+
+TEST(VersionDeltasTest, WildcardRetirementsShowAsRemovals) {
+  const auto deltas = hist().version_deltas();
+  std::size_t versions_with_removals = 0;
+  for (const auto& d : deltas) {
+    if (d.rules_removed > 0) ++versions_with_removals;
+  }
+  // The four retired ccTLD wildcards (*.uk, *.jp, *.nz, *.za).
+  EXPECT_GE(versions_with_removals, 3u);
+}
+
+}  // namespace
+}  // namespace psl::history

@@ -1,0 +1,126 @@
+#include "psl/history/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::history {
+namespace {
+
+using util::Date;
+
+Rule rule(std::string_view text, Section section = Section::kIcann) {
+  auto r = Rule::parse(text, section);
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+History tiny_history() {
+  const Date v0 = Date::from_civil(2010, 1, 1);
+  const Date v1 = Date::from_civil(2012, 1, 1);
+  const Date v2 = Date::from_civil(2014, 1, 1);
+  const Date v3 = Date::from_civil(2016, 1, 1);
+  std::vector<ScheduledRule> schedule{
+      {rule("com"), v0, std::nullopt},
+      {rule("uk"), v0, std::nullopt},
+      {rule("*.uk"), v0, v2},  // removed at v2
+      {rule("co.uk"), v2, std::nullopt},
+      {rule("github.io", Section::kPrivate), v3, std::nullopt},
+  };
+  return History({v0, v1, v2, v3}, std::move(schedule));
+}
+
+TEST(HistoryTest, VersionCountAndDates) {
+  const History h = tiny_history();
+  EXPECT_EQ(h.version_count(), 4u);
+  EXPECT_EQ(h.version_date(0), Date::from_civil(2010, 1, 1));
+  EXPECT_EQ(h.version_date(3), Date::from_civil(2016, 1, 1));
+}
+
+TEST(HistoryTest, VersionIndexAt) {
+  const History h = tiny_history();
+  EXPECT_FALSE(h.version_index_at(Date::from_civil(2009, 6, 1)).has_value());
+  EXPECT_EQ(*h.version_index_at(Date::from_civil(2010, 1, 1)), 0u);
+  EXPECT_EQ(*h.version_index_at(Date::from_civil(2011, 7, 1)), 0u);
+  EXPECT_EQ(*h.version_index_at(Date::from_civil(2012, 1, 1)), 1u);
+  EXPECT_EQ(*h.version_index_at(Date::from_civil(2030, 1, 1)), 3u);
+}
+
+TEST(HistoryTest, RuleCountsPerVersion) {
+  const History h = tiny_history();
+  EXPECT_EQ(h.rule_count(0), 3u);  // com, uk, *.uk
+  EXPECT_EQ(h.rule_count(1), 3u);
+  EXPECT_EQ(h.rule_count(2), 3u);  // *.uk removed, co.uk added
+  EXPECT_EQ(h.rule_count(3), 4u);  // + github.io
+}
+
+TEST(HistoryTest, SnapshotReflectsAddsAndRemoves) {
+  const History h = tiny_history();
+  const List v0 = h.snapshot(0);
+  // Wildcard era: parliament.uk is a public suffix under *.uk.
+  EXPECT_TRUE(v0.is_public_suffix("parliament.uk"));
+  EXPECT_FALSE(v0.registrable_domain("parliament.uk").has_value());
+
+  const List v2 = h.snapshot(2);
+  // Wildcard retired: parliament.uk is now registrable; co.uk is a suffix.
+  EXPECT_EQ(*v2.registrable_domain("www.parliament.uk"), "parliament.uk");
+  EXPECT_TRUE(v2.is_public_suffix("co.uk"));
+
+  const List v3 = h.snapshot(3);
+  EXPECT_EQ(*v3.registrable_domain("alice.github.io"), "alice.github.io");
+  // Before github.io existed, alice.github.io grouped under github.io.
+  EXPECT_EQ(*v2.registrable_domain("alice.github.io"), "github.io");
+}
+
+TEST(HistoryTest, SnapshotAtPreHistoryDateIsEmpty) {
+  const History h = tiny_history();
+  EXPECT_EQ(h.snapshot_at(Date::from_civil(2005, 1, 1)).rule_count(), 0u);
+}
+
+TEST(HistoryTest, SnapshotAtMidTimelinePicksPriorVersion) {
+  const History h = tiny_history();
+  EXPECT_EQ(h.snapshot_at(Date::from_civil(2015, 6, 1)).rule_count(), 3u);
+  EXPECT_EQ(h.snapshot_at(Date::from_civil(2016, 1, 1)).rule_count(), 4u);
+}
+
+TEST(HistoryTest, LatestIsLastVersionAndCached) {
+  const History h = tiny_history();
+  const List& a = h.latest();
+  const List& b = h.latest();
+  EXPECT_EQ(&a, &b);  // cached object
+  EXPECT_EQ(a.rule_count(), 4u);
+}
+
+TEST(HistoryTest, AddedDateLookup) {
+  const History h = tiny_history();
+  EXPECT_EQ(*h.added_date("com"), Date::from_civil(2010, 1, 1));
+  EXPECT_EQ(*h.added_date("co.uk"), Date::from_civil(2014, 1, 1));
+  EXPECT_EQ(*h.added_date("github.io"), Date::from_civil(2016, 1, 1));
+  EXPECT_EQ(*h.added_date("*.uk"), Date::from_civil(2010, 1, 1));
+  EXPECT_FALSE(h.added_date("never.existed").has_value());
+}
+
+TEST(HistoryTest, SampledVersionsCoverEndpoints) {
+  const History h = tiny_history();
+  const auto all = h.sampled_versions(100);
+  EXPECT_EQ(all.size(), 4u);
+  const auto two = h.sampled_versions(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two.front(), 0u);
+  EXPECT_EQ(two.back(), 3u);
+  EXPECT_TRUE(h.sampled_versions(0).empty());
+}
+
+TEST(HistoryTest, SampledVersionsAreStrictlyIncreasing) {
+  std::vector<Date> dates;
+  std::vector<ScheduledRule> schedule{{rule("com"), Date::from_civil(2010, 1, 1), std::nullopt}};
+  for (int i = 0; i < 57; ++i) dates.push_back(Date::from_civil(2010, 1, 1) + i * 30);
+  const History h(std::move(dates), std::move(schedule));
+  const auto sampled = h.sampled_versions(10);
+  for (std::size_t i = 1; i < sampled.size(); ++i) {
+    EXPECT_LT(sampled[i - 1], sampled[i]);
+  }
+  EXPECT_EQ(sampled.front(), 0u);
+  EXPECT_EQ(sampled.back(), 56u);
+}
+
+}  // namespace
+}  // namespace psl::history

@@ -1,0 +1,182 @@
+#include "psl/history/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace psl::history {
+namespace {
+
+using util::Date;
+
+// The full-size history is expensive enough to build once and share.
+const History& full_history() {
+  static const History h = generate_history(TimelineSpec{});
+  return h;
+}
+
+TEST(TimelineTest, MatchesPaperVersionCount) {
+  EXPECT_EQ(full_history().version_count(), 1142u);
+}
+
+TEST(TimelineTest, FirstAndLastVersionDates) {
+  const History& h = full_history();
+  EXPECT_EQ(h.version_date(0).to_string(), "2007-03-22");
+  EXPECT_EQ(h.version_date(h.version_count() - 1).to_string(), "2022-10-20");
+}
+
+TEST(TimelineTest, VersionDatesStrictlyIncreasing) {
+  const History& h = full_history();
+  for (std::size_t i = 1; i < h.version_count(); ++i) {
+    ASSERT_LT(h.version_date(i - 1), h.version_date(i));
+  }
+}
+
+TEST(TimelineTest, MatchesPaperRuleCounts) {
+  const History& h = full_history();
+  // "The list began life with 2447 entries ... 9368 suffixes by October 2022."
+  EXPECT_EQ(h.rule_count(0), 2447u);
+  EXPECT_EQ(h.rule_count(h.version_count() - 1), 9368u);
+}
+
+TEST(TimelineTest, GrowthIsMonotoneWithinNoise) {
+  // Rule count grows over time; wildcard retirements can dip it by a few.
+  const History& h = full_history();
+  std::size_t prev = h.rule_count(0);
+  for (std::size_t i : h.sampled_versions(40)) {
+    const std::size_t now = h.rule_count(i);
+    ASSERT_GT(now + 20, prev) << "big regression at version " << i;
+    prev = std::max(prev, now);
+  }
+}
+
+TEST(TimelineTest, ComponentMixMatchesPaper) {
+  // "17% ... single component, 57.5% ... two components, 25.3% three,
+  //  ~0.1% four or more."
+  const auto hist = full_history().latest().component_histogram();
+  const double total = 9368.0;
+  auto frac = [&](std::size_t k) {
+    const auto it = hist.find(k);
+    return it == hist.end() ? 0.0 : static_cast<double>(it->second) / total;
+  };
+  EXPECT_NEAR(frac(1), 0.170, 0.02);
+  EXPECT_NEAR(frac(2), 0.575, 0.03);
+  EXPECT_NEAR(frac(3), 0.253, 0.03);
+  double four_plus = 0.0;
+  for (const auto& [k, v] : hist) {
+    if (k >= 4) four_plus += static_cast<double>(v) / total;
+  }
+  EXPECT_NEAR(four_plus, 0.001, 0.002);
+}
+
+TEST(TimelineTest, Mid2012JapaneseSpike) {
+  // "In mid-2012, a significant number of suffixes (~1623) are added ..."
+  const History& h = full_history();
+  const std::size_t before = h.snapshot_at(Date::from_civil(2012, 6, 1)).rule_count();
+  const std::size_t after = h.snapshot_at(Date::from_civil(2012, 9, 1)).rule_count();
+  EXPECT_GT(after - before, 1500u);
+  EXPECT_LT(after - before, 1800u);
+  // The spike is three-component .jp city rules.
+  const List& latest = full_history().latest();
+  EXPECT_EQ(*latest.registrable_domain("shop.mycity.tokyo.jp"),
+            latest.registrable_domain("shop.mycity.tokyo.jp").value());
+}
+
+TEST(TimelineTest, EarlyWildcardsExistThenRetire) {
+  const History& h = full_history();
+  const List early = h.snapshot_at(Date::from_civil(2008, 1, 1));
+  EXPECT_TRUE(early.is_public_suffix("parliament.uk"));
+
+  const List later = h.snapshot_at(Date::from_civil(2010, 6, 1));
+  EXPECT_EQ(*later.registrable_domain("www.parliament.uk"), "parliament.uk");
+  EXPECT_TRUE(later.is_public_suffix("co.uk"));
+}
+
+TEST(TimelineTest, PermanentWildcardsSurvive) {
+  const List& latest = full_history().latest();
+  EXPECT_TRUE(latest.is_public_suffix("anything.ck"));
+  EXPECT_EQ(*latest.registrable_domain("www.ck"), "www.ck");  // the exception
+}
+
+TEST(TimelineTest, AnchorRulesAddedAtTheirDates) {
+  const History& h = full_history();
+  for (const PlatformAnchor& anchor : platform_anchors()) {
+    const auto added = h.added_date(anchor.rule_text);
+    ASSERT_TRUE(added.has_value()) << anchor.rule_text;
+    // Snapping moves a rule to the next published version; within days.
+    EXPECT_GE(*added, anchor.added) << anchor.rule_text;
+    EXPECT_LE(*added - anchor.added, 30) << anchor.rule_text;
+  }
+}
+
+TEST(TimelineTest, AnchorSemanticsUnderOldAndNewLists) {
+  const History& h = full_history();
+  const List old_list = h.snapshot_at(Date::from_civil(2018, 7, 1));
+  const List& new_list = h.latest();
+  // myshopify.com entered in 2021: a 2018 list groups all stores together.
+  EXPECT_EQ(*old_list.registrable_domain("store1.myshopify.com"), "myshopify.com");
+  EXPECT_EQ(*new_list.registrable_domain("store1.myshopify.com"), "store1.myshopify.com");
+  EXPECT_FALSE(old_list.same_site("store1.myshopify.com", "store2.myshopify.com") ==
+               new_list.same_site("store1.myshopify.com", "store2.myshopify.com"));
+}
+
+TEST(TimelineTest, DeterministicForSameSeed) {
+  const TimelineSpec spec = TimelineSpec::tiny();
+  const History a = generate_history(spec);
+  const History b = generate_history(spec);
+  ASSERT_EQ(a.version_count(), b.version_count());
+  ASSERT_EQ(a.schedule().size(), b.schedule().size());
+  for (std::size_t i = 0; i < a.schedule().size(); ++i) {
+    EXPECT_EQ(a.schedule()[i].rule, b.schedule()[i].rule);
+    EXPECT_EQ(a.schedule()[i].added, b.schedule()[i].added);
+  }
+}
+
+TEST(TimelineTest, DifferentSeedsProduceDifferentFiller) {
+  TimelineSpec s1 = TimelineSpec::tiny();
+  TimelineSpec s2 = TimelineSpec::tiny();
+  s2.seed = s1.seed + 1;
+  const History a = generate_history(s1);
+  const History b = generate_history(s2);
+  std::size_t differing = 0;
+  const std::size_t n = std::min(a.schedule().size(), b.schedule().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a.schedule()[i].rule == b.schedule()[i].rule)) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(TimelineTest, TinySpecHitsItsTargets) {
+  const TimelineSpec spec = TimelineSpec::tiny();
+  const History h = generate_history(spec);
+  EXPECT_GE(h.version_count(), spec.version_count);
+  EXPECT_EQ(h.rule_count(h.version_count() - 1), spec.final_rule_count);
+}
+
+TEST(TimelineTest, ScheduleDatesWithinVersionRange) {
+  const History& h = full_history();
+  const Date first = h.version_date(0);
+  const Date last = h.version_date(h.version_count() - 1);
+  for (const ScheduledRule& sr : h.schedule()) {
+    ASSERT_GE(sr.added, first);
+    ASSERT_LE(sr.added, last);
+    if (sr.removed) {
+      ASSERT_GT(*sr.removed, sr.added);
+      ASSERT_LE(*sr.removed, last);
+    }
+  }
+}
+
+TEST(TimelineTest, EveryScheduleDateIsAVersionDate) {
+  const History& h = full_history();
+  std::vector<Date> versions = h.version_dates();
+  for (const ScheduledRule& sr : h.schedule()) {
+    ASSERT_TRUE(std::binary_search(versions.begin(), versions.end(), sr.added));
+    if (sr.removed) {
+      ASSERT_TRUE(std::binary_search(versions.begin(), versions.end(), *sr.removed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psl::history

@@ -1,0 +1,110 @@
+#include "psl/http/crawler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "psl/history/timeline.hpp"
+
+namespace psl::http {
+namespace {
+
+const history::History& hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+const archive::Corpus& corpus() {
+  static const archive::Corpus c =
+      archive::generate_corpus(archive::CorpusSpec::tiny(), hist());
+  return c;
+}
+
+const VirtualWeb& vweb() {
+  static const VirtualWeb web(corpus(), hist().latest(), /*max_pages=*/120);
+  return web;
+}
+
+TEST(VirtualWebTest, ServesPagesAndAssets) {
+  Request request;
+  request.target = "/page/0";
+  const std::string first_page_host =
+      url::Url::parse(vweb().page_urls().front())->host().name();
+  const Response page = vweb().serve(first_page_host, request);
+  EXPECT_EQ(page.status, 200);
+  EXPECT_NE(page.body.find("<html>"), std::string::npos);
+
+  Request asset;
+  asset.target = "/asset/0";
+  const Response resource = vweb().serve(corpus().hostname(0), asset);
+  EXPECT_EQ(resource.status, 200);
+}
+
+TEST(VirtualWebTest, ErrorPaths) {
+  Request request;
+  request.target = "/page/0";
+  EXPECT_EQ(vweb().serve("no-such-host.example", request).status, 502);
+  Request missing;
+  missing.target = "/definitely/missing";
+  EXPECT_EQ(vweb().serve(corpus().hostname(0), missing).status, 404);
+}
+
+TEST(CrawlerTest, CrawlReproducesTheCorpusRequestLog) {
+  // The validation loop: corpus -> synthetic web -> HTTP crawl -> request
+  // log. The multiset of (page, resource) pairs must match the corpus's
+  // own first N page views exactly.
+  Crawler crawler(vweb(), hist().latest());
+  const auto log = crawler.crawl(vweb().page_urls());
+
+  // Expected log from the corpus directly.
+  std::map<std::pair<std::string, std::string>, int> expected, actual;
+  std::size_t pages_seen = 0;
+  for (const archive::Request& r : corpus().requests()) {
+    if (r.page_host == r.resource_host) {
+      ++pages_seen;
+      if (pages_seen > vweb().page_urls().size()) break;
+    }
+    if (pages_seen == 0) continue;
+    ++expected[{corpus().hostname(r.page_host), corpus().hostname(r.resource_host)}];
+  }
+  for (const CrawlRecord& r : log) {
+    ++actual[{r.page_host, r.resource_host}];
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(CrawlerTest, StatsAddUp) {
+  Crawler crawler(vweb(), hist().latest());
+  const auto log = crawler.crawl(vweb().page_urls());
+  const CrawlStats& stats = crawler.stats();
+  EXPECT_EQ(stats.pages_fetched, vweb().page_urls().size());
+  EXPECT_EQ(log.size(), stats.pages_fetched + stats.resources_fetched);
+  EXPECT_EQ(stats.http_errors, 0u);
+  EXPECT_GT(stats.cookies_stored, 0u);
+}
+
+TEST(CrawlerTest, StaleCrawlerAcceptsMoreCookies) {
+  // Server-side cookies are scoped under the CURRENT list; a crawler with
+  // a stale list accepts Domain=<platform suffix> cookies that the fresh
+  // crawler rejects as supercookies.
+  const List stale = hist().snapshot_at(util::Date::from_civil(2015, 1, 1));
+
+  Crawler stale_crawler(vweb(), stale);
+  stale_crawler.crawl(vweb().page_urls());
+  Crawler fresh_crawler(vweb(), hist().latest());
+  fresh_crawler.crawl(vweb().page_urls());
+
+  EXPECT_GT(stale_crawler.stats().cookies_stored, fresh_crawler.stats().cookies_stored);
+  EXPECT_LT(stale_crawler.stats().cookies_rejected,
+            fresh_crawler.stats().cookies_rejected);
+}
+
+TEST(CrawlerTest, BadSeedsAreSkipped) {
+  Crawler crawler(vweb(), hist().latest());
+  const auto log = crawler.crawl({"not a url", "https://no-such-host.example/page/0"});
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(crawler.stats().http_errors, 1u);  // the 502 from the unknown host
+}
+
+}  // namespace
+}  // namespace psl::http

@@ -1,0 +1,83 @@
+#include "psl/http/html.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::http {
+namespace {
+
+url::Url page() { return *url::Url::parse("https://www.example.com/news/today.html"); }
+
+TEST(HtmlExtractTest, FindsScriptImgLinkIframe) {
+  const auto links = extract_links(
+      R"(<html><head>
+        <script src="https://cdn.example.com/app.js"></script>
+        <link href="/style.css" rel="stylesheet">
+      </head><body>
+        <img src='logo.png'>
+        <iframe src="https://ads.tracker.com/frame"></iframe>
+      </body></html>)",
+      page());
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0].tag, "script");
+  EXPECT_EQ(links[0].url.to_string(), "https://cdn.example.com/app.js");
+  EXPECT_EQ(links[1].tag, "link");
+  EXPECT_EQ(links[1].url.to_string(), "https://www.example.com/style.css");
+  EXPECT_EQ(links[2].tag, "img");
+  EXPECT_EQ(links[2].url.to_string(), "https://www.example.com/news/logo.png");
+  EXPECT_EQ(links[3].tag, "iframe");
+  EXPECT_TRUE(links[3].is_resource);
+}
+
+TEST(HtmlExtractTest, AnchorsAreNavigationNotResources) {
+  const auto links = extract_links(R"(<a href="https://other.com/page">link</a>)", page());
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].tag, "a");
+  EXPECT_FALSE(links[0].is_resource);
+}
+
+TEST(HtmlExtractTest, QuoteStyles) {
+  const auto links = extract_links(
+      "<img src=\"a.png\"><img src='b.png'><img src=c.png>", page());
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[2].url.to_string(), "https://www.example.com/news/c.png");
+}
+
+TEST(HtmlExtractTest, AttributeOrderAndCase) {
+  const auto links = extract_links(
+      R"(<SCRIPT type="module" SRC="/x.js"></SCRIPT>)", page());
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].url.to_string(), "https://www.example.com/x.js");
+}
+
+TEST(HtmlExtractTest, IgnoresDataSrcAndComments) {
+  // data-src is not src; the commented-out img sits inside the "<!--" tag
+  // body (which runs to the first '>'), so it is skipped too.
+  const auto links = extract_links(
+      R"(<img data-src="lazy.png"><!-- <img src="commented.png"> -->)", page());
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(HtmlExtractTest, SchemeRelativeAndParentPaths) {
+  const auto links = extract_links(
+      R"(<img src="//static.example.org/i.png"><img src="../up.png">)", page());
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].url.to_string(), "https://static.example.org/i.png");
+  EXPECT_EQ(links[1].url.to_string(), "https://www.example.com/up.png");
+}
+
+TEST(HtmlExtractTest, SkipsNonHttpSchemes) {
+  const auto links = extract_links(
+      R"html(<a href="mailto:x@example.com">m</a><a href="javascript:void(0)">j</a>)html",
+      page());
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(HtmlExtractTest, EmptyAndMalformedHtml) {
+  EXPECT_TRUE(extract_links("", page()).empty());
+  EXPECT_TRUE(extract_links("plain text only", page()).empty());
+  EXPECT_TRUE(extract_links("<img src=", page()).empty());
+  EXPECT_TRUE(extract_links("<img", page()).empty());  // unterminated tag
+}
+
+}  // namespace
+}  // namespace psl::http

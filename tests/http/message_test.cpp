@@ -1,0 +1,88 @@
+#include "psl/http/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::http {
+namespace {
+
+TEST(HeadersTest, CaseInsensitiveLookup) {
+  Headers h;
+  h.add("Content-Type", "text/html");
+  h.add("SET-COOKIE", "a=1");
+  h.add("set-cookie", "b=2");
+  EXPECT_EQ(*h.get("content-type"), "text/html");
+  EXPECT_EQ(*h.get("Set-Cookie"), "a=1");  // first wins
+  EXPECT_EQ(h.get_all("Set-Cookie").size(), 2u);
+  EXPECT_FALSE(h.get("X-Missing").has_value());
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(RequestTest, SerializeParseRoundTrip) {
+  Request request;
+  request.method = "POST";
+  request.target = "/submit?a=1";
+  request.headers.add("Host", "example.com");
+  request.headers.add("Cookie", "sid=9");
+  request.body = "payload=42";
+
+  const auto back = parse_request(request.serialize());
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back->method, "POST");
+  EXPECT_EQ(back->target, "/submit?a=1");
+  EXPECT_EQ(*back->headers.get("Host"), "example.com");
+  EXPECT_EQ(back->body, "payload=42");
+  // Content-Length was auto-added.
+  EXPECT_EQ(*back->headers.get("Content-Length"), "10");
+}
+
+TEST(RequestTest, BodylessGet) {
+  Request request;
+  request.headers.add("Host", "example.com");
+  const std::string wire = request.serialize();
+  EXPECT_NE(wire.find("GET / HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  ASSERT_TRUE(parse_request(wire).ok());
+}
+
+TEST(ResponseTest, SerializeParseRoundTrip) {
+  Response response;
+  response.status = 404;
+  response.reason = "Not Found";
+  response.headers.add("Content-Type", "text/plain");
+  response.body = "nope";
+  const auto back = parse_response(response.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->status, 404);
+  EXPECT_EQ(back->reason, "Not Found");
+  EXPECT_EQ(back->body, "nope");
+}
+
+TEST(ParseTest, Rejections) {
+  EXPECT_FALSE(parse_request("").ok());
+  EXPECT_FALSE(parse_request("GET /\r\n\r\n").ok());             // no HTTP version
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\nNoColon\r\n\r\n").ok());
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\nbad name: x\r\n\r\n").ok());
+  EXPECT_FALSE(
+      parse_request("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").ok());
+  EXPECT_FALSE(
+      parse_request("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n").ok());
+  EXPECT_FALSE(parse_response("HTTP/1.1 999999 Huh\r\n\r\n").ok());
+  EXPECT_FALSE(parse_response("HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(parse_response("totally not http").ok());
+}
+
+TEST(ParseTest, BodyHonoursContentLengthExactly) {
+  const auto r =
+      parse_request("GET / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdEXTRA");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "abcd");
+}
+
+TEST(ParseTest, HeaderValueWhitespaceTrimmed) {
+  const auto r = parse_request("GET / HTTP/1.1\r\nHost:    spaced.example.com  \r\n\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->headers.get("Host"), "spaced.example.com");
+}
+
+}  // namespace
+}  // namespace psl::http

@@ -1,0 +1,71 @@
+#include "psl/iana/root_zone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::iana {
+namespace {
+
+const RootZone& zone() { return RootZone::builtin(); }
+
+TEST(RootZoneTest, GenericTlds) {
+  EXPECT_EQ(zone().categorize_tld("com"), TldCategory::kGeneric);
+  EXPECT_EQ(zone().categorize_tld("net"), TldCategory::kGeneric);
+  EXPECT_EQ(zone().categorize_tld("org"), TldCategory::kGeneric);
+  EXPECT_EQ(zone().categorize_tld("google"), TldCategory::kGeneric);
+  EXPECT_EQ(zone().categorize_tld("app"), TldCategory::kGeneric);
+}
+
+TEST(RootZoneTest, CountryCodeTlds) {
+  EXPECT_EQ(zone().categorize_tld("uk"), TldCategory::kCountryCode);
+  EXPECT_EQ(zone().categorize_tld("de"), TldCategory::kCountryCode);
+  EXPECT_EQ(zone().categorize_tld("jp"), TldCategory::kCountryCode);
+  EXPECT_EQ(zone().categorize_tld("io"), TldCategory::kCountryCode);
+}
+
+TEST(RootZoneTest, IdnCountryCodeTlds) {
+  EXPECT_EQ(zone().categorize_tld("xn--fiqs8s"), TldCategory::kCountryCode);
+  EXPECT_EQ(zone().categorize_tld("xn--p1ai"), TldCategory::kCountryCode);
+}
+
+TEST(RootZoneTest, SponsoredTlds) {
+  EXPECT_EQ(zone().categorize_tld("edu"), TldCategory::kSponsored);
+  EXPECT_EQ(zone().categorize_tld("aero"), TldCategory::kSponsored);
+  EXPECT_EQ(zone().categorize_tld("museum"), TldCategory::kSponsored);
+  EXPECT_EQ(zone().categorize_tld("gov"), TldCategory::kSponsored);
+  EXPECT_EQ(zone().categorize_tld("mil"), TldCategory::kSponsored);
+}
+
+TEST(RootZoneTest, InfrastructureTld) {
+  EXPECT_EQ(zone().categorize_tld("arpa"), TldCategory::kInfrastructure);
+}
+
+TEST(RootZoneTest, TestTlds) {
+  EXPECT_EQ(zone().categorize_tld("test"), TldCategory::kTest);
+  EXPECT_EQ(zone().categorize_tld("example"), TldCategory::kTest);
+  EXPECT_EQ(zone().categorize_tld("invalid"), TldCategory::kTest);
+  EXPECT_EQ(zone().categorize_tld("localhost"), TldCategory::kTest);
+}
+
+TEST(RootZoneTest, ToleratesLeadingDot) {
+  EXPECT_EQ(zone().categorize_tld(".com"), TldCategory::kGeneric);
+  EXPECT_EQ(zone().categorize_tld(".uk"), TldCategory::kCountryCode);
+}
+
+TEST(RootZoneTest, CategorizeSuffixUsesLastLabel) {
+  EXPECT_EQ(zone().categorize_suffix("co.uk"), TldCategory::kCountryCode);
+  EXPECT_EQ(zone().categorize_suffix("blogspot.com"), TldCategory::kGeneric);
+  EXPECT_EQ(zone().categorize_suffix("k12.ma.us"), TldCategory::kCountryCode);
+  EXPECT_EQ(zone().categorize_suffix("in-addr.arpa"), TldCategory::kInfrastructure);
+  EXPECT_EQ(zone().categorize_suffix("com"), TldCategory::kGeneric);
+}
+
+TEST(RootZoneTest, ToStringNames) {
+  EXPECT_EQ(to_string(TldCategory::kGeneric), "generic");
+  EXPECT_EQ(to_string(TldCategory::kCountryCode), "country-code");
+  EXPECT_EQ(to_string(TldCategory::kSponsored), "sponsored");
+  EXPECT_EQ(to_string(TldCategory::kInfrastructure), "infrastructure");
+  EXPECT_EQ(to_string(TldCategory::kTest), "test");
+}
+
+}  // namespace
+}  // namespace psl::iana

@@ -1,0 +1,129 @@
+#include "psl/idna/idna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace psl::idna {
+namespace {
+
+TEST(IdnaLabelTest, AsciiLabelLowercased) {
+  const auto r = label_to_ascii("ExAmPlE");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "example");
+}
+
+TEST(IdnaLabelTest, UnicodeLabelGetsAcePrefix) {
+  const auto r = label_to_ascii("b\xC3\xBC\x63her");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "xn--bcher-kva");
+}
+
+TEST(IdnaLabelTest, UppercaseUnicodeFoldsAsciiLetters) {
+  const auto upper = label_to_ascii("B\xC3\xBC\x43HER");
+  const auto lower = label_to_ascii("b\xC3\xBC\x63her");
+  ASSERT_TRUE(upper.ok());
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(*upper, *lower);
+}
+
+TEST(IdnaLabelTest, EmptyLabelRejected) {
+  EXPECT_EQ(label_to_ascii("").error().code, "idna.empty-label");
+}
+
+TEST(IdnaLabelTest, OverlongLabelRejected) {
+  const std::string long_label(64, 'a');
+  EXPECT_EQ(label_to_ascii(long_label).error().code, "idna.label-too-long");
+  const std::string max_label(63, 'a');
+  EXPECT_TRUE(label_to_ascii(max_label).ok());
+}
+
+TEST(IdnaLabelTest, InvalidUtf8Rejected) {
+  EXPECT_FALSE(label_to_ascii("\xC3").ok());
+}
+
+TEST(IdnaLabelTest, ToUnicodeDecodesAceLabels) {
+  const auto r = label_to_unicode("xn--bcher-kva");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "b\xC3\xBC\x63her");
+}
+
+TEST(IdnaLabelTest, ToUnicodePassesAsciiThrough) {
+  const auto r = label_to_unicode("Example");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "example");
+}
+
+TEST(IdnaLabelTest, RoundTripAsciiUnicode) {
+  for (const char* label : {"b\xC3\xBC\x63her", "m\xC3\xBCnchen", "\xE4\xB8\xAD\xE5\x9B\xBD"}) {
+    const auto ascii = label_to_ascii(label);
+    ASSERT_TRUE(ascii.ok());
+    const auto unicode = label_to_unicode(*ascii);
+    ASSERT_TRUE(unicode.ok());
+    EXPECT_EQ(*unicode, label);
+  }
+}
+
+TEST(IdnaHostTest, ConvertsWholeHost) {
+  const auto r = host_to_ascii("WWW.Example.COM");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "www.example.com");
+}
+
+TEST(IdnaHostTest, StripsSingleTrailingDot) {
+  const auto r = host_to_ascii("example.com.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "example.com");
+}
+
+TEST(IdnaHostTest, RejectsEmptyAndDotOnlyHosts) {
+  EXPECT_EQ(host_to_ascii("").error().code, "idna.empty-host");
+  EXPECT_EQ(host_to_ascii(".").error().code, "idna.empty-host");
+}
+
+TEST(IdnaHostTest, RejectsEmptyLabels) {
+  EXPECT_FALSE(host_to_ascii("a..b").ok());
+  EXPECT_FALSE(host_to_ascii(".leading.com").ok());
+}
+
+TEST(IdnaHostTest, MixedUnicodeHost) {
+  const auto r = host_to_ascii("www.b\xC3\xBC\x63her.de");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "www.xn--bcher-kva.de");
+}
+
+TEST(IdnaHostTest, HostToUnicode) {
+  const auto r = host_to_unicode("www.xn--bcher-kva.de");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "www.b\xC3\xBC\x63her.de");
+}
+
+TEST(IdnaHostTest, RejectsOverlongHost) {
+  // 64 labels of "abc." is 256 chars > 253.
+  std::string host;
+  for (int i = 0; i < 64; ++i) host += "abc.";
+  host.pop_back();
+  EXPECT_EQ(host_to_ascii(host).error().code, "idna.host-too-long");
+}
+
+TEST(LdhTest, AcceptsValidLabels) {
+  EXPECT_TRUE(is_ldh_label("example"));
+  EXPECT_TRUE(is_ldh_label("EXAMPLE"));
+  EXPECT_TRUE(is_ldh_label("foo-bar"));
+  EXPECT_TRUE(is_ldh_label("a1b2"));
+  EXPECT_TRUE(is_ldh_label("x"));
+  EXPECT_TRUE(is_ldh_label(std::string(63, 'z')));
+}
+
+TEST(LdhTest, RejectsInvalidLabels) {
+  EXPECT_FALSE(is_ldh_label(""));
+  EXPECT_FALSE(is_ldh_label("-leading"));
+  EXPECT_FALSE(is_ldh_label("trailing-"));
+  EXPECT_FALSE(is_ldh_label("under_score"));
+  EXPECT_FALSE(is_ldh_label("sp ace"));
+  EXPECT_FALSE(is_ldh_label("b\xC3\xBC\x63her"));
+  EXPECT_FALSE(is_ldh_label(std::string(64, 'z')));
+}
+
+}  // namespace
+}  // namespace psl::idna

@@ -1,0 +1,98 @@
+#include "psl/idna/utf8.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::idna {
+namespace {
+
+TEST(Utf8Test, DecodesAscii) {
+  const auto cps = utf8_decode("abc");
+  ASSERT_TRUE(cps.ok());
+  EXPECT_EQ(*cps, (std::vector<CodePoint>{'a', 'b', 'c'}));
+}
+
+TEST(Utf8Test, DecodesMultiByteSequences) {
+  // U+00FC (2 bytes), U+4E2D (3 bytes), U+1F600 (4 bytes).
+  const auto two = utf8_decode("\xC3\xBC");
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ((*two)[0], 0xFCu);
+
+  const auto three = utf8_decode("\xE4\xB8\xAD");
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ((*three)[0], 0x4E2Du);
+
+  const auto four = utf8_decode("\xF0\x9F\x98\x80");
+  ASSERT_TRUE(four.ok());
+  EXPECT_EQ((*four)[0], 0x1F600u);
+}
+
+TEST(Utf8Test, RejectsOverlongEncodings) {
+  // 0xC0 0xAF is an overlong encoding of '/'.
+  EXPECT_FALSE(utf8_decode("\xC0\xAF").ok());
+  // Overlong 3-byte encoding of U+0000.
+  EXPECT_FALSE(utf8_decode("\xE0\x80\x80").ok());
+  EXPECT_EQ(utf8_decode("\xC0\xAF").error().code, "utf8.overlong");
+}
+
+TEST(Utf8Test, RejectsSurrogates) {
+  // U+D800 encoded as ED A0 80.
+  const auto r = utf8_decode("\xED\xA0\x80");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "utf8.surrogate");
+}
+
+TEST(Utf8Test, RejectsAboveMaxCodePoint) {
+  // F4 90 80 80 is U+110000.
+  const auto r = utf8_decode("\xF4\x90\x80\x80");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "utf8.out-of-range");
+}
+
+TEST(Utf8Test, RejectsTruncatedSequences) {
+  EXPECT_EQ(utf8_decode("\xC3").error().code, "utf8.truncated");
+  EXPECT_EQ(utf8_decode("\xE4\xB8").error().code, "utf8.truncated");
+  EXPECT_EQ(utf8_decode("abc\xF0\x9F\x98").error().code, "utf8.truncated");
+}
+
+TEST(Utf8Test, RejectsBareContinuationAndBadLead) {
+  EXPECT_EQ(utf8_decode("\x80").error().code, "utf8.bad-lead");
+  EXPECT_EQ(utf8_decode("\xFF").error().code, "utf8.bad-lead");
+  EXPECT_EQ(utf8_decode("\xC3\x41").error().code, "utf8.bad-continuation");
+}
+
+TEST(Utf8Test, EncodeBoundaryCodePoints) {
+  // Each boundary encodes at its minimal length and round-trips.
+  const std::vector<CodePoint> boundaries{0x7F, 0x80, 0x7FF, 0x800, 0xFFFF, 0x10000, 0x10FFFF};
+  const auto encoded = utf8_encode(boundaries);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->size(), 1u + 2u + 2u + 3u + 3u + 4u + 4u);
+  const auto decoded = utf8_decode(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, boundaries);
+}
+
+TEST(Utf8Test, EncodeRejectsNonScalars) {
+  EXPECT_FALSE(utf8_encode({0xD800}).ok());
+  EXPECT_FALSE(utf8_encode({0x110000}).ok());
+}
+
+TEST(Utf8Test, RoundTripMixedString) {
+  const std::string original = "caf\xC3\xA9-\xE4\xB8\xAD\xE5\x9B\xBD-\xF0\x9F\x8C\x90";
+  const auto cps = utf8_decode(original);
+  ASSERT_TRUE(cps.ok());
+  const auto back = utf8_encode(*cps);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, original);
+}
+
+TEST(Utf8Test, ValidityHelpers) {
+  EXPECT_TRUE(utf8_valid("plain ascii"));
+  EXPECT_TRUE(utf8_valid("\xC3\xBC"));
+  EXPECT_FALSE(utf8_valid("\xC3"));
+  EXPECT_TRUE(is_ascii("abc-123"));
+  EXPECT_FALSE(is_ascii("\xC3\xBC"));
+  EXPECT_TRUE(is_ascii(""));
+}
+
+}  // namespace
+}  // namespace psl::idna

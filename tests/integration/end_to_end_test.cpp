@@ -1,0 +1,141 @@
+// Full-pipeline integration: generate every corpus, run the complete harm
+// report, and check the cross-module invariants and paper-shape claims that
+// no single module can see on its own.
+#include <gtest/gtest.h>
+
+#include "psl/core/report.hpp"
+#include "psl/history/timeline.hpp"
+#include "psl/repos/corpus.hpp"
+#include "psl/web/autofill.hpp"
+#include "psl/web/cookie_jar.hpp"
+
+namespace psl::harm {
+namespace {
+
+struct Fixture {
+  history::History history;
+  archive::Corpus corpus;
+  std::vector<repos::RepoRecord> repos;
+  HarmReport report;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    history::History h = history::generate_history(history::TimelineSpec::tiny());
+    archive::Corpus c = archive::generate_corpus(archive::CorpusSpec::tiny(), h);
+    std::vector<repos::RepoRecord> r = repos::generate_repo_corpus(repos::RepoCorpusSpec{});
+    ReportOptions options;
+    options.sweep_points = 12;
+    HarmReport report = generate_report(h, c, r, options);
+    return Fixture{std::move(h), std::move(c), std::move(r), std::move(report)};
+  }();
+  return f;
+}
+
+TEST(EndToEndTest, ReportCoversEveryPaperArtifact) {
+  const HarmReport& r = fixture().report;
+  // Fig. 2 inputs.
+  EXPECT_GT(r.last_version_rules, r.first_version_rules);
+  EXPECT_FALSE(r.component_histogram.empty());
+  // Table 1.
+  EXPECT_EQ(r.taxonomy.total, 273u);
+  // Fig. 3.
+  EXPECT_GT(r.ages.median_fixed, 0.0);
+  // Fig. 4 companion.
+  EXPECT_GT(r.stars_forks_correlation, 0.9);
+  // Figs. 5-7.
+  ASSERT_GE(r.sweep.size(), 2u);
+  EXPECT_GT(r.additional_sites_latest_vs_first, 0u);
+  // Table 2 + headline.
+  EXPECT_FALSE(r.top_impacts.empty());
+  EXPECT_GT(r.harmed_etlds, 0u);
+  EXPECT_GT(r.harmed_hostnames, 0u);
+  // Table 3 column.
+  EXPECT_EQ(r.repo_impacts.size(), 47u);
+}
+
+TEST(EndToEndTest, SweepEndpointsAnchorTheHeadline) {
+  const HarmReport& r = fixture().report;
+  EXPECT_EQ(r.sweep.back().divergent_hosts, 0u);
+  EXPECT_GT(r.sweep.front().divergent_hosts, 0u);
+  EXPECT_EQ(r.additional_sites_latest_vs_first,
+            r.sweep.back().site_count - r.sweep.front().site_count);
+}
+
+TEST(EndToEndTest, TopImpactsRespectOptionLimit) {
+  EXPECT_LE(fixture().report.top_impacts.size(), ReportOptions{}.top_etlds);
+}
+
+TEST(EndToEndTest, HarmedHostnamesIsPlausibleFractionOfCorpus) {
+  const Fixture& f = fixture();
+  EXPECT_LT(f.report.harmed_hostnames, f.corpus.unique_host_count());
+  EXPECT_GT(f.report.harmed_hostnames, f.corpus.unique_host_count() / 1000);
+}
+
+TEST(EndToEndTest, RepoImpactsAlignWithDivergenceSweep) {
+  // Every anchored repo's misclassified count must sit between the newest
+  // and oldest versions' divergence counts.
+  const Fixture& f = fixture();
+  const std::size_t max_divergence = f.report.sweep.front().divergent_hosts;
+  for (const RepoImpact& impact : f.report.repo_impacts) {
+    EXPECT_LE(impact.misclassified_hostnames, max_divergence + 10);
+  }
+}
+
+TEST(EndToEndTest, DeterministicEndToEnd) {
+  // Re-running the entire pipeline reproduces the headline numbers exactly.
+  history::History h = history::generate_history(history::TimelineSpec::tiny());
+  archive::Corpus c = archive::generate_corpus(archive::CorpusSpec::tiny(), h);
+  std::vector<repos::RepoRecord> r = repos::generate_repo_corpus(repos::RepoCorpusSpec{});
+  ReportOptions options;
+  options.sweep_points = 12;
+  const HarmReport again = generate_report(h, c, r, options);
+
+  const HarmReport& first = fixture().report;
+  EXPECT_EQ(again.harmed_etlds, first.harmed_etlds);
+  EXPECT_EQ(again.harmed_hostnames, first.harmed_hostnames);
+  EXPECT_EQ(again.additional_sites_latest_vs_first, first.additional_sites_latest_vs_first);
+  ASSERT_EQ(again.sweep.size(), first.sweep.size());
+  for (std::size_t i = 0; i < again.sweep.size(); ++i) {
+    EXPECT_EQ(again.sweep[i].site_count, first.sweep[i].site_count);
+    EXPECT_EQ(again.sweep[i].third_party_requests, first.sweep[i].third_party_requests);
+  }
+}
+
+TEST(EndToEndTest, CookieHarmMatchesSiteFormationHarm) {
+  // Cross-module consistency: for a platform suffix the old list is
+  // missing, the cookie jar accepts the supercookie exactly when the site
+  // former merges the tenants.
+  const Fixture& f = fixture();
+  const List old_list = f.history.snapshot_at(util::Date::from_civil(2018, 7, 1));
+  const List& new_list = f.history.latest();
+
+  const auto origin = url::Url::parse("https://store1.myshopify.com/");
+  ASSERT_TRUE(origin.ok());
+
+  web::CookieJar stale_jar(old_list);
+  web::CookieJar fresh_jar(new_list);
+  const auto header = "track=x; Domain=myshopify.com";
+  EXPECT_EQ(stale_jar.set_from_header(*origin, header), web::SetCookieOutcome::kStored);
+  EXPECT_EQ(fresh_jar.set_from_header(*origin, header),
+            web::SetCookieOutcome::kRejectedSupercookie);
+
+  EXPECT_TRUE(old_list.same_site("store1.myshopify.com", "store2.myshopify.com"));
+  EXPECT_FALSE(new_list.same_site("store1.myshopify.com", "store2.myshopify.com"));
+}
+
+TEST(EndToEndTest, AutofillHarmTracksRuleAdditions) {
+  const Fixture& f = fixture();
+  const List old_list = f.history.snapshot_at(util::Date::from_civil(2018, 7, 1));
+  const List& new_list = f.history.latest();
+
+  web::AutofillMatcher manager;
+  manager.store("mystore.myshopify.com", "merchant", "secret");
+  const auto leaked =
+      manager.leaked_suggestions("evilstore.myshopify.com", old_list, new_list);
+  ASSERT_EQ(leaked.size(), 1u);
+  EXPECT_EQ(leaked[0]->username, "merchant");
+}
+
+}  // namespace
+}  // namespace psl::harm

@@ -1,0 +1,112 @@
+// Seed-robustness: the paper-shape conclusions must not be artifacts of the
+// particular default seeds. Rerun the (tiny-scale) pipeline under several
+// unrelated seeds and check that every DIRECTIONAL claim survives — growth,
+// monotone divergence, strategy orderings, harm ordering by rule age.
+// Absolute values may and do move; directions may not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "psl/core/report.hpp"
+#include "psl/history/timeline.hpp"
+#include "psl/repos/corpus.hpp"
+
+namespace psl::harm {
+namespace {
+
+struct Pipeline {
+  history::History history;
+  archive::Corpus corpus;
+  std::vector<repos::RepoRecord> repos;
+  HarmReport report;
+};
+
+Pipeline run_pipeline(std::uint64_t seed) {
+  history::TimelineSpec tspec = history::TimelineSpec::tiny();
+  tspec.seed = seed;
+  history::History history = history::generate_history(tspec);
+
+  archive::CorpusSpec cspec = archive::CorpusSpec::tiny();
+  cspec.seed = seed ^ 0xC0FFEE;
+  archive::Corpus corpus = archive::generate_corpus(cspec, history);
+
+  repos::RepoCorpusSpec rspec;
+  rspec.seed = seed ^ 0xBEEF;
+  std::vector<repos::RepoRecord> repos = repos::generate_repo_corpus(rspec);
+
+  ReportOptions options;
+  options.sweep_points = 10;
+  HarmReport report = generate_report(history, corpus, repos, options);
+  return Pipeline{std::move(history), std::move(corpus), std::move(repos),
+                  std::move(report)};
+}
+
+class SeedRobustnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedRobustnessTest, DirectionalClaimsHold) {
+  const Pipeline p = run_pipeline(GetParam());
+  const HarmReport& r = p.report;
+
+  // The list grows; the corpus forms more sites under newer lists.
+  EXPECT_GT(r.last_version_rules, r.first_version_rules);
+  EXPECT_GT(r.sweep.back().site_count, r.sweep.front().site_count);
+
+  // Divergence ends at zero and starts positive.
+  EXPECT_EQ(r.sweep.back().divergent_hosts, 0u);
+  EXPECT_GT(r.sweep.front().divergent_hosts, 0u);
+
+  // Taxonomy counts are seed-independent (anchored to Table 1).
+  EXPECT_EQ(r.taxonomy.total, 273u);
+  EXPECT_EQ(r.taxonomy.fixed_production, 43u);
+
+  // The fixed median is pinned by the Table 3 anchors regardless of seed.
+  EXPECT_DOUBLE_EQ(r.ages.median_fixed, 825.0);
+
+  // Popularity proxy correlation persists.
+  EXPECT_GT(r.stars_forks_correlation, 0.9);
+
+  // Harm exists and is a minority of the corpus.
+  EXPECT_GT(r.harmed_etlds, 0u);
+  EXPECT_GT(r.harmed_hostnames, 0u);
+  EXPECT_LT(r.harmed_hostnames, p.corpus.unique_host_count());
+}
+
+TEST_P(SeedRobustnessTest, LateRulesMissedByMoreProjects) {
+  const Pipeline p = run_pipeline(GetParam());
+  const ImpactSummary impacts = compute_etld_impacts(p.history, p.corpus, p.repos);
+  const auto find = [&](std::string_view etld) -> const EtldImpact* {
+    for (const auto& i : impacts.impacts) {
+      if (i.etld == etld) return &i;
+    }
+    return nullptr;
+  };
+  const EtldImpact* early = find("sp.gov.br");               // 2017 rule
+  const EtldImpact* late = find("digitaloceanspaces.com");   // 2022 rule
+  ASSERT_NE(early, nullptr);
+  ASSERT_NE(late, nullptr);
+  EXPECT_LT(early->missing_fixed_production, late->missing_fixed_production);
+}
+
+TEST_P(SeedRobustnessTest, OlderRepoListsMisclassifyMore) {
+  const Pipeline p = run_pipeline(GetParam());
+  // Spearman-ish check: among anchored repos, the oldest third must on
+  // average misclassify more than the newest third.
+  std::vector<const RepoImpact*> sorted;
+  for (const RepoImpact& impact : p.report.repo_impacts) sorted.push_back(&impact);
+  ASSERT_GE(sorted.size(), 9u);
+  std::sort(sorted.begin(), sorted.end(), [](const RepoImpact* a, const RepoImpact* b) {
+    return *a->repo->list_age() < *b->repo->list_age();
+  });
+  const std::size_t third = sorted.size() / 3;
+  double newest = 0, oldest = 0;
+  for (std::size_t i = 0; i < third; ++i) {
+    newest += static_cast<double>(sorted[i]->misclassified_hostnames);
+    oldest += static_cast<double>(sorted[sorted.size() - 1 - i]->misclassified_hostnames);
+  }
+  EXPECT_GT(oldest, newest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustnessTest, ::testing::Values(11, 1234, 987654321));
+
+}  // namespace
+}  // namespace psl::harm

@@ -1,0 +1,100 @@
+// Cross-version property sweep: the browser-side mechanisms must get
+// strictly more protective as the list gets newer — the temporal essence of
+// the paper, stated as an invariant and checked at every sampled vintage.
+#include <gtest/gtest.h>
+
+#include "psl/history/timeline.hpp"
+#include "psl/tls/wildcard.hpp"
+#include "psl/web/cookie_jar.hpp"
+#include "psl/web/navigation.hpp"
+
+namespace psl {
+namespace {
+
+const history::History& hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec{});
+  return h;
+}
+
+/// The PRIVATE-section suffixes of the newest list — the attack surface.
+const std::vector<std::string>& platform_suffixes() {
+  static const std::vector<std::string> suffixes = [] {
+    std::vector<std::string> out;
+    for (const Rule& rule : hist().latest().rules()) {
+      if (rule.section() == Section::kPrivate && rule.kind() == RuleKind::kNormal) {
+        out.push_back(rule.to_string());
+      }
+    }
+    return out;
+  }();
+  return suffixes;
+}
+
+class VersionYearTest : public ::testing::TestWithParam<int> {};
+
+std::size_t supercookies_rejected(const List& list) {
+  web::CookieJar jar(list);
+  std::size_t rejected = 0;
+  for (const std::string& suffix : platform_suffixes()) {
+    const auto origin = url::Url::parse("https://tenant." + suffix + "/");
+    if (!origin.ok()) continue;
+    if (jar.set_from_header(*origin, "t=1; Domain=" + suffix) ==
+        web::SetCookieOutcome::kRejectedSupercookie) {
+      ++rejected;
+    }
+  }
+  return rejected;
+}
+
+TEST_P(VersionYearTest, SupercookieRejectionGrowsWithListFreshness) {
+  const int year = GetParam();
+  const List this_year = hist().snapshot_at(util::Date::from_civil(year, 7, 1));
+  const List next_year = hist().snapshot_at(util::Date::from_civil(year + 2, 7, 1));
+  EXPECT_LE(supercookies_rejected(this_year), supercookies_rejected(next_year))
+      << "between " << year << " and " << year + 2;
+}
+
+TEST_P(VersionYearTest, WildcardIssuanceRefusalGrows) {
+  const int year = GetParam();
+  const List this_year = hist().snapshot_at(util::Date::from_civil(year, 7, 1));
+  const List next_year = hist().snapshot_at(util::Date::from_civil(year + 2, 7, 1));
+  const auto refused = [&](const List& list) {
+    std::size_t n = 0;
+    for (const std::string& suffix : platform_suffixes()) {
+      n += tls::check_issuance(list, "*." + suffix) ==
+           tls::IssuanceVerdict::kRejectedPublicSuffix;
+    }
+    return n;
+  };
+  EXPECT_LE(refused(this_year), refused(next_year));
+}
+
+TEST_P(VersionYearTest, DocumentDomainRefusalGrows) {
+  const int year = GetParam();
+  const List this_year = hist().snapshot_at(util::Date::from_civil(year, 7, 1));
+  const List next_year = hist().snapshot_at(util::Date::from_civil(year + 2, 7, 1));
+  const auto refused = [&](const List& list) {
+    std::size_t n = 0;
+    for (const std::string& suffix : platform_suffixes()) {
+      n += web::check_document_domain(list, "tenant." + suffix, suffix) ==
+           web::DocumentDomainOutcome::kRejectedPublicSuffix;
+    }
+    return n;
+  };
+  EXPECT_LE(refused(this_year), refused(next_year));
+}
+
+TEST(VersionMechanismsTest, NewestListRejectsEveryPlatformSupercookie) {
+  EXPECT_EQ(supercookies_rejected(hist().latest()), platform_suffixes().size());
+}
+
+TEST(VersionMechanismsTest, EarliestListRejectsAlmostNone) {
+  const List earliest = hist().snapshot(0);
+  EXPECT_LT(supercookies_rejected(earliest), platform_suffixes().size() / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, VersionYearTest,
+                         ::testing::Values(2008, 2010, 2012, 2014, 2016, 2018, 2020));
+
+}  // namespace
+}  // namespace psl

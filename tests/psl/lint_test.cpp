@@ -1,0 +1,87 @@
+#include "psl/psl/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace psl {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+bool has_finding(const std::vector<LintFinding>& findings, LintCode code,
+                 std::string_view rule_text) {
+  return std::any_of(findings.begin(), findings.end(), [&](const LintFinding& f) {
+    return f.code == code && f.rule_text == rule_text;
+  });
+}
+
+TEST(LintTest, CleanListHasNoFindings) {
+  const List list = make_list("com\nuk\nco.uk\nck\n*.ck\n!www.ck\ngithub.io\n");
+  EXPECT_TRUE(lint(list).empty());
+}
+
+TEST(LintTest, ExceptionWithoutWildcard) {
+  const List list = make_list("uk\n!www.co.uk\n");
+  const auto findings = lint(list);
+  EXPECT_TRUE(has_finding(findings, LintCode::kExceptionWithoutWildcard, "!www.co.uk"));
+  // And it is an error, not a warning.
+  const auto it = std::find_if(findings.begin(), findings.end(), [](const LintFinding& f) {
+    return f.code == LintCode::kExceptionWithoutWildcard;
+  });
+  ASSERT_NE(it, findings.end());
+  EXPECT_EQ(it->severity, LintSeverity::kError);
+}
+
+TEST(LintTest, WildcardParentMissing) {
+  const List list = make_list("com\n*.platform.com\n");
+  EXPECT_TRUE(
+      has_finding(lint(list), LintCode::kWildcardParentMissing, "*.platform.com"));
+}
+
+TEST(LintTest, WildcardWithParentIsClean) {
+  const List list = make_list("com\nplatform.com\n*.platform.com\n");
+  EXPECT_FALSE(
+      has_finding(lint(list), LintCode::kWildcardParentMissing, "*.platform.com"));
+}
+
+TEST(LintTest, RedundantRuleUnderWildcard) {
+  const List list = make_list("ck\n*.ck\nshop.ck\n");
+  EXPECT_TRUE(has_finding(lint(list), LintCode::kRedundantRule, "shop.ck"));
+}
+
+TEST(LintTest, ExcessiveDepth) {
+  const List list = make_list("com\na.b.c.d.e.f.com\n");
+  EXPECT_TRUE(has_finding(lint(list), LintCode::kExcessiveDepth, "a.b.c.d.e.f.com"));
+}
+
+TEST(LintTest, DuplicateAcrossSections) {
+  const List list = make_list(
+      "// ===BEGIN ICANN DOMAINS===\ndupe.com\n// ===END ICANN DOMAINS===\n"
+      "// ===BEGIN PRIVATE DOMAINS===\ndupe.com\n// ===END PRIVATE DOMAINS===\n");
+  EXPECT_TRUE(has_finding(lint(list), LintCode::kDuplicateRuleText, "dupe.com"));
+}
+
+TEST(LintTest, MultipleFindingsAccumulate) {
+  const List list = make_list("uk\n!www.co.uk\n*.orphan.uk\nx.y.z.w.v.u.uk\n");
+  const auto findings = lint(list);
+  EXPECT_GE(findings.size(), 3u);
+  EXPECT_TRUE(has_finding(findings, LintCode::kExceptionWithoutWildcard, "!www.co.uk"));
+  EXPECT_TRUE(has_finding(findings, LintCode::kWildcardParentMissing, "*.orphan.uk"));
+  EXPECT_TRUE(has_finding(findings, LintCode::kExcessiveDepth, "x.y.z.w.v.u.uk"));
+}
+
+TEST(LintTest, CodeNames) {
+  EXPECT_EQ(to_string(LintCode::kExceptionWithoutWildcard), "exception-without-wildcard");
+  EXPECT_EQ(to_string(LintCode::kRedundantRule), "redundant-rule");
+  EXPECT_EQ(to_string(LintCode::kWildcardParentMissing), "wildcard-parent-missing");
+  EXPECT_EQ(to_string(LintCode::kDuplicateRuleText), "duplicate-rule-text");
+  EXPECT_EQ(to_string(LintCode::kExcessiveDepth), "excessive-depth");
+}
+
+}  // namespace
+}  // namespace psl

@@ -1,0 +1,250 @@
+#include "psl/psl/list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace psl {
+namespace {
+
+constexpr std::string_view kSampleFile = R"(// Sample list in the published format
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+gov.uk
+jp
+// comment inside a section
+*.ck
+!www.ck
+*.kawasaki.jp
+!city.kawasaki.jp
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+digitaloceanspaces.com
+// ===END PRIVATE DOMAINS===
+)";
+
+List sample() {
+  auto parsed = List::parse(kSampleFile);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().message);
+  return *std::move(parsed);
+}
+
+TEST(ListParseTest, ParsesSampleFile) {
+  const List list = sample();
+  EXPECT_EQ(list.rule_count(), 12u);
+}
+
+TEST(ListParseTest, SectionMarkersAssignSections) {
+  const List list = sample();
+  EXPECT_EQ(list.match("foo.github.io").section, Section::kPrivate);
+  EXPECT_EQ(list.match("foo.co.uk").section, Section::kIcann);
+}
+
+TEST(ListParseTest, IgnoresCommentsAndBlankLines) {
+  const auto list = List::parse("// only a comment\n\n\ncom\n");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->rule_count(), 1u);
+}
+
+TEST(ListParseTest, StopsRuleAtWhitespace) {
+  // The published format allows trailing annotations after whitespace.
+  const auto list = List::parse("com  // not part of the rule\n");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->rules()[0].to_string(), "com");
+}
+
+TEST(ListParseTest, ErrorsCarryLineNumbers) {
+  const auto list = List::parse("com\na..b\n");
+  ASSERT_FALSE(list.ok());
+  EXPECT_NE(list.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ListParseTest, DeduplicatesIdenticalRules) {
+  const auto list = List::parse("com\ncom\nco.uk\n");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->rule_count(), 2u);
+}
+
+TEST(ListParseTest, EmptyFileGivesEmptyList) {
+  const auto list = List::parse("");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->rule_count(), 0u);
+}
+
+// --- the publicsuffix.org matching algorithm --------------------------------
+
+TEST(ListMatchTest, BasicNormalRules) {
+  const List list = sample();
+  EXPECT_EQ(list.public_suffix("www.example.com"), "com");
+  EXPECT_EQ(*list.registrable_domain("www.example.com"), "example.com");
+  EXPECT_EQ(*list.registrable_domain("example.com"), "example.com");
+  EXPECT_FALSE(list.registrable_domain("com").has_value());
+}
+
+TEST(ListMatchTest, MostLabelsWins) {
+  const List list = sample();
+  // Both "uk" and "co.uk" match; co.uk has more labels.
+  EXPECT_EQ(list.public_suffix("www.amazon.co.uk"), "co.uk");
+  EXPECT_EQ(*list.registrable_domain("www.amazon.co.uk"), "amazon.co.uk");
+  // Directly under uk.
+  EXPECT_EQ(list.public_suffix("parliament.uk"), "uk");
+  EXPECT_EQ(*list.registrable_domain("www.parliament.uk"), "parliament.uk");
+}
+
+TEST(ListMatchTest, ImplicitStarRule) {
+  const List list = sample();
+  // "example" has no rule: the implicit * makes the last label the suffix.
+  EXPECT_EQ(list.public_suffix("foo.bar.example"), "example");
+  EXPECT_EQ(*list.registrable_domain("foo.bar.example"), "bar.example");
+  EXPECT_FALSE(list.match("foo.bar.example").matched_explicit_rule);
+  EXPECT_TRUE(list.match("foo.co.uk").matched_explicit_rule);
+}
+
+TEST(ListMatchTest, WildcardRules) {
+  const List list = sample();
+  // *.ck: any single label under ck is a public suffix.
+  EXPECT_EQ(list.public_suffix("foo.bar.baz.ck"), "baz.ck");
+  EXPECT_EQ(*list.registrable_domain("foo.bar.baz.ck"), "bar.baz.ck");
+  EXPECT_TRUE(list.is_public_suffix("anything.ck"));
+  // "ck" itself only matches the implicit star.
+  EXPECT_TRUE(list.is_public_suffix("ck"));
+}
+
+TEST(ListMatchTest, ExceptionRules) {
+  const List list = sample();
+  // !www.ck carves www.ck out of *.ck: www.ck is registrable.
+  EXPECT_EQ(*list.registrable_domain("www.ck"), "www.ck");
+  EXPECT_EQ(list.public_suffix("www.ck"), "ck");
+  EXPECT_EQ(*list.registrable_domain("foo.www.ck"), "www.ck");
+  EXPECT_FALSE(list.is_public_suffix("www.ck"));
+}
+
+TEST(ListMatchTest, DeepWildcardAndException) {
+  const List list = sample();
+  EXPECT_EQ(list.public_suffix("a.b.kawasaki.jp"), "b.kawasaki.jp");
+  EXPECT_EQ(*list.registrable_domain("x.a.b.kawasaki.jp"), "a.b.kawasaki.jp");
+  // The exception: city.kawasaki.jp is registrable.
+  EXPECT_EQ(*list.registrable_domain("city.kawasaki.jp"), "city.kawasaki.jp");
+  EXPECT_EQ(*list.registrable_domain("assets.city.kawasaki.jp"), "city.kawasaki.jp");
+}
+
+TEST(ListMatchTest, PrivateSectionRules) {
+  const List list = sample();
+  EXPECT_EQ(list.public_suffix("alice.github.io"), "github.io");
+  EXPECT_EQ(*list.registrable_domain("alice.github.io"), "alice.github.io");
+  EXPECT_EQ(*list.registrable_domain("bucket.digitaloceanspaces.com"),
+            "bucket.digitaloceanspaces.com");
+  // Without the private rule this would all be one "site".
+  EXPECT_TRUE(list.is_public_suffix("github.io"));
+}
+
+TEST(ListMatchTest, PrevailingRuleText) {
+  const List list = sample();
+  EXPECT_EQ(list.match("www.amazon.co.uk").prevailing_rule, "co.uk");
+  EXPECT_EQ(list.match("foo.bar.ck").prevailing_rule, "*.ck");
+  EXPECT_EQ(list.match("x.www.ck").prevailing_rule, "!www.ck");
+  EXPECT_EQ(list.match("foo.bar.example").prevailing_rule, "");
+}
+
+TEST(ListMatchTest, ToleratesTrailingDot) {
+  const List list = sample();
+  EXPECT_EQ(list.public_suffix("www.example.com."), "com");
+  EXPECT_TRUE(list.is_public_suffix("com."));
+}
+
+TEST(ListMatchTest, SingleLabelHosts) {
+  const List list = sample();
+  EXPECT_TRUE(list.is_public_suffix("com"));
+  EXPECT_TRUE(list.is_public_suffix("unknowntld"));
+  EXPECT_FALSE(list.registrable_domain("com").has_value());
+}
+
+TEST(ListSameSiteTest, GroupsByRegistrableDomain) {
+  const List list = sample();
+  EXPECT_TRUE(list.same_site("www.google.com", "maps.google.com"));
+  EXPECT_FALSE(list.same_site("google.co.uk", "yahoo.co.uk"));
+  EXPECT_FALSE(list.same_site("alice.github.io", "bob.github.io"));
+  EXPECT_TRUE(list.same_site("a.alice.github.io", "alice.github.io"));
+}
+
+TEST(ListSameSiteTest, SuffixOnlyHosts) {
+  const List list = sample();
+  // Public suffixes are only same-site with themselves.
+  EXPECT_TRUE(list.same_site("com", "com"));
+  EXPECT_FALSE(list.same_site("com", "uk"));
+  EXPECT_FALSE(list.same_site("com", "example.com"));
+  EXPECT_TRUE(list.same_site("github.io", "github.io."));
+}
+
+TEST(ListDiffTest, AddedAndRemoved) {
+  const auto old_list = List::parse("com\nco.uk\n");
+  const auto new_list = List::parse("com\nco.uk\ngithub.io\nmyshopify.com\n");
+  ASSERT_TRUE(old_list.ok());
+  ASSERT_TRUE(new_list.ok());
+  const auto [added, removed] = old_list->diff(*new_list);
+  EXPECT_EQ(added.size(), 2u);
+  EXPECT_TRUE(removed.empty());
+  const auto [added2, removed2] = new_list->diff(*old_list);
+  EXPECT_TRUE(added2.empty());
+  EXPECT_EQ(removed2.size(), 2u);
+}
+
+TEST(ListDiffTest, KindChangesAreAddPlusRemove) {
+  const auto a = List::parse("*.uk\n");
+  const auto b = List::parse("co.uk\n");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto [added, removed] = a->diff(*b);
+  EXPECT_EQ(added.size(), 1u);
+  EXPECT_EQ(removed.size(), 1u);
+}
+
+TEST(ListComponentHistogramTest, CountsMatchedLabels) {
+  const List list = sample();
+  const auto hist = list.component_histogram();
+  // 1-comp: com, uk, jp. 2-comp: co.uk, gov.uk, *.ck(2), github.io,
+  // blogspot.com, digitaloceanspaces.com, !www.ck(2). 3-comp:
+  // *.kawasaki.jp->3, !city.kawasaki.jp->3 labels.
+  EXPECT_EQ(hist.at(1), 3u);
+  EXPECT_EQ(hist.at(2), 7u);
+  EXPECT_EQ(hist.at(3), 2u);
+}
+
+TEST(ListSerializeTest, RoundTripsThroughFileFormat) {
+  const List original = sample();
+  const auto reparsed = List::parse(original.to_file());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->rule_count(), original.rule_count());
+  const auto [added, removed] = original.diff(*reparsed);
+  EXPECT_TRUE(added.empty());
+  EXPECT_TRUE(removed.empty());
+}
+
+TEST(ListMatchTest, EmptyListUsesOnlyImplicitStar) {
+  const List empty;
+  EXPECT_EQ(empty.public_suffix("www.example.com"), "com");
+  EXPECT_EQ(*empty.registrable_domain("www.example.com"), "example.com");
+  EXPECT_EQ(empty.rule_count(), 0u);
+}
+
+// Canonical cases from the publicsuffix.org test data (the subset covered
+// by the sample list's rule shapes).
+TEST(ListMatchTest, PublicSuffixOrgStyleCases) {
+  const List list = sample();
+  // Mixed case handled by callers (hosts arrive normalised); these are the
+  // structural cases.
+  EXPECT_FALSE(list.registrable_domain("com").has_value());
+  EXPECT_EQ(*list.registrable_domain("example.com"), "example.com");
+  EXPECT_EQ(*list.registrable_domain("b.example.com"), "example.com");
+  EXPECT_EQ(*list.registrable_domain("a.b.example.com"), "example.com");
+  EXPECT_FALSE(list.registrable_domain("uk").has_value());
+  EXPECT_FALSE(list.registrable_domain("co.uk").has_value());
+  EXPECT_EQ(*list.registrable_domain("intranet.gov.uk"), "intranet.gov.uk");
+}
+
+}  // namespace
+}  // namespace psl

@@ -1,0 +1,107 @@
+#include "psl/psl/rule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl {
+namespace {
+
+TEST(RuleTest, ParsesNormalRule) {
+  const auto r = Rule::parse("co.uk", Section::kIcann);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind(), RuleKind::kNormal);
+  EXPECT_EQ(r->labels(), (std::vector<std::string>{"co", "uk"}));
+  EXPECT_EQ(r->match_label_count(), 2u);
+  EXPECT_EQ(r->to_string(), "co.uk");
+}
+
+TEST(RuleTest, ParsesWildcardRule) {
+  const auto r = Rule::parse("*.ck", Section::kIcann);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind(), RuleKind::kWildcard);
+  EXPECT_EQ(r->labels(), (std::vector<std::string>{"ck"}));
+  EXPECT_EQ(r->match_label_count(), 2u);  // the '*' matches one extra label
+  EXPECT_EQ(r->to_string(), "*.ck");
+}
+
+TEST(RuleTest, ParsesExceptionRule) {
+  const auto r = Rule::parse("!www.ck", Section::kIcann);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind(), RuleKind::kException);
+  EXPECT_EQ(r->labels(), (std::vector<std::string>{"www", "ck"}));
+  EXPECT_EQ(r->to_string(), "!www.ck");
+}
+
+TEST(RuleTest, SectionIsPreserved) {
+  const auto icann = Rule::parse("com", Section::kIcann);
+  const auto priv = Rule::parse("github.io", Section::kPrivate);
+  ASSERT_TRUE(icann.ok());
+  ASSERT_TRUE(priv.ok());
+  EXPECT_EQ(icann->section(), Section::kIcann);
+  EXPECT_EQ(priv->section(), Section::kPrivate);
+}
+
+TEST(RuleTest, NormalisesCase) {
+  const auto r = Rule::parse("Co.UK", Section::kIcann);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->to_string(), "co.uk");
+}
+
+TEST(RuleTest, NormalisesIdnToALabels) {
+  const auto r = Rule::parse("\xE4\xB8\xAD\xE5\x9B\xBD", Section::kIcann);  // 中国
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->to_string(), "xn--fiqs8s");
+}
+
+TEST(RuleTest, TrimsSurroundingWhitespace) {
+  const auto r = Rule::parse("  com\t", Section::kIcann);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->to_string(), "com");
+}
+
+TEST(RuleTest, RejectsEmptyRule) {
+  EXPECT_EQ(Rule::parse("", Section::kIcann).error().code, "rule.empty");
+  EXPECT_EQ(Rule::parse("   ", Section::kIcann).error().code, "rule.empty");
+}
+
+TEST(RuleTest, RejectsBareMarkers) {
+  EXPECT_EQ(Rule::parse("!", Section::kIcann).error().code, "rule.bare-bang");
+  EXPECT_EQ(Rule::parse("*.", Section::kIcann).error().code, "rule.bare-star");
+  EXPECT_EQ(Rule::parse("*", Section::kIcann).error().code, "rule.bare-star");
+}
+
+TEST(RuleTest, RejectsMisplacedMarkers) {
+  EXPECT_EQ(Rule::parse("foo.*.bar", Section::kIcann).error().code, "rule.misplaced-marker");
+  EXPECT_EQ(Rule::parse("foo.!bar", Section::kIcann).error().code, "rule.misplaced-marker");
+  EXPECT_EQ(Rule::parse("a*.com", Section::kIcann).error().code, "rule.misplaced-marker");
+}
+
+TEST(RuleTest, RejectsEmptyLabels) {
+  EXPECT_EQ(Rule::parse("a..b", Section::kIcann).error().code, "rule.empty-label");
+  EXPECT_FALSE(Rule::parse(".com", Section::kIcann).ok());
+  EXPECT_FALSE(Rule::parse("com.", Section::kIcann).ok());
+}
+
+TEST(RuleTest, RejectsSingleLabelException) {
+  EXPECT_EQ(Rule::parse("!ck", Section::kIcann).error().code, "rule.short-exception");
+}
+
+TEST(RuleTest, EqualityIncludesKindAndSection) {
+  const auto a = Rule::parse("co.uk", Section::kIcann);
+  const auto b = Rule::parse("co.uk", Section::kIcann);
+  const auto c = Rule::parse("co.uk", Section::kPrivate);
+  const auto d = Rule::parse("*.uk", Section::kIcann);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+  EXPECT_NE(*a, *d);
+}
+
+TEST(RuleTest, DeepWildcardRule) {
+  const auto r = Rule::parse("*.compute.example.com", Section::kPrivate);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind(), RuleKind::kWildcard);
+  EXPECT_EQ(r->match_label_count(), 4u);
+}
+
+}  // namespace
+}  // namespace psl

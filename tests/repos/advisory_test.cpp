@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "psl/repos/scanner.hpp"
+
+namespace psl::repos {
+namespace {
+
+ScanFinding sample_finding() {
+  ScanFinding f;
+  f.path = "vendor/data/public_suffix_list.dat";
+  f.rule_count = 7377;
+  f.estimated_date = util::Date::from_civil(2018, 7, 21);
+  f.estimated_age_days = util::kMeasurementDate - *f.estimated_date;
+  f.classified_usage = Usage::kFixedProduction;
+  f.missing_rules = {"myshopify.com", "digitaloceanspaces.com", "netlify.app"};
+  f.missing_rule_count = 1991;
+  return f;
+}
+
+TEST(AdvisoryTest, MentionsTheEssentials) {
+  const std::string text = advisory_text(sample_finding());
+  EXPECT_NE(text.find("public_suffix_list.dat"), std::string::npos);
+  EXPECT_NE(text.find("7377 rules"), std::string::npos);
+  EXPECT_NE(text.find("2018-07-21"), std::string::npos);
+  EXPECT_NE(text.find("1991 rules"), std::string::npos);
+  EXPECT_NE(text.find("myshopify.com"), std::string::npos);
+  EXPECT_NE(text.find("https://publicsuffix.org/list/public_suffix_list.dat"),
+            std::string::npos);
+}
+
+TEST(AdvisoryTest, AgeComputedAgainstMeasurementDate) {
+  const std::string text = advisory_text(sample_finding());
+  const int expected_age =
+      util::kMeasurementDate - util::Date::from_civil(2018, 7, 21);
+  EXPECT_NE(text.find(std::to_string(expected_age) + " days old"), std::string::npos);
+}
+
+TEST(AdvisoryTest, UndatableCopyExplained) {
+  ScanFinding f = sample_finding();
+  f.estimated_date.reset();
+  f.estimated_age_days.reset();
+  const std::string text = advisory_text(f);
+  EXPECT_NE(text.find("could not be dated"), std::string::npos);
+}
+
+TEST(AdvisoryTest, TestFixtureGetsSoftWording) {
+  ScanFinding f = sample_finding();
+  f.classified_usage = Usage::kFixedTest;
+  const std::string text = advisory_text(f);
+  EXPECT_NE(text.find("test fixtures"), std::string::npos);
+}
+
+TEST(AdvisoryTest, UpdatedBuildGetsFallbackAdvice) {
+  ScanFinding f = sample_finding();
+  f.classified_usage = Usage::kUpdatedBuild;
+  const std::string text = advisory_text(f);
+  EXPECT_NE(text.find("refreshes the list at build time"), std::string::npos);
+}
+
+TEST(AdvisoryTest, CleanCopySkipsMissingSection) {
+  ScanFinding f = sample_finding();
+  f.missing_rules.clear();
+  f.missing_rule_count = 0;
+  const std::string text = advisory_text(f);
+  EXPECT_EQ(text.find("missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psl::repos

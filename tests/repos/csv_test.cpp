@@ -1,0 +1,68 @@
+#include "psl/repos/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "psl/repos/corpus.hpp"
+
+namespace psl::repos {
+namespace {
+
+TEST(RepoCsvTest, RoundTripsTheFullCorpus) {
+  const auto repos = generate_repo_corpus(RepoCorpusSpec{});
+  std::stringstream buffer;
+  write_csv(repos, buffer);
+
+  const auto back = read_csv(buffer);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  ASSERT_EQ(back->size(), repos.size());
+  for (std::size_t i = 0; i < repos.size(); ++i) {
+    EXPECT_EQ((*back)[i].name, repos[i].name);
+    EXPECT_EQ((*back)[i].usage, repos[i].usage);
+    EXPECT_EQ((*back)[i].dependency_lib, repos[i].dependency_lib);
+    EXPECT_EQ((*back)[i].stars, repos[i].stars);
+    EXPECT_EQ((*back)[i].forks, repos[i].forks);
+    EXPECT_EQ((*back)[i].list_date, repos[i].list_date);
+    EXPECT_EQ((*back)[i].library_list_date, repos[i].library_list_date);
+    EXPECT_EQ((*back)[i].last_commit, repos[i].last_commit);
+    EXPECT_EQ((*back)[i].anchored, repos[i].anchored);
+  }
+}
+
+TEST(RepoCsvTest, RejectsMalformedInput) {
+  const auto fail = [](std::string_view text) {
+    std::stringstream in{std::string(text)};
+    return !read_csv(in).ok();
+  };
+  EXPECT_TRUE(fail(""));
+  EXPECT_TRUE(fail("wrong,header\n"));
+  const std::string header =
+      "name,usage,dependency_lib,stars,forks,list_date,library_list_date,last_commit,"
+      "anchored\n";
+  EXPECT_TRUE(fail(header + "a/b,fixed-production,none,1\n"));          // too few fields
+  EXPECT_TRUE(fail(header + "a/b,bogus,none,1,1,,,2022-01-01,0\n"));    // bad usage
+  EXPECT_TRUE(fail(header + "a/b,dependency,bogus,1,1,,,2022-01-01,0\n"));
+  EXPECT_TRUE(fail(header + "a/b,fixed-test,none,x,1,,,2022-01-01,0\n"));
+  EXPECT_TRUE(fail(header + "a/b,fixed-test,none,1,1,13-37,,2022-01-01,0\n"));
+  EXPECT_TRUE(fail(header + "a/b,fixed-test,none,1,1,,,,0\n"));         // missing commit
+}
+
+TEST(RepoCsvTest, OptionalDatesSerializeAsEmpty) {
+  std::vector<RepoRecord> repos(1);
+  repos[0].name = "x/y";
+  repos[0].usage = Usage::kFixedTest;
+  repos[0].last_commit = util::Date::from_civil(2022, 12, 1);
+
+  std::stringstream buffer;
+  write_csv(repos, buffer);
+  EXPECT_NE(buffer.str().find("x/y,fixed-test,none,0,0,,,2022-12-01,0"), std::string::npos);
+
+  const auto back = read_csv(buffer);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE((*back)[0].list_date.has_value());
+  EXPECT_FALSE((*back)[0].library_list_date.has_value());
+}
+
+}  // namespace
+}  // namespace psl::repos

@@ -1,0 +1,188 @@
+#include "psl/repos/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "psl/util/stats.hpp"
+
+namespace psl::repos {
+namespace {
+
+const std::vector<RepoRecord>& corpus() {
+  static const std::vector<RepoRecord> c = generate_repo_corpus(RepoCorpusSpec{});
+  return c;
+}
+
+std::size_t count_usage(const std::vector<RepoRecord>& repos, Usage usage) {
+  return static_cast<std::size_t>(std::count_if(
+      repos.begin(), repos.end(), [&](const RepoRecord& r) { return r.usage == usage; }));
+}
+
+TEST(RepoCorpusTest, TotalMatchesPaper) {
+  EXPECT_EQ(corpus().size(), 273u);
+}
+
+TEST(RepoCorpusTest, Table1CategoryCounts) {
+  const auto& repos = corpus();
+  EXPECT_EQ(count_usage(repos, Usage::kFixedProduction), 43u);
+  EXPECT_EQ(count_usage(repos, Usage::kFixedTest), 24u);
+  EXPECT_EQ(count_usage(repos, Usage::kFixedOther), 1u);
+  EXPECT_EQ(count_usage(repos, Usage::kUpdatedBuild), 24u);
+  EXPECT_EQ(count_usage(repos, Usage::kUpdatedUser), 8u);
+  EXPECT_EQ(count_usage(repos, Usage::kUpdatedServer), 3u);
+  EXPECT_EQ(count_usage(repos, Usage::kDependency), 170u);
+}
+
+TEST(RepoCorpusTest, Table1DependencyLibBreakdown) {
+  const auto& repos = corpus();
+  auto count_lib = [&](DependencyLib lib) {
+    return std::count_if(repos.begin(), repos.end(),
+                         [&](const RepoRecord& r) { return r.dependency_lib == lib; });
+  };
+  EXPECT_EQ(count_lib(DependencyLib::kJavaJre), 113);
+  EXPECT_EQ(count_lib(DependencyLib::kShellDdnsScripts), 15);
+  EXPECT_EQ(count_lib(DependencyLib::kPythonOneforall), 12);
+  EXPECT_EQ(count_lib(DependencyLib::kPythonWhois), 10);
+  EXPECT_EQ(count_lib(DependencyLib::kRubyDomainName), 10);
+  EXPECT_EQ(count_lib(DependencyLib::kOther), 10);
+}
+
+TEST(RepoCorpusTest, AnchorsArePresentWithPaperValues) {
+  const auto& repos = corpus();
+  const auto bitwarden = std::find_if(repos.begin(), repos.end(), [](const RepoRecord& r) {
+    return r.name == "bitwarden/server";
+  });
+  ASSERT_NE(bitwarden, repos.end());
+  EXPECT_TRUE(bitwarden->anchored);
+  EXPECT_EQ(bitwarden->usage, Usage::kFixedProduction);
+  EXPECT_EQ(bitwarden->stars, 10959);
+  EXPECT_EQ(bitwarden->forks, 1087);
+  EXPECT_EQ(*bitwarden->list_age(), 1596);
+
+  const auto clickhouse = std::find_if(repos.begin(), repos.end(), [](const RepoRecord& r) {
+    return r.name == "ClickHouse/ClickHouse";
+  });
+  ASSERT_NE(clickhouse, repos.end());
+  EXPECT_EQ(clickhouse->usage, Usage::kFixedTest);
+  EXPECT_EQ(*clickhouse->list_age(), 737);
+
+  const auto autopsy = std::find_if(repos.begin(), repos.end(), [](const RepoRecord& r) {
+    return r.name == "sleuthkit/autopsy";
+  });
+  ASSERT_NE(autopsy, repos.end());
+  EXPECT_EQ(autopsy->stars, 1720);
+  EXPECT_EQ(*autopsy->list_age(), 746);
+}
+
+TEST(RepoCorpusTest, AnchorCountMatchesTable3) {
+  const auto anchors = anchor_repos();
+  EXPECT_EQ(anchors.size(), 47u);  // 33 production + 13 test + 1 other
+  EXPECT_EQ(std::count_if(anchors.begin(), anchors.end(),
+                          [](const AnchorRepo& a) { return a.usage == Usage::kFixedProduction; }),
+            33);
+}
+
+TEST(RepoCorpusTest, FixedMedianAgeMatchesPaper) {
+  // "Of the projects with a fixed copy of the list ... median list age of
+  //  825 days." The anchored Table 3 ages produce this exactly.
+  std::vector<double> fixed_ages;
+  for (const RepoRecord& r : corpus()) {
+    if (is_fixed(r.usage)) {
+      if (const auto age = r.list_age()) fixed_ages.push_back(*age);
+    }
+  }
+  EXPECT_DOUBLE_EQ(util::median(fixed_ages), 825.0);
+}
+
+TEST(RepoCorpusTest, UpdatedMedianAgeNearPaper) {
+  std::vector<double> updated_ages;
+  for (const RepoRecord& r : corpus()) {
+    if (is_updated(r.usage)) {
+      ASSERT_TRUE(r.list_date.has_value());  // all updated projects embed a fallback
+      updated_ages.push_back(*r.list_age());
+    }
+  }
+  EXPECT_EQ(updated_ages.size(), 35u);
+  // Small sample; allow generous tolerance around the paper's 915.
+  EXPECT_NEAR(util::median(updated_ages), 915.0, 200.0);
+}
+
+TEST(RepoCorpusTest, StarsForksCorrelationNearPaper) {
+  std::vector<double> stars, forks;
+  for (const RepoRecord& r : corpus()) {
+    if (!r.anchored) continue;
+    stars.push_back(r.stars);
+    forks.push_back(r.forks);
+  }
+  EXPECT_NEAR(util::pearson(stars, forks), 0.96, 0.03);
+}
+
+TEST(RepoCorpusTest, DependencyReposCarryLibraryDates) {
+  for (const RepoRecord& r : corpus()) {
+    if (r.usage == Usage::kDependency) {
+      EXPECT_FALSE(r.list_date.has_value()) << r.name;
+      EXPECT_TRUE(r.library_list_date.has_value()) << r.name;
+      EXPECT_EQ(r.effective_list_date(), r.library_list_date);
+    }
+  }
+}
+
+TEST(RepoCorpusTest, UnanchoredFixedReposHaveNoAge) {
+  for (const RepoRecord& r : corpus()) {
+    if (is_fixed(r.usage) && !r.anchored) {
+      EXPECT_FALSE(r.list_age().has_value()) << r.name;
+    }
+  }
+}
+
+TEST(RepoCorpusTest, DeterministicForSameSeed) {
+  const auto a = generate_repo_corpus(RepoCorpusSpec{});
+  const auto b = generate_repo_corpus(RepoCorpusSpec{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].stars, b[i].stars);
+    EXPECT_EQ(a[i].list_date, b[i].list_date);
+  }
+}
+
+TEST(RepoCorpusTest, IncludeAnchorsFalseGivesFullyRandomCorpus) {
+  RepoCorpusSpec spec;
+  spec.include_anchors = false;
+  const auto repos = generate_repo_corpus(spec);
+  EXPECT_EQ(repos.size(), 273u);
+  EXPECT_TRUE(std::none_of(repos.begin(), repos.end(),
+                           [](const RepoRecord& r) { return r.anchored; }));
+  EXPECT_EQ(count_usage(repos, Usage::kFixedProduction), 43u);
+}
+
+TEST(RepoCorpusTest, SmallerSpecThanAnchorSetIsHonoured) {
+  RepoCorpusSpec spec;
+  spec.fixed_production = 5;
+  spec.fixed_test = 2;
+  const auto repos = generate_repo_corpus(spec);
+  EXPECT_EQ(count_usage(repos, Usage::kFixedProduction), 5u);
+  EXPECT_EQ(count_usage(repos, Usage::kFixedTest), 2u);
+}
+
+TEST(RepoCorpusTest, ListAgeUsesMeasurementDate) {
+  RepoRecord r;
+  r.list_date = util::Date::from_civil(2022, 12, 1);
+  EXPECT_EQ(*r.list_age(util::Date::from_civil(2022, 12, 8)), 7);
+  EXPECT_EQ(*r.list_age(util::Date::from_civil(2023, 12, 1)), 365);
+}
+
+TEST(RepoUsageTest, UsageHelpersAndNames) {
+  EXPECT_TRUE(is_fixed(Usage::kFixedProduction));
+  EXPECT_TRUE(is_fixed(Usage::kFixedTest));
+  EXPECT_TRUE(is_fixed(Usage::kFixedOther));
+  EXPECT_FALSE(is_fixed(Usage::kDependency));
+  EXPECT_TRUE(is_updated(Usage::kUpdatedServer));
+  EXPECT_FALSE(is_updated(Usage::kFixedTest));
+  EXPECT_EQ(to_string(Usage::kFixedProduction), "fixed-production");
+  EXPECT_EQ(to_string(DependencyLib::kJavaJre), "java:jre");
+}
+
+}  // namespace
+}  // namespace psl::repos

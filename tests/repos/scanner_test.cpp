@@ -1,0 +1,203 @@
+#include "psl/repos/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "psl/history/timeline.hpp"
+
+namespace psl::repos {
+namespace {
+
+namespace fs = std::filesystem;
+using util::Date;
+
+const history::History& hist() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+/// RAII scratch directory under the system temp dir. Unique per process
+/// AND per instance: ctest runs each test case as its own process in
+/// parallel, so the name must include the pid.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    root_ = fs::temp_directory_path() /
+            ("psl_scanner_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~ScratchDir() { fs::remove_all(root_); }
+
+  const fs::path& root() const { return root_; }
+
+  fs::path write(const fs::path& relative, const std::string& contents) const {
+    const fs::path full = root_ / relative;
+    fs::create_directories(full.parent_path());
+    std::ofstream out(full, std::ios::binary);
+    out << contents;
+    return full;
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path root_;
+};
+
+TEST(ScannerTest, FindsEmbeddedListCopies) {
+  ScratchDir dir;
+  dir.write("app/src/public_suffix_list.dat", hist().latest().to_file());
+  dir.write("app/src/main.cpp", "int main() {}\n");
+
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].rule_count, hist().latest().rule_count());
+}
+
+TEST(ScannerTest, RecognisesLegacyFilename) {
+  ScratchDir dir;
+  dir.write("jre/lib/effective_tld_names.dat", hist().latest().to_file());
+
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ(findings->size(), 1u);
+}
+
+TEST(ScannerTest, IgnoresUnrelatedFiles) {
+  ScratchDir dir;
+  dir.write("src/suffixes.txt", hist().latest().to_file());
+  dir.write("src/readme.md", "# nothing\n");
+
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  EXPECT_TRUE(findings->empty());
+}
+
+TEST(ScannerTest, EstimatesVintageOfOldCopy) {
+  // Embed a copy from mid-history; the estimate must land at (or just
+  // after) the date of the newest rule in the copy — never later than the
+  // snapshot date itself.
+  const Date vintage = hist().version_date(hist().version_count() / 2);
+  ScratchDir dir;
+  dir.write("data/public_suffix_list.dat", hist().snapshot_at(vintage).to_file());
+
+  Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  const ScanFinding& f = (*findings)[0];
+  ASSERT_TRUE(f.estimated_date.has_value());
+  EXPECT_LE(*f.estimated_date, vintage);
+  // The synthetic history adds rules steadily, so the newest rule in the
+  // copy is close to the snapshot date.
+  EXPECT_LT(vintage - *f.estimated_date, 200);
+  ASSERT_TRUE(f.estimated_age_days.has_value());
+  EXPECT_EQ(*f.estimated_age_days, util::kMeasurementDate - *f.estimated_date);
+}
+
+TEST(ScannerTest, ReportsMissingRulesAgainstLatest) {
+  const Date vintage = hist().version_date(hist().version_count() / 3);
+  ScratchDir dir;
+  dir.write("data/public_suffix_list.dat", hist().snapshot_at(vintage).to_file());
+
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  const ScanFinding& f = (*findings)[0];
+  EXPECT_GT(f.missing_rule_count, 0u);
+  EXPECT_LE(f.missing_rules.size(), ScanOptions{}.max_missing_examples);
+  EXPECT_FALSE(f.missing_rules.empty());
+}
+
+TEST(ScannerTest, UpToDateCopyHasNothingMissing) {
+  ScratchDir dir;
+  dir.write("data/public_suffix_list.dat", hist().latest().to_file());
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ((*findings)[0].missing_rule_count, 0u);
+}
+
+TEST(ScannerTest, ClassifiesTestDirectoryCopies) {
+  ScratchDir dir;
+  dir.write("project/tests/fixtures/public_suffix_list.dat", hist().latest().to_file());
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].classified_usage, Usage::kFixedTest);
+}
+
+TEST(ScannerTest, ClassifiesUpdatedBuildViaMakefile) {
+  ScratchDir dir;
+  dir.write("proj/data/public_suffix_list.dat", hist().latest().to_file());
+  dir.write("proj/Makefile",
+            "update:\n\tcurl -o data/public_suffix_list.dat https://publicsuffix.org/list/\n");
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].classified_usage, Usage::kUpdatedBuild);
+}
+
+TEST(ScannerTest, DefaultsToFixedProduction) {
+  ScratchDir dir;
+  dir.write("proj/resources/public_suffix_list.dat", hist().latest().to_file());
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ((*findings)[0].classified_usage, Usage::kFixedProduction);
+}
+
+TEST(ScannerTest, UnparseableFileYieldsZeroRuleFinding) {
+  ScratchDir dir;
+  dir.write("x/public_suffix_list.dat", "this is not ... a list\nfoo..bar\n");
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].rule_count, 0u);
+  EXPECT_FALSE((*findings)[0].estimated_date.has_value());
+}
+
+TEST(ScannerTest, MultipleCopiesAllFound) {
+  ScratchDir dir;
+  dir.write("a/public_suffix_list.dat", hist().latest().to_file());
+  dir.write("b/tests/public_suffix_list.dat", hist().latest().to_file());
+  dir.write("c/deep/nested/tree/effective_tld_names.dat", hist().latest().to_file());
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ(findings->size(), 3u);
+}
+
+TEST(ScannerTest, ScanRejectsMissingRoot) {
+  const Scanner scanner(hist());
+  const auto findings = scanner.scan("/definitely/does/not/exist");
+  ASSERT_FALSE(findings.ok());
+  EXPECT_EQ(findings.error().code, "scan.bad-root");
+}
+
+TEST(ScannerTest, CustomMeasurementDate) {
+  ScratchDir dir;
+  dir.write("p/public_suffix_list.dat", hist().latest().to_file());
+  ScanOptions options;
+  options.measurement = hist().version_date(hist().version_count() - 1) + 100;
+  const Scanner scanner(hist(), options);
+  const auto findings = scanner.scan(dir.root());
+  ASSERT_TRUE(findings.ok());
+  ASSERT_TRUE((*findings)[0].estimated_age_days.has_value());
+  EXPECT_GE(*(*findings)[0].estimated_age_days, 100);
+}
+
+}  // namespace
+}  // namespace psl::repos

@@ -1,0 +1,106 @@
+#include "psl/tls/wildcard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::tls {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+const List& current_list() {
+  static const List list = make_list("com\nuk\nco.uk\nmyshopify.com\ngithub.io\n");
+  return list;
+}
+
+const List& stale_list() {
+  static const List list = make_list("com\nuk\nco.uk\n");
+  return list;
+}
+
+TEST(DnsNameMatchTest, ExactMatching) {
+  EXPECT_TRUE(dns_name_matches("www.example.com", "www.example.com"));
+  EXPECT_FALSE(dns_name_matches("www.example.com", "example.com"));
+  EXPECT_TRUE(dns_name_matches("example.com.", "example.com"));  // FQDN forms
+  EXPECT_FALSE(dns_name_matches("", "example.com"));
+}
+
+TEST(DnsNameMatchTest, WildcardMatchesExactlyOneLabel) {
+  EXPECT_TRUE(dns_name_matches("*.example.com", "www.example.com"));
+  EXPECT_TRUE(dns_name_matches("*.example.com", "shop.example.com"));
+  EXPECT_FALSE(dns_name_matches("*.example.com", "example.com"));
+  EXPECT_FALSE(dns_name_matches("*.example.com", "a.b.example.com"));
+}
+
+TEST(DnsNameMatchTest, Rfc6125RestrictedWildcardForms) {
+  // Only a complete left-most "*" label is a wildcard.
+  EXPECT_FALSE(dns_name_matches("f*.example.com", "foo.example.com"));
+  EXPECT_FALSE(dns_name_matches("www.*.com", "www.example.com"));
+  EXPECT_FALSE(dns_name_matches("*.*.com", "a.b.com"));
+  EXPECT_FALSE(dns_name_matches("*", "example"));
+}
+
+TEST(IssuanceTest, PlainNamesAccepted) {
+  EXPECT_EQ(check_issuance(current_list(), "www.example.com"), IssuanceVerdict::kOk);
+  EXPECT_EQ(check_issuance(current_list(), "example.co.uk"), IssuanceVerdict::kOk);
+}
+
+TEST(IssuanceTest, OrdinaryWildcardAccepted) {
+  EXPECT_EQ(check_issuance(current_list(), "*.example.com"), IssuanceVerdict::kOk);
+  EXPECT_EQ(check_issuance(current_list(), "*.shop.example.co.uk"), IssuanceVerdict::kOk);
+}
+
+TEST(IssuanceTest, PublicSuffixWildcardRejected) {
+  EXPECT_EQ(check_issuance(current_list(), "*.com"), IssuanceVerdict::kRejectedPublicSuffix);
+  EXPECT_EQ(check_issuance(current_list(), "*.co.uk"), IssuanceVerdict::kRejectedPublicSuffix);
+  EXPECT_EQ(check_issuance(current_list(), "*.myshopify.com"),
+            IssuanceVerdict::kRejectedPublicSuffix);
+  EXPECT_EQ(check_issuance(current_list(), "*.github.io"),
+            IssuanceVerdict::kRejectedPublicSuffix);
+}
+
+TEST(IssuanceTest, StaleListIssuesThePlatformWildcard) {
+  // The harm: a CA with a pre-2021 list happily signs *.myshopify.com — a
+  // certificate valid for every store on the platform.
+  EXPECT_EQ(check_issuance(stale_list(), "*.myshopify.com"), IssuanceVerdict::kOk);
+  EXPECT_EQ(check_issuance(current_list(), "*.myshopify.com"),
+            IssuanceVerdict::kRejectedPublicSuffix);
+}
+
+TEST(IssuanceTest, SyntaxRejections) {
+  EXPECT_EQ(check_issuance(current_list(), ""), IssuanceVerdict::kRejectedSyntax);
+  EXPECT_EQ(check_issuance(current_list(), "*"), IssuanceVerdict::kRejectedTld);
+  EXPECT_EQ(check_issuance(current_list(), "foo.*.com"), IssuanceVerdict::kRejectedSyntax);
+  EXPECT_EQ(check_issuance(current_list(), "f*.example.com"), IssuanceVerdict::kRejectedSyntax);
+  EXPECT_EQ(check_issuance(current_list(), "*.a..b"), IssuanceVerdict::kRejectedSyntax);
+  EXPECT_EQ(check_issuance(current_list(), "*.*"), IssuanceVerdict::kRejectedSyntax);
+}
+
+TEST(CertificateTest, SanMatching) {
+  const Certificate cert{{"www.example.com", "*.shop.example.com"}};
+  EXPECT_TRUE(cert.matches("www.example.com"));
+  EXPECT_TRUE(cert.matches("a.shop.example.com"));
+  EXPECT_FALSE(cert.matches("example.com"));
+  EXPECT_FALSE(cert.matches("a.b.shop.example.com"));
+}
+
+TEST(CoveredHostsTest, BlastRadius) {
+  const std::vector<std::string> universe{
+      "store1.myshopify.com", "store2.myshopify.com", "cdn.myshopify.com",
+      "deep.x.myshopify.com", "www.other.com"};
+  const auto covered = covered_hosts("*.myshopify.com", universe);
+  EXPECT_EQ(covered.size(), 3u);  // one-label-deep hosts only
+}
+
+TEST(VerdictNames, ToString) {
+  EXPECT_EQ(to_string(IssuanceVerdict::kOk), "ok");
+  EXPECT_EQ(to_string(IssuanceVerdict::kRejectedPublicSuffix), "rejected-public-suffix");
+  EXPECT_EQ(to_string(IssuanceVerdict::kRejectedSyntax), "rejected-syntax");
+  EXPECT_EQ(to_string(IssuanceVerdict::kRejectedTld), "rejected-tld");
+}
+
+}  // namespace
+}  // namespace psl::tls

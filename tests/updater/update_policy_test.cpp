@@ -1,0 +1,124 @@
+#include "psl/updater/update_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::updater {
+namespace {
+
+using util::Date;
+
+SimulationSpec base_spec() {
+  SimulationSpec spec;
+  spec.embed_date = Date::from_civil(2018, 7, 1);
+  spec.start = Date::from_civil(2019, 1, 1);
+  spec.end = Date::from_civil(2022, 12, 8);
+  spec.trials = 400;
+  return spec;
+}
+
+TEST(UpdateSimTest, FixedStrategyNeverUpdates) {
+  UpdatePolicy policy;
+  policy.strategy = Strategy::kFixed;
+  const SimulationResult result = simulate(policy, base_spec());
+  const double expected_age = base_spec().end - base_spec().embed_date;
+  for (double age : result.final_ages) EXPECT_DOUBLE_EQ(age, expected_age);
+  EXPECT_DOUBLE_EQ(result.stuck_on_fallback, 1.0);
+}
+
+TEST(UpdateSimTest, ReliableUserUpdatesStayFresh) {
+  UpdatePolicy policy;
+  policy.strategy = Strategy::kUser;
+  policy.restart_interval_days = 1;
+  policy.fetch_failure_rate = 0.0;
+  const SimulationResult result = simulate(policy, base_spec());
+  EXPECT_LE(result.median_final_age, 1.0);
+  EXPECT_DOUBLE_EQ(result.stuck_on_fallback, 0.0);
+}
+
+TEST(UpdateSimTest, BuildStrategyAgeBoundedByReleaseCadence) {
+  UpdatePolicy policy;
+  policy.strategy = Strategy::kBuild;
+  policy.build_interval_days = 90;
+  policy.fetch_failure_rate = 0.0;
+  const SimulationResult result = simulate(policy, base_spec());
+  EXPECT_LE(result.p90_final_age, 90.0);
+  EXPECT_GT(result.median_final_age, 1.0);  // stale between releases
+}
+
+TEST(UpdateSimTest, ServerStrategyIsMostAtRisk) {
+  // The paper: "these 1.1% of service projects are most at risk, as they
+  // rarely obtain updated versions."
+  const double failure = 0.3;
+
+  UpdatePolicy user;
+  user.strategy = Strategy::kUser;
+  user.restart_interval_days = 1;
+  user.fetch_failure_rate = failure;
+
+  UpdatePolicy server;
+  server.strategy = Strategy::kServer;
+  server.restart_interval_days = 365;
+  server.fetch_failure_rate = failure;
+
+  const SimulationResult user_result = simulate(user, base_spec());
+  const SimulationResult server_result = simulate(server, base_spec());
+  EXPECT_GT(server_result.median_final_age, user_result.median_final_age * 10);
+  EXPECT_GT(server_result.stuck_on_fallback, user_result.stuck_on_fallback);
+}
+
+TEST(UpdateSimTest, FailureRateDegradesToFallback) {
+  UpdatePolicy policy;
+  policy.strategy = Strategy::kServer;
+  policy.restart_interval_days = 400;
+  policy.fetch_failure_rate = 0.95;
+  const SimulationResult result = simulate(policy, base_spec());
+  // With ~3.6 opportunities at 95% failure, a large share of deployments
+  // never succeed and still run the 2018 fallback at the end of 2022.
+  EXPECT_GT(result.stuck_on_fallback, 0.5);
+  EXPECT_GT(result.p90_final_age, 1000.0);
+}
+
+TEST(UpdateSimTest, HigherFailureMonotonicallyWorse) {
+  SimulationSpec spec = base_spec();
+  double previous_median = -1.0;
+  for (double failure : {0.0, 0.3, 0.6, 0.9}) {
+    UpdatePolicy policy;
+    policy.strategy = Strategy::kBuild;
+    policy.build_interval_days = 60;
+    policy.fetch_failure_rate = failure;
+    const SimulationResult result = simulate(policy, spec);
+    EXPECT_GE(result.median_final_age, previous_median);
+    previous_median = result.median_final_age;
+  }
+}
+
+TEST(UpdateSimTest, DeterministicForSeed) {
+  UpdatePolicy policy;
+  policy.strategy = Strategy::kBuild;
+  policy.build_interval_days = 30;
+  policy.fetch_failure_rate = 0.5;
+  const SimulationResult a = simulate(policy, base_spec());
+  const SimulationResult b = simulate(policy, base_spec());
+  EXPECT_EQ(a.final_ages, b.final_ages);
+}
+
+TEST(UpdateSimTest, MeanAgeOverWindowPositive) {
+  UpdatePolicy policy;
+  policy.strategy = Strategy::kUser;
+  policy.restart_interval_days = 7;
+  policy.fetch_failure_rate = 0.1;
+  const SimulationResult result = simulate(policy, base_spec());
+  EXPECT_GT(result.mean_age_over_window, 0.0);
+  EXPECT_LT(result.mean_age_over_window,
+            static_cast<double>(base_spec().end - base_spec().embed_date));
+}
+
+TEST(UpdateSimTest, StrategyNames) {
+  EXPECT_EQ(to_string(Strategy::kFixed), "fixed");
+  EXPECT_EQ(to_string(Strategy::kBuild), "updated-build");
+  EXPECT_EQ(to_string(Strategy::kUser), "updated-user");
+  EXPECT_EQ(to_string(Strategy::kServer), "updated-server");
+}
+
+}  // namespace
+}  // namespace psl::updater

@@ -1,0 +1,148 @@
+#include "psl/url/host.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::url {
+namespace {
+
+TEST(HostTest, ParsesDnsName) {
+  const auto h = Host::parse("www.example.com");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->kind(), HostKind::kDnsName);
+  EXPECT_EQ(h->name(), "www.example.com");
+  EXPECT_FALSE(h->is_ip());
+}
+
+TEST(HostTest, NormalizesCaseAndTrailingDot) {
+  const auto h = Host::parse("WWW.Example.COM.");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->name(), "www.example.com");
+}
+
+TEST(HostTest, ConvertsIdnToALabels) {
+  const auto h = Host::parse("www.b\xC3\xBC\x63her.de");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->name(), "www.xn--bcher-kva.de");
+}
+
+TEST(HostTest, ParsesIpv4) {
+  const auto h = Host::parse("192.0.2.7");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->kind(), HostKind::kIpv4);
+  EXPECT_EQ(h->name(), "192.0.2.7");
+  EXPECT_TRUE(h->is_ip());
+}
+
+TEST(HostTest, RejectsMalformedIpv4Lookalikes) {
+  EXPECT_FALSE(Host::parse("300.1.2.3").ok());   // octet out of range
+  EXPECT_FALSE(Host::parse("1.2.3").ok());       // too few octets
+  EXPECT_FALSE(Host::parse("1.2.3.4.5").ok());   // too many
+  EXPECT_FALSE(Host::parse("01.2.3.4").ok());    // leading zero
+}
+
+TEST(HostTest, ParsesBracketedIpv6) {
+  const auto h = Host::parse("[2001:db8::1]");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->kind(), HostKind::kIpv6);
+  EXPECT_EQ(h->name(), "2001:db8::1");
+}
+
+TEST(HostTest, ParsesBareIpv6) {
+  const auto h = Host::parse("::1");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->name(), "::1");
+}
+
+TEST(HostTest, RejectsEmptyAndGarbage) {
+  EXPECT_FALSE(Host::parse("").ok());
+  EXPECT_FALSE(Host::parse("   ").ok());
+  EXPECT_FALSE(Host::parse("[2001:db8::1").ok());
+  EXPECT_FALSE(Host::parse("exa mple.com").ok());
+}
+
+TEST(Ipv4ParseTest, AcceptsAllBoundaryOctets) {
+  const auto r = parse_ipv4("0.255.0.255");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0);
+  EXPECT_EQ((*r)[1], 255);
+}
+
+TEST(Ipv4ParseTest, RejectsNonNumeric) {
+  EXPECT_FALSE(parse_ipv4("a.b.c.d").ok());
+  EXPECT_FALSE(parse_ipv4("1.2.3.").ok());
+}
+
+TEST(LooksLikeIpv4Test, Heuristics) {
+  EXPECT_TRUE(looks_like_ipv4("10.0.0.1"));
+  EXPECT_TRUE(looks_like_ipv4("999.999.999.999"));  // candidate, later rejected
+  EXPECT_FALSE(looks_like_ipv4("example.com"));
+  EXPECT_FALSE(looks_like_ipv4("1.2.3.com"));
+}
+
+TEST(Ipv6ParseTest, FullForm) {
+  const auto r = parse_ipv6("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0x2001);
+  EXPECT_EQ((*r)[1], 0x0db8);
+  EXPECT_EQ((*r)[7], 0x0001);
+}
+
+TEST(Ipv6ParseTest, CompressedForms) {
+  const auto loopback = parse_ipv6("::1");
+  ASSERT_TRUE(loopback.ok());
+  EXPECT_EQ((*loopback)[7], 1);
+  EXPECT_EQ((*loopback)[0], 0);
+
+  const auto all_zero = parse_ipv6("::");
+  ASSERT_TRUE(all_zero.ok());
+  for (auto g : *all_zero) EXPECT_EQ(g, 0);
+
+  const auto middle = parse_ipv6("2001:db8::8:800:200c:417a");
+  ASSERT_TRUE(middle.ok());
+  EXPECT_EQ((*middle)[0], 0x2001);
+  EXPECT_EQ((*middle)[7], 0x417a);
+}
+
+TEST(Ipv6ParseTest, EmbeddedIpv4Tail) {
+  const auto r = parse_ipv6("::ffff:192.0.2.128");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[5], 0xffff);
+  EXPECT_EQ((*r)[6], 0xc000);  // 192.0
+  EXPECT_EQ((*r)[7], 0x0280);  // 2.128
+}
+
+TEST(Ipv6ParseTest, RejectsBadForms) {
+  EXPECT_FALSE(parse_ipv6("").ok());
+  EXPECT_FALSE(parse_ipv6(":::").ok());
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7").ok());          // 7 groups, no gap
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8:9").ok());      // 9 groups
+  EXPECT_FALSE(parse_ipv6("1::2::3").ok());                // two gaps
+  EXPECT_FALSE(parse_ipv6("12345::").ok());                // 5-digit group
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8::").ok());      // gap compresses nothing
+  EXPECT_FALSE(parse_ipv6("::192.0.2.1:5").ok());          // v4 not at end
+  EXPECT_FALSE(parse_ipv6("gggg::").ok());                 // non-hex
+}
+
+TEST(Ipv6FormatTest, Rfc5952Canonicalisation) {
+  // Longest zero run compressed, leftmost on ties, lower-case, no leading zeros.
+  EXPECT_EQ(format_ipv6({0x2001, 0xdb8, 0, 0, 0, 0, 0, 1}), "2001:db8::1");
+  EXPECT_EQ(format_ipv6({0, 0, 0, 0, 0, 0, 0, 0}), "::");
+  EXPECT_EQ(format_ipv6({0, 0, 0, 0, 0, 0, 0, 1}), "::1");
+  EXPECT_EQ(format_ipv6({1, 0, 0, 0, 0, 0, 0, 0}), "1::");
+  EXPECT_EQ(format_ipv6({0x2001, 0xdb8, 1, 1, 1, 1, 1, 1}), "2001:db8:1:1:1:1:1:1");
+  // A single zero group is not compressed.
+  EXPECT_EQ(format_ipv6({0x2001, 0xdb8, 0, 1, 1, 1, 1, 1}), "2001:db8:0:1:1:1:1:1");
+  // Leftmost of two equal-length runs wins.
+  EXPECT_EQ(format_ipv6({0x2001, 0, 0, 1, 0, 0, 1, 1}), "2001::1:0:0:1:1");
+}
+
+TEST(Ipv6RoundTripTest, ParseFormatParse) {
+  for (const char* text : {"2001:db8::1", "::1", "::", "fe80::1", "1:2:3:4:5:6:7:8"}) {
+    const auto parsed = parse_ipv6(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(format_ipv6(*parsed), text);
+  }
+}
+
+}  // namespace
+}  // namespace psl::url

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "psl/url/url.hpp"
+
+namespace psl::url {
+namespace {
+
+Url base() { return *Url::parse("https://www.example.com/a/b/page.html?q=1"); }
+
+std::string res(std::string_view reference) {
+  const auto resolved = resolve(base(), reference);
+  EXPECT_TRUE(resolved.ok()) << reference;
+  return resolved.ok() ? resolved->to_string() : std::string{};
+}
+
+TEST(UrlResolveTest, AbsolutePassesThrough) {
+  EXPECT_EQ(res("http://other.org/x"), "http://other.org/x");
+}
+
+TEST(UrlResolveTest, SchemeRelativeAdoptsBaseScheme) {
+  EXPECT_EQ(res("//cdn.example.net/lib.js"), "https://cdn.example.net/lib.js");
+}
+
+TEST(UrlResolveTest, PathAbsolute) {
+  EXPECT_EQ(res("/root.css"), "https://www.example.com/root.css");
+}
+
+TEST(UrlResolveTest, RelativePathsMergeWithDirectory) {
+  EXPECT_EQ(res("img.png"), "https://www.example.com/a/b/img.png");
+  EXPECT_EQ(res("./img.png"), "https://www.example.com/a/b/img.png");
+  EXPECT_EQ(res("../up.png"), "https://www.example.com/a/up.png");
+  EXPECT_EQ(res("../../top.png"), "https://www.example.com/top.png");
+  // Cannot climb above the root.
+  EXPECT_EQ(res("../../../../deep.png"), "https://www.example.com/deep.png");
+}
+
+TEST(UrlResolveTest, QueryAndFragmentOnly) {
+  EXPECT_EQ(res("?fresh=2"), "https://www.example.com/a/b/page.html?fresh=2");
+  EXPECT_EQ(res("#sec"), "https://www.example.com/a/b/page.html?q=1#sec");
+}
+
+TEST(UrlResolveTest, EmptyReferenceIsTheBase) {
+  EXPECT_EQ(res(""), base().to_string());
+}
+
+TEST(UrlResolveTest, NonDefaultPortPreserved) {
+  const auto with_port = *Url::parse("https://host.example.com:8443/dir/");
+  const auto resolved = resolve(with_port, "x.js");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->to_string(), "https://host.example.com:8443/dir/x.js");
+}
+
+TEST(UrlResolveTest, DirectoryBaseKeepsTrailingContext) {
+  const auto dir_base = *Url::parse("https://h.com/docs/");
+  EXPECT_EQ(resolve(dir_base, "guide.html")->to_string(), "https://h.com/docs/guide.html");
+}
+
+TEST(UrlResolveTest, BadAbsoluteReferenceErrors) {
+  EXPECT_FALSE(resolve(base(), "http://bad host/").ok());
+}
+
+}  // namespace
+}  // namespace psl::url

@@ -1,0 +1,126 @@
+#include "psl/util/date.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::util {
+namespace {
+
+TEST(DateTest, EpochIsDayZero) {
+  const Date epoch = Date::from_civil(1970, 1, 1);
+  EXPECT_EQ(epoch.days_since_epoch(), 0);
+  EXPECT_EQ(epoch.year(), 1970);
+  EXPECT_EQ(epoch.month(), 1u);
+  EXPECT_EQ(epoch.day(), 1u);
+}
+
+TEST(DateTest, KnownDayNumbers) {
+  EXPECT_EQ(Date::from_civil(1970, 1, 2).days_since_epoch(), 1);
+  EXPECT_EQ(Date::from_civil(1969, 12, 31).days_since_epoch(), -1);
+  EXPECT_EQ(Date::from_civil(2000, 3, 1).days_since_epoch(), 11017);
+  // The PSL's first version date.
+  EXPECT_EQ(Date::from_civil(2007, 3, 22).days_since_epoch(), 13594);
+}
+
+TEST(DateTest, RoundTripsCivilAcrossDecades) {
+  for (int year = 1995; year <= 2035; ++year) {
+    for (unsigned month = 1; month <= 12; ++month) {
+      const Date d = Date::from_civil(year, month, 17);
+      EXPECT_EQ(d.year(), year);
+      EXPECT_EQ(d.month(), month);
+      EXPECT_EQ(d.day(), 17u);
+    }
+  }
+}
+
+TEST(DateTest, RoundTripsDayNumberExhaustively) {
+  // Every day across 2000-2030 survives days -> civil -> days.
+  const Date start = Date::from_civil(2000, 1, 1);
+  const Date end = Date::from_civil(2030, 12, 31);
+  for (Date d = start; d <= end; d += 1) {
+    EXPECT_EQ(Date::from_civil(d.year(), d.month(), d.day()), d);
+  }
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_TRUE(Date::is_valid_civil(2000, 2, 29));   // divisible by 400
+  EXPECT_FALSE(Date::is_valid_civil(1900, 2, 29));  // divisible by 100 only
+  EXPECT_TRUE(Date::is_valid_civil(2020, 2, 29));
+  EXPECT_FALSE(Date::is_valid_civil(2021, 2, 29));
+  EXPECT_EQ(Date::from_civil(2020, 2, 29) + 1, Date::from_civil(2020, 3, 1));
+  EXPECT_EQ(Date::from_civil(2021, 2, 28) + 1, Date::from_civil(2021, 3, 1));
+}
+
+TEST(DateTest, ValidityRejectsOutOfRangeFields) {
+  EXPECT_FALSE(Date::is_valid_civil(2020, 0, 1));
+  EXPECT_FALSE(Date::is_valid_civil(2020, 13, 1));
+  EXPECT_FALSE(Date::is_valid_civil(2020, 4, 31));
+  EXPECT_FALSE(Date::is_valid_civil(2020, 1, 0));
+  EXPECT_TRUE(Date::is_valid_civil(2020, 12, 31));
+}
+
+TEST(DateTest, ArithmeticAndDifference) {
+  const Date a = Date::from_civil(2022, 12, 8);  // the paper's t
+  const Date b = Date::from_civil(2018, 7, 22);
+  EXPECT_EQ(a - b, 1600);
+  EXPECT_EQ(b + 1600, a);
+  Date c = b;
+  c += 1600;
+  EXPECT_EQ(c, a);
+  c -= 1600;
+  EXPECT_EQ(c, b);
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT(Date::from_civil(2007, 3, 22), Date::from_civil(2022, 10, 20));
+  EXPECT_GT(Date::from_civil(2022, 10, 20), Date::from_civil(2022, 10, 19));
+  EXPECT_EQ(Date::from_civil(2010, 6, 1), Date::from_civil(2010, 6, 1));
+}
+
+TEST(DateTest, ToStringPadsFields) {
+  EXPECT_EQ(Date::from_civil(2007, 3, 2).to_string(), "2007-03-02");
+  EXPECT_EQ(Date::from_civil(2022, 12, 8).to_string(), "2022-12-08");
+}
+
+TEST(DateTest, ParseAcceptsCanonicalForm) {
+  const auto d = Date::parse("2019-02-28");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, Date::from_civil(2019, 2, 28));
+}
+
+TEST(DateTest, ParseRoundTripsToString) {
+  for (const char* s : {"2007-03-22", "2012-07-15", "2022-10-20", "1999-12-31"}) {
+    const auto d = Date::parse(s);
+    ASSERT_TRUE(d.has_value()) << s;
+    EXPECT_EQ(d->to_string(), s);
+  }
+}
+
+TEST(DateTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Date::parse(""));
+  EXPECT_FALSE(Date::parse("2020-1-01"));
+  EXPECT_FALSE(Date::parse("2020/01/01"));
+  EXPECT_FALSE(Date::parse("2020-01-01x"));
+  EXPECT_FALSE(Date::parse("20-01-0111"));
+  EXPECT_FALSE(Date::parse("2020-13-01"));
+  EXPECT_FALSE(Date::parse("2020-02-30"));
+  EXPECT_FALSE(Date::parse("abcd-ef-gh"));
+}
+
+TEST(DateTest, WeekdayMatchesKnownDates) {
+  EXPECT_EQ(Date::from_civil(1970, 1, 1).weekday(), 4u);   // Thursday
+  EXPECT_EQ(Date::from_civil(2022, 12, 8).weekday(), 4u);  // Thursday
+  EXPECT_EQ(Date::from_civil(2023, 10, 24).weekday(), 2u); // Tuesday (IMC '23 day 1)
+}
+
+TEST(DateTest, FractionalYearIsMonotonic) {
+  EXPECT_LT(Date::from_civil(2007, 1, 1).fractional_year(),
+            Date::from_civil(2007, 12, 31).fractional_year());
+  EXPECT_NEAR(Date::from_civil(2007, 1, 1).fractional_year(), 2007.0, 0.01);
+}
+
+TEST(DateTest, MeasurementDateConstant) {
+  EXPECT_EQ(kMeasurementDate.to_string(), "2022-12-08");
+}
+
+}  // namespace
+}  // namespace psl::util

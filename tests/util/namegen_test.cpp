@@ -1,0 +1,64 @@
+#include "psl/util/namegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace psl::util {
+namespace {
+
+TEST(NameGenTest, ProducesUniqueLabels) {
+  NameGen gen{Rng(1)};
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_TRUE(seen.insert(gen.fresh()).second) << "duplicate at " << i;
+  }
+}
+
+TEST(NameGenTest, DeterministicForSameSeed) {
+  NameGen a{Rng(7)};
+  NameGen b{Rng(7)};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.fresh(), b.fresh());
+}
+
+TEST(NameGenTest, LabelsAreValidLdh) {
+  NameGen gen{Rng(3)};
+  for (int i = 0; i < 5000; ++i) {
+    const std::string label = gen.fresh();
+    ASSERT_FALSE(label.empty());
+    EXPECT_LE(label.size(), 63u);
+    for (char c : label) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << label;
+    }
+  }
+}
+
+TEST(NameGenTest, ReserveBlocksCollisions) {
+  NameGen probe{Rng(11)};
+  const std::string first = probe.fresh();
+
+  NameGen gen{Rng(11)};
+  gen.reserve(first);
+  EXPECT_NE(gen.fresh(), first);
+}
+
+TEST(NameGenTest, ExhaustionFallsBackToNumericSuffix) {
+  // One-syllable space is small; requesting many labels forces numeric
+  // disambiguation but must stay unique.
+  NameGen gen{Rng(13)};
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 8000; ++i) {
+    EXPECT_TRUE(seen.insert(gen.fresh(1)).second);
+  }
+}
+
+TEST(NameGenTest, ProducedCounts) {
+  NameGen gen{Rng(17)};
+  EXPECT_EQ(gen.produced(), 0u);
+  gen.fresh();
+  gen.fresh();
+  EXPECT_EQ(gen.produced(), 2u);
+}
+
+}  // namespace
+}  // namespace psl::util

@@ -1,0 +1,56 @@
+#include "psl/util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace psl::util {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = make_error("x.bad", "something went wrong");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "x.bad");
+  EXPECT_EQ(r.error().message, "something went wrong");
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<std::string> good = std::string("hit");
+  Result<std::string> bad = make_error("e", "m");
+  EXPECT_EQ(good.value_or("fallback"), "hit");
+  EXPECT_EQ(bad.value_or("fallback"), "fallback");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2};
+  r->push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  const std::vector<int> moved = *std::move(r);
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(ResultTest, ErrorEquality) {
+  EXPECT_EQ(make_error("a", "b"), make_error("a", "b"));
+  EXPECT_NE(make_error("a", "b"), make_error("a", "c"));
+}
+
+}  // namespace
+}  // namespace psl::util

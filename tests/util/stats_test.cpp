@@ -1,0 +1,131 @@
+#include "psl/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psl::util {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_EQ(mean({}), 0.0);
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(StatsTest, StddevBasics) {
+  EXPECT_EQ(stddev({}), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_EQ(stddev(one), 0.0);
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);  // classic textbook example
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  const std::vector<double> odd{9, 1, 5};
+  EXPECT_DOUBLE_EQ(median(odd), 5.0);
+  const std::vector<double> even{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(StatsTest, MedianUnaffectedByOrder) {
+  const std::vector<double> a{825, 1596, 746, 2070, 31};
+  const std::vector<double> b{31, 746, 825, 1596, 2070};
+  EXPECT_DOUBLE_EQ(median(a), median(b));
+  EXPECT_DOUBLE_EQ(median(a), 825.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateInputs) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> constant{5, 5, 5};
+  EXPECT_EQ(pearson(xs, constant), 0.0);
+  const std::vector<double> short_ys{1, 2};
+  EXPECT_EQ(pearson(xs, short_ys), 0.0);  // length mismatch
+  EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(StatsTest, PearsonUncorrelatedNearZero) {
+  // A deterministic "uncorrelated" pattern.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(i);
+    ys.push_back((i * 7919) % 1000);
+  }
+  EXPECT_LT(std::abs(pearson(xs, ys)), 0.1);
+}
+
+TEST(EcdfTest, StepValues) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const Ecdf ecdf(xs);
+  EXPECT_DOUBLE_EQ(ecdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(99.0), 1.0);
+}
+
+TEST(EcdfTest, CurveIsMonotoneAndCovers) {
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back((i * 37) % 100);
+  const Ecdf ecdf(xs);
+  const auto curve = ecdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EcdfTest, EmptyInputs) {
+  const Ecdf ecdf(std::vector<double>{});
+  EXPECT_EQ(ecdf.at(1.0), 0.0);
+  EXPECT_TRUE(ecdf.curve(10).empty());
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(HistogramTest, BinBounds) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+}  // namespace
+}  // namespace psl::util

@@ -1,0 +1,87 @@
+#include "psl/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::util {
+namespace {
+
+TEST(StringsTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("WWW.Example.COM"), "www.example.com");
+  EXPECT_EQ(to_lower("already-lower_09"), "already-lower_09");
+  EXPECT_EQ(to_lower(""), "");
+  // Non-ASCII bytes pass through untouched.
+  EXPECT_EQ(to_lower("\xC3\x9C"), "\xC3\x9C");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitEdgeCases) {
+  EXPECT_EQ(split("", '.').size(), 1u);
+  EXPECT_EQ(split("nodots", '.').size(), 1u);
+  const auto leading = split(".a", '.');
+  ASSERT_EQ(leading.size(), 2u);
+  EXPECT_EQ(leading[0], "");
+  const auto trailing = split("a.", '.');
+  ASSERT_EQ(trailing.size(), 2u);
+  EXPECT_EQ(trailing[1], "");
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  const std::string host = "maps.google.co.uk";
+  EXPECT_EQ(join(split(host, '.'), "."), host);
+  EXPECT_EQ(join(std::vector<std::string>{"co", "uk"}, "."), "co.uk");
+  EXPECT_EQ(join(std::vector<std::string>{}, "."), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\ncookie\n"), "cookie");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("xn--abc", "xn--"));
+  EXPECT_FALSE(starts_with("xn", "xn--"));
+  EXPECT_TRUE(ends_with("foo.github.io", "github.io"));
+  EXPECT_FALSE(ends_with("io", "github.io"));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(StringsTest, HostMatchesDomain) {
+  EXPECT_TRUE(host_matches_domain("example.com", "example.com"));
+  EXPECT_TRUE(host_matches_domain("www.example.com", "example.com"));
+  EXPECT_TRUE(host_matches_domain("a.b.example.com", "example.com"));
+  // The classic suffix-without-dot trap: badexample.com must NOT match.
+  EXPECT_FALSE(host_matches_domain("badexample.com", "example.com"));
+  EXPECT_FALSE(host_matches_domain("example.com", "www.example.com"));
+  EXPECT_FALSE(host_matches_domain("example.com", ""));
+  EXPECT_FALSE(host_matches_domain("com", "example.com"));
+}
+
+TEST(StringsTest, LabelCount) {
+  EXPECT_EQ(label_count(""), 0u);
+  EXPECT_EQ(label_count("com"), 1u);
+  EXPECT_EQ(label_count("co.uk"), 2u);
+  EXPECT_EQ(label_count("a.b.c.d"), 4u);
+}
+
+TEST(StringsTest, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(50750), "50,750");
+  EXPECT_EQ(with_commas(359966), "359,966");
+  EXPECT_EQ(with_commas(1234567890LL), "1,234,567,890");
+  EXPECT_EQ(with_commas(-1234), "-1,234");
+}
+
+}  // namespace
+}  // namespace psl::util

@@ -1,0 +1,66 @@
+#include "psl/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psl::util {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"eTLD", "Hosts"});
+  t.add_row({"myshopify.com", "7848"});
+  t.add_row({"web.app", "871"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("eTLD"), std::string::npos);
+  EXPECT_NE(out.find("myshopify.com  7848"), std::string::npos);
+  // Narrow value padded to column width.
+  EXPECT_NE(out.find("web.app        871"), std::string::npos);
+}
+
+TEST(TextTableTest, HeaderRuleSpansColumns) {
+  TextTable t({"a", "bb"});
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  // Rule line: width(a)=1 + 2 + width(bb)=2 -> 5 dashes.
+  EXPECT_NE(os.str().find("-----\n"), std::string::npos);
+}
+
+TEST(TextTableTest, RowAndColumnCounts) {
+  TextTable t({"x", "y", "z"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quo\"te", "line\nbreak"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name,note\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"quo\"\"te\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.249, 1), "24.9%");
+  EXPECT_EQ(fmt_percent(0.128, 1), "12.8%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace psl::util

@@ -1,0 +1,70 @@
+#include "psl/util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace psl::util {
+namespace {
+
+TEST(ZipfTest, SingleElementAlwaysRankZero) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler z(1000, 0.9);
+  double total = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) total += z.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityDecreasesWithRank) {
+  ZipfSampler z(100, 1.1);
+  for (std::size_t k = 1; k < z.size(); ++k) {
+    EXPECT_GT(z.probability(k - 1), z.probability(k));
+  }
+}
+
+TEST(ZipfTest, ProbabilityRatioMatchesExponent) {
+  const double s = 1.3;
+  ZipfSampler z(50, s);
+  // P(1)/P(2) should be 2^s.
+  EXPECT_NEAR(z.probability(0) / z.probability(1), std::pow(2.0, s), 1e-9);
+  EXPECT_NEAR(z.probability(1) / z.probability(3), std::pow(2.0, s), 1e-9);
+}
+
+TEST(ZipfTest, OutOfRangeRankHasZeroProbability) {
+  ZipfSampler z(10, 1.0);
+  EXPECT_EQ(z.probability(10), 0.0);
+  EXPECT_EQ(z.probability(1000), 0.0);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackTheory) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(20, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 20; ++k) {
+    const double expected = z.probability(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 10.0) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfSampler z(37, 0.7);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 37u);
+}
+
+TEST(ZipfTest, HigherExponentConcentratesMass) {
+  ZipfSampler flat(100, 0.5);
+  ZipfSampler steep(100, 2.0);
+  EXPECT_LT(flat.probability(0), steep.probability(0));
+}
+
+}  // namespace
+}  // namespace psl::util

@@ -1,0 +1,90 @@
+#include "psl/web/autofill.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::web {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+// Figure 1 / Section 2's password-manager scenario: PSL v1 without
+// example.co.uk, PSL v2 with it.
+const List& v1() {
+  static const List list = make_list("com\nuk\nco.uk\n");
+  return list;
+}
+
+const List& v2() {
+  static const List list = make_list("com\nuk\nco.uk\nexample.co.uk\n");
+  return list;
+}
+
+TEST(AutofillTest, StoreAndCount) {
+  AutofillMatcher m;
+  EXPECT_EQ(m.size(), 0u);
+  m.store("good.example.co.uk", "alice", "hunter2");
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.credentials()[0].username, "alice");
+}
+
+TEST(AutofillTest, SuggestsOnSavedHost) {
+  AutofillMatcher m;
+  m.store("good.example.co.uk", "alice", "hunter2");
+  EXPECT_EQ(m.suggestions("good.example.co.uk", v2()).size(), 1u);
+  EXPECT_EQ(m.suggestions("good.example.co.uk", v1()).size(), 1u);
+}
+
+TEST(AutofillTest, SuggestsAcrossGenuineSubdomains) {
+  AutofillMatcher m;
+  m.store("www.bank.com", "alice", "pw");
+  // login.bank.com is genuinely the same site under either list.
+  EXPECT_EQ(m.suggestions("login.bank.com", v2()).size(), 1u);
+}
+
+TEST(AutofillTest, PaperScenarioStaleListLeaksAcrossOrganizations) {
+  // "if the password manager is using PSL v1, then they will also be
+  //  prompted to autofill their credentials on bad.example.co.uk."
+  AutofillMatcher m;
+  m.store("good.example.co.uk", "alice", "hunter2");
+
+  // Under the stale v1, good. and bad. look like one site.
+  EXPECT_EQ(m.suggestions("bad.example.co.uk", v1()).size(), 1u);
+  // Under the fixed v2, they are separate registrations: no suggestion.
+  EXPECT_TRUE(m.suggestions("bad.example.co.uk", v2()).empty());
+}
+
+TEST(AutofillTest, LeakedSuggestionsIsExactlyTheDelta) {
+  AutofillMatcher m;
+  m.store("good.example.co.uk", "alice", "hunter2");
+  m.store("www.other.com", "bob", "pw2");
+
+  const auto leaked = m.leaked_suggestions("bad.example.co.uk", v1(), v2());
+  ASSERT_EQ(leaked.size(), 1u);
+  EXPECT_EQ(leaked[0]->username, "alice");
+
+  // On the credential's own host nothing is "leaked": both lists agree.
+  EXPECT_TRUE(m.leaked_suggestions("good.example.co.uk", v1(), v2()).empty());
+  // Unrelated hosts leak nothing either.
+  EXPECT_TRUE(m.leaked_suggestions("www.unrelated.com", v1(), v2()).empty());
+}
+
+TEST(AutofillTest, NoSuggestionsAcrossDifferentSites) {
+  AutofillMatcher m;
+  m.store("www.google.com", "alice", "pw");
+  EXPECT_TRUE(m.suggestions("www.yahoo.com", v2()).empty());
+  EXPECT_TRUE(m.suggestions("google.co.uk", v2()).empty());
+}
+
+TEST(AutofillTest, MultipleCredentialsSameSite) {
+  AutofillMatcher m;
+  m.store("a.shop.com", "user1", "p1");
+  m.store("b.shop.com", "user2", "p2");
+  EXPECT_EQ(m.suggestions("c.shop.com", v2()).size(), 2u);
+}
+
+}  // namespace
+}  // namespace psl::web

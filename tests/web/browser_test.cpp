@@ -1,0 +1,130 @@
+#include "psl/web/browser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::web {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+url::Url make_url(std::string_view text) {
+  auto u = url::Url::parse(text);
+  EXPECT_TRUE(u.ok()) << text;
+  return *std::move(u);
+}
+
+const List& current_list() {
+  static const List list = make_list("com\nmyshopify.com\n");
+  return list;
+}
+
+const List& stale_list() {
+  static const List list = make_list("com\n");
+  return list;
+}
+
+TEST(BrowserTest, FirstPartyFetchKeepsFullContext) {
+  Browser browser(current_list());
+  browser.cookies().set_from_header(make_url("https://shop.example.com/"), "sid=1");
+
+  const auto visit = browser.visit(
+      make_url("https://shop.example.com/cart?item=42"),
+      {ResourceFetch{make_url("https://cdn.example.com/app.js"), {}}});
+  ASSERT_EQ(visit.fetches.size(), 1u);
+  EXPECT_FALSE(visit.fetches[0].cross_site);
+  EXPECT_EQ(visit.fetches[0].referrer_sent, "https://shop.example.com/cart?item=42");
+}
+
+TEST(BrowserTest, CrossSiteFetchGetsOriginOnly) {
+  Browser browser(current_list());
+  const auto visit = browser.visit(
+      make_url("https://shop.example.com/cart?item=42"),
+      {ResourceFetch{make_url("https://tracker.com/pixel.gif"), {}}});
+  EXPECT_TRUE(visit.fetches[0].cross_site);
+  EXPECT_EQ(visit.fetches[0].referrer_sent, "https://shop.example.com");
+}
+
+TEST(BrowserTest, SetCookieOutcomesCounted) {
+  Browser browser(current_list());
+  const auto visit = browser.visit(
+      make_url("https://a.example.com/"),
+      {ResourceFetch{make_url("https://t.tracker.com/x"),
+                     {"tid=7", "super=1; Domain=com", "ok=2; Domain=tracker.com"}}});
+  EXPECT_EQ(visit.fetches[0].cookies_stored, 2u);
+  EXPECT_EQ(visit.fetches[0].cookies_rejected, 1u);  // the Domain=com supercookie
+  EXPECT_EQ(browser.cookies().size(), 2u);
+}
+
+TEST(BrowserTest, TrackerCookieFollowsAcrossSites) {
+  Browser browser(current_list());
+  const ResourceFetch tracker_set{make_url("https://t.tracker.com/x"),
+                                  {"tid=7; Domain=tracker.com"}};
+  browser.visit(make_url("https://site-one.com/"), {tracker_set});
+
+  const ResourceFetch tracker_read{make_url("https://t.tracker.com/x"), {}};
+  const auto second = browser.visit(make_url("https://site-two.com/"), {tracker_read});
+  // The tracker's own cookie rides along — classic third-party tracking.
+  EXPECT_EQ(second.fetches[0].cookies_attached, 1u);
+  EXPECT_TRUE(second.fetches[0].cross_site);
+  EXPECT_GE(browser.cross_site_cookie_sends(), 1u);
+}
+
+TEST(BrowserTest, StaleListLeaksMoreThanCurrentOnIdenticalTraffic) {
+  // The paper's harm, end to end: replay the SAME traffic through both
+  // browsers and compare the counters.
+  const auto replay = [](Browser& browser) {
+    // A tenant page fetches from a sibling tenant (attacker-embedded).
+    browser.cookies().set_from_header(
+        make_url("https://victim.myshopify.com/"),
+        "session=secret; Domain=myshopify.com");  // platform-wide cookie attempt
+    browser.visit(
+        make_url("https://victim.myshopify.com/orders?id=9"),
+        {ResourceFetch{make_url("https://attacker.myshopify.com/collect.js"), {}}});
+  };
+
+  Browser stale(stale_list());
+  Browser current(current_list());
+  replay(stale);
+  replay(current);
+
+  // The stale browser stored the platform-wide cookie; current rejected it.
+  EXPECT_EQ(stale.cookies().size(), 1u);
+  EXPECT_EQ(current.cookies().size(), 0u);
+
+  // Stale: "same site" -> cookie attached to the attacker's fetch AND the
+  // full URL (with the order id) sent as the Referer.
+  EXPECT_EQ(stale.full_url_referrers(), 1u);
+  EXPECT_EQ(current.full_url_referrers(), 0u);
+  EXPECT_EQ(stale.cross_site_cookie_sends(), 0u);  // it believed it first-party
+  EXPECT_EQ(current.cross_site_cookie_sends(), 0u);
+}
+
+TEST(BrowserTest, StoragePartitioningFollowsTheList) {
+  Browser stale(stale_list());
+  stale.storage().set_item("alice.myshopify.com", "k", "v");
+  EXPECT_TRUE(stale.storage().get_item("bob.myshopify.com", "k").has_value());
+
+  Browser current(current_list());
+  current.storage().set_item("alice.myshopify.com", "k", "v");
+  EXPECT_FALSE(current.storage().get_item("bob.myshopify.com", "k").has_value());
+}
+
+TEST(BrowserTest, VisitAggregates) {
+  Browser browser(current_list());
+  const auto visit = browser.visit(
+      make_url("https://page.com/"),
+      {ResourceFetch{make_url("https://a.com/"), {}},
+       ResourceFetch{make_url("https://b.com/"), {"x=1"}},
+       ResourceFetch{make_url("https://cdn.page.com/"), {}}});
+  EXPECT_EQ(visit.page_host, "page.com");
+  ASSERT_EQ(visit.fetches.size(), 3u);
+  EXPECT_EQ(visit.total_cookies_attached_cross_site(), 0u);
+  EXPECT_FALSE(visit.fetches[2].cross_site);
+}
+
+}  // namespace
+}  // namespace psl::web

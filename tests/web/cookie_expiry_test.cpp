@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "psl/web/cookie_jar.hpp"
+
+namespace psl::web {
+namespace {
+
+List make_list() {
+  auto parsed = List::parse("com\n");
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+url::Url origin() { return *url::Url::parse("https://example.com/"); }
+
+TEST(CookieExpiryTest, SessionCookieNeverExpires) {
+  const List list = make_list();
+  CookieJar jar(list);
+  jar.set_from_header(origin(), "sid=1", /*now=*/0);
+  EXPECT_EQ(jar.cookies_for(origin(), true, /*now=*/1'000'000'000).size(), 1u);
+  EXPECT_EQ(jar.purge_expired(1'000'000'000), 0u);
+}
+
+TEST(CookieExpiryTest, MaxAgeSetsAbsoluteExpiry) {
+  const List list = make_list();
+  CookieJar jar(list);
+  jar.set_from_header(origin(), "sid=1; Max-Age=3600", /*now=*/1000);
+  ASSERT_EQ(jar.size(), 1u);
+  EXPECT_EQ(*jar.cookies()[0].expires_at, 4600);
+  EXPECT_EQ(jar.cookies_for(origin(), true, 4599).size(), 1u);
+  EXPECT_TRUE(jar.cookies_for(origin(), true, 4600).empty());
+}
+
+TEST(CookieExpiryTest, ZeroOrNegativeMaxAgeDeletes) {
+  const List list = make_list();
+  CookieJar jar(list);
+  jar.set_from_header(origin(), "sid=1; Max-Age=3600", 0);
+  ASSERT_EQ(jar.size(), 1u);
+  // The standard deletion idiom.
+  EXPECT_EQ(jar.set_from_header(origin(), "sid=; Max-Age=0", 10),
+            SetCookieOutcome::kStored);
+  EXPECT_EQ(jar.size(), 0u);
+  // Deleting a cookie that does not exist is a no-op, not an error.
+  EXPECT_EQ(jar.set_from_header(origin(), "ghost=; Max-Age=-5", 10),
+            SetCookieOutcome::kStored);
+  EXPECT_EQ(jar.size(), 0u);
+}
+
+TEST(CookieExpiryTest, PurgeRemovesOnlyExpired) {
+  const List list = make_list();
+  CookieJar jar(list);
+  jar.set_from_header(origin(), "short=1; Max-Age=10", 0);
+  jar.set_from_header(origin(), "long=1; Max-Age=1000", 0);
+  jar.set_from_header(origin(), "session=1", 0);
+  EXPECT_EQ(jar.size(), 3u);
+  EXPECT_EQ(jar.purge_expired(500), 1u);
+  EXPECT_EQ(jar.size(), 2u);
+}
+
+TEST(CookieExpiryTest, RefreshExtendsLifetime) {
+  const List list = make_list();
+  CookieJar jar(list);
+  jar.set_from_header(origin(), "sid=1; Max-Age=100", 0);
+  jar.set_from_header(origin(), "sid=1; Max-Age=100", 90);  // refreshed
+  EXPECT_EQ(jar.size(), 1u);
+  EXPECT_EQ(jar.cookies_for(origin(), true, 150).size(), 1u);  // alive past 100
+  EXPECT_TRUE(jar.cookies_for(origin(), true, 190).empty());
+}
+
+}  // namespace
+}  // namespace psl::web

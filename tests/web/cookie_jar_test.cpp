@@ -1,0 +1,186 @@
+#include "psl/web/cookie_jar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace psl::web {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+url::Url make_url(std::string_view text) {
+  auto u = url::Url::parse(text);
+  EXPECT_TRUE(u.ok()) << text;
+  return *std::move(u);
+}
+
+// A "new" list that knows example.co.uk-style suffixes and a stale one that
+// does not — Figure 1's scenario.
+const List& new_list() {
+  static const List list = make_list("com\nuk\nco.uk\nexample.co.uk\ngithub.io\n");
+  return list;
+}
+
+const List& stale_list() {
+  static const List list = make_list("com\nuk\nco.uk\n");
+  return list;
+}
+
+TEST(CookieJarTest, StoresHostOnlyCookie) {
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://good.example.co.uk/"), "sid=1"),
+            SetCookieOutcome::kStored);
+  EXPECT_EQ(jar.size(), 1u);
+  EXPECT_EQ(jar.cookies()[0].domain, "good.example.co.uk");
+  EXPECT_TRUE(jar.cookies()[0].host_only);
+}
+
+TEST(CookieJarTest, HostOnlyCookieDoesNotLeakToSiblings) {
+  CookieJar jar(new_list());
+  jar.set_from_header(make_url("https://good.example.co.uk/"), "sid=1");
+  EXPECT_TRUE(jar.cookies_for(make_url("https://good.example.co.uk/")).size() == 1);
+  EXPECT_TRUE(jar.cookies_for(make_url("https://bad.example.co.uk/")).empty());
+  EXPECT_TRUE(jar.cookies_for(make_url("https://sub.good.example.co.uk/")).empty());
+}
+
+TEST(CookieJarTest, DomainCookieSharedAcrossSubdomains) {
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://shop.example.com/"),
+                                "cart=5; Domain=example.com"),
+            SetCookieOutcome::kStored);
+  EXPECT_EQ(jar.cookies_for(make_url("https://www.example.com/")).size(), 1u);
+  EXPECT_EQ(jar.cookies_for(make_url("https://example.com/")).size(), 1u);
+  EXPECT_TRUE(jar.cookies_for(make_url("https://other.com/")).empty());
+}
+
+TEST(CookieJarTest, RejectsForeignDomain) {
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://a.example.com/"),
+                                "x=1; Domain=other.com"),
+            SetCookieOutcome::kRejectedForeign);
+  // Sibling is also foreign: Domain must cover the setting host.
+  EXPECT_EQ(jar.set_from_header(make_url("https://a.example.com/"),
+                                "x=1; Domain=b.example.com"),
+            SetCookieOutcome::kRejectedForeign);
+  EXPECT_EQ(jar.size(), 0u);
+}
+
+// --- the PSL supercookie check: the paper's central mechanism ---------------
+
+TEST(CookieJarTest, RejectsSupercookieOnKnownSuffix) {
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://good.example.co.uk/"),
+                                "track=all; Domain=example.co.uk"),
+            SetCookieOutcome::kRejectedSupercookie);
+  EXPECT_EQ(jar.set_from_header(make_url("https://www.amazon.co.uk/"),
+                                "track=all; Domain=co.uk"),
+            SetCookieOutcome::kRejectedSupercookie);
+  EXPECT_EQ(jar.set_from_header(make_url("https://alice.github.io/"),
+                                "track=all; Domain=github.io"),
+            SetCookieOutcome::kRejectedSupercookie);
+}
+
+TEST(CookieJarTest, StaleListAdmitsTheSupercookie) {
+  // Same header, same origin — but the jar uses the stale list, which does
+  // not know example.co.uk is a public suffix. The supercookie is stored
+  // and becomes readable by the attacker's sibling domain.
+  CookieJar jar(stale_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://good.example.co.uk/"),
+                                "track=all; Domain=example.co.uk"),
+            SetCookieOutcome::kStored);
+  EXPECT_EQ(jar.cookies_for(make_url("https://bad.example.co.uk/")).size(), 1u);
+}
+
+TEST(CookieJarTest, SuffixHostItselfDegradesToHostOnly) {
+  // RFC 6265: a Domain attribute equal to a public-suffix host is allowed
+  // for the suffix host itself, degraded to host-only.
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://github.io/"), "x=1; Domain=github.io"),
+            SetCookieOutcome::kStored);
+  ASSERT_EQ(jar.size(), 1u);
+  EXPECT_TRUE(jar.cookies()[0].host_only);
+  EXPECT_TRUE(jar.cookies_for(make_url("https://alice.github.io/")).empty());
+}
+
+TEST(CookieJarTest, SecureCookieRequiresSecureOrigin) {
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("http://example.com/"), "s=1; Secure"),
+            SetCookieOutcome::kRejectedSecure);
+  EXPECT_EQ(jar.set_from_header(make_url("https://example.com/"), "s=1; Secure"),
+            SetCookieOutcome::kStored);
+  // Secure cookies are not sent to insecure targets.
+  EXPECT_TRUE(jar.cookies_for(make_url("http://example.com/")).empty());
+  EXPECT_EQ(jar.cookies_for(make_url("https://example.com/")).size(), 1u);
+}
+
+TEST(CookieJarTest, HttpOnlyHiddenFromScriptAccess) {
+  CookieJar jar(new_list());
+  jar.set_from_header(make_url("https://example.com/"), "h=1; HttpOnly");
+  EXPECT_EQ(jar.cookies_for(make_url("https://example.com/"), /*http_api=*/true).size(), 1u);
+  EXPECT_TRUE(jar.cookies_for(make_url("https://example.com/"), /*http_api=*/false).empty());
+}
+
+TEST(CookieJarTest, PathScoping) {
+  CookieJar jar(new_list());
+  jar.set_from_header(make_url("https://example.com/app/login"), "p=1; Path=/app");
+  EXPECT_EQ(jar.cookies_for(make_url("https://example.com/app/settings")).size(), 1u);
+  EXPECT_TRUE(jar.cookies_for(make_url("https://example.com/other")).empty());
+}
+
+TEST(CookieJarTest, DefaultPathFromRequestUrl) {
+  CookieJar jar(new_list());
+  jar.set_from_header(make_url("https://example.com/a/b/page.html"), "d=1");
+  EXPECT_EQ(jar.cookies()[0].path, "/a/b");
+  EXPECT_EQ(jar.cookies_for(make_url("https://example.com/a/b/other")).size(), 1u);
+  EXPECT_TRUE(jar.cookies_for(make_url("https://example.com/a/")).empty());
+}
+
+TEST(CookieJarTest, ReplacesSameIdentityCookie) {
+  CookieJar jar(new_list());
+  jar.set_from_header(make_url("https://example.com/"), "sid=old");
+  jar.set_from_header(make_url("https://example.com/"), "sid=new");
+  ASSERT_EQ(jar.size(), 1u);
+  EXPECT_EQ(jar.cookies()[0].value, "new");
+}
+
+TEST(CookieJarTest, DifferentDomainsAreDifferentIdentities) {
+  CookieJar jar(new_list());
+  jar.set_from_header(make_url("https://a.example.com/"), "sid=1");
+  jar.set_from_header(make_url("https://b.example.com/"), "sid=2");
+  EXPECT_EQ(jar.size(), 2u);
+}
+
+TEST(CookieJarTest, IpOriginCannotSetDomainCookie) {
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("http://192.0.2.7/"), "x=1; Domain=example.com"),
+            SetCookieOutcome::kRejectedForeign);
+  EXPECT_EQ(jar.set_from_header(make_url("http://192.0.2.7/"), "x=1; Domain=192.0.2.7"),
+            SetCookieOutcome::kStored);
+  EXPECT_TRUE(jar.cookies()[0].host_only);
+}
+
+TEST(CookieJarTest, ParseFailureReported) {
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://example.com/"), "garbage"),
+            SetCookieOutcome::kRejectedParse);
+}
+
+TEST(CookieJarTest, OutcomeNames) {
+  EXPECT_EQ(to_string(SetCookieOutcome::kStored), "stored");
+  EXPECT_EQ(to_string(SetCookieOutcome::kRejectedSupercookie), "rejected-supercookie");
+}
+
+TEST(CookieJarTest, ClearEmptiesJar) {
+  CookieJar jar(new_list());
+  jar.set_from_header(make_url("https://example.com/"), "a=1");
+  jar.clear();
+  EXPECT_EQ(jar.size(), 0u);
+}
+
+}  // namespace
+}  // namespace psl::web

@@ -1,0 +1,119 @@
+#include "psl/web/cookie.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::web {
+namespace {
+
+TEST(SetCookieParseTest, BasicNameValue) {
+  const auto c = parse_set_cookie("sid=abc123");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->name, "sid");
+  EXPECT_EQ(c->value, "abc123");
+  EXPECT_TRUE(c->host_only);
+  EXPECT_EQ(c->path, "/");
+  EXPECT_FALSE(c->secure);
+  EXPECT_FALSE(c->http_only);
+  EXPECT_FALSE(c->max_age.has_value());
+}
+
+TEST(SetCookieParseTest, AllAttributes) {
+  const auto c = parse_set_cookie(
+      "id=7; Domain=example.com; Path=/account; Secure; HttpOnly; Max-Age=3600");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->domain, "example.com");
+  EXPECT_FALSE(c->host_only);
+  EXPECT_EQ(c->path, "/account");
+  EXPECT_TRUE(c->secure);
+  EXPECT_TRUE(c->http_only);
+  EXPECT_EQ(*c->max_age, 3600);
+}
+
+TEST(SetCookieParseTest, DomainLeadingDotStripped) {
+  const auto c = parse_set_cookie("a=b; Domain=.Example.COM");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->domain, "example.com");
+  EXPECT_FALSE(c->host_only);
+}
+
+TEST(SetCookieParseTest, AttributeNamesCaseInsensitive) {
+  const auto c = parse_set_cookie("a=b; dOmAiN=x.com; SECURE; httponly");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->domain, "x.com");
+  EXPECT_TRUE(c->secure);
+  EXPECT_TRUE(c->http_only);
+}
+
+TEST(SetCookieParseTest, EmptyValueAllowed) {
+  const auto c = parse_set_cookie("cleared=");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->value, "");
+}
+
+TEST(SetCookieParseTest, ValueWithEquals) {
+  const auto c = parse_set_cookie("tok=a=b=c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->value, "a=b=c");
+}
+
+TEST(SetCookieParseTest, UnknownAttributesIgnored) {
+  const auto c = parse_set_cookie("a=b; SameSite=Lax; Priority=High");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->name, "a");
+}
+
+TEST(SetCookieParseTest, MalformedMaxAgeIgnored) {
+  const auto c = parse_set_cookie("a=b; Max-Age=soon");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->max_age.has_value());
+}
+
+TEST(SetCookieParseTest, NegativeMaxAgeParsed) {
+  const auto c = parse_set_cookie("a=b; Max-Age=-1");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c->max_age, -1);
+}
+
+TEST(SetCookieParseTest, Rejections) {
+  EXPECT_FALSE(parse_set_cookie("").ok());
+  EXPECT_FALSE(parse_set_cookie("noequals").ok());
+  EXPECT_FALSE(parse_set_cookie("=value").ok());
+  EXPECT_FALSE(parse_set_cookie("bad name=x").ok());
+  EXPECT_FALSE(parse_set_cookie("na;me=x").ok());
+  EXPECT_FALSE(parse_set_cookie("a=b; Domain=").ok());
+  EXPECT_FALSE(parse_set_cookie("a=b; Domain=.").ok());
+}
+
+TEST(SetCookieParseTest, PathWithoutLeadingSlashIgnored) {
+  const auto c = parse_set_cookie("a=b; Path=relative");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->path, "/");
+}
+
+TEST(DomainMatchTest, Rfc6265Semantics) {
+  EXPECT_TRUE(domain_match("example.com", "example.com"));
+  EXPECT_TRUE(domain_match("www.example.com", "example.com"));
+  EXPECT_FALSE(domain_match("badexample.com", "example.com"));
+  EXPECT_FALSE(domain_match("example.com", "www.example.com"));
+}
+
+TEST(PathMatchTest, Rfc6265Semantics) {
+  EXPECT_TRUE(path_match("/a/b", "/a/b"));
+  EXPECT_TRUE(path_match("/a/b/c", "/a/b"));
+  EXPECT_TRUE(path_match("/a/b", "/"));
+  EXPECT_FALSE(path_match("/a/bc", "/a/b"));
+  EXPECT_FALSE(path_match("/", "/a"));
+  EXPECT_TRUE(path_match("/a/b/", "/a/b/"));
+  EXPECT_TRUE(path_match("/a/b/x", "/a/b/"));
+}
+
+TEST(DefaultPathTest, Rfc6265Section514) {
+  EXPECT_EQ(default_path("/a/b/c.html"), "/a/b");
+  EXPECT_EQ(default_path("/index.html"), "/");
+  EXPECT_EQ(default_path("/"), "/");
+  EXPECT_EQ(default_path(""), "/");
+  EXPECT_EQ(default_path("no-slash"), "/");
+}
+
+}  // namespace
+}  // namespace psl::web

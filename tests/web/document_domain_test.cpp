@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "psl/web/navigation.hpp"
+
+namespace psl::web {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+const List& current_list() {
+  static const List list = make_list("com\nuk\nco.uk\nmyshopify.com\n");
+  return list;
+}
+
+const List& stale_list() {
+  static const List list = make_list("com\nuk\nco.uk\n");
+  return list;
+}
+
+TEST(DocumentDomainTest, RelaxToRegistrableDomainAllowed) {
+  EXPECT_EQ(check_document_domain(current_list(), "app.login.example.com", "example.com"),
+            DocumentDomainOutcome::kAllowed);
+  EXPECT_EQ(check_document_domain(current_list(), "app.login.example.com",
+                                  "login.example.com"),
+            DocumentDomainOutcome::kAllowed);
+  // Setting to the host itself is fine.
+  EXPECT_EQ(check_document_domain(current_list(), "www.example.com", "www.example.com"),
+            DocumentDomainOutcome::kAllowed);
+}
+
+TEST(DocumentDomainTest, PublicSuffixRejected) {
+  EXPECT_EQ(check_document_domain(current_list(), "www.example.com", "com"),
+            DocumentDomainOutcome::kRejectedPublicSuffix);
+  EXPECT_EQ(check_document_domain(current_list(), "shop.example.co.uk", "co.uk"),
+            DocumentDomainOutcome::kRejectedPublicSuffix);
+  EXPECT_EQ(check_document_domain(current_list(), "store.myshopify.com", "myshopify.com"),
+            DocumentDomainOutcome::kRejectedPublicSuffix);
+}
+
+TEST(DocumentDomainTest, UnrelatedDomainRejected) {
+  EXPECT_EQ(check_document_domain(current_list(), "www.example.com", "other.com"),
+            DocumentDomainOutcome::kRejectedNotSuffix);
+  EXPECT_EQ(check_document_domain(current_list(), "example.com", "www.example.com"),
+            DocumentDomainOutcome::kRejectedNotSuffix);
+  // The classic suffix-without-dot trap.
+  EXPECT_EQ(check_document_domain(current_list(), "badexample.com", "example.com"),
+            DocumentDomainOutcome::kRejectedNotSuffix);
+}
+
+TEST(DocumentDomainTest, IpDocumentsCannotRelax) {
+  EXPECT_EQ(check_document_domain(current_list(), "192.0.2.7", "192.0.2.7"),
+            DocumentDomainOutcome::kRejectedIp);
+}
+
+TEST(DocumentDomainTest, StaleListAdmitsThePlatformRelaxation) {
+  // The harm: under the stale list, every myshopify store can set
+  // document.domain="myshopify.com" and script each other.
+  EXPECT_EQ(check_document_domain(stale_list(), "store.myshopify.com", "myshopify.com"),
+            DocumentDomainOutcome::kAllowed);
+  EXPECT_EQ(check_document_domain(current_list(), "store.myshopify.com", "myshopify.com"),
+            DocumentDomainOutcome::kRejectedPublicSuffix);
+}
+
+TEST(DocumentDomainTest, TrailingDotsTolerated) {
+  EXPECT_EQ(check_document_domain(current_list(), "www.example.com.", "example.com."),
+            DocumentDomainOutcome::kAllowed);
+}
+
+TEST(DocumentDomainTest, OutcomeNames) {
+  EXPECT_EQ(to_string(DocumentDomainOutcome::kAllowed), "allowed");
+  EXPECT_EQ(to_string(DocumentDomainOutcome::kRejectedPublicSuffix),
+            "rejected-public-suffix");
+}
+
+}  // namespace
+}  // namespace psl::web

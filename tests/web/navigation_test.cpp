@@ -1,0 +1,154 @@
+#include "psl/web/navigation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psl::web {
+namespace {
+
+List make_list(std::string_view file) {
+  auto parsed = List::parse(file);
+  EXPECT_TRUE(parsed.ok());
+  return *std::move(parsed);
+}
+
+url::Url make_url(std::string_view text) {
+  auto u = url::Url::parse(text);
+  EXPECT_TRUE(u.ok()) << text;
+  return *std::move(u);
+}
+
+const List& current_list() {
+  static const List list = make_list("com\nuk\nco.uk\nmyshopify.com\n");
+  return list;
+}
+
+const List& stale_list() {
+  static const List list = make_list("com\nuk\nco.uk\n");
+  return list;
+}
+
+// --- storage partitioning ----------------------------------------------------
+
+TEST(StoragePartitionerTest, PartitionKeyIsSite) {
+  StoragePartitioner storage(current_list());
+  EXPECT_EQ(storage.partition_key("www.example.com"), "example.com");
+  EXPECT_EQ(storage.partition_key("a.b.example.co.uk"), "example.co.uk");
+  EXPECT_EQ(storage.partition_key("store.myshopify.com"), "store.myshopify.com");
+  // Suffix hosts and IPs key to themselves.
+  EXPECT_EQ(storage.partition_key("myshopify.com"), "myshopify.com");
+  EXPECT_EQ(storage.partition_key("192.0.2.7"), "192.0.2.7");
+}
+
+TEST(StoragePartitionerTest, SameSiteSharesState) {
+  StoragePartitioner storage(current_list());
+  storage.set_item("www.example.com", "theme", "dark");
+  EXPECT_EQ(storage.get_item("shop.example.com", "theme"), "dark");
+  EXPECT_EQ(storage.get_item("example.com", "theme"), "dark");
+  EXPECT_FALSE(storage.get_item("other.com", "theme").has_value());
+  EXPECT_EQ(storage.partition_count(), 1u);
+}
+
+TEST(StoragePartitionerTest, TenantsIsolatedUnderCurrentList) {
+  StoragePartitioner storage(current_list());
+  storage.set_item("alice.myshopify.com", "cart", "alice-items");
+  EXPECT_FALSE(storage.get_item("bob.myshopify.com", "cart").has_value());
+  EXPECT_FALSE(storage.shares_partition("alice.myshopify.com", "bob.myshopify.com"));
+}
+
+TEST(StoragePartitionerTest, StaleListMergesTenantPartitions) {
+  // The harm: one tenant's writes become another tenant's reads.
+  StoragePartitioner storage(stale_list());
+  storage.set_item("alice.myshopify.com", "tracker-id", "user-123");
+  EXPECT_EQ(storage.get_item("bob.myshopify.com", "tracker-id"), "user-123");
+  EXPECT_TRUE(storage.shares_partition("alice.myshopify.com", "bob.myshopify.com"));
+}
+
+TEST(StoragePartitionerTest, OverwriteWithinPartition) {
+  StoragePartitioner storage(current_list());
+  storage.set_item("a.example.com", "k", "v1");
+  storage.set_item("b.example.com", "k", "v2");
+  EXPECT_EQ(storage.get_item("example.com", "k"), "v2");
+}
+
+TEST(StoragePartitionerTest, IpPartitionsAreHostExact) {
+  StoragePartitioner storage(current_list());
+  storage.set_item("192.0.2.7", "k", "v");
+  EXPECT_EQ(storage.get_item("192.0.2.7", "k"), "v");
+  EXPECT_FALSE(storage.get_item("192.0.2.8", "k").has_value());
+}
+
+// --- referrer policy ----------------------------------------------------------
+
+TEST(ReferrerTest, NoReferrerSendsNothing) {
+  EXPECT_EQ(referrer_for(current_list(), make_url("https://a.example.com/x?q=1"),
+                         make_url("https://b.example.com/"), ReferrerPolicy::kNoReferrer),
+            "");
+}
+
+TEST(ReferrerTest, SameOriginOnly) {
+  const auto from = make_url("https://a.example.com/path?q=1#frag");
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("https://a.example.com/other"),
+                         ReferrerPolicy::kSameOriginOnly),
+            "https://a.example.com/path?q=1");  // fragment stripped
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("https://b.example.com/"),
+                         ReferrerPolicy::kSameOriginOnly),
+            "");
+}
+
+TEST(ReferrerTest, StrictOriginWhenCrossOrigin) {
+  const auto from = make_url("https://a.example.com/secret/path?token=x");
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("https://a.example.com/next"),
+                         ReferrerPolicy::kStrictOriginWhenCrossOrigin),
+            "https://a.example.com/secret/path?token=x");
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("https://other.com/"),
+                         ReferrerPolicy::kStrictOriginWhenCrossOrigin),
+            "https://a.example.com");
+  // Downgrade sends nothing.
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("http://other.com/"),
+                         ReferrerPolicy::kStrictOriginWhenCrossOrigin),
+            "");
+}
+
+TEST(ReferrerTest, SameSiteFullUrlUsesTheList) {
+  const auto from = make_url("https://shop.example.com/orders/42?session=abc");
+  // Same site: full URL.
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("https://pay.example.com/"),
+                         ReferrerPolicy::kSameSiteFullUrl),
+            "https://shop.example.com/orders/42?session=abc");
+  // Cross site: origin only.
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("https://evil.com/"),
+                         ReferrerPolicy::kSameSiteFullUrl),
+            "https://shop.example.com");
+}
+
+TEST(ReferrerTest, StaleListLeaksFullUrlAcrossTenants) {
+  const auto from = make_url("https://victim.myshopify.com/orders/42?session=secret");
+  const auto to = make_url("https://attacker.myshopify.com/collect");
+
+  // Current list: different sites -> origin only.
+  EXPECT_EQ(referrer_for(current_list(), from, to, ReferrerPolicy::kSameSiteFullUrl),
+            "https://victim.myshopify.com");
+  // Stale list: "same site" -> the session token leaks in the Referer.
+  EXPECT_EQ(referrer_for(stale_list(), from, to, ReferrerPolicy::kSameSiteFullUrl),
+            "https://victim.myshopify.com/orders/42?session=secret");
+}
+
+TEST(ReferrerTest, NonDefaultPortInOrigin) {
+  const auto from = make_url("https://a.example.com:8443/x");
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("https://other.com/"),
+                         ReferrerPolicy::kStrictOriginWhenCrossOrigin),
+            "https://a.example.com:8443");
+}
+
+TEST(ReferrerTest, IpHostsCompareByExactHost) {
+  const auto from = make_url("http://192.0.2.7/admin?k=1");
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("http://192.0.2.7/x"),
+                         ReferrerPolicy::kSameSiteFullUrl),
+            "http://192.0.2.7/admin?k=1");
+  EXPECT_EQ(referrer_for(current_list(), from, make_url("http://192.0.2.8/x"),
+                         ReferrerPolicy::kSameSiteFullUrl),
+            "http://192.0.2.7");
+}
+
+}  // namespace
+}  // namespace psl::web
