@@ -1,18 +1,43 @@
 // Engineering/ablation bench: PSL matching throughput.
 //
-// DESIGN.md ablation #1: reversed-label trie (psl::List) vs. hash-set
-// per-depth probing (psl::FlatMatcher), over the full 9,368-rule list and
-// a realistic host mix. Also measures file parsing and list construction.
+// DESIGN.md ablation #1, now three-way: reversed-label trie (psl::List) vs.
+// hash-set per-depth probing (psl::FlatMatcher) vs. the arena-compiled
+// matcher (psl::CompiledMatcher), over the full 9,368-rule list and a
+// realistic host mix. Every match benchmark also reports heap allocations
+// per operation (a replaced global operator new) — CompiledMatcher's
+// match_view path must show 0. Also measures file parsing and the
+// construction cost of each matcher.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "psl/history/timeline.hpp"
+#include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/flat_matcher.hpp"
 #include "psl/psl/list.hpp"
 #include "psl/util/namegen.hpp"
 #include "psl/util/rng.hpp"
+
+// --- allocation counting hook -----------------------------------------------
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -51,13 +76,29 @@ const std::vector<std::string>& host_mix() {
   return hosts;
 }
 
+/// Report heap allocations per match alongside throughput.
+class AllocCounter {
+ public:
+  AllocCounter() : start_(g_alloc_count.load()) {}
+  void report(benchmark::State& state) const {
+    const auto allocs = static_cast<double>(g_alloc_count.load() - start_);
+    state.counters["allocs/op"] =
+        benchmark::Counter(allocs / static_cast<double>(state.iterations()));
+  }
+
+ private:
+  std::size_t start_;
+};
+
 void BM_TrieMatch(benchmark::State& state) {
   const psl::List& list = full_list();
   const auto& hosts = host_mix();
   std::size_t i = 0;
+  const AllocCounter allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(list.match(hosts[i++ & 4095]));
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrieMatch);
@@ -66,12 +107,43 @@ void BM_FlatMatch(benchmark::State& state) {
   const psl::FlatMatcher matcher(full_list());
   const auto& hosts = host_mix();
   std::size_t i = 0;
+  const AllocCounter allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(matcher.match(hosts[i++ & 4095]));
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlatMatch);
+
+void BM_CompiledMatch(benchmark::State& state) {
+  // The allocating Match adapter — apples-to-apples with the two above.
+  const psl::CompiledMatcher matcher(full_list());
+  const auto& hosts = host_mix();
+  std::size_t i = 0;
+  const AllocCounter allocs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(hosts[i++ & 4095]));
+  }
+  allocs.report(state);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledMatch);
+
+void BM_CompiledMatchView(benchmark::State& state) {
+  // The zero-allocation hot path the sweep engine runs on. allocs/op must
+  // print 0 — CI's smoke run greps for exactly that.
+  const psl::CompiledMatcher matcher(full_list());
+  const auto& hosts = host_mix();
+  std::size_t i = 0;
+  const AllocCounter allocs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match_view(hosts[i++ & 4095]));
+  }
+  allocs.report(state);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledMatchView);
 
 void BM_RegistrableDomain(benchmark::State& state) {
   const psl::List& list = full_list();
@@ -121,6 +193,15 @@ void BM_FlatMatcherConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlatMatcherConstruction);
+
+void BM_CompiledMatcherConstruction(benchmark::State& state) {
+  // The price of freezing a snapshot — what each sweep worker pays once per
+  // version before its ~100k zero-allocation matches.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psl::CompiledMatcher(full_list()));
+  }
+}
+BENCHMARK(BM_CompiledMatcherConstruction);
 
 }  // namespace
 

@@ -1,0 +1,149 @@
+// Sweep-engine ablation: execution strategies for the Figs. 5-7 per-version
+// sweep (seed trie vs. arena-compiled matcher, 1..N worker threads, and the
+// delta-replay incremental engine).
+//
+// Every strategy must produce bit-identical VersionMetrics — this binary
+// exits non-zero on any disagreement, so CI can smoke-run it. Prints
+// versions/sec and speedup vs. the single-threaded seed-trie baseline, and
+// writes the same numbers machine-readably to BENCH_sweep.json.
+//
+// Usage: bench_sweep_parallel [max_points] [max_threads]
+//   max_points   versions sampled per strategy (default 48)
+//   max_threads  highest thread count tried (default hardware_concurrency)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "psl/core/sweep.hpp"
+#include "psl/util/strings.hpp"
+#include "psl/util/table.hpp"
+
+namespace {
+
+struct StrategyResult {
+  std::string name;
+  psl::harm::SweepOptions options;
+  double wall_ms = 0.0;
+  std::vector<psl::harm::VersionMetrics> series;
+};
+
+bool identical(const std::vector<psl::harm::VersionMetrics>& a,
+               const std::vector<psl::harm::VersionMetrics>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].version_index != b[i].version_index || a[i].site_count != b[i].site_count ||
+        a[i].mean_hosts_per_site != b[i].mean_hosts_per_site ||
+        a[i].third_party_requests != b[i].third_party_requests ||
+        a[i].divergent_hosts != b[i].divergent_hosts) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t max_points =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : psl::bench::kSweepPoints;
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned max_threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : hardware;
+  if (max_points < 2) {
+    std::cerr << "usage: bench_sweep_parallel [max_points >= 2] [max_threads >= 1]\n";
+    return 2;
+  }
+
+  const auto& history = psl::bench::full_history();
+  const auto& corpus = psl::bench::full_corpus();
+  const psl::harm::Sweeper sweeper(history, corpus);
+
+  std::cout << "=== Sweep engine: matcher + threading ablation ===\n";
+  std::cout << "sampled versions: " << max_points << ", hardware threads: " << hardware
+            << "\n\n";
+
+  std::vector<StrategyResult> results;
+  const auto add = [&](std::string name, psl::harm::SweepOptions options) {
+    StrategyResult r;
+    r.name = std::move(name);
+    r.options = options;
+    results.push_back(std::move(r));
+  };
+
+  psl::harm::SweepOptions base;
+  base.max_points = max_points;
+
+  {
+    auto o = base;
+    o.use_compiled = false;
+    add("trie, 1 thread (seed)", o);
+  }
+  add("compiled, 1 thread", base);
+  for (unsigned t = 2; t <= max_threads; t *= 2) {
+    auto o = base;
+    o.threads = t;
+    add("compiled, " + std::to_string(t) + " threads", o);
+  }
+  {
+    auto o = base;
+    o.incremental = true;
+    add("incremental (delta replay)", o);
+  }
+
+  for (auto& r : results) {
+    const auto t0 = Clock::now();
+    r.series = sweeper.sweep(r.options);
+    const auto t1 = Clock::now();
+    r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+
+  bool all_agree = true;
+  for (const auto& r : results) {
+    if (!identical(r.series, results.front().series)) {
+      all_agree = false;
+      std::cout << "METRIC MISMATCH: '" << r.name << "' diverges from the seed baseline\n";
+    }
+  }
+
+  const double baseline_ms = results.front().wall_ms;
+  psl::util::TextTable table({"strategy", "wall time", "versions/sec", "speedup"});
+  for (const auto& r : results) {
+    const double vps = static_cast<double>(r.series.size()) / (r.wall_ms / 1000.0);
+    table.add_row({r.name, psl::util::fmt_double(r.wall_ms, 0) + " ms",
+                   psl::util::fmt_double(vps, 1),
+                   psl::util::fmt_double(baseline_ms / r.wall_ms, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nmetric agreement across all strategies: "
+            << (all_agree ? "EXACT" : "MISMATCH!") << "\n";
+
+  std::ofstream json("BENCH_sweep.json");
+  json << "{\n";
+  json << "  \"sampled_versions\": " << results.front().series.size() << ",\n";
+  json << "  \"hardware_threads\": " << hardware << ",\n";
+  json << "  \"agreement\": " << (all_agree ? "true" : "false") << ",\n";
+  json << "  \"strategies\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double vps = static_cast<double>(r.series.size()) / (r.wall_ms / 1000.0);
+    json << "    {\"name\": \"" << r.name << "\", \"threads\": " << r.options.threads
+         << ", \"use_compiled\": " << (r.options.use_compiled ? "true" : "false")
+         << ", \"incremental\": " << (r.options.incremental ? "true" : "false")
+         << ", \"wall_ms\": " << psl::util::fmt_double(r.wall_ms, 2)
+         << ", \"versions_per_sec\": " << psl::util::fmt_double(vps, 2)
+         << ", \"speedup_vs_seed\": " << psl::util::fmt_double(baseline_ms / r.wall_ms, 3)
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_sweep.json\n";
+
+  return all_agree ? 0 : 1;
+}

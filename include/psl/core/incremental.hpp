@@ -40,6 +40,12 @@ class IncrementalSweeper {
   /// metrics for each (the full-resolution Figs. 5-7 series).
   std::vector<VersionMetrics> sweep_all();
 
+  /// Metrics at each of the given versions (ascending, all >= the current
+  /// version) — the sampled-grid counterpart of sweep_all(). Rule churn
+  /// between grid points is still replayed; only metric snapshots are
+  /// restricted to the grid.
+  std::vector<VersionMetrics> sweep_versions(const std::vector<std::size_t>& versions);
+
   /// Hosts re-matched so far (the work the incremental strategy did do).
   std::size_t hosts_rematched() const noexcept { return hosts_rematched_; }
 
@@ -47,6 +53,7 @@ class IncrementalSweeper {
   void assign_initial(std::size_t version_index);
   void rekey_host(archive::HostId host, const List& list);
   std::string key_for(const std::string& host, const List& list) const;
+  std::string key_for(const std::string& host, const CompiledMatcher& matcher) const;
 
   const history::History& history_;
   const archive::Corpus& corpus_;

@@ -13,8 +13,11 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
 
 namespace psl::harm {
@@ -35,6 +38,40 @@ struct SiteAssignment {
 /// match per host; site identity is interned so comparisons downstream are
 /// integer equality.
 SiteAssignment assign_sites(const List& list, std::span<const std::string> hostnames);
+
+/// Same, through the arena-compiled matcher's zero-allocation match path.
+/// Produces a SiteAssignment identical to assign_sites(list, ...) for the
+/// list the matcher was compiled from (ids, keys, and order all agree).
+SiteAssignment assign_sites(const CompiledMatcher& matcher,
+                            std::span<const std::string> hostnames);
+
+/// Reusable site-formation scratch for sweeps that assign the same hostname
+/// universe under many list versions (one per worker thread in the parallel
+/// sweep). assign() recycles the id/key vectors and the interning table's
+/// buckets across calls, so per-version cost is matching + key interning
+/// with no container re-growth.
+class SiteAssigner {
+ public:
+  explicit SiteAssigner(std::span<const std::string> hostnames);
+
+  /// Assign all hostnames under `matcher`. The returned reference stays
+  /// valid (and is overwritten) until the next assign() call.
+  const SiteAssignment& assign(const CompiledMatcher& matcher);
+
+  const SiteAssignment& assignment() const noexcept { return scratch_; }
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::span<const std::string> hostnames_;
+  SiteAssignment scratch_;
+  std::unordered_map<std::string, std::uint32_t, TransparentHash, std::equal_to<>> interned_;
+};
 
 /// Aggregate shape of the site structure — Fig. 5's y-axis and the
 /// "sites become fewer but larger" observation.

@@ -21,6 +21,26 @@ struct VersionMetrics {
   std::size_t divergent_hosts = 0;     ///< Fig. 7 (vs. the newest version)
 };
 
+/// How a Sweeper sweep executes. All strategies produce bit-identical
+/// VersionMetrics; they differ only in wall-clock cost.
+struct SweepOptions {
+  std::size_t max_points = 48;  ///< sampled versions (first and last included)
+  /// Worker threads for the per-version recompute. 0 means
+  /// std::thread::hardware_concurrency(); 1 runs inline. Workers pull
+  /// version indices from a shared queue; each compiles its snapshot once
+  /// and reuses a per-thread SiteAssigner scratch.
+  unsigned threads = 1;
+  /// Replay per-version rule deltas instead of recomputing each sampled
+  /// version from scratch (IncrementalSweeper underneath): only hostnames
+  /// whose suffix chain intersects the changed rules get re-matched.
+  /// Single-threaded by nature; `threads` is ignored when set.
+  bool incremental = false;
+  /// Match via the arena-compiled matcher (CompiledMatcher). Off = the seed
+  /// reversed-label trie (List::match); only the recompute strategies honour
+  /// this — the incremental engine always keys through its live trie.
+  bool use_compiled = true;
+};
+
 /// Evaluates corpus metrics under historical list versions. Construction
 /// caches the newest version's site assignment (Fig. 7's reference).
 class Sweeper {
@@ -38,12 +58,21 @@ class Sweeper {
   /// (first and last included).
   std::vector<VersionMetrics> sweep(std::size_t max_points) const;
 
+  /// Sweep with an explicit execution strategy (threads / incremental /
+  /// matcher choice). Metrics are bit-identical across strategies.
+  std::vector<VersionMetrics> sweep(const SweepOptions& options) const;
+
   /// Fig. 7 convenience: divergence for the list in force at `date`.
   std::size_t divergence_at(util::Date date) const;
 
   const SiteAssignment& latest_assignment() const noexcept { return latest_; }
 
  private:
+  /// Metrics common to every strategy, computed off a finished assignment.
+  VersionMetrics metrics_for(const SiteAssignment& assignment, std::size_t rule_count) const;
+  VersionMetrics evaluate_version(std::size_t version_index, SiteAssigner& scratch,
+                                  bool use_compiled) const;
+
   const history::History& history_;
   const archive::Corpus& corpus_;
   SiteAssignment latest_;

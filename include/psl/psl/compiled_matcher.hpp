@@ -1,0 +1,125 @@
+// Arena-compiled Public Suffix List matcher.
+//
+// CompiledMatcher freezes a psl::List into a single contiguous arena laid
+// out for the sweep hot path (one match per unique hostname per list
+// version — hundreds of millions of calls at paper scale):
+//
+//   * trie nodes are indices into one flat `std::vector<Node>` instead of
+//     heap-allocated `unique_ptr` children — no pointer chasing across
+//     scattered allocations;
+//   * each node's children live in one contiguous hash-sorted range — a
+//     dense array of label hashes binary-searched first, with the
+//     `(label_offset, node_index)` records and a byte-compare against a
+//     shared string pool consulted only on a hash hit;
+//   * rule presence and sections are packed into two bitfield bytes per
+//     node.
+//
+// The match path allocates nothing: match_view() returns a MatchView whose
+// string_views point into the *caller's* host buffer, and its per-call
+// state is a fixed stack array of label offsets. The classic allocating
+// Match is available through the match() adapter.
+//
+// Semantics are byte-identical to List::match / FlatMatcher::match for
+// every input (tests/psl/matcher_equivalence_test.cpp enforces this over
+// generated, fixture, and hostile hosts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/psl/list.hpp"
+
+namespace psl {
+
+/// Zero-allocation match outcome. All string_views point into the host
+/// buffer passed to match_view(); they are valid only while that buffer
+/// outlives the view (see docs/API.md "MatchView lifetime contract").
+struct MatchView {
+  std::string_view public_suffix;       ///< eTLD; empty for empty/degenerate hosts
+  std::string_view registrable_domain;  ///< eTLD+1; empty when the host *is* a suffix
+  /// Host-span of the prevailing rule's *stored* labels as they occur in
+  /// the host, without '!'/'*' markers: "co.uk" for rule co.uk, "ck" for
+  /// rule *.ck (the '*' label is not part of the span), "www.ck" for rule
+  /// !www.ck. Empty when only the implicit "*" applied. prevailing_rule()
+  /// re-attaches the marker to produce the canonical rule text.
+  std::string_view rule_span;
+  bool matched_explicit_rule = false;  ///< false when only the implicit "*" applied
+  Section section = Section::kIcann;   ///< section of the prevailing rule
+  RuleKind rule_kind = RuleKind::kNormal;  ///< kind of the prevailing rule
+  std::size_t rule_labels = 0;         ///< labels in the public suffix
+
+  /// Canonical text of the prevailing explicit rule ("co.uk", "*.ck",
+  /// "!www.ck"); empty when only the implicit "*" applied. Allocates.
+  std::string prevailing_rule() const;
+
+  /// Allocating adapter to the classic Match.
+  Match to_match() const;
+};
+
+class CompiledMatcher {
+ public:
+  /// Compile `list` into the arena. The matcher is self-contained: `list`
+  /// may be destroyed afterwards.
+  explicit CompiledMatcher(const List& list);
+
+  /// Zero-allocation match. `host` must stay alive while the returned
+  /// views are used. Tolerates one trailing dot like List::match.
+  MatchView match_view(std::string_view host) const noexcept;
+
+  /// Allocating adapter with List::match semantics.
+  Match match(std::string_view host) const { return match_view(host).to_match(); }
+
+  std::string public_suffix(std::string_view host) const {
+    return std::string(match_view(host).public_suffix);
+  }
+
+  /// Arena introspection (docs + tests).
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t pool_bytes() const noexcept { return pool_.size(); }
+  std::size_t arena_bytes() const noexcept {
+    return nodes_.size() * sizeof(Node) + children_.size() * (sizeof(Child) + sizeof(std::uint32_t)) +
+           pool_.size();
+  }
+
+ private:
+  // Rule-presence flags; the matching section bits live in Node::sections
+  // (bit set = kPrivate).
+  enum : std::uint8_t {
+    kHasNormal = 1u << 0,
+    kHasWildcard = 1u << 1,  // set on the PARENT of the '*' label
+    kHasException = 1u << 2,
+  };
+
+  struct Node {
+    std::uint32_t children_begin = 0;  ///< index into children_
+    std::uint32_t children_end = 0;
+    std::uint8_t flags = 0;
+    std::uint8_t sections = 0;  ///< bit i set => rule kind i is kPrivate
+  };
+
+  struct Child {
+    std::uint32_t label_offset;  ///< into pool_
+    std::uint32_t label_len;
+    std::uint32_t node;          ///< index into nodes_
+  };
+
+  static constexpr std::uint32_t kNoChild = 0xFFFFFFFFu;
+
+  std::uint32_t find_child(std::uint32_t node, std::string_view label,
+                           std::uint32_t hash) const noexcept;
+  Section section_of(std::uint32_t node, std::uint8_t kind_bit) const noexcept {
+    return (nodes_[node].sections & kind_bit) ? Section::kPrivate : Section::kIcann;
+  }
+
+  std::vector<Node> nodes_;  ///< nodes_[0] is the root
+  /// Per-node ranges, sorted by (hash, label). The FNV-1a hashes live in a
+  /// parallel array so the binary search scans 4-byte keys (16 per cache
+  /// line) instead of striding across the 12-byte Child records.
+  std::vector<std::uint32_t> child_hashes_;
+  std::vector<Child> children_;
+  std::string pool_;  ///< deduplicated label bytes
+};
+
+}  // namespace psl

@@ -52,7 +52,9 @@ class List {
 
   /// Full match for a normalised hostname (lower-case A-label form, as
   /// produced by url::Host / idna::host_to_ascii). IP literals should not
-  /// be passed here — they have no suffix by definition.
+  /// be passed here — they have no suffix by definition. Degenerate hosts
+  /// ("" or a host whose rightmost label is empty, like "...") match
+  /// nothing: the returned Match is all-empty.
   Match match(std::string_view host) const;
 
   /// The eTLD of `host` ("com" for "www.example.com"). Every host has one:

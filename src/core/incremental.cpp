@@ -37,13 +37,12 @@ IncrementalSweeper::IncrementalSweeper(const history::History& history,
     }
   }
 
-  // Reference keys from the newest list (for divergence).
+  // Reference keys from the newest list (for divergence). This is a full
+  // pass over the corpus, so it goes through the arena-compiled matcher.
   {
-    const SiteAssignment latest = assign_sites(history_.latest(), hosts);
+    const CompiledMatcher latest(history_.latest());
     latest_keys_.reserve(hosts.size());
-    for (std::size_t i = 0; i < hosts.size(); ++i) {
-      latest_keys_.push_back(latest.site_keys[latest.site_ids[i]]);
-    }
+    for (const std::string& host : hosts) latest_keys_.push_back(key_for(host, latest));
   }
 
   // Per-version churn from the schedule (dates are snapped to versions).
@@ -71,6 +70,13 @@ std::string IncrementalSweeper::key_for(const std::string& host, const List& lis
   return m.registrable_domain.empty() ? host : std::move(m.registrable_domain);
 }
 
+std::string IncrementalSweeper::key_for(const std::string& host,
+                                        const CompiledMatcher& matcher) const {
+  if (is_ip_literal(host)) return host;
+  const MatchView m = matcher.match_view(host);
+  return m.registrable_domain.empty() ? host : std::string(m.registrable_domain);
+}
+
 void IncrementalSweeper::assign_initial(std::size_t version_index) {
   version_ = version_index;
   list_ = history_.snapshot(version_index);
@@ -80,8 +86,9 @@ void IncrementalSweeper::assign_initial(std::size_t version_index) {
   keys_.reserve(hosts.size());
   key_refcounts_.clear();
   divergent_ = 0;
+  const CompiledMatcher compiled(list_);  // one full corpus pass: compile first
   for (std::size_t i = 0; i < hosts.size(); ++i) {
-    keys_.push_back(key_for(hosts[i], list_));
+    keys_.push_back(key_for(hosts[i], compiled));
     ++key_refcounts_[keys_.back()];
     if (keys_.back() != latest_keys_[i]) ++divergent_;
   }
@@ -171,6 +178,14 @@ VersionMetrics IncrementalSweeper::advance_to(std::size_t version_index) {
   version_ = version_index;
   for (archive::HostId host : affected) rekey_host(host, list_);
   return current();
+}
+
+std::vector<VersionMetrics> IncrementalSweeper::sweep_versions(
+    const std::vector<std::size_t>& versions) {
+  std::vector<VersionMetrics> out;
+  out.reserve(versions.size());
+  for (const std::size_t v : versions) out.push_back(advance_to(v));
+  return out;
 }
 
 std::vector<VersionMetrics> IncrementalSweeper::sweep_all() {

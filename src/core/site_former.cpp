@@ -37,6 +37,44 @@ SiteAssignment assign_sites(const List& list, std::span<const std::string> hostn
   return out;
 }
 
+SiteAssigner::SiteAssigner(std::span<const std::string> hostnames) : hostnames_(hostnames) {
+  scratch_.site_ids.reserve(hostnames.size());
+  interned_.reserve(hostnames.size());
+}
+
+const SiteAssignment& SiteAssigner::assign(const CompiledMatcher& matcher) {
+  scratch_.site_ids.clear();
+  scratch_.site_keys.clear();
+  interned_.clear();  // buckets are retained; only the entries go
+
+  for (const std::string& host : hostnames_) {
+    std::string_view key;
+    if (is_ip_literal(host)) {
+      key = host;  // an IP is only ever same-site with itself
+    } else {
+      const MatchView m = matcher.match_view(host);
+      // A host that *is* a public suffix has no eTLD+1; it stands alone.
+      key = m.registrable_domain.empty() ? std::string_view(host) : m.registrable_domain;
+    }
+    auto it = interned_.find(key);
+    if (it == interned_.end()) {
+      it = interned_.emplace(std::string(key), static_cast<std::uint32_t>(interned_.size()))
+               .first;
+      scratch_.site_keys.push_back(it->first);
+    }
+    scratch_.site_ids.push_back(it->second);
+  }
+  scratch_.site_count = interned_.size();
+  return scratch_;
+}
+
+SiteAssignment assign_sites(const CompiledMatcher& matcher,
+                            std::span<const std::string> hostnames) {
+  SiteAssigner assigner(hostnames);
+  SiteAssignment out = assigner.assign(matcher);  // copy out of the scratch
+  return out;
+}
+
 SiteStats site_stats(const SiteAssignment& assignment) {
   SiteStats stats;
   stats.host_count = assignment.site_ids.size();

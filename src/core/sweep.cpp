@@ -1,17 +1,22 @@
 #include "psl/core/sweep.hpp"
 
+#include <atomic>
+#include <thread>
+
+#include "psl/core/incremental.hpp"
+
 namespace psl::harm {
 
 Sweeper::Sweeper(const history::History& history, const archive::Corpus& corpus)
     : history_(history),
       corpus_(corpus),
-      latest_(assign_sites(history.latest(), corpus.hostnames())) {}
+      latest_(assign_sites(CompiledMatcher(history.latest()), corpus.hostnames())) {}
 
-VersionMetrics Sweeper::evaluate_list(const List& list) const {
+VersionMetrics Sweeper::metrics_for(const SiteAssignment& assignment,
+                                    std::size_t rule_count) const {
   VersionMetrics m;
-  m.rule_count = list.rule_count();
+  m.rule_count = rule_count;
 
-  const SiteAssignment assignment = assign_sites(list, corpus_.hostnames());
   const SiteStats stats = site_stats(assignment);
   m.site_count = stats.site_count;
   m.mean_hosts_per_site = stats.mean_hosts_per_site;
@@ -31,6 +36,27 @@ VersionMetrics Sweeper::evaluate_list(const List& list) const {
   return m;
 }
 
+VersionMetrics Sweeper::evaluate_list(const List& list) const {
+  // One-off evaluation: compiling first still wins — the arena build is a
+  // few ms, the ~100k matches it accelerates dominate.
+  const SiteAssignment assignment = assign_sites(CompiledMatcher(list), corpus_.hostnames());
+  return metrics_for(assignment, list.rule_count());
+}
+
+VersionMetrics Sweeper::evaluate_version(std::size_t version_index, SiteAssigner& scratch,
+                                         bool use_compiled) const {
+  const List snapshot = history_.snapshot(version_index);
+  VersionMetrics m;
+  if (use_compiled) {
+    m = metrics_for(scratch.assign(CompiledMatcher(snapshot)), snapshot.rule_count());
+  } else {
+    m = metrics_for(assign_sites(snapshot, corpus_.hostnames()), snapshot.rule_count());
+  }
+  m.version_index = version_index;
+  m.date = history_.version_date(version_index);
+  return m;
+}
+
 VersionMetrics Sweeper::evaluate(std::size_t version_index) const {
   VersionMetrics m = evaluate_list(history_.snapshot(version_index));
   m.version_index = version_index;
@@ -39,16 +65,57 @@ VersionMetrics Sweeper::evaluate(std::size_t version_index) const {
 }
 
 std::vector<VersionMetrics> Sweeper::sweep(std::size_t max_points) const {
-  std::vector<VersionMetrics> out;
-  for (std::size_t index : history_.sampled_versions(max_points)) {
-    out.push_back(evaluate(index));
+  SweepOptions options;
+  options.max_points = max_points;
+  return sweep(options);
+}
+
+std::vector<VersionMetrics> Sweeper::sweep(const SweepOptions& options) const {
+  const std::vector<std::size_t> sampled = history_.sampled_versions(options.max_points);
+  std::vector<VersionMetrics> out(sampled.size());
+  if (sampled.empty()) return out;
+
+  if (options.incremental) {
+    IncrementalSweeper incremental(history_, corpus_);
+    return incremental.sweep_versions(sampled);
   }
+
+  unsigned threads = options.threads != 0 ? options.threads
+                                          : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, sampled.size()));
+
+  if (threads <= 1) {
+    SiteAssigner scratch(corpus_.hostnames());
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+      out[i] = evaluate_version(sampled[i], scratch, options.use_compiled);
+    }
+    return out;
+  }
+
+  // Work-stealing over the sampled indices: version costs vary (early lists
+  // are tiny), so a shared atomic cursor beats static partitioning. Each
+  // result lands in its own slot — the output is identical no matter how
+  // the scheduler interleaves workers.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    SiteAssigner scratch(corpus_.hostnames());
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sampled.size()) break;
+      out[i] = evaluate_version(sampled[i], scratch, options.use_compiled);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
   return out;
 }
 
 std::size_t Sweeper::divergence_at(util::Date date) const {
   const SiteAssignment assignment =
-      assign_sites(history_.snapshot_at(date), corpus_.hostnames());
+      assign_sites(CompiledMatcher(history_.snapshot_at(date)), corpus_.hostnames());
   return harm::divergent_hosts(assignment, latest_);
 }
 

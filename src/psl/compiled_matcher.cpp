@@ -1,0 +1,269 @@
+#include "psl/psl/compiled_matcher.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace psl {
+
+namespace {
+
+std::uint32_t hash_label(std::string_view label) noexcept {
+  // FNV-1a, 32-bit, over the label bytes in REVERSE order — the match loop
+  // scans the host right-to-left and hashes while looking for the dot, so
+  // the build side must hash in the same order. Labels are short (median
+  // 2-8 bytes); anything fancier loses to its own setup cost here.
+  std::uint32_t h = 2166136261u;
+  for (auto it = label.rbegin(); it != label.rend(); ++it) {
+    h ^= static_cast<unsigned char>(*it);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// Deepest label stack tracked per match. DNS names carry at most 127
+// labels; the walk itself dies at (deepest rule + 1) labels anyway, so this
+// bounds stack usage, not matching correctness for any realistic list.
+constexpr std::size_t kMaxDepth = 256;
+
+}  // namespace
+
+std::string MatchView::prevailing_rule() const {
+  if (!matched_explicit_rule) return {};
+  switch (rule_kind) {
+    case RuleKind::kException:
+      return "!" + std::string(rule_span);
+    case RuleKind::kWildcard:
+      return "*." + std::string(rule_span);
+    case RuleKind::kNormal:
+      break;
+  }
+  return std::string(rule_span);
+}
+
+Match MatchView::to_match() const {
+  Match m;
+  m.public_suffix = std::string(public_suffix);
+  m.registrable_domain = std::string(registrable_domain);
+  m.matched_explicit_rule = matched_explicit_rule;
+  m.section = section;
+  m.rule_labels = rule_labels;
+  m.prevailing_rule = prevailing_rule();
+  return m;
+}
+
+CompiledMatcher::CompiledMatcher(const List& list) {
+  // Pass 1: a throwaway pointer-free trie with map children, inserted in
+  // rules() order so duplicate (labels, kind) rules resolve sections the
+  // same way List::insert does (last insertion wins).
+  struct BuildNode {
+    std::map<std::string, std::uint32_t, std::less<>> children;
+    std::uint8_t flags = 0;
+    std::uint8_t sections = 0;
+  };
+  std::vector<BuildNode> build(1);
+
+  for (const Rule& rule : list.rules()) {
+    std::uint32_t node = 0;
+    const auto& labels = rule.labels();
+    for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+      const auto found = build[node].children.find(*it);
+      if (found != build[node].children.end()) {
+        node = found->second;
+      } else {
+        const auto index = static_cast<std::uint32_t>(build.size());
+        build[node].children.emplace(*it, index);
+        build.emplace_back();
+        node = index;
+      }
+    }
+    std::uint8_t bit = 0;
+    switch (rule.kind()) {
+      case RuleKind::kNormal: bit = kHasNormal; break;
+      case RuleKind::kWildcard: bit = kHasWildcard; break;
+      case RuleKind::kException: bit = kHasException; break;
+    }
+    build[node].flags |= bit;
+    if (rule.section() == Section::kPrivate) {
+      build[node].sections |= bit;
+    } else {
+      build[node].sections &= static_cast<std::uint8_t>(~bit);
+    }
+  }
+
+  // Pass 2: flatten into the arena. Node indices are reused verbatim;
+  // children become contiguous sorted ranges; labels are deduplicated into
+  // the pool.
+  std::unordered_map<std::string_view, std::uint32_t> pool_offsets;
+  pool_offsets.reserve(build.size());
+  const auto intern = [&](std::string_view label) {
+    const auto found = pool_offsets.find(label);
+    if (found != pool_offsets.end()) return found->second;
+    const auto offset = static_cast<std::uint32_t>(pool_.size());
+    pool_.append(label);
+    pool_offsets.emplace(label, offset);
+    return offset;
+  };
+
+  nodes_.resize(build.size());
+  std::size_t total_children = 0;
+  for (const BuildNode& b : build) total_children += b.children.size();
+  children_.reserve(total_children);
+  child_hashes_.reserve(total_children);
+
+  struct PendingChild {
+    std::uint32_t hash;
+    std::string_view label;
+    std::uint32_t node;
+  };
+  std::vector<PendingChild> pending;
+  for (std::uint32_t i = 0; i < build.size(); ++i) {
+    pending.clear();
+    for (const auto& [label, child] : build[i].children) {
+      pending.push_back({hash_label(label), label, child});
+    }
+    std::sort(pending.begin(), pending.end(), [](const PendingChild& a, const PendingChild& b) {
+      if (a.hash != b.hash) return a.hash < b.hash;
+      return a.label < b.label;
+    });
+
+    Node& node = nodes_[i];
+    node.children_begin = static_cast<std::uint32_t>(children_.size());
+    for (const PendingChild& p : pending) {
+      child_hashes_.push_back(p.hash);
+      children_.push_back({intern(p.label), static_cast<std::uint32_t>(p.label.size()), p.node});
+    }
+    node.children_end = static_cast<std::uint32_t>(children_.size());
+    node.flags = build[i].flags;
+    node.sections = build[i].sections;
+  }
+}
+
+std::uint32_t CompiledMatcher::find_child(std::uint32_t node, std::string_view label,
+                                          std::uint32_t h) const noexcept {
+  const Node& n = nodes_[node];
+  // The binary search runs over the dense hash array — the root node holds
+  // every TLD, and scanning 4-byte keys keeps that search in ~3 cache
+  // lines. Child records are only touched on a hash hit.
+  const std::uint32_t* const first = child_hashes_.data() + n.children_begin;
+  const std::uint32_t* const last = child_hashes_.data() + n.children_end;
+  const std::uint32_t* it = std::lower_bound(first, last, h);
+  for (; it != last && *it == h; ++it) {
+    const Child& c = children_[static_cast<std::size_t>(it - child_hashes_.data())];
+    if (std::string_view(pool_.data() + c.label_offset, c.label_len) == label) {
+      return c.node;
+    }
+  }
+  return kNoChild;
+}
+
+MatchView CompiledMatcher::match_view(std::string_view host) const noexcept {
+  MatchView out;
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+  // Empty hosts and hosts whose rightmost label is empty ("", ".", "a..")
+  // have no suffix at all — same degenerate-input contract as List::match.
+  if (host.empty() || host.back() == '.') return out;
+
+  // One right-to-left scan: trie-walk while alive, recording where each
+  // suffix of the host starts. starts[d] = offset of the d-rightmost-labels
+  // suffix. Once the walk dies the prevailing rule is fixed, so scanning
+  // stops as soon as the registrable domain's start is known — long hosts
+  // under shallow rules never pay for their full label count.
+  std::size_t starts[kMaxDepth];
+  constexpr std::size_t npos = std::string_view::npos;
+
+  std::size_t best_len = 1;  // the implicit "*" rule
+  bool explicit_rule = false;
+  Section best_section = Section::kIcann;
+  RuleKind best_kind = RuleKind::kNormal;
+  std::size_t exception_depth = 0;
+
+  std::uint32_t node = 0;
+  bool walking = true;
+  std::size_t depth = 0;
+  std::size_t label_end = host.size();
+
+  while (true) {
+    // One backward pass per label: find its start and FNV-hash its bytes
+    // (reverse order, matching hash_label) in the same scan.
+    std::uint32_t h = 2166136261u;
+    std::size_t pos = label_end;
+    while (pos > 0 && host[pos - 1] != '.') {
+      h ^= static_cast<unsigned char>(host[pos - 1]);
+      h *= 16777619u;
+      --pos;
+    }
+    const std::size_t label_start = pos;
+    const std::size_t dot = pos == 0 ? npos : pos - 1;
+    ++depth;
+    if (depth >= kMaxDepth) {  // unreachable for DNS-shaped hosts
+      --depth;
+      break;
+    }
+    starts[depth] = label_start;
+
+    if (walking) {
+      const std::string_view label = host.substr(label_start, label_end - label_start);
+      if (label.empty()) {
+        walking = false;  // malformed host ("a..b"); the walk stops here
+      } else {
+        // A wildcard on the current node covers this label, whatever it is.
+        if ((nodes_[node].flags & kHasWildcard) && depth >= best_len) {
+          best_len = depth;
+          best_section = section_of(node, kHasWildcard);
+          best_kind = RuleKind::kWildcard;
+          explicit_rule = true;
+        }
+        const std::uint32_t child = find_child(node, label, h);
+        if (child == kNoChild) {
+          walking = false;
+        } else {
+          node = child;
+          if ((nodes_[node].flags & kHasNormal) && depth >= best_len) {
+            best_len = depth;
+            best_section = section_of(node, kHasNormal);
+            best_kind = RuleKind::kNormal;
+            explicit_rule = true;
+          }
+          if (nodes_[node].flags & kHasException) {
+            // Exception prevails over everything; its public suffix drops
+            // the leftmost (deepest) label of the rule.
+            exception_depth = depth;
+            best_section = section_of(node, kHasException);
+            explicit_rule = true;
+          }
+        }
+      }
+    }
+    if (!walking) {
+      const std::size_t needed = (exception_depth > 0 ? exception_depth - 1 : best_len) + 1;
+      if (depth >= needed) break;
+    }
+    if (dot == npos) break;
+    label_end = dot;
+  }
+
+  const std::size_t ps_len = exception_depth > 0 ? exception_depth - 1 : best_len;
+  out.public_suffix = ps_len == 0 ? std::string_view{} : host.substr(starts[ps_len]);
+  out.registrable_domain = depth > ps_len ? host.substr(starts[ps_len + 1]) : std::string_view{};
+  out.matched_explicit_rule = explicit_rule;
+  out.section = best_section;
+  out.rule_labels = ps_len;
+  if (explicit_rule) {
+    if (exception_depth > 0) {
+      out.rule_kind = RuleKind::kException;
+      out.rule_span = host.substr(starts[exception_depth]);
+    } else if (best_kind == RuleKind::kWildcard) {
+      out.rule_kind = RuleKind::kWildcard;
+      // The wildcard rule's stored labels are the suffix minus its leftmost
+      // (the '*') label.
+      out.rule_span = best_len > 1 ? host.substr(starts[best_len - 1]) : std::string_view{};
+    } else {
+      out.rule_kind = RuleKind::kNormal;
+      out.rule_span = out.public_suffix;
+    }
+  }
+  return out;
+}
+
+}  // namespace psl

@@ -29,6 +29,8 @@ FlatMatcher::FlatMatcher(const List& list) {
 
 Match FlatMatcher::match(std::string_view host) const {
   if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+  // Degenerate hosts match nothing — same contract as List::match.
+  if (host.empty() || host.back() == '.') return Match{};
   const std::vector<std::string_view> labels = util::split(host, '.');
   const std::size_t n = labels.size();
 
@@ -85,9 +87,11 @@ Match FlatMatcher::match(std::string_view host) const {
   ps_len = std::min(ps_len, n);
 
   auto join_tail = [&](std::size_t count) {
+    // Keep separators around empty labels — the literal byte suffix of the
+    // host, matching List::match on malformed input.
     std::string out;
     for (std::size_t i = n - count; i < n; ++i) {
-      if (!out.empty()) out.push_back('.');
+      if (i > n - count) out.push_back('.');
       out += labels[i];
     }
     return out;

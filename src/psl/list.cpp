@@ -101,6 +101,11 @@ Match List::match(std::string_view host) const {
   // trailing dot defensively since the cost is one branch.
   if (!host.empty() && host.back() == '.') host.remove_suffix(1);
 
+  // An empty host, or one whose rightmost label is empty ("", ".", "...",
+  // "a..") has no last label for even the implicit "*" rule to name: no
+  // suffix, no registrable domain, nothing matched.
+  if (host.empty() || host.back() == '.') return Match{};
+
   const std::vector<std::string_view> labels = util::split(host, '.');
   const std::size_t n = labels.size();
 
@@ -152,9 +157,12 @@ Match List::match(std::string_view host) const {
   ps_len = std::min(ps_len, n);
 
   auto join_tail = [&](std::size_t count) {
+    // Separators go between every label pair, *including* empty labels from
+    // malformed hosts ("a..b") — the tail is the literal byte suffix of the
+    // host, never a re-assembly that collapses dots into a fabricated name.
     std::string out;
     for (std::size_t i = n - count; i < n; ++i) {
-      if (!out.empty()) out.push_back('.');
+      if (i > n - count) out.push_back('.');
       out += labels[i];
     }
     return out;
@@ -191,8 +199,11 @@ std::optional<std::string> List::registrable_domain(std::string_view host) const
 }
 
 bool List::is_public_suffix(std::string_view host) const {
-  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
-  return !host.empty() && match(host).registrable_domain.empty();
+  // match() already tolerates one trailing dot; stripping here too would
+  // turn the degenerate "a.." into "a". Degenerate hosts match nothing at
+  // all — they are not suffixes.
+  const Match m = match(host);
+  return !m.public_suffix.empty() && m.registrable_domain.empty();
 }
 
 bool List::same_site(std::string_view a, std::string_view b) const {
@@ -214,13 +225,25 @@ void List::add_rule(Rule rule) {
   rules_.push_back(std::move(rule));
 }
 
-bool List::remove_rule(const Rule& rule) {
-  const auto it = std::find(rules_.begin(), rules_.end(), rule);
+bool List::remove_rule(const Rule& rule_ref) {
+  const auto it = std::find(rules_.begin(), rules_.end(), rule_ref);
   if (it == rules_.end()) return false;
+  // `rule_ref` may alias an element of rules_ (callers often pass
+  // `list.rules()[i]` straight back in); copy before erase shifts it.
+  const Rule rule = *it;
   rules_.erase(it);
 
-  // Clear the rule's flag on its trie node. Child nodes are left in place
-  // (harmless: nodes without flags never influence matching).
+  // A duplicate-kind rule in the *other* section may survive the removal
+  // ("foo.com" in both ICANN and PRIVATE); the trie node must then keep its
+  // flag and take that rule's section. Mirror insert()'s last-write-wins:
+  // the prevailing duplicate is the last one in rules_ order.
+  const Rule* survivor = nullptr;
+  for (const Rule& r : rules_) {
+    if (r.kind() == rule.kind() && r.labels() == rule.labels()) survivor = &r;
+  }
+
+  // Update the rule's trie node. Child nodes are left in place (harmless:
+  // nodes without flags never influence matching).
   TrieNode* node = root_.get();
   const auto& labels = rule.labels();
   for (auto label_it = labels.rbegin(); label_it != labels.rend(); ++label_it) {
@@ -228,10 +251,23 @@ bool List::remove_rule(const Rule& rule) {
     if (child == node->children.end()) return false;  // unreachable given the precondition
     node = child->second.get();
   }
+  const bool keep = survivor != nullptr;
+  // When the flag clears, the stored section resets to its default rather
+  // than leaking the removed rule's section into a future re-add.
+  const Section section = keep ? survivor->section() : Section::kIcann;
   switch (rule.kind()) {
-    case RuleKind::kNormal: node->has_normal = false; break;
-    case RuleKind::kWildcard: node->has_wildcard = false; break;
-    case RuleKind::kException: node->has_exception = false; break;
+    case RuleKind::kNormal:
+      node->has_normal = keep;
+      node->normal_section = section;
+      break;
+    case RuleKind::kWildcard:
+      node->has_wildcard = keep;
+      node->wildcard_section = section;
+      break;
+    case RuleKind::kException:
+      node->has_exception = keep;
+      node->exception_section = section;
+      break;
   }
   return true;
 }

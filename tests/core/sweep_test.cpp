@@ -108,5 +108,72 @@ TEST(SweeperTest, LatestAssignmentCoversAllHosts) {
   EXPECT_EQ(sweeper().latest_assignment().site_ids.size(), corpus().unique_host_count());
 }
 
+// --- execution strategies: every path must be bit-identical -----------------
+
+void expect_identical_series(const std::vector<VersionMetrics>& a,
+                             const std::vector<VersionMetrics>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].version_index, b[i].version_index) << i;
+    EXPECT_EQ(a[i].date, b[i].date) << i;
+    EXPECT_EQ(a[i].rule_count, b[i].rule_count) << i;
+    EXPECT_EQ(a[i].site_count, b[i].site_count) << i;
+    EXPECT_EQ(a[i].mean_hosts_per_site, b[i].mean_hosts_per_site) << i;  // exact
+    EXPECT_EQ(a[i].third_party_requests, b[i].third_party_requests) << i;
+    EXPECT_EQ(a[i].divergent_hosts, b[i].divergent_hosts) << i;
+  }
+}
+
+TEST(SweepStrategyTest, CompiledMatcherSweepEqualsSeedTrieSweep) {
+  SweepOptions trie;
+  trie.max_points = 9;
+  trie.use_compiled = false;
+  SweepOptions compiled;
+  compiled.max_points = 9;
+  compiled.use_compiled = true;
+  expect_identical_series(sweeper().sweep(trie), sweeper().sweep(compiled));
+}
+
+TEST(SweepStrategyTest, ParallelSweepIsBitIdenticalToSingleThread) {
+  SweepOptions single;
+  single.max_points = 11;
+  single.threads = 1;
+  SweepOptions parallel;
+  parallel.max_points = 11;
+  parallel.threads = 4;
+  expect_identical_series(sweeper().sweep(single), sweeper().sweep(parallel));
+}
+
+TEST(SweepStrategyTest, HardwareConcurrencyModeRuns) {
+  SweepOptions options;
+  options.max_points = 5;
+  options.threads = 0;  // auto
+  const auto series = sweeper().sweep(options);
+  ASSERT_EQ(series.size(), hist().sampled_versions(5).size());
+  EXPECT_EQ(series.back().divergent_hosts, 0u);
+}
+
+TEST(SweepStrategyTest, IncrementalSweepMatchesFullRecompute) {
+  SweepOptions full;
+  full.max_points = 11;
+  SweepOptions incremental;
+  incremental.max_points = 11;
+  incremental.incremental = true;
+  expect_identical_series(sweeper().sweep(full), sweeper().sweep(incremental));
+}
+
+TEST(SweepStrategyTest, SiteAssignerReusedAcrossVersionsMatchesOneShot) {
+  SiteAssigner assigner(corpus().hostnames());
+  // Run newest-first then oldest so the scratch is visibly reused/dirty.
+  const CompiledMatcher newest(hist().latest());
+  const CompiledMatcher oldest(hist().snapshot(0));
+  (void)assigner.assign(newest);
+  const SiteAssignment& reused = assigner.assign(oldest);
+  const SiteAssignment fresh = assign_sites(hist().snapshot(0), corpus().hostnames());
+  ASSERT_EQ(reused.site_ids, fresh.site_ids);
+  ASSERT_EQ(reused.site_keys, fresh.site_keys);
+  EXPECT_EQ(reused.site_count, fresh.site_count);
+}
+
 }  // namespace
 }  // namespace psl::harm

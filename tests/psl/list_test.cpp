@@ -180,6 +180,72 @@ TEST(ListSameSiteTest, SuffixOnlyHosts) {
   EXPECT_TRUE(list.same_site("github.io", "github.io."));
 }
 
+TEST(ListMatchTest, EmptyAndAllEmptyLabelHostsMatchNothing) {
+  // Regression: join_tail used to fabricate a public suffix (and even a
+  // registrable domain) out of empty label sets — match("a..") returned
+  // registrable "a".
+  const List list = sample();
+  for (const char* host : {"", ".", "..", "...", "a..", "a...", "com.."}) {
+    const Match m = list.match(host);
+    EXPECT_TRUE(m.public_suffix.empty()) << '"' << host << '"';
+    EXPECT_TRUE(m.registrable_domain.empty()) << '"' << host << '"';
+    EXPECT_FALSE(m.matched_explicit_rule) << '"' << host << '"';
+    EXPECT_EQ(m.rule_labels, 0u) << '"' << host << '"';
+    EXPECT_TRUE(m.prevailing_rule.empty()) << '"' << host << '"';
+    EXPECT_FALSE(list.is_public_suffix(host)) << '"' << host << '"';
+    EXPECT_FALSE(list.registrable_domain(host).has_value()) << '"' << host << '"';
+  }
+}
+
+TEST(ListMatchTest, InnerEmptyLabelsStopMatchingButKeepLiteralTail) {
+  // "a..b": matching stops at the empty label; what is reported is the
+  // literal byte tail of the host, never a dot-collapsed reassembly.
+  const List list = sample();
+  const Match m = list.match("a..b");
+  EXPECT_EQ(m.public_suffix, "b");
+  EXPECT_EQ(m.registrable_domain, ".b");
+  EXPECT_FALSE(m.matched_explicit_rule);
+}
+
+TEST(ListRuleMutationTest, RemoveRuleKeepsDuplicateKindFromOtherSection) {
+  // "foo.com" present in BOTH sections (the real list has had such
+  // ICANN/PRIVATE twins). Removing one of the twins must leave the other
+  // in force — previously the trie flag was cleared outright and foo.com
+  // silently stopped being a suffix.
+  const auto icann = Rule::parse("foo.com", Section::kIcann);
+  const auto priv = Rule::parse("foo.com", Section::kPrivate);
+  ASSERT_TRUE(icann.ok());
+  ASSERT_TRUE(priv.ok());
+  List list = List::from_rules({*icann, *priv});
+
+  ASSERT_EQ(list.match("a.foo.com").public_suffix, "foo.com");
+  ASSERT_EQ(list.match("a.foo.com").section, Section::kPrivate);  // last insert wins
+
+  ASSERT_TRUE(list.remove_rule(*priv));
+  EXPECT_EQ(list.match("a.foo.com").public_suffix, "foo.com") << "ICANN twin must survive";
+  EXPECT_EQ(list.match("a.foo.com").section, Section::kIcann);
+
+  ASSERT_TRUE(list.remove_rule(*icann));
+  EXPECT_EQ(list.match("a.foo.com").public_suffix, "com");
+}
+
+TEST(ListRuleMutationTest, RemoveRuleClearsStoredSection) {
+  // Removing the last rule of a kind resets the node's stored section, so
+  // nothing of the removed rule leaks into later queries or re-adds.
+  const auto priv = Rule::parse("bar.net", Section::kPrivate);
+  ASSERT_TRUE(priv.ok());
+  List list = List::from_rules({*priv});
+  ASSERT_TRUE(list.remove_rule(*priv));
+  EXPECT_EQ(list.match("x.bar.net").public_suffix, "net");
+  EXPECT_EQ(list.match("x.bar.net").section, Section::kIcann);
+
+  const auto icann = Rule::parse("bar.net", Section::kIcann);
+  ASSERT_TRUE(icann.ok());
+  list.add_rule(*icann);
+  EXPECT_EQ(list.match("x.bar.net").public_suffix, "bar.net");
+  EXPECT_EQ(list.match("x.bar.net").section, Section::kIcann);
+}
+
 TEST(ListDiffTest, AddedAndRemoved) {
   const auto old_list = List::parse("com\nco.uk\n");
   const auto new_list = List::parse("com\nco.uk\ngithub.io\nmyshopify.com\n");

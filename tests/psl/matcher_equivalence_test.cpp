@@ -1,0 +1,251 @@
+// Differential suite over all three matcher implementations: the
+// reversed-label trie (List::match), the per-depth hash-probing baseline
+// (FlatMatcher), and the arena-compiled matcher (CompiledMatcher). All
+// three implement the publicsuffix.org algorithm and must agree *exactly*
+// — public suffix, registrable domain, explicitness, section, rule-label
+// count, and the canonical prevailing-rule text — on every input:
+// generated hosts, checkPublicSuffix-style fixture cases, and hostile
+// degenerate strings.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/flat_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/util/namegen.hpp"
+#include "psl/util/rng.hpp"
+
+namespace psl {
+namespace {
+
+void expect_all_agree(const List& list, const FlatMatcher& flat, const CompiledMatcher& compiled,
+                      const std::string& host) {
+  const Match a = list.match(host);
+  const Match b = flat.match(host);
+  const Match c = compiled.match(host);
+  ASSERT_EQ(a.public_suffix, b.public_suffix) << "flat: " << host;
+  ASSERT_EQ(a.public_suffix, c.public_suffix) << "compiled: " << host;
+  ASSERT_EQ(a.registrable_domain, b.registrable_domain) << "flat: " << host;
+  ASSERT_EQ(a.registrable_domain, c.registrable_domain) << "compiled: " << host;
+  ASSERT_EQ(a.matched_explicit_rule, b.matched_explicit_rule) << "flat: " << host;
+  ASSERT_EQ(a.matched_explicit_rule, c.matched_explicit_rule) << "compiled: " << host;
+  ASSERT_EQ(a.section, b.section) << "flat: " << host;
+  ASSERT_EQ(a.section, c.section) << "compiled: " << host;
+  ASSERT_EQ(a.rule_labels, b.rule_labels) << "flat: " << host;
+  ASSERT_EQ(a.rule_labels, c.rule_labels) << "compiled: " << host;
+  ASSERT_EQ(a.prevailing_rule, b.prevailing_rule) << "flat: " << host;
+  ASSERT_EQ(a.prevailing_rule, c.prevailing_rule) << "compiled: " << host;
+
+  // The zero-allocation view and its allocating adapter must tell one story.
+  const MatchView v = compiled.match_view(host);
+  ASSERT_EQ(v.public_suffix, a.public_suffix) << host;
+  ASSERT_EQ(v.registrable_domain, a.registrable_domain) << host;
+  ASSERT_EQ(v.prevailing_rule(), a.prevailing_rule) << host;
+}
+
+/// Random rule set drawn from a small shared label pool (mirrors
+/// matcher_property_test so hosts collide with rules often).
+List random_list(std::uint64_t seed, std::size_t rules) {
+  util::Rng rng(seed);
+  util::NameGen names{rng.fork(1)};
+  std::vector<std::string> pool;
+  for (int i = 0; i < 24; ++i) pool.push_back(names.fresh(1));
+
+  auto pick = [&] { return pool[rng.below(pool.size())]; };
+
+  std::vector<Rule> out;
+  while (out.size() < rules) {
+    std::string text;
+    const std::size_t labels = 1 + rng.below(3);
+    for (std::size_t i = 0; i < labels; ++i) {
+      if (!text.empty()) text.push_back('.');
+      text += pick();
+    }
+    const double roll = rng.uniform01();
+    if (roll < 0.12) {
+      text = "*." + text;
+    } else if (roll < 0.18 && labels >= 2) {
+      text = "!" + text;
+    }
+    auto rule = Rule::parse(text, rng.chance(0.3) ? Section::kPrivate : Section::kIcann);
+    if (rule.ok()) out.push_back(*std::move(rule));
+  }
+  return List::from_rules(std::move(out));
+}
+
+std::vector<std::string> shared_pool(std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::NameGen names{rng.fork(1)};
+  std::vector<std::string> pool;
+  for (int i = 0; i < 24; ++i) pool.push_back(names.fresh(1));
+  return pool;
+}
+
+class MatcherEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherEquivalenceTest, AllThreeMatchersAgreeOnGeneratedHosts) {
+  const std::uint64_t seed = GetParam();
+  const List list = random_list(seed, 140);
+  const FlatMatcher flat(list);
+  const CompiledMatcher compiled(list);
+  const auto pool = shared_pool(seed);
+
+  util::Rng rng(seed ^ 0xC0FFEE);
+  for (int i = 0; i < 3000; ++i) {
+    std::string host;
+    const std::size_t labels = 1 + rng.below(5);
+    for (std::size_t l = 0; l < labels; ++l) {
+      if (!host.empty()) host.push_back('.');
+      host += pool[rng.below(pool.size())];
+    }
+    if (rng.chance(0.05)) host.push_back('.');  // trailing dot tolerance
+    expect_all_agree(list, flat, compiled, host);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 55, 88, 144, 233, 377));
+
+TEST(MatcherEquivalenceTest, AgreeOnCheckPublicSuffixStyleFixture) {
+  // The rule shapes of the publicsuffix.org checkPublicSuffix test data,
+  // expressed against a list that exercises every kind and both sections.
+  const auto parsed = List::parse(R"(// ===BEGIN ICANN DOMAINS===
+com
+biz
+uk
+co.uk
+gov.uk
+jp
+ac.jp
+kyoto.jp
+ide.kyoto.jp
+*.kobe.jp
+!city.kobe.jp
+*.ck
+!www.ck
+us
+ak.us
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+// ===END PRIVATE DOMAINS===
+)");
+  ASSERT_TRUE(parsed.ok());
+  const List& list = *parsed;
+  const FlatMatcher flat(list);
+  const CompiledMatcher compiled(list);
+
+  // (host, expected registrable domain; "" = host is/contains only a suffix).
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"biz", ""},
+      {"domain.biz", "domain.biz"},
+      {"b.domain.biz", "domain.biz"},
+      {"a.b.domain.biz", "domain.biz"},
+      {"com", ""},
+      {"example.com", "example.com"},
+      {"b.example.com", "example.com"},
+      {"uk", ""},
+      {"co.uk", ""},
+      {"example.co.uk", "example.co.uk"},
+      {"b.example.co.uk", "example.co.uk"},
+      {"jp", ""},
+      {"test.jp", "test.jp"},
+      {"ac.jp", ""},
+      {"test.ac.jp", "test.ac.jp"},
+      {"kyoto.jp", ""},
+      {"test.kyoto.jp", "test.kyoto.jp"},
+      {"ide.kyoto.jp", ""},
+      {"b.ide.kyoto.jp", "b.ide.kyoto.jp"},
+      {"a.b.ide.kyoto.jp", "b.ide.kyoto.jp"},
+      {"c.kobe.jp", ""},
+      {"b.c.kobe.jp", "b.c.kobe.jp"},
+      {"a.b.c.kobe.jp", "b.c.kobe.jp"},
+      {"city.kobe.jp", "city.kobe.jp"},
+      {"www.city.kobe.jp", "city.kobe.jp"},
+      {"ck", ""},
+      {"test.ck", ""},
+      {"b.test.ck", "b.test.ck"},
+      {"a.b.test.ck", "b.test.ck"},
+      {"www.ck", "www.ck"},
+      {"www.www.ck", "www.ck"},
+      {"us", ""},
+      {"test.us", "test.us"},
+      {"ak.us", ""},
+      {"test.ak.us", "test.ak.us"},
+      {"github.io", ""},
+      {"alice.github.io", "alice.github.io"},
+      {"www.alice.github.io", "alice.github.io"},
+      {"blogspot.com", ""},
+      {"me.blogspot.com", "me.blogspot.com"},
+  };
+  for (const auto& [host, registrable] : cases) {
+    EXPECT_EQ(list.match(host).registrable_domain, registrable) << host;
+    expect_all_agree(list, flat, compiled, host);
+  }
+}
+
+TEST(MatcherEquivalenceTest, AgreeOnHostileAndDegenerateHosts) {
+  const List list = random_list(4096, 120);
+  const FlatMatcher flat(list);
+  const CompiledMatcher compiled(list);
+
+  const std::vector<std::string> hostile = {
+      "",      ".",        "..",         "...",          "....",
+      "a.",    "a..",      ".a",         "..a",          "a..b",
+      "a...b", ".a.b.",    "*",          "*.ck",         "!www.ck",
+      "-",     "a-.b",     std::string(300, 'a'),        "a." + std::string(200, 'b'),
+      std::string(64, '.') + "com",      "x" + std::string(100, '.') + "y",
+  };
+  for (const std::string& host : hostile) expect_all_agree(list, flat, compiled, host);
+
+  // Random byte blobs, dots included with high probability.
+  util::Rng rng(777);
+  const std::string alphabet = "ab.-.!*.c.";
+  for (int i = 0; i < 4000; ++i) {
+    std::string host;
+    const std::size_t len = rng.below(24);
+    for (std::size_t c = 0; c < len; ++c) host += alphabet[rng.below(alphabet.size())];
+    expect_all_agree(list, flat, compiled, host);
+  }
+}
+
+TEST(MatcherEquivalenceTest, AgreeUnderIncrementalMutation) {
+  // add_rule/remove_rule keep List consistent with a fresh compile of the
+  // same rule set — the invariant the incremental sweep engine rests on.
+  List list = random_list(2024, 80);
+  util::Rng rng(2024);
+  const auto pool = shared_pool(2024);
+
+  for (int round = 0; round < 20; ++round) {
+    if (!list.rules().empty() && rng.chance(0.4)) {
+      list.remove_rule(list.rules()[rng.below(list.rules().size())]);
+    } else {
+      const std::string text =
+          pool[rng.below(pool.size())] + "." + pool[rng.below(pool.size())];
+      auto rule = Rule::parse(text, rng.chance(0.5) ? Section::kPrivate : Section::kIcann);
+      bool duplicate = false;
+      if (rule.ok()) {
+        for (const Rule& r : list.rules()) duplicate = duplicate || r == *rule;
+        if (!duplicate) list.add_rule(*std::move(rule));
+      }
+    }
+
+    const FlatMatcher flat(list);
+    const CompiledMatcher compiled(list);
+    for (int i = 0; i < 200; ++i) {
+      std::string host;
+      const std::size_t labels = 1 + rng.below(4);
+      for (std::size_t l = 0; l < labels; ++l) {
+        if (!host.empty()) host.push_back('.');
+        host += pool[rng.below(pool.size())];
+      }
+      expect_all_agree(list, flat, compiled, host);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psl
