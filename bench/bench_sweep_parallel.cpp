@@ -21,6 +21,8 @@
 
 #include "common.hpp"
 #include "psl/core/sweep.hpp"
+#include "psl/obs/json.hpp"
+#include "psl/obs/metrics.hpp"
 #include "psl/util/strings.hpp"
 #include "psl/util/table.hpp"
 
@@ -144,6 +146,43 @@ int main(int argc, char** argv) {
   }
   json << "  ]\n}\n";
   std::cout << "wrote BENCH_sweep.json\n";
+
+  // --- observability rerun: per-phase metrics snapshot + overhead check ----
+  // Re-run the widest parallel configuration twice — once bare, once with a
+  // registry attached — to (a) bound the instrumented overhead and (b) emit
+  // the per-phase latency/work-steal snapshot alongside the wall-clock table.
+  psl::harm::SweepOptions obs_options = base;
+  obs_options.threads = max_threads;
+
+  const auto t_null0 = Clock::now();
+  const auto null_series = sweeper.sweep(obs_options);
+  const auto t_null1 = Clock::now();
+  const double null_ms = std::chrono::duration<double, std::milli>(t_null1 - t_null0).count();
+
+  psl::obs::MetricsRegistry registry;
+  obs_options.metrics = &registry;
+  const auto t_obs0 = Clock::now();
+  const auto obs_series = sweeper.sweep(obs_options);
+  const auto t_obs1 = Clock::now();
+  const double obs_ms = std::chrono::duration<double, std::milli>(t_obs1 - t_obs0).count();
+
+  if (!identical(obs_series, null_series) || !identical(obs_series, results.front().series)) {
+    std::cout << "METRIC MISMATCH: instrumented sweep diverges from the baseline\n";
+    all_agree = false;
+  }
+
+  const double overhead_pct = null_ms > 0.0 ? (obs_ms - null_ms) / null_ms * 100.0 : 0.0;
+  std::cout << "\nobservability overhead (" << max_threads << " threads): "
+            << psl::util::fmt_double(null_ms, 0) << " ms bare vs "
+            << psl::util::fmt_double(obs_ms, 0) << " ms instrumented ("
+            << psl::util::fmt_double(overhead_pct, 1) << "%)\n";
+
+  registry.gauge("bench.null_wall_ms").set(null_ms);
+  registry.gauge("bench.instrumented_wall_ms").set(obs_ms);
+  registry.gauge("bench.overhead_pct").set(overhead_pct);
+  std::ofstream metrics_json("BENCH_sweep_metrics.json");
+  psl::obs::write_json(registry, metrics_json);
+  std::cout << "wrote BENCH_sweep_metrics.json\n";
 
   return all_agree ? 0 : 1;
 }

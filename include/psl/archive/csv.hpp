@@ -13,11 +13,14 @@
 //   #requests
 //   page_host_id,resource_host_id
 //   ...
+//
+// Each section header may appear exactly once, #hosts before #requests.
 #pragma once
 
 #include <iosfwd>
 
 #include "psl/archive/corpus.hpp"
+#include "psl/obs/metrics.hpp"
 #include "psl/util/result.hpp"
 
 namespace psl::archive {
@@ -25,8 +28,28 @@ namespace psl::archive {
 /// Write the corpus. Deterministic output (ids are the corpus's own).
 void write_csv(const Corpus& corpus, std::ostream& out);
 
-/// Read a corpus back. Errors on malformed rows, out-of-range ids, or a
-/// missing section header.
+struct CsvOptions {
+  /// Strict (false): the first malformed row aborts the read with its
+  /// error. Recover (true): malformed rows are skipped and the rest of the
+  /// file still loads — a host row with a bad/duplicate id or empty name
+  /// drops that host (and, transitively, every request referencing it); a
+  /// request row with a bad or unmapped id drops that request. Section
+  /// structure stays fatal either way: data before #hosts, #requests before
+  /// #hosts, or a repeated section header is never recoverable.
+  bool recover = false;
+
+  /// Optional accounting sink. Rows read/skipped land in the counters
+  /// "csv.hosts", "csv.requests", "csv.rows_skipped", and every skip is
+  /// recorded as a Diagnostic{code, line, detail}. Null: no accounting.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Read a corpus back under `options`. In strict mode errors on malformed
+/// rows, out-of-range ids, or broken section structure; in recover mode
+/// returns the partial corpus (see CsvOptions::recover).
+util::Result<Corpus> read_csv(std::istream& in, const CsvOptions& options);
+
+/// Strict read — read_csv(in, CsvOptions{}).
 util::Result<Corpus> read_csv(std::istream& in);
 
 }  // namespace psl::archive

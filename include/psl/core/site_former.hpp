@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "psl/obs/metrics.hpp"
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
 
@@ -60,6 +61,12 @@ class SiteAssigner {
 
   const SiteAssignment& assignment() const noexcept { return scratch_; }
 
+  /// Account each assign() call into `metrics` (histogram
+  /// "siteform.assign_ms", counters "siteform.hosts_assigned" /
+  /// "siteform.assign_calls"). Instruments are resolved here, once — the
+  /// per-host loop stays untouched. Null detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct TransparentHash {
     using is_transparent = void;
@@ -71,6 +78,9 @@ class SiteAssigner {
   std::span<const std::string> hostnames_;
   SiteAssignment scratch_;
   std::unordered_map<std::string, std::uint32_t, TransparentHash, std::equal_to<>> interned_;
+  obs::Histogram* assign_ms_ = nullptr;
+  obs::Counter* hosts_assigned_ = nullptr;
+  obs::Counter* assign_calls_ = nullptr;
 };
 
 /// Aggregate shape of the site structure — Fig. 5's y-axis and the

@@ -8,6 +8,7 @@
 #include "psl/archive/corpus.hpp"
 #include "psl/core/site_former.hpp"
 #include "psl/history/history.hpp"
+#include "psl/obs/metrics.hpp"
 
 namespace psl::harm {
 
@@ -39,6 +40,14 @@ struct SweepOptions {
   /// reversed-label trie (List::match); only the recompute strategies honour
   /// this — the incremental engine always keys through its live trie.
   bool use_compiled = true;
+  /// Optional observability sink (see psl/obs). When set, sweep() records
+  /// per-phase latency histograms ("sweep.compile_ms", "sweep.assign_ms",
+  /// "sweep.metrics_ms", or "sweep.replay_ms" for the incremental engine),
+  /// a "sweep" root span, per-worker pull counters
+  /// ("sweep.worker.<t>.versions" — the work-steal balance), and the
+  /// "sweep.versions_evaluated" total. Null (the default) skips all
+  /// instrumentation; the metrics themselves stay bit-identical either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Evaluates corpus metrics under historical list versions. Construction
@@ -68,10 +77,17 @@ class Sweeper {
   const SiteAssignment& latest_assignment() const noexcept { return latest_; }
 
  private:
+  /// Pre-resolved per-phase latency sinks; all-null when no registry is set.
+  struct PhaseSinks {
+    obs::Histogram* compile_ms = nullptr;
+    obs::Histogram* assign_ms = nullptr;
+    obs::Histogram* metrics_ms = nullptr;
+  };
+
   /// Metrics common to every strategy, computed off a finished assignment.
   VersionMetrics metrics_for(const SiteAssignment& assignment, std::size_t rule_count) const;
   VersionMetrics evaluate_version(std::size_t version_index, SiteAssigner& scratch,
-                                  bool use_compiled) const;
+                                  bool use_compiled, const PhaseSinks& sinks) const;
 
   const history::History& history_;
   const archive::Corpus& corpus_;

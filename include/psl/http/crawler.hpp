@@ -12,6 +12,7 @@
 
 #include "psl/http/html.hpp"
 #include "psl/http/vweb.hpp"
+#include "psl/obs/metrics.hpp"
 #include "psl/web/cookie_jar.hpp"
 
 namespace psl::http {
@@ -45,6 +46,13 @@ class Crawler {
   const CrawlStats& stats() const noexcept { return stats_; }
   const web::CookieJar& cookies() const noexcept { return jar_; }
 
+  /// Mirror crawl accounting into `metrics`: counters "crawl.pages",
+  /// "crawl.resources", "crawl.http_errors", the jar's per-outcome
+  /// "cookie.set.*" counters, and the per-fetch "crawl.fetch_ms" latency
+  /// histogram. CrawlStats stays the API of record; the registry is the
+  /// cross-stage snapshot. Null detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   Response fetch(const url::Url& target);
 
@@ -53,6 +61,10 @@ class Crawler {
   web::CookieJar jar_;
   CrawlStats stats_;
   std::int64_t clock_ = 0;
+  obs::Histogram* fetch_ms_ = nullptr;
+  obs::Counter* pages_ = nullptr;
+  obs::Counter* resources_ = nullptr;
+  obs::Counter* http_errors_ = nullptr;
 };
 
 }  // namespace psl::http

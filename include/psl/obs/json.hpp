@@ -1,0 +1,28 @@
+// JSON snapshot of a MetricsRegistry, following the BENCH_*.json
+// convention: a single self-describing object a CI artifact step can
+// archive. Schema (docs/API.md has the full description):
+//
+//   {
+//     "counters":    { "<name>": <int>, ... },
+//     "gauges":      { "<name>": <double>, ... },
+//     "histograms":  { "<name>": { "count", "sum", "min", "max",
+//                                  "buckets": [ {"le": <bound|"inf">,
+//                                                "count": <int>}, ... ] } },
+//     "spans":       [ {"name", "parent", "start_ms", "dur_ms", "depth"} ],
+//     "diagnostics": [ {"code", "line", "detail"} ],
+//     "diagnostics_dropped": <int>
+//   }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "psl/obs/metrics.hpp"
+
+namespace psl::obs {
+
+void write_json(const MetricsRegistry& registry, std::ostream& out);
+
+std::string to_json(const MetricsRegistry& registry);
+
+}  // namespace psl::obs

@@ -6,10 +6,12 @@
 // organization under that suffix.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
+#include "psl/obs/metrics.hpp"
 #include "psl/psl/list.hpp"
 #include "psl/url/url.hpp"
 #include "psl/web/cookie.hpp"
@@ -55,9 +57,17 @@ class CookieJar {
   const std::vector<Cookie>& cookies() const noexcept { return cookies_; }
   void clear() noexcept { cookies_.clear(); }
 
+  /// Route per-outcome accounting into `metrics` (counters
+  /// "cookie.set.<outcome>" and "cookie.purged"). Null detaches. The
+  /// registry must outlive the jar.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   const List* list_;
   std::vector<Cookie> cookies_;
+  /// Pre-resolved per-outcome counters, indexed by SetCookieOutcome.
+  std::array<obs::Counter*, 5> outcome_counters_{};
+  obs::Counter* purged_counter_ = nullptr;
 };
 
 }  // namespace psl::web

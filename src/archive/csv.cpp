@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 
 #include "psl/util/strings.hpp"
 
@@ -32,11 +33,29 @@ util::Result<std::uint64_t> parse_u64(std::string_view field) {
   return value;
 }
 
+util::Error line_error(std::string code, std::size_t line_no, std::string_view detail) {
+  return util::make_error(std::move(code),
+                          "line " + std::to_string(line_no) + ": " + std::string(detail));
+}
+
 }  // namespace
 
-util::Result<Corpus> read_csv(std::istream& in) {
+util::Result<Corpus> read_csv(std::istream& in, const CsvOptions& options) {
   std::vector<std::string> hosts;
   std::vector<Request> requests;
+  // Recover mode: hosts may be dropped, so file ids are no longer dense
+  // corpus indices — requests resolve through this map instead.
+  std::unordered_map<std::uint64_t, HostId> id_map;
+
+  std::size_t skipped = 0;
+  const auto record_skip = [&](std::string_view code, std::size_t line_no,
+                               std::string_view detail) {
+    ++skipped;
+    if (options.metrics) {
+      options.metrics->diagnose(
+          obs::Diagnostic{std::string(code), line_no, std::string(detail)});
+    }
+  };
 
   enum class Section { kNone, kHosts, kRequests } section = Section::kNone;
   std::string line;
@@ -45,56 +64,103 @@ util::Result<Corpus> read_csv(std::istream& in) {
     ++line_no;
     const std::string_view s = util::trim(line);
     if (s.empty()) continue;
+    // Section structure is never recoverable: a repeated header or
+    // out-of-order section means the file is not this format at all, and
+    // "recovering" would silently mis-assign every following row.
     if (s == "#hosts") {
+      if (section != Section::kNone) {
+        return line_error("csv.duplicate-section", line_no,
+                          "#hosts may appear only once, before #requests");
+      }
       section = Section::kHosts;
       continue;
     }
     if (s == "#requests") {
+      if (section == Section::kRequests) {
+        return line_error("csv.duplicate-section", line_no, "#requests may appear only once");
+      }
+      if (section == Section::kNone) {
+        return line_error("csv.requests-before-hosts", line_no,
+                          "#requests requires a preceding #hosts section");
+      }
       section = Section::kRequests;
       continue;
     }
     if (section == Section::kNone) {
-      return util::make_error("csv.no-section",
-                              "line " + std::to_string(line_no) + ": data before a section");
+      return line_error("csv.no-section", line_no, "data before a section");
     }
 
     const std::size_t comma = s.find(',');
     if (comma == std::string_view::npos) {
-      return util::make_error("csv.bad-row",
-                              "line " + std::to_string(line_no) + ": missing comma");
+      if (!options.recover) return line_error("csv.bad-row", line_no, "missing comma");
+      record_skip("csv.bad-row", line_no, "missing comma");
+      continue;
     }
     const std::string_view first = s.substr(0, comma);
     const std::string_view second = s.substr(comma + 1);
 
     if (section == Section::kHosts) {
       auto id = parse_u64(first);
-      if (!id) return id.error();
-      if (*id != hosts.size()) {
-        return util::make_error("csv.bad-host-id",
-                                "line " + std::to_string(line_no) + ": ids must be dense");
+      if (!id) {
+        if (!options.recover) return id.error();
+        record_skip(id.error().code, line_no, id.error().message);
+        continue;
+      }
+      if (options.recover ? id_map.contains(*id) : *id != hosts.size()) {
+        if (!options.recover) return line_error("csv.bad-host-id", line_no, "ids must be dense");
+        record_skip("csv.duplicate-host-id", line_no,
+                    "host id " + std::to_string(*id) + " already defined");
+        continue;
       }
       if (second.empty()) {
-        return util::make_error("csv.empty-host",
-                                "line " + std::to_string(line_no) + ": empty hostname");
+        if (!options.recover) return line_error("csv.empty-host", line_no, "empty hostname");
+        record_skip("csv.empty-host", line_no, "empty hostname");
+        continue;
       }
+      if (options.recover) id_map.emplace(*id, static_cast<HostId>(hosts.size()));
       hosts.emplace_back(second);
     } else {
       auto page = parse_u64(first);
-      if (!page) return page.error();
       auto resource = parse_u64(second);
-      if (!resource) return resource.error();
-      if (*page >= hosts.size() || *resource >= hosts.size()) {
-        return util::make_error("csv.bad-request-id",
-                                "line " + std::to_string(line_no) + ": id out of range");
+      if (!page || !resource) {
+        const util::Error& error = !page ? page.error() : resource.error();
+        if (!options.recover) return error;
+        record_skip(error.code, line_no, error.message);
+        continue;
       }
-      requests.push_back(
-          Request{static_cast<HostId>(*page), static_cast<HostId>(*resource)});
+      HostId page_id = 0;
+      HostId resource_id = 0;
+      if (options.recover) {
+        const auto p = id_map.find(*page);
+        const auto r = id_map.find(*resource);
+        if (p == id_map.end() || r == id_map.end()) {
+          record_skip("csv.bad-request-id", line_no,
+                      "request references an unknown host id");
+          continue;
+        }
+        page_id = p->second;
+        resource_id = r->second;
+      } else {
+        if (*page >= hosts.size() || *resource >= hosts.size()) {
+          return line_error("csv.bad-request-id", line_no, "id out of range");
+        }
+        page_id = static_cast<HostId>(*page);
+        resource_id = static_cast<HostId>(*resource);
+      }
+      requests.push_back(Request{page_id, resource_id});
     }
   }
   if (section == Section::kNone) {
     return util::make_error("csv.empty", "no sections found");
   }
+  if (options.metrics) {
+    options.metrics->counter("csv.hosts").add(static_cast<std::int64_t>(hosts.size()));
+    options.metrics->counter("csv.requests").add(static_cast<std::int64_t>(requests.size()));
+    options.metrics->counter("csv.rows_skipped").add(static_cast<std::int64_t>(skipped));
+  }
   return Corpus(std::move(hosts), std::move(requests));
 }
+
+util::Result<Corpus> read_csv(std::istream& in) { return read_csv(in, CsvOptions{}); }
 
 }  // namespace psl::archive

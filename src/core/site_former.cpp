@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "psl/obs/span.hpp"
 #include "psl/url/host.hpp"
 
 namespace psl::harm {
@@ -42,7 +43,20 @@ SiteAssigner::SiteAssigner(std::span<const std::string> hostnames) : hostnames_(
   interned_.reserve(hostnames.size());
 }
 
+void SiteAssigner::set_metrics(obs::MetricsRegistry* metrics) {
+  if (!metrics) {
+    assign_ms_ = nullptr;
+    hosts_assigned_ = nullptr;
+    assign_calls_ = nullptr;
+    return;
+  }
+  assign_ms_ = &metrics->histogram("siteform.assign_ms");
+  hosts_assigned_ = &metrics->counter("siteform.hosts_assigned");
+  assign_calls_ = &metrics->counter("siteform.assign_calls");
+}
+
 const SiteAssignment& SiteAssigner::assign(const CompiledMatcher& matcher) {
+  const obs::Timer timer(assign_ms_);
   scratch_.site_ids.clear();
   scratch_.site_keys.clear();
   interned_.clear();  // buckets are retained; only the entries go
@@ -65,6 +79,10 @@ const SiteAssignment& SiteAssigner::assign(const CompiledMatcher& matcher) {
     scratch_.site_ids.push_back(it->second);
   }
   scratch_.site_count = interned_.size();
+  if (assign_calls_) {
+    assign_calls_->add();
+    hosts_assigned_->add(static_cast<std::int64_t>(hostnames_.size()));
+  }
   return scratch_;
 }
 

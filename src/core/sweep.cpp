@@ -1,9 +1,12 @@
 #include "psl/core/sweep.hpp"
 
 #include <atomic>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "psl/core/incremental.hpp"
+#include "psl/obs/span.hpp"
 
 namespace psl::harm {
 
@@ -44,14 +47,38 @@ VersionMetrics Sweeper::evaluate_list(const List& list) const {
 }
 
 VersionMetrics Sweeper::evaluate_version(std::size_t version_index, SiteAssigner& scratch,
-                                         bool use_compiled) const {
-  const List snapshot = history_.snapshot(version_index);
-  VersionMetrics m;
-  if (use_compiled) {
-    m = metrics_for(scratch.assign(CompiledMatcher(snapshot)), snapshot.rule_count());
-  } else {
-    m = metrics_for(assign_sites(snapshot, corpus_.hostnames()), snapshot.rule_count());
+                                         bool use_compiled, const PhaseSinks& sinks) const {
+  // Phase 1 — compile: materialise the version's list (delta replay inside
+  // History) and, on the compiled path, freeze it into the arena matcher.
+  std::size_t rule_count = 0;
+  std::optional<CompiledMatcher> matcher;
+  std::optional<List> snapshot;
+  {
+    const obs::Timer timer(sinks.compile_ms);
+    snapshot.emplace(history_.snapshot(version_index));
+    rule_count = snapshot->rule_count();
+    if (use_compiled) {
+      matcher.emplace(*snapshot);
+      snapshot.reset();  // the arena is self-contained
+    }
   }
+
+  // Phase 2 — assign: one match per unique hostname.
+  const SiteAssignment* assignment = nullptr;
+  std::optional<SiteAssignment> owned;
+  {
+    const obs::Timer timer(sinks.assign_ms);
+    if (use_compiled) {
+      assignment = &scratch.assign(*matcher);
+    } else {
+      owned.emplace(assign_sites(*snapshot, corpus_.hostnames()));
+      assignment = &*owned;
+    }
+  }
+
+  // Phase 3 — metrics: per-request third-party flags + divergence.
+  const obs::Timer timer(sinks.metrics_ms);
+  VersionMetrics m = metrics_for(*assignment, rule_count);
   m.version_index = version_index;
   m.date = history_.version_date(version_index);
   return m;
@@ -71,24 +98,55 @@ std::vector<VersionMetrics> Sweeper::sweep(std::size_t max_points) const {
 }
 
 std::vector<VersionMetrics> Sweeper::sweep(const SweepOptions& options) const {
+  obs::MetricsRegistry* registry = options.metrics;
+  const obs::ScopedSpan sweep_span(registry, "sweep");
   const std::vector<std::size_t> sampled = history_.sampled_versions(options.max_points);
   std::vector<VersionMetrics> out(sampled.size());
   if (sampled.empty()) return out;
 
+  PhaseSinks sinks;
+  if (registry) {
+    sinks.compile_ms = &registry->histogram("sweep.compile_ms");
+    sinks.assign_ms = &registry->histogram("sweep.assign_ms");
+    sinks.metrics_ms = &registry->histogram("sweep.metrics_ms");
+    registry->gauge("sweep.sampled_versions").set(static_cast<double>(sampled.size()));
+  }
+
   if (options.incremental) {
+    // The span's histogram ("sweep.replay_ms") is the replay-phase timing.
+    const obs::ScopedSpan replay_span(registry, "sweep.replay");
     IncrementalSweeper incremental(history_, corpus_);
-    return incremental.sweep_versions(sampled);
+    out = incremental.sweep_versions(sampled);
+    if (registry) {
+      registry->counter("sweep.versions_evaluated").add(static_cast<std::int64_t>(out.size()));
+      registry->counter("sweep.hosts_rematched")
+          .add(static_cast<std::int64_t>(incremental.hosts_rematched()));
+    }
+    return out;
   }
 
   unsigned threads = options.threads != 0 ? options.threads
                                           : std::max(1u, std::thread::hardware_concurrency());
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, sampled.size()));
+  if (registry) {
+    registry->gauge("sweep.threads").set(static_cast<double>(threads));
+    registry->counter("sweep.versions_evaluated").add(static_cast<std::int64_t>(sampled.size()));
+  }
+  // Per-worker pull counts: with work-stealing these won't be equal — their
+  // spread is the load-balance signal the bench tables watch.
+  const auto worker_counter = [&](unsigned t) -> obs::Counter* {
+    if (!registry) return nullptr;
+    return &registry->counter("sweep.worker." + std::to_string(t) + ".versions");
+  };
 
   if (threads <= 1) {
     SiteAssigner scratch(corpus_.hostnames());
+    scratch.set_metrics(registry);
+    obs::Counter* pulled = worker_counter(0);
     for (std::size_t i = 0; i < sampled.size(); ++i) {
-      out[i] = evaluate_version(sampled[i], scratch, options.use_compiled);
+      out[i] = evaluate_version(sampled[i], scratch, options.use_compiled, sinks);
+      if (pulled) pulled->add();
     }
     return out;
   }
@@ -98,17 +156,20 @@ std::vector<VersionMetrics> Sweeper::sweep(const SweepOptions& options) const {
   // result lands in its own slot — the output is identical no matter how
   // the scheduler interleaves workers.
   std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
+  const auto worker = [&](unsigned t) {
     SiteAssigner scratch(corpus_.hostnames());
+    scratch.set_metrics(registry);
+    obs::Counter* pulled = worker_counter(t);
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= sampled.size()) break;
-      out[i] = evaluate_version(sampled[i], scratch, options.use_compiled);
+      out[i] = evaluate_version(sampled[i], scratch, options.use_compiled, sinks);
+      if (pulled) pulled->add();
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   return out;
 }

@@ -1,11 +1,29 @@
 #include "psl/http/crawler.hpp"
 
+#include "psl/obs/span.hpp"
+
 namespace psl::http {
 
 Crawler::Crawler(const VirtualWeb& web, const List& list)
     : web_(&web), list_(&list), jar_(list) {}
 
+void Crawler::set_metrics(obs::MetricsRegistry* metrics) {
+  jar_.set_metrics(metrics);
+  if (!metrics) {
+    fetch_ms_ = nullptr;
+    pages_ = nullptr;
+    resources_ = nullptr;
+    http_errors_ = nullptr;
+    return;
+  }
+  fetch_ms_ = &metrics->histogram("crawl.fetch_ms");
+  pages_ = &metrics->counter("crawl.pages");
+  resources_ = &metrics->counter("crawl.resources");
+  http_errors_ = &metrics->counter("crawl.http_errors");
+}
+
 Response Crawler::fetch(const url::Url& target) {
+  const obs::Timer timer(fetch_ms_);
   Request request;
   request.target = target.path();
   request.headers.add("Host", target.host().name());
@@ -51,8 +69,10 @@ std::vector<CrawlRecord> Crawler::crawl(const std::vector<std::string>& seeds) {
 
     const Response page = fetch(*page_url);
     ++stats_.pages_fetched;
+    if (pages_) pages_->add();
     if (page.status != 200) {
       ++stats_.http_errors;
+      if (http_errors_) http_errors_->add();
       continue;
     }
     log.push_back(CrawlRecord{page_url->host().name(), page_url->host().name()});
@@ -61,7 +81,11 @@ std::vector<CrawlRecord> Crawler::crawl(const std::vector<std::string>& seeds) {
       if (!link.is_resource) continue;  // navigation links are out of scope
       const Response resource = fetch(link.url);
       ++stats_.resources_fetched;
-      if (resource.status != 200) ++stats_.http_errors;
+      if (resources_) resources_->add();
+      if (resource.status != 200) {
+        ++stats_.http_errors;
+        if (http_errors_) http_errors_->add();
+      }
       log.push_back(CrawlRecord{page_url->host().name(), link.url.host().name()});
     }
   }

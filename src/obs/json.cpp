@@ -1,0 +1,134 @@
+#include "psl/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace psl::obs {
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_number(std::ostream& out, double v) {
+  // JSON has no Infinity/NaN; an empty histogram's min/max become null.
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream buf;
+  buf.precision(12);
+  buf << v;
+  out << buf.str();
+}
+
+}  // namespace
+
+void write_json(const MetricsRegistry& registry, std::ostream& out) {
+  out << "{\n";
+
+  out << "  \"counters\": {";
+  const auto counters = registry.counters();
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i ? ", " : "");
+    write_escaped(out, counters[i].first);
+    out << ": " << counters[i].second;
+  }
+  out << "},\n";
+
+  out << "  \"gauges\": {";
+  const auto gauges = registry.gauges();
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i ? ", " : "");
+    write_escaped(out, gauges[i].first);
+    out << ": ";
+    write_number(out, gauges[i].second);
+  }
+  out << "},\n";
+
+  out << "  \"histograms\": {\n";
+  const auto histograms = registry.histograms();
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& [name, h] = histograms[i];
+    out << "    ";
+    write_escaped(out, name);
+    out << ": {\"count\": " << h.count << ", \"sum\": ";
+    write_number(out, h.sum);
+    out << ", \"min\": ";
+    write_number(out, h.min);
+    out << ", \"max\": ";
+    write_number(out, h.max);
+    out << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b ? ", " : "") << "{\"le\": ";
+      if (b < h.bounds.size()) {
+        write_number(out, h.bounds[b]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << h.counts[b] << "}";
+    }
+    out << "]}" << (i + 1 < histograms.size() ? "," : "") << "\n";
+  }
+  out << "  },\n";
+
+  out << "  \"spans\": [\n";
+  const auto spans = registry.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out << "    {\"name\": ";
+    write_escaped(out, s.name);
+    out << ", \"parent\": ";
+    write_escaped(out, s.parent);
+    out << ", \"start_ms\": ";
+    write_number(out, s.start_ms);
+    out << ", \"dur_ms\": ";
+    write_number(out, s.dur_ms);
+    out << ", \"depth\": " << s.depth << "}" << (i + 1 < spans.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"diagnostics\": [\n";
+  const auto diagnostics = registry.diagnostics();
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out << "    {\"code\": ";
+    write_escaped(out, d.code);
+    out << ", \"line\": " << d.line << ", \"detail\": ";
+    write_escaped(out, d.detail);
+    out << "}" << (i + 1 < diagnostics.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"diagnostics_dropped\": " << registry.diagnostics_dropped() << "\n";
+  out << "}\n";
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_json(registry, out);
+  return out.str();
+}
+
+}  // namespace psl::obs

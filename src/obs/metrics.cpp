@@ -1,0 +1,149 @@
+#include "psl/obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace psl::obs {
+
+namespace {
+
+// 50µs .. 10s in roughly 1-2.5-5 steps: wide enough for a whole sweep,
+// fine enough for a single per-version phase.
+constexpr std::array<double, 16> kLatencyBoundsMs = {
+    0.05, 0.1, 0.25, 0.5, 1.0,  2.5,   5.0,   10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0};
+
+void atomic_min(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::span<const double> Histogram::default_latency_bounds_ms() noexcept {
+  return kLatencyBoundsMs;
+}
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t diagnostic_capacity, std::size_t span_capacity)
+    : diagnostic_capacity_(diagnostic_capacity),
+      span_capacity_(span_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  // Instruments hold atomics (immovable); construct in place.
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::piecewise_construct, std::forward_as_tuple(std::string(name)),
+               std::forward_as_tuple(bounds))
+      .first->second;
+}
+
+void MetricsRegistry::diagnose(Diagnostic d) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (diagnostics_.size() >= diagnostic_capacity_) {
+    dropped_diagnostics_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+std::vector<Diagnostic> MetricsRegistry::diagnostics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_;
+}
+
+void MetricsRegistry::record_span(SpanRecord r) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= span_capacity_) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(r));
+}
+
+std::vector<SpanRecord> MetricsRegistry::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+double MetricsRegistry::now_ms() const noexcept {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>> MetricsRegistry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.snapshot());
+  return out;
+}
+
+}  // namespace psl::obs

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "psl/history/timeline.hpp"
+#include "psl/obs/metrics.hpp"
+#include "psl/util/rng.hpp"
 
 namespace psl::archive {
 namespace {
@@ -57,6 +60,180 @@ TEST(CorpusCsvTest, AcceptsBlankLines) {
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->unique_host_count(), 2u);
   EXPECT_EQ(back->request_count(), 1u);
+}
+
+// --- section structure: each header once, #hosts first ----------------------
+
+TEST(CorpusCsvTest, RejectsRepeatedHostsHeader) {
+  // A #hosts header mid-stream used to silently reset section state; every
+  // later "request" row would then be parsed as a host row.
+  std::stringstream in{"#hosts\n0,a.com\n#requests\n0,0\n#hosts\n1,b.com\n"};
+  const auto result = read_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "csv.duplicate-section");
+
+  std::stringstream twice{"#hosts\n0,a.com\n#hosts\n1,b.com\n"};
+  EXPECT_EQ(read_csv(twice).error().code, "csv.duplicate-section");
+}
+
+TEST(CorpusCsvTest, RejectsRequestsBeforeHosts) {
+  std::stringstream in{"#requests\n0,0\n"};
+  const auto result = read_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "csv.requests-before-hosts");
+
+  std::stringstream repeated{"#hosts\n0,a.com\n#requests\n#requests\n0,0\n"};
+  EXPECT_EQ(read_csv(repeated).error().code, "csv.duplicate-section");
+}
+
+TEST(CorpusCsvTest, SectionErrorsAreFatalEvenInRecoverMode) {
+  CsvOptions recover;
+  recover.recover = true;
+  std::stringstream in{"#hosts\n0,a.com\n#requests\n0,0\n#hosts\n1,b.com\n"};
+  EXPECT_FALSE(read_csv(in, recover).ok());
+}
+
+// --- recover mode: skip malformed rows, account for every skip --------------
+
+TEST(CorpusCsvRecoverTest, SkipsMalformedRowsAndReportsExactLines) {
+  const std::string file =
+      "#hosts\n"          // line 1
+      "0,a.com\n"         // line 2
+      "not-a-row\n"       // line 3: missing comma
+      "x,b.com\n"         // line 4: bad id
+      "2,\n"              // line 5: empty hostname
+      "3,c.com\n"         // line 6 (kept despite the gap at id 2)
+      "0,dup.com\n"       // line 7: duplicate id
+      "#requests\n"       // line 8
+      "0,3\n"             // line 9
+      "0,2\n"             // line 10: id 2 was never defined
+      "9,0\n"             // line 11: id 9 out of range
+      "z,0\n"             // line 12: bad number
+      "3,0\n";            // line 13
+
+  obs::MetricsRegistry registry;
+  CsvOptions options;
+  options.recover = true;
+  options.metrics = &registry;
+  std::stringstream in{file};
+  const auto corpus = read_csv(in, options);
+  ASSERT_TRUE(corpus.ok()) << corpus.error().message;
+
+  ASSERT_EQ(corpus->unique_host_count(), 2u);
+  EXPECT_EQ(corpus->hostname(0), "a.com");
+  EXPECT_EQ(corpus->hostname(1), "c.com");  // file id 3 -> corpus id 1
+  ASSERT_EQ(corpus->request_count(), 2u);
+  EXPECT_EQ(corpus->requests()[0].page_host, 0u);
+  EXPECT_EQ(corpus->requests()[0].resource_host, 1u);
+  EXPECT_EQ(corpus->requests()[1].page_host, 1u);
+  EXPECT_EQ(corpus->requests()[1].resource_host, 0u);
+
+  const auto diagnostics = registry.diagnostics();
+  ASSERT_EQ(diagnostics.size(), 7u);
+  EXPECT_EQ(diagnostics[0].code, "csv.bad-row");
+  EXPECT_EQ(diagnostics[0].line, 3u);
+  EXPECT_EQ(diagnostics[1].code, "csv.bad-number");
+  EXPECT_EQ(diagnostics[1].line, 4u);
+  EXPECT_EQ(diagnostics[2].code, "csv.empty-host");
+  EXPECT_EQ(diagnostics[2].line, 5u);
+  EXPECT_EQ(diagnostics[3].code, "csv.duplicate-host-id");
+  EXPECT_EQ(diagnostics[3].line, 7u);
+  EXPECT_EQ(diagnostics[4].code, "csv.bad-request-id");
+  EXPECT_EQ(diagnostics[4].line, 10u);
+  EXPECT_EQ(diagnostics[5].code, "csv.bad-request-id");
+  EXPECT_EQ(diagnostics[5].line, 11u);
+  EXPECT_EQ(diagnostics[6].code, "csv.bad-number");
+  EXPECT_EQ(diagnostics[6].line, 12u);
+  EXPECT_EQ(registry.counter("csv.rows_skipped").value(), 7);
+  EXPECT_EQ(registry.counter("csv.hosts").value(), 2);
+  EXPECT_EQ(registry.counter("csv.requests").value(), 2);
+}
+
+TEST(CorpusCsvRecoverTest, BadNumberRequestRowIsAlsoDiagnosed) {
+  obs::MetricsRegistry registry;
+  CsvOptions options;
+  options.recover = true;
+  options.metrics = &registry;
+  std::stringstream in{"#hosts\n0,a.com\n#requests\nz,0\n"};
+  ASSERT_TRUE(read_csv(in, options).ok());
+  const auto diagnostics = registry.diagnostics();
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].code, "csv.bad-number");
+  EXPECT_EQ(diagnostics[0].line, 4u);
+}
+
+TEST(CorpusCsvRecoverTest, CleanFileMatchesStrictRead) {
+  std::stringstream strict_in;
+  write_csv(tiny_corpus(), strict_in);
+  std::stringstream recover_in{strict_in.str()};
+
+  obs::MetricsRegistry registry;
+  CsvOptions options;
+  options.recover = true;
+  options.metrics = &registry;
+  const auto strict = read_csv(strict_in);
+  const auto recovered = read_csv(recover_in, options);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->hostnames(), strict->hostnames());
+  ASSERT_EQ(recovered->request_count(), strict->request_count());
+  EXPECT_EQ(registry.counter("csv.rows_skipped").value(), 0);
+  EXPECT_TRUE(registry.diagnostics().empty());
+}
+
+TEST(CorpusCsvRecoverTest, WorksWithoutARegistry) {
+  CsvOptions options;
+  options.recover = true;
+  std::stringstream in{"#hosts\n0,a.com\nbroken\n#requests\n0,0\n"};
+  const auto corpus = read_csv(in, options);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->unique_host_count(), 1u);
+  EXPECT_EQ(corpus->request_count(), 1u);
+}
+
+// --- write -> read round-trip property --------------------------------------
+
+TEST(CorpusCsvPropertyTest, RandomCorporaRoundTripExactly) {
+  util::Rng rng(20230805);
+  static constexpr char kHostAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789.-";
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t host_count = 1 + rng.below(40);
+    std::vector<std::string> hosts;
+    for (std::size_t i = 0; i < host_count; ++i) {
+      std::string host;
+      const std::size_t len = 1 + rng.below(30);
+      for (std::size_t c = 0; c < len; ++c) {
+        host.push_back(kHostAlphabet[rng.below(sizeof kHostAlphabet - 1)]);
+      }
+      hosts.push_back(std::move(host));
+    }
+    std::vector<Request> requests;
+    const std::size_t request_count = rng.below(120);
+    for (std::size_t i = 0; i < request_count; ++i) {
+      requests.push_back(Request{static_cast<HostId>(rng.below(host_count)),
+                                 static_cast<HostId>(rng.below(host_count))});
+    }
+    const Corpus original(std::move(hosts), std::move(requests));
+
+    std::stringstream buffer;
+    write_csv(original, buffer);
+    const auto strict = read_csv(buffer);
+    ASSERT_TRUE(strict.ok()) << strict.error().message;
+    EXPECT_EQ(strict->hostnames(), original.hostnames());
+    ASSERT_EQ(strict->request_count(), original.request_count());
+    for (std::size_t i = 0; i < original.request_count(); ++i) {
+      ASSERT_EQ(strict->requests()[i].page_host, original.requests()[i].page_host);
+      ASSERT_EQ(strict->requests()[i].resource_host, original.requests()[i].resource_host);
+    }
+
+    // Recover mode must agree bit-for-bit on a clean file.
+    std::stringstream again{buffer.str()};
+    CsvOptions options;
+    options.recover = true;
+    const auto recovered = read_csv(again, options);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered->hostnames(), strict->hostnames());
+  }
 }
 
 }  // namespace

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
+#include "psl/archive/csv.hpp"
 #include "psl/history/timeline.hpp"
+#include "psl/obs/metrics.hpp"
 
 namespace psl::harm {
 namespace {
@@ -160,6 +165,91 @@ TEST(SweepStrategyTest, IncrementalSweepMatchesFullRecompute) {
   incremental.max_points = 11;
   incremental.incremental = true;
   expect_identical_series(sweeper().sweep(full), sweeper().sweep(incremental));
+}
+
+// --- observability: instrumentation must never change the numbers ----------
+
+TEST(SweepObservabilityTest, RegistryCapturesPhaseTimingsWithoutChangingResults) {
+  SweepOptions plain;
+  plain.max_points = 9;
+  const auto baseline = sweeper().sweep(plain);
+
+  obs::MetricsRegistry registry;
+  SweepOptions observed;
+  observed.max_points = 9;
+  observed.threads = 2;
+  observed.metrics = &registry;
+  const auto instrumented = sweeper().sweep(observed);
+  expect_identical_series(baseline, instrumented);
+
+  const auto versions = static_cast<std::int64_t>(baseline.size());
+  for (const char* name : {"sweep.compile_ms", "sweep.assign_ms", "sweep.metrics_ms"}) {
+    EXPECT_EQ(registry.histogram(name).count(), versions) << name;
+  }
+  EXPECT_EQ(registry.counter("sweep.versions_evaluated").value(), versions);
+  // Work-steal accounting: per-worker pulls must sum to the version total.
+  std::int64_t pulled = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name.rfind("sweep.worker.", 0) == 0) pulled += value;
+  }
+  EXPECT_EQ(pulled, versions);
+  // The root span feeds its histogram and lands in the span buffer.
+  EXPECT_EQ(registry.histogram("sweep_ms").count(), 1);
+  bool saw_root = false;
+  for (const auto& span : registry.spans()) saw_root |= span.name == "sweep";
+  EXPECT_TRUE(saw_root);
+}
+
+TEST(SweepObservabilityTest, IncrementalSweepRecordsReplayMetrics) {
+  SweepOptions plain;
+  plain.max_points = 9;
+  obs::MetricsRegistry registry;
+  SweepOptions incremental;
+  incremental.max_points = 9;
+  incremental.incremental = true;
+  incremental.metrics = &registry;
+  const auto series = sweeper().sweep(incremental);
+  expect_identical_series(sweeper().sweep(plain), series);
+  EXPECT_EQ(registry.histogram("sweep.replay_ms").count(), 1);
+  EXPECT_EQ(registry.counter("sweep.versions_evaluated").value(),
+            static_cast<std::int64_t>(series.size()));
+  EXPECT_GT(registry.counter("sweep.hosts_rematched").value(), 0);
+}
+
+TEST(SweepObservabilityTest, RecoveredCorpusStillSweeps) {
+  // Acceptance path: serialise the corpus, inject malformed rows, re-ingest
+  // in recover mode, and run the full sweep off the partial corpus.
+  std::stringstream buffer;
+  archive::write_csv(corpus(), buffer);
+  std::string text = buffer.str();
+  const std::string header = "#hosts\n";
+  text.insert(text.find(header) + header.size(), "garbage-row\nx,bad.example\n");
+
+  obs::MetricsRegistry registry;
+  archive::CsvOptions options;
+  options.recover = true;
+  options.metrics = &registry;
+  std::stringstream in{text};
+  const auto partial = archive::read_csv(in, options);
+  ASSERT_TRUE(partial.ok()) << partial.error().message;
+  EXPECT_EQ(partial->hostnames(), corpus().hostnames());
+  EXPECT_EQ(partial->request_count(), corpus().request_count());
+
+  const auto diagnostics = registry.diagnostics();
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].code, "csv.bad-row");
+  EXPECT_EQ(diagnostics[0].line, 2u);
+  EXPECT_EQ(diagnostics[1].code, "csv.bad-number");
+  EXPECT_EQ(diagnostics[1].line, 3u);
+  EXPECT_EQ(registry.counter("csv.rows_skipped").value(), 2);
+
+  const Sweeper partial_sweeper(hist(), *partial);
+  SweepOptions sweep_options;
+  sweep_options.max_points = 5;
+  sweep_options.metrics = &registry;
+  const auto series = partial_sweeper.sweep(sweep_options);
+  ASSERT_EQ(series.size(), hist().sampled_versions(5).size());
+  EXPECT_EQ(series.back().divergent_hosts, 0u);
 }
 
 TEST(SweepStrategyTest, SiteAssignerReusedAcrossVersionsMatchesOneShot) {

@@ -1,0 +1,90 @@
+// Shared scaffolding for the fuzz harnesses under tests/fuzz/.
+//
+// Each harness defines the libFuzzer entry point LLVMFuzzerTestOneInput and
+// asserts parser invariants with __builtin_trap() (a trap is a finding in
+// either build mode). Built normally, this header supplies a standalone main
+// that drives the harness with deterministic pseudo-random blobs — the ctest
+// "smoke" mode that keeps the invariants exercised on every CI run. Built
+// with -DPSL_LIBFUZZER=1 (clang, -fsanitize=fuzzer), libFuzzer provides main
+// and coverage-guided input generation takes over.
+//
+// Standalone usage: fuzz_<name> [iterations] [replay-file...]
+//   - with files: each file is fed to the harness verbatim (crash replay)
+//   - without:    `iterations` random blobs (default 2000), fixed seed
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+#if !defined(PSL_LIBFUZZER)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "psl/util/rng.hpp"
+
+namespace psl::fuzz {
+
+// Blob generators cycle through three shapes: raw bytes (encoding edges),
+// printable ASCII (attribute soup), and a domain-flavoured alphabet that
+// actually reaches the deep parser states (dots, colons, digits, brackets).
+inline void fill_blob(util::Rng& rng, std::vector<std::uint8_t>& blob, std::uint64_t round) {
+  static constexpr char kDomainish[] =
+      "abcxyz0123456789.-:[]%=;, \n#uk\tcom\xc3\xa9";
+  blob.resize(rng.below(200));
+  switch (round % 3) {
+    case 0:
+      for (auto& b : blob) b = static_cast<std::uint8_t>(rng.below(256));
+      break;
+    case 1:
+      for (auto& b : blob) b = static_cast<std::uint8_t>(0x20 + rng.below(95));
+      break;
+    default:
+      for (auto& b : blob) {
+        b = static_cast<std::uint8_t>(kDomainish[rng.below(sizeof kDomainish - 1)]);
+      }
+      break;
+  }
+}
+
+}  // namespace psl::fuzz
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 2000;
+  int first_file = 1;
+  if (argc > 1 && std::strspn(argv[1], "0123456789") == std::strlen(argv[1])) {
+    iterations = std::strtoull(argv[1], nullptr, 10);
+    first_file = 2;
+  }
+  if (first_file < argc) {
+    for (int i = first_file; i < argc; ++i) {
+      std::ifstream in(argv[i], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 2;
+      }
+      const std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                           std::istreambuf_iterator<char>());
+      LLVMFuzzerTestOneInput(data.data(), data.size());
+      std::printf("replayed %s (%zu bytes)\n", argv[i], data.size());
+    }
+    return 0;
+  }
+  psl::util::Rng rng(0x5EEDF0221u);
+  std::vector<std::uint8_t> blob;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    psl::fuzz::fill_blob(rng, blob, i);
+    LLVMFuzzerTestOneInput(blob.data(), blob.size());
+  }
+  std::printf("ok: %llu random inputs, no invariant violations\n",
+              static_cast<unsigned long long>(iterations));
+  return 0;
+}
+
+#endif  // !PSL_LIBFUZZER

@@ -1,0 +1,44 @@
+// Fuzz harness for url::Host::parse and the IP-literal codecs.
+//
+// Invariants checked on every successful parse:
+//   - re-parsing the canonical form is idempotent (same kind, same name)
+//   - kIpv6 names round-trip through parse_ipv6/format_ipv6 exactly
+//   - kIpv4 names re-parse as strict dotted-quads
+#include <string>
+#include <string_view>
+
+#include "fuzz_common.hpp"
+#include "psl/url/host.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const auto host = psl::url::Host::parse(input);
+  if (!host.ok()) return 0;
+
+  std::string canonical = host->name();
+  if (canonical.empty()) __builtin_trap();
+  if (host->kind() == psl::url::HostKind::kIpv6) canonical = "[" + canonical + "]";
+  const auto again = psl::url::Host::parse(canonical);
+  if (!again.ok()) __builtin_trap();
+  if (!(*again == *host)) __builtin_trap();
+
+  switch (host->kind()) {
+    case psl::url::HostKind::kIpv6: {
+      const auto groups = psl::url::parse_ipv6(host->name());
+      if (!groups.ok()) __builtin_trap();
+      if (psl::url::format_ipv6(*groups) != host->name()) __builtin_trap();
+      break;
+    }
+    case psl::url::HostKind::kIpv4:
+      if (!psl::url::parse_ipv4(host->name()).ok()) __builtin_trap();
+      break;
+    case psl::url::HostKind::kDnsName:
+      // Normalised DNS names are lower-case with no trailing dot.
+      for (const char c : host->name()) {
+        if (c >= 'A' && c <= 'Z') __builtin_trap();
+      }
+      if (host->name().back() == '.') __builtin_trap();
+      break;
+  }
+  return 0;
+}

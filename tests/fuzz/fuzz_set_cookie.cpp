@@ -1,0 +1,69 @@
+// Fuzz harness for web::parse_set_cookie and the CookieJar it feeds.
+//
+// Invariants on a successful parse:
+//   - the cookie name is never empty
+//   - a Domain attribute is normalised (lower-case, never left empty)
+//   - the parsed cookie can be pushed through a CookieJar at extreme clock
+//     values without crashing, and the jar never stores an empty-name cookie
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "fuzz_common.hpp"
+#include "psl/web/cookie_jar.hpp"
+
+namespace {
+
+const psl::List& fuzz_list() {
+  static const psl::List list = [] {
+    auto parsed = psl::List::parse("com\nuk\nco.uk\nexample.co.uk\n");
+    if (!parsed.ok()) __builtin_trap();
+    return *std::move(parsed);
+  }();
+  return list;
+}
+
+const psl::url::Url& origin() {
+  static const psl::url::Url url = [] {
+    auto parsed = psl::url::Url::parse("https://www.example.co.uk/a/b");
+    if (!parsed.ok()) __builtin_trap();
+    return *std::move(parsed);
+  }();
+  return url;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view header(reinterpret_cast<const char*>(data), size);
+  const auto cookie = psl::web::parse_set_cookie(header);
+  if (cookie.ok()) {
+    if (cookie->name.empty()) __builtin_trap();
+    // host_only == false means a Domain attribute was accepted — it is
+    // normalised to lower case and never left empty.
+    if (!cookie->host_only) {
+      if (cookie->domain.empty()) __builtin_trap();
+      for (const char c : cookie->domain) {
+        if (c >= 'A' && c <= 'Z') __builtin_trap();
+      }
+    }
+  }
+
+  // The jar must digest any header (parsed or not) at clock extremes —
+  // this is the path the Max-Age saturation fix protects.
+  constexpr std::int64_t kClocks[] = {0, 1, std::numeric_limits<std::int64_t>::max() - 1};
+  for (const std::int64_t now : kClocks) {
+    psl::web::CookieJar jar(fuzz_list());
+    (void)jar.set_from_header(origin(), header, now);
+    for (const auto& stored : jar.cookies()) {
+      if (stored.name.empty()) __builtin_trap();
+      if (stored.expires_at && *stored.expires_at < now &&
+          stored.max_age && *stored.max_age > 0) {
+        __builtin_trap();  // positive Max-Age must never expire in the past
+      }
+    }
+    (void)jar.cookies_for(origin(), true, now);
+    (void)jar.purge_expired(now);
+  }
+  return 0;
+}

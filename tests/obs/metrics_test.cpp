@@ -1,0 +1,179 @@
+#include "psl/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "psl/obs/json.hpp"
+#include "psl/obs/span.hpp"
+
+namespace psl::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(HistogramTest, BucketsObservations) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram h{std::span<const double>(bounds)};
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (upper bounds are inclusive)
+  h.observe(7.0);    // <= 10
+  h.observe(1000.0); // overflow
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2);
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 0);
+  EXPECT_EQ(s.counts[3], 1);
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.sum, 1008.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(HistogramTest, EmptySnapshotHasInfiniteExtremes) {
+  Histogram h{Histogram::default_latency_bounds_ms()};
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_TRUE(std::isinf(s.min));
+  EXPECT_TRUE(std::isinf(s.max));
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3);
+  // Different kinds live in different namespaces.
+  registry.gauge("x").set(1.0);
+  EXPECT_EQ(registry.counter("x").value(), 3);
+}
+
+TEST(MetricsRegistryTest, HandleStaysValidAcrossRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("first");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("other." + std::to_string(i));
+  }
+  first.add(7);
+  EXPECT_EQ(registry.counter("first").value(), 7);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits");
+  Histogram& h = registry.histogram("lat_ms");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, DiagnosticsAreCappedNotUnbounded) {
+  MetricsRegistry registry(/*diagnostic_capacity=*/3);
+  for (std::size_t i = 1; i <= 5; ++i) {
+    registry.diagnose(Diagnostic{"code", i, "detail"});
+  }
+  EXPECT_EQ(registry.diagnostics().size(), 3u);
+  EXPECT_EQ(registry.diagnostics_dropped(), 2u);
+}
+
+TEST(ScopedSpanTest, RecordsNestingAndHistogram) {
+  MetricsRegistry registry;
+  {
+    ScopedSpan outer(&registry, "outer");
+    { ScopedSpan inner(&registry, "inner"); }
+    { ScopedSpan inner(&registry, "inner"); }
+  }
+  const auto spans = registry.spans();
+  ASSERT_EQ(spans.size(), 3u);  // completion order: inner, inner, outer
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, "outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].parent, "");
+  EXPECT_EQ(spans[2].depth, 0u);
+  EXPECT_LE(spans[0].dur_ms, spans[2].dur_ms);
+  const auto histograms = registry.histograms();
+  ASSERT_EQ(histograms.size(), 2u);  // "inner_ms", "outer_ms" (sorted)
+  EXPECT_EQ(histograms[0].first, "inner_ms");
+  EXPECT_EQ(histograms[0].second.count, 2);
+  EXPECT_EQ(histograms[1].first, "outer_ms");
+  EXPECT_EQ(histograms[1].second.count, 1);
+}
+
+TEST(ScopedSpanTest, NullRegistryIsANoOp) {
+  ScopedSpan span(nullptr, "nothing");
+  EXPECT_EQ(span.elapsed_ms(), 0.0);
+  Timer timer(nullptr);
+  EXPECT_EQ(timer.elapsed_ms(), 0.0);
+}
+
+TEST(TimerTest, FeedsItsHistogram) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("phase_ms");
+  { const Timer t(&h); }
+  { const Timer t(&h); }
+  EXPECT_EQ(h.count(), 2);
+}
+
+TEST(WriteJsonTest, SnapshotContainsEveryInstrumentKind) {
+  MetricsRegistry registry;
+  registry.counter("reqs").add(5);
+  registry.gauge("threads").set(4);
+  registry.histogram("lat_ms").observe(2.0);
+  registry.diagnose(Diagnostic{"csv.bad-row", 17, "missing comma"});
+  { ScopedSpan span(&registry, "sweep"); }
+
+  const std::string json = to_json(registry);
+  EXPECT_NE(json.find("\"reqs\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"csv.bad-row\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics_dropped\": 0"), std::string::npos);
+}
+
+TEST(WriteJsonTest, EscapesControlAndQuoteCharacters) {
+  MetricsRegistry registry;
+  registry.diagnose(Diagnostic{"code", 1, "quote \" backslash \\ newline \n tab \t"});
+  const std::string json = to_json(registry);
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n tab \\t"), std::string::npos);
+  // An empty histogram's min/max must serialise as null, not Infinity.
+  registry.histogram("empty_ms");
+  EXPECT_NE(to_json(registry).find("\"min\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psl::obs

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
+
+#include "psl/obs/metrics.hpp"
 
 namespace psl::web {
 namespace {
@@ -173,6 +176,68 @@ TEST(CookieJarTest, ParseFailureReported) {
 TEST(CookieJarTest, OutcomeNames) {
   EXPECT_EQ(to_string(SetCookieOutcome::kStored), "stored");
   EXPECT_EQ(to_string(SetCookieOutcome::kRejectedSupercookie), "rejected-supercookie");
+}
+
+TEST(CookieJarTest, DomainResetOfHostOnlyCookieReplacesIt) {
+  // RFC 6265 5.3 step 11 keys replacement on (name, domain, path) only —
+  // host_only is not part of the identity. Re-setting a host-only cookie
+  // with an explicit Domain=<host> must replace it, not duplicate it.
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://example.com/"), "sid=old"),
+            SetCookieOutcome::kStored);
+  EXPECT_EQ(jar.set_from_header(make_url("https://example.com/"),
+                                "sid=new; Domain=example.com"),
+            SetCookieOutcome::kStored);
+  ASSERT_EQ(jar.size(), 1u);
+  EXPECT_EQ(jar.cookies()[0].value, "new");
+  EXPECT_FALSE(jar.cookies()[0].host_only);
+
+  // And the reverse direction: a host-only re-set replaces the Domain one.
+  EXPECT_EQ(jar.set_from_header(make_url("https://example.com/"), "sid=newest"),
+            SetCookieOutcome::kStored);
+  ASSERT_EQ(jar.size(), 1u);
+  EXPECT_EQ(jar.cookies()[0].value, "newest");
+  EXPECT_TRUE(jar.cookies()[0].host_only);
+}
+
+TEST(CookieJarTest, HugeMaxAgeSaturatesInsteadOfOverflowing) {
+  // now + Max-Age must not wrap: INT64_MAX seconds means "never expires",
+  // not an instantly-expired (deleted) cookie.
+  CookieJar jar(new_list());
+  EXPECT_EQ(jar.set_from_header(make_url("https://example.com/"),
+                                "x=1; Max-Age=9223372036854775807", /*now=*/1000),
+            SetCookieOutcome::kStored);
+  ASSERT_EQ(jar.size(), 1u);
+  ASSERT_TRUE(jar.cookies()[0].expires_at.has_value());
+  EXPECT_EQ(*jar.cookies()[0].expires_at, std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(jar.cookies_for(make_url("https://example.com/"), true,
+                            std::numeric_limits<std::int64_t>::max() - 1)
+                .size(),
+            1u);
+}
+
+TEST(CookieJarTest, OutcomeCountersTrackEverySet) {
+  obs::MetricsRegistry registry;
+  CookieJar jar(new_list());
+  jar.set_metrics(&registry);
+  jar.set_from_header(make_url("https://good.example.co.uk/"), "a=1");
+  jar.set_from_header(make_url("https://good.example.co.uk/"),
+                      "track=all; Domain=example.co.uk");
+  jar.set_from_header(make_url("https://a.example.com/"), "x=1; Domain=other.com");
+  jar.set_from_header(make_url("http://example.com/"), "s=1; Secure");
+  jar.set_from_header(make_url("https://example.com/"), "garbage");
+  EXPECT_EQ(registry.counter("cookie.set.stored").value(), 1);
+  EXPECT_EQ(registry.counter("cookie.set.rejected-supercookie").value(), 1);
+  EXPECT_EQ(registry.counter("cookie.set.rejected-foreign").value(), 1);
+  EXPECT_EQ(registry.counter("cookie.set.rejected-secure").value(), 1);
+  EXPECT_EQ(registry.counter("cookie.set.rejected-parse").value(), 1);
+
+  jar.set_from_header(make_url("https://example.com/"), "gone=1; Max-Age=0", /*now=*/50);
+  EXPECT_EQ(jar.set_from_header(make_url("https://example.com/"), "t=1; Max-Age=10",
+                                /*now=*/100),
+            SetCookieOutcome::kStored);
+  EXPECT_EQ(jar.purge_expired(200), 1u);
+  EXPECT_EQ(registry.counter("cookie.purged").value(), 1);
 }
 
 TEST(CookieJarTest, ClearEmptiesJar) {
