@@ -1,0 +1,135 @@
+// psld: a miniature PSL query daemon built on psl::serve.
+//
+//   $ ./psld
+//
+// Walks through the full deployment lifecycle a real daemon would run:
+//
+//   1. compile a list into an arena snapshot and persist it with
+//      psl::snapshot::write_file (atomic tmp+rename, checksummed format);
+//   2. boot an Engine from that file — the validating loader means a corrupt
+//      or truncated snapshot can never reach serving;
+//   3. serve inline and batched queries from a worker pool;
+//   4. hot-reload a newer list while queries keep flowing (RCU swap: every
+//      in-flight batch still sees exactly one version);
+//   5. demonstrate keep-last-good: a bad reload is rejected, serving
+//      continues on the previous generation;
+//   6. drain and shut down, then print the obs metrics the engine emitted.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psl/obs/json.hpp"
+#include "psl/obs/metrics.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/serve/engine.hpp"
+#include "psl/serve/snapshot.hpp"
+#include "psl/util/date.hpp"
+
+namespace {
+
+constexpr std::string_view kListV1 = R"(// snapshot v1
+com
+uk
+co.uk
+github.io
+)";
+
+// v2 adds a private-domain rule: shops on myshopify.com become separate
+// sites, exactly the kind of boundary change a PSL update ships.
+constexpr std::string_view kListV2 = R"(// snapshot v2
+com
+uk
+co.uk
+github.io
+myshopify.com
+)";
+
+psl::List parse_or_die(std::string_view text) {
+  auto parsed = psl::List::parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "list parse error: %s\n", parsed.error().message.c_str());
+    std::exit(1);
+  }
+  return *std::move(parsed);
+}
+
+void serve_batch(psl::serve::Engine& engine, const std::vector<std::string>& hosts) {
+  auto submitted = engine.submit_registrable_domains(hosts);
+  if (!submitted.ok()) {
+    std::printf("  [backpressure] %s\n", submitted.error().message.c_str());
+    return;
+  }
+  const std::vector<std::string> domains = submitted->get();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    std::printf("  %-26s -> %s\n", hosts[i].c_str(),
+                domains[i].empty() ? "(is a public suffix)" : domains[i].c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::string path = "psld_demo.psnap";
+
+  // --- 1. compile + persist ------------------------------------------------
+  const psl::List v1 = parse_or_die(kListV1);
+  psl::snapshot::Metadata meta;
+  meta.source_date = psl::util::Date::from_civil(2023, 1, 15);
+  meta.rule_count = v1.rule_count();
+  auto written = psl::snapshot::write_file(path, psl::CompiledMatcher(v1), meta);
+  if (!written.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n", written.error().message.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%llu bytes, %zu rules)\n\n", path.c_str(),
+              static_cast<unsigned long long>(*written), v1.rule_count());
+
+  // --- 2. boot the engine from the validated snapshot file -----------------
+  auto snapshot = psl::snapshot::load_file(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", snapshot.error().message.c_str());
+    return 1;
+  }
+  psl::obs::MetricsRegistry metrics;
+  psl::serve::Engine engine(*std::move(snapshot),
+                            {.threads = 2, .max_queue_depth = 64, .metrics = &metrics});
+  std::printf("engine up: generation %llu, %zu workers, %llu rules\n\n",
+              static_cast<unsigned long long>(engine.generation()), engine.worker_count(),
+              static_cast<unsigned long long>(engine.metadata().rule_count));
+
+  // --- 3. serve ------------------------------------------------------------
+  const std::vector<std::string> batch = {"www.amazon.co.uk", "alice.github.io",
+                                          "shop1.myshopify.com", "co.uk"};
+  std::printf("serving generation %llu:\n",
+              static_cast<unsigned long long>(engine.generation()));
+  serve_batch(engine, batch);
+  std::printf("  same_site(shop1.myshopify.com, shop2.myshopify.com) = %s\n\n",
+              engine.same_site("shop1.myshopify.com", "shop2.myshopify.com") ? "true" : "false");
+
+  // --- 4. hot reload -------------------------------------------------------
+  const psl::List v2 = parse_or_die(kListV2);
+  psl::snapshot::Metadata meta2;
+  meta2.source_date = psl::util::Date::from_civil(2023, 6, 1);
+  meta2.rule_count = v2.rule_count();
+  engine.reload_list(v2, meta2);
+  std::printf("hot-reloaded to generation %llu:\n",
+              static_cast<unsigned long long>(engine.generation()));
+  serve_batch(engine, batch);
+  std::printf("  same_site(shop1.myshopify.com, shop2.myshopify.com) = %s\n\n",
+              engine.same_site("shop1.myshopify.com", "shop2.myshopify.com") ? "true" : "false");
+
+  // --- 5. keep-last-good ---------------------------------------------------
+  const std::vector<std::uint8_t> garbage = {'n', 'o', 't', ' ', 'a', ' ', 's', 'n', 'a', 'p'};
+  auto failed = engine.reload_snapshot({garbage.data(), garbage.size()});
+  std::printf("bad reload rejected (%s); still serving generation %llu\n\n",
+              failed.ok() ? "unexpectedly accepted!" : failed.error().code.c_str(),
+              static_cast<unsigned long long>(engine.generation()));
+
+  // --- 6. metrics ----------------------------------------------------------
+  std::printf("engine metrics:\n%s\n", psl::obs::to_json(metrics).c_str());
+  std::remove(path.c_str());
+  return 0;
+}

@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "psl/obs/metrics.hpp"
+#include "psl/obs/span.hpp"
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
+#include "psl/psl/match.hpp"
 
 namespace psl::harm {
 
@@ -35,16 +37,13 @@ struct SiteAssignment {
   std::size_t site_count = 0;
 };
 
-/// Assign every hostname to a site under `list`. O(total labels) via one
-/// match per host; site identity is interned so comparisons downstream are
-/// integer equality.
-SiteAssignment assign_sites(const List& list, std::span<const std::string> hostnames);
-
-/// Same, through the arena-compiled matcher's zero-allocation match path.
-/// Produces a SiteAssignment identical to assign_sites(list, ...) for the
-/// list the matcher was compiled from (ids, keys, and order all agree).
-SiteAssignment assign_sites(const CompiledMatcher& matcher,
-                            std::span<const std::string> hostnames);
+/// Assign every hostname to a site under any matcher (List, FlatMatcher,
+/// CompiledMatcher — anything satisfying the Matcher concept). O(total
+/// labels) via one match_view per host; site identity is interned so
+/// comparisons downstream are integer equality. The assignment (ids, keys,
+/// and order) is identical across matchers built from the same list.
+template <Matcher M>
+SiteAssignment assign_sites(const M& matcher, std::span<const std::string> hostnames);
 
 /// Reusable site-formation scratch for sweeps that assign the same hostname
 /// universe under many list versions (one per worker thread in the parallel
@@ -55,9 +54,11 @@ class SiteAssigner {
  public:
   explicit SiteAssigner(std::span<const std::string> hostnames);
 
-  /// Assign all hostnames under `matcher`. The returned reference stays
-  /// valid (and is overwritten) until the next assign() call.
-  const SiteAssignment& assign(const CompiledMatcher& matcher);
+  /// Assign all hostnames under `matcher` (any Matcher; the hot sweep path
+  /// uses CompiledMatcher's zero-allocation match). The returned reference
+  /// stays valid (and is overwritten) until the next assign() call.
+  template <Matcher M>
+  const SiteAssignment& assign(const M& matcher);
 
   const SiteAssignment& assignment() const noexcept { return scratch_; }
 
@@ -103,5 +104,46 @@ std::size_t divergent_hosts(const SiteAssignment& a, const SiteAssignment& b);
 /// IP literals have no public suffix and are their own site.
 /// (Thin alias of url::looks_like_ip_literal, kept for pipeline callers.)
 bool is_ip_literal(std::string_view host) noexcept;
+
+// --- template definitions ---------------------------------------------------
+
+template <Matcher M>
+const SiteAssignment& SiteAssigner::assign(const M& matcher) {
+  const obs::Timer timer(assign_ms_);
+  scratch_.site_ids.clear();
+  scratch_.site_keys.clear();
+  interned_.clear();  // buckets are retained; only the entries go
+
+  for (const std::string& host : hostnames_) {
+    std::string_view key;
+    if (is_ip_literal(host)) {
+      key = host;  // an IP is only ever same-site with itself
+    } else {
+      const MatchView m = matcher.match_view(host);
+      // A host that *is* a public suffix has no eTLD+1; it stands alone.
+      key = m.registrable_domain.empty() ? std::string_view(host) : m.registrable_domain;
+    }
+    auto it = interned_.find(key);
+    if (it == interned_.end()) {
+      it = interned_.emplace(std::string(key), static_cast<std::uint32_t>(interned_.size()))
+               .first;
+      scratch_.site_keys.push_back(it->first);
+    }
+    scratch_.site_ids.push_back(it->second);
+  }
+  scratch_.site_count = interned_.size();
+  if (assign_calls_) {
+    assign_calls_->add();
+    hosts_assigned_->add(static_cast<std::int64_t>(hostnames_.size()));
+  }
+  return scratch_;
+}
+
+template <Matcher M>
+SiteAssignment assign_sites(const M& matcher, std::span<const std::string> hostnames) {
+  SiteAssigner assigner(hostnames);
+  SiteAssignment out = assigner.assign(matcher);  // copy out of the scratch
+  return out;
+}
 
 }  // namespace psl::harm

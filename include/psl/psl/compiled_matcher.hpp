@@ -4,7 +4,7 @@
 // out for the sweep hot path (one match per unique hostname per list
 // version — hundreds of millions of calls at paper scale):
 //
-//   * trie nodes are indices into one flat `std::vector<Node>` instead of
+//   * trie nodes are indices into one flat node array instead of
 //     heap-allocated `unique_ptr` children — no pointer chasing across
 //     scattered allocations;
 //   * each node's children live in one contiguous hash-sorted range — a
@@ -14,55 +14,52 @@
 //   * rule presence and sections are packed into two bitfield bytes per
 //     node.
 //
+// The arena is addressed through spans. Compiling a List owns the backing
+// vectors; loading a serialized snapshot (psl::snapshot) points the spans
+// at the snapshot buffer instead — the arena's flat layout is its own wire
+// format, so a validated load is zero-copy.
+//
 // The match path allocates nothing: match_view() returns a MatchView whose
 // string_views point into the *caller's* host buffer, and its per-call
 // state is a fixed stack array of label offsets. The classic allocating
 // Match is available through the match() adapter.
 //
 // Semantics are byte-identical to List::match / FlatMatcher::match for
-// every input (tests/psl/matcher_equivalence_test.cpp enforces this over
-// generated, fixture, and hostile hosts).
+// every input: all three matchers drive the single shared walk in
+// psl/detail/match_walk.hpp, and tests/psl/matcher_equivalence_test.cpp
+// cross-checks them end to end over generated, fixture, and hostile hosts.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "psl/psl/list.hpp"
+#include "psl/psl/match.hpp"
 
 namespace psl {
 
-/// Zero-allocation match outcome. All string_views point into the host
-/// buffer passed to match_view(); they are valid only while that buffer
-/// outlives the view (see docs/API.md "MatchView lifetime contract").
-struct MatchView {
-  std::string_view public_suffix;       ///< eTLD; empty for empty/degenerate hosts
-  std::string_view registrable_domain;  ///< eTLD+1; empty when the host *is* a suffix
-  /// Host-span of the prevailing rule's *stored* labels as they occur in
-  /// the host, without '!'/'*' markers: "co.uk" for rule co.uk, "ck" for
-  /// rule *.ck (the '*' label is not part of the span), "www.ck" for rule
-  /// !www.ck. Empty when only the implicit "*" applied. prevailing_rule()
-  /// re-attaches the marker to produce the canonical rule text.
-  std::string_view rule_span;
-  bool matched_explicit_rule = false;  ///< false when only the implicit "*" applied
-  Section section = Section::kIcann;   ///< section of the prevailing rule
-  RuleKind rule_kind = RuleKind::kNormal;  ///< kind of the prevailing rule
-  std::size_t rule_labels = 0;         ///< labels in the public suffix
-
-  /// Canonical text of the prevailing explicit rule ("co.uk", "*.ck",
-  /// "!www.ck"); empty when only the implicit "*" applied. Allocates.
-  std::string prevailing_rule() const;
-
-  /// Allocating adapter to the classic Match.
-  Match to_match() const;
-};
+namespace snapshot {
+struct Access;  // serialization backdoor, defined in src/serve/snapshot.cpp
+}
 
 class CompiledMatcher {
  public:
   /// Compile `list` into the arena. The matcher is self-contained: `list`
   /// may be destroyed afterwards.
   explicit CompiledMatcher(const List& list);
+
+  // The arena spans must track the owned storage across copies and moves
+  // (vectors move their heap buffers, so moves only need a span re-point
+  // when the source owned its arena; copies always re-point).
+  CompiledMatcher(const CompiledMatcher& other);
+  CompiledMatcher& operator=(const CompiledMatcher& other);
+  CompiledMatcher(CompiledMatcher&& other) noexcept;
+  CompiledMatcher& operator=(CompiledMatcher&& other) noexcept;
+  ~CompiledMatcher() = default;
 
   /// Zero-allocation match. `host` must stay alive while the returned
   /// views are used. Tolerates one trailing dot like List::match.
@@ -84,6 +81,12 @@ class CompiledMatcher {
   }
 
  private:
+  friend struct snapshot::Access;
+
+  /// Raw matcher for the snapshot loader: spans are pointed at an external
+  /// buffer (validated first; see psl::snapshot), owned storage stays empty.
+  CompiledMatcher() = default;
+
   // Rule-presence flags; the matching section bits live in Node::sections
   // (bit set = kPrivate).
   enum : std::uint8_t {
@@ -97,15 +100,25 @@ class CompiledMatcher {
     std::uint32_t children_end = 0;
     std::uint8_t flags = 0;
     std::uint8_t sections = 0;  ///< bit i set => rule kind i is kPrivate
+    /// Explicit padding so the struct has no indeterminate bytes — the
+    /// arena is serialized verbatim and checksummed byte-for-byte.
+    std::uint16_t reserved = 0;
   };
+  static_assert(sizeof(Node) == 12 && alignof(Node) == 4);
 
   struct Child {
     std::uint32_t label_offset;  ///< into pool_
     std::uint32_t label_len;
     std::uint32_t node;          ///< index into nodes_
   };
+  static_assert(sizeof(Child) == 12 && alignof(Child) == 4);
 
   static constexpr std::uint32_t kNoChild = 0xFFFFFFFFu;
+
+  struct Cursor;  // shared-walk adapter, defined in the .cpp
+
+  /// Re-point the arena spans at the owned storage (compile/copy paths).
+  void adopt_owned() noexcept;
 
   std::uint32_t find_child(std::uint32_t node, std::string_view label,
                            std::uint32_t hash) const noexcept;
@@ -113,13 +126,24 @@ class CompiledMatcher {
     return (nodes_[node].sections & kind_bit) ? Section::kPrivate : Section::kIcann;
   }
 
-  std::vector<Node> nodes_;  ///< nodes_[0] is the root
+  // Owned backing storage (compile path). A matcher loaded from a snapshot
+  // leaves these empty: its spans point into the snapshot buffer, kept
+  // alive by retain_ (owning load) or by the caller (borrowed load).
+  std::vector<Node> owned_nodes_;
+  std::vector<std::uint32_t> owned_hashes_;
+  std::vector<Child> owned_children_;
+  std::vector<char> owned_pool_;
+  std::shared_ptr<const void> retain_;
+
+  std::span<const Node> nodes_;  ///< nodes_[0] is the root
   /// Per-node ranges, sorted by (hash, label). The FNV-1a hashes live in a
   /// parallel array so the binary search scans 4-byte keys (16 per cache
   /// line) instead of striding across the 12-byte Child records.
-  std::vector<std::uint32_t> child_hashes_;
-  std::vector<Child> children_;
-  std::string pool_;  ///< deduplicated label bytes
+  std::span<const std::uint32_t> child_hashes_;
+  std::span<const Child> children_;
+  std::string_view pool_;  ///< deduplicated label bytes
 };
+
+static_assert(Matcher<CompiledMatcher>);
 
 }  // namespace psl

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "psl/psl/list.hpp"
+#include "psl/psl/match.hpp"
 
 namespace psl {
 
@@ -16,12 +17,17 @@ class FlatMatcher {
  public:
   explicit FlatMatcher(const List& list);
 
-  /// Same semantics as List::match (public-suffix algorithm with the
-  /// implicit "*" rule, wildcards, and exceptions).
-  Match match(std::string_view host) const;
+  /// Same semantics as List::match_view (public-suffix algorithm with the
+  /// implicit "*" rule, wildcards, and exceptions). Unlike the other two
+  /// matchers the flat probe builds suffix strings, so this path allocates
+  /// — it is the ablation baseline, not a hot path.
+  MatchView match_view(std::string_view host) const;
+
+  /// Owning adapter over match_view.
+  Match match(std::string_view host) const { return match_view(host).to_match(); }
 
   std::string public_suffix(std::string_view host) const {
-    return match(host).public_suffix;
+    return std::string(match_view(host).public_suffix);
   }
 
  private:
@@ -34,9 +40,13 @@ class FlatMatcher {
     Section exception_section = Section::kIcann;
   };
 
+  struct Cursor;  // shared-walk adapter, defined in the .cpp
+
   // Keyed by the rule's label string ("co.uk"); wildcard "*.ck" is stored
   // under "ck" with the wildcard flag.
   std::unordered_map<std::string, Flags> rules_;
 };
+
+static_assert(Matcher<FlatMatcher>);
 
 }  // namespace psl

@@ -14,25 +14,11 @@
 #include <string_view>
 #include <vector>
 
+#include "psl/psl/match.hpp"
 #include "psl/psl/rule.hpp"
 #include "psl/util/result.hpp"
 
 namespace psl {
-
-/// Outcome of matching a hostname against the list.
-struct Match {
-  std::string public_suffix;       ///< the eTLD, e.g. "co.uk"
-  std::string registrable_domain;  ///< eTLD+1, e.g. "example.co.uk"; empty if
-                                   ///< the host *is* a public suffix
-  bool matched_explicit_rule;      ///< false when only the implicit "*" applied
-  Section section;                 ///< section of the prevailing rule (kIcann
-                                   ///< for the implicit "*")
-  std::size_t rule_labels;         ///< labels matched by the prevailing rule
-  /// Canonical text of the prevailing explicit rule ("co.uk", "*.ck",
-  /// "!www.ck"); empty when only the implicit "*" applied. This is the key
-  /// the harm analysis uses to look up when the rule entered the list.
-  std::string prevailing_rule;
-};
 
 class List {
  public:
@@ -50,12 +36,16 @@ class List {
   std::size_t rule_count() const noexcept { return rules_.size(); }
   const std::vector<Rule>& rules() const noexcept { return rules_; }
 
-  /// Full match for a normalised hostname (lower-case A-label form, as
-  /// produced by url::Host / idna::host_to_ascii). IP literals should not
-  /// be passed here — they have no suffix by definition. Degenerate hosts
-  /// ("" or a host whose rightmost label is empty, like "...") match
-  /// nothing: the returned Match is all-empty.
-  Match match(std::string_view host) const;
+  /// Zero-allocation match for a normalised hostname (lower-case A-label
+  /// form, as produced by url::Host / idna::host_to_ascii). IP literals
+  /// should not be passed here — they have no suffix by definition.
+  /// Degenerate hosts ("" or a host whose rightmost label is empty, like
+  /// "...") match nothing: the returned MatchView is all-empty. The views
+  /// point into `host` (see docs/API.md "MatchView lifetime contract").
+  MatchView match_view(std::string_view host) const noexcept;
+
+  /// Owning adapter over match_view — the classic full-match outcome.
+  Match match(std::string_view host) const { return match_view(host).to_match(); }
 
   /// The eTLD of `host` ("com" for "www.example.com"). Every host has one:
   /// with no explicit rule the implicit "*" makes the last label the suffix.
@@ -106,8 +96,12 @@ class List {
 
   void insert(const Rule& rule);
 
+  struct Cursor;  // shared-walk adapter, defined in the .cpp
+
   std::vector<Rule> rules_;
   std::unique_ptr<TrieNode> root_;
 };
+
+static_assert(Matcher<List>);
 
 }  // namespace psl

@@ -1,0 +1,168 @@
+// psl::serve::Engine — RCU hot-swappable PSL query service (layer 2 of
+// psl::serve, on top of psl::snapshot).
+//
+// A long-lived serving process answers registrable-domain / same-site /
+// match queries against a CompiledMatcher while the underlying list is
+// re-fetched and swapped in behind it. The engine makes that safe and
+// observable:
+//
+//   * RCU snapshot semantics. The current matcher (plus its provenance and
+//     a monotone generation number) lives in one immutable State object
+//     behind a shared_ptr. Readers pin the pointer once (a refcount bump
+//     under a mutex held only for the copy — no allocation, no waiting on
+//     writers doing real work) and keep the State alive for the duration of
+//     their batch; writers build a complete replacement State off to the
+//     side and publish it with a single pointer swap. Matching itself never
+//     holds a lock, there are no torn reads, and a swap never invalidates
+//     in-flight queries. (A std::atomic<shared_ptr> would shave the mutex,
+//     but libstdc++'s lock-bit implementation unlocks its load with a
+//     relaxed RMW, which TSan — and a strict reading of the memory model —
+//     flags as a race against the next store; the mutex is the verifiable
+//     choice and costs a few ns per *batch*, not per query.)
+//   * Swap visibility is batch-granular: a batched job resolves the State
+//     exactly once, when a worker picks it up, so every answer inside one
+//     batch comes from the same list version. Single inline queries resolve
+//     per call.
+//   * Keep-last-good reloads. reload_snapshot()/reload_file() validate the
+//     candidate bytes first (psl::snapshot's loader) and only swap on
+//     success; any failure leaves the serving state untouched and returns
+//     the loader's error.
+//   * Bounded queue with explicit backpressure. Batches run on a fixed
+//     worker pool behind a queue capped at max_queue_depth; a submit
+//     against a full queue is REJECTED immediately ("serve.backpressure")
+//     rather than queued unboundedly — the caller decides whether to retry,
+//     shed, or block. Submits after shutdown return "serve.stopped".
+//   * Instrumentation (when given a MetricsRegistry): counters
+//     serve.queries / serve.batches / serve.rejected /
+//     serve.reload.success / serve.reload.failure, gauge serve.queue_depth,
+//     histogram serve.batch_ms.
+//
+// Lifecycle: construct with an initial snapshot (compile a List or load a
+// psl::snapshot file), submit work, swap/reload at will from any thread.
+// The destructor stops intake, drains the queue (every accepted future is
+// fulfilled), and joins the workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "psl/obs/metrics.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/serve/snapshot.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::serve {
+
+struct EngineOptions {
+  std::size_t threads = 2;           ///< worker threads (clamped to >= 1)
+  std::size_t max_queue_depth = 64;  ///< pending batches before rejection
+  obs::MetricsRegistry* metrics = nullptr;  ///< optional; null = uninstrumented
+};
+
+class Engine {
+ public:
+  explicit Engine(snapshot::Snapshot initial, EngineOptions options = {});
+  ~Engine();  // stops intake, drains accepted batches, joins workers
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- single queries (inline, no queue; resolve the State per call) -----
+
+  /// eTLD+1 of `host`, or "" when the host has none (it is itself a public
+  /// suffix, or is degenerate).
+  std::string registrable_domain(std::string_view host) const;
+  bool same_site(std::string_view a, std::string_view b) const;
+  Match match(std::string_view host) const;
+
+  // --- batched queries (worker pool; one State per batch) ----------------
+  //
+  // On acceptance the future is always eventually fulfilled (shutdown
+  // drains the queue). Errors: "serve.backpressure" (queue full; counted in
+  // serve.rejected), "serve.stopped" (engine shutting down).
+
+  util::Result<std::future<std::vector<std::string>>> submit_registrable_domains(
+      std::vector<std::string> hosts);
+  /// Results are 0/1 flags, parallel to `pairs`.
+  util::Result<std::future<std::vector<std::uint8_t>>> submit_same_site(
+      std::vector<std::pair<std::string, std::string>> pairs);
+  util::Result<std::future<std::vector<Match>>> submit_match(std::vector<std::string> hosts);
+
+  // --- hot reload --------------------------------------------------------
+
+  /// Publish `next` as the serving state. Returns the new generation.
+  std::uint64_t swap(snapshot::Snapshot next);
+  /// Compile `list` and swap. When meta.rule_count is 0 it is filled from
+  /// the list's rule count.
+  std::uint64_t reload_list(const List& list, snapshot::Metadata meta = {});
+  /// Validate serialized snapshot bytes and swap on success. On any loader
+  /// error the current state KEEPS SERVING and the error is returned
+  /// (counted in serve.reload.failure).
+  util::Result<std::uint64_t> reload_snapshot(std::span<const std::uint8_t> bytes);
+  /// load_file() + the same keep-last-good contract.
+  util::Result<std::uint64_t> reload_file(const std::string& path);
+
+  // --- introspection ------------------------------------------------------
+
+  /// Generation of the currently serving state (1 for the initial state,
+  /// +1 per successful swap).
+  std::uint64_t generation() const noexcept;
+  /// Provenance of the currently serving state.
+  snapshot::Metadata metadata() const;
+  std::size_t queue_depth() const;
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+ private:
+  /// One immutable serving state; readers pin it via shared_ptr.
+  struct State {
+    CompiledMatcher matcher;
+    snapshot::Metadata meta;
+    std::uint64_t generation = 0;
+  };
+
+  enum class Enqueue { kOk, kBackpressure, kStopped };
+
+  std::shared_ptr<const State> current() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return state_;
+  }
+  std::uint64_t install(snapshot::Snapshot next);
+  Enqueue enqueue(std::function<void()> job);
+  void worker_loop();
+  void count_batch(std::size_t queries) const noexcept;
+
+  mutable std::mutex state_mutex_;  ///< held only to copy/replace state_
+  std::shared_ptr<const State> state_;
+
+  std::mutex reload_mutex_;  ///< serializes swaps so generations are monotone
+  std::uint64_t next_generation_ = 0;
+
+  mutable std::mutex mutex_;  ///< guards queue_ + stopping_
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::size_t max_queue_depth_;
+  std::vector<std::thread> workers_;
+
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* reload_success_ = nullptr;
+  obs::Counter* reload_failure_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Histogram* batch_ms_ = nullptr;
+};
+
+}  // namespace psl::serve

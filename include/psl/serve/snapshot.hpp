@@ -1,0 +1,127 @@
+// psl::snapshot — versioned binary serialization of the CompiledMatcher
+// arena (the serving engine's wire format, layer 1 of psl::serve).
+//
+// The arena's flat layout (node array + hash array + child records + label
+// pool) is serialized verbatim behind a fixed 96-byte header:
+//
+//   offset  size  field
+//        0     8  magic "PSLSNAP1"
+//        8     4  format version (currently 1)
+//       12     4  header size in bytes (96)
+//       16     8  node count
+//       24     8  child count
+//       32     8  label-pool bytes
+//       40     8  source-list rule count        (metadata)
+//       48     8  source-list date, days since  (metadata, int64, signed)
+//                 1970-01-01
+//       56     8  FNV-1a-64 checksum: node section
+//       64     8  FNV-1a-64 checksum: hash section
+//       72     8  FNV-1a-64 checksum: child section
+//       80     8  FNV-1a-64 checksum: label pool
+//       88     8  FNV-1a-64 checksum over header bytes [0, 88)
+//
+// All integers are little-endian. Sections follow the header in order —
+// nodes, hashes, children, pool — each starting on an 8-byte boundary
+// (zero padding between sections); the file ends exactly at the end of the
+// pool. Serialization is deterministic: compiling the same List always
+// yields byte-identical snapshot files.
+//
+// Loading NEVER trusts the bytes. Before a single match runs, the loader
+// proves every invariant the match path relies on:
+//
+//   * counts/offsets describe exactly the buffer's size (no truncation,
+//     no trailing garbage, no 32-bit index overflow);
+//   * every node's child range is within the child array;
+//   * every child's label is within the pool, non-empty, and its stored
+//     hash equals fnv1a_reverse(label);
+//   * every child points at a real, non-root node;
+//   * each node's child range is sorted by (hash, label) with no duplicate
+//     labels — the binary search's contract;
+//   * flag bytes contain only known bits and padding is zero;
+//   * all five checksums match.
+//
+// A buffer that fails any check yields a util::Result error (codes below) —
+// never UB, never a partially built matcher. Malicious structural cycles
+// (child edges pointing back up) cannot hang a lookup either: the shared
+// walk is bounded at kMaxMatchDepth labels. The fuzz harness
+// (tests/fuzz/fuzz_load_snapshot.cpp) hammers this contract with mutated
+// snapshot bytes under ASan/UBSan.
+//
+// Two loading modes:
+//   * load_copy / load_file copy the bytes into an aligned buffer owned by
+//     the returned matcher (shared_ptr-retained, so copies stay cheap);
+//   * load_view borrows the caller's buffer zero-copy — the caller must
+//     keep it alive and 8-byte aligned (mmap, static blobs, arenas).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/util/date.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::snapshot {
+
+inline constexpr char kMagic[8] = {'P', 'S', 'L', 'S', 'N', 'A', 'P', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 96;
+/// load_view() requires the borrowed buffer to start on this alignment so
+/// the in-place section spans are themselves aligned.
+inline constexpr std::size_t kBufferAlignment = 8;
+
+// Error codes returned by the loaders ("snapshot." prefix, stable):
+//   snapshot.misaligned   borrowed buffer not 8-byte aligned
+//   snapshot.truncated    shorter than the header / the declared sections
+//   snapshot.bad-magic    magic bytes are not "PSLSNAP1"
+//   snapshot.bad-version  format version unsupported
+//   snapshot.bad-header   header size field wrong
+//   snapshot.bad-counts   counts overflow 32-bit indices or are empty
+//   snapshot.size-mismatch  buffer size != header's declared layout
+//   snapshot.bad-node     child range out of bounds / nonzero padding /
+//                         unknown flag bits
+//   snapshot.bad-child    label out of pool bounds, empty, wrong hash, or
+//                         edge to node 0 / out of range
+//   snapshot.bad-order    child range not sorted by (hash, label) or
+//                         duplicate label
+//   snapshot.bad-padding  nonzero bytes in the inter-section padding
+//   snapshot.checksum     a section or header checksum mismatch
+//   snapshot.io           file could not be read / written
+
+/// Provenance carried alongside the arena so a serving process can report
+/// which list version it answers for without re-parsing anything.
+struct Metadata {
+  util::Date source_date{0};     ///< date of the source list version
+  std::uint64_t rule_count = 0;  ///< rules in the source list
+};
+
+/// A validated, ready-to-query snapshot: the matcher plus its provenance.
+struct Snapshot {
+  CompiledMatcher matcher;
+  Metadata meta;
+};
+
+/// Serialize `matcher`'s arena. Deterministic; the result round-trips
+/// through any loader bit-identically.
+std::string serialize(const CompiledMatcher& matcher, const Metadata& meta);
+
+/// Validate and adopt `bytes` zero-copy: the matcher's arena spans point
+/// into `bytes`, which the caller must keep alive (and 8-byte aligned) for
+/// the matcher's whole lifetime.
+util::Result<Snapshot> load_view(std::span<const std::uint8_t> bytes);
+
+/// Validate `bytes` and copy them into an internal aligned buffer owned
+/// (and shared across copies) by the returned matcher. No alignment or
+/// lifetime demands on `bytes`.
+util::Result<Snapshot> load_copy(std::span<const std::uint8_t> bytes);
+
+/// Read `path` and load_copy its contents.
+util::Result<Snapshot> load_file(const std::string& path);
+
+/// serialize() to `path` (atomic enough for same-process readers: written
+/// to a temp file, then renamed). Returns the byte count written.
+util::Result<std::uint64_t> write_file(const std::string& path, const CompiledMatcher& matcher,
+                                       const Metadata& meta);
+
+}  // namespace psl::snapshot

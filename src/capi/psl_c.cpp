@@ -1,19 +1,48 @@
 #include "psl/capi/psl_c.h"
 
+#include <atomic>
 #include <cstring>
 #include <new>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "psl/history/timeline.hpp"
 #include "psl/psl/list.hpp"
+#include "psl/serve/engine.hpp"
+#include "psl/serve/snapshot.hpp"
 
 struct pslh_ctx {
   psl::List list;
 };
 
+struct pslh_engine {
+  psl::serve::Engine engine;
+
+  // Engine is pinned (workers hold `this`), so it is built in place here.
+  pslh_engine(psl::snapshot::Snapshot initial, psl::serve::EngineOptions options)
+      : engine(std::move(initial), options) {}
+};
+
 namespace {
 
+/// Countdown armed by pslh_test_fail_next_allocs: while positive, each
+/// dup_string decrements it and reports allocation failure.
+std::atomic<int> g_fail_allocs{0};
+
+bool test_alloc_should_fail() {
+  int current = g_fail_allocs.load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (g_fail_allocs.compare_exchange_weak(current, current - 1,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* dup_string(const std::string& s) {
+  if (test_alloc_should_fail()) return nullptr;
   char* out = new (std::nothrow) char[s.size() + 1];
   if (out == nullptr) return nullptr;
   std::memcpy(out, s.c_str(), s.size() + 1);
@@ -63,10 +92,136 @@ int pslh_same_site(const pslh_ctx_t* ctx, const char* a, const char* b) {
   return ctx->list.same_site(a, b) ? 1 : 0;
 }
 
+int pslh_same_site_batch(const pslh_ctx_t* ctx, const char* const* a, const char* const* b,
+                         size_t count, int* out) {
+  if (count == 0) return 1;
+  if (out == nullptr) return 0;
+  std::memset(out, 0, count * sizeof(int));
+  if (ctx == nullptr || a == nullptr || b == nullptr) return 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (a[i] == nullptr || b[i] == nullptr) return 0;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = ctx->list.same_site(a[i], b[i]) ? 1 : 0;
+  }
+  return 1;
+}
+
 size_t pslh_rule_count(const pslh_ctx_t* ctx) {
   return ctx == nullptr ? 0 : ctx->list.rule_count();
 }
 
-void pslh_free_string(const char* s) { delete[] s; }
+void pslh_string_free(const char* s) { delete[] s; }
+
+void pslh_free_string(const char* s) { pslh_string_free(s); }
+
+void pslh_test_fail_next_allocs(int count) {
+  g_fail_allocs.store(count > 0 ? count : 0, std::memory_order_relaxed);
+}
+
+/* --- serving engine ------------------------------------------------------ */
+
+pslh_engine_t* pslh_engine_new(const pslh_ctx_t* ctx, size_t threads, size_t max_queue_depth) {
+  if (ctx == nullptr) return nullptr;
+  try {
+    psl::serve::EngineOptions options;
+    options.threads = threads == 0 ? 1 : threads;
+    options.max_queue_depth = max_queue_depth == 0 ? 64 : max_queue_depth;
+    psl::snapshot::Metadata meta;
+    meta.rule_count = ctx->list.rule_count();
+    psl::snapshot::Snapshot initial{psl::CompiledMatcher(ctx->list), meta};
+    return new pslh_engine(std::move(initial), options);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void pslh_engine_free(pslh_engine_t* engine) { delete engine; }
+
+unsigned long long pslh_engine_generation(const pslh_engine_t* engine) {
+  return engine == nullptr ? 0 : engine->engine.generation();
+}
+
+int pslh_engine_reload_list(pslh_engine_t* engine, const char* data, size_t length) {
+  if (engine == nullptr || data == nullptr) return 0;
+  try {
+    auto parsed = psl::List::parse(std::string_view(data, length));
+    if (!parsed) return 0;
+    engine->engine.reload_list(*parsed);
+    return 1;
+  } catch (...) {
+    return 0;
+  }
+}
+
+int pslh_engine_reload_snapshot(pslh_engine_t* engine, const unsigned char* bytes,
+                                size_t length) {
+  if (engine == nullptr || bytes == nullptr) return 0;
+  try {
+    return engine->engine.reload_snapshot({bytes, length}).ok() ? 1 : 0;
+  } catch (...) {
+    return 0;
+  }
+}
+
+int pslh_engine_registrable_domains(pslh_engine_t* engine, const char* const* hosts,
+                                    size_t count, const char** out) {
+  if (count == 0) return 1;
+  if (out == nullptr) return 0;
+  for (size_t i = 0; i < count; ++i) out[i] = nullptr;
+  if (engine == nullptr || hosts == nullptr) return 0;
+  try {
+    std::vector<std::string> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (hosts[i] == nullptr) return 0;
+      batch.emplace_back(hosts[i]);
+    }
+    auto submitted = engine->engine.submit_registrable_domains(std::move(batch));
+    if (!submitted) return submitted.error().code == "serve.backpressure" ? -1 : 0;
+    const std::vector<std::string> answers = submitted->get();
+    for (size_t i = 0; i < count; ++i) {
+      if (answers[i].empty()) continue;  // no eTLD+1: out[i] stays NULL
+      out[i] = dup_string(answers[i]);
+      if (out[i] == nullptr) {
+        for (size_t j = 0; j < i; ++j) {
+          pslh_string_free(out[j]);
+          out[j] = nullptr;
+        }
+        return 0;
+      }
+    }
+    return 1;
+  } catch (...) {
+    for (size_t i = 0; i < count; ++i) {
+      pslh_string_free(out[i]);
+      out[i] = nullptr;
+    }
+    return 0;
+  }
+}
+
+int pslh_engine_same_site(pslh_engine_t* engine, const char* const* a, const char* const* b,
+                          size_t count, int* out) {
+  if (count == 0) return 1;
+  if (out == nullptr) return 0;
+  std::memset(out, 0, count * sizeof(int));
+  if (engine == nullptr || a == nullptr || b == nullptr) return 0;
+  try {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    pairs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (a[i] == nullptr || b[i] == nullptr) return 0;
+      pairs.emplace_back(a[i], b[i]);
+    }
+    auto submitted = engine->engine.submit_same_site(std::move(pairs));
+    if (!submitted) return submitted.error().code == "serve.backpressure" ? -1 : 0;
+    const std::vector<std::uint8_t> answers = submitted->get();
+    for (size_t i = 0; i < count; ++i) out[i] = answers[i] ? 1 : 0;
+    return 1;
+  } catch (...) {
+    return 0;
+  }
+}
 
 }  // extern "C"

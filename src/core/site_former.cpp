@@ -13,31 +13,6 @@ bool is_ip_literal(std::string_view host) noexcept {
   return url::looks_like_ip_literal(host);
 }
 
-SiteAssignment assign_sites(const List& list, std::span<const std::string> hostnames) {
-  SiteAssignment out;
-  out.site_ids.reserve(hostnames.size());
-
-  std::unordered_map<std::string, std::uint32_t> interned;
-  interned.reserve(hostnames.size());
-
-  for (const std::string& host : hostnames) {
-    std::string key;
-    if (is_ip_literal(host)) {
-      key = host;  // an IP is only ever same-site with itself
-    } else {
-      Match m = list.match(host);
-      // A host that *is* a public suffix has no eTLD+1; it stands alone.
-      key = m.registrable_domain.empty() ? host : std::move(m.registrable_domain);
-    }
-    const auto [it, inserted] =
-        interned.emplace(std::move(key), static_cast<std::uint32_t>(interned.size()));
-    if (inserted) out.site_keys.push_back(it->first);
-    out.site_ids.push_back(it->second);
-  }
-  out.site_count = interned.size();
-  return out;
-}
-
 SiteAssigner::SiteAssigner(std::span<const std::string> hostnames) : hostnames_(hostnames) {
   scratch_.site_ids.reserve(hostnames.size());
   interned_.reserve(hostnames.size());
@@ -53,44 +28,6 @@ void SiteAssigner::set_metrics(obs::MetricsRegistry* metrics) {
   assign_ms_ = &metrics->histogram("siteform.assign_ms");
   hosts_assigned_ = &metrics->counter("siteform.hosts_assigned");
   assign_calls_ = &metrics->counter("siteform.assign_calls");
-}
-
-const SiteAssignment& SiteAssigner::assign(const CompiledMatcher& matcher) {
-  const obs::Timer timer(assign_ms_);
-  scratch_.site_ids.clear();
-  scratch_.site_keys.clear();
-  interned_.clear();  // buckets are retained; only the entries go
-
-  for (const std::string& host : hostnames_) {
-    std::string_view key;
-    if (is_ip_literal(host)) {
-      key = host;  // an IP is only ever same-site with itself
-    } else {
-      const MatchView m = matcher.match_view(host);
-      // A host that *is* a public suffix has no eTLD+1; it stands alone.
-      key = m.registrable_domain.empty() ? std::string_view(host) : m.registrable_domain;
-    }
-    auto it = interned_.find(key);
-    if (it == interned_.end()) {
-      it = interned_.emplace(std::string(key), static_cast<std::uint32_t>(interned_.size()))
-               .first;
-      scratch_.site_keys.push_back(it->first);
-    }
-    scratch_.site_ids.push_back(it->second);
-  }
-  scratch_.site_count = interned_.size();
-  if (assign_calls_) {
-    assign_calls_->add();
-    hosts_assigned_->add(static_cast<std::int64_t>(hostnames_.size()));
-  }
-  return scratch_;
-}
-
-SiteAssignment assign_sites(const CompiledMatcher& matcher,
-                            std::span<const std::string> hostnames) {
-  SiteAssigner assigner(hostnames);
-  SiteAssignment out = assigner.assign(matcher);  // copy out of the scratch
-  return out;
 }
 
 SiteStats site_stats(const SiteAssignment& assignment) {

@@ -4,53 +4,9 @@
 #include <map>
 #include <unordered_map>
 
+#include "psl/psl/detail/match_walk.hpp"
+
 namespace psl {
-
-namespace {
-
-std::uint32_t hash_label(std::string_view label) noexcept {
-  // FNV-1a, 32-bit, over the label bytes in REVERSE order — the match loop
-  // scans the host right-to-left and hashes while looking for the dot, so
-  // the build side must hash in the same order. Labels are short (median
-  // 2-8 bytes); anything fancier loses to its own setup cost here.
-  std::uint32_t h = 2166136261u;
-  for (auto it = label.rbegin(); it != label.rend(); ++it) {
-    h ^= static_cast<unsigned char>(*it);
-    h *= 16777619u;
-  }
-  return h;
-}
-
-// Deepest label stack tracked per match. DNS names carry at most 127
-// labels; the walk itself dies at (deepest rule + 1) labels anyway, so this
-// bounds stack usage, not matching correctness for any realistic list.
-constexpr std::size_t kMaxDepth = 256;
-
-}  // namespace
-
-std::string MatchView::prevailing_rule() const {
-  if (!matched_explicit_rule) return {};
-  switch (rule_kind) {
-    case RuleKind::kException:
-      return "!" + std::string(rule_span);
-    case RuleKind::kWildcard:
-      return "*." + std::string(rule_span);
-    case RuleKind::kNormal:
-      break;
-  }
-  return std::string(rule_span);
-}
-
-Match MatchView::to_match() const {
-  Match m;
-  m.public_suffix = std::string(public_suffix);
-  m.registrable_domain = std::string(registrable_domain);
-  m.matched_explicit_rule = matched_explicit_rule;
-  m.section = section;
-  m.rule_labels = rule_labels;
-  m.prevailing_rule = prevailing_rule();
-  return m;
-}
 
 CompiledMatcher::CompiledMatcher(const List& list) {
   // Pass 1: a throwaway pointer-free trie with map children, inserted in
@@ -99,17 +55,18 @@ CompiledMatcher::CompiledMatcher(const List& list) {
   const auto intern = [&](std::string_view label) {
     const auto found = pool_offsets.find(label);
     if (found != pool_offsets.end()) return found->second;
-    const auto offset = static_cast<std::uint32_t>(pool_.size());
-    pool_.append(label);
+    const auto offset = static_cast<std::uint32_t>(owned_pool_.size());
+    owned_pool_.insert(owned_pool_.end(), label.begin(), label.end());
+    // The key views into the build trie's map keys, which outlive this pass.
     pool_offsets.emplace(label, offset);
     return offset;
   };
 
-  nodes_.resize(build.size());
+  owned_nodes_.resize(build.size());
   std::size_t total_children = 0;
   for (const BuildNode& b : build) total_children += b.children.size();
-  children_.reserve(total_children);
-  child_hashes_.reserve(total_children);
+  owned_children_.reserve(total_children);
+  owned_hashes_.reserve(total_children);
 
   struct PendingChild {
     std::uint32_t hash;
@@ -120,23 +77,91 @@ CompiledMatcher::CompiledMatcher(const List& list) {
   for (std::uint32_t i = 0; i < build.size(); ++i) {
     pending.clear();
     for (const auto& [label, child] : build[i].children) {
-      pending.push_back({hash_label(label), label, child});
+      pending.push_back({detail::fnv1a_reverse(label), label, child});
     }
     std::sort(pending.begin(), pending.end(), [](const PendingChild& a, const PendingChild& b) {
       if (a.hash != b.hash) return a.hash < b.hash;
       return a.label < b.label;
     });
 
-    Node& node = nodes_[i];
-    node.children_begin = static_cast<std::uint32_t>(children_.size());
+    Node& node = owned_nodes_[i];
+    node.children_begin = static_cast<std::uint32_t>(owned_children_.size());
     for (const PendingChild& p : pending) {
-      child_hashes_.push_back(p.hash);
-      children_.push_back({intern(p.label), static_cast<std::uint32_t>(p.label.size()), p.node});
+      owned_hashes_.push_back(p.hash);
+      owned_children_.push_back({intern(p.label), static_cast<std::uint32_t>(p.label.size()), p.node});
     }
-    node.children_end = static_cast<std::uint32_t>(children_.size());
+    node.children_end = static_cast<std::uint32_t>(owned_children_.size());
     node.flags = build[i].flags;
     node.sections = build[i].sections;
   }
+
+  adopt_owned();
+}
+
+void CompiledMatcher::adopt_owned() noexcept {
+  nodes_ = owned_nodes_;
+  child_hashes_ = owned_hashes_;
+  children_ = owned_children_;
+  pool_ = std::string_view(owned_pool_.data(), owned_pool_.size());
+}
+
+CompiledMatcher::CompiledMatcher(const CompiledMatcher& other)
+    : owned_nodes_(other.owned_nodes_),
+      owned_hashes_(other.owned_hashes_),
+      owned_children_(other.owned_children_),
+      owned_pool_(other.owned_pool_),
+      retain_(other.retain_) {
+  if (!owned_nodes_.empty()) {
+    adopt_owned();
+  } else {
+    // Snapshot-backed: the spans alias the (shared or borrowed) buffer.
+    nodes_ = other.nodes_;
+    child_hashes_ = other.child_hashes_;
+    children_ = other.children_;
+    pool_ = other.pool_;
+  }
+}
+
+CompiledMatcher& CompiledMatcher::operator=(const CompiledMatcher& other) {
+  if (this != &other) *this = CompiledMatcher(other);
+  return *this;
+}
+
+CompiledMatcher::CompiledMatcher(CompiledMatcher&& other) noexcept
+    : owned_nodes_(std::move(other.owned_nodes_)),
+      owned_hashes_(std::move(other.owned_hashes_)),
+      owned_children_(std::move(other.owned_children_)),
+      owned_pool_(std::move(other.owned_pool_)),
+      retain_(std::move(other.retain_)),
+      nodes_(other.nodes_),
+      child_hashes_(other.child_hashes_),
+      children_(other.children_),
+      pool_(other.pool_) {
+  // Vector moves transfer the heap buffers, so the copied spans still point
+  // at live storage either way. Leave the source empty-but-valid.
+  other.nodes_ = {};
+  other.child_hashes_ = {};
+  other.children_ = {};
+  other.pool_ = {};
+}
+
+CompiledMatcher& CompiledMatcher::operator=(CompiledMatcher&& other) noexcept {
+  if (this != &other) {
+    owned_nodes_ = std::move(other.owned_nodes_);
+    owned_hashes_ = std::move(other.owned_hashes_);
+    owned_children_ = std::move(other.owned_children_);
+    owned_pool_ = std::move(other.owned_pool_);
+    retain_ = std::move(other.retain_);
+    nodes_ = other.nodes_;
+    child_hashes_ = other.child_hashes_;
+    children_ = other.children_;
+    pool_ = other.pool_;
+    other.nodes_ = {};
+    other.child_hashes_ = {};
+    other.children_ = {};
+    other.pool_ = {};
+  }
+  return *this;
 }
 
 std::uint32_t CompiledMatcher::find_child(std::uint32_t node, std::string_view label,
@@ -157,113 +182,27 @@ std::uint32_t CompiledMatcher::find_child(std::uint32_t node, std::string_view l
   return kNoChild;
 }
 
-MatchView CompiledMatcher::match_view(std::string_view host) const noexcept {
-  MatchView out;
-  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
-  // Empty hosts and hosts whose rightmost label is empty ("", ".", "a..")
-  // have no suffix at all — same degenerate-input contract as List::match.
-  if (host.empty() || host.back() == '.') return out;
-
-  // One right-to-left scan: trie-walk while alive, recording where each
-  // suffix of the host starts. starts[d] = offset of the d-rightmost-labels
-  // suffix. Once the walk dies the prevailing rule is fixed, so scanning
-  // stops as soon as the registrable domain's start is known — long hosts
-  // under shallow rules never pay for their full label count.
-  std::size_t starts[kMaxDepth];
-  constexpr std::size_t npos = std::string_view::npos;
-
-  std::size_t best_len = 1;  // the implicit "*" rule
-  bool explicit_rule = false;
-  Section best_section = Section::kIcann;
-  RuleKind best_kind = RuleKind::kNormal;
-  std::size_t exception_depth = 0;
-
+/// Shared-walk adapter over the arena (see psl/detail/match_walk.hpp).
+struct CompiledMatcher::Cursor {
+  const CompiledMatcher* m;
   std::uint32_t node = 0;
-  bool walking = true;
-  std::size_t depth = 0;
-  std::size_t label_end = host.size();
 
-  while (true) {
-    // One backward pass per label: find its start and FNV-hash its bytes
-    // (reverse order, matching hash_label) in the same scan.
-    std::uint32_t h = 2166136261u;
-    std::size_t pos = label_end;
-    while (pos > 0 && host[pos - 1] != '.') {
-      h ^= static_cast<unsigned char>(host[pos - 1]);
-      h *= 16777619u;
-      --pos;
-    }
-    const std::size_t label_start = pos;
-    const std::size_t dot = pos == 0 ? npos : pos - 1;
-    ++depth;
-    if (depth >= kMaxDepth) {  // unreachable for DNS-shaped hosts
-      --depth;
-      break;
-    }
-    starts[depth] = label_start;
-
-    if (walking) {
-      const std::string_view label = host.substr(label_start, label_end - label_start);
-      if (label.empty()) {
-        walking = false;  // malformed host ("a..b"); the walk stops here
-      } else {
-        // A wildcard on the current node covers this label, whatever it is.
-        if ((nodes_[node].flags & kHasWildcard) && depth >= best_len) {
-          best_len = depth;
-          best_section = section_of(node, kHasWildcard);
-          best_kind = RuleKind::kWildcard;
-          explicit_rule = true;
-        }
-        const std::uint32_t child = find_child(node, label, h);
-        if (child == kNoChild) {
-          walking = false;
-        } else {
-          node = child;
-          if ((nodes_[node].flags & kHasNormal) && depth >= best_len) {
-            best_len = depth;
-            best_section = section_of(node, kHasNormal);
-            best_kind = RuleKind::kNormal;
-            explicit_rule = true;
-          }
-          if (nodes_[node].flags & kHasException) {
-            // Exception prevails over everything; its public suffix drops
-            // the leftmost (deepest) label of the rule.
-            exception_depth = depth;
-            best_section = section_of(node, kHasException);
-            explicit_rule = true;
-          }
-        }
-      }
-    }
-    if (!walking) {
-      const std::size_t needed = (exception_depth > 0 ? exception_depth - 1 : best_len) + 1;
-      if (depth >= needed) break;
-    }
-    if (dot == npos) break;
-    label_end = dot;
+  bool descend(std::string_view label, std::uint32_t hash) noexcept {
+    const std::uint32_t child = m->find_child(node, label, hash);
+    if (child == kNoChild) return false;
+    node = child;
+    return true;
   }
+  bool has_wildcard() const noexcept { return m->nodes_[node].flags & kHasWildcard; }
+  Section wildcard_section() const noexcept { return m->section_of(node, kHasWildcard); }
+  bool has_normal() const noexcept { return m->nodes_[node].flags & kHasNormal; }
+  Section normal_section() const noexcept { return m->section_of(node, kHasNormal); }
+  bool has_exception() const noexcept { return m->nodes_[node].flags & kHasException; }
+  Section exception_section() const noexcept { return m->section_of(node, kHasException); }
+};
 
-  const std::size_t ps_len = exception_depth > 0 ? exception_depth - 1 : best_len;
-  out.public_suffix = ps_len == 0 ? std::string_view{} : host.substr(starts[ps_len]);
-  out.registrable_domain = depth > ps_len ? host.substr(starts[ps_len + 1]) : std::string_view{};
-  out.matched_explicit_rule = explicit_rule;
-  out.section = best_section;
-  out.rule_labels = ps_len;
-  if (explicit_rule) {
-    if (exception_depth > 0) {
-      out.rule_kind = RuleKind::kException;
-      out.rule_span = host.substr(starts[exception_depth]);
-    } else if (best_kind == RuleKind::kWildcard) {
-      out.rule_kind = RuleKind::kWildcard;
-      // The wildcard rule's stored labels are the suffix minus its leftmost
-      // (the '*') label.
-      out.rule_span = best_len > 1 ? host.substr(starts[best_len - 1]) : std::string_view{};
-    } else {
-      out.rule_kind = RuleKind::kNormal;
-      out.rule_span = out.public_suffix;
-    }
-  }
-  return out;
+MatchView CompiledMatcher::match_view(std::string_view host) const noexcept {
+  return detail::match_walk(Cursor{this}, host);
 }
 
 }  // namespace psl

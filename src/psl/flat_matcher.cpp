@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "psl/psl/detail/match_walk.hpp"
 #include "psl/util/strings.hpp"
 
 namespace psl {
@@ -27,38 +28,18 @@ FlatMatcher::FlatMatcher(const List& list) {
   }
 }
 
-Match FlatMatcher::match(std::string_view host) const {
-  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
-  // Degenerate hosts match nothing — same contract as List::match.
-  if (host.empty() || host.back() == '.') return Match{};
-  const std::vector<std::string_view> labels = util::split(host, '.');
-  const std::size_t n = labels.size();
-
-  std::size_t best_len = 1;
-  bool explicit_rule = false;
-  Section best_section = Section::kIcann;
-  RuleKind best_kind = RuleKind::kNormal;
-  std::size_t exception_depth = 0;
-
-  // Probe every suffix of the host, shortest first, mirroring the trie walk.
+/// Shared-walk adapter over the rule-string hash map (see
+/// psl/detail/match_walk.hpp). The cursor's position is the suffix string
+/// probed so far; descend() extends it by one label and re-probes. A hash
+/// probe cannot tell "no rule here" from "no rule anywhere deeper", so
+/// descend() always keeps walking — same results as the trie matchers, just
+/// more probes (this is the ablation baseline).
+struct FlatMatcher::Cursor {
+  const std::unordered_map<std::string, Flags>* rules;
   std::string suffix;
-  for (std::size_t depth = 1; depth <= n; ++depth) {
-    const std::string_view label = labels[n - depth];
-    if (label.empty()) break;
+  const Flags* here = nullptr;  ///< rules entry for `suffix`, if any
 
-    // Wildcard check: a wildcard stored at the (depth-1)-label suffix covers
-    // this label. For depth==1 the parent is the root, which never carries a
-    // wildcard in the published format ("*" alone is illegal).
-    if (depth >= 2) {
-      const auto parent = rules_.find(suffix);
-      if (parent != rules_.end() && parent->second.wildcard && depth >= best_len) {
-        best_len = depth;
-        best_section = parent->second.wildcard_section;
-        best_kind = RuleKind::kWildcard;
-        explicit_rule = true;
-      }
-    }
-
+  bool descend(std::string_view label, std::uint32_t) {
     if (suffix.empty()) {
       suffix.assign(label);
     } else {
@@ -67,52 +48,20 @@ Match FlatMatcher::match(std::string_view host) const {
       extended += suffix;
       suffix = std::move(extended);
     }
-
-    const auto it = rules_.find(suffix);
-    if (it == rules_.end()) continue;
-    if (it->second.normal && depth >= best_len) {
-      best_len = depth;
-      best_section = it->second.normal_section;
-      best_kind = RuleKind::kNormal;
-      explicit_rule = true;
-    }
-    if (it->second.exception) {
-      exception_depth = depth;
-      best_section = it->second.exception_section;
-      explicit_rule = true;
-    }
+    const auto it = rules->find(suffix);
+    here = it == rules->end() ? nullptr : &it->second;
+    return true;
   }
+  bool has_wildcard() const noexcept { return here != nullptr && here->wildcard; }
+  Section wildcard_section() const noexcept { return here->wildcard_section; }
+  bool has_normal() const noexcept { return here != nullptr && here->normal; }
+  Section normal_section() const noexcept { return here->normal_section; }
+  bool has_exception() const noexcept { return here != nullptr && here->exception; }
+  Section exception_section() const noexcept { return here->exception_section; }
+};
 
-  std::size_t ps_len = exception_depth > 0 ? exception_depth - 1 : best_len;
-  ps_len = std::min(ps_len, n);
-
-  auto join_tail = [&](std::size_t count) {
-    // Keep separators around empty labels — the literal byte suffix of the
-    // host, matching List::match on malformed input.
-    std::string out;
-    for (std::size_t i = n - count; i < n; ++i) {
-      if (i > n - count) out.push_back('.');
-      out += labels[i];
-    }
-    return out;
-  };
-
-  Match result;
-  result.public_suffix = join_tail(ps_len);
-  result.registrable_domain = n > ps_len ? join_tail(ps_len + 1) : std::string{};
-  result.matched_explicit_rule = explicit_rule;
-  result.section = best_section;
-  result.rule_labels = ps_len;
-  if (explicit_rule) {
-    if (exception_depth > 0) {
-      result.prevailing_rule = "!" + join_tail(std::min(exception_depth, n));
-    } else if (best_kind == RuleKind::kWildcard) {
-      result.prevailing_rule = "*." + join_tail(ps_len - 1);
-    } else {
-      result.prevailing_rule = result.public_suffix;
-    }
-  }
-  return result;
+MatchView FlatMatcher::match_view(std::string_view host) const {
+  return detail::match_walk(Cursor{&rules_}, host);
 }
 
 }  // namespace psl

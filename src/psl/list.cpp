@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "psl/psl/detail/match_walk.hpp"
 #include "psl/util/strings.hpp"
 
 namespace psl {
@@ -96,128 +97,48 @@ void List::insert(const Rule& rule) {
   }
 }
 
-Match List::match(std::string_view host) const {
-  // Normalised input expected: lower-case, no trailing dot. We tolerate a
-  // trailing dot defensively since the cost is one branch.
-  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+/// Shared-walk adapter over the pointer trie (see psl/detail/match_walk.hpp).
+struct List::Cursor {
+  const TrieNode* node;
 
-  // An empty host, or one whose rightmost label is empty ("", ".", "...",
-  // "a..") has no last label for even the implicit "*" rule to name: no
-  // suffix, no registrable domain, nothing matched.
-  if (host.empty() || host.back() == '.') return Match{};
-
-  const std::vector<std::string_view> labels = util::split(host, '.');
-  const std::size_t n = labels.size();
-
-  // Walk the trie right-to-left, recording the prevailing match.
-  std::size_t best_len = 1;  // the implicit "*" rule: last label is the suffix
-  bool explicit_rule = false;
-  Section best_section = Section::kIcann;
-  RuleKind best_kind = RuleKind::kNormal;
-  std::size_t exception_depth = 0;  // rule depth of a matched exception, if any
-
-  const TrieNode* node = root_.get();
-  for (std::size_t depth = 1; depth <= n && node != nullptr; ++depth) {
-    const std::string_view label = labels[n - depth];
-    if (label.empty()) break;  // malformed host ("a..b"); stop matching
-
-    // A wildcard on the current node covers this label, whatever it is.
-    if (node->has_wildcard && depth >= best_len) {
-      best_len = depth;
-      best_section = node->wildcard_section;
-      best_kind = RuleKind::kWildcard;
-      explicit_rule = true;
-    }
-
+  bool descend(std::string_view label, std::uint32_t) noexcept {
     const auto child = node->children.find(label);
-    if (child == node->children.end()) {
-      node = nullptr;
-      break;
-    }
+    if (child == node->children.end()) return false;
     node = child->second.get();
-
-    if (node->has_normal && depth >= best_len) {
-      best_len = depth;
-      best_section = node->normal_section;
-      best_kind = RuleKind::kNormal;
-      explicit_rule = true;
-    }
-    if (node->has_exception) {
-      // Exception prevails over everything; its public suffix drops the
-      // leftmost (deepest) label of the rule.
-      exception_depth = depth;
-      best_section = node->exception_section;
-      explicit_rule = true;
-      // Keep walking: the spec has no nested exceptions in practice, but a
-      // longer exception would prevail if present.
-    }
+    return true;
   }
+  bool has_wildcard() const noexcept { return node->has_wildcard; }
+  Section wildcard_section() const noexcept { return node->wildcard_section; }
+  bool has_normal() const noexcept { return node->has_normal; }
+  Section normal_section() const noexcept { return node->normal_section; }
+  bool has_exception() const noexcept { return node->has_exception; }
+  Section exception_section() const noexcept { return node->exception_section; }
+};
 
-  std::size_t ps_len = exception_depth > 0 ? exception_depth - 1 : best_len;
-  ps_len = std::min(ps_len, n);
-
-  auto join_tail = [&](std::size_t count) {
-    // Separators go between every label pair, *including* empty labels from
-    // malformed hosts ("a..b") — the tail is the literal byte suffix of the
-    // host, never a re-assembly that collapses dots into a fabricated name.
-    std::string out;
-    for (std::size_t i = n - count; i < n; ++i) {
-      if (i > n - count) out.push_back('.');
-      out += labels[i];
-    }
-    return out;
-  };
-
-  Match result;
-  result.public_suffix = join_tail(ps_len);
-  result.registrable_domain = n > ps_len ? join_tail(ps_len + 1) : std::string{};
-  result.matched_explicit_rule = explicit_rule;
-  result.section = best_section;
-  result.rule_labels = ps_len;
-  if (explicit_rule) {
-    if (exception_depth > 0) {
-      result.prevailing_rule = "!" + join_tail(std::min(exception_depth, n));
-    } else if (best_kind == RuleKind::kWildcard) {
-      // The wildcard rule's stored labels are the suffix minus its leftmost
-      // (the '*') label.
-      result.prevailing_rule = "*." + join_tail(ps_len - 1);
-    } else {
-      result.prevailing_rule = result.public_suffix;
-    }
-  }
-  return result;
+MatchView List::match_view(std::string_view host) const noexcept {
+  return detail::match_walk(Cursor{root_.get()}, host);
 }
 
 std::string List::public_suffix(std::string_view host) const {
-  return match(host).public_suffix;
+  return std::string(match_view(host).public_suffix);
 }
 
 std::optional<std::string> List::registrable_domain(std::string_view host) const {
-  Match m = match(host);
+  const MatchView m = match_view(host);
   if (m.registrable_domain.empty()) return std::nullopt;
-  return std::move(m.registrable_domain);
+  return std::string(m.registrable_domain);
 }
 
 bool List::is_public_suffix(std::string_view host) const {
-  // match() already tolerates one trailing dot; stripping here too would
-  // turn the degenerate "a.." into "a". Degenerate hosts match nothing at
-  // all — they are not suffixes.
-  const Match m = match(host);
+  // match_view() already tolerates one trailing dot; stripping here too
+  // would turn the degenerate "a.." into "a". Degenerate hosts match
+  // nothing at all — they are not suffixes.
+  const MatchView m = match_view(host);
   return !m.public_suffix.empty() && m.registrable_domain.empty();
 }
 
 bool List::same_site(std::string_view a, std::string_view b) const {
-  const auto ra = registrable_domain(a);
-  const auto rb = registrable_domain(b);
-  if (!ra || !rb) {
-    // A host that *is* a public suffix forms no site; only literal equality
-    // keeps two such hosts together.
-    std::string_view a2 = a, b2 = b;
-    if (!a2.empty() && a2.back() == '.') a2.remove_suffix(1);
-    if (!b2.empty() && b2.back() == '.') b2.remove_suffix(1);
-    return !ra && !rb && a2 == b2;
-  }
-  return *ra == *rb;
+  return psl::same_site(*this, a, b);
 }
 
 void List::add_rule(Rule rule) {

@@ -1,0 +1,29 @@
+#include "psl/psl/match.hpp"
+
+namespace psl {
+
+std::string MatchView::prevailing_rule() const {
+  if (!matched_explicit_rule) return {};
+  switch (rule_kind) {
+    case RuleKind::kException:
+      return "!" + std::string(rule_span);
+    case RuleKind::kWildcard:
+      return "*." + std::string(rule_span);
+    case RuleKind::kNormal:
+      break;
+  }
+  return std::string(rule_span);
+}
+
+Match MatchView::to_match() const {
+  Match m;
+  m.public_suffix = std::string(public_suffix);
+  m.registrable_domain = std::string(registrable_domain);
+  m.matched_explicit_rule = matched_explicit_rule;
+  m.section = section;
+  m.rule_labels = rule_labels;
+  m.prevailing_rule = prevailing_rule();
+  return m;
+}
+
+}  // namespace psl

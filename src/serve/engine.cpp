@@ -1,0 +1,232 @@
+#include "psl/serve/engine.hpp"
+
+#include "psl/obs/span.hpp"
+#include "psl/psl/match.hpp"
+
+namespace psl::serve {
+
+Engine::Engine(snapshot::Snapshot initial, EngineOptions options)
+    : max_queue_depth_(options.max_queue_depth) {
+  if (options.metrics) {
+    queries_ = &options.metrics->counter("serve.queries");
+    batches_ = &options.metrics->counter("serve.batches");
+    rejected_ = &options.metrics->counter("serve.rejected");
+    reload_success_ = &options.metrics->counter("serve.reload.success");
+    reload_failure_ = &options.metrics->counter("serve.reload.failure");
+    queue_depth_gauge_ = &options.metrics->gauge("serve.queue_depth");
+    batch_ms_ = &options.metrics->histogram("serve.batch_ms");
+  }
+  install(std::move(initial));
+
+  const std::size_t threads = options.threads == 0 ? 1 : options.threads;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: exit only once the queue is empty, so every
+      // accepted future gets fulfilled.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (queue_depth_gauge_) queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+    }
+    job();
+  }
+}
+
+Engine::Enqueue Engine::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return Enqueue::kStopped;
+    if (queue_.size() >= max_queue_depth_) return Enqueue::kBackpressure;
+    queue_.push_back(std::move(job));
+    if (queue_depth_gauge_) queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return Enqueue::kOk;
+}
+
+void Engine::count_batch(std::size_t queries) const noexcept {
+  if (batches_) {
+    batches_->add();
+    queries_->add(static_cast<std::int64_t>(queries));
+  }
+}
+
+// --- single queries ---------------------------------------------------------
+
+std::string Engine::registrable_domain(std::string_view host) const {
+  const auto state = current();
+  if (queries_) queries_->add();
+  return std::string(state->matcher.match_view(host).registrable_domain);
+}
+
+bool Engine::same_site(std::string_view a, std::string_view b) const {
+  const auto state = current();
+  if (queries_) queries_->add();
+  return psl::same_site(state->matcher, a, b);
+}
+
+Match Engine::match(std::string_view host) const {
+  const auto state = current();
+  if (queries_) queries_->add();
+  return state->matcher.match(host);
+}
+
+// --- batched queries ---------------------------------------------------------
+
+util::Result<std::future<std::vector<std::string>>> Engine::submit_registrable_domains(
+    std::vector<std::string> hosts) {
+  auto task = std::make_shared<std::packaged_task<std::vector<std::string>()>>(
+      [this, hosts = std::move(hosts)] {
+        const auto state = current();  // one State for the whole batch
+        const obs::Timer timer(batch_ms_);
+        std::vector<std::string> out;
+        out.reserve(hosts.size());
+        for (const std::string& host : hosts) {
+          out.emplace_back(state->matcher.match_view(host).registrable_domain);
+        }
+        count_batch(hosts.size());
+        return out;
+      });
+  auto future = task->get_future();
+  switch (enqueue([task] { (*task)(); })) {
+    case Enqueue::kBackpressure:
+      if (rejected_) rejected_->add();
+      return util::make_error("serve.backpressure", "batch queue is full");
+    case Enqueue::kStopped:
+      return util::make_error("serve.stopped", "engine is shutting down");
+    case Enqueue::kOk:
+      break;
+  }
+  return future;
+}
+
+util::Result<std::future<std::vector<std::uint8_t>>> Engine::submit_same_site(
+    std::vector<std::pair<std::string, std::string>> pairs) {
+  auto task = std::make_shared<std::packaged_task<std::vector<std::uint8_t>()>>(
+      [this, pairs = std::move(pairs)] {
+        const auto state = current();
+        const obs::Timer timer(batch_ms_);
+        std::vector<std::uint8_t> out;
+        out.reserve(pairs.size());
+        for (const auto& [a, b] : pairs) {
+          out.push_back(psl::same_site(state->matcher, a, b) ? 1 : 0);
+        }
+        count_batch(pairs.size());
+        return out;
+      });
+  auto future = task->get_future();
+  switch (enqueue([task] { (*task)(); })) {
+    case Enqueue::kBackpressure:
+      if (rejected_) rejected_->add();
+      return util::make_error("serve.backpressure", "batch queue is full");
+    case Enqueue::kStopped:
+      return util::make_error("serve.stopped", "engine is shutting down");
+    case Enqueue::kOk:
+      break;
+  }
+  return future;
+}
+
+util::Result<std::future<std::vector<Match>>> Engine::submit_match(
+    std::vector<std::string> hosts) {
+  auto task = std::make_shared<std::packaged_task<std::vector<Match>()>>(
+      [this, hosts = std::move(hosts)] {
+        const auto state = current();
+        const obs::Timer timer(batch_ms_);
+        std::vector<Match> out;
+        out.reserve(hosts.size());
+        for (const std::string& host : hosts) {
+          out.push_back(state->matcher.match(host));
+        }
+        count_batch(hosts.size());
+        return out;
+      });
+  auto future = task->get_future();
+  switch (enqueue([task] { (*task)(); })) {
+    case Enqueue::kBackpressure:
+      if (rejected_) rejected_->add();
+      return util::make_error("serve.backpressure", "batch queue is full");
+    case Enqueue::kStopped:
+      return util::make_error("serve.stopped", "engine is shutting down");
+    case Enqueue::kOk:
+      break;
+  }
+  return future;
+}
+
+// --- hot reload --------------------------------------------------------------
+
+std::uint64_t Engine::install(snapshot::Snapshot next) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  const std::uint64_t generation = ++next_generation_;
+  auto state = std::make_shared<const State>(
+      State{std::move(next.matcher), next.meta, generation});
+  {
+    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    state_.swap(state);
+  }
+  // `state` (the previous State) is released outside state_mutex_, so a
+  // reader never waits on the old matcher's destruction.
+  return generation;
+}
+
+std::uint64_t Engine::swap(snapshot::Snapshot next) {
+  const std::uint64_t generation = install(std::move(next));
+  if (reload_success_) reload_success_->add();
+  return generation;
+}
+
+std::uint64_t Engine::reload_list(const List& list, snapshot::Metadata meta) {
+  if (meta.rule_count == 0) meta.rule_count = list.rules().size();
+  return swap(snapshot::Snapshot{CompiledMatcher(list), meta});
+}
+
+util::Result<std::uint64_t> Engine::reload_snapshot(std::span<const std::uint8_t> bytes) {
+  auto loaded = snapshot::load_copy(bytes);
+  if (!loaded) {
+    if (reload_failure_) reload_failure_->add();
+    return loaded.error();  // keep-last-good: state_ untouched
+  }
+  return swap(std::move(loaded).value());
+}
+
+util::Result<std::uint64_t> Engine::reload_file(const std::string& path) {
+  auto loaded = snapshot::load_file(path);
+  if (!loaded) {
+    if (reload_failure_) reload_failure_->add();
+    return loaded.error();  // keep-last-good: state_ untouched
+  }
+  return swap(std::move(loaded).value());
+}
+
+// --- introspection ------------------------------------------------------------
+
+std::uint64_t Engine::generation() const noexcept { return current()->generation; }
+
+snapshot::Metadata Engine::metadata() const { return current()->meta; }
+
+std::size_t Engine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace psl::serve

@@ -1,0 +1,369 @@
+#include "psl/serve/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "psl/psl/detail/match_walk.hpp"
+
+namespace psl::snapshot {
+
+/// Serialization backdoor declared a friend by CompiledMatcher — the only
+/// code outside the matcher that sees the raw arena.
+struct Access {
+  using Node = CompiledMatcher::Node;
+  using Child = CompiledMatcher::Child;
+
+  static std::span<const Node> nodes(const CompiledMatcher& m) noexcept { return m.nodes_; }
+  static std::span<const std::uint32_t> hashes(const CompiledMatcher& m) noexcept {
+    return m.child_hashes_;
+  }
+  static std::span<const Child> children(const CompiledMatcher& m) noexcept {
+    return m.children_;
+  }
+  static std::string_view pool(const CompiledMatcher& m) noexcept { return m.pool_; }
+
+  /// Build a matcher over an already-validated external arena. `retain`
+  /// keeps the buffer alive for owning loads; null for borrowed loads.
+  static CompiledMatcher adopt(std::span<const Node> nodes,
+                               std::span<const std::uint32_t> hashes,
+                               std::span<const Child> children, std::string_view pool,
+                               std::shared_ptr<const void> retain) {
+    CompiledMatcher m;
+    m.nodes_ = nodes;
+    m.child_hashes_ = hashes;
+    m.children_ = children;
+    m.pool_ = pool;
+    m.retain_ = std::move(retain);
+    return m;
+  }
+
+  static constexpr std::uint8_t known_flags() noexcept {
+    return CompiledMatcher::kHasNormal | CompiledMatcher::kHasWildcard |
+           CompiledMatcher::kHasException;
+  }
+};
+
+namespace {
+
+using Node = Access::Node;
+using Child = Access::Child;
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr std::uint64_t align8(std::uint64_t v) noexcept { return (v + 7) & ~std::uint64_t{7}; }
+
+/// Section offsets/sizes implied by the header counts. Counts are capped at
+/// 2^32 before this runs, so none of the arithmetic can overflow u64.
+struct Layout {
+  std::uint64_t nodes_off, nodes_bytes;
+  std::uint64_t hashes_off, hashes_bytes;
+  std::uint64_t children_off, children_bytes;
+  std::uint64_t pool_off, pool_bytes;
+  std::uint64_t total;
+};
+
+Layout layout_for(std::uint64_t node_count, std::uint64_t child_count,
+                  std::uint64_t pool_bytes) noexcept {
+  Layout l;
+  l.nodes_off = kHeaderBytes;
+  l.nodes_bytes = node_count * sizeof(Node);
+  l.hashes_off = align8(l.nodes_off + l.nodes_bytes);
+  l.hashes_bytes = child_count * sizeof(std::uint32_t);
+  l.children_off = align8(l.hashes_off + l.hashes_bytes);
+  l.children_bytes = child_count * sizeof(Child);
+  l.pool_off = align8(l.children_off + l.children_bytes);
+  l.pool_bytes = pool_bytes;
+  l.total = l.pool_off + l.pool_bytes;
+  return l;
+}
+
+util::Error err(const char* code, std::string message) {
+  return util::make_error(code, std::move(message));
+}
+
+/// The full validation pipeline over an 8-byte-aligned buffer. Checksums
+/// run LAST, deliberately: a fuzzer that only flips payload bytes would
+/// otherwise never get past the checksum gate into the structural checks,
+/// which are the ones the match path's safety actually rests on.
+util::Result<Snapshot> load_validated(std::span<const std::uint8_t> bytes,
+                                      std::shared_ptr<const void> retain) {
+  if (bytes.size() < kHeaderBytes) {
+    return err("snapshot.truncated",
+               "buffer is " + std::to_string(bytes.size()) + " bytes; header needs " +
+                   std::to_string(kHeaderBytes));
+  }
+  const std::uint8_t* const p = bytes.data();
+  if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+    return err("snapshot.bad-magic", "magic bytes are not PSLSNAP1");
+  }
+  const std::uint32_t version = get_u32(p + 8);
+  if (version != kFormatVersion) {
+    return err("snapshot.bad-version", "format version " + std::to_string(version) +
+                                           " unsupported (expect " +
+                                           std::to_string(kFormatVersion) + ")");
+  }
+  if (get_u32(p + 12) != kHeaderBytes) {
+    return err("snapshot.bad-header", "header size field is not 96");
+  }
+
+  const std::uint64_t node_count = get_u64(p + 16);
+  const std::uint64_t child_count = get_u64(p + 24);
+  const std::uint64_t pool_bytes = get_u64(p + 32);
+
+  Metadata meta;
+  meta.rule_count = get_u64(p + 40);
+  const auto date_raw = static_cast<std::int64_t>(get_u64(p + 48));
+  if (date_raw < std::numeric_limits<std::int32_t>::min() ||
+      date_raw > std::numeric_limits<std::int32_t>::max()) {
+    return err("snapshot.bad-header", "source date out of range");
+  }
+  meta.source_date = util::Date(static_cast<std::int32_t>(date_raw));
+
+  constexpr std::uint64_t kMaxIndex = 0xFFFFFFFFull;
+  if (node_count == 0 || node_count > kMaxIndex || child_count > kMaxIndex ||
+      pool_bytes > kMaxIndex) {
+    return err("snapshot.bad-counts", "counts empty or overflow 32-bit arena indices");
+  }
+
+  const Layout l = layout_for(node_count, child_count, pool_bytes);
+  if (bytes.size() < l.total) {
+    return err("snapshot.truncated", "buffer is " + std::to_string(bytes.size()) +
+                                         " bytes; header declares " + std::to_string(l.total));
+  }
+  if (bytes.size() > l.total) {
+    return err("snapshot.size-mismatch", std::to_string(bytes.size() - l.total) +
+                                             " trailing bytes past the declared layout");
+  }
+
+  // Inter-section padding must be zero. Together with the checksums this
+  // makes the format canonical: every byte is either validated structure or
+  // checksummed payload, so any single-byte corruption is detectable.
+  const auto padding_zero = [p](std::uint64_t from, std::uint64_t to) {
+    for (std::uint64_t i = from; i < to; ++i) {
+      if (p[i] != 0) return false;
+    }
+    return true;
+  };
+  if (!padding_zero(l.nodes_off + l.nodes_bytes, l.hashes_off) ||
+      !padding_zero(l.hashes_off + l.hashes_bytes, l.children_off) ||
+      !padding_zero(l.children_off + l.children_bytes, l.pool_off)) {
+    return err("snapshot.bad-padding", "nonzero inter-section padding");
+  }
+
+  // Section offsets are all 8-byte multiples and the buffer itself is
+  // 8-byte aligned (checked or constructed by the callers), so these casts
+  // yield properly aligned arrays of the trivially-copyable arena records.
+  const std::span<const Node> nodes(reinterpret_cast<const Node*>(p + l.nodes_off),
+                                    static_cast<std::size_t>(node_count));
+  const std::span<const std::uint32_t> hashes(
+      reinterpret_cast<const std::uint32_t*>(p + l.hashes_off),
+      static_cast<std::size_t>(child_count));
+  const std::span<const Child> children(reinterpret_cast<const Child*>(p + l.children_off),
+                                        static_cast<std::size_t>(child_count));
+  const std::string_view pool(reinterpret_cast<const char*>(p + l.pool_off),
+                              static_cast<std::size_t>(pool_bytes));
+
+  // Nodes: child ranges must partition [0, child_count) in node order (the
+  // compiler emits them that way, and it implies every range is in bounds),
+  // flag bytes must hold only known bits, and padding must be zero.
+  const std::uint8_t known = Access::known_flags();
+  std::uint64_t expected_begin = 0;
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    const Node& n = nodes[i];
+    if (n.children_begin != expected_begin || n.children_end < n.children_begin ||
+        n.children_end > child_count) {
+      return err("snapshot.bad-node",
+                 "child range broken at node " + std::to_string(i));
+    }
+    expected_begin = n.children_end;
+    if ((n.flags & ~known) != 0 || (n.sections & static_cast<std::uint8_t>(~n.flags)) != 0 ||
+        n.reserved != 0) {
+      return err("snapshot.bad-node",
+                 "unknown flag bits or nonzero padding at node " + std::to_string(i));
+    }
+  }
+  if (expected_begin != child_count) {
+    return err("snapshot.bad-node", "child ranges do not cover the child array");
+  }
+
+  // Children: labels in the pool and non-empty, stored hash actually the
+  // label's hash (the binary search compares hashes first), edges to real
+  // non-root nodes. Cycles among non-root nodes cannot hang a lookup — the
+  // shared walk is bounded at kMaxMatchDepth — so reachability is not
+  // checked here.
+  for (std::uint64_t i = 0; i < child_count; ++i) {
+    const Child& c = children[i];
+    if (c.label_len == 0 || c.label_offset > pool_bytes ||
+        c.label_len > pool_bytes - c.label_offset) {
+      return err("snapshot.bad-child", "label out of pool bounds at child " + std::to_string(i));
+    }
+    if (c.node == 0 || c.node >= node_count) {
+      return err("snapshot.bad-child", "edge out of range at child " + std::to_string(i));
+    }
+    const std::string_view label(pool.data() + c.label_offset, c.label_len);
+    if (hashes[i] != detail::fnv1a_reverse(label)) {
+      return err("snapshot.bad-child", "stored hash != label hash at child " + std::to_string(i));
+    }
+  }
+
+  // Each range sorted by (hash, label), strictly — duplicates would make
+  // lookups ambiguous. Ranges partition the array (checked above), so one
+  // linear pass with per-node resets covers every range.
+  for (std::uint64_t n = 0; n < node_count; ++n) {
+    for (std::uint64_t i = nodes[n].children_begin + 1; i < nodes[n].children_end; ++i) {
+      if (hashes[i] < hashes[i - 1]) {
+        return err("snapshot.bad-order", "hashes out of order at child " + std::to_string(i));
+      }
+      if (hashes[i] == hashes[i - 1]) {
+        const Child& a = children[i - 1];
+        const Child& b = children[i];
+        const std::string_view la(pool.data() + a.label_offset, a.label_len);
+        const std::string_view lb(pool.data() + b.label_offset, b.label_len);
+        if (!(la < lb)) {
+          return err("snapshot.bad-order",
+                     "labels out of order or duplicate at child " + std::to_string(i));
+        }
+      }
+    }
+  }
+
+  if (fnv1a64(p, 88) != get_u64(p + 88)) {
+    return err("snapshot.checksum", "header checksum mismatch");
+  }
+  if (fnv1a64(nodes.data(), nodes.size_bytes()) != get_u64(p + 56)) {
+    return err("snapshot.checksum", "node section checksum mismatch");
+  }
+  if (fnv1a64(hashes.data(), hashes.size_bytes()) != get_u64(p + 64)) {
+    return err("snapshot.checksum", "hash section checksum mismatch");
+  }
+  if (fnv1a64(children.data(), children.size_bytes()) != get_u64(p + 72)) {
+    return err("snapshot.checksum", "child section checksum mismatch");
+  }
+  if (fnv1a64(pool.data(), pool.size()) != get_u64(p + 80)) {
+    return err("snapshot.checksum", "label pool checksum mismatch");
+  }
+
+  return Snapshot{Access::adopt(nodes, hashes, children, pool, std::move(retain)), meta};
+}
+
+}  // namespace
+
+std::string serialize(const CompiledMatcher& matcher, const Metadata& meta) {
+  const auto nodes = Access::nodes(matcher);
+  const auto hashes = Access::hashes(matcher);
+  const auto children = Access::children(matcher);
+  const std::string_view pool = Access::pool(matcher);
+
+  const Layout l = layout_for(nodes.size(), children.size(), pool.size());
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(l.total));
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(kHeaderBytes));
+  put_u64(out, nodes.size());
+  put_u64(out, children.size());
+  put_u64(out, pool.size());
+  put_u64(out, meta.rule_count);
+  put_u64(out, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(meta.source_date.days_since_epoch())));
+  put_u64(out, fnv1a64(nodes.data(), nodes.size_bytes()));
+  put_u64(out, fnv1a64(hashes.data(), hashes.size_bytes()));
+  put_u64(out, fnv1a64(children.data(), children.size_bytes()));
+  put_u64(out, fnv1a64(pool.data(), pool.size()));
+  put_u64(out, fnv1a64(out.data(), 88));  // header checksum over bytes [0, 88)
+
+  out.append(reinterpret_cast<const char*>(nodes.data()), nodes.size_bytes());
+  out.resize(static_cast<std::size_t>(l.hashes_off), '\0');
+  out.append(reinterpret_cast<const char*>(hashes.data()), hashes.size_bytes());
+  out.resize(static_cast<std::size_t>(l.children_off), '\0');
+  out.append(reinterpret_cast<const char*>(children.data()), children.size_bytes());
+  out.resize(static_cast<std::size_t>(l.pool_off), '\0');
+  out.append(pool.data(), pool.size());
+  return out;
+}
+
+util::Result<Snapshot> load_view(std::span<const std::uint8_t> bytes) {
+  if (reinterpret_cast<std::uintptr_t>(bytes.data()) % kBufferAlignment != 0) {
+    return err("snapshot.misaligned", "borrowed buffer must be 8-byte aligned");
+  }
+  return load_validated(bytes, nullptr);
+}
+
+util::Result<Snapshot> load_copy(std::span<const std::uint8_t> bytes) {
+  // A u64 vector gives the 8-byte alignment load_validated's casts need.
+  auto buffer = std::make_shared<std::vector<std::uint64_t>>((bytes.size() + 7) / 8);
+  if (!bytes.empty()) std::memcpy(buffer->data(), bytes.data(), bytes.size());
+  const std::span<const std::uint8_t> aligned(
+      reinterpret_cast<const std::uint8_t*>(buffer->data()), bytes.size());
+  return load_validated(aligned, std::move(buffer));
+}
+
+util::Result<Snapshot> load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return err("snapshot.io", "cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return err("snapshot.io", "cannot size " + path);
+  in.seekg(0, std::ios::beg);
+  auto buffer =
+      std::make_shared<std::vector<std::uint64_t>>((static_cast<std::size_t>(size) + 7) / 8);
+  if (size > 0 && !in.read(reinterpret_cast<char*>(buffer->data()), size)) {
+    return err("snapshot.io", "short read from " + path);
+  }
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(buffer->data()), static_cast<std::size_t>(size));
+  return load_validated(bytes, std::move(buffer));
+}
+
+util::Result<std::uint64_t> write_file(const std::string& path, const CompiledMatcher& matcher,
+                                       const Metadata& meta) {
+  const std::string bytes = serialize(matcher, meta);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size())) || !out.flush()) {
+      return err("snapshot.io", "cannot write " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return err("snapshot.io", "cannot rename " + tmp + " -> " + path);
+  }
+  return static_cast<std::uint64_t>(bytes.size());
+}
+
+}  // namespace psl::snapshot

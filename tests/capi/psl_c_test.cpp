@@ -59,6 +59,134 @@ TEST(CApiTest, NullSafety) {
   EXPECT_EQ(pslh_rule_count(nullptr), 0u);
   pslh_free(nullptr);          // no-ops
   pslh_free_string(nullptr);
+  pslh_string_free(nullptr);
+}
+
+TEST(CApiTest, SameSiteBatch) {
+  const pslh_ctx_t* psl = pslh_builtin();
+  const char* a[] = {"a.example.com", "a.myshopify.com", "one.com"};
+  const char* b[] = {"b.example.com", "b.myshopify.com", "two.com"};
+  int out[3] = {-1, -1, -1};
+  ASSERT_EQ(pslh_same_site_batch(psl, a, b, 3, out), 1);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 0);
+
+  // Empty batch succeeds trivially; NULL pointers fail and zero the output.
+  EXPECT_EQ(pslh_same_site_batch(psl, nullptr, nullptr, 0, nullptr), 1);
+  out[0] = out[1] = out[2] = -1;
+  EXPECT_EQ(pslh_same_site_batch(nullptr, a, b, 3, out), 0);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(pslh_same_site_batch(psl, a, b, 3, nullptr), 0);
+  const char* holey_b[] = {"b.example.com", nullptr, "two.com"};
+  EXPECT_EQ(pslh_same_site_batch(psl, a, holey_b, 3, out), 0);
+}
+
+TEST(CApiTest, AllocationFailureReturnsNull) {
+  const pslh_ctx_t* psl = pslh_builtin();
+  pslh_test_fail_next_allocs(1);
+  EXPECT_EQ(pslh_registrable_domain(psl, "www.amazon.co.uk"), nullptr);
+  // The countdown is consumed: the next call succeeds again.
+  EXPECT_EQ(take(pslh_registrable_domain(psl, "www.amazon.co.uk")), "amazon.co.uk");
+  pslh_test_fail_next_allocs(1);
+  EXPECT_EQ(pslh_unregistrable_domain(psl, "www.amazon.co.uk"), nullptr);
+  pslh_test_fail_next_allocs(0);  // disarm
+}
+
+TEST(CApiEngineTest, LifecycleAndBatches) {
+  const std::string file = "com\nuk\nco.uk\n";
+  pslh_ctx_t* ctx = pslh_load_from_data(file.data(), file.size());
+  ASSERT_NE(ctx, nullptr);
+  pslh_engine_t* engine = pslh_engine_new(ctx, 2, 0);
+  pslh_free(ctx);  // the engine compiled its own copy
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(pslh_engine_generation(engine), 1u);
+
+  const char* hosts[] = {"a.b.example.com", "x.co.uk", "co.uk"};
+  const char* out[3] = {nullptr, nullptr, nullptr};
+  ASSERT_EQ(pslh_engine_registrable_domains(engine, hosts, 3, out), 1);
+  EXPECT_EQ(take(out[0]), "example.com");
+  EXPECT_EQ(take(out[1]), "x.co.uk");
+  EXPECT_EQ(out[2], nullptr);  // co.uk is itself a suffix
+
+  const char* a[] = {"a.example.com", "one.com"};
+  const char* b[] = {"b.example.com", "two.com"};
+  int sites[2] = {-1, -1};
+  ASSERT_EQ(pslh_engine_same_site(engine, a, b, 2, sites), 1);
+  EXPECT_EQ(sites[0], 1);
+  EXPECT_EQ(sites[1], 0);
+
+  pslh_engine_free(engine);
+}
+
+TEST(CApiEngineTest, ReloadKeepsLastGood) {
+  const std::string file = "com\nuk\nco.uk\n";
+  pslh_ctx_t* ctx = pslh_load_from_data(file.data(), file.size());
+  pslh_engine_t* engine = pslh_engine_new(ctx, 1, 0);
+  pslh_free(ctx);
+  ASSERT_NE(engine, nullptr);
+
+  // Bad list and bad snapshot bytes both fail without disturbing serving.
+  const std::string bad = "a..b\n";
+  EXPECT_EQ(pslh_engine_reload_list(engine, bad.data(), bad.size()), 0);
+  const unsigned char garbage[] = {'n', 'o', 'p', 'e'};
+  EXPECT_EQ(pslh_engine_reload_snapshot(engine, garbage, sizeof garbage), 0);
+  EXPECT_EQ(pslh_engine_generation(engine), 1u);
+
+  const char* hosts[] = {"a.b.example.com"};
+  const char* out[1] = {nullptr};
+  ASSERT_EQ(pslh_engine_registrable_domains(engine, hosts, 1, out), 1);
+  EXPECT_EQ(take(out[0]), "example.com");
+
+  // A good reload swaps in and bumps the generation.
+  const std::string next = "com\nexample.com\n";
+  EXPECT_EQ(pslh_engine_reload_list(engine, next.data(), next.size()), 1);
+  EXPECT_EQ(pslh_engine_generation(engine), 2u);
+  ASSERT_EQ(pslh_engine_registrable_domains(engine, hosts, 1, out), 1);
+  EXPECT_EQ(take(out[0]), "b.example.com");
+
+  pslh_engine_free(engine);
+}
+
+TEST(CApiEngineTest, NullSafetyAndAllocationFailure) {
+  EXPECT_EQ(pslh_engine_new(nullptr, 1, 1), nullptr);
+  EXPECT_EQ(pslh_engine_generation(nullptr), 0u);
+  EXPECT_EQ(pslh_engine_reload_list(nullptr, "com\n", 4), 0);
+  EXPECT_EQ(pslh_engine_reload_snapshot(nullptr, nullptr, 0), 0);
+  pslh_engine_free(nullptr);  // no-op
+
+  const std::string file = "com\nco.uk\n";
+  pslh_ctx_t* ctx = pslh_load_from_data(file.data(), file.size());
+  pslh_engine_t* engine = pslh_engine_new(ctx, 1, 0);
+  pslh_free(ctx);
+  ASSERT_NE(engine, nullptr);
+
+  const char* hosts[] = {"a.example.com", "b.example.com"};
+  const char* out[2] = {nullptr, nullptr};
+  EXPECT_EQ(pslh_engine_registrable_domains(engine, nullptr, 2, out), 0);
+  EXPECT_EQ(pslh_engine_registrable_domains(engine, hosts, 2, nullptr), 0);
+  const char* holey[] = {"a.example.com", nullptr};
+  EXPECT_EQ(pslh_engine_registrable_domains(engine, holey, 2, out), 0);
+  EXPECT_EQ(out[0], nullptr);
+  EXPECT_EQ(out[1], nullptr);
+
+  int sites[2] = {-1, -1};
+  EXPECT_EQ(pslh_engine_same_site(engine, nullptr, hosts, 2, sites), 0);
+  EXPECT_EQ(sites[0], 0);
+  EXPECT_EQ(pslh_engine_same_site(engine, hosts, hosts, 2, nullptr), 0);
+
+  // A mid-batch string-duplication failure frees what was already built and
+  // reports failure with an all-NULL output array.
+  pslh_test_fail_next_allocs(1);
+  EXPECT_EQ(pslh_engine_registrable_domains(engine, hosts, 2, out), 0);
+  EXPECT_EQ(out[0], nullptr);
+  EXPECT_EQ(out[1], nullptr);
+  pslh_test_fail_next_allocs(0);
+  ASSERT_EQ(pslh_engine_registrable_domains(engine, hosts, 2, out), 1);
+  EXPECT_EQ(take(out[0]), "example.com");
+  EXPECT_EQ(take(out[1]), "example.com");
+
+  pslh_engine_free(engine);
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+// Fuzz harness for psl::snapshot's loader.
+//
+// Invariants:
+//   - arbitrary bytes never crash the loader: every outcome is a valid
+//     Snapshot or a clean "snapshot.*" Result error (no UB — the ASan/UBSan
+//     smoke job runs this harness)
+//   - anything the loader ACCEPTS behaves like a matcher (bounded,
+//     crash-free lookups) and re-serializes to the exact accepted bytes
+//     (the format is canonical)
+//
+// Two input modes keep coverage deep: raw bytes exercise the header gates,
+// and mutations of a known-valid snapshot reach the structural checks
+// (child ranges, hash ordering, pool offsets) behind them.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/serve/snapshot.hpp"
+
+namespace {
+
+const std::string& valid_snapshot() {
+  static const std::string bytes = [] {
+    auto parsed = psl::List::parse("com\nuk\nco.uk\n*.ck\n!www.ck\ngithub.io\n");
+    psl::snapshot::Metadata meta;
+    meta.rule_count = parsed->rules().size();
+    return psl::snapshot::serialize(psl::CompiledMatcher(*parsed), meta);
+  }();
+  return bytes;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::vector<std::uint8_t> blob;
+  if (size >= 1 && (data[0] & 1) != 0) {
+    // Raw mode: the input IS the snapshot candidate.
+    blob.assign(data + 1, data + size);
+  } else {
+    // Mutation mode: start from a valid snapshot, apply (offset, xor) edits
+    // and an optional truncation.
+    const std::string& valid = valid_snapshot();
+    blob.assign(valid.begin(), valid.end());
+    std::size_t i = 1;
+    while (i + 3 <= size) {
+      const std::size_t offset =
+          ((static_cast<std::size_t>(data[i]) << 8) | data[i + 1]) % blob.size();
+      blob[offset] ^= data[i + 2];
+      i += 3;
+    }
+    if (i < size && (data[i] & 1) != 0) {
+      blob.resize(blob.size() * data[i] / 255);
+    }
+  }
+
+  auto loaded = psl::snapshot::load_copy({blob.data(), blob.size()});
+  if (loaded.ok()) {
+    // Whatever the loader accepts must behave: bounded crash-free lookups...
+    loaded->matcher.match_view("a.b.co.uk");
+    loaded->matcher.match_view("x.t.ck");
+    loaded->matcher.match_view(std::string(300, '.'));
+    loaded->matcher.match_view("");
+    // ...and a canonical re-serialization to the exact accepted bytes.
+    const std::string again = psl::snapshot::serialize(loaded->matcher, loaded->meta);
+    if (again.size() != blob.size()) __builtin_trap();
+    if (!blob.empty() && std::memcmp(again.data(), blob.data(), blob.size()) != 0) {
+      __builtin_trap();
+    }
+  } else {
+    // Rejections carry a stable "snapshot." error code, never anything else.
+    if (loaded.error().code.rfind("snapshot.", 0) != 0) __builtin_trap();
+  }
+  return 0;
+}

@@ -8,37 +8,48 @@
 // degenerate strings.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/flat_matcher.hpp"
 #include "psl/psl/list.hpp"
+#include "psl/psl/match.hpp"
 #include "psl/util/namegen.hpp"
 #include "psl/util/rng.hpp"
 
 namespace psl {
 namespace {
 
+// The suite is written against the Matcher concept: every implementation is
+// queried through the one unified entry point (match_view) and any model of
+// the concept can be dropped into the pack below.
+static_assert(Matcher<List> && Matcher<FlatMatcher> && Matcher<CompiledMatcher>);
+
+/// All matchers in the pack must produce an identical Match for `host`.
+template <Matcher... Ms>
+void expect_matchers_agree(const std::string& host, const Ms&... matchers) {
+  const std::array<Match, sizeof...(Ms)> results = {matchers.match_view(host).to_match()...};
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[0].public_suffix, results[i].public_suffix) << "matcher " << i << ": " << host;
+    ASSERT_EQ(results[0].registrable_domain, results[i].registrable_domain)
+        << "matcher " << i << ": " << host;
+    ASSERT_EQ(results[0].matched_explicit_rule, results[i].matched_explicit_rule)
+        << "matcher " << i << ": " << host;
+    ASSERT_EQ(results[0].section, results[i].section) << "matcher " << i << ": " << host;
+    ASSERT_EQ(results[0].rule_labels, results[i].rule_labels) << "matcher " << i << ": " << host;
+    ASSERT_EQ(results[0].prevailing_rule, results[i].prevailing_rule)
+        << "matcher " << i << ": " << host;
+  }
+}
+
 void expect_all_agree(const List& list, const FlatMatcher& flat, const CompiledMatcher& compiled,
                       const std::string& host) {
-  const Match a = list.match(host);
-  const Match b = flat.match(host);
-  const Match c = compiled.match(host);
-  ASSERT_EQ(a.public_suffix, b.public_suffix) << "flat: " << host;
-  ASSERT_EQ(a.public_suffix, c.public_suffix) << "compiled: " << host;
-  ASSERT_EQ(a.registrable_domain, b.registrable_domain) << "flat: " << host;
-  ASSERT_EQ(a.registrable_domain, c.registrable_domain) << "compiled: " << host;
-  ASSERT_EQ(a.matched_explicit_rule, b.matched_explicit_rule) << "flat: " << host;
-  ASSERT_EQ(a.matched_explicit_rule, c.matched_explicit_rule) << "compiled: " << host;
-  ASSERT_EQ(a.section, b.section) << "flat: " << host;
-  ASSERT_EQ(a.section, c.section) << "compiled: " << host;
-  ASSERT_EQ(a.rule_labels, b.rule_labels) << "flat: " << host;
-  ASSERT_EQ(a.rule_labels, c.rule_labels) << "compiled: " << host;
-  ASSERT_EQ(a.prevailing_rule, b.prevailing_rule) << "flat: " << host;
-  ASSERT_EQ(a.prevailing_rule, c.prevailing_rule) << "compiled: " << host;
+  expect_matchers_agree(host, list, flat, compiled);
 
   // The zero-allocation view and its allocating adapter must tell one story.
+  const Match a = list.match(host);
   const MatchView v = compiled.match_view(host);
   ASSERT_EQ(v.public_suffix, a.public_suffix) << host;
   ASSERT_EQ(v.registrable_domain, a.registrable_domain) << host;
@@ -244,6 +255,34 @@ TEST(MatcherEquivalenceTest, AgreeUnderIncrementalMutation) {
       }
       expect_all_agree(list, flat, compiled, host);
     }
+  }
+}
+
+TEST(MatcherEquivalenceTest, GenericSameSiteAgreesAcrossMatchers) {
+  // psl::same_site is one template over the Matcher concept; instantiated
+  // against each implementation it must agree with the List member.
+  const List list = random_list(31337, 120);
+  const FlatMatcher flat(list);
+  const CompiledMatcher compiled(list);
+  const auto pool = shared_pool(31337);
+
+  util::Rng rng(31337);
+  auto make_host = [&] {
+    std::string h;
+    const std::size_t labels = 1 + rng.below(4);
+    for (std::size_t l = 0; l < labels; ++l) {
+      if (!h.empty()) h.push_back('.');
+      h += pool[rng.below(pool.size())];
+    }
+    return h;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const std::string a = make_host();
+    const std::string b = rng.chance(0.3) ? a : make_host();
+    const bool expected = list.same_site(a, b);
+    EXPECT_EQ(same_site(list, a, b), expected) << a << " vs " << b;
+    EXPECT_EQ(same_site(flat, a, b), expected) << a << " vs " << b;
+    EXPECT_EQ(same_site(compiled, a, b), expected) << a << " vs " << b;
   }
 }
 
