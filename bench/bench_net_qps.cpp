@@ -1,0 +1,342 @@
+// Socket-serving throughput ablation: loopback QPS through the full
+// client -> PSLN wire protocol -> net::Server -> serve::Engine -> client
+// path, across engine-worker count x batch size, plus a reload-under-load
+// run that ships ~50 snapshot hot-swaps OVER THE WIRE while client threads
+// keep querying (the deployed form of the paper's "update the PSL without
+// breaking boundary checks" scenario, §6).
+//
+// Each cell boots a fresh engine + server on an ephemeral loopback port and
+// drives it from a small pool of blocking clients (one connection per
+// thread, matching the client library's contract). Results print as a table
+// and land machine-readably in BENCH_net.json (with an embedded psl::obs
+// metrics snapshot covering net.* and serve.*), which CI archives.
+//
+// Usage: bench_net_qps [--smoke] [queries_per_cell] [max_threads]
+//   --smoke           tiny fixed workload for CI (2000 queries/cell, 2
+//                     threads) — exercises every path, settles in seconds
+//   queries_per_cell  queries measured per (threads, batch) cell
+//                     (default 100000)
+//   max_threads       highest engine worker count tried (default
+//                     hardware_concurrency)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "psl/net/client.hpp"
+#include "psl/net/server.hpp"
+#include "psl/obs/json.hpp"
+#include "psl/obs/metrics.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/serve/engine.hpp"
+#include "psl/serve/snapshot.hpp"
+#include "psl/util/date.hpp"
+#include "psl/util/namegen.hpp"
+#include "psl/util/rng.hpp"
+#include "psl/util/strings.hpp"
+#include "psl/util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Same workload recipe as bench_serve_qps, so the delta between the two
+/// binaries is exactly the socket + framing overhead.
+std::vector<std::string> host_mix(const psl::List& list) {
+  psl::util::Rng rng(7);
+  psl::util::NameGen names{rng.fork(1)};
+  const auto& rules = list.rules();
+  std::vector<std::string> out;
+  out.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    std::string host = names.fresh();
+    if (rng.chance(0.5)) {
+      const auto& rule = rules[rng.below(rules.size())];
+      std::string suffix;
+      for (const auto& label : rule.labels()) {
+        if (!suffix.empty()) suffix.push_back('.');
+        suffix += label;
+      }
+      host += "." + suffix;
+    } else {
+      host += "." + names.fresh() + (rng.chance(0.5) ? ".com" : ".net");
+    }
+    if (rng.chance(0.4)) host = "www." + host;
+    out.push_back(std::move(host));
+  }
+  return out;
+}
+
+psl::snapshot::Snapshot snapshot_of(const psl::List& list, psl::util::Date source_date) {
+  psl::snapshot::Metadata meta;
+  meta.source_date = source_date;
+  meta.rule_count = list.rules().size();
+  const std::string bytes = psl::snapshot::serialize(psl::CompiledMatcher(list), meta);
+  auto loaded = psl::snapshot::load_copy(
+      {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+  if (!loaded.ok()) {
+    std::cerr << "snapshot self-load failed: " << loaded.error().message << "\n";
+    std::exit(2);
+  }
+  return *std::move(loaded);
+}
+
+struct Cell {
+  std::size_t threads = 0;
+  std::size_t batch = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+};
+
+/// One blocking client on its own connection, sending `total` queries in
+/// batches of `batch`. Backpressure rejections are retried (the wire-level
+/// reject leaves the connection usable — that is the contract under test).
+void client_worker(std::uint16_t port, const std::vector<std::string>& hosts,
+                   std::size_t total, std::size_t batch, std::atomic<bool>& failed) {
+  auto client = psl::net::Client::connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.error().message << "\n";
+    failed = true;
+    return;
+  }
+  std::vector<std::string> request;
+  request.reserve(batch);
+  std::size_t sent = 0;
+  std::size_t host_index = 0;
+  while (sent < total) {
+    request.clear();
+    const std::size_t n = std::min(batch, total - sent);
+    for (std::size_t i = 0; i < n; ++i) request.push_back(hosts[host_index++ & 4095]);
+    for (;;) {
+      auto answers = client->registrable_domains(request);
+      if (answers.ok()) {
+        if (answers->size() != n) {
+          std::cerr << "short batch: " << answers->size() << " of " << n << "\n";
+          failed = true;
+          return;
+        }
+        break;
+      }
+      if (answers.error().code == "net.backpressure") {
+        std::this_thread::yield();
+        continue;
+      }
+      std::cerr << "query failed: " << answers.error().message << " ("
+                << answers.error().code << ")\n";
+      failed = true;
+      return;
+    }
+    sent += n;
+  }
+}
+
+/// Boot engine + server, split `total` across `clients` connections, return
+/// wall ms for the whole run.
+double run_cell(const psl::snapshot::Snapshot& seed, const std::vector<std::string>& hosts,
+                std::size_t engine_threads, std::size_t clients, std::size_t total,
+                std::size_t batch, psl::obs::MetricsRegistry* metrics) {
+  psl::serve::Engine engine(
+      psl::snapshot::Snapshot{seed.matcher, seed.meta},
+      {.threads = engine_threads, .max_queue_depth = 1024, .metrics = metrics});
+  psl::net::ServerOptions options;
+  options.metrics = metrics;
+  psl::net::Server server(engine, options);
+  auto port = server.start();
+  if (!port.ok()) {
+    std::cerr << "server start failed: " << port.error().message << "\n";
+    std::exit(2);
+  }
+
+  std::atomic<bool> failed{false};
+  const std::size_t per_client = (total + clients - 1) / clients;
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::size_t share = std::min(per_client, total - std::min(total, c * per_client));
+    if (share == 0) break;
+    pool.emplace_back(client_worker, *port, std::cref(hosts), share, batch,
+                      std::ref(failed));
+  }
+  for (std::thread& t : pool) t.join();
+  const auto t1 = Clock::now();
+  server.shutdown();
+  if (failed) std::exit(2);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t queries_per_cell = smoke ? 2000 : 100000;
+  unsigned max_threads = smoke ? 2u : hardware;
+  if (positional.size() > 0) {
+    queries_per_cell = static_cast<std::size_t>(std::atol(positional[0]));
+  }
+  if (positional.size() > 1) max_threads = static_cast<unsigned>(std::atoi(positional[1]));
+  if (queries_per_cell < 1 || max_threads < 1) {
+    std::cerr << "usage: bench_net_qps [--smoke] [queries_per_cell >= 1] [max_threads >= 1]\n";
+    return 2;
+  }
+
+  const psl::history::History& history = psl::bench::full_history();
+  const psl::List& list = history.latest();
+  const psl::util::Date latest_date = history.version_date(history.version_count() - 1);
+  const std::vector<std::string> hosts = host_mix(list);
+  const psl::snapshot::Snapshot seed = snapshot_of(list, latest_date);
+  const std::size_t clients = smoke ? 2 : 4;
+
+  std::cout << "=== psl::net loopback: engine threads x batch-size QPS ablation ===\n";
+  std::cout << "rules: " << list.rules().size() << ", queries/cell: " << queries_per_cell
+            << ", client connections: " << clients << ", hardware threads: " << hardware
+            << "\n\n";
+
+  std::vector<std::size_t> thread_counts;
+  for (unsigned t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  const std::vector<std::size_t> batch_sizes =
+      smoke ? std::vector<std::size_t>{1, 256} : std::vector<std::size_t>{1, 16, 256, 4096};
+
+  std::vector<Cell> cells;
+  for (const std::size_t threads : thread_counts) {
+    for (const std::size_t batch : batch_sizes) {
+      Cell cell;
+      cell.threads = threads;
+      cell.batch = batch;
+      cell.wall_ms = run_cell(seed, hosts, threads, clients, queries_per_cell, batch, nullptr);
+      cell.qps = static_cast<double>(queries_per_cell) / (cell.wall_ms / 1000.0);
+      cells.push_back(cell);
+    }
+  }
+
+  psl::util::TextTable table({"engine threads", "batch size", "wall time", "queries/sec"});
+  for (const Cell& cell : cells) {
+    table.add_row({std::to_string(cell.threads), std::to_string(cell.batch),
+                   psl::util::fmt_double(cell.wall_ms, 0) + " ms",
+                   psl::util::fmt_double(cell.qps, 0)});
+  }
+  table.print(std::cout);
+
+  // --- reload-under-load: wire-level hot swaps racing wire-level queries ---
+  // A dedicated reloader CONNECTION ships alternating snapshot versions via
+  // the reload frame type while the client pool keeps querying; the final
+  // generation proves every swap landed exactly once.
+  const std::size_t previous_index =
+      history.version_count() >= 2 ? history.version_count() - 2 : 0;
+  const psl::List previous = history.snapshot(previous_index);
+  const psl::util::Date previous_date = history.version_date(previous_index);
+  const std::string bytes_now =
+      psl::snapshot::serialize(psl::CompiledMatcher(list), {latest_date, list.rules().size()});
+  const std::string bytes_prev = psl::snapshot::serialize(
+      psl::CompiledMatcher(previous), {previous_date, previous.rules().size()});
+
+  psl::obs::MetricsRegistry metrics;
+  const std::size_t reload_threads = std::max<std::size_t>(2, max_threads);
+  const std::size_t reload_batch = 256;
+  constexpr int kReloads = 50;
+  double reload_wall_ms = 0.0;
+  std::uint64_t reload_generation = 0;
+  {
+    psl::serve::Engine engine(
+        psl::snapshot::Snapshot{seed.matcher, seed.meta},
+        {.threads = reload_threads, .max_queue_depth = 1024, .metrics = &metrics});
+    psl::net::ServerOptions options;
+    options.metrics = &metrics;
+    psl::net::Server server(engine, options);
+    auto port = server.start();
+    if (!port.ok()) {
+      std::cerr << "server start failed: " << port.error().message << "\n";
+      return 2;
+    }
+
+    std::atomic<bool> failed{false};
+    std::thread reloader([&] {
+      auto client = psl::net::Client::connect("127.0.0.1", *port);
+      if (!client.ok()) {
+        failed = true;
+        return;
+      }
+      for (int i = 0; i < kReloads; ++i) {
+        const std::string& bytes = i % 2 == 0 ? bytes_prev : bytes_now;
+        auto swapped = client->reload(
+            {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+        if (!swapped.ok()) {
+          std::cerr << "wire reload failed: " << swapped.error().message << "\n";
+          failed = true;
+          return;
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> pool;
+    const std::size_t per_client = (queries_per_cell + clients - 1) / clients;
+    for (std::size_t c = 0; c < clients; ++c) {
+      const std::size_t share =
+          std::min(per_client, queries_per_cell - std::min(queries_per_cell, c * per_client));
+      if (share == 0) break;
+      pool.emplace_back(client_worker, *port, std::cref(hosts), share, reload_batch,
+                        std::ref(failed));
+    }
+    for (std::thread& t : pool) t.join();
+    reload_wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    reloader.join();
+    reload_generation = engine.generation();
+    server.shutdown();
+    if (failed) return 2;
+  }
+  const double reload_qps = static_cast<double>(queries_per_cell) / (reload_wall_ms / 1000.0);
+
+  std::cout << "\nreload-under-load (" << reload_threads << " engine threads, batch "
+            << reload_batch << "): " << kReloads << " wire hot swaps, "
+            << psl::util::fmt_double(reload_qps, 0) << " queries/sec, final generation "
+            << reload_generation << "\n";
+  if (reload_generation != 1u + kReloads) {
+    std::cout << "GENERATION MISMATCH: expected " << (1u + kReloads) << "\n";
+    return 1;
+  }
+
+  std::ofstream json("BENCH_net.json");
+  json << "{\n";
+  json << "  \"rule_count\": " << list.rules().size() << ",\n";
+  json << "  \"queries_per_cell\": " << queries_per_cell << ",\n";
+  json << "  \"client_connections\": " << clients << ",\n";
+  json << "  \"hardware_threads\": " << hardware << ",\n";
+  json << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    json << "    {\"threads\": " << cell.threads << ", \"batch_size\": " << cell.batch
+         << ", \"wall_ms\": " << psl::util::fmt_double(cell.wall_ms, 2)
+         << ", \"qps\": " << psl::util::fmt_double(cell.qps, 1) << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"reload_under_load\": {\"threads\": " << reload_threads
+       << ", \"batch_size\": " << reload_batch << ", \"reloads\": " << kReloads
+       << ", \"wall_ms\": " << psl::util::fmt_double(reload_wall_ms, 2)
+       << ", \"qps\": " << psl::util::fmt_double(reload_qps, 1)
+       << ", \"final_generation\": " << reload_generation << "},\n";
+  json << "  \"metrics\": " << psl::obs::to_json(metrics) << "\n";
+  json << "}\n";
+  std::cout << "wrote BENCH_net.json\n";
+  return 0;
+}

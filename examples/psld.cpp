@@ -1,135 +1,297 @@
-// psld: a miniature PSL query daemon built on psl::serve.
+// psld: the PSL query daemon — a real network service over psl::net +
+// psl::serve.
 //
-//   $ ./psld
+// Serve (the daemon proper):
 //
-// Walks through the full deployment lifecycle a real daemon would run:
+//   $ psld --listen 127.0.0.1:7878 --snapshot list.psnap
+//          [--threads N] [--max-conns N] [--queue-depth N] [--force-poll]
 //
-//   1. compile a list into an arena snapshot and persist it with
-//      psl::snapshot::write_file (atomic tmp+rename, checksummed format);
-//   2. boot an Engine from that file — the validating loader means a corrupt
-//      or truncated snapshot can never reach serving;
-//   3. serve inline and batched queries from a worker pool;
-//   4. hot-reload a newer list while queries keep flowing (RCU swap: every
-//      in-flight batch still sees exactly one version);
-//   5. demonstrate keep-last-good: a bad reload is rejected, serving
-//      continues on the previous generation;
-//   6. drain and shut down, then print the obs metrics the engine emitted.
+//   Boots a serve::Engine from the validated snapshot file and serves the
+//   PSLN wire protocol on the listen address. Signals:
+//     SIGHUP   re-read --snapshot and hot-swap it (keep-last-good: a corrupt
+//              file is rejected and the previous list keeps serving);
+//     SIGTERM/SIGINT  graceful drain (in-flight batches finish, responses
+//              flush), metrics to stderr, exit 0.
+//
+// Tooling subcommands (what the CI loopback smoke job drives):
+//
+//   $ psld compile <list.txt> <out.psnap>     # PSL text -> snapshot file
+//   $ psld query  <addr:port> <host>...       # print eTLD+1 per host
+//   $ psld ping   <addr:port>                 # liveness probe, exit 0/1
+//   $ psld stats  <addr:port>                 # generation / rules / conns
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include <unistd.h>
+
+#include "psl/net/client.hpp"
+#include "psl/net/server.hpp"
 #include "psl/obs/json.hpp"
 #include "psl/obs/metrics.hpp"
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
 #include "psl/serve/engine.hpp"
 #include "psl/serve/snapshot.hpp"
-#include "psl/util/date.hpp"
 
 namespace {
 
-constexpr std::string_view kListV1 = R"(// snapshot v1
-com
-uk
-co.uk
-github.io
-)";
+// Self-pipe: handlers do one async-signal-safe write; the main thread
+// blocks on the read end and turns bytes back into reload/drain actions.
+int g_signal_pipe[2] = {-1, -1};
 
-// v2 adds a private-domain rule: shops on myshopify.com become separate
-// sites, exactly the kind of boundary change a PSL update ships.
-constexpr std::string_view kListV2 = R"(// snapshot v2
-com
-uk
-co.uk
-github.io
-myshopify.com
-)";
-
-psl::List parse_or_die(std::string_view text) {
-  auto parsed = psl::List::parse(text);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "list parse error: %s\n", parsed.error().message.c_str());
-    std::exit(1);
-  }
-  return *std::move(parsed);
+extern "C" void on_signal(int sig) {
+  const std::uint8_t byte = sig == SIGHUP ? 'H' : 'T';
+  (void)!::write(g_signal_pipe[1], &byte, 1);
 }
 
-void serve_batch(psl::serve::Engine& engine, const std::vector<std::string>& hosts) {
-  auto submitted = engine.submit_registrable_domains(hosts);
-  if (!submitted.ok()) {
-    std::printf("  [backpressure] %s\n", submitted.error().message.c_str());
-    return;
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  psld --listen ADDR:PORT --snapshot FILE [--threads N] [--max-conns N]\n"
+               "       [--queue-depth N] [--force-poll]\n"
+               "  psld compile LIST_FILE OUT_SNAPSHOT\n"
+               "  psld query  ADDR:PORT HOST...\n"
+               "  psld ping   ADDR:PORT\n"
+               "  psld stats  ADDR:PORT\n");
+  return 2;
+}
+
+bool parse_endpoint(std::string_view endpoint, std::string& address, std::uint16_t& port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == endpoint.size()) {
+    return false;
   }
-  const std::vector<std::string> domains = submitted->get();
+  address = std::string(endpoint.substr(0, colon));
+  const long parsed = std::atol(std::string(endpoint.substr(colon + 1)).c_str());
+  if (parsed < 1 || parsed > 65535) return false;
+  port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+int cmd_compile(const std::string& list_path, const std::string& out_path) {
+  std::ifstream in(list_path);
+  if (!in) {
+    std::fprintf(stderr, "psld: cannot read %s\n", list_path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = psl::List::parse(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "psld: parse error in %s: %s\n", list_path.c_str(),
+                 parsed.error().message.c_str());
+    return 1;
+  }
+  psl::snapshot::Metadata meta;
+  meta.rule_count = parsed->rules().size();
+  auto written = psl::snapshot::write_file(out_path, psl::CompiledMatcher(*parsed), meta);
+  if (!written.ok()) {
+    std::fprintf(stderr, "psld: snapshot write failed: %s\n", written.error().message.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%llu bytes, %zu rules)\n", out_path.c_str(),
+              static_cast<unsigned long long>(*written), parsed->rules().size());
+  return 0;
+}
+
+psl::util::Result<psl::net::Client> connect_to(std::string_view endpoint) {
+  std::string address;
+  std::uint16_t port = 0;
+  if (!parse_endpoint(endpoint, address, port)) {
+    return psl::util::make_error("net.io", "bad endpoint (want ADDR:PORT): " +
+                                               std::string(endpoint));
+  }
+  return psl::net::Client::connect(address, port);
+}
+
+int cmd_query(std::string_view endpoint, std::vector<std::string> hosts) {
+  auto client = connect_to(endpoint);
+  if (!client.ok()) {
+    std::fprintf(stderr, "psld: %s\n", client.error().message.c_str());
+    return 1;
+  }
+  auto domains = client->registrable_domains(hosts);
+  if (!domains.ok()) {
+    std::fprintf(stderr, "psld: %s (%s)\n", domains.error().message.c_str(),
+                 domains.error().code.c_str());
+    return 1;
+  }
   for (std::size_t i = 0; i < hosts.size(); ++i) {
-    std::printf("  %-26s -> %s\n", hosts[i].c_str(),
-                domains[i].empty() ? "(is a public suffix)" : domains[i].c_str());
+    std::printf("%s %s\n", hosts[i].c_str(),
+                (*domains)[i].empty() ? "-" : (*domains)[i].c_str());
   }
+  return 0;
+}
+
+int cmd_ping(std::string_view endpoint) {
+  auto client = connect_to(endpoint);
+  if (!client.ok() || !client->ping().ok()) return 1;
+  std::printf("pong\n");
+  return 0;
+}
+
+int cmd_stats(std::string_view endpoint) {
+  auto client = connect_to(endpoint);
+  if (!client.ok()) return 1;
+  auto stats = client->stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "psld: %s\n", stats.error().message.c_str());
+    return 1;
+  }
+  std::printf("generation %llu, %llu rules, %u connections, queue depth %u\n",
+              static_cast<unsigned long long>(stats->generation),
+              static_cast<unsigned long long>(stats->rule_count), stats->connections,
+              stats->queue_depth);
+  return 0;
+}
+
+int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
+              std::size_t threads, std::size_t max_conns, std::size_t queue_depth,
+              bool force_poll) {
+  std::string address;
+  std::uint16_t port = 0;
+  if (!parse_endpoint(endpoint, address, port)) {
+    std::fprintf(stderr, "psld: bad --listen endpoint (want ADDR:PORT): %s\n",
+                 endpoint.c_str());
+    return 2;
+  }
+
+  auto snapshot = psl::snapshot::load_file(snapshot_path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "psld: snapshot load failed: %s (%s)\n",
+                 snapshot.error().message.c_str(), snapshot.error().code.c_str());
+    return 1;
+  }
+
+  psl::obs::MetricsRegistry metrics;
+  psl::serve::Engine engine(
+      *std::move(snapshot),
+      {.threads = threads, .max_queue_depth = queue_depth, .metrics = &metrics});
+
+  psl::net::ServerOptions options;
+  options.bind_address = address;
+  options.port = port;
+  options.max_connections = max_conns;
+  options.force_poll = force_poll;
+  options.metrics = &metrics;
+  psl::net::Server server(engine, options);
+  auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "psld: %s\n", started.error().message.c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "psld: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGHUP, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu workers\n",
+              static_cast<unsigned long long>(engine.generation()),
+              static_cast<unsigned long long>(engine.metadata().rule_count), address.c_str(),
+              *started, engine.worker_count());
+  std::fflush(stdout);
+
+  for (;;) {
+    std::uint8_t byte = 0;
+    const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (byte == 'H') {
+      auto swapped = engine.reload_file(snapshot_path);
+      if (swapped.ok()) {
+        std::printf("psld: reloaded %s -> generation %llu\n", snapshot_path.c_str(),
+                    static_cast<unsigned long long>(*swapped));
+      } else {
+        std::printf("psld: reload rejected (%s), still serving generation %llu\n",
+                    swapped.error().code.c_str(),
+                    static_cast<unsigned long long>(engine.generation()));
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    break;  // SIGTERM/SIGINT: drain and exit
+  }
+
+  std::printf("psld: draining...\n");
+  std::fflush(stdout);
+  server.shutdown();
+  std::fprintf(stderr, "%s\n", psl::obs::to_json(metrics).c_str());
+  std::printf("psld: bye\n");
+  return 0;
 }
 
 }  // namespace
 
-int main() {
-  const std::string path = "psld_demo.psnap";
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
 
-  // --- 1. compile + persist ------------------------------------------------
-  const psl::List v1 = parse_or_die(kListV1);
-  psl::snapshot::Metadata meta;
-  meta.source_date = psl::util::Date::from_civil(2023, 1, 15);
-  meta.rule_count = v1.rule_count();
-  auto written = psl::snapshot::write_file(path, psl::CompiledMatcher(v1), meta);
-  if (!written.ok()) {
-    std::fprintf(stderr, "snapshot write failed: %s\n", written.error().message.c_str());
-    return 1;
+  if (args[0] == "compile") {
+    return args.size() == 3 ? cmd_compile(args[1], args[2]) : usage();
   }
-  std::printf("wrote %s (%llu bytes, %zu rules)\n\n", path.c_str(),
-              static_cast<unsigned long long>(*written), v1.rule_count());
-
-  // --- 2. boot the engine from the validated snapshot file -----------------
-  auto snapshot = psl::snapshot::load_file(path);
-  if (!snapshot.ok()) {
-    std::fprintf(stderr, "snapshot load failed: %s\n", snapshot.error().message.c_str());
-    return 1;
+  if (args[0] == "query") {
+    return args.size() >= 3 ? cmd_query(args[1], {args.begin() + 2, args.end()}) : usage();
   }
-  psl::obs::MetricsRegistry metrics;
-  psl::serve::Engine engine(*std::move(snapshot),
-                            {.threads = 2, .max_queue_depth = 64, .metrics = &metrics});
-  std::printf("engine up: generation %llu, %zu workers, %llu rules\n\n",
-              static_cast<unsigned long long>(engine.generation()), engine.worker_count(),
-              static_cast<unsigned long long>(engine.metadata().rule_count));
+  if (args[0] == "ping") {
+    return args.size() == 2 ? cmd_ping(args[1]) : usage();
+  }
+  if (args[0] == "stats") {
+    return args.size() == 2 ? cmd_stats(args[1]) : usage();
+  }
 
-  // --- 3. serve ------------------------------------------------------------
-  const std::vector<std::string> batch = {"www.amazon.co.uk", "alice.github.io",
-                                          "shop1.myshopify.com", "co.uk"};
-  std::printf("serving generation %llu:\n",
-              static_cast<unsigned long long>(engine.generation()));
-  serve_batch(engine, batch);
-  std::printf("  same_site(shop1.myshopify.com, shop2.myshopify.com) = %s\n\n",
-              engine.same_site("shop1.myshopify.com", "shop2.myshopify.com") ? "true" : "false");
-
-  // --- 4. hot reload -------------------------------------------------------
-  const psl::List v2 = parse_or_die(kListV2);
-  psl::snapshot::Metadata meta2;
-  meta2.source_date = psl::util::Date::from_civil(2023, 6, 1);
-  meta2.rule_count = v2.rule_count();
-  engine.reload_list(v2, meta2);
-  std::printf("hot-reloaded to generation %llu:\n",
-              static_cast<unsigned long long>(engine.generation()));
-  serve_batch(engine, batch);
-  std::printf("  same_site(shop1.myshopify.com, shop2.myshopify.com) = %s\n\n",
-              engine.same_site("shop1.myshopify.com", "shop2.myshopify.com") ? "true" : "false");
-
-  // --- 5. keep-last-good ---------------------------------------------------
-  const std::vector<std::uint8_t> garbage = {'n', 'o', 't', ' ', 'a', ' ', 's', 'n', 'a', 'p'};
-  auto failed = engine.reload_snapshot({garbage.data(), garbage.size()});
-  std::printf("bad reload rejected (%s); still serving generation %llu\n\n",
-              failed.ok() ? "unexpectedly accepted!" : failed.error().code.c_str(),
-              static_cast<unsigned long long>(engine.generation()));
-
-  // --- 6. metrics ----------------------------------------------------------
-  std::printf("engine metrics:\n%s\n", psl::obs::to_json(metrics).c_str());
-  std::remove(path.c_str());
-  return 0;
+  std::string listen, snapshot_path;
+  std::size_t threads = 2, max_conns = 256, queue_depth = 64;
+  bool force_poll = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "psld: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (args[i] == "--listen") {
+      const std::string* v = value("--listen");
+      if (!v) return 2;
+      listen = *v;
+    } else if (args[i] == "--snapshot") {
+      const std::string* v = value("--snapshot");
+      if (!v) return 2;
+      snapshot_path = *v;
+    } else if (args[i] == "--threads") {
+      const std::string* v = value("--threads");
+      if (!v) return 2;
+      threads = static_cast<std::size_t>(std::atol(v->c_str()));
+    } else if (args[i] == "--max-conns") {
+      const std::string* v = value("--max-conns");
+      if (!v) return 2;
+      max_conns = static_cast<std::size_t>(std::atol(v->c_str()));
+    } else if (args[i] == "--queue-depth") {
+      const std::string* v = value("--queue-depth");
+      if (!v) return 2;
+      queue_depth = static_cast<std::size_t>(std::atol(v->c_str()));
+    } else if (args[i] == "--force-poll") {
+      force_poll = true;
+    } else {
+      std::fprintf(stderr, "psld: unknown argument %s\n", args[i].c_str());
+      return usage();
+    }
+  }
+  if (listen.empty() || snapshot_path.empty()) return usage();
+  return cmd_serve(listen, snapshot_path, threads, max_conns, queue_depth, force_poll);
 }

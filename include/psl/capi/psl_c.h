@@ -127,6 +127,48 @@ int pslh_engine_same_site(pslh_engine_t* engine, const char* const* a, const cha
  * Not for production use; affects the whole process. */
 void pslh_test_fail_next_allocs(int count);
 
+/* ---------------------------------------------------------------------------
+ * Network client (psl::net): a blocking connection to a psld daemon speaking
+ * the PSLN wire protocol (see docs/API.md "psl_net"). One client is one TCP
+ * connection and is NOT thread-safe — use one per thread. Batch return
+ * convention matches the engine: 1 success, 0 bad arguments / I/O / protocol
+ * failure, -1 backpressure (the server rejected the batch; retry later). Any
+ * 0 return may have closed the connection; pslh_client_connected tells.
+ */
+
+typedef struct pslh_client pslh_client_t;
+
+/* Connect to a psld daemon at an IPv4 address ("127.0.0.1") and port.
+ * timeout_ms bounds connect and each request round trip (0 means 10000).
+ * Returns NULL on failure. Free with pslh_client_free (closes the socket). */
+pslh_client_t* pslh_client_connect(const char* address, unsigned short port, int timeout_ms);
+
+void pslh_client_free(pslh_client_t* client);
+
+/* 1 while the connection is usable, 0 after an error closed it. */
+int pslh_client_connected(const pslh_client_t* client);
+
+/* Round-trip liveness probe: 1 on pong, 0 on failure. */
+int pslh_client_ping(pslh_client_t* client);
+
+/* Batched eTLD+1 over the wire: out[i] receives a fresh caller-owned string
+ * (free with pslh_string_free), or NULL when hosts[i] has no registrable
+ * domain. On 0/-1 out is all-NULL. */
+int pslh_client_registrable_domains(pslh_client_t* client, const char* const* hosts,
+                                    size_t count, const char** out);
+
+/* Batched same-site over pairs (a[i], b[i]): out[i] = 1 or 0. */
+int pslh_client_same_site(pslh_client_t* client, const char* const* a, const char* const* b,
+                          size_t count, int* out);
+
+/* Ship serialized snapshot bytes (psl::snapshot format) for a hot reload.
+ * 1 on success, 0 on rejection or I/O failure (keep-last-good either way). */
+int pslh_client_reload_snapshot(pslh_client_t* client, const unsigned char* bytes,
+                                size_t length);
+
+/* Serving generation reported by the daemon, or 0 on failure. */
+unsigned long long pslh_client_generation(pslh_client_t* client);
+
 #ifdef __cplusplus
 }
 #endif

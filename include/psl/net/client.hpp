@@ -1,0 +1,101 @@
+// psl::net::Client — a small blocking client for the psld wire protocol.
+//
+// One Client is one TCP connection driving strict request/response pairs
+// (it never pipelines, so a response is always for the request just sent;
+// the id is checked anyway). It is intentionally synchronous: tests,
+// benches, the C API, and the psld CLI all want "send a batch, wait for the
+// answer" — callers that need concurrency open one Client per thread.
+//
+// Error codes (util::Result, stable):
+//   net.io             socket create/connect/send/recv failed (message has
+//                      errno text)
+//   net.timeout        connect or round-trip exceeded its bound
+//   net.protocol       response violated the framing contract (bad magic/
+//                      version, wrong type or id, short payload)
+//   net.closed         the server closed the connection
+//   net.backpressure   server rejected the batch: engine queue full; nothing
+//                      was computed — retry or shed
+//   net.malformed      server could not parse our payload
+//   net.unsupported    server does not speak this frame type
+//   net.reload-rejected  reload refused; message carries the snapshot
+//                      loader's code (keep-last-good: old list still serves)
+//   net.stopped        server is draining
+//   net.oversize       a request would exceed max_frame_bytes, or a hostname
+//                      exceeds the 65535-byte str16 bound
+//
+// Not thread-safe: one Client per thread (or external locking).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "psl/net/frame.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::net {
+
+struct ClientOptions {
+  int connect_timeout_ms = 5000;
+  int io_timeout_ms = 10000;  ///< bound on each blocking send/recv
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  /// Connect to an IPv4 address ("127.0.0.1") and port.
+  static util::Result<Client> connect(const std::string& address, std::uint16_t port,
+                                      ClientOptions options = {});
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Round-trip liveness probe (echo check included).
+  util::Result<bool> ping();
+
+  /// out[i] = 1 when pairs[i] is same-site, else 0.
+  util::Result<std::vector<std::uint8_t>> same_site_batch(
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+
+  util::Result<std::vector<WireMatch>> match_batch(const std::vector<std::string>& hosts);
+
+  /// Convenience over match_batch: just the eTLD+1 strings ("" when the host
+  /// is itself a public suffix).
+  util::Result<std::vector<std::string>> registrable_domains(
+      const std::vector<std::string>& hosts);
+
+  /// Ship serialized psl::snapshot bytes; returns the server's new
+  /// generation. Keep-last-good on the server: rejection leaves it serving.
+  util::Result<std::uint64_t> reload(std::span<const std::uint8_t> snapshot_bytes);
+
+  util::Result<WireStats> stats();
+
+ private:
+  Client(int fd, ClientOptions options);
+
+  /// Send one request frame and block for its response. On success `out`
+  /// holds the response frame; its payload view stays valid until the next
+  /// round_trip call. A non-kOk response status is mapped to the error codes
+  /// above (so a kFrame result always has status kOk).
+  util::Result<bool> round_trip(FrameType type, std::span<const std::uint8_t> payload,
+                                Frame& out);
+  util::Result<bool> send_all(std::span<const std::uint8_t> bytes);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  std::uint32_t next_id_ = 1;
+  FrameDecoder decoder_;
+  std::vector<std::uint8_t> send_buf_;
+  std::vector<std::uint8_t> payload_buf_;
+  std::vector<std::uint8_t> recv_scratch_;
+};
+
+}  // namespace psl::net

@@ -1,0 +1,211 @@
+// psl::net wire protocol — the framing layer under net::Server/net::Client.
+//
+// Every message on a psld connection is one length-prefixed binary frame:
+//
+//   offset  size  field
+//        0     4  magic 0x4E4C5350 ("PSLN" when read as little-endian bytes)
+//        4     1  protocol version (currently 1)
+//        5     1  frame type (request 0x01..0x05; response = request | 0x80)
+//        6     2  flags (reserved; MUST be zero, receivers reject nonzero)
+//        8     4  request id (chosen by the client, echoed in the response)
+//       12     4  payload length in bytes
+//
+// All integers are little-endian. The payload follows immediately; a frame
+// is complete at header + payload_length bytes. Request types:
+//
+//   0x01 ping             payload echoed back verbatim
+//   0x02 same_site_batch  u32 count, then count x (str16 a, str16 b)
+//   0x03 match_batch      u32 count, then count x str16 host
+//   0x04 reload           payload = serialized psl::snapshot bytes
+//   0x05 stats            empty payload
+//
+// (str16 = u16 length + that many bytes, so hostnames cap at 65535 bytes —
+// far above any valid DNS name.) Every response payload begins with one
+// status byte (Status below); only a kOk response carries a body:
+//
+//   ping       the request payload, echoed
+//   same_site  u32 count, then count x u8 (1 = same site)
+//   match      u32 count, then count x (str16 public_suffix,
+//              str16 registrable_domain, u8 flags: bit0 = explicit rule,
+//              bit1 = private section)
+//   reload     u64 new generation
+//   stats      u64 generation, u64 rule_count, u64 source date (days since
+//              1970-01-01, two's complement), u32 open connections,
+//              u32 engine queue depth
+//
+// Non-kOk responses carry str16 detail (a stable error code such as
+// "snapshot.checksum" for rejected reloads; may be empty). Status is
+// per-REQUEST: a kBackpressure or kMalformed response leaves the connection
+// healthy. Frame-level violations (bad magic/version/flags, payload length
+// over the cap) are per-CONNECTION: the stream cannot be resynchronized, so
+// the peer closes it.
+//
+// Versioning rules: the magic and the version byte never move. A receiver
+// rejects versions it does not speak (net.frame.version) instead of
+// guessing; additive evolution happens through new frame types (unknown
+// types get a kUnsupported response, not a disconnect) — existing payload
+// layouts never change within a version.
+//
+// FrameDecoder is incremental: feed() whatever the socket produced, call
+// next() until kNeedMore. Partial frames are not errors — they simply wait
+// for more bytes (the server's read timeout bounds how long). The decoder's
+// buffer grows to the high-water frame size once and is then reused, so the
+// steady-state decode path performs no heap allocation; same for the
+// encode helpers, which append into caller-owned reusable buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "psl/util/result.hpp"
+
+namespace psl::net {
+
+inline constexpr std::uint32_t kMagic = 0x4E4C5350u;  // "PSLN"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+inline constexpr std::uint8_t kResponseBit = 0x80;
+
+enum class FrameType : std::uint8_t {
+  kPing = 0x01,
+  kSameSiteBatch = 0x02,
+  kMatchBatch = 0x03,
+  kReload = 0x04,
+  kStats = 0x05,
+};
+
+/// First byte of every response payload.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBackpressure = 1,  ///< engine queue full; nothing was computed — retry
+  kMalformed = 2,     ///< request payload did not parse; connection lives on
+  kUnsupported = 3,   ///< unknown frame type for this protocol version
+  kReloadRejected = 4,///< snapshot validation failed; previous list serving
+  kShuttingDown = 5,  ///< server is draining; no new work accepted
+};
+
+struct FrameHeader {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t type = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// One decoded frame. `payload` points into the decoder's buffer and is
+/// valid until the next feed() call.
+struct Frame {
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Incremental frame decoder. Tolerates arbitrary read fragmentation;
+/// rejects protocol violations with a sticky error (the connection must be
+/// closed — the stream cannot be trusted past the first bad header).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Append raw socket bytes. No-op once the decoder has errored.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  enum class Next { kFrame, kNeedMore, kError };
+  /// Extract the next complete frame, if any. On kError the decoder is
+  /// poisoned; error() describes the violation (codes net.frame.magic,
+  /// net.frame.version, net.frame.flags, net.frame.oversize).
+  Next next(Frame& out);
+
+  const util::Error& error() const noexcept { return error_; }
+  bool failed() const noexcept { return failed_; }
+  /// Bytes buffered but not yet returned as frames (> 0 = mid-frame).
+  std::size_t buffered() const noexcept { return buffer_.size() - read_off_; }
+  std::size_t max_frame_bytes() const noexcept { return max_frame_bytes_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t read_off_ = 0;
+  bool failed_ = false;
+  util::Error error_;
+};
+
+// --- encode helpers ---------------------------------------------------------
+//
+// Frames are appended to a caller-owned buffer whose capacity is reused
+// across frames (the no-allocation steady-state contract). begin_frame
+// writes a header with payload_len 0 and returns its offset; append payload
+// bytes with the put_* helpers; end_frame patches the length back in.
+
+std::size_t begin_frame(std::vector<std::uint8_t>& out, std::uint8_t type, std::uint32_t id);
+void end_frame(std::vector<std::uint8_t>& out, std::size_t frame_begin);
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_raw(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> bytes);
+/// u16 length prefix + bytes. Precondition: s.size() <= 65535.
+void put_str16(std::vector<std::uint8_t>& out, std::string_view s);
+
+/// Convenience: one complete frame with a ready payload.
+void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t type, std::uint32_t id,
+                  std::span<const std::uint8_t> payload);
+
+// --- payload readers --------------------------------------------------------
+
+/// Bounds-checked little-endian reader over one payload span. Every getter
+/// returns false (and moves nothing) when the remaining bytes are too short.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& v);
+  bool u16(std::uint16_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  /// View into the underlying payload (no copy).
+  bool str16(std::string_view& v);
+  bool raw(std::size_t n, std::span<const std::uint8_t>& v);
+
+  std::size_t remaining() const noexcept { return data_.size() - off_; }
+  bool done() const noexcept { return off_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t off_ = 0;
+};
+
+// Request parsers used by the server (and the fuzz harness). `out` is
+// cleared and refilled; its capacity is reused, and the parsed views point
+// into `payload`. Returns false on any structural violation (short counts,
+// trailing bytes, count larger than the payload could possibly hold).
+bool parse_same_site_request(std::span<const std::uint8_t> payload,
+                             std::vector<std::pair<std::string_view, std::string_view>>& out);
+bool parse_match_request(std::span<const std::uint8_t> payload,
+                         std::vector<std::string_view>& out);
+
+/// One match_batch response entry, owned (the client's return type).
+struct WireMatch {
+  std::string public_suffix;
+  std::string registrable_domain;  ///< empty when the host IS a public suffix
+  bool matched_explicit_rule = false;
+  bool private_section = false;
+};
+
+/// stats response body.
+struct WireStats {
+  std::uint64_t generation = 0;
+  std::uint64_t rule_count = 0;
+  std::int64_t source_date_days = 0;
+  std::uint32_t connections = 0;
+  std::uint32_t queue_depth = 0;
+};
+
+const char* status_name(Status s) noexcept;
+
+}  // namespace psl::net

@@ -1,0 +1,180 @@
+// psl::net::Server — the socket front-end over psl::serve::Engine.
+//
+// One event-loop thread owns every socket: a non-blocking IPv4 listener plus
+// per-connection state machines (incremental FrameDecoder in, reusable write
+// buffer out), multiplexed through epoll where available and poll()
+// everywhere else (ServerOptions::force_poll pins the portable backend, so
+// both are testable on one platform). Query batches never run on the loop
+// thread: decoded same_site/match requests are handed to the engine's worker
+// pool via Engine::submit_job, workers build the complete response frame off
+// to the side, and a self-pipe wakes the loop to flush it — so a slow batch
+// never blocks accepting, reading, or other connections' responses.
+//
+// Contracts worth naming:
+//
+//   * Backpressure is a wire-level REJECT, never unbounded buffering. When
+//     the engine queue is full, the client gets an immediate
+//     Status::kBackpressure response for that request (counted in
+//     net.reject.backpressure on top of the engine's serve.rejected) and the
+//     connection stays healthy. Per-connection write buffers are bounded
+//     too: a connection with more than max_frame_bytes of unflushed output
+//     stops being read until the peer drains it.
+//   * Frame-level violations (bad magic/version/flags, oversized length)
+//     close the connection — the byte stream cannot be re-synchronized.
+//     Payload-level violations answer Status::kMalformed and keep it open.
+//   * Timeouts: a connection idle past idle_timeout_ms, or stuck mid-frame
+//     past read_timeout_ms, is closed (net.timeout.idle / net.timeout.read).
+//   * Graceful drain: shutdown() stops accepting, lets in-flight engine
+//     batches finish and their responses flush (bounded by
+//     drain_timeout_ms), then closes everything and joins the loop thread.
+//     The destructor calls shutdown() if the caller did not.
+//   * The steady-state decode/encode hot path performs no heap allocation:
+//     decoder buffers, write buffers, scratch parse vectors, and response
+//     buffers (a recycling pool shared with the workers) all grow to a
+//     high-water mark once and are reused.
+//
+// obs instrumentation (when given a registry): gauge net.connections;
+// counters net.accepted, net.frames_in, net.frames_out, net.bytes_in,
+// net.bytes_out, net.reject.backpressure, net.reject.malformed,
+// net.reject.max_conns, net.timeout.idle, net.timeout.read,
+// net.frame_errors; histograms net.request_ms.{ping,same_site,match,reload,
+// stats} (decode-to-response-enqueue latency per request type).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "psl/net/frame.hpp"
+#include "psl/obs/metrics.hpp"
+#include "psl/serve/engine.hpp"
+#include "psl/util/result.hpp"
+
+namespace psl::net {
+
+class Poller;  // epoll/poll backend, internal to server.cpp
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";  ///< IPv4 dotted quad
+  std::uint16_t port = 0;                  ///< 0 = ephemeral; see Server::port()
+  std::size_t max_connections = 256;       ///< beyond this, accept-and-reject
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  int idle_timeout_ms = 30000;   ///< close connections with no traffic this long
+  int read_timeout_ms = 10000;   ///< a started frame must complete this fast
+  int drain_timeout_ms = 5000;   ///< graceful-shutdown bound before force-close
+  bool force_poll = false;       ///< use the portable poll() backend everywhere
+  obs::MetricsRegistry* metrics = nullptr;  ///< optional; null = uninstrumented
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server. Nothing is bound until start().
+  Server(serve::Engine& engine, ServerOptions options = {});
+  ~Server();  // shutdown() if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the event-loop thread. Returns the bound port
+  /// (useful with port 0). Errors: net.listen (bind/listen/socket failure,
+  /// message carries errno text), net.started (already running).
+  util::Result<std::uint16_t> start();
+
+  /// Graceful drain: stop accepting, finish in-flight batches and flush
+  /// their responses (up to drain_timeout_ms), close, join. Idempotent.
+  void shutdown();
+
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const noexcept { return port_; }
+  /// Open connections (tests; the live value is also the net.connections gauge).
+  std::size_t connection_count() const;
+
+ private:
+  struct Connection;
+  struct Completion;
+
+  void loop();
+  void handle_accept();
+  bool handle_readable(Connection& conn);
+  bool flush_writes(Connection& conn);
+  void dispatch_frame(Connection& conn, const Frame& frame);
+  void respond_status(Connection& conn, std::uint8_t type, std::uint32_t id, Status status,
+                      std::string_view detail);
+  void finish_submit(Connection& conn, serve::Engine::Enqueue enq, std::uint8_t type,
+                     std::uint32_t id);
+  void complete(Completion completion);  // engine workers -> loop thread
+  void drain_completions();
+  void close_connection(std::uint64_t conn_id);
+  int next_timeout_ms(std::chrono::steady_clock::time_point now) const;
+  void observe_latency(std::uint8_t request_type,
+                       std::chrono::steady_clock::time_point t0);
+  void update_read_interest(Connection& conn);
+
+  // Recycled response buffers handed to engine workers so steady-state
+  // response encoding allocates nothing once buffers reach high-water size.
+  std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t> buffer);
+
+  serve::Engine& engine_;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   // self-pipe: workers/shutdown wake the loop
+  int wake_write_fd_ = -1;
+  std::unique_ptr<Poller> poller_;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<int, std::uint64_t> fd_to_conn_;
+  mutable std::mutex conn_count_mutex_;  // connection_count() from other threads
+  std::size_t conn_count_ = 0;
+
+  // Engine jobs capture `this`; shutdown() therefore blocks until every
+  // submitted job has reported back (outstanding_jobs_ == 0) before the
+  // server can be torn down — the engine's drain guarantee makes that wait
+  // finite whichever of the two objects the caller destroys first.
+  std::mutex completion_mutex_;
+  std::condition_variable jobs_cv_;
+  std::size_t outstanding_jobs_ = 0;
+  std::vector<Completion> completions_;
+
+  std::mutex buffer_pool_mutex_;
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
+
+  // Loop-thread scratch (parse views point into the decoder buffer).
+  std::vector<std::uint8_t> read_scratch_;
+  std::vector<std::pair<std::string_view, std::string_view>> pair_scratch_;
+  std::vector<std::string_view> host_scratch_;
+
+  obs::Gauge* connections_gauge_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* reject_backpressure_ = nullptr;
+  obs::Counter* reject_malformed_ = nullptr;
+  obs::Counter* reject_max_conns_ = nullptr;
+  obs::Counter* timeout_idle_ = nullptr;
+  obs::Counter* timeout_read_ = nullptr;
+  obs::Counter* frame_errors_ = nullptr;
+  obs::Histogram* latency_ping_ = nullptr;
+  obs::Histogram* latency_same_site_ = nullptr;
+  obs::Histogram* latency_match_ = nullptr;
+  obs::Histogram* latency_reload_ = nullptr;
+  obs::Histogram* latency_stats_ = nullptr;
+};
+
+}  // namespace psl::net

@@ -79,6 +79,30 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  // --- generic batched jobs (the primitive the typed submits build on) ----
+
+  /// Outcome of handing work to the bounded queue.
+  enum class Enqueue { kOk, kBackpressure, kStopped };
+
+  /// The serving state pinned for one batch: references stay valid for the
+  /// duration of the job callback (the worker holds the State shared_ptr).
+  struct Pinned {
+    const CompiledMatcher& matcher;
+    const snapshot::Metadata& meta;
+    std::uint64_t generation;
+  };
+
+  /// Run `job` on a worker against exactly one pinned State (the engine's
+  /// batch-granular swap-visibility contract). Counts serve.batches and
+  /// serve.batch_ms; a kBackpressure outcome counts serve.rejected. Callers
+  /// that answer queries report them via count_queries(). Accepted jobs are
+  /// always eventually run (shutdown drains the queue). This is the hook
+  /// external front-ends (psl::net::Server) feed decoded batches through.
+  Enqueue submit_job(std::function<void(const Pinned&)> job);
+
+  /// Add `n` to serve.queries on behalf of a submit_job batch.
+  void count_queries(std::size_t n) const noexcept;
+
   // --- single queries (inline, no queue; resolve the State per call) -----
 
   /// eTLD+1 of `host`, or "" when the host has none (it is itself a public
@@ -132,8 +156,6 @@ class Engine {
     std::uint64_t generation = 0;
   };
 
-  enum class Enqueue { kOk, kBackpressure, kStopped };
-
   std::shared_ptr<const State> current() const {
     std::lock_guard<std::mutex> lock(state_mutex_);
     return state_;
@@ -141,7 +163,6 @@ class Engine {
   std::uint64_t install(snapshot::Snapshot next);
   Enqueue enqueue(std::function<void()> job);
   void worker_loop();
-  void count_batch(std::size_t queries) const noexcept;
 
   mutable std::mutex state_mutex_;  ///< held only to copy/replace state_
   std::shared_ptr<const State> state_;

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Loopback end-to-end smoke for psld: compile a snapshot, serve it, query it
+# over the PSLN wire protocol, hot-reload via SIGHUP (answers must flip,
+# keep-last-good must hold for a corrupt file), then drain via SIGTERM and
+# require a clean exit 0. CI runs this against the freshly built tree:
+#
+#   scripts/net_smoke.sh build/examples/psld
+set -euo pipefail
+
+PSLD=${1:-build/examples/psld}
+if [[ ! -x "$PSLD" ]]; then
+  echo "net_smoke: psld binary not found at $PSLD" >&2
+  exit 2
+fi
+PSLD=$(readlink -f "$PSLD")
+
+WORK=$(mktemp -d)
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() {
+  echo "net_smoke: FAIL: $*" >&2
+  [[ -f psld.log ]] && sed 's/^/net_smoke: psld| /' psld.log >&2
+  exit 1
+}
+
+# --- compile two list vintages -------------------------------------------
+printf 'com\nuk\nco.uk\ngithub.io\n' > list_a.txt
+printf 'com\nuk\nco.uk\ngithub.io\nmyshopify.com\n' > list_b.txt
+"$PSLD" compile list_a.txt a.psnap
+"$PSLD" compile list_b.txt b.psnap
+
+# --- boot the daemon on a port derived from the PID ----------------------
+PORT=$(( 20000 + ($$ % 20000) ))
+ADDR="127.0.0.1:$PORT"
+cp a.psnap live.psnap
+"$PSLD" --listen "$ADDR" --snapshot live.psnap --threads 2 > psld.log 2> psld.err &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q "serving generation" psld.log 2>/dev/null && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+grep -q "serving generation 1" psld.log || fail "daemon did not report generation 1"
+
+# --- liveness + queries under the first vintage --------------------------
+"$PSLD" ping "$ADDR" | grep -qx "pong" || fail "ping"
+"$PSLD" query "$ADDR" shop1.myshopify.com a.b.co.uk user.github.io > q1.txt
+grep -qx "shop1.myshopify.com myshopify.com" q1.txt \
+  || fail "expected myshopify.com registrable under list_a, got: $(cat q1.txt)"
+grep -qx "a.b.co.uk b.co.uk" q1.txt || fail "co.uk query: $(cat q1.txt)"
+grep -qx "user.github.io user.github.io" q1.txt || fail "github.io query: $(cat q1.txt)"
+"$PSLD" stats "$ADDR" | grep -q "generation 1, 4 rules" || fail "stats before reload"
+
+# --- SIGHUP hot reload: the answer must flip -----------------------------
+cp b.psnap live.psnap
+kill -HUP "$DAEMON_PID"
+for _ in $(seq 1 100); do
+  grep -q "generation 2" psld.log 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "reloaded .* generation 2" psld.log || fail "SIGHUP reload did not land"
+"$PSLD" query "$ADDR" shop1.myshopify.com > q2.txt
+grep -qx "shop1.myshopify.com shop1.myshopify.com" q2.txt \
+  || fail "reload did not flip the myshopify answer: $(cat q2.txt)"
+"$PSLD" stats "$ADDR" | grep -q "generation 2, 5 rules" || fail "stats after reload"
+
+# --- keep-last-good: a corrupt snapshot must be rejected, serving intact --
+printf 'not a snapshot' > live.psnap
+kill -HUP "$DAEMON_PID"
+for _ in $(seq 1 100); do
+  grep -q "reload rejected" psld.log 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "reload rejected .*, still serving generation 2" psld.log \
+  || fail "corrupt reload was not rejected keep-last-good"
+"$PSLD" query "$ADDR" shop1.myshopify.com | grep -qx "shop1.myshopify.com shop1.myshopify.com" \
+  || fail "serving disturbed after rejected reload"
+
+# --- SIGTERM: graceful drain, exit 0 -------------------------------------
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+[[ "$STATUS" -eq 0 ]] || fail "daemon exited $STATUS on SIGTERM"
+grep -q "psld: bye" psld.log || fail "daemon did not drain cleanly"
+grep -q '"net.accepted"' psld.err || fail "metrics dump missing from stderr"
+
+echo "net_smoke: OK (port $PORT)"

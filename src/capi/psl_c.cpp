@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "psl/history/timeline.hpp"
+#include "psl/net/client.hpp"
 #include "psl/psl/list.hpp"
 #include "psl/serve/engine.hpp"
 #include "psl/serve/snapshot.hpp"
@@ -22,6 +23,10 @@ struct pslh_engine {
   // Engine is pinned (workers hold `this`), so it is built in place here.
   pslh_engine(psl::snapshot::Snapshot initial, psl::serve::EngineOptions options)
       : engine(std::move(initial), options) {}
+};
+
+struct pslh_client {
+  psl::net::Client client;
 };
 
 namespace {
@@ -219,6 +224,115 @@ int pslh_engine_same_site(pslh_engine_t* engine, const char* const* a, const cha
     const std::vector<std::uint8_t> answers = submitted->get();
     for (size_t i = 0; i < count; ++i) out[i] = answers[i] ? 1 : 0;
     return 1;
+  } catch (...) {
+    return 0;
+  }
+}
+
+/* --- network client (psl::net::Client) ----------------------------------- */
+
+pslh_client_t* pslh_client_connect(const char* address, unsigned short port, int timeout_ms) {
+  if (address == nullptr) return nullptr;
+  try {
+    psl::net::ClientOptions options;
+    options.connect_timeout_ms = timeout_ms > 0 ? timeout_ms : 10000;
+    options.io_timeout_ms = timeout_ms > 0 ? timeout_ms : 10000;
+    auto connected = psl::net::Client::connect(address, port, options);
+    if (!connected) return nullptr;
+    return new (std::nothrow) pslh_client{*std::move(connected)};
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void pslh_client_free(pslh_client_t* client) { delete client; }
+
+int pslh_client_connected(const pslh_client_t* client) {
+  return client != nullptr && client->client.connected() ? 1 : 0;
+}
+
+int pslh_client_ping(pslh_client_t* client) {
+  if (client == nullptr) return 0;
+  try {
+    return client->client.ping().ok() ? 1 : 0;
+  } catch (...) {
+    return 0;
+  }
+}
+
+int pslh_client_registrable_domains(pslh_client_t* client, const char* const* hosts,
+                                    size_t count, const char** out) {
+  if (count == 0) return 1;
+  if (out == nullptr) return 0;
+  for (size_t i = 0; i < count; ++i) out[i] = nullptr;
+  if (client == nullptr || hosts == nullptr) return 0;
+  try {
+    std::vector<std::string> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (hosts[i] == nullptr) return 0;
+      batch.emplace_back(hosts[i]);
+    }
+    auto answers = client->client.registrable_domains(batch);
+    if (!answers) return answers.error().code == "net.backpressure" ? -1 : 0;
+    for (size_t i = 0; i < count; ++i) {
+      if ((*answers)[i].empty()) continue;  /* no eTLD+1: out[i] stays NULL */
+      out[i] = dup_string((*answers)[i]);
+      if (out[i] == nullptr) {
+        for (size_t j = 0; j < i; ++j) {
+          pslh_string_free(out[j]);
+          out[j] = nullptr;
+        }
+        return 0;
+      }
+    }
+    return 1;
+  } catch (...) {
+    for (size_t i = 0; i < count; ++i) {
+      pslh_string_free(out[i]);
+      out[i] = nullptr;
+    }
+    return 0;
+  }
+}
+
+int pslh_client_same_site(pslh_client_t* client, const char* const* a, const char* const* b,
+                          size_t count, int* out) {
+  if (count == 0) return 1;
+  if (out == nullptr) return 0;
+  std::memset(out, 0, count * sizeof(int));
+  if (client == nullptr || a == nullptr || b == nullptr) return 0;
+  try {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    pairs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (a[i] == nullptr || b[i] == nullptr) return 0;
+      pairs.emplace_back(a[i], b[i]);
+    }
+    auto answers = client->client.same_site_batch(pairs);
+    if (!answers) return answers.error().code == "net.backpressure" ? -1 : 0;
+    for (size_t i = 0; i < count; ++i) out[i] = (*answers)[i] ? 1 : 0;
+    return 1;
+  } catch (...) {
+    return 0;
+  }
+}
+
+int pslh_client_reload_snapshot(pslh_client_t* client, const unsigned char* bytes,
+                                size_t length) {
+  if (client == nullptr || (bytes == nullptr && length > 0)) return 0;
+  try {
+    return client->client.reload({bytes, length}).ok() ? 1 : 0;
+  } catch (...) {
+    return 0;
+  }
+}
+
+unsigned long long pslh_client_generation(pslh_client_t* client) {
+  if (client == nullptr) return 0;
+  try {
+    auto stats = client->client.stats();
+    return stats.ok() ? stats->generation : 0;
   } catch (...) {
     return 0;
   }

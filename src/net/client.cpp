@@ -1,0 +1,334 @@
+#include "psl/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+
+namespace psl::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_timeout(int fd, int which, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof tv);
+}
+
+util::Error status_error(Status status, std::string_view detail) {
+  switch (status) {
+    case Status::kBackpressure:
+      return util::make_error("net.backpressure", "server rejected the batch: engine queue full");
+    case Status::kMalformed:
+      return util::make_error("net.malformed", "server could not parse the request payload");
+    case Status::kUnsupported:
+      return util::make_error("net.unsupported", "server does not support this frame type");
+    case Status::kReloadRejected:
+      return util::make_error("net.reload-rejected",
+                              "reload refused, previous list keeps serving: " +
+                                  std::string(detail));
+    case Status::kShuttingDown:
+      return util::make_error("net.stopped", "server is draining");
+    case Status::kOk:
+      break;
+  }
+  return util::make_error("net.protocol", "unknown response status");
+}
+
+}  // namespace
+
+Client::Client(int fd, ClientOptions options)
+    : fd_(fd), options_(options), decoder_(options.max_frame_bytes) {
+  recv_scratch_.resize(64 * 1024);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      options_(other.options_),
+      next_id_(other.next_id_),
+      decoder_(std::move(other.decoder_)),
+      send_buf_(std::move(other.send_buf_)),
+      payload_buf_(std::move(other.payload_buf_)),
+      recv_scratch_(std::move(other.recv_scratch_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    options_ = other.options_;
+    next_id_ = other.next_id_;
+    decoder_ = std::move(other.decoder_);
+    send_buf_ = std::move(other.send_buf_);
+    payload_buf_ = std::move(other.payload_buf_);
+    recv_scratch_ = std::move(other.recv_scratch_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<Client> Client::connect(const std::string& address, std::uint16_t port,
+                                     ClientOptions options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return util::make_error("net.io", "bad IPv4 address: " + address);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::make_error("net.io", errno_text("socket"));
+
+  // Non-blocking connect so the timeout is enforceable, then back to
+  // blocking with SO_RCVTIMEO/SO_SNDTIMEO for the per-request bound.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      const auto err = util::make_error("net.io", errno_text("connect"));
+      ::close(fd);
+      return err;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    const int ready = ::poll(&p, 1, options.connect_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return util::make_error("net.timeout", "connect timed out");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      ::close(fd);
+      return util::make_error("net.io",
+                              std::string("connect: ") + std::strerror(soerr));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  set_timeout(fd, SO_RCVTIMEO, options.io_timeout_ms);
+  set_timeout(fd, SO_SNDTIMEO, options.io_timeout_ms);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Client(fd, options);
+}
+
+util::Result<bool> Client::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return util::make_error("net.timeout", "send timed out");
+    }
+    return util::make_error("net.io", errno_text("send"));
+  }
+  return true;
+}
+
+util::Result<bool> Client::round_trip(FrameType type, std::span<const std::uint8_t> payload,
+                                      Frame& out) {
+  if (fd_ < 0) return util::make_error("net.closed", "client is not connected");
+  if (payload.size() > options_.max_frame_bytes) {
+    return util::make_error("net.oversize", "request payload exceeds max_frame_bytes");
+  }
+  const std::uint32_t id = next_id_++;
+  send_buf_.clear();
+  encode_frame(send_buf_, static_cast<std::uint8_t>(type), id, payload);
+  if (auto sent = send_all(send_buf_); !sent.ok()) {
+    close();
+    return sent.error();
+  }
+
+  for (;;) {
+    switch (decoder_.next(out)) {
+      case FrameDecoder::Next::kFrame: {
+        if (out.header.type != (static_cast<std::uint8_t>(type) | kResponseBit) ||
+            out.header.id != id) {
+          close();
+          return util::make_error("net.protocol", "response type/id mismatch");
+        }
+        WireReader reader(out.payload);
+        std::uint8_t status = 0;
+        if (!reader.u8(status)) {
+          close();
+          return util::make_error("net.protocol", "response payload missing status byte");
+        }
+        if (static_cast<Status>(status) != Status::kOk) {
+          std::string_view detail;
+          reader.str16(detail);  // optional; empty when absent
+          return status_error(static_cast<Status>(status), detail);
+        }
+        return true;
+      }
+      case FrameDecoder::Next::kError:
+        close();
+        return util::make_error("net.protocol", decoder_.error().message);
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, recv_scratch_.data(), recv_scratch_.size(), 0);
+    if (n > 0) {
+      decoder_.feed({recv_scratch_.data(), static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n == 0) {
+      close();
+      return util::make_error("net.closed", "server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      close();  // a half-read response frame cannot be resumed
+      return util::make_error("net.timeout", "response timed out");
+    }
+    close();
+    return util::make_error("net.io", errno_text("recv"));
+  }
+}
+
+util::Result<bool> Client::ping() {
+  static constexpr std::uint8_t kProbe[4] = {0xB1, 0x05, 0x5E, 0xD5};
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kPing, kProbe, frame); !ok.ok()) return ok.error();
+  // Status byte + echo.
+  if (frame.payload.size() != 1 + sizeof kProbe ||
+      std::memcmp(frame.payload.data() + 1, kProbe, sizeof kProbe) != 0) {
+    return util::make_error("net.protocol", "ping echo mismatch");
+  }
+  return true;
+}
+
+util::Result<std::vector<std::uint8_t>> Client::same_site_batch(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  payload_buf_.clear();
+  put_u32(payload_buf_, static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [a, b] : pairs) {
+    if (a.size() > 0xFFFF || b.size() > 0xFFFF) {
+      return util::make_error("net.oversize", "hostname exceeds the 65535-byte wire bound");
+    }
+    put_str16(payload_buf_, a);
+    put_str16(payload_buf_, b);
+  }
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kSameSiteBatch, payload_buf_, frame); !ok.ok()) {
+    return ok.error();
+  }
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  std::uint32_t count = 0;
+  if (!reader.u8(status) || !reader.u32(count) || count != pairs.size()) {
+    return util::make_error("net.protocol", "bad same_site response body");
+  }
+  std::vector<std::uint8_t> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!reader.u8(out[i])) {
+      return util::make_error("net.protocol", "short same_site response body");
+    }
+  }
+  return out;
+}
+
+util::Result<std::vector<WireMatch>> Client::match_batch(const std::vector<std::string>& hosts) {
+  payload_buf_.clear();
+  put_u32(payload_buf_, static_cast<std::uint32_t>(hosts.size()));
+  for (const std::string& host : hosts) {
+    if (host.size() > 0xFFFF) {
+      return util::make_error("net.oversize", "hostname exceeds the 65535-byte wire bound");
+    }
+    put_str16(payload_buf_, host);
+  }
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kMatchBatch, payload_buf_, frame); !ok.ok()) {
+    return ok.error();
+  }
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  std::uint32_t count = 0;
+  if (!reader.u8(status) || !reader.u32(count) || count != hosts.size()) {
+    return util::make_error("net.protocol", "bad match response body");
+  }
+  std::vector<WireMatch> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string_view public_suffix, registrable_domain;
+    std::uint8_t flags = 0;
+    if (!reader.str16(public_suffix) || !reader.str16(registrable_domain) ||
+        !reader.u8(flags)) {
+      return util::make_error("net.protocol", "short match response body");
+    }
+    WireMatch m;
+    m.public_suffix = std::string(public_suffix);
+    m.registrable_domain = std::string(registrable_domain);
+    m.matched_explicit_rule = (flags & 1u) != 0;
+    m.private_section = (flags & 2u) != 0;
+    out.push_back(std::move(m));
+  }
+  if (!reader.done()) {
+    return util::make_error("net.protocol", "trailing bytes in match response");
+  }
+  return out;
+}
+
+util::Result<std::vector<std::string>> Client::registrable_domains(
+    const std::vector<std::string>& hosts) {
+  auto matches = match_batch(hosts);
+  if (!matches.ok()) return matches.error();
+  std::vector<std::string> out;
+  out.reserve(matches->size());
+  for (WireMatch& m : *matches) out.push_back(std::move(m.registrable_domain));
+  return out;
+}
+
+util::Result<std::uint64_t> Client::reload(std::span<const std::uint8_t> snapshot_bytes) {
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kReload, snapshot_bytes, frame); !ok.ok()) {
+    return ok.error();
+  }
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  std::uint64_t generation = 0;
+  if (!reader.u8(status) || !reader.u64(generation)) {
+    return util::make_error("net.protocol", "bad reload response body");
+  }
+  return generation;
+}
+
+util::Result<WireStats> Client::stats() {
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kStats, {}, frame); !ok.ok()) return ok.error();
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  WireStats stats;
+  std::uint64_t date = 0;
+  if (!reader.u8(status) || !reader.u64(stats.generation) || !reader.u64(stats.rule_count) ||
+      !reader.u64(date) || !reader.u32(stats.connections) || !reader.u32(stats.queue_depth)) {
+    return util::make_error("net.protocol", "bad stats response body");
+  }
+  stats.source_date_days = static_cast<std::int64_t>(date);
+  return stats;
+}
+
+}  // namespace psl::net

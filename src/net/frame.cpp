@@ -1,0 +1,238 @@
+#include "psl/net/frame.hpp"
+
+#include <cstring>
+
+namespace psl::net {
+
+namespace {
+
+std::uint16_t load_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+// --- FrameDecoder -----------------------------------------------------------
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes) : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (failed_ || bytes.empty()) return;
+  // Compact consumed bytes away first so frame spans returned by next()
+  // stay valid between feeds and the buffer's high-water mark tracks the
+  // largest in-flight frame, not the whole connection history.
+  if (read_off_ > 0) {
+    const std::size_t live = buffer_.size() - read_off_;
+    if (live > 0) std::memmove(buffer_.data(), buffer_.data() + read_off_, live);
+    buffer_.resize(live);
+    read_off_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Next FrameDecoder::next(Frame& out) {
+  if (failed_) return Next::kError;
+  const std::size_t avail = buffer_.size() - read_off_;
+  if (avail < kHeaderBytes) return Next::kNeedMore;
+
+  const std::uint8_t* h = buffer_.data() + read_off_;
+  if (load_u32(h) != kMagic) {
+    failed_ = true;
+    error_ = util::make_error("net.frame.magic", "frame does not start with PSLN");
+    return Next::kError;
+  }
+  FrameHeader header;
+  header.version = h[4];
+  header.type = h[5];
+  header.flags = load_u16(h + 6);
+  header.id = load_u32(h + 8);
+  header.payload_len = load_u32(h + 12);
+  if (header.version != kProtocolVersion) {
+    failed_ = true;
+    error_ = util::make_error("net.frame.version",
+                              "unsupported protocol version " + std::to_string(header.version));
+    return Next::kError;
+  }
+  if (header.flags != 0) {
+    failed_ = true;
+    error_ = util::make_error("net.frame.flags", "reserved flag bits set");
+    return Next::kError;
+  }
+  if (static_cast<std::uint64_t>(header.payload_len) > max_frame_bytes_) {
+    failed_ = true;
+    error_ = util::make_error("net.frame.oversize",
+                              "declared payload of " + std::to_string(header.payload_len) +
+                                  " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+                                  "-byte frame cap");
+    return Next::kError;
+  }
+  if (avail < kHeaderBytes + header.payload_len) return Next::kNeedMore;
+
+  out.header = header;
+  out.payload = std::span<const std::uint8_t>(h + kHeaderBytes, header.payload_len);
+  read_off_ += kHeaderBytes + header.payload_len;
+  return Next::kFrame;
+}
+
+// --- encode helpers ---------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_raw(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void put_str16(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+std::size_t begin_frame(std::vector<std::uint8_t>& out, std::uint8_t type, std::uint32_t id) {
+  const std::size_t frame_begin = out.size();
+  put_u32(out, kMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, type);
+  put_u16(out, 0);  // flags
+  put_u32(out, id);
+  put_u32(out, 0);  // payload_len, patched by end_frame
+  return frame_begin;
+}
+
+void end_frame(std::vector<std::uint8_t>& out, std::size_t frame_begin) {
+  const std::size_t payload_len = out.size() - frame_begin - kHeaderBytes;
+  std::uint8_t* len = out.data() + frame_begin + 12;
+  len[0] = static_cast<std::uint8_t>(payload_len);
+  len[1] = static_cast<std::uint8_t>(payload_len >> 8);
+  len[2] = static_cast<std::uint8_t>(payload_len >> 16);
+  len[3] = static_cast<std::uint8_t>(payload_len >> 24);
+}
+
+void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t type, std::uint32_t id,
+                  std::span<const std::uint8_t> payload) {
+  const std::size_t frame_begin = begin_frame(out, type, id);
+  put_raw(out, payload);
+  end_frame(out, frame_begin);
+}
+
+// --- WireReader -------------------------------------------------------------
+
+bool WireReader::u8(std::uint8_t& v) {
+  if (remaining() < 1) return false;
+  v = data_[off_++];
+  return true;
+}
+
+bool WireReader::u16(std::uint16_t& v) {
+  if (remaining() < 2) return false;
+  v = load_u16(data_.data() + off_);
+  off_ += 2;
+  return true;
+}
+
+bool WireReader::u32(std::uint32_t& v) {
+  if (remaining() < 4) return false;
+  v = load_u32(data_.data() + off_);
+  off_ += 4;
+  return true;
+}
+
+bool WireReader::u64(std::uint64_t& v) {
+  if (remaining() < 8) return false;
+  v = load_u64(data_.data() + off_);
+  off_ += 8;
+  return true;
+}
+
+bool WireReader::str16(std::string_view& v) {
+  std::uint16_t len = 0;
+  if (remaining() < 2) return false;
+  len = load_u16(data_.data() + off_);
+  if (remaining() < 2u + len) return false;
+  off_ += 2;
+  v = std::string_view(reinterpret_cast<const char*>(data_.data() + off_), len);
+  off_ += len;
+  return true;
+}
+
+bool WireReader::raw(std::size_t n, std::span<const std::uint8_t>& v) {
+  if (remaining() < n) return false;
+  v = data_.subspan(off_, n);
+  off_ += n;
+  return true;
+}
+
+// --- request parsers --------------------------------------------------------
+
+bool parse_same_site_request(std::span<const std::uint8_t> payload,
+                             std::vector<std::pair<std::string_view, std::string_view>>& out) {
+  out.clear();
+  WireReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.u32(count)) return false;
+  // Each pair needs at least two length prefixes: a count the payload could
+  // not possibly hold is rejected before any reserve.
+  if (static_cast<std::uint64_t>(count) * 4 > reader.remaining()) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string_view a, b;
+    if (!reader.str16(a) || !reader.str16(b)) return false;
+    out.emplace_back(a, b);
+  }
+  return reader.done();
+}
+
+bool parse_match_request(std::span<const std::uint8_t> payload,
+                         std::vector<std::string_view>& out) {
+  out.clear();
+  WireReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.u32(count)) return false;
+  if (static_cast<std::uint64_t>(count) * 2 > reader.remaining()) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string_view host;
+    if (!reader.str16(host)) return false;
+    out.push_back(host);
+  }
+  return reader.done();
+}
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBackpressure: return "backpressure";
+    case Status::kMalformed: return "malformed";
+    case Status::kUnsupported: return "unsupported";
+    case Status::kReloadRejected: return "reload-rejected";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+}  // namespace psl::net

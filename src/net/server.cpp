@@ -1,0 +1,800 @@
+#include "psl/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace psl::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+// --- Poller: the epoll/poll readiness backend -------------------------------
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual bool add(int fd, bool want_read, bool want_write) = 0;
+  virtual bool mod(int fd, bool want_read, bool want_write) = 0;
+  virtual void del(int fd) = 0;
+  /// Fill `out` (cleared first) with ready fds; timeout_ms < 0 blocks.
+  virtual int wait(std::vector<Event>& out, int timeout_ms) = 0;
+
+  static std::unique_ptr<Poller> make(bool force_poll);
+};
+
+namespace {
+
+/// Portable backend: one pollfd per fd, O(n) wait. n is bounded by
+/// max_connections, so this stays serviceable where epoll is unavailable.
+class PollPoller final : public Poller {
+ public:
+  bool add(int fd, bool want_read, bool want_write) override {
+    if (index_.count(fd) != 0) return false;
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, events_of(want_read, want_write), 0});
+    return true;
+  }
+
+  bool mod(int fd, bool want_read, bool want_write) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return false;
+    fds_[it->second].events = events_of(want_read, want_write);
+    return true;
+  }
+
+  void del(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const std::size_t pos = it->second;
+    index_.erase(it);
+    if (pos + 1 != fds_.size()) {
+      fds_[pos] = fds_.back();
+      index_[fds_[pos].fd] = pos;
+    }
+    fds_.pop_back();
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return n;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event ev;
+      ev.fd = p.fd;
+      // POLLHUP surfaces as readable so the read path observes EOF.
+      ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(ev);
+    }
+    return n;
+  }
+
+ private:
+  static short events_of(bool want_read, bool want_write) {
+    return static_cast<short>((want_read ? POLLIN : 0) | (want_write ? POLLOUT : 0));
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+#if defined(__linux__)
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  bool ok() const { return epoll_fd_ >= 0; }
+
+  bool add(int fd, bool want_read, bool want_write) override {
+    return ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  bool mod(int fd, bool want_read, bool want_write) override {
+    return ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  void del(int fd) override { ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & EPOLLERR) != 0;
+      out.push_back(ev);
+    }
+    return n;
+  }
+
+ private:
+  bool ctl(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, op, fd, &ev) == 0;
+  }
+
+  int epoll_fd_;
+};
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::make(bool force_poll) {
+#if defined(__linux__)
+  if (!force_poll) {
+    auto epoll = std::make_unique<EpollPoller>();
+    if (epoll->ok()) return epoll;
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+// --- connection + completion state ------------------------------------------
+
+struct Server::Connection {
+  Connection(std::uint64_t id_in, int fd_in, std::size_t max_frame_bytes)
+      : id(id_in), fd(fd_in), decoder(max_frame_bytes) {}
+
+  std::uint64_t id;
+  int fd;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;
+  std::size_t inflight = 0;  ///< engine jobs whose responses are pending
+  bool draining = false;
+  bool want_read = true;
+  bool want_write = false;
+  bool mid_frame = false;
+  std::chrono::steady_clock::time_point last_activity;
+  std::chrono::steady_clock::time_point frame_start;
+
+  std::size_t pending_out() const noexcept { return out.size() - out_off; }
+};
+
+/// A finished engine batch: one fully encoded response frame plus enough
+/// context to route and time it. Produced on engine workers, consumed on the
+/// loop thread.
+struct Server::Completion {
+  std::uint64_t conn_id = 0;
+  std::vector<std::uint8_t> frame;  ///< recycled via the buffer pool
+  std::uint8_t request_type = 0;
+  std::chrono::steady_clock::time_point t0;
+};
+
+// --- lifecycle --------------------------------------------------------------
+
+Server::Server(serve::Engine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  if (options_.metrics) {
+    auto& m = *options_.metrics;
+    connections_gauge_ = &m.gauge("net.connections");
+    accepted_ = &m.counter("net.accepted");
+    frames_in_ = &m.counter("net.frames_in");
+    frames_out_ = &m.counter("net.frames_out");
+    bytes_in_ = &m.counter("net.bytes_in");
+    bytes_out_ = &m.counter("net.bytes_out");
+    reject_backpressure_ = &m.counter("net.reject.backpressure");
+    reject_malformed_ = &m.counter("net.reject.malformed");
+    reject_max_conns_ = &m.counter("net.reject.max_conns");
+    timeout_idle_ = &m.counter("net.timeout.idle");
+    timeout_read_ = &m.counter("net.timeout.read");
+    frame_errors_ = &m.counter("net.frame_errors");
+    latency_ping_ = &m.histogram("net.request_ms.ping");
+    latency_same_site_ = &m.histogram("net.request_ms.same_site");
+    latency_match_ = &m.histogram("net.request_ms.match");
+    latency_reload_ = &m.histogram("net.request_ms.reload");
+    latency_stats_ = &m.histogram("net.request_ms.stats");
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+util::Result<std::uint16_t> Server::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return util::make_error("net.started", "server is already running");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return util::make_error("net.listen", "bad IPv4 bind address: " + options_.bind_address);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return util::make_error("net.listen", errno_text("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0 || !set_nonblocking(listen_fd_)) {
+    const auto err = util::make_error("net.listen", errno_text("bind/listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const auto err = util::make_error("net.listen", errno_text("getsockname"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return err;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    const auto err = util::make_error("net.listen", errno_text("pipe"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return err;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+  poller_ = Poller::make(options_.force_poll);
+  poller_->add(listen_fd_, true, false);
+  poller_->add(wake_read_fd_, true, false);
+
+  read_scratch_.resize(64 * 1024);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { loop(); });
+  return port_;
+}
+
+void Server::shutdown() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup.
+  (void)!::write(wake_write_fd_, &byte, 1);
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  // Engine jobs capture `this`; wait for every one of them to report back
+  // (the engine's workers keep draining its queue, so this is finite)
+  // before retiring the wake pipe and letting the server be destroyed.
+  {
+    std::unique_lock<std::mutex> lock(completion_mutex_);
+    jobs_cv_.wait(lock, [this] { return outstanding_jobs_ == 0; });
+    ::close(wake_write_fd_);
+    wake_write_fd_ = -1;
+  }
+  ::close(wake_read_fd_);
+  wake_read_fd_ = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  poller_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+std::size_t Server::connection_count() const {
+  std::lock_guard<std::mutex> lock(conn_count_mutex_);
+  return conn_count_;
+}
+
+// --- buffer pool ------------------------------------------------------------
+
+std::vector<std::uint8_t> Server::acquire_buffer() {
+  std::lock_guard<std::mutex> lock(buffer_pool_mutex_);
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void Server::release_buffer(std::vector<std::uint8_t> buffer) {
+  std::lock_guard<std::mutex> lock(buffer_pool_mutex_);
+  if (buffer_pool_.size() < 64) buffer_pool_.push_back(std::move(buffer));
+}
+
+// --- event loop -------------------------------------------------------------
+
+void Server::loop() {
+  using Clock = std::chrono::steady_clock;
+  std::vector<Poller::Event> events;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+
+    if (stop_requested_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline = now + std::chrono::milliseconds(options_.drain_timeout_ms);
+      poller_->del(listen_fd_);
+      for (auto& [id, conn] : connections_) {
+        conn->draining = true;
+        update_read_interest(*conn);
+      }
+    }
+
+    if (draining) {
+      // Close connections with nothing left to deliver; exit once all are
+      // gone or the drain bound expires (in-flight responses are then shed).
+      std::vector<std::uint64_t> done;
+      for (auto& [id, conn] : connections_) {
+        if (conn->inflight == 0 && conn->pending_out() == 0) done.push_back(id);
+      }
+      for (const std::uint64_t id : done) close_connection(id);
+      if (connections_.empty() || now >= drain_deadline) break;
+    }
+
+    // Enforce idle/read timeouts before sleeping.
+    {
+      std::vector<std::uint64_t> expired_idle, expired_read;
+      for (auto& [id, conn] : connections_) {
+        if (options_.read_timeout_ms > 0 && conn->mid_frame &&
+            now - conn->frame_start >= std::chrono::milliseconds(options_.read_timeout_ms)) {
+          expired_read.push_back(id);
+        } else if (options_.idle_timeout_ms > 0 && conn->inflight == 0 &&
+                   conn->pending_out() == 0 &&
+                   now - conn->last_activity >=
+                       std::chrono::milliseconds(options_.idle_timeout_ms)) {
+          expired_idle.push_back(id);
+        }
+      }
+      for (const std::uint64_t id : expired_read) {
+        if (timeout_read_) timeout_read_->add();
+        close_connection(id);
+      }
+      for (const std::uint64_t id : expired_idle) {
+        if (timeout_idle_) timeout_idle_->add();
+        close_connection(id);
+      }
+    }
+
+    int timeout_ms = next_timeout_ms(now);
+    if (draining) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(drain_deadline - now).count();
+      const int drain_left = static_cast<int>(std::max<long long>(0, left));
+      timeout_ms = timeout_ms < 0 ? drain_left : std::min(timeout_ms, drain_left);
+    }
+
+    poller_->wait(events, timeout_ms);
+    drain_completions();
+
+    bool accept_ready = false;
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == wake_read_fd_) {
+        std::uint8_t sink[256];
+        while (::read(wake_read_fd_, sink, sizeof sink) > 0) {
+        }
+        continue;
+      }
+      if (ev.fd == listen_fd_) {
+        accept_ready = true;  // handled after existing connections, so a
+        continue;             // just-closed fd cannot alias a fresh accept
+      }
+      auto it = fd_to_conn_.find(ev.fd);
+      if (it == fd_to_conn_.end()) continue;  // closed earlier this batch
+      const std::uint64_t conn_id = it->second;
+      Connection& conn = *connections_.at(conn_id);
+      bool alive = true;
+      if (ev.error) alive = false;
+      if (alive && ev.readable && conn.want_read) alive = handle_readable(conn);
+      if (alive && ev.writable) alive = flush_writes(conn);
+      if (!alive) close_connection(conn_id);
+    }
+    if (accept_ready && !draining) handle_accept();
+  }
+
+  // Force-close whatever the drain bound left behind.
+  while (!connections_.empty()) close_connection(connections_.begin()->first);
+}
+
+int Server::next_timeout_ms(std::chrono::steady_clock::time_point now) const {
+  using std::chrono::milliseconds;
+  std::chrono::steady_clock::time_point earliest{};
+  bool have = false;
+  for (const auto& [id, conn] : connections_) {
+    if (options_.read_timeout_ms > 0 && conn->mid_frame) {
+      const auto deadline = conn->frame_start + milliseconds(options_.read_timeout_ms);
+      if (!have || deadline < earliest) earliest = deadline, have = true;
+    }
+    if (options_.idle_timeout_ms > 0) {
+      const auto deadline = conn->last_activity + milliseconds(options_.idle_timeout_ms);
+      if (!have || deadline < earliest) earliest = deadline, have = true;
+    }
+  }
+  if (!have) return -1;
+  const auto left = std::chrono::duration_cast<milliseconds>(earliest - now).count();
+  return static_cast<int>(std::clamp<long long>(left, 0, 60'000));
+}
+
+void Server::handle_accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or a transient accept error: try next wake
+    if (connections_.size() >= options_.max_connections) {
+      if (reject_max_conns_) reject_max_conns_->add();
+      ::close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(id, fd, options_.max_frame_bytes);
+    conn->last_activity = std::chrono::steady_clock::now();
+    poller_->add(fd, true, false);
+    fd_to_conn_[fd] = id;
+    connections_[id] = std::move(conn);
+    if (accepted_) accepted_->add();
+    {
+      std::lock_guard<std::mutex> lock(conn_count_mutex_);
+      conn_count_ = connections_.size();
+    }
+    if (connections_gauge_) connections_gauge_->set(static_cast<double>(connections_.size()));
+  }
+}
+
+void Server::close_connection(std::uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  const int fd = it->second->fd;
+  poller_->del(fd);
+  ::close(fd);
+  fd_to_conn_.erase(fd);
+  connections_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(conn_count_mutex_);
+    conn_count_ = connections_.size();
+  }
+  if (connections_gauge_) connections_gauge_->set(static_cast<double>(connections_.size()));
+}
+
+bool Server::handle_readable(Connection& conn) {
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, read_scratch_.data(), read_scratch_.size());
+    if (n > 0) {
+      if (bytes_in_) bytes_in_->add(n);
+      conn.last_activity = std::chrono::steady_clock::now();
+      conn.decoder.feed({read_scratch_.data(), static_cast<std::size_t>(n)});
+      if (static_cast<std::size_t>(n) < read_scratch_.size()) break;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Next got = conn.decoder.next(frame);
+    if (got == FrameDecoder::Next::kFrame) {
+      if (frames_in_) frames_in_->add();
+      dispatch_frame(conn, frame);
+      continue;
+    }
+    if (got == FrameDecoder::Next::kError) {
+      // The stream cannot be resynchronized past a bad header; drop it.
+      if (frame_errors_) frame_errors_->add();
+      return false;
+    }
+    break;  // kNeedMore
+  }
+
+  // Read-timeout bookkeeping: a partial frame sitting in the decoder is a
+  // started frame that must complete within read_timeout_ms.
+  if (conn.decoder.buffered() > 0) {
+    if (!conn.mid_frame) {
+      conn.mid_frame = true;
+      conn.frame_start = std::chrono::steady_clock::now();
+    }
+  } else {
+    conn.mid_frame = false;
+  }
+
+  if (!flush_writes(conn)) return false;
+  update_read_interest(conn);
+  return true;
+}
+
+bool Server::flush_writes(Connection& conn) {
+  while (conn.pending_out() > 0) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off, conn.pending_out(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      if (bytes_out_) bytes_out_->add(n);
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (conn.pending_out() == 0) {
+    conn.out.clear();  // capacity kept: the steady-state no-alloc contract
+    conn.out_off = 0;
+    if (conn.want_write) {
+      conn.want_write = false;
+      poller_->mod(conn.fd, conn.want_read, false);
+    }
+  } else if (!conn.want_write) {
+    conn.want_write = true;
+    poller_->mod(conn.fd, conn.want_read, true);
+  }
+  update_read_interest(conn);
+  return true;
+}
+
+void Server::update_read_interest(Connection& conn) {
+  // Stop reading from peers that won't drain their responses (bounded
+  // buffering), and from everyone once the server is draining.
+  const bool want = !conn.draining && conn.pending_out() <= options_.max_frame_bytes;
+  if (want != conn.want_read) {
+    conn.want_read = want;
+    poller_->mod(conn.fd, conn.want_read, conn.want_write);
+  }
+}
+
+// --- request dispatch -------------------------------------------------------
+
+void Server::respond_status(Connection& conn, std::uint8_t type, std::uint32_t id, Status status,
+                            std::string_view detail) {
+  const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+  put_u8(conn.out, static_cast<std::uint8_t>(status));
+  put_str16(conn.out, detail.substr(0, 512));
+  end_frame(conn.out, frame_begin);
+  if (frames_out_) frames_out_->add();
+}
+
+void Server::observe_latency(std::uint8_t request_type,
+                             std::chrono::steady_clock::time_point t0) {
+  obs::Histogram* sink = nullptr;
+  switch (static_cast<FrameType>(request_type)) {
+    case FrameType::kPing: sink = latency_ping_; break;
+    case FrameType::kSameSiteBatch: sink = latency_same_site_; break;
+    case FrameType::kMatchBatch: sink = latency_match_; break;
+    case FrameType::kReload: sink = latency_reload_; break;
+    case FrameType::kStats: sink = latency_stats_; break;
+  }
+  if (!sink) return;
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  sink->observe(std::chrono::duration<double, std::milli>(elapsed).count());
+}
+
+void Server::dispatch_frame(Connection& conn, const Frame& frame) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint8_t type = frame.header.type;
+  const std::uint32_t id = frame.header.id;
+
+  if (conn.draining) {
+    respond_status(conn, type, id, Status::kShuttingDown, "server is draining");
+    return;
+  }
+
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kPing: {
+      const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+      put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
+      put_raw(conn.out, frame.payload);
+      end_frame(conn.out, frame_begin);
+      if (frames_out_) frames_out_->add();
+      observe_latency(type, t0);
+      return;
+    }
+
+    case FrameType::kStats: {
+      const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+      put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
+      const snapshot::Metadata meta = engine_.metadata();
+      put_u64(conn.out, engine_.generation());
+      put_u64(conn.out, meta.rule_count);
+      put_u64(conn.out, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(meta.source_date.days_since_epoch())));
+      put_u32(conn.out, static_cast<std::uint32_t>(connections_.size()));
+      put_u32(conn.out, static_cast<std::uint32_t>(engine_.queue_depth()));
+      end_frame(conn.out, frame_begin);
+      if (frames_out_) frames_out_->add();
+      observe_latency(type, t0);
+      return;
+    }
+
+    case FrameType::kReload: {
+      // Validation is keep-last-good inside the engine; running it on the
+      // loop thread briefly pauses I/O but never the engine workers.
+      auto swapped = engine_.reload_snapshot(frame.payload);
+      if (swapped.ok()) {
+        const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+        put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
+        put_u64(conn.out, *swapped);
+        end_frame(conn.out, frame_begin);
+        if (frames_out_) frames_out_->add();
+      } else {
+        respond_status(conn, type, id, Status::kReloadRejected, swapped.error().code);
+      }
+      observe_latency(type, t0);
+      return;
+    }
+
+    case FrameType::kSameSiteBatch: {
+      if (!parse_same_site_request(frame.payload, pair_scratch_)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_status(conn, type, id, Status::kMalformed, "bad same_site_batch payload");
+        return;
+      }
+      std::vector<std::pair<std::string, std::string>> pairs;
+      pairs.reserve(pair_scratch_.size());
+      for (const auto& [a, b] : pair_scratch_) pairs.emplace_back(a, b);
+      auto* engine = &engine_;
+      auto* frames_out = frames_out_;
+      const std::uint64_t conn_id = conn.id;
+      {
+        // Reserve before submit: the job may run (and report back) before
+        // submit_job even returns.
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        ++outstanding_jobs_;
+      }
+      const auto enq = engine_.submit_job(
+          [this, engine, frames_out, conn_id, id, type, t0,
+           pairs = std::move(pairs)](const serve::Engine::Pinned& pinned) {
+            std::vector<std::uint8_t> buf = acquire_buffer();
+            const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+            put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
+            put_u32(buf, static_cast<std::uint32_t>(pairs.size()));
+            for (const auto& [a, b] : pairs) {
+              put_u8(buf, psl::same_site(pinned.matcher, a, b) ? 1 : 0);
+            }
+            end_frame(buf, frame_begin);
+            engine->count_queries(pairs.size());
+            if (frames_out) frames_out->add();
+            complete(Completion{conn_id, std::move(buf), type, t0});
+          });
+      finish_submit(conn, enq, type, id);
+      return;
+    }
+
+    case FrameType::kMatchBatch: {
+      if (!parse_match_request(frame.payload, host_scratch_)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_status(conn, type, id, Status::kMalformed, "bad match_batch payload");
+        return;
+      }
+      std::vector<std::string> hosts;
+      hosts.reserve(host_scratch_.size());
+      for (const std::string_view host : host_scratch_) hosts.emplace_back(host);
+      auto* engine = &engine_;
+      auto* frames_out = frames_out_;
+      const std::uint64_t conn_id = conn.id;
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        ++outstanding_jobs_;
+      }
+      const auto enq = engine_.submit_job(
+          [this, engine, frames_out, conn_id, id, type, t0,
+           hosts = std::move(hosts)](const serve::Engine::Pinned& pinned) {
+            std::vector<std::uint8_t> buf = acquire_buffer();
+            const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+            put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
+            put_u32(buf, static_cast<std::uint32_t>(hosts.size()));
+            for (const std::string& host : hosts) {
+              const MatchView view = pinned.matcher.match_view(host);
+              put_str16(buf, view.public_suffix);
+              put_str16(buf, view.registrable_domain);
+              const std::uint8_t flags =
+                  (view.matched_explicit_rule ? 1u : 0u) |
+                  (view.section == Section::kPrivate ? 2u : 0u);
+              put_u8(buf, flags);
+            }
+            end_frame(buf, frame_begin);
+            engine->count_queries(hosts.size());
+            if (frames_out) frames_out->add();
+            complete(Completion{conn_id, std::move(buf), type, t0});
+          });
+      finish_submit(conn, enq, type, id);
+      return;
+    }
+  }
+
+  respond_status(conn, type, id, Status::kUnsupported,
+                 "unknown frame type " + std::to_string(type));
+}
+
+void Server::finish_submit(Connection& conn, serve::Engine::Enqueue enq, std::uint8_t type,
+                           std::uint32_t id) {
+  switch (enq) {
+    case serve::Engine::Enqueue::kOk:
+      ++conn.inflight;
+      return;
+    case serve::Engine::Enqueue::kBackpressure:
+      if (reject_backpressure_) reject_backpressure_->add();
+      respond_status(conn, type, id, Status::kBackpressure, "engine queue is full");
+      break;
+    case serve::Engine::Enqueue::kStopped:
+      respond_status(conn, type, id, Status::kShuttingDown, "engine is stopped");
+      break;
+  }
+  // The job was never enqueued; give back its reservation.
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  --outstanding_jobs_;
+  jobs_cv_.notify_all();
+}
+
+// --- completions (worker -> loop handoff) -----------------------------------
+
+void Server::complete(Completion completion) {
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  completions_.push_back(std::move(completion));
+  --outstanding_jobs_;
+  jobs_cv_.notify_all();
+  if (wake_write_fd_ >= 0) {
+    const std::uint8_t byte = 1;
+    (void)!::write(wake_write_fd_, &byte, 1);  // EAGAIN = wakeup already pending
+  }
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    ready.swap(completions_);
+  }
+  for (Completion& completion : ready) {
+    auto it = connections_.find(completion.conn_id);
+    if (it != connections_.end()) {
+      Connection& conn = *it->second;
+      if (conn.inflight > 0) --conn.inflight;
+      conn.out.insert(conn.out.end(), completion.frame.begin(), completion.frame.end());
+      conn.last_activity = std::chrono::steady_clock::now();
+      observe_latency(completion.request_type, completion.t0);
+      if (!flush_writes(conn)) close_connection(completion.conn_id);
+    }
+    release_buffer(std::move(completion.frame));
+  }
+}
+
+}  // namespace psl::net

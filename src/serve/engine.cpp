@@ -63,12 +63,41 @@ Engine::Enqueue Engine::enqueue(std::function<void()> job) {
   return Enqueue::kOk;
 }
 
-void Engine::count_batch(std::size_t queries) const noexcept {
-  if (batches_) {
-    batches_->add();
-    queries_->add(static_cast<std::int64_t>(queries));
-  }
+void Engine::count_queries(std::size_t n) const noexcept {
+  if (queries_) queries_->add(static_cast<std::int64_t>(n));
 }
+
+Engine::Enqueue Engine::submit_job(std::function<void(const Pinned&)> job) {
+  const Enqueue outcome = enqueue([this, job = std::move(job)] {
+    const auto state = current();  // one State for the whole batch
+    const obs::Timer timer(batch_ms_);
+    if (batches_) batches_->add();
+    job(Pinned{state->matcher, state->meta, state->generation});
+  });
+  if (outcome == Enqueue::kBackpressure && rejected_) rejected_->add();
+  return outcome;
+}
+
+namespace {
+
+/// Shared submit plumbing: wrap `work` in a packaged_task, hand it to
+/// submit_job, and map the enqueue outcome onto the Result contract.
+template <typename R, typename Work>
+util::Result<std::future<R>> submit_typed(Engine& engine, Work work) {
+  auto task = std::make_shared<std::packaged_task<R(const Engine::Pinned&)>>(std::move(work));
+  auto future = task->get_future();
+  switch (engine.submit_job([task](const Engine::Pinned& pinned) { (*task)(pinned); })) {
+    case Engine::Enqueue::kBackpressure:
+      return util::make_error("serve.backpressure", "batch queue is full");
+    case Engine::Enqueue::kStopped:
+      return util::make_error("serve.stopped", "engine is shutting down");
+    case Engine::Enqueue::kOk:
+      break;
+  }
+  return future;
+}
+
+}  // namespace
 
 // --- single queries ---------------------------------------------------------
 
@@ -94,83 +123,44 @@ Match Engine::match(std::string_view host) const {
 
 util::Result<std::future<std::vector<std::string>>> Engine::submit_registrable_domains(
     std::vector<std::string> hosts) {
-  auto task = std::make_shared<std::packaged_task<std::vector<std::string>()>>(
-      [this, hosts = std::move(hosts)] {
-        const auto state = current();  // one State for the whole batch
-        const obs::Timer timer(batch_ms_);
+  return submit_typed<std::vector<std::string>>(
+      *this, [this, hosts = std::move(hosts)](const Pinned& pinned) {
         std::vector<std::string> out;
         out.reserve(hosts.size());
         for (const std::string& host : hosts) {
-          out.emplace_back(state->matcher.match_view(host).registrable_domain);
+          out.emplace_back(pinned.matcher.match_view(host).registrable_domain);
         }
-        count_batch(hosts.size());
+        count_queries(hosts.size());
         return out;
       });
-  auto future = task->get_future();
-  switch (enqueue([task] { (*task)(); })) {
-    case Enqueue::kBackpressure:
-      if (rejected_) rejected_->add();
-      return util::make_error("serve.backpressure", "batch queue is full");
-    case Enqueue::kStopped:
-      return util::make_error("serve.stopped", "engine is shutting down");
-    case Enqueue::kOk:
-      break;
-  }
-  return future;
 }
 
 util::Result<std::future<std::vector<std::uint8_t>>> Engine::submit_same_site(
     std::vector<std::pair<std::string, std::string>> pairs) {
-  auto task = std::make_shared<std::packaged_task<std::vector<std::uint8_t>()>>(
-      [this, pairs = std::move(pairs)] {
-        const auto state = current();
-        const obs::Timer timer(batch_ms_);
+  return submit_typed<std::vector<std::uint8_t>>(
+      *this, [this, pairs = std::move(pairs)](const Pinned& pinned) {
         std::vector<std::uint8_t> out;
         out.reserve(pairs.size());
         for (const auto& [a, b] : pairs) {
-          out.push_back(psl::same_site(state->matcher, a, b) ? 1 : 0);
+          out.push_back(psl::same_site(pinned.matcher, a, b) ? 1 : 0);
         }
-        count_batch(pairs.size());
+        count_queries(pairs.size());
         return out;
       });
-  auto future = task->get_future();
-  switch (enqueue([task] { (*task)(); })) {
-    case Enqueue::kBackpressure:
-      if (rejected_) rejected_->add();
-      return util::make_error("serve.backpressure", "batch queue is full");
-    case Enqueue::kStopped:
-      return util::make_error("serve.stopped", "engine is shutting down");
-    case Enqueue::kOk:
-      break;
-  }
-  return future;
 }
 
 util::Result<std::future<std::vector<Match>>> Engine::submit_match(
     std::vector<std::string> hosts) {
-  auto task = std::make_shared<std::packaged_task<std::vector<Match>()>>(
-      [this, hosts = std::move(hosts)] {
-        const auto state = current();
-        const obs::Timer timer(batch_ms_);
+  return submit_typed<std::vector<Match>>(
+      *this, [this, hosts = std::move(hosts)](const Pinned& pinned) {
         std::vector<Match> out;
         out.reserve(hosts.size());
         for (const std::string& host : hosts) {
-          out.push_back(state->matcher.match(host));
+          out.push_back(pinned.matcher.match(host));
         }
-        count_batch(hosts.size());
+        count_queries(hosts.size());
         return out;
       });
-  auto future = task->get_future();
-  switch (enqueue([task] { (*task)(); })) {
-    case Enqueue::kBackpressure:
-      if (rejected_) rejected_->add();
-      return util::make_error("serve.backpressure", "batch queue is full");
-    case Enqueue::kStopped:
-      return util::make_error("serve.stopped", "engine is shutting down");
-    case Enqueue::kOk:
-      break;
-  }
-  return future;
 }
 
 // --- hot reload --------------------------------------------------------------

@@ -3,6 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "psl/net/server.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/serve/engine.hpp"
+#include "psl/serve/snapshot.hpp"
 
 namespace {
 
@@ -187,6 +195,125 @@ TEST(CApiEngineTest, NullSafetyAndAllocationFailure) {
   EXPECT_EQ(take(out[1]), "example.com");
 
   pslh_engine_free(engine);
+}
+
+/// A real psl::net server on an ephemeral loopback port for the
+/// pslh_client_* surface (the C API wraps psl::net::Client).
+struct LoopbackDaemon {
+  psl::serve::Engine engine;
+  psl::net::Server server;
+  unsigned short port = 0;
+
+  explicit LoopbackDaemon(const std::string& list_text)
+      : engine(snapshot_of(list_text), {.threads = 1}), server(engine, {}) {
+    auto started = server.start();
+    EXPECT_TRUE(started.ok());
+    port = started.ok() ? *started : 0;
+  }
+
+  static psl::snapshot::Snapshot snapshot_of(const std::string& text) {
+    auto parsed = psl::List::parse(text);
+    EXPECT_TRUE(parsed.ok());
+    psl::snapshot::Metadata meta;
+    meta.rule_count = parsed->rules().size();
+    return psl::snapshot::Snapshot{psl::CompiledMatcher(*parsed), meta};
+  }
+};
+
+TEST(CApiClientTest, ConnectQueryAndFree) {
+  LoopbackDaemon daemon("com\nuk\nco.uk\n");
+  ASSERT_NE(daemon.port, 0);
+
+  pslh_client_t* client = pslh_client_connect("127.0.0.1", daemon.port, 5000);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(pslh_client_connected(client), 1);
+  EXPECT_EQ(pslh_client_ping(client), 1);
+  EXPECT_EQ(pslh_client_generation(client), 1u);
+
+  const char* hosts[] = {"a.b.example.com", "x.co.uk", "co.uk"};
+  const char* out[3] = {nullptr, nullptr, nullptr};
+  ASSERT_EQ(pslh_client_registrable_domains(client, hosts, 3, out), 1);
+  EXPECT_EQ(take(out[0]), "example.com");
+  EXPECT_EQ(take(out[1]), "x.co.uk");
+  EXPECT_EQ(out[2], nullptr);  // co.uk is itself a suffix
+
+  const char* a[] = {"a.example.com", "one.com"};
+  const char* b[] = {"b.example.com", "two.com"};
+  int sites[2] = {-1, -1};
+  ASSERT_EQ(pslh_client_same_site(client, a, b, 2, sites), 1);
+  EXPECT_EQ(sites[0], 1);
+  EXPECT_EQ(sites[1], 0);
+
+  pslh_client_free(client);
+}
+
+TEST(CApiClientTest, WireReloadBumpsGeneration) {
+  LoopbackDaemon daemon("com\nuk\nco.uk\n");
+  ASSERT_NE(daemon.port, 0);
+  pslh_client_t* client = pslh_client_connect("127.0.0.1", daemon.port, 5000);
+  ASSERT_NE(client, nullptr);
+
+  // Garbage is rejected keep-last-good; the C surface reports 0.
+  const unsigned char garbage[] = {'n', 'o', 'p', 'e'};
+  EXPECT_EQ(pslh_client_reload_snapshot(client, garbage, sizeof garbage), 0);
+  EXPECT_EQ(pslh_client_generation(client), 1u);
+
+  auto parsed = psl::List::parse("com\nexample.com\n");
+  ASSERT_TRUE(parsed.ok());
+  psl::snapshot::Metadata meta;
+  meta.rule_count = parsed->rules().size();
+  const std::string bytes = psl::snapshot::serialize(psl::CompiledMatcher(*parsed), meta);
+  ASSERT_EQ(pslh_client_reload_snapshot(
+                client, reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()),
+            1);
+  EXPECT_EQ(pslh_client_generation(client), 2u);
+
+  const char* hosts[] = {"a.b.example.com"};
+  const char* out[1] = {nullptr};
+  ASSERT_EQ(pslh_client_registrable_domains(client, hosts, 1, out), 1);
+  EXPECT_EQ(take(out[0]), "b.example.com");  // example.com is now a suffix
+
+  pslh_client_free(client);
+}
+
+TEST(CApiClientTest, NullSafetyAndConnectFailure) {
+  EXPECT_EQ(pslh_client_connect(nullptr, 1, 0), nullptr);
+  // Port 1 on loopback: nothing listens there in the test environment.
+  EXPECT_EQ(pslh_client_connect("127.0.0.1", 1, 500), nullptr);
+
+  EXPECT_EQ(pslh_client_connected(nullptr), 0);
+  EXPECT_EQ(pslh_client_ping(nullptr), 0);
+  EXPECT_EQ(pslh_client_generation(nullptr), 0u);
+  EXPECT_EQ(pslh_client_reload_snapshot(nullptr, nullptr, 0), 0);
+  pslh_client_free(nullptr);  // no-op
+
+  LoopbackDaemon daemon("com\n");
+  ASSERT_NE(daemon.port, 0);
+  pslh_client_t* client = pslh_client_connect("127.0.0.1", daemon.port, 5000);
+  ASSERT_NE(client, nullptr);
+  const char* hosts[] = {"a.example.com", nullptr};
+  const char* out[2] = {nullptr, nullptr};
+  EXPECT_EQ(pslh_client_registrable_domains(client, nullptr, 2, out), 0);
+  EXPECT_EQ(pslh_client_registrable_domains(client, hosts, 2, nullptr), 0);
+  EXPECT_EQ(pslh_client_registrable_domains(client, hosts, 2, out), 0);  // NULL host
+  EXPECT_EQ(out[0], nullptr);
+  EXPECT_EQ(out[1], nullptr);
+  EXPECT_EQ(pslh_client_registrable_domains(client, hosts, 0, out), 1);  // empty batch
+
+  int sites[1] = {-1};
+  EXPECT_EQ(pslh_client_same_site(client, nullptr, hosts, 1, sites), 0);
+  EXPECT_EQ(sites[0], 0);
+
+  // A mid-batch string-duplication failure frees what was built and reports
+  // failure with an all-NULL output array (same contract as the engine API).
+  const char* two[] = {"a.example.com", "b.example.com"};
+  pslh_test_fail_next_allocs(1);
+  EXPECT_EQ(pslh_client_registrable_domains(client, two, 2, out), 0);
+  EXPECT_EQ(out[0], nullptr);
+  EXPECT_EQ(out[1], nullptr);
+  pslh_test_fail_next_allocs(0);
+
+  pslh_client_free(client);
 }
 
 }  // namespace
