@@ -4,7 +4,8 @@
 // Serve (the daemon proper):
 //
 //   $ psld --listen 127.0.0.1:7878 --snapshot list.psnap
-//          [--threads N] [--max-conns N] [--queue-depth N] [--force-poll]
+//          [--threads N] [--max-conns N] [--queue-depth N]
+//          [--max-frame BYTES] [--force-poll]
 //
 //   Boots a serve::Engine from the validated snapshot file and serves the
 //   PSLN wire protocol on the listen address. Signals:
@@ -19,6 +20,10 @@
 //   $ psld query  <addr:port> <host>...       # print eTLD+1 per host
 //   $ psld ping   <addr:port>                 # liveness probe, exit 0/1
 //   $ psld stats  <addr:port>                 # generation / rules / conns
+//   $ psld reload <addr:port> <snap.psnap>    # push a snapshot over the wire
+//
+// Wire payloads (notably reload snapshots) are bounded by the frame cap;
+// --max-frame raises it on both the server and the client subcommands.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -55,11 +60,14 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  psld --listen ADDR:PORT --snapshot FILE [--threads N] [--max-conns N]\n"
-               "       [--queue-depth N] [--force-poll]\n"
+               "       [--queue-depth N] [--max-frame BYTES] [--force-poll]\n"
                "  psld compile LIST_FILE OUT_SNAPSHOT\n"
                "  psld query  ADDR:PORT HOST...\n"
                "  psld ping   ADDR:PORT\n"
-               "  psld stats  ADDR:PORT\n");
+               "  psld stats  ADDR:PORT\n"
+               "  psld reload ADDR:PORT SNAPSHOT_FILE\n"
+               "client subcommands also accept --max-frame BYTES (wire payloads,\n"
+               "including reload snapshots, are bounded by the frame cap)\n");
   return 2;
 }
 
@@ -101,18 +109,22 @@ int cmd_compile(const std::string& list_path, const std::string& out_path) {
   return 0;
 }
 
-psl::util::Result<psl::net::Client> connect_to(std::string_view endpoint) {
+psl::util::Result<psl::net::Client> connect_to(std::string_view endpoint,
+                                               std::size_t max_frame) {
   std::string address;
   std::uint16_t port = 0;
   if (!parse_endpoint(endpoint, address, port)) {
     return psl::util::make_error("net.io", "bad endpoint (want ADDR:PORT): " +
                                                std::string(endpoint));
   }
-  return psl::net::Client::connect(address, port);
+  psl::net::ClientOptions options;
+  options.max_frame_bytes = max_frame;
+  return psl::net::Client::connect(address, port, options);
 }
 
-int cmd_query(std::string_view endpoint, std::vector<std::string> hosts) {
-  auto client = connect_to(endpoint);
+int cmd_query(std::string_view endpoint, std::vector<std::string> hosts,
+              std::size_t max_frame) {
+  auto client = connect_to(endpoint, max_frame);
   if (!client.ok()) {
     std::fprintf(stderr, "psld: %s\n", client.error().message.c_str());
     return 1;
@@ -130,15 +142,15 @@ int cmd_query(std::string_view endpoint, std::vector<std::string> hosts) {
   return 0;
 }
 
-int cmd_ping(std::string_view endpoint) {
-  auto client = connect_to(endpoint);
+int cmd_ping(std::string_view endpoint, std::size_t max_frame) {
+  auto client = connect_to(endpoint, max_frame);
   if (!client.ok() || !client->ping().ok()) return 1;
   std::printf("pong\n");
   return 0;
 }
 
-int cmd_stats(std::string_view endpoint) {
-  auto client = connect_to(endpoint);
+int cmd_stats(std::string_view endpoint, std::size_t max_frame) {
+  auto client = connect_to(endpoint, max_frame);
   if (!client.ok()) return 1;
   auto stats = client->stats();
   if (!stats.ok()) {
@@ -152,9 +164,39 @@ int cmd_stats(std::string_view endpoint) {
   return 0;
 }
 
+int cmd_reload(std::string_view endpoint, const std::string& snapshot_path,
+               std::size_t max_frame) {
+  std::ifstream in(snapshot_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "psld: cannot read %s\n", snapshot_path.c_str());
+    return 1;
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string bytes = raw.str();
+  auto client = connect_to(endpoint, max_frame);
+  if (!client.ok()) {
+    std::fprintf(stderr, "psld: %s\n", client.error().message.c_str());
+    return 1;
+  }
+  auto swapped = client->reload(
+      {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+  if (!swapped.ok()) {
+    std::fprintf(stderr, "psld: %s (%s)\n", swapped.error().message.c_str(),
+                 swapped.error().code.c_str());
+    if (swapped.error().code == "net.oversize") {
+      std::fprintf(stderr, "psld: snapshot exceeds the %zu-byte frame cap; "
+                           "raise --max-frame on both psld ends\n", max_frame);
+    }
+    return 1;
+  }
+  std::printf("reloaded -> generation %llu\n", static_cast<unsigned long long>(*swapped));
+  return 0;
+}
+
 int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
               std::size_t threads, std::size_t max_conns, std::size_t queue_depth,
-              bool force_poll) {
+              std::size_t max_frame, bool force_poll) {
   std::string address;
   std::uint16_t port = 0;
   if (!parse_endpoint(endpoint, address, port)) {
@@ -179,6 +221,7 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
   options.bind_address = address;
   options.port = port;
   options.max_connections = max_conns;
+  options.max_frame_bytes = max_frame;
   options.force_poll = force_poll;
   options.metrics = &metrics;
   psl::net::Server server(engine, options);
@@ -238,20 +281,47 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  // --max-frame caps wire payloads in every mode (ServerOptions for serving,
+  // ClientOptions for the subcommands), so strip it before dispatch.
+  std::size_t max_frame = psl::net::kDefaultMaxFrameBytes;
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] != "--max-frame") {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      std::fprintf(stderr, "psld: --max-frame needs a value\n");
+      return 2;
+    }
+    const long long parsed = std::atoll(args[i + 1].c_str());
+    if (parsed < 64) {
+      std::fprintf(stderr, "psld: bad --max-frame value: %s\n", args[i + 1].c_str());
+      return 2;
+    }
+    max_frame = static_cast<std::size_t>(parsed);
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+  }
   if (args.empty()) return usage();
 
   if (args[0] == "compile") {
     return args.size() == 3 ? cmd_compile(args[1], args[2]) : usage();
   }
   if (args[0] == "query") {
-    return args.size() >= 3 ? cmd_query(args[1], {args.begin() + 2, args.end()}) : usage();
+    return args.size() >= 3
+               ? cmd_query(args[1], {args.begin() + 2, args.end()}, max_frame)
+               : usage();
   }
   if (args[0] == "ping") {
-    return args.size() == 2 ? cmd_ping(args[1]) : usage();
+    return args.size() == 2 ? cmd_ping(args[1], max_frame) : usage();
   }
   if (args[0] == "stats") {
-    return args.size() == 2 ? cmd_stats(args[1]) : usage();
+    return args.size() == 2 ? cmd_stats(args[1], max_frame) : usage();
+  }
+  if (args[0] == "reload") {
+    return args.size() == 3 ? cmd_reload(args[1], args[2], max_frame) : usage();
   }
 
   std::string listen, snapshot_path;
@@ -293,5 +363,6 @@ int main(int argc, char** argv) {
     }
   }
   if (listen.empty() || snapshot_path.empty()) return usage();
-  return cmd_serve(listen, snapshot_path, threads, max_conns, queue_depth, force_poll);
+  return cmd_serve(listen, snapshot_path, threads, max_conns, queue_depth, max_frame,
+                   force_poll);
 }

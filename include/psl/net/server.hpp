@@ -22,8 +22,13 @@
 //   * Frame-level violations (bad magic/version/flags, oversized length)
 //     close the connection — the byte stream cannot be re-synchronized.
 //     Payload-level violations answer Status::kMalformed and keep it open.
-//   * Timeouts: a connection idle past idle_timeout_ms, or stuck mid-frame
-//     past read_timeout_ms, is closed (net.timeout.idle / net.timeout.read).
+//   * Timeouts: a connection idle past idle_timeout_ms, stuck mid-frame past
+//     read_timeout_ms, or sitting on undrained output with no send progress
+//     for write_stall_timeout_ms (the peer stopped reading), is closed
+//     (net.timeout.idle / net.timeout.read / net.timeout.write_stall). The
+//     loop's poll timeout only tracks deadlines that can actually fire for a
+//     connection's current state, so a stalled peer parks the loop instead
+//     of spinning it.
 //   * Graceful drain: shutdown() stops accepting, lets in-flight engine
 //     batches finish and their responses flush (bounded by
 //     drain_timeout_ms), then closes everything and joins the loop thread.
@@ -37,7 +42,7 @@
 // counters net.accepted, net.frames_in, net.frames_out, net.bytes_in,
 // net.bytes_out, net.reject.backpressure, net.reject.malformed,
 // net.reject.max_conns, net.timeout.idle, net.timeout.read,
-// net.frame_errors; histograms net.request_ms.{ping,same_site,match,reload,
+// net.timeout.write_stall, net.frame_errors; histograms net.request_ms.{ping,same_site,match,reload,
 // stats} (decode-to-response-enqueue latency per request type).
 #pragma once
 
@@ -70,6 +75,7 @@ struct ServerOptions {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   int idle_timeout_ms = 30000;   ///< close connections with no traffic this long
   int read_timeout_ms = 10000;   ///< a started frame must complete this fast
+  int write_stall_timeout_ms = 10000;  ///< pending output must make progress this fast
   int drain_timeout_ms = 5000;   ///< graceful-shutdown bound before force-close
   bool force_poll = false;       ///< use the portable poll() backend everywhere
   obs::MetricsRegistry* metrics = nullptr;  ///< optional; null = uninstrumented
@@ -136,6 +142,10 @@ class Server {
   std::atomic<bool> stop_requested_{false};
 
   std::uint64_t next_conn_id_ = 1;
+  // accept() hit fd exhaustion: the listener is parked until this instant so
+  // level-triggered readiness cannot hot-spin the loop (loop thread only).
+  bool accept_paused_ = false;
+  std::chrono::steady_clock::time_point accept_resume_at_{};
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
   std::unordered_map<int, std::uint64_t> fd_to_conn_;
   mutable std::mutex conn_count_mutex_;  // connection_count() from other threads
@@ -169,6 +179,7 @@ class Server {
   obs::Counter* reject_max_conns_ = nullptr;
   obs::Counter* timeout_idle_ = nullptr;
   obs::Counter* timeout_read_ = nullptr;
+  obs::Counter* timeout_write_stall_ = nullptr;
   obs::Counter* frame_errors_ = nullptr;
   obs::Histogram* latency_ping_ = nullptr;
   obs::Histogram* latency_same_site_ = nullptr;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Loopback end-to-end smoke for psld: compile a snapshot, serve it, query it
 # over the PSLN wire protocol, hot-reload via SIGHUP (answers must flip,
-# keep-last-good must hold for a corrupt file), then drain via SIGTERM and
-# require a clean exit 0. CI runs this against the freshly built tree:
+# keep-last-good must hold for a corrupt file) and via a wire-level
+# `psld reload`, then drain via SIGTERM and require a clean exit 0. CI runs
+# this against the freshly built tree:
 #
 #   scripts/net_smoke.sh build/examples/psld
 set -euo pipefail
@@ -77,6 +78,12 @@ grep -q "reload rejected .*, still serving generation 2" psld.log \
   || fail "corrupt reload was not rejected keep-last-good"
 "$PSLD" query "$ADDR" shop1.myshopify.com | grep -qx "shop1.myshopify.com shop1.myshopify.com" \
   || fail "serving disturbed after rejected reload"
+
+# --- wire reload: push a snapshot over the PSLN protocol -----------------
+"$PSLD" reload "$ADDR" a.psnap | grep -q "generation 3" || fail "wire reload"
+"$PSLD" query "$ADDR" shop1.myshopify.com | grep -qx "shop1.myshopify.com myshopify.com" \
+  || fail "wire reload did not flip the answer back: $("$PSLD" query "$ADDR" shop1.myshopify.com)"
+"$PSLD" stats "$ADDR" | grep -q "generation 3, 4 rules" || fail "stats after wire reload"
 
 # --- SIGTERM: graceful drain, exit 0 -------------------------------------
 kill -TERM "$DAEMON_PID"

@@ -248,6 +248,9 @@ util::Result<std::vector<std::uint8_t>> Client::same_site_batch(
       return util::make_error("net.protocol", "short same_site response body");
     }
   }
+  if (!reader.done()) {
+    return util::make_error("net.protocol", "trailing bytes in same_site response");
+  }
   return out;
 }
 

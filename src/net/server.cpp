@@ -34,6 +34,9 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+/// How long the listener stays parked after accept() hits fd exhaustion.
+constexpr int kAcceptRetryMs = 100;
+
 }  // namespace
 
 // --- Poller: the epoll/poll readiness backend -------------------------------
@@ -223,6 +226,7 @@ Server::Server(serve::Engine& engine, ServerOptions options)
     reject_max_conns_ = &m.counter("net.reject.max_conns");
     timeout_idle_ = &m.counter("net.timeout.idle");
     timeout_read_ = &m.counter("net.timeout.read");
+    timeout_write_stall_ = &m.counter("net.timeout.write_stall");
     frame_errors_ = &m.counter("net.frame_errors");
     latency_ping_ = &m.histogram("net.request_ms.ping");
     latency_same_site_ = &m.histogram("net.request_ms.same_site");
@@ -368,13 +372,22 @@ void Server::loop() {
       if (connections_.empty() || now >= drain_deadline) break;
     }
 
-    // Enforce idle/read timeouts before sleeping.
+    // Enforce idle/read/write-stall timeouts before sleeping. The guards here
+    // must stay in lockstep with next_timeout_ms: every deadline that call
+    // reports has to be one this check can fire, or the loop busy-spins on a
+    // deadline that never resolves.
     {
-      std::vector<std::uint64_t> expired_idle, expired_read;
+      std::vector<std::uint64_t> expired_idle, expired_read, expired_write;
       for (auto& [id, conn] : connections_) {
         if (options_.read_timeout_ms > 0 && conn->mid_frame &&
             now - conn->frame_start >= std::chrono::milliseconds(options_.read_timeout_ms)) {
           expired_read.push_back(id);
+        } else if (options_.write_stall_timeout_ms > 0 && conn->pending_out() > 0 &&
+                   now - conn->last_activity >=
+                       std::chrono::milliseconds(options_.write_stall_timeout_ms)) {
+          // last_activity advances on every successful send, so this fires
+          // only when the peer has accepted nothing for the whole window.
+          expired_write.push_back(id);
         } else if (options_.idle_timeout_ms > 0 && conn->inflight == 0 &&
                    conn->pending_out() == 0 &&
                    now - conn->last_activity >=
@@ -386,13 +399,29 @@ void Server::loop() {
         if (timeout_read_) timeout_read_->add();
         close_connection(id);
       }
+      for (const std::uint64_t id : expired_write) {
+        if (timeout_write_stall_) timeout_write_stall_->add();
+        close_connection(id);
+      }
       for (const std::uint64_t id : expired_idle) {
         if (timeout_idle_) timeout_idle_->add();
         close_connection(id);
       }
     }
 
+    // Un-park the listener once the fd-exhaustion backoff elapses.
+    if (accept_paused_ && !draining && now >= accept_resume_at_) {
+      accept_paused_ = false;
+      poller_->add(listen_fd_, true, false);
+    }
+
     int timeout_ms = next_timeout_ms(now);
+    if (accept_paused_ && !draining) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(accept_resume_at_ - now).count();
+      const int resume_left = static_cast<int>(std::max<long long>(0, left));
+      timeout_ms = timeout_ms < 0 ? resume_left : std::min(timeout_ms, resume_left);
+    }
     if (draining) {
       const auto left =
           std::chrono::duration_cast<std::chrono::milliseconds>(drain_deadline - now).count();
@@ -436,12 +465,22 @@ int Server::next_timeout_ms(std::chrono::steady_clock::time_point now) const {
   using std::chrono::milliseconds;
   std::chrono::steady_clock::time_point earliest{};
   bool have = false;
+  // Only deadlines the expiry check can fire in the connection's CURRENT
+  // state count. Reporting any other deadline (e.g. an idle deadline for a
+  // write-stalled or inflight connection) would clamp the poll timeout to 0
+  // once it passes and spin the loop at 100% CPU with nothing to do.
   for (const auto& [id, conn] : connections_) {
     if (options_.read_timeout_ms > 0 && conn->mid_frame) {
       const auto deadline = conn->frame_start + milliseconds(options_.read_timeout_ms);
       if (!have || deadline < earliest) earliest = deadline, have = true;
     }
-    if (options_.idle_timeout_ms > 0) {
+    if (conn->pending_out() > 0) {
+      if (options_.write_stall_timeout_ms > 0) {
+        const auto deadline =
+            conn->last_activity + milliseconds(options_.write_stall_timeout_ms);
+        if (!have || deadline < earliest) earliest = deadline, have = true;
+      }
+    } else if (conn->inflight == 0 && options_.idle_timeout_ms > 0) {
       const auto deadline = conn->last_activity + milliseconds(options_.idle_timeout_ms);
       if (!have || deadline < earliest) earliest = deadline, have = true;
     }
@@ -454,7 +493,19 @@ int Server::next_timeout_ms(std::chrono::steady_clock::time_point now) const {
 void Server::handle_accept() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or a transient accept error: try next wake
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        // fd/buffer exhaustion: the backlog stays ready, so level-triggered
+        // wakeups would hot-spin the loop. Park the listener and retry once
+        // the backoff elapses (pending clients just wait in the backlog).
+        poller_->del(listen_fd_);
+        accept_paused_ = true;
+        accept_resume_at_ =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(kAcceptRetryMs);
+      }
+      return;  // EAGAIN or a transient accept error: try next wake
+    }
     if (connections_.size() >= options_.max_connections) {
       if (reject_max_conns_) reject_max_conns_->add();
       ::close(fd);
@@ -550,6 +601,9 @@ bool Server::flush_writes(Connection& conn) {
     if (n > 0) {
       if (bytes_out_) bytes_out_->add(n);
       conn.out_off += static_cast<std::size_t>(n);
+      // Send progress resets the write-stall clock (and the idle clock, as
+      // reads already do) so only a peer accepting NOTHING gets stalled out.
+      conn.last_activity = std::chrono::steady_clock::now();
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;

@@ -67,9 +67,14 @@ Client connect_or_die(std::uint16_t port, ClientOptions options = {}) {
 /// Raw TCP socket for protocol-violation tests the Client refuses to send.
 class RawConn {
  public:
-  explicit RawConn(std::uint16_t port) {
+  /// rcvbuf_bytes > 0 shrinks SO_RCVBUF before connecting (write-stall tests
+  /// want the peer's window to close almost immediately).
+  explicit RawConn(std::uint16_t port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd_, 0);
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes, sizeof rcvbuf_bytes);
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -77,6 +82,7 @@ class RawConn {
     EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
     timeval tv{5, 0};
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
   }
   ~RawConn() {
     if (fd_ >= 0) ::close(fd_);
@@ -85,6 +91,18 @@ class RawConn {
   void send_bytes(std::span<const std::uint8_t> bytes) {
     ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
               static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Best-effort bulk send: stops at the first error (e.g. the peer reset us
+  /// mid-blast) instead of asserting. Returns how much was delivered.
+  std::size_t blast(std::span<const std::uint8_t> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    return sent;
   }
 
   /// Block for one whole response frame; returns false on EOF/timeout.
@@ -386,6 +404,51 @@ TEST(NetServerTest, IdleAndReadTimeoutsCloseConnections) {
   }
   EXPECT_GE(metrics.counter("net.timeout.idle").value(), 1);
   EXPECT_GE(metrics.counter("net.timeout.read").value(), 1);
+}
+
+TEST(NetServerTest, WriteStalledPeerIsTimedOutNotSpunOn) {
+  obs::MetricsRegistry metrics;
+  serve::Engine engine(snap_of(list_a()), {.threads = 1, .metrics = &metrics});
+  ServerOptions options;
+  options.max_frame_bytes = 4096;    // park reads after ~one frame of backlog
+  options.idle_timeout_ms = 60'000;  // only the write-stall timeout may fire
+  options.read_timeout_ms = 60'000;
+  options.write_stall_timeout_ms = 200;
+  options.metrics = &metrics;
+  Server server(engine, options);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  // A peer with a tiny receive window that blasts pings and never reads a
+  // byte back: echoes pile up in the connection's outbound buffer and make
+  // no send progress. The stalled connection must be reclaimed (counted in
+  // net.timeout.write_stall) — idle/read timeouts cannot fire for it, and
+  // before the write-stall timeout existed it was pinned open forever while
+  // its passed idle deadline clamped the poll timeout to zero (a busy-spin).
+  // The blast must out-size everything the kernel can absorb on loopback
+  // (server send buffer autotunes up to tcp_wmem[2], typically 4 MiB), so it
+  // is ~9 MiB; blast() tolerates the server resetting us mid-send.
+  {
+    RawConn stalled(*port, /*rcvbuf_bytes=*/4096);
+    std::vector<std::uint8_t> payload(3000, 0xAB);
+    std::vector<std::uint8_t> wire;
+    encode_frame(wire, static_cast<std::uint8_t>(FrameType::kPing), 1, payload);
+    std::vector<std::uint8_t> burst;
+    burst.reserve(wire.size() * 3000);
+    for (int i = 0; i < 3000; ++i) burst.insert(burst.end(), wire.begin(), wire.end());
+    stalled.blast(burst);
+    for (int i = 0; i < 1000 && (metrics.counter("net.timeout.write_stall").value() == 0 ||
+                                 server.connection_count() != 0);
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(metrics.counter("net.timeout.write_stall").value(), 1);
+    EXPECT_EQ(server.connection_count(), 0u);
+  }
+
+  // The server is still healthy for well-behaved clients afterwards.
+  Client client = connect_or_die(*port);
+  EXPECT_TRUE(client.ping().ok());
 }
 
 TEST(NetServerTest, PollBackendServesIdentically) {
