@@ -43,6 +43,7 @@
 #include "psl/util/rng.hpp"
 #include "psl/util/strings.hpp"
 #include "psl/util/table.hpp"
+#include "psl/util/zipf.hpp"
 
 namespace {
 
@@ -142,10 +143,13 @@ void client_worker(std::uint16_t port, const std::vector<std::string>& hosts,
 /// wall ms for the whole run.
 double run_cell(const psl::snapshot::Snapshot& seed, const std::vector<std::string>& hosts,
                 std::size_t engine_threads, std::size_t clients, std::size_t total,
-                std::size_t batch, psl::obs::MetricsRegistry* metrics) {
-  psl::serve::Engine engine(
-      psl::snapshot::Snapshot{seed.matcher, seed.meta},
-      {.threads = engine_threads, .max_queue_depth = 1024, .metrics = metrics});
+                std::size_t batch, psl::obs::MetricsRegistry* metrics,
+                std::size_t cache_slots = 16384) {
+  psl::serve::Engine engine(psl::snapshot::Snapshot{seed.matcher, seed.meta},
+                            {.threads = engine_threads,
+                             .max_queue_depth = 1024,
+                             .cache_slots = cache_slots,
+                             .metrics = metrics});
   psl::net::ServerOptions options;
   options.metrics = metrics;
   psl::net::Server server(engine, options);
@@ -233,6 +237,49 @@ int main(int argc, char** argv) {
                    psl::util::fmt_double(cell.qps, 0)});
   }
   table.print(std::cout);
+
+  // --- cached vs uncached over the wire on a Zipf-skewed stream ------------
+  // Same construction as bench_serve_qps's comparison, but end to end
+  // through the socket path: the delta isolates what the per-worker
+  // registrable-domain caches buy a deployed daemon under realistic skew.
+  std::vector<std::string> zipf_stream;
+  {
+    psl::util::Rng zrng(11);
+    const psl::util::ZipfSampler zipf(hosts.size(), 1.0);
+    zipf_stream.reserve(hosts.size());
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      zipf_stream.push_back(hosts[zipf.sample(zrng)]);
+    }
+  }
+  struct CacheCell {
+    bool cached = false;
+    std::size_t batch = 0;
+    double wall_ms = 0.0;
+    double qps = 0.0;
+  };
+  std::vector<CacheCell> cache_cells;
+  const std::size_t cache_threads = std::min<std::size_t>(4, max_threads);
+  const std::vector<std::size_t> cache_batches =
+      smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 256};
+  for (const std::size_t batch : cache_batches) {
+    for (const bool cached : {false, true}) {
+      CacheCell cell;
+      cell.cached = cached;
+      cell.batch = batch;
+      cell.wall_ms = run_cell(seed, zipf_stream, cache_threads, clients, queries_per_cell,
+                              batch, nullptr, cached ? 16384 : 0);
+      cell.qps = static_cast<double>(queries_per_cell) / (cell.wall_ms / 1000.0);
+      cache_cells.push_back(cell);
+    }
+  }
+  std::cout << "\n=== Zipf-skewed wire stream (s=1.0): registrable-domain cache on/off ===\n";
+  psl::util::TextTable cache_table({"batch size", "cache", "wall time", "queries/sec"});
+  for (const CacheCell& cell : cache_cells) {
+    cache_table.add_row({std::to_string(cell.batch), cell.cached ? "on" : "off",
+                         psl::util::fmt_double(cell.wall_ms, 0) + " ms",
+                         psl::util::fmt_double(cell.qps, 0)});
+  }
+  cache_table.print(std::cout);
 
   // --- reload-under-load: wire-level hot swaps racing wire-level queries ---
   // A dedicated reloader CONNECTION ships alternating snapshot versions via
@@ -330,13 +377,24 @@ int main(int argc, char** argv) {
          << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   json << "  ],\n";
+  json << "  \"zipf_cache_comparison\": [\n";
+  for (std::size_t i = 0; i < cache_cells.size(); ++i) {
+    const CacheCell& cell = cache_cells[i];
+    json << "    {\"threads\": " << cache_threads << ", \"batch_size\": " << cell.batch
+         << ", \"cached\": " << (cell.cached ? "true" : "false")
+         << ", \"wall_ms\": " << psl::util::fmt_double(cell.wall_ms, 2)
+         << ", \"qps\": " << psl::util::fmt_double(cell.qps, 1) << "}"
+         << (i + 1 < cache_cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
   json << "  \"reload_under_load\": {\"threads\": " << reload_threads
        << ", \"batch_size\": " << reload_batch << ", \"reloads\": " << kReloads
        << ", \"wall_ms\": " << psl::util::fmt_double(reload_wall_ms, 2)
        << ", \"qps\": " << psl::util::fmt_double(reload_qps, 1)
        << ", \"final_generation\": " << reload_generation << "},\n";
-  json << "  \"metrics\": " << psl::obs::to_json(metrics) << "\n";
-  json << "}\n";
+  json << "  \"metrics\": " << psl::obs::to_json(metrics) << ",\n";
+  psl::bench::emit_bench_delta(json);
+  json << "\n}\n";
   std::cout << "wrote BENCH_net.json\n";
   return 0;
 }

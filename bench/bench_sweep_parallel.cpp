@@ -144,7 +144,9 @@ int main(int argc, char** argv) {
          << ", \"speedup_vs_seed\": " << psl::util::fmt_double(baseline_ms / r.wall_ms, 3)
          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n";
+  psl::bench::emit_bench_delta(json);
+  json << "\n}\n";
   std::cout << "wrote BENCH_sweep.json\n";
 
   // --- observability rerun: per-phase metrics snapshot + overhead check ----

@@ -3,7 +3,12 @@
 // across binaries (and across runs — everything is seed-deterministic).
 #pragma once
 
+#include <sys/utsname.h>
+
 #include <cstdio>
+#include <ostream>
+#include <string>
+#include <thread>
 
 #include "psl/archive/corpus.hpp"
 #include "psl/history/timeline.hpp"
@@ -33,5 +38,63 @@ inline const std::vector<repos::RepoRecord>& repo_corpus() {
 /// Versions sampled for the figure sweeps: enough points to see the curve,
 /// few enough that each binary finishes in seconds.
 inline constexpr std::size_t kSweepPoints = 48;
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+inline std::string run_line(const char* command) {
+  std::string out;
+  if (FILE* pipe = ::popen(command, "r")) {
+    char buf[256];
+    if (std::fgets(buf, sizeof buf, pipe)) out = buf;
+    ::pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out;
+}
+
+}  // namespace detail
+
+/// Emit one `"env": {...}` JSON object (no trailing comma) identifying the
+/// machine, toolchain and source revision a bench ran on. Every BENCH_*.json
+/// writer includes this so numbers in the bench trajectory are comparable
+/// across PRs — a delta only means something when the hardware and commit
+/// that produced each side are recorded next to it.
+inline void emit_bench_delta(std::ostream& os) {
+  utsname un{};
+  const bool have_uname = ::uname(&un) == 0;
+  const std::string git = detail::run_line("git describe --always --dirty --tags 2>/dev/null");
+  os << "  \"env\": {\n";
+  os << "    \"git_describe\": \"" << detail::json_escape(git.empty() ? "unknown" : git)
+     << "\",\n";
+  os << "    \"compiler\": \"" << detail::json_escape(__VERSION__) << "\",\n";
+  os << "    \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "    \"os\": \""
+     << detail::json_escape(have_uname ? std::string(un.sysname) + " " + un.release : "unknown")
+     << "\",\n";
+  os << "    \"machine\": \"" << detail::json_escape(have_uname ? un.machine : "unknown")
+     << "\",\n";
+  os << "    \"build_type\": \""
+#ifdef NDEBUG
+     << "release"
+#else
+     << "debug"
+#endif
+     << "\"\n";
+  os << "  }";
+}
 
 }  // namespace psl::bench

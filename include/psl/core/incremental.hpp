@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -58,8 +59,12 @@ class IncrementalSweeper {
   const history::History& history_;
   const archive::Corpus& corpus_;
 
-  // Host index: every dotted suffix -> hosts having it. Built once.
-  std::unordered_map<std::string, std::vector<archive::HostId>> hosts_by_suffix_;
+  // Host index: every dotted suffix -> hosts having it. Built once. Keys
+  // are views into corpus_.hostnames() — a suffix of a stored hostname IS a
+  // slice of that hostname's bytes, so the index stores zero key copies
+  // (the corpus outlives the sweeper by contract). At paper scale the old
+  // one-std::string-per-suffix layout duplicated every hostname ~4x over.
+  std::unordered_map<std::string_view, std::vector<archive::HostId>> hosts_by_suffix_;
 
   // Per-version rule churn, prebuilt from the schedule so each advance is
   // a handful of trie mutations instead of a snapshot + diff.

@@ -65,6 +65,25 @@ class CompiledMatcher {
   /// views are used. Tolerates one trailing dot like List::match.
   MatchView match_view(std::string_view host) const noexcept;
 
+  /// Batched zero-allocation match: out[i] = match_view(hosts[i]) for the
+  /// first min(hosts.size(), out.size()) hosts, which is also the return
+  /// value. Semantically identical to per-host match_view (both run the one
+  /// shared walk in psl/detail/match_walk.hpp); the batched driver earns its
+  /// keep by interleaving the walks across the batch in rounds and issuing a
+  /// software prefetch for each walk's next child range one round before its
+  /// binary search needs it — at serving batch sizes the trie's cache misses
+  /// overlap instead of serializing. All views point into the caller's host
+  /// buffers, which must outlive their use; no allocation on any path.
+  std::size_t match_batch(std::span<const std::string_view> hosts,
+                          std::span<MatchView> out) const noexcept;
+
+  /// Registrable-domain boundaries only: out[i] packs the offset/length of
+  /// hosts[i]'s registrable domain (RegDomainKey{0,0} when it has none).
+  /// This is the serve-layer cache's fall-through: 8-byte results that
+  /// remain valid however long the host strings live.
+  std::size_t reg_domain_batch(std::span<const std::string_view> hosts,
+                               std::span<RegDomainKey> out) const noexcept;
+
   /// Allocating adapter with List::match semantics.
   Match match(std::string_view host) const { return match_view(host).to_match(); }
 

@@ -15,6 +15,7 @@
 
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -61,6 +62,32 @@ struct MatchView {
   /// Owning adapter: the classic Match is a copy of this view.
   Match to_match() const;
 };
+
+/// Packed registrable-domain boundary: byte offset and length of the
+/// registrable domain WITHIN the query host string (after the walk's
+/// trailing-dot strip the registrable domain is always a contiguous
+/// substring of the host). 8 bytes, trivially copyable — batch results and
+/// cache values stay zero-allocation. length == 0 means the host has no
+/// registrable domain (it is itself a public suffix, or is degenerate).
+struct RegDomainKey {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+
+  bool has_domain() const noexcept { return length != 0; }
+  /// Re-attach the boundary to the host it was computed from. `host` must
+  /// be the exact string passed to the matcher.
+  std::string_view in(std::string_view host) const noexcept {
+    return host.substr(offset, length);
+  }
+  static RegDomainKey of(std::string_view host, const MatchView& m) noexcept {
+    if (m.registrable_domain.empty()) return {};
+    return {static_cast<std::uint32_t>(m.registrable_domain.data() - host.data()),
+            static_cast<std::uint32_t>(m.registrable_domain.size())};
+  }
+
+  friend bool operator==(const RegDomainKey&, const RegDomainKey&) = default;
+};
+static_assert(sizeof(RegDomainKey) == 8);
 
 /// Any suffix matcher: one zero-allocation primitive; match(), same_site()
 /// and site formation all derive from it.

@@ -32,10 +32,20 @@
 //     against a full queue is REJECTED immediately ("serve.backpressure")
 //     rather than queued unboundedly — the caller decides whether to retry,
 //     shed, or block. Submits after shutdown return "serve.stopped".
+//   * Per-worker registrable-domain caches. Each State carries one
+//     RegDomainCache per worker (strictly single-writer: worker i touches
+//     only caches[i], so the caches need no locks even though the State is
+//     shared). Because the caches live INSIDE the immutable State, RCU
+//     hot-swap invalidates them for free: a new generation publishes new
+//     cold caches, old readers drain on the old ones, and a stale boundary
+//     can never be served across a reload. Batched jobs reach the cached
+//     path through Pinned's helpers; cache hits skip the trie entirely,
+//     misses fall through to CompiledMatcher::match_batch.
 //   * Instrumentation (when given a MetricsRegistry): counters
 //     serve.queries / serve.batches / serve.rejected /
-//     serve.reload.success / serve.reload.failure, gauge serve.queue_depth,
-//     histogram serve.batch_ms.
+//     serve.reload.success / serve.reload.failure / serve.cache.hit /
+//     serve.cache.miss / serve.cache.evict, gauge serve.queue_depth,
+//     histograms serve.batch_ms and psl.match.batch_size.
 //
 // Lifecycle: construct with an initial snapshot (compile a List or load a
 // psl::snapshot file), submit work, swap/reload at will from any thread.
@@ -61,6 +71,7 @@
 #include "psl/obs/metrics.hpp"
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
+#include "psl/serve/regdomain_cache.hpp"
 #include "psl/serve/snapshot.hpp"
 #include "psl/util/result.hpp"
 
@@ -69,6 +80,9 @@ namespace psl::serve {
 struct EngineOptions {
   std::size_t threads = 2;           ///< worker threads (clamped to >= 1)
   std::size_t max_queue_depth = 64;  ///< pending batches before rejection
+  /// Per-worker registrable-domain cache slots (rounded up to a power of
+  /// two; 0 disables caching — every query walks the trie).
+  std::size_t cache_slots = 16384;
   obs::MetricsRegistry* metrics = nullptr;  ///< optional; null = uninstrumented
 };
 
@@ -86,10 +100,32 @@ class Engine {
 
   /// The serving state pinned for one batch: references stay valid for the
   /// duration of the job callback (the worker holds the State shared_ptr).
+  /// The helpers below are the batch fast path — they consult this worker's
+  /// registrable-domain cache first and fall through to the pinned matcher's
+  /// match_batch, so front-ends (psl::net::Server, the typed submits, the C
+  /// API engine mirror) get the cached path without touching the cache API.
   struct Pinned {
     const CompiledMatcher& matcher;
     const snapshot::Metadata& meta;
     std::uint64_t generation;
+    /// This worker's cache inside the pinned State; null when caching is
+    /// disabled. Single-writer: only this worker, only during this batch.
+    RegDomainCache* cache = nullptr;
+    const Engine* engine = nullptr;  ///< for cache/batch instrumentation
+
+    /// Cached single lookup: the registrable domain of `host` as a view
+    /// into `host`'s own buffer ("" when it has none). Hits skip the trie.
+    std::string_view registrable_domain_view(std::string_view host) const noexcept;
+    /// Cached same-site predicate; semantics identical to psl::same_site.
+    bool same_site(std::string_view a, std::string_view b) const noexcept;
+    /// Cached batch: out[i] = registrable-domain view into hosts[i]. Hits
+    /// skip the trie; misses are batched through matcher.match_batch.
+    void registrable_domains(std::span<const std::string_view> hosts,
+                             std::span<std::string_view> out) const;
+    /// Instrumented full-result batch (no cache — MatchView carries more
+    /// than a boundary); observes psl.match.batch_size.
+    std::size_t match_batch(std::span<const std::string_view> hosts,
+                            std::span<MatchView> out) const noexcept;
   };
 
   /// Run `job` on a worker against exactly one pinned State (the engine's
@@ -154,6 +190,12 @@ class Engine {
     CompiledMatcher matcher;
     snapshot::Metadata meta;
     std::uint64_t generation = 0;
+    /// Per-worker registrable-domain caches (caches[i] is touched only by
+    /// worker i — single-writer, no locks). `mutable` because cache fills
+    /// are not observable state changes: the State's answers are immutable,
+    /// the caches only memoize them. New State ⇒ new cold caches, which is
+    /// the whole hot-swap invalidation story.
+    mutable std::vector<RegDomainCache> caches;
   };
 
   std::shared_ptr<const State> current() const {
@@ -161,8 +203,8 @@ class Engine {
     return state_;
   }
   std::uint64_t install(snapshot::Snapshot next);
-  Enqueue enqueue(std::function<void()> job);
-  void worker_loop();
+  Enqueue enqueue(std::function<void(std::size_t)> job);
+  void worker_loop(std::size_t worker_index);
 
   mutable std::mutex state_mutex_;  ///< held only to copy/replace state_
   std::shared_ptr<const State> state_;
@@ -172,9 +214,13 @@ class Engine {
 
   mutable std::mutex mutex_;  ///< guards queue_ + stopping_
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  /// Jobs receive the index of the worker that runs them (selects the
+  /// worker's cache inside the pinned State).
+  std::deque<std::function<void(std::size_t)>> queue_;
   bool stopping_ = false;
   std::size_t max_queue_depth_;
+  std::size_t cache_slots_ = 0;
+  std::size_t configured_workers_ = 0;  ///< set before the first install()
   std::vector<std::thread> workers_;
 
   obs::Counter* queries_ = nullptr;
@@ -182,8 +228,12 @@ class Engine {
   obs::Counter* rejected_ = nullptr;
   obs::Counter* reload_success_ = nullptr;
   obs::Counter* reload_failure_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_evicts_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Histogram* batch_ms_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
 };
 
 }  // namespace psl::serve

@@ -1,0 +1,138 @@
+// Fixed-size registrable-domain boundary cache (one per Engine worker).
+//
+// The serving workload is heavily Zipf-skewed — the paper's 498M-request
+// HTTP Archive corpus concentrates most lookups on a small set of hot
+// hostnames — so memoizing the registrable-domain *boundary* per hostname
+// lets cache hits skip the trie walk entirely. The cache is deliberately
+// minimal:
+//
+//   * Open addressing with robin-hood displacement over a power-of-two slot
+//     array. Inserts steal slots from entries closer to their home bucket;
+//     probe sequences are short and bounded (kMaxProbe), so a lookup touches
+//     at most a couple of cache lines. An entry displaced past the probe
+//     bound is dropped — that's the eviction policy, and under skew it
+//     naturally sheds cold tails while hot heads stay near their home slots.
+//   * The value is 4 bytes: the length of the registrable-domain SUFFIX of
+//     the dot-stripped hostname (the registrable domain is always a suffix,
+//     so a length fully describes the boundary), or kNoDomain when the host
+//     has none. The caller re-attaches the boundary to whatever buffer its
+//     current query string lives in — nothing in the cache points at freed
+//     memory, ever.
+//   * Keys are 64-bit FNV-1a hostname hashes; full hostnames are NOT stored.
+//     Two distinct hot hostnames colliding in 64 bits is a ~n²/2⁶⁴ event
+//     (≈ 10⁻¹² at a million distinct hosts), accepted by design — the same
+//     trade browsers make in their eTLD+1 caches.
+//   * No synchronization. Each Engine worker owns one cache instance
+//     (caches live in the immutable State, indexed by worker id), so every
+//     instance is strictly single-writer single-reader from the same
+//     thread. Hot-swap invalidation is structural: a new State carries new,
+//     cold caches, and old readers drain on the old ones.
+//
+// slots == 0 constructs a disabled cache (lookup always misses, insert is a
+// no-op) — the engine's "uncached" mode for benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace psl::serve {
+
+class RegDomainCache {
+ public:
+  /// Value meaning "this host has no registrable domain" (it is itself a
+  /// public suffix, or is degenerate). Distinct from a lookup miss.
+  static constexpr std::uint32_t kNoDomain = 0xFFFFFFFFu;
+
+  /// Probe-length bound: an insert never displaces an entry this far from
+  /// its home slot; it drops it instead (one eviction).
+  static constexpr std::size_t kMaxProbe = 16;
+
+  explicit RegDomainCache(std::size_t slots) {
+    if (slots == 0) return;  // disabled
+    std::size_t cap = 64;
+    while (cap < slots) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// FNV-1a 64-bit over the (already dot-stripped) hostname bytes.
+  static std::uint64_t hash_host(std::string_view host) noexcept {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : host) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    // 0 marks an empty slot; remap the (astronomically unlikely) real 0.
+    return h == 0 ? 1 : h;
+  }
+
+  /// True on hit; `rd_len` receives the cached boundary (or kNoDomain).
+  bool lookup(std::uint64_t hash, std::uint32_t& rd_len) const noexcept {
+    if (slots_.empty()) return false;
+    std::size_t idx = hash & mask_;
+    for (std::size_t dist = 0; dist < kMaxProbe; ++dist) {
+      const Slot& s = slots_[idx];
+      if (s.hash == hash) {
+        rd_len = s.rd_len;
+        return true;
+      }
+      // Robin-hood invariant: entries are ordered by probe distance, so once
+      // we pass a slot poorer than us (or an empty one) the key is absent.
+      if (s.hash == 0 || probe_distance(s.hash, idx) < dist) return false;
+      idx = (idx + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Insert (or overwrite) the boundary for `hash`. Returns true when a
+  /// resident entry was dropped to make room (probe bound exceeded).
+  bool insert(std::uint64_t hash, std::uint32_t rd_len) noexcept {
+    if (slots_.empty()) return false;
+    Slot incoming{hash, rd_len};
+    std::size_t idx = incoming.hash & mask_;
+    std::size_t dist = 0;
+    for (;;) {
+      Slot& s = slots_[idx];
+      if (s.hash == 0) {
+        s = incoming;
+        ++size_;
+        return false;
+      }
+      if (s.hash == incoming.hash) {
+        s.rd_len = incoming.rd_len;
+        return false;
+      }
+      // Robin hood: the slot's resident keeps it only while it is at least
+      // as far from home as the incoming entry.
+      const std::size_t resident = probe_distance(s.hash, idx);
+      if (resident < dist) {
+        std::swap(s, incoming);
+        dist = resident;
+      }
+      if (++dist >= kMaxProbe) return true;  // drop `incoming` (eviction)
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  bool enabled() const noexcept { return !slots_.empty(); }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;  ///< 0 = empty (hash_host never returns 0)
+    std::uint32_t rd_len = 0;
+  };
+
+  std::size_t probe_distance(std::uint64_t hash, std::size_t idx) const noexcept {
+    return (idx - (hash & mask_)) & mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace psl::serve

@@ -4,17 +4,24 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "psl/history/timeline.hpp"
 #include "psl/net/client.hpp"
+#include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
 #include "psl/serve/engine.hpp"
 #include "psl/serve/snapshot.hpp"
 
 struct pslh_ctx {
   psl::List list;
+  /// Arena-compiled mirror of `list`: batch entry points walk its
+  /// interleaved match_batch instead of one trie walk per call.
+  psl::CompiledMatcher matcher;
+
+  explicit pslh_ctx(psl::List l) : list(std::move(l)), matcher(list) {}
 };
 
 struct pslh_engine {
@@ -106,8 +113,31 @@ int pslh_same_site_batch(const pslh_ctx_t* ctx, const char* const* a, const char
   for (size_t i = 0; i < count; ++i) {
     if (a[i] == nullptr || b[i] == nullptr) return 0;
   }
+  // Each side of the pair list rides one interleaved batch walk; the packed
+  // keys re-attach to the caller's strings, so the predicate below is the
+  // psl::same_site contract evaluated without per-pair trie walks.
+  std::vector<std::string_view> lhs(count), rhs(count);
   for (size_t i = 0; i < count; ++i) {
-    out[i] = ctx->list.same_site(a[i], b[i]) ? 1 : 0;
+    lhs[i] = a[i];
+    rhs[i] = b[i];
+  }
+  std::vector<psl::RegDomainKey> ka(count), kb(count);
+  ctx->matcher.reg_domain_batch(lhs, ka);
+  ctx->matcher.reg_domain_batch(rhs, kb);
+  for (size_t i = 0; i < count; ++i) {
+    const std::string_view ra = ka[i].in(lhs[i]);
+    const std::string_view rb = kb[i].in(rhs[i]);
+    bool same;
+    if (ra.empty() || rb.empty()) {
+      std::string_view sa = lhs[i];
+      std::string_view sb = rhs[i];
+      if (!sa.empty() && sa.back() == '.') sa.remove_suffix(1);
+      if (!sb.empty() && sb.back() == '.') sb.remove_suffix(1);
+      same = ra.empty() && rb.empty() && sa == sb;
+    } else {
+      same = ra == rb;
+    }
+    out[i] = same ? 1 : 0;
   }
   return 1;
 }

@@ -1,5 +1,6 @@
 #include "psl/core/incremental.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
 
@@ -14,13 +15,23 @@ IncrementalSweeper::IncrementalSweeper(const history::History& history,
   const auto& hosts = corpus_.hostnames();
 
   // Suffix index: "www.example.co.uk" registers under uk, co.uk,
-  // example.co.uk and www.example.co.uk.
+  // example.co.uk and www.example.co.uk. Keys are string_views into the
+  // corpus-owned hostname storage (each suffix is a slice of its host's own
+  // bytes), so the index allocates nothing per key; a pre-count pass sizes
+  // the table once so the build never rehashes.
+  std::size_t suffix_count = 0;
+  for (const std::string& host : hosts) {
+    if (is_ip_literal(host)) continue;
+    suffix_count += 1 + static_cast<std::size_t>(
+                            std::count(host.begin(), host.end(), '.'));
+  }
+  hosts_by_suffix_.reserve(suffix_count);
   for (archive::HostId id = 0; id < hosts.size(); ++id) {
     const std::string& host = hosts[id];
     if (is_ip_literal(host)) continue;
     std::string_view view = host;
     while (true) {
-      hosts_by_suffix_[std::string(view)].push_back(id);
+      hosts_by_suffix_[view].push_back(id);
       const std::size_t dot = view.find('.');
       if (dot == std::string_view::npos) break;
       view = view.substr(dot + 1);
@@ -159,7 +170,8 @@ VersionMetrics IncrementalSweeper::advance_to(std::size_t version_index) {
   // or shallower, but all such hosts still carry the rule's base labels).
   std::unordered_set<archive::HostId> affected;
   const auto collect = [&](const Rule& rule) {
-    const auto it = hosts_by_suffix_.find(util::join(rule.labels(), "."));
+    const std::string joined = util::join(rule.labels(), ".");
+    const auto it = hosts_by_suffix_.find(std::string_view(joined));
     if (it == hosts_by_suffix_.end()) return;
     affected.insert(it->second.begin(), it->second.end());
   };

@@ -715,15 +715,23 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
       return;
     }
 
+    // Both batch types follow the same zero-copy shape: validate the payload
+    // on the loop thread (malformed requests answer immediately, and the
+    // worker-side re-parse below can then never fail), memcpy the payload
+    // ONCE into a pooled buffer, and hand that to the job. The worker
+    // re-parses into thread_local view scratch — every hostname the matcher
+    // sees is a view into the job-owned request copy, every response field
+    // is encoded straight from arena-backed MatchView spans into the pooled
+    // response frame. No per-host std::string, no per-pair std::pair<string,
+    // string>, anywhere on the path.
     case FrameType::kSameSiteBatch: {
       if (!parse_same_site_request(frame.payload, pair_scratch_)) {
         if (reject_malformed_) reject_malformed_->add();
         respond_status(conn, type, id, Status::kMalformed, "bad same_site_batch payload");
         return;
       }
-      std::vector<std::pair<std::string, std::string>> pairs;
-      pairs.reserve(pair_scratch_.size());
-      for (const auto& [a, b] : pair_scratch_) pairs.emplace_back(a, b);
+      std::vector<std::uint8_t> request = acquire_buffer();
+      request.assign(frame.payload.begin(), frame.payload.end());
       auto* engine = &engine_;
       auto* frames_out = frames_out_;
       const std::uint64_t conn_id = conn.id;
@@ -735,17 +743,20 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
       }
       const auto enq = engine_.submit_job(
           [this, engine, frames_out, conn_id, id, type, t0,
-           pairs = std::move(pairs)](const serve::Engine::Pinned& pinned) {
+           request = std::move(request)](const serve::Engine::Pinned& pinned) mutable {
+            thread_local std::vector<std::pair<std::string_view, std::string_view>> pairs;
+            parse_same_site_request(request, pairs);  // validated on the loop thread
             std::vector<std::uint8_t> buf = acquire_buffer();
             const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
             put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
             put_u32(buf, static_cast<std::uint32_t>(pairs.size()));
             for (const auto& [a, b] : pairs) {
-              put_u8(buf, psl::same_site(pinned.matcher, a, b) ? 1 : 0);
+              put_u8(buf, pinned.same_site(a, b) ? 1 : 0);  // cached path
             }
             end_frame(buf, frame_begin);
             engine->count_queries(pairs.size());
             if (frames_out) frames_out->add();
+            release_buffer(std::move(request));
             complete(Completion{conn_id, std::move(buf), type, t0});
           });
       finish_submit(conn, enq, type, id);
@@ -758,9 +769,8 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
         respond_status(conn, type, id, Status::kMalformed, "bad match_batch payload");
         return;
       }
-      std::vector<std::string> hosts;
-      hosts.reserve(host_scratch_.size());
-      for (const std::string_view host : host_scratch_) hosts.emplace_back(host);
+      std::vector<std::uint8_t> request = acquire_buffer();
+      request.assign(frame.payload.begin(), frame.payload.end());
       auto* engine = &engine_;
       auto* frames_out = frames_out_;
       const std::uint64_t conn_id = conn.id;
@@ -770,13 +780,17 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
       }
       const auto enq = engine_.submit_job(
           [this, engine, frames_out, conn_id, id, type, t0,
-           hosts = std::move(hosts)](const serve::Engine::Pinned& pinned) {
+           request = std::move(request)](const serve::Engine::Pinned& pinned) mutable {
+            thread_local std::vector<std::string_view> hosts;
+            thread_local std::vector<MatchView> views;
+            parse_match_request(request, hosts);  // validated on the loop thread
+            views.resize(hosts.size());
+            pinned.match_batch(hosts, views);  // interleaved + prefetched walk
             std::vector<std::uint8_t> buf = acquire_buffer();
             const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
             put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
             put_u32(buf, static_cast<std::uint32_t>(hosts.size()));
-            for (const std::string& host : hosts) {
-              const MatchView view = pinned.matcher.match_view(host);
+            for (const MatchView& view : views) {
               put_str16(buf, view.public_suffix);
               put_str16(buf, view.registrable_domain);
               const std::uint8_t flags =
@@ -787,6 +801,7 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
             end_frame(buf, frame_begin);
             engine->count_queries(hosts.size());
             if (frames_out) frames_out->add();
+            release_buffer(std::move(request));
             complete(Completion{conn_id, std::move(buf), type, t0});
           });
       finish_submit(conn, enq, type, id);

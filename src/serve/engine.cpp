@@ -5,23 +5,35 @@
 
 namespace psl::serve {
 
+namespace {
+
+/// psl.match.batch_size bucket bounds: powers of two up to the frame caps.
+constexpr double kBatchSizeBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+
+}  // namespace
+
 Engine::Engine(snapshot::Snapshot initial, EngineOptions options)
-    : max_queue_depth_(options.max_queue_depth) {
+    : max_queue_depth_(options.max_queue_depth), cache_slots_(options.cache_slots) {
   if (options.metrics) {
     queries_ = &options.metrics->counter("serve.queries");
     batches_ = &options.metrics->counter("serve.batches");
     rejected_ = &options.metrics->counter("serve.rejected");
     reload_success_ = &options.metrics->counter("serve.reload.success");
     reload_failure_ = &options.metrics->counter("serve.reload.failure");
+    cache_hits_ = &options.metrics->counter("serve.cache.hit");
+    cache_misses_ = &options.metrics->counter("serve.cache.miss");
+    cache_evicts_ = &options.metrics->counter("serve.cache.evict");
     queue_depth_gauge_ = &options.metrics->gauge("serve.queue_depth");
     batch_ms_ = &options.metrics->histogram("serve.batch_ms");
+    batch_size_ = &options.metrics->histogram("psl.match.batch_size", kBatchSizeBounds);
   }
+  const std::size_t threads = options.threads == 0 ? 1 : options.threads;
+  configured_workers_ = threads;  // install() sizes the per-worker caches
   install(std::move(initial));
 
-  const std::size_t threads = options.threads == 0 ? 1 : options.threads;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,9 +46,9 @@ Engine::~Engine() {
   for (std::thread& t : workers_) t.join();
 }
 
-void Engine::worker_loop() {
+void Engine::worker_loop(std::size_t worker_index) {
   for (;;) {
-    std::function<void()> job;
+    std::function<void(std::size_t)> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -47,11 +59,11 @@ void Engine::worker_loop() {
       queue_.pop_front();
       if (queue_depth_gauge_) queue_depth_gauge_->set(static_cast<double>(queue_.size()));
     }
-    job();
+    job(worker_index);
   }
 }
 
-Engine::Enqueue Engine::enqueue(std::function<void()> job) {
+Engine::Enqueue Engine::enqueue(std::function<void(std::size_t)> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) return Enqueue::kStopped;
@@ -68,14 +80,136 @@ void Engine::count_queries(std::size_t n) const noexcept {
 }
 
 Engine::Enqueue Engine::submit_job(std::function<void(const Pinned&)> job) {
-  const Enqueue outcome = enqueue([this, job = std::move(job)] {
+  const Enqueue outcome = enqueue([this, job = std::move(job)](std::size_t worker) {
     const auto state = current();  // one State for the whole batch
     const obs::Timer timer(batch_ms_);
     if (batches_) batches_->add();
-    job(Pinned{state->matcher, state->meta, state->generation});
+    RegDomainCache* cache =
+        worker < state->caches.size() && state->caches[worker].enabled()
+            ? &state->caches[worker]
+            : nullptr;
+    job(Pinned{state->matcher, state->meta, state->generation, cache, this});
   });
   if (outcome == Enqueue::kBackpressure && rejected_) rejected_->add();
   return outcome;
+}
+
+// --- Pinned cached helpers ---------------------------------------------------
+
+namespace {
+
+/// Cache value for a computed view (the registrable domain is a suffix of
+/// the stripped host, so its length fully encodes the boundary).
+std::uint32_t encode_boundary(std::string_view registrable_domain) noexcept {
+  return registrable_domain.empty() ? RegDomainCache::kNoDomain
+                                    : static_cast<std::uint32_t>(registrable_domain.size());
+}
+
+std::string_view strip_dot(std::string_view host) noexcept {
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+  return host;
+}
+
+/// Re-attach a cached boundary to the query's own buffer.
+std::string_view apply_boundary(std::string_view stripped, std::uint32_t rd_len) noexcept {
+  return rd_len == RegDomainCache::kNoDomain ? std::string_view{}
+                                             : stripped.substr(stripped.size() - rd_len);
+}
+
+}  // namespace
+
+std::string_view Engine::Pinned::registrable_domain_view(std::string_view host) const noexcept {
+  if (!cache) return matcher.match_view(host).registrable_domain;
+  const std::string_view stripped = strip_dot(host);
+  const std::uint64_t h = RegDomainCache::hash_host(stripped);
+  std::uint32_t rd_len = 0;
+  if (cache->lookup(h, rd_len)) {
+    if (engine && engine->cache_hits_) engine->cache_hits_->add();
+    return apply_boundary(stripped, rd_len);
+  }
+  const MatchView m = matcher.match_view(host);
+  const bool evicted = cache->insert(h, encode_boundary(m.registrable_domain));
+  if (engine) {
+    if (engine->cache_misses_) engine->cache_misses_->add();
+    if (evicted && engine->cache_evicts_) engine->cache_evicts_->add();
+  }
+  return m.registrable_domain;
+}
+
+bool Engine::Pinned::same_site(std::string_view a, std::string_view b) const noexcept {
+  // Same semantics as psl::same_site, over the cached boundary: equal
+  // non-empty registrable domains, else (both empty) dot-stripped literal
+  // equality. The cached views alias the query buffers, so == compares
+  // content exactly like the uncached predicate.
+  const std::string_view ra = registrable_domain_view(a);
+  const std::string_view rb = registrable_domain_view(b);
+  if (ra.empty() || rb.empty()) {
+    return ra.empty() && rb.empty() && strip_dot(a) == strip_dot(b);
+  }
+  return ra == rb;
+}
+
+void Engine::Pinned::registrable_domains(std::span<const std::string_view> hosts,
+                                         std::span<std::string_view> out) const {
+  const std::size_t n = std::min(hosts.size(), out.size());
+  // Worker-thread scratch: reused across batches, so the steady-state path
+  // allocates nothing.
+  thread_local std::vector<std::size_t> miss_index;
+  thread_local std::vector<std::string_view> miss_hosts;
+  thread_local std::vector<std::uint64_t> miss_hashes;
+  thread_local std::vector<MatchView> miss_views;
+
+  if (!cache) {
+    miss_views.resize(n);
+    match_batch(hosts.first(n), miss_views);
+    for (std::size_t i = 0; i < n; ++i) out[i] = miss_views[i].registrable_domain;
+    return;
+  }
+
+  miss_index.clear();
+  miss_hosts.clear();
+  miss_hashes.clear();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string_view stripped = strip_dot(hosts[i]);
+    const std::uint64_t h = RegDomainCache::hash_host(stripped);
+    std::uint32_t rd_len = 0;
+    if (cache->lookup(h, rd_len)) {
+      out[i] = apply_boundary(stripped, rd_len);
+      ++hits;
+    } else {
+      miss_index.push_back(i);
+      miss_hosts.push_back(hosts[i]);
+      miss_hashes.push_back(h);
+    }
+  }
+
+  std::size_t evictions = 0;
+  if (!miss_index.empty()) {
+    miss_views.resize(miss_index.size());
+    match_batch(miss_hosts, miss_views);  // the trie fall-through, batched
+    for (std::size_t j = 0; j < miss_index.size(); ++j) {
+      const std::string_view rd = miss_views[j].registrable_domain;
+      out[miss_index[j]] = rd;
+      if (cache->insert(miss_hashes[j], encode_boundary(rd))) ++evictions;
+    }
+  }
+  if (engine) {
+    if (hits && engine->cache_hits_) engine->cache_hits_->add(static_cast<std::int64_t>(hits));
+    if (!miss_index.empty() && engine->cache_misses_)
+      engine->cache_misses_->add(static_cast<std::int64_t>(miss_index.size()));
+    if (evictions && engine->cache_evicts_)
+      engine->cache_evicts_->add(static_cast<std::int64_t>(evictions));
+  }
+}
+
+std::size_t Engine::Pinned::match_batch(std::span<const std::string_view> hosts,
+                                        std::span<MatchView> out) const noexcept {
+  const std::size_t n = matcher.match_batch(hosts, out);
+  if (engine && engine->batch_size_ && n > 0) {
+    engine->batch_size_->observe(static_cast<double>(n));
+  }
+  return n;
 }
 
 namespace {
@@ -125,11 +259,10 @@ util::Result<std::future<std::vector<std::string>>> Engine::submit_registrable_d
     std::vector<std::string> hosts) {
   return submit_typed<std::vector<std::string>>(
       *this, [this, hosts = std::move(hosts)](const Pinned& pinned) {
-        std::vector<std::string> out;
-        out.reserve(hosts.size());
-        for (const std::string& host : hosts) {
-          out.emplace_back(pinned.matcher.match_view(host).registrable_domain);
-        }
+        std::vector<std::string_view> views(hosts.begin(), hosts.end());
+        std::vector<std::string_view> domains(hosts.size());
+        pinned.registrable_domains(views, domains);  // cached fast path
+        std::vector<std::string> out(domains.begin(), domains.end());
         count_queries(hosts.size());
         return out;
       });
@@ -142,7 +275,7 @@ util::Result<std::future<std::vector<std::uint8_t>>> Engine::submit_same_site(
         std::vector<std::uint8_t> out;
         out.reserve(pairs.size());
         for (const auto& [a, b] : pairs) {
-          out.push_back(psl::same_site(pinned.matcher, a, b) ? 1 : 0);
+          out.push_back(pinned.same_site(a, b) ? 1 : 0);
         }
         count_queries(pairs.size());
         return out;
@@ -153,11 +286,12 @@ util::Result<std::future<std::vector<Match>>> Engine::submit_match(
     std::vector<std::string> hosts) {
   return submit_typed<std::vector<Match>>(
       *this, [this, hosts = std::move(hosts)](const Pinned& pinned) {
+        std::vector<std::string_view> views(hosts.begin(), hosts.end());
+        std::vector<MatchView> matches(hosts.size());
+        pinned.match_batch(views, matches);  // interleaved + prefetched walk
         std::vector<Match> out;
         out.reserve(hosts.size());
-        for (const std::string& host : hosts) {
-          out.push_back(pinned.matcher.match(host));
-        }
+        for (const MatchView& m : matches) out.push_back(m.to_match());
         count_queries(hosts.size());
         return out;
       });
@@ -168,8 +302,16 @@ util::Result<std::future<std::vector<Match>>> Engine::submit_match(
 std::uint64_t Engine::install(snapshot::Snapshot next) {
   std::lock_guard<std::mutex> lock(reload_mutex_);
   const std::uint64_t generation = ++next_generation_;
-  auto state = std::make_shared<const State>(
-      State{std::move(next.matcher), next.meta, generation});
+  auto fresh = std::make_shared<State>(State{std::move(next.matcher), next.meta, generation, {}});
+  // Cold caches, one per worker. Built before publication (the state_mutex_
+  // handoff below is the happens-before edge workers read through), sized
+  // here so even the constructor's initial install — which runs before the
+  // worker threads exist — gets the full set.
+  fresh->caches.reserve(configured_workers_);
+  for (std::size_t i = 0; i < configured_workers_; ++i) {
+    fresh->caches.emplace_back(cache_slots_);
+  }
+  std::shared_ptr<const State> state = std::move(fresh);
   {
     std::lock_guard<std::mutex> state_lock(state_mutex_);
     state_.swap(state);

@@ -1,15 +1,19 @@
-// Differential suite over all three matcher implementations: the
-// reversed-label trie (List::match), the per-depth hash-probing baseline
-// (FlatMatcher), and the arena-compiled matcher (CompiledMatcher). All
-// three implement the publicsuffix.org algorithm and must agree *exactly*
-// — public suffix, registrable domain, explicitness, section, rule-label
-// count, and the canonical prevailing-rule text — on every input:
-// generated hosts, checkPublicSuffix-style fixture cases, and hostile
-// degenerate strings.
+// Differential suite over all four matcher paths: the reversed-label trie
+// (List::match), the per-depth hash-probing baseline (FlatMatcher), the
+// arena-compiled matcher (CompiledMatcher::match_view), and the batched
+// interleaved walk (CompiledMatcher::match_batch). All implement the
+// publicsuffix.org algorithm and must agree *exactly* — public suffix,
+// registrable domain, explicitness, section, rule-label count, and the
+// canonical prevailing-rule text — on every input: generated hosts,
+// checkPublicSuffix-style fixture cases, and hostile degenerate strings.
+// The batched walk shares MatchWalkState with the single walk, so these
+// checks guard the driver (interleaving, prefetch, chunking), not a second
+// algorithm.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "psl/psl/compiled_matcher.hpp"
@@ -54,6 +58,19 @@ void expect_all_agree(const List& list, const FlatMatcher& flat, const CompiledM
   ASSERT_EQ(v.public_suffix, a.public_suffix) << host;
   ASSERT_EQ(v.registrable_domain, a.registrable_domain) << host;
   ASSERT_EQ(v.prevailing_rule(), a.prevailing_rule) << host;
+
+  // Fourth way: the batched driver, fed this one host, must reproduce the
+  // single walk's view bit for bit (a full-width batch is exercised by
+  // BatchedMatchAgreesOnWholeCorpus).
+  const std::string_view host_view = host;
+  MatchView batched;
+  ASSERT_EQ(compiled.match_batch({&host_view, 1}, {&batched, 1}), 1u);
+  ASSERT_EQ(batched.public_suffix, v.public_suffix) << host;
+  ASSERT_EQ(batched.registrable_domain, v.registrable_domain) << host;
+  ASSERT_EQ(batched.matched_explicit_rule, v.matched_explicit_rule) << host;
+  ASSERT_EQ(batched.section, v.section) << host;
+  ASSERT_EQ(batched.rule_labels, v.rule_labels) << host;
+  ASSERT_EQ(batched.prevailing_rule(), v.prevailing_rule()) << host;
 }
 
 /// Random rule set drawn from a small shared label pool (mirrors
@@ -220,6 +237,50 @@ TEST(MatcherEquivalenceTest, AgreeOnHostileAndDegenerateHosts) {
     const std::size_t len = rng.below(24);
     for (std::size_t c = 0; c < len; ++c) host += alphabet[rng.below(alphabet.size())];
     expect_all_agree(list, flat, compiled, host);
+  }
+}
+
+TEST(MatcherEquivalenceTest, BatchedMatchAgreesOnWholeCorpus) {
+  // One match_batch call over hundreds of hosts — many interleave chunks,
+  // with degenerate hosts salted throughout so every chunk mixes live walks
+  // with immediately-finished ones. Each out[i] must equal the sequential
+  // walk's view, and reg_domain_batch's packed keys must re-attach to the
+  // query strings exactly.
+  const List list = random_list(9001, 140);
+  const CompiledMatcher compiled(list);
+  const auto pool = shared_pool(9001);
+
+  std::vector<std::string> storage = {"", "a..", ".", "10.0.0.1", "a.b.c.d.e.f.g.h."};
+  util::Rng rng(9001);
+  for (int i = 0; i < 300; ++i) {
+    std::string host;
+    const std::size_t labels = 1 + rng.below(5);
+    for (std::size_t l = 0; l < labels; ++l) {
+      if (!host.empty()) host.push_back('.');
+      host += pool[rng.below(pool.size())];
+    }
+    storage.push_back(std::move(host));
+    if (i % 17 == 0) storage.push_back("..");       // degenerate mid-batch
+    if (i % 23 == 0) storage.push_back("b..tail");  // empty rightmost-adjacent label
+  }
+
+  std::vector<std::string_view> hosts(storage.begin(), storage.end());
+  std::vector<MatchView> batched(hosts.size());
+  ASSERT_EQ(compiled.match_batch(hosts, batched), hosts.size());
+
+  std::vector<RegDomainKey> keys(hosts.size());
+  ASSERT_EQ(compiled.reg_domain_batch(hosts, keys), hosts.size());
+
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const MatchView single = compiled.match_view(hosts[i]);
+    ASSERT_EQ(batched[i].public_suffix, single.public_suffix) << hosts[i];
+    ASSERT_EQ(batched[i].registrable_domain, single.registrable_domain) << hosts[i];
+    ASSERT_EQ(batched[i].matched_explicit_rule, single.matched_explicit_rule) << hosts[i];
+    ASSERT_EQ(batched[i].section, single.section) << hosts[i];
+    ASSERT_EQ(batched[i].rule_labels, single.rule_labels) << hosts[i];
+    ASSERT_EQ(batched[i].prevailing_rule(), single.prevailing_rule()) << hosts[i];
+    ASSERT_EQ(keys[i].in(hosts[i]), single.registrable_domain) << hosts[i];
+    ASSERT_EQ(keys[i].has_domain(), !single.registrable_domain.empty()) << hosts[i];
   }
 }
 
