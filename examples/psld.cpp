@@ -3,14 +3,19 @@
 //
 // Serve (the daemon proper):
 //
-//   $ psld --listen 127.0.0.1:7878 --snapshot list.psnap
+//   $ psld --listen 127.0.0.1:7878 (--snapshot list.psnap | --store hist.pstore)
 //          [--threads N] [--max-conns N] [--queue-depth N]
 //          [--max-frame BYTES] [--force-poll]
 //
-//   Boots a serve::Engine from the validated snapshot file and serves the
-//   PSLN wire protocol on the listen address. Signals:
-//     SIGHUP   re-read --snapshot and hot-swap it (keep-last-good: a corrupt
-//              file is rejected and the previous list keeps serving);
+//   Boots a serve::Engine from the validated snapshot file — or, with
+//   --store, from the newest version of a multi-version psl::store file,
+//   which additionally enables the match_at / divergence time-travel frames.
+//   Signal handlers are installed BEFORE the listener goes live (and before
+//   the snapshot load), so a supervisor that signals the moment the process
+//   exists still gets the contract below instead of the default disposition:
+//     SIGHUP   re-read --snapshot / --store and hot-swap it (keep-last-good:
+//              a corrupt file is rejected and the previous list keeps
+//              serving);
 //     SIGTERM/SIGINT  graceful drain (in-flight batches finish, responses
 //              flush), metrics to stderr, exit 0.
 //
@@ -18,20 +23,25 @@
 //
 //   $ psld compile <list.txt> <out.psnap>     # PSL text -> snapshot file
 //   $ psld query  <addr:port> <host>...       # print eTLD+1 per host
+//   $ psld match-at <addr:port> <YYYY-MM-DD> <host>...  # time-travel eTLD+1
+//   $ psld divergence <addr:port> <host>      # eTLD+1 history ranges
 //   $ psld ping   <addr:port>                 # liveness probe, exit 0/1
 //   $ psld stats  <addr:port>                 # generation / rules / conns
 //   $ psld reload <addr:port> <snap.psnap>    # push a snapshot over the wire
 //
 // Wire payloads (notably reload snapshots) are bounded by the frame cap;
 // --max-frame raises it on both the server and the client subcommands.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -44,6 +54,8 @@
 #include "psl/psl/list.hpp"
 #include "psl/serve/engine.hpp"
 #include "psl/serve/snapshot.hpp"
+#include "psl/store/store.hpp"
+#include "psl/util/date.hpp"
 
 namespace {
 
@@ -59,10 +71,12 @@ extern "C" void on_signal(int sig) {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  psld --listen ADDR:PORT --snapshot FILE [--threads N] [--max-conns N]\n"
-               "       [--queue-depth N] [--max-frame BYTES] [--force-poll]\n"
+               "  psld --listen ADDR:PORT (--snapshot FILE | --store FILE) [--threads N]\n"
+               "       [--max-conns N] [--queue-depth N] [--max-frame BYTES] [--force-poll]\n"
                "  psld compile LIST_FILE OUT_SNAPSHOT\n"
                "  psld query  ADDR:PORT HOST...\n"
+               "  psld match-at ADDR:PORT YYYY-MM-DD HOST...\n"
+               "  psld divergence ADDR:PORT HOST\n"
                "  psld ping   ADDR:PORT\n"
                "  psld stats  ADDR:PORT\n"
                "  psld reload ADDR:PORT SNAPSHOT_FILE\n"
@@ -142,6 +156,63 @@ int cmd_query(std::string_view endpoint, std::vector<std::string> hosts,
   return 0;
 }
 
+int cmd_match_at(std::string_view endpoint, const std::string& date_text,
+                 std::vector<std::string> hosts, std::size_t max_frame) {
+  const auto date = psl::util::Date::parse(date_text);
+  if (!date) {
+    std::fprintf(stderr, "psld: bad date %s (want YYYY-MM-DD)\n", date_text.c_str());
+    return 1;
+  }
+  auto client = connect_to(endpoint, max_frame);
+  if (!client.ok()) {
+    std::fprintf(stderr, "psld: %s\n", client.error().message.c_str());
+    return 1;
+  }
+  auto answer = client->match_at(*date, hosts);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "psld: %s (%s)\n", answer.error().message.c_str(),
+                 answer.error().code.c_str());
+    return 1;
+  }
+  std::printf("version %s (%llu rules)\n",
+              psl::util::Date{static_cast<std::int32_t>(answer->version_date_days)}
+                  .to_string()
+                  .c_str(),
+              static_cast<unsigned long long>(answer->rule_count));
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const auto& m = answer->matches[i];
+    std::printf("%s %s\n", hosts[i].c_str(),
+                m.registrable_domain.empty() ? "-" : m.registrable_domain.c_str());
+  }
+  return 0;
+}
+
+int cmd_divergence(std::string_view endpoint, const std::string& host,
+                   std::size_t max_frame) {
+  auto client = connect_to(endpoint, max_frame);
+  if (!client.ok()) {
+    std::fprintf(stderr, "psld: %s\n", client.error().message.c_str());
+    return 1;
+  }
+  auto ranges = client->divergence(host);
+  if (!ranges.ok()) {
+    std::fprintf(stderr, "psld: %s (%s)\n", ranges.error().message.c_str(),
+                 ranges.error().code.c_str());
+    return 1;
+  }
+  for (const auto& r : *ranges) {
+    std::printf("%s..%s %s\n",
+                psl::util::Date{static_cast<std::int32_t>(r.first_date_days)}
+                    .to_string()
+                    .c_str(),
+                psl::util::Date{static_cast<std::int32_t>(r.last_date_days)}
+                    .to_string()
+                    .c_str(),
+                r.registrable_domain.empty() ? "-" : r.registrable_domain.c_str());
+  }
+  return 0;
+}
+
 int cmd_ping(std::string_view endpoint, std::size_t max_frame) {
   auto client = connect_to(endpoint, max_frame);
   if (!client.ok() || !client->ping().ok()) return 1;
@@ -195,8 +266,9 @@ int cmd_reload(std::string_view endpoint, const std::string& snapshot_path,
 }
 
 int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
-              std::size_t threads, std::size_t max_conns, std::size_t queue_depth,
-              std::size_t max_frame, bool force_poll) {
+              const std::string& store_path, std::size_t threads,
+              std::size_t max_conns, std::size_t queue_depth, std::size_t max_frame,
+              bool force_poll) {
   std::string address;
   std::uint16_t port = 0;
   if (!parse_endpoint(endpoint, address, port)) {
@@ -205,32 +277,11 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
     return 2;
   }
 
-  auto snapshot = psl::snapshot::load_file(snapshot_path);
-  if (!snapshot.ok()) {
-    std::fprintf(stderr, "psld: snapshot load failed: %s (%s)\n",
-                 snapshot.error().message.c_str(), snapshot.error().code.c_str());
-    return 1;
-  }
-
-  psl::obs::MetricsRegistry metrics;
-  psl::serve::Engine engine(
-      *std::move(snapshot),
-      {.threads = threads, .max_queue_depth = queue_depth, .metrics = &metrics});
-
-  psl::net::ServerOptions options;
-  options.bind_address = address;
-  options.port = port;
-  options.max_connections = max_conns;
-  options.max_frame_bytes = max_frame;
-  options.force_poll = force_poll;
-  options.metrics = &metrics;
-  psl::net::Server server(engine, options);
-  auto started = server.start();
-  if (!started.ok()) {
-    std::fprintf(stderr, "psld: %s\n", started.error().message.c_str());
-    return 1;
-  }
-
+  // Signal plumbing comes FIRST — before the (possibly slow) snapshot/store
+  // load and before the listener goes live. A supervisor that sends SIGTERM
+  // as soon as fork() returns must hit our graceful-drain handler, not the
+  // default disposition; with the old post-start() ordering that race killed
+  // the process with in-flight connections unflushed.
   if (::pipe(g_signal_pipe) != 0) {
     std::fprintf(stderr, "psld: pipe: %s\n", std::strerror(errno));
     return 1;
@@ -243,10 +294,65 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
   ::sigaction(SIGINT, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
-  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu workers\n",
-              static_cast<unsigned long long>(engine.generation()),
-              static_cast<unsigned long long>(engine.metadata().rule_count), address.c_str(),
-              *started, engine.worker_count());
+  // Test hook: lets the smoke script widen the handler-installed-but-not-yet-
+  // serving window to provoke the old race deterministically.
+  if (const char* delay = std::getenv("PSLD_STARTUP_DELAY_MS")) {
+    const long ms = std::atol(delay);
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+
+  psl::obs::MetricsRegistry metrics;
+  std::unique_ptr<psl::serve::Engine> engine;
+  if (!store_path.empty()) {
+    auto view = psl::store::StoreView::open(store_path);
+    if (!view.ok()) {
+      std::fprintf(stderr, "psld: store open failed: %s (%s)\n",
+                   view.error().message.c_str(), view.error().code.c_str());
+      return 1;
+    }
+    auto newest = (*view)->open_version((*view)->version_count() - 1);
+    if (!newest.ok()) {
+      std::fprintf(stderr, "psld: store materialize failed: %s (%s)\n",
+                   newest.error().message.c_str(), newest.error().code.c_str());
+      return 1;
+    }
+    engine = std::make_unique<psl::serve::Engine>(
+        *std::move(newest),
+        psl::serve::EngineOptions{
+            .threads = threads, .max_queue_depth = queue_depth, .metrics = &metrics});
+    (void)!engine->adopt_store(*std::move(view));
+  } else {
+    auto snapshot = psl::snapshot::load_file(snapshot_path);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "psld: snapshot load failed: %s (%s)\n",
+                   snapshot.error().message.c_str(), snapshot.error().code.c_str());
+      return 1;
+    }
+    engine = std::make_unique<psl::serve::Engine>(
+        *std::move(snapshot),
+        psl::serve::EngineOptions{
+            .threads = threads, .max_queue_depth = queue_depth, .metrics = &metrics});
+  }
+
+  psl::net::ServerOptions options;
+  options.bind_address = address;
+  options.port = port;
+  options.max_connections = max_conns;
+  options.max_frame_bytes = max_frame;
+  options.force_poll = force_poll;
+  options.metrics = &metrics;
+  psl::net::Server server(*engine, options);
+  auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "psld: %s\n", started.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu workers%s\n",
+              static_cast<unsigned long long>(engine->generation()),
+              static_cast<unsigned long long>(engine->metadata().rule_count),
+              address.c_str(), *started, engine->worker_count(),
+              store_path.empty() ? "" : " [store]");
   std::fflush(stdout);
 
   for (;;) {
@@ -255,14 +361,16 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     if (byte == 'H') {
-      auto swapped = engine.reload_file(snapshot_path);
+      const std::string& reload_path = store_path.empty() ? snapshot_path : store_path;
+      auto swapped = store_path.empty() ? engine->reload_file(snapshot_path)
+                                        : engine->open_store(store_path);
       if (swapped.ok()) {
-        std::printf("psld: reloaded %s -> generation %llu\n", snapshot_path.c_str(),
+        std::printf("psld: reloaded %s -> generation %llu\n", reload_path.c_str(),
                     static_cast<unsigned long long>(*swapped));
       } else {
         std::printf("psld: reload rejected (%s), still serving generation %llu\n",
                     swapped.error().code.c_str(),
-                    static_cast<unsigned long long>(engine.generation()));
+                    static_cast<unsigned long long>(engine->generation()));
       }
       std::fflush(stdout);
       continue;
@@ -314,6 +422,14 @@ int main(int argc, char** argv) {
                ? cmd_query(args[1], {args.begin() + 2, args.end()}, max_frame)
                : usage();
   }
+  if (args[0] == "match-at") {
+    return args.size() >= 4
+               ? cmd_match_at(args[1], args[2], {args.begin() + 3, args.end()}, max_frame)
+               : usage();
+  }
+  if (args[0] == "divergence") {
+    return args.size() == 3 ? cmd_divergence(args[1], args[2], max_frame) : usage();
+  }
   if (args[0] == "ping") {
     return args.size() == 2 ? cmd_ping(args[1], max_frame) : usage();
   }
@@ -324,7 +440,7 @@ int main(int argc, char** argv) {
     return args.size() == 3 ? cmd_reload(args[1], args[2], max_frame) : usage();
   }
 
-  std::string listen, snapshot_path;
+  std::string listen, snapshot_path, store_path;
   std::size_t threads = 2, max_conns = 256, queue_depth = 64;
   bool force_poll = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -343,6 +459,10 @@ int main(int argc, char** argv) {
       const std::string* v = value("--snapshot");
       if (!v) return 2;
       snapshot_path = *v;
+    } else if (args[i] == "--store") {
+      const std::string* v = value("--store");
+      if (!v) return 2;
+      store_path = *v;
     } else if (args[i] == "--threads") {
       const std::string* v = value("--threads");
       if (!v) return 2;
@@ -362,7 +482,7 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (listen.empty() || snapshot_path.empty()) return usage();
-  return cmd_serve(listen, snapshot_path, threads, max_conns, queue_depth, max_frame,
-                   force_poll);
+  if (listen.empty() || (snapshot_path.empty() == store_path.empty())) return usage();
+  return cmd_serve(listen, snapshot_path, store_path, threads, max_conns, queue_depth,
+                   max_frame, force_poll);
 }

@@ -6,21 +6,35 @@
 //   psltool diff <old-list-file> <new-list-file>
 //   psltool scan <directory>                 audit embedded PSL copies
 //   psltool gen-list [YYYY-MM-DD]            emit a synthetic snapshot
+//   psltool store build <out.pstore> [--tiny] [--max-versions N]
+//                       [--list YYYY-MM-DD:FILE ...]
+//                                            build a multi-version store file
+//   psltool store stat <file.pstore>         store layout + dedup report
 //
 // Without a list-file argument, commands run against the newest synthetic
-// list (the full 9,368-rule 2022-10-20 snapshot).
+// list (the full 9,368-rule 2022-10-20 snapshot). `store build` with no
+// --list entries packs the synthetic history itself (every version, or the
+// 96-version tiny timeline with --tiny); with --list entries it packs those
+// dated PSL text files instead, oldest date first.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "psl/history/timeline.hpp"
+#include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/lint.hpp"
 #include "psl/repos/scanner.hpp"
+#include "psl/serve/snapshot.hpp"
+#include "psl/store/store.hpp"
 #include "psl/tls/wildcard.hpp"
 #include "psl/url/url.hpp"
+#include "psl/util/date.hpp"
 #include "psl/util/strings.hpp"
 #include "psl/web/cookie_jar.hpp"
 
@@ -36,7 +50,10 @@ int usage() {
                "  lint <list-file>\n"
                "  scan <directory>\n"
                "  advise <directory>\n"
-               "  gen-list [YYYY-MM-DD]\n");
+               "  gen-list [YYYY-MM-DD]\n"
+               "  store build <out.pstore> [--tiny] [--max-versions N]\n"
+               "              [--list YYYY-MM-DD:FILE ...]\n"
+               "  store stat <file.pstore>\n");
   return 2;
 }
 
@@ -233,6 +250,132 @@ int cmd_gen_list(int argc, char** argv) {
   return 0;
 }
 
+int cmd_store_build(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string out_path = argv[3];
+  bool tiny = false;
+  std::size_t max_versions = 0;  // 0 = unlimited
+  struct DatedList {
+    psl::util::Date date{0};
+    std::string path;
+  };
+  std::vector<DatedList> lists;
+  for (int i = 4; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tiny") {
+      tiny = true;
+    } else if (arg == "--max-versions") {
+      if (i + 1 >= argc) return usage();
+      max_versions = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--list") {
+      if (i + 1 >= argc) return usage();
+      const std::string_view spec = argv[++i];
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string_view::npos) {
+        std::fprintf(stderr, "psltool: bad --list spec %s (want YYYY-MM-DD:FILE)\n",
+                     std::string(spec).c_str());
+        return 1;
+      }
+      const auto date = psl::util::Date::parse(std::string(spec.substr(0, colon)));
+      if (!date) {
+        std::fprintf(stderr, "psltool: bad date in --list spec %s\n",
+                     std::string(spec).c_str());
+        return 1;
+      }
+      lists.push_back({*date, std::string(spec.substr(colon + 1))});
+    } else {
+      std::fprintf(stderr, "psltool: unknown store build argument %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  psl::store::Builder builder;
+  const auto add = [&](const psl::List& list, psl::util::Date date) -> bool {
+    psl::snapshot::Metadata meta;
+    meta.source_date = date;
+    meta.rule_count = list.rule_count();
+    const auto added = builder.add(psl::CompiledMatcher(list), meta);
+    if (!added) {
+      std::fprintf(stderr, "psltool: store add (%s) failed: %s (%s)\n",
+                   date.to_string().c_str(), added.error().message.c_str(),
+                   added.error().code.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  if (!lists.empty()) {
+    // Builder requires strictly increasing dates; accept specs in any order.
+    std::sort(lists.begin(), lists.end(),
+              [](const DatedList& a, const DatedList& b) { return a.date < b.date; });
+    for (const auto& entry : lists) {
+      const auto list = load_list(entry.path.c_str());
+      if (!list) return 1;
+      if (!add(*list, entry.date)) return 1;
+      if (max_versions != 0 && builder.version_count() >= max_versions) break;
+    }
+  } else {
+    psl::history::TimelineSpec spec;
+    if (tiny) spec = psl::history::TimelineSpec::tiny();
+    const auto h = psl::history::generate_history(spec);
+    std::size_t count = h.version_count();
+    if (max_versions != 0 && max_versions < count) count = max_versions;
+    for (std::size_t v = 0; v < count; ++v) {
+      if (!add(h.snapshot(v), h.version_date(v))) return 1;
+    }
+  }
+
+  const auto written = builder.write_file(out_path);
+  if (!written) {
+    std::fprintf(stderr, "psltool: store write failed: %s (%s)\n",
+                 written.error().message.c_str(), written.error().code.c_str());
+    return 1;
+  }
+  const auto s = builder.stats();
+  std::printf("wrote %s: %llu versions, %llu bytes (%.1f%% of %llu standalone bytes)\n",
+              out_path.c_str(), static_cast<unsigned long long>(s.version_count),
+              static_cast<unsigned long long>(*written), 100.0 * s.dedup_ratio(),
+              static_cast<unsigned long long>(s.standalone_bytes));
+  return 0;
+}
+
+int cmd_store_stat(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto view = psl::store::StoreView::open(argv[3]);
+  if (!view) {
+    std::fprintf(stderr, "psltool: %s: %s (%s)\n", argv[3],
+                 view.error().message.c_str(), view.error().code.c_str());
+    return 1;
+  }
+  const psl::store::Stats s = (*view)->stats();
+  std::printf("%s\n", argv[3]);
+  std::printf("  versions:  %llu (%s .. %s)\n",
+              static_cast<unsigned long long>(s.version_count),
+              (*view)->version_date(0).to_string().c_str(),
+              (*view)->version_date((*view)->version_count() - 1).to_string().c_str());
+  std::printf("  file:      %llu bytes (%.1f%% of %llu standalone bytes)\n",
+              static_cast<unsigned long long>(s.file_bytes), 100.0 * s.dedup_ratio(),
+              static_cast<unsigned long long>(s.standalone_bytes));
+  std::printf("  segments:  %llu (%llu raw / %llu bytes, %llu delta / %llu bytes)\n",
+              static_cast<unsigned long long>(s.segment_count),
+              static_cast<unsigned long long>(s.raw_segments),
+              static_cast<unsigned long long>(s.raw_bytes),
+              static_cast<unsigned long long>(s.delta_segments),
+              static_cast<unsigned long long>(s.delta_bytes));
+  std::printf("  newest:    %llu rules\n",
+              static_cast<unsigned long long>(
+                  (*view)->rule_count((*view)->version_count() - 1)));
+  return 0;
+}
+
+int cmd_store(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string_view sub = argv[2];
+  if (sub == "build") return cmd_store_build(argc, argv);
+  if (sub == "stat") return cmd_store_stat(argc, argv);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,5 +389,6 @@ int main(int argc, char** argv) {
   if (command == "scan") return cmd_scan(argc, argv);
   if (command == "advise") return cmd_advise(argc, argv);
   if (command == "gen-list") return cmd_gen_list(argc, argv);
+  if (command == "store") return cmd_store(argc, argv);
   return usage();
 }

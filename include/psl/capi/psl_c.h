@@ -169,6 +169,30 @@ int pslh_client_reload_snapshot(pslh_client_t* client, const unsigned char* byte
 /* Serving generation reported by the daemon, or 0 on failure. */
 unsigned long long pslh_client_generation(pslh_client_t* client);
 
+/* Time-travel batched eTLD+1 (requires psld --store): answers come from the
+ * stored list version in effect at date_days (days since 1970-01-01; the
+ * newest version dated <= date_days). out[i] receives a fresh caller-owned
+ * string (free with pslh_string_free), or NULL when hosts[i] had no
+ * registrable domain under that version. version_date_days_out (optional,
+ * may be NULL) receives the resolved version's date. Returns 1 on success,
+ * -1 on backpressure, 0 otherwise — including when the daemon has no store
+ * or date_days precedes its first version; on 0/-1 out is all-NULL. */
+int pslh_client_match_at(pslh_client_t* client, long long date_days,
+                         const char* const* hosts, size_t count, const char** out,
+                         long long* version_date_days_out);
+
+/* Registrable-domain history of one host across every version in the
+ * daemon's store (requires psld --store): consecutive equal-answer runs,
+ * oldest first, covering the whole stored span. Fills up to max_ranges
+ * entries of first_days/last_days/domains (parallel arrays; domains[i] is a
+ * fresh caller-owned string, or NULL for "no registrable domain during that
+ * range") and returns the TOTAL range count — call with max_ranges 0 (array
+ * pointers may then be NULL) to size buffers first. Returns 0 on failure,
+ * -1 on backpressure; entries past the total are zeroed/NULL. */
+long long pslh_client_divergence(pslh_client_t* client, const char* host,
+                                 long long* first_days, long long* last_days,
+                                 const char** domains, size_t max_ranges);
+
 #ifdef __cplusplus
 }
 #endif

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "psl/net/frame.hpp"
+#include "psl/util/date.hpp"
 #include "psl/util/result.hpp"
 
 namespace psl::net {
@@ -71,6 +72,16 @@ class Client {
   /// is itself a public suffix).
   util::Result<std::vector<std::string>> registrable_domains(
       const std::vector<std::string>& hosts);
+
+  /// Time-travel match: answers from the stored list version in effect at
+  /// `date` (psld --store). net.unsupported when the server has no store
+  /// ("store.none"); net.malformed when `date` precedes the first stored
+  /// version ("store.no-version").
+  util::Result<WireMatchAt> match_at(util::Date date, const std::vector<std::string>& hosts);
+
+  /// `host`'s registrable-domain history across every stored list version:
+  /// consecutive equal-domain runs, oldest first, covering the whole span.
+  util::Result<std::vector<WireDivergenceRange>> divergence(const std::string& host);
 
   /// Ship serialized psl::snapshot bytes; returns the server's new
   /// generation. Keep-last-good on the server: rejection leaves it serving.

@@ -18,6 +18,12 @@
 //   0x03 match_batch      u32 count, then count x str16 host
 //   0x04 reload           payload = serialized psl::snapshot bytes
 //   0x05 stats            empty payload
+//   0x06 match_at         u64 date (days since 1970-01-01, two's
+//                         complement), u32 count, then count x str16 host —
+//                         time-travel: answers come from the stored list
+//                         version in effect at that date (psl::store)
+//   0x07 divergence       str16 host — the host's registrable-domain
+//                         history across every stored list version
 //
 // (str16 = u16 length + that many bytes, so hostnames cap at 65535 bytes —
 // far above any valid DNS name.) Every response payload begins with one
@@ -32,6 +38,19 @@
 //   stats      u64 generation, u64 rule_count, u64 source date (days since
 //              1970-01-01, two's complement), u32 open connections,
 //              u32 engine queue depth
+//   match_at   u64 resolved version source date (days, two's complement),
+//              u64 that version's rule_count, u32 count, then count x
+//              (str16 public_suffix, str16 registrable_domain, u8 flags:
+//              bit0 = explicit rule, bit1 = private section)
+//   divergence u32 range_count, then count x (u64 first date, u64 last
+//              date — both days since 1970-01-01, two's complement —
+//              str16 registrable_domain, empty = none); ranges partition
+//              the store's whole version span, oldest first
+//
+// match_at and divergence require the server to carry a psl::store
+// (psld --store): without one they answer kUnsupported with detail
+// "store.none"; a date before the first stored version answers kMalformed
+// with detail "store.no-version".
 //
 // Non-kOk responses carry str16 detail (a stable error code such as
 // "snapshot.checksum" for rejected reloads; may be empty). Status is
@@ -77,6 +96,8 @@ enum class FrameType : std::uint8_t {
   kMatchBatch = 0x03,
   kReload = 0x04,
   kStats = 0x05,
+  kMatchAt = 0x06,
+  kDivergence = 0x07,
 };
 
 /// First byte of every response payload.
@@ -188,6 +209,11 @@ bool parse_same_site_request(std::span<const std::uint8_t> payload,
                              std::vector<std::pair<std::string_view, std::string_view>>& out);
 bool parse_match_request(std::span<const std::uint8_t> payload,
                          std::vector<std::string_view>& out);
+/// match_at: the leading date lands in `date_days`, the hosts in `out`.
+bool parse_match_at_request(std::span<const std::uint8_t> payload, std::int64_t& date_days,
+                            std::vector<std::string_view>& out);
+/// divergence: the single host operand.
+bool parse_divergence_request(std::span<const std::uint8_t> payload, std::string_view& host);
 
 /// One match_batch response entry, owned (the client's return type).
 struct WireMatch {
@@ -195,6 +221,24 @@ struct WireMatch {
   std::string registrable_domain;  ///< empty when the host IS a public suffix
   bool matched_explicit_rule = false;
   bool private_section = false;
+};
+
+/// match_at response body (the client's return type): which stored version
+/// answered, plus one WireMatch per requested host.
+struct WireMatchAt {
+  std::int64_t version_date_days = 0;  ///< resolved version's source date
+  std::uint64_t rule_count = 0;        ///< that version's rule count
+  std::vector<WireMatch> matches;
+};
+
+/// One divergence response range: [first_date, last_date] of consecutive
+/// versions over which the host's registrable domain was constant.
+struct WireDivergenceRange {
+  std::int64_t first_date_days = 0;
+  std::int64_t last_date_days = 0;
+  std::string registrable_domain;  ///< empty when the host had none
+
+  friend bool operator==(const WireDivergenceRange&, const WireDivergenceRange&) = default;
 };
 
 /// stats response body.

@@ -186,6 +186,8 @@ class Server {
   obs::Histogram* latency_match_ = nullptr;
   obs::Histogram* latency_reload_ = nullptr;
   obs::Histogram* latency_stats_ = nullptr;
+  obs::Histogram* latency_match_at_ = nullptr;
+  obs::Histogram* latency_divergence_ = nullptr;
 };
 
 }  // namespace psl::net

@@ -75,6 +75,11 @@
 #include "psl/serve/snapshot.hpp"
 #include "psl/util/result.hpp"
 
+namespace psl::store {
+class StoreView;
+struct DivergenceRange;
+}  // namespace psl::store
+
 namespace psl::serve {
 
 struct EngineOptions {
@@ -174,6 +179,31 @@ class Engine {
   /// load_file() + the same keep-last-good contract.
   util::Result<std::uint64_t> reload_file(const std::string& path);
 
+  // --- multi-version store (time-travel; implemented in src/store so
+  // --- psl_serve does not link psl_store — callers needing these link
+  // --- psl_store, which psl_net and the tools already do) -----------------
+
+  /// Open a psl::store file, adopt it, and serve its NEWEST version (swap;
+  /// returns the new generation). Keep-last-good: on any error the current
+  /// store and serving state are untouched and the error is returned
+  /// (counted in serve.reload.failure). SIGHUP re-open goes through here.
+  util::Result<std::uint64_t> open_store(const std::string& path);
+  /// Adopt an already-open store and swap to its newest version.
+  util::Result<std::uint64_t> adopt_store(std::shared_ptr<const store::StoreView> view);
+  /// The adopted store, or null. Snapshots materialized from it stay valid
+  /// independently of the engine's serving state.
+  std::shared_ptr<const store::StoreView> store_view() const;
+  /// Swap the SERVING state to the stored version in effect at `date`
+  /// ("store.none" without a store, "store.no-version" before the first
+  /// version). Returns the new generation.
+  util::Result<std::uint64_t> pin_version(util::Date date);
+  /// Materialize the version in effect at `date` WITHOUT touching the
+  /// serving state — the match_at request path. Cached in the store view,
+  /// so repeated dates are refcount bumps.
+  util::Result<snapshot::Snapshot> version_at(util::Date date) const;
+  /// Registrable-domain history of `host` across every stored version.
+  util::Result<std::vector<store::DivergenceRange>> divergence(std::string_view host) const;
+
   // --- introspection ------------------------------------------------------
 
   /// Generation of the currently serving state (1 for the initial state,
@@ -208,6 +238,9 @@ class Engine {
 
   mutable std::mutex state_mutex_;  ///< held only to copy/replace state_
   std::shared_ptr<const State> state_;
+
+  mutable std::mutex store_mutex_;  ///< held only to copy/replace store_
+  std::shared_ptr<const store::StoreView> store_;
 
   std::mutex reload_mutex_;  ///< serializes swaps so generations are monotone
   std::uint64_t next_generation_ = 0;

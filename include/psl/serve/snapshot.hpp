@@ -52,9 +52,18 @@
 //     the returned matcher (shared_ptr-retained, so copies stay cheap);
 //   * load_view borrows the caller's buffer zero-copy — the caller must
 //     keep it alive and 8-byte aligned (mmap, static blobs, arenas).
+//
+// A third entry point, load_view_sections, runs the same validation over the
+// four sections as SEPARATE buffers. psl::store keeps one shared copy of an
+// unchanged section across many list versions, so a materialized version's
+// sections are not contiguous in the store file — but each section is still
+// the canonical bytes the header's checksums commit to, which is how the
+// store proves a reassembled version is bit-identical to its standalone
+// snapshot.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -102,6 +111,30 @@ struct Snapshot {
   Metadata meta;
 };
 
+/// The decoded 96-byte header: metadata, per-section byte layout (offsets
+/// are into the full serialized buffer; sizes stand alone), and the five
+/// stored checksums. parse_header() validates every field invariant but
+/// deliberately does NOT verify the checksums — load_view_sections runs
+/// structural checks first and checksums last, the same order load_view
+/// uses, so corruption diagnostics stay comparable across entry points.
+struct HeaderView {
+  Metadata meta;
+  std::uint64_t node_count = 0;
+  std::uint64_t child_count = 0;
+  std::uint64_t nodes_off = 0, nodes_bytes = 0;
+  std::uint64_t hashes_off = 0, hashes_bytes = 0;
+  std::uint64_t children_off = 0, children_bytes = 0;
+  std::uint64_t pool_off = 0, pool_bytes = 0;
+  std::uint64_t total_bytes = 0;  ///< exact size of the full serialized form
+  std::uint64_t nodes_sum = 0, hashes_sum = 0, children_sum = 0, pool_sum = 0;
+  std::uint64_t header_sum = 0;  ///< stored checksum over header bytes [0, 88)
+};
+
+/// Decode and field-validate the first kHeaderBytes of `header` (extra
+/// bytes are ignored, so the full buffer works too). Checksums are recorded,
+/// not verified — see HeaderView.
+util::Result<HeaderView> parse_header(std::span<const std::uint8_t> header);
+
 /// Serialize `matcher`'s arena. Deterministic; the result round-trips
 /// through any loader bit-identically.
 std::string serialize(const CompiledMatcher& matcher, const Metadata& meta);
@@ -116,12 +149,48 @@ util::Result<Snapshot> load_view(std::span<const std::uint8_t> bytes);
 /// lifetime demands on `bytes`.
 util::Result<Snapshot> load_copy(std::span<const std::uint8_t> bytes);
 
-/// Read `path` and load_copy its contents.
+/// The scattered-buffer loader: run the full validation pipeline (structure
+/// first, checksums last — identical to load_view) over a 96-byte header and
+/// the four sections as separate spans. Each span must be exactly the size
+/// the header declares; nodes/hashes/children must be 8-byte aligned (the
+/// pool is raw chars and may sit anywhere). `retain` keeps every buffer
+/// alive for the returned matcher's lifetime. This is how psl::store
+/// materializes a version zero-copy out of shared per-section segments.
+util::Result<Snapshot> load_view_sections(std::span<const std::uint8_t> header,
+                                          std::span<const std::uint8_t> nodes,
+                                          std::span<const std::uint8_t> hashes,
+                                          std::span<const std::uint8_t> children,
+                                          std::span<const std::uint8_t> pool,
+                                          std::shared_ptr<const void> retain);
+
+/// Read `path` and load_copy its contents. A file whose size changes while
+/// being read (a writer not using the durable tmp+rename publish below) is
+/// rejected with snapshot.io rather than silently truncated at the size
+/// observed first.
 util::Result<Snapshot> load_file(const std::string& path);
 
-/// serialize() to `path` (atomic enough for same-process readers: written
-/// to a temp file, then renamed). Returns the byte count written.
+/// serialize() to `path` via write_file_durable below. Returns the byte
+/// count written.
 util::Result<std::uint64_t> write_file(const std::string& path, const CompiledMatcher& matcher,
                                        const Metadata& meta);
+
+/// Crash-durable publish of an arbitrary blob: write `path`.tmp, fsync it,
+/// rename over `path`, fsync the containing directory. A crash at any point
+/// leaves either the old file or the new one at `path` — never a torn
+/// mixture — and a non-ok return ("snapshot.io") means the publish must be
+/// presumed NOT durable (the tmp file is unlinked on the failure paths that
+/// precede the rename). Shared by snapshot::write_file and store::Builder.
+util::Result<std::uint64_t> write_file_durable(const std::string& path,
+                                               std::span<const std::uint8_t> bytes);
+
+/// TESTING ONLY: make the next `count` fsync calls inside write_file_durable
+/// fail with EIO (the injection point for crash-durability regression
+/// tests, mirroring pslh_test_fail_next_allocs in the C API).
+void test_fail_next_fsyncs(int count);
+
+/// TESTING ONLY: hook invoked by load_file after sizing the file and before
+/// reading it — the window where a concurrent writer can grow the file.
+/// Pass nullptr to clear.
+void test_set_load_file_hook(void (*hook)(const char* path));
 
 }  // namespace psl::snapshot

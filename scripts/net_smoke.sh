@@ -2,10 +2,14 @@
 # Loopback end-to-end smoke for psld: compile a snapshot, serve it, query it
 # over the PSLN wire protocol, hot-reload via SIGHUP (answers must flip,
 # keep-last-good must hold for a corrupt file) and via a wire-level
-# `psld reload`, then drain via SIGTERM and require a clean exit 0. CI runs
-# this against the freshly built tree:
+# `psld reload`, then drain via SIGTERM and require a clean exit 0. A second
+# act covers the multi-version store: psltool store build from two dated
+# lists, psld --store, match-at answers flipping across the version
+# boundary, divergence ranges, a corrupted store rejected at boot, and the
+# handlers-before-listener fix (SIGTERM during startup still drains
+# cleanly). CI runs this against the freshly built tree:
 #
-#   scripts/net_smoke.sh build/examples/psld
+#   scripts/net_smoke.sh build/examples/psld [build/examples/psltool]
 set -euo pipefail
 
 PSLD=${1:-build/examples/psld}
@@ -14,14 +18,23 @@ if [[ ! -x "$PSLD" ]]; then
   exit 2
 fi
 PSLD=$(readlink -f "$PSLD")
+PSLTOOL=${2:-$(dirname "$PSLD")/psltool}
+if [[ ! -x "$PSLTOOL" ]]; then
+  echo "net_smoke: psltool binary not found at $PSLTOOL" >&2
+  exit 2
+fi
+PSLTOOL=$(readlink -f "$PSLTOOL")
 
 WORK=$(mktemp -d)
-trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+DAEMON_PID=
+STORE_PID=
+trap 'kill "$DAEMON_PID" "$STORE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 cd "$WORK"
 
 fail() {
   echo "net_smoke: FAIL: $*" >&2
   [[ -f psld.log ]] && sed 's/^/net_smoke: psld| /' psld.log >&2
+  [[ -f psld_store.log ]] && sed 's/^/net_smoke: psld-store| /' psld_store.log >&2
   exit 1
 }
 
@@ -93,4 +106,81 @@ wait "$DAEMON_PID" || STATUS=$?
 grep -q "psld: bye" psld.log || fail "daemon did not drain cleanly"
 grep -q '"net.accepted"' psld.err || fail "metrics dump missing from stderr"
 
-echo "net_smoke: OK (port $PORT)"
+# ==========================================================================
+# Act 2: the multi-version store. Build one store from the two dated list
+# vintages, serve it with --store, and drive the time-travel frames.
+# ==========================================================================
+"$PSLTOOL" store build hist.pstore \
+  --list 2020-01-01:list_a.txt --list 2021-01-01:list_b.txt > store_build.txt \
+  || fail "psltool store build"
+grep -q "2 versions" store_build.txt || fail "store build report: $(cat store_build.txt)"
+"$PSLTOOL" store stat hist.pstore | grep -q "versions:  2" || fail "store stat"
+
+STORE_PORT=$(( PORT + 1 ))
+STORE_ADDR="127.0.0.1:$STORE_PORT"
+"$PSLD" --listen "$STORE_ADDR" --store hist.pstore --threads 2 \
+  > psld_store.log 2> psld_store.err &
+STORE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "serving generation" psld_store.log 2>/dev/null && break
+  kill -0 "$STORE_PID" 2>/dev/null || fail "store daemon died during startup"
+  sleep 0.1
+done
+grep -q "\[store\]" psld_store.log || fail "store daemon did not report store mode"
+
+# match-at answers must flip across the 2021-01-01 version boundary.
+"$PSLD" match-at "$STORE_ADDR" 2020-06-01 shop1.myshopify.com > ma1.txt
+grep -q "version 2020-01-01" ma1.txt || fail "match-at resolved wrong version: $(cat ma1.txt)"
+grep -qx "shop1.myshopify.com myshopify.com" ma1.txt \
+  || fail "match-at under the old vintage: $(cat ma1.txt)"
+"$PSLD" match-at "$STORE_ADDR" 2021-06-01 shop1.myshopify.com > ma2.txt
+grep -q "version 2021-01-01" ma2.txt || fail "match-at resolved wrong version: $(cat ma2.txt)"
+grep -qx "shop1.myshopify.com shop1.myshopify.com" ma2.txt \
+  || fail "match-at did not flip past the boundary: $(cat ma2.txt)"
+# A date before the first stored version is a clean wire-level error.
+"$PSLD" match-at "$STORE_ADDR" 2019-01-01 a.com 2>/dev/null \
+  && fail "match-at before the first version should fail" || true
+
+# divergence: exactly the two ranges, oldest first.
+"$PSLD" divergence "$STORE_ADDR" shop1.myshopify.com > div.txt
+grep -qx "2020-01-01..2020-01-01 myshopify.com" div.txt \
+  || fail "divergence first range: $(cat div.txt)"
+grep -qx "2021-01-01..2021-01-01 shop1.myshopify.com" div.txt \
+  || fail "divergence second range: $(cat div.txt)"
+[[ $(wc -l < div.txt) -eq 2 ]] || fail "divergence range count: $(cat div.txt)"
+
+# The plain current-generation path still serves the newest version.
+"$PSLD" query "$STORE_ADDR" shop1.myshopify.com \
+  | grep -qx "shop1.myshopify.com shop1.myshopify.com" || fail "store daemon query"
+
+kill -TERM "$STORE_PID"
+STATUS=0
+wait "$STORE_PID" || STATUS=$?
+[[ "$STATUS" -eq 0 ]] || fail "store daemon exited $STATUS on SIGTERM"
+grep -q "psld: bye" psld_store.log || fail "store daemon did not drain cleanly"
+STORE_PID=
+
+# A corrupted store (one flipped byte mid-file) must be rejected at boot.
+cp hist.pstore corrupt.pstore
+SIZE=$(stat -c %s corrupt.pstore)
+printf '\xff' | dd of=corrupt.pstore bs=1 seek=$(( SIZE / 2 )) conv=notrunc status=none
+if "$PSLD" --listen "$STORE_ADDR" --store corrupt.pstore > corrupt.log 2>&1; then
+  fail "corrupt store was accepted"
+fi
+grep -q "store" corrupt.log || fail "corrupt store rejection message: $(cat corrupt.log)"
+
+# Handlers-before-listener: SIGTERM inside the widened startup window must
+# still be caught and drain cleanly (the old ordering died with the default
+# disposition here).
+PSLD_STARTUP_DELAY_MS=500 "$PSLD" --listen "$STORE_ADDR" --store hist.pstore \
+  > early.log 2>/dev/null &
+STORE_PID=$!
+sleep 0.1
+kill -TERM "$STORE_PID"
+STATUS=0
+wait "$STORE_PID" || STATUS=$?
+[[ "$STATUS" -eq 0 ]] || fail "early SIGTERM killed the daemon (exit $STATUS)"
+grep -q "psld: bye" early.log || fail "early SIGTERM did not drain cleanly"
+STORE_PID=
+
+echo "net_smoke: OK (ports $PORT/$STORE_PORT)"

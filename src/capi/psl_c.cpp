@@ -1,6 +1,7 @@
 #include "psl/capi/psl_c.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <new>
 #include <string>
@@ -10,6 +11,7 @@
 
 #include "psl/history/timeline.hpp"
 #include "psl/net/client.hpp"
+#include "psl/util/date.hpp"
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
 #include "psl/serve/engine.hpp"
@@ -364,6 +366,99 @@ unsigned long long pslh_client_generation(pslh_client_t* client) {
     auto stats = client->client.stats();
     return stats.ok() ? stats->generation : 0;
   } catch (...) {
+    return 0;
+  }
+}
+
+int pslh_client_match_at(pslh_client_t* client, long long date_days,
+                         const char* const* hosts, size_t count, const char** out,
+                         long long* version_date_days_out) {
+  if (version_date_days_out != nullptr) *version_date_days_out = 0;
+  if (count == 0) return 1;
+  if (out == nullptr) return 0;
+  for (size_t i = 0; i < count; ++i) out[i] = nullptr;
+  if (client == nullptr || hosts == nullptr) return 0;
+  if (date_days < INT32_MIN || date_days > INT32_MAX) return 0;
+  try {
+    std::vector<std::string> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (hosts[i] == nullptr) return 0;
+      batch.emplace_back(hosts[i]);
+    }
+    auto answer =
+        client->client.match_at(psl::util::Date{static_cast<std::int32_t>(date_days)}, batch);
+    if (!answer) return answer.error().code == "net.backpressure" ? -1 : 0;
+    for (size_t i = 0; i < count; ++i) {
+      const auto& rd = answer->matches[i].registrable_domain;
+      if (rd.empty()) continue; /* no eTLD+1 under that version: out[i] stays NULL */
+      out[i] = dup_string(rd);
+      if (out[i] == nullptr) {
+        for (size_t j = 0; j < i; ++j) {
+          pslh_string_free(out[j]);
+          out[j] = nullptr;
+        }
+        return 0;
+      }
+    }
+    if (version_date_days_out != nullptr) {
+      *version_date_days_out = answer->version_date_days;
+    }
+    return 1;
+  } catch (...) {
+    for (size_t i = 0; i < count; ++i) {
+      pslh_string_free(out[i]);
+      out[i] = nullptr;
+    }
+    return 0;
+  }
+}
+
+long long pslh_client_divergence(pslh_client_t* client, const char* host,
+                                 long long* first_days, long long* last_days,
+                                 const char** domains, size_t max_ranges) {
+  for (size_t i = 0; i < max_ranges; ++i) {
+    if (first_days != nullptr) first_days[i] = 0;
+    if (last_days != nullptr) last_days[i] = 0;
+    if (domains != nullptr) domains[i] = nullptr;
+  }
+  if (client == nullptr || host == nullptr) return 0;
+  if (max_ranges > 0 &&
+      (first_days == nullptr || last_days == nullptr || domains == nullptr)) {
+    return 0;
+  }
+  try {
+    auto ranges = client->client.divergence(host);
+    if (!ranges) return ranges.error().code == "net.backpressure" ? -1 : 0;
+    const size_t fill = ranges->size() < max_ranges ? ranges->size() : max_ranges;
+    for (size_t i = 0; i < fill; ++i) {
+      const auto& r = (*ranges)[i];
+      first_days[i] = r.first_date_days;
+      last_days[i] = r.last_date_days;
+      if (r.registrable_domain.empty()) continue; /* NULL = no eTLD+1 in range */
+      domains[i] = dup_string(r.registrable_domain);
+      if (domains[i] == nullptr) {
+        for (size_t j = 0; j < i; ++j) {
+          pslh_string_free(domains[j]);
+          domains[j] = nullptr;
+        }
+        for (size_t j = 0; j <= i && j < max_ranges; ++j) {
+          first_days[j] = 0;
+          last_days[j] = 0;
+        }
+        return 0;
+      }
+    }
+    return static_cast<long long>(ranges->size());
+  } catch (...) {
+    for (size_t i = 0; i < max_ranges; ++i) {
+      if (domains != nullptr) {
+        pslh_string_free(domains[i]);
+        domains[i] = nullptr;
+      }
+      if (first_days != nullptr) first_days[i] = 0;
+      if (last_days != nullptr) last_days[i] = 0;
+    }
     return 0;
   }
 }

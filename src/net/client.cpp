@@ -295,6 +295,89 @@ util::Result<std::vector<WireMatch>> Client::match_batch(const std::vector<std::
   return out;
 }
 
+util::Result<WireMatchAt> Client::match_at(util::Date date,
+                                           const std::vector<std::string>& hosts) {
+  payload_buf_.clear();
+  put_u64(payload_buf_, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(date.days_since_epoch())));
+  put_u32(payload_buf_, static_cast<std::uint32_t>(hosts.size()));
+  for (const std::string& host : hosts) {
+    if (host.size() > 0xFFFF) {
+      return util::make_error("net.oversize", "hostname exceeds the 65535-byte wire bound");
+    }
+    put_str16(payload_buf_, host);
+  }
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kMatchAt, payload_buf_, frame); !ok.ok()) {
+    return ok.error();
+  }
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  std::uint64_t version_date = 0;
+  std::uint32_t count = 0;
+  WireMatchAt out;
+  if (!reader.u8(status) || !reader.u64(version_date) || !reader.u64(out.rule_count) ||
+      !reader.u32(count) || count != hosts.size()) {
+    return util::make_error("net.protocol", "bad match_at response body");
+  }
+  out.version_date_days = static_cast<std::int64_t>(version_date);
+  out.matches.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string_view public_suffix, registrable_domain;
+    std::uint8_t flags = 0;
+    if (!reader.str16(public_suffix) || !reader.str16(registrable_domain) ||
+        !reader.u8(flags)) {
+      return util::make_error("net.protocol", "short match_at response body");
+    }
+    WireMatch m;
+    m.public_suffix = std::string(public_suffix);
+    m.registrable_domain = std::string(registrable_domain);
+    m.matched_explicit_rule = (flags & 1u) != 0;
+    m.private_section = (flags & 2u) != 0;
+    out.matches.push_back(std::move(m));
+  }
+  if (!reader.done()) {
+    return util::make_error("net.protocol", "trailing bytes in match_at response");
+  }
+  return out;
+}
+
+util::Result<std::vector<WireDivergenceRange>> Client::divergence(const std::string& host) {
+  if (host.size() > 0xFFFF) {
+    return util::make_error("net.oversize", "hostname exceeds the 65535-byte wire bound");
+  }
+  payload_buf_.clear();
+  put_str16(payload_buf_, host);
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kDivergence, payload_buf_, frame); !ok.ok()) {
+    return ok.error();
+  }
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  std::uint32_t count = 0;
+  if (!reader.u8(status) || !reader.u32(count)) {
+    return util::make_error("net.protocol", "bad divergence response body");
+  }
+  std::vector<WireDivergenceRange> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t first = 0, last = 0;
+    std::string_view domain;
+    if (!reader.u64(first) || !reader.u64(last) || !reader.str16(domain)) {
+      return util::make_error("net.protocol", "short divergence response body");
+    }
+    WireDivergenceRange r;
+    r.first_date_days = static_cast<std::int64_t>(first);
+    r.last_date_days = static_cast<std::int64_t>(last);
+    r.registrable_domain = std::string(domain);
+    out.push_back(std::move(r));
+  }
+  if (!reader.done()) {
+    return util::make_error("net.protocol", "trailing bytes in divergence response");
+  }
+  return out;
+}
+
 util::Result<std::vector<std::string>> Client::registrable_domains(
     const std::vector<std::string>& hosts) {
   auto matches = match_batch(hosts);

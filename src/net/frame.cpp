@@ -223,6 +223,30 @@ bool parse_match_request(std::span<const std::uint8_t> payload,
   return reader.done();
 }
 
+bool parse_match_at_request(std::span<const std::uint8_t> payload, std::int64_t& date_days,
+                            std::vector<std::string_view>& out) {
+  out.clear();
+  WireReader reader(payload);
+  std::uint64_t raw_date = 0;
+  std::uint32_t count = 0;
+  if (!reader.u64(raw_date) || !reader.u32(count)) return false;
+  if (static_cast<std::uint64_t>(count) * 2 > reader.remaining()) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string_view host;
+    if (!reader.str16(host)) return false;
+    out.push_back(host);
+  }
+  if (!reader.done()) return false;
+  date_days = static_cast<std::int64_t>(raw_date);
+  return true;
+}
+
+bool parse_divergence_request(std::span<const std::uint8_t> payload, std::string_view& host) {
+  WireReader reader(payload);
+  return reader.str16(host) && reader.done();
+}
+
 const char* status_name(Status s) noexcept {
   switch (s) {
     case Status::kOk: return "ok";

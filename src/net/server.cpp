@@ -10,7 +10,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
+
+#include "psl/store/store.hpp"
 
 #if defined(__linux__)
 #include <sys/epoll.h>
@@ -233,6 +236,8 @@ Server::Server(serve::Engine& engine, ServerOptions options)
     latency_match_ = &m.histogram("net.request_ms.match");
     latency_reload_ = &m.histogram("net.request_ms.reload");
     latency_stats_ = &m.histogram("net.request_ms.stats");
+    latency_match_at_ = &m.histogram("net.request_ms.match_at");
+    latency_divergence_ = &m.histogram("net.request_ms.divergence");
   }
 }
 
@@ -655,6 +660,8 @@ void Server::observe_latency(std::uint8_t request_type,
     case FrameType::kMatchBatch: sink = latency_match_; break;
     case FrameType::kReload: sink = latency_reload_; break;
     case FrameType::kStats: sink = latency_stats_; break;
+    case FrameType::kMatchAt: sink = latency_match_at_; break;
+    case FrameType::kDivergence: sink = latency_divergence_; break;
   }
   if (!sink) return;
   const auto elapsed = std::chrono::steady_clock::now() - t0;
@@ -800,6 +807,130 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
             }
             end_frame(buf, frame_begin);
             engine->count_queries(hosts.size());
+            if (frames_out) frames_out->add();
+            release_buffer(std::move(request));
+            complete(Completion{conn_id, std::move(buf), type, t0});
+          });
+      finish_submit(conn, enq, type, id);
+      return;
+    }
+
+    // The time-travel requests (psl::store). Same pooled-buffer shape as the
+    // batches; the difference is that version resolution and materialization
+    // run ON THE WORKER (a cold version may decode delta chains — never on
+    // the loop thread), so store-level errors are encoded inside the job and
+    // travel back through complete() like any other response.
+    case FrameType::kMatchAt: {
+      std::int64_t date_days = 0;
+      if (!parse_match_at_request(frame.payload, date_days, host_scratch_)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_status(conn, type, id, Status::kMalformed, "bad match_at payload");
+        return;
+      }
+      std::vector<std::uint8_t> request = acquire_buffer();
+      request.assign(frame.payload.begin(), frame.payload.end());
+      auto* engine = &engine_;
+      auto* frames_out = frames_out_;
+      const std::uint64_t conn_id = conn.id;
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        ++outstanding_jobs_;
+      }
+      const auto enq = engine_.submit_job(
+          [this, engine, frames_out, conn_id, id, type, t0,
+           request = std::move(request)](const serve::Engine::Pinned&) mutable {
+            thread_local std::vector<std::string_view> hosts;
+            thread_local std::vector<MatchView> views;
+            std::int64_t days = 0;
+            parse_match_at_request(request, days, hosts);  // validated on the loop thread
+            std::vector<std::uint8_t> buf = acquire_buffer();
+            const auto respond_error = [&](Status status, std::string_view detail) {
+              const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+              put_u8(buf, static_cast<std::uint8_t>(status));
+              put_str16(buf, detail.substr(0, 512));
+              end_frame(buf, frame_begin);
+            };
+            if (days < INT32_MIN || days > INT32_MAX) {
+              respond_error(Status::kMalformed, "store.no-version");
+            } else {
+              const auto snap = engine->version_at(util::Date{static_cast<std::int32_t>(days)});
+              if (!snap.ok()) {
+                respond_error(snap.error().code == "store.none" ? Status::kUnsupported
+                                                                : Status::kMalformed,
+                              snap.error().code);
+              } else {
+                views.resize(hosts.size());
+                snap->matcher.match_batch(hosts, views);
+                const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+                put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
+                put_u64(buf, static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                                 snap->meta.source_date.days_since_epoch())));
+                put_u64(buf, snap->meta.rule_count);
+                put_u32(buf, static_cast<std::uint32_t>(hosts.size()));
+                for (const MatchView& view : views) {
+                  put_str16(buf, view.public_suffix);
+                  put_str16(buf, view.registrable_domain);
+                  const std::uint8_t flags =
+                      (view.matched_explicit_rule ? 1u : 0u) |
+                      (view.section == Section::kPrivate ? 2u : 0u);
+                  put_u8(buf, flags);
+                }
+                end_frame(buf, frame_begin);
+                engine->count_queries(hosts.size());
+              }
+            }
+            if (frames_out) frames_out->add();
+            release_buffer(std::move(request));
+            complete(Completion{conn_id, std::move(buf), type, t0});
+          });
+      finish_submit(conn, enq, type, id);
+      return;
+    }
+
+    case FrameType::kDivergence: {
+      std::string_view host;
+      if (!parse_divergence_request(frame.payload, host)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_status(conn, type, id, Status::kMalformed, "bad divergence payload");
+        return;
+      }
+      std::vector<std::uint8_t> request = acquire_buffer();
+      request.assign(frame.payload.begin(), frame.payload.end());
+      auto* engine = &engine_;
+      auto* frames_out = frames_out_;
+      const std::uint64_t conn_id = conn.id;
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        ++outstanding_jobs_;
+      }
+      const auto enq = engine_.submit_job(
+          [this, engine, frames_out, conn_id, id, type, t0,
+           request = std::move(request)](const serve::Engine::Pinned&) mutable {
+            std::string_view h;
+            parse_divergence_request(request, h);  // validated on the loop thread
+            std::vector<std::uint8_t> buf = acquire_buffer();
+            const auto ranges = engine->divergence(h);
+            if (!ranges.ok()) {
+              const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+              put_u8(buf, static_cast<std::uint8_t>(ranges.error().code == "store.none"
+                                                        ? Status::kUnsupported
+                                                        : Status::kMalformed));
+              put_str16(buf, std::string_view(ranges.error().code).substr(0, 512));
+              end_frame(buf, frame_begin);
+            } else {
+              const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+              put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
+              put_u32(buf, static_cast<std::uint32_t>(ranges->size()));
+              for (const store::DivergenceRange& r : *ranges) {
+                put_u64(buf, static_cast<std::uint64_t>(
+                                 static_cast<std::int64_t>(r.first_date.days_since_epoch())));
+                put_u64(buf, static_cast<std::uint64_t>(
+                                 static_cast<std::int64_t>(r.last_date.days_since_epoch())));
+                put_str16(buf, r.registrable_domain);
+              }
+              end_frame(buf, frame_begin);
+              engine->count_queries(1);
+            }
             if (frames_out) frames_out->add();
             release_buffer(std::move(request));
             complete(Completion{conn_id, std::move(buf), type, t0});

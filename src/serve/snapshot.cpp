@@ -1,5 +1,11 @@
 #include "psl/serve/snapshot.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -114,18 +120,15 @@ util::Error err(const char* code, std::string message) {
   return util::make_error(code, std::move(message));
 }
 
-/// The full validation pipeline over an 8-byte-aligned buffer. Checksums
-/// run LAST, deliberately: a fuzzer that only flips payload bytes would
-/// otherwise never get past the checksum gate into the structural checks,
-/// which are the ones the match path's safety actually rests on.
-util::Result<Snapshot> load_validated(std::span<const std::uint8_t> bytes,
-                                      std::shared_ptr<const void> retain) {
-  if (bytes.size() < kHeaderBytes) {
+}  // namespace
+
+util::Result<HeaderView> parse_header(std::span<const std::uint8_t> header) {
+  if (header.size() < kHeaderBytes) {
     return err("snapshot.truncated",
-               "buffer is " + std::to_string(bytes.size()) + " bytes; header needs " +
+               "buffer is " + std::to_string(header.size()) + " bytes; header needs " +
                    std::to_string(kHeaderBytes));
   }
-  const std::uint8_t* const p = bytes.data();
+  const std::uint8_t* const p = header.data();
   if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
     return err("snapshot.bad-magic", "magic bytes are not PSLSNAP1");
   }
@@ -139,62 +142,97 @@ util::Result<Snapshot> load_validated(std::span<const std::uint8_t> bytes,
     return err("snapshot.bad-header", "header size field is not 96");
   }
 
-  const std::uint64_t node_count = get_u64(p + 16);
-  const std::uint64_t child_count = get_u64(p + 24);
+  HeaderView h;
+  h.node_count = get_u64(p + 16);
+  h.child_count = get_u64(p + 24);
   const std::uint64_t pool_bytes = get_u64(p + 32);
 
-  Metadata meta;
-  meta.rule_count = get_u64(p + 40);
+  h.meta.rule_count = get_u64(p + 40);
   const auto date_raw = static_cast<std::int64_t>(get_u64(p + 48));
   if (date_raw < std::numeric_limits<std::int32_t>::min() ||
       date_raw > std::numeric_limits<std::int32_t>::max()) {
     return err("snapshot.bad-header", "source date out of range");
   }
-  meta.source_date = util::Date(static_cast<std::int32_t>(date_raw));
+  h.meta.source_date = util::Date(static_cast<std::int32_t>(date_raw));
 
   constexpr std::uint64_t kMaxIndex = 0xFFFFFFFFull;
-  if (node_count == 0 || node_count > kMaxIndex || child_count > kMaxIndex ||
+  if (h.node_count == 0 || h.node_count > kMaxIndex || h.child_count > kMaxIndex ||
       pool_bytes > kMaxIndex) {
     return err("snapshot.bad-counts", "counts empty or overflow 32-bit arena indices");
   }
 
-  const Layout l = layout_for(node_count, child_count, pool_bytes);
-  if (bytes.size() < l.total) {
-    return err("snapshot.truncated", "buffer is " + std::to_string(bytes.size()) +
-                                         " bytes; header declares " + std::to_string(l.total));
-  }
-  if (bytes.size() > l.total) {
-    return err("snapshot.size-mismatch", std::to_string(bytes.size() - l.total) +
-                                             " trailing bytes past the declared layout");
-  }
+  const Layout l = layout_for(h.node_count, h.child_count, pool_bytes);
+  h.nodes_off = l.nodes_off;
+  h.nodes_bytes = l.nodes_bytes;
+  h.hashes_off = l.hashes_off;
+  h.hashes_bytes = l.hashes_bytes;
+  h.children_off = l.children_off;
+  h.children_bytes = l.children_bytes;
+  h.pool_off = l.pool_off;
+  h.pool_bytes = l.pool_bytes;
+  h.total_bytes = l.total;
+  h.nodes_sum = get_u64(p + 56);
+  h.hashes_sum = get_u64(p + 64);
+  h.children_sum = get_u64(p + 72);
+  h.pool_sum = get_u64(p + 80);
+  h.header_sum = get_u64(p + 88);
+  return h;
+}
 
-  // Inter-section padding must be zero. Together with the checksums this
-  // makes the format canonical: every byte is either validated structure or
-  // checksummed payload, so any single-byte corruption is detectable.
-  const auto padding_zero = [p](std::uint64_t from, std::uint64_t to) {
-    for (std::uint64_t i = from; i < to; ++i) {
-      if (p[i] != 0) return false;
+util::Result<Snapshot> load_view_sections(std::span<const std::uint8_t> header,
+                                          std::span<const std::uint8_t> nodes_bytes,
+                                          std::span<const std::uint8_t> hashes_bytes,
+                                          std::span<const std::uint8_t> children_bytes,
+                                          std::span<const std::uint8_t> pool_bytes,
+                                          std::shared_ptr<const void> retain) {
+  auto parsed = parse_header(header);
+  if (!parsed.ok()) return parsed.error();
+  const HeaderView& h = *parsed;
+
+  const auto check_section = [](std::string_view name, std::span<const std::uint8_t> got,
+                                std::uint64_t want, bool need_alignment)
+      -> util::Result<bool> {
+    if (got.size() < want) {
+      return err("snapshot.truncated", std::string(name) + " section is " +
+                                           std::to_string(got.size()) + " bytes; header declares " +
+                                           std::to_string(want));
+    }
+    if (got.size() > want) {
+      return err("snapshot.size-mismatch", std::string(name) + " section is " +
+                                               std::to_string(got.size()) +
+                                               " bytes; header declares " + std::to_string(want));
+    }
+    if (need_alignment &&
+        reinterpret_cast<std::uintptr_t>(got.data()) % kBufferAlignment != 0) {
+      return err("snapshot.misaligned",
+                 std::string(name) + " section buffer must be 8-byte aligned");
     }
     return true;
   };
-  if (!padding_zero(l.nodes_off + l.nodes_bytes, l.hashes_off) ||
-      !padding_zero(l.hashes_off + l.hashes_bytes, l.children_off) ||
-      !padding_zero(l.children_off + l.children_bytes, l.pool_off)) {
-    return err("snapshot.bad-padding", "nonzero inter-section padding");
+  if (auto ok = check_section("node", nodes_bytes, h.nodes_bytes, true); !ok.ok()) {
+    return ok.error();
+  }
+  if (auto ok = check_section("hash", hashes_bytes, h.hashes_bytes, true); !ok.ok()) {
+    return ok.error();
+  }
+  if (auto ok = check_section("child", children_bytes, h.children_bytes, true); !ok.ok()) {
+    return ok.error();
+  }
+  if (auto ok = check_section("pool", pool_bytes, h.pool_bytes, false); !ok.ok()) {
+    return ok.error();
   }
 
-  // Section offsets are all 8-byte multiples and the buffer itself is
-  // 8-byte aligned (checked or constructed by the callers), so these casts
-  // yield properly aligned arrays of the trivially-copyable arena records.
-  const std::span<const Node> nodes(reinterpret_cast<const Node*>(p + l.nodes_off),
+  const std::uint64_t node_count = h.node_count;
+  const std::uint64_t child_count = h.child_count;
+  const std::span<const Node> nodes(reinterpret_cast<const Node*>(nodes_bytes.data()),
                                     static_cast<std::size_t>(node_count));
   const std::span<const std::uint32_t> hashes(
-      reinterpret_cast<const std::uint32_t*>(p + l.hashes_off),
+      reinterpret_cast<const std::uint32_t*>(hashes_bytes.data()),
       static_cast<std::size_t>(child_count));
-  const std::span<const Child> children(reinterpret_cast<const Child*>(p + l.children_off),
+  const std::span<const Child> children(reinterpret_cast<const Child*>(children_bytes.data()),
                                         static_cast<std::size_t>(child_count));
-  const std::string_view pool(reinterpret_cast<const char*>(p + l.pool_off),
-                              static_cast<std::size_t>(pool_bytes));
+  const std::string_view pool(reinterpret_cast<const char*>(pool_bytes.data()),
+                              static_cast<std::size_t>(h.pool_bytes));
 
   // Nodes: child ranges must partition [0, child_count) in node order (the
   // compiler emits them that way, and it implies every range is in bounds),
@@ -226,8 +264,8 @@ util::Result<Snapshot> load_validated(std::span<const std::uint8_t> bytes,
   // checked here.
   for (std::uint64_t i = 0; i < child_count; ++i) {
     const Child& c = children[i];
-    if (c.label_len == 0 || c.label_offset > pool_bytes ||
-        c.label_len > pool_bytes - c.label_offset) {
+    if (c.label_len == 0 || c.label_offset > h.pool_bytes ||
+        c.label_len > h.pool_bytes - c.label_offset) {
       return err("snapshot.bad-child", "label out of pool bounds at child " + std::to_string(i));
     }
     if (c.node == 0 || c.node >= node_count) {
@@ -260,23 +298,76 @@ util::Result<Snapshot> load_validated(std::span<const std::uint8_t> bytes,
     }
   }
 
-  if (fnv1a64(p, 88) != get_u64(p + 88)) {
+  if (fnv1a64(header.data(), 88) != h.header_sum) {
     return err("snapshot.checksum", "header checksum mismatch");
   }
-  if (fnv1a64(nodes.data(), nodes.size_bytes()) != get_u64(p + 56)) {
+  if (fnv1a64(nodes.data(), nodes.size_bytes()) != h.nodes_sum) {
     return err("snapshot.checksum", "node section checksum mismatch");
   }
-  if (fnv1a64(hashes.data(), hashes.size_bytes()) != get_u64(p + 64)) {
+  if (fnv1a64(hashes.data(), hashes.size_bytes()) != h.hashes_sum) {
     return err("snapshot.checksum", "hash section checksum mismatch");
   }
-  if (fnv1a64(children.data(), children.size_bytes()) != get_u64(p + 72)) {
+  if (fnv1a64(children.data(), children.size_bytes()) != h.children_sum) {
     return err("snapshot.checksum", "child section checksum mismatch");
   }
-  if (fnv1a64(pool.data(), pool.size()) != get_u64(p + 80)) {
+  if (fnv1a64(pool.data(), pool.size()) != h.pool_sum) {
     return err("snapshot.checksum", "label pool checksum mismatch");
   }
 
-  return Snapshot{Access::adopt(nodes, hashes, children, pool, std::move(retain)), meta};
+  return Snapshot{Access::adopt(nodes, hashes, children, pool, std::move(retain)), h.meta};
+}
+
+namespace {
+
+/// The contiguous-buffer pipeline: header + layout/padding checks over one
+/// 8-byte-aligned buffer, then the shared scattered-section validator over
+/// exact subspans. Checksums still run LAST, deliberately: a fuzzer that
+/// only flips payload bytes would otherwise never get past the checksum
+/// gate into the structural checks, which are the ones the match path's
+/// safety actually rests on.
+util::Result<Snapshot> load_validated(std::span<const std::uint8_t> bytes,
+                                      std::shared_ptr<const void> retain) {
+  auto parsed = parse_header(bytes);
+  if (!parsed.ok()) return parsed.error();
+  const HeaderView& h = *parsed;
+
+  if (bytes.size() < h.total_bytes) {
+    return err("snapshot.truncated", "buffer is " + std::to_string(bytes.size()) +
+                                         " bytes; header declares " +
+                                         std::to_string(h.total_bytes));
+  }
+  if (bytes.size() > h.total_bytes) {
+    return err("snapshot.size-mismatch", std::to_string(bytes.size() - h.total_bytes) +
+                                             " trailing bytes past the declared layout");
+  }
+
+  // Inter-section padding must be zero. Together with the checksums this
+  // makes the format canonical: every byte is either validated structure or
+  // checksummed payload, so any single-byte corruption is detectable.
+  const std::uint8_t* const p = bytes.data();
+  const auto padding_zero = [p](std::uint64_t from, std::uint64_t to) {
+    for (std::uint64_t i = from; i < to; ++i) {
+      if (p[i] != 0) return false;
+    }
+    return true;
+  };
+  if (!padding_zero(h.nodes_off + h.nodes_bytes, h.hashes_off) ||
+      !padding_zero(h.hashes_off + h.hashes_bytes, h.children_off) ||
+      !padding_zero(h.children_off + h.children_bytes, h.pool_off)) {
+    return err("snapshot.bad-padding", "nonzero inter-section padding");
+  }
+
+  return load_view_sections(
+      bytes.first(kHeaderBytes),
+      bytes.subspan(static_cast<std::size_t>(h.nodes_off),
+                    static_cast<std::size_t>(h.nodes_bytes)),
+      bytes.subspan(static_cast<std::size_t>(h.hashes_off),
+                    static_cast<std::size_t>(h.hashes_bytes)),
+      bytes.subspan(static_cast<std::size_t>(h.children_off),
+                    static_cast<std::size_t>(h.children_bytes)),
+      bytes.subspan(static_cast<std::size_t>(h.pool_off),
+                    static_cast<std::size_t>(h.pool_bytes)),
+      std::move(retain));
 }
 
 }  // namespace
@@ -332,6 +423,35 @@ util::Result<Snapshot> load_copy(std::span<const std::uint8_t> bytes) {
   return load_validated(aligned, std::move(buffer));
 }
 
+namespace {
+
+// Test injection for the durability paths (see the header). Mirrors the
+// countdown style of pslh_test_fail_next_allocs in the C API.
+std::atomic<int> g_fail_fsyncs{0};
+void (*g_load_file_hook)(const char* path) = nullptr;
+
+/// fsync(fd), honoring the test countdown. Returns false (with errno set)
+/// on failure.
+bool fsync_ok(int fd) {
+  int pending = g_fail_fsyncs.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (g_fail_fsyncs.compare_exchange_weak(pending, pending - 1,
+                                            std::memory_order_relaxed)) {
+      errno = EIO;
+      return false;
+    }
+  }
+  return ::fsync(fd) == 0;
+}
+
+}  // namespace
+
+void test_fail_next_fsyncs(int count) {
+  g_fail_fsyncs.store(count, std::memory_order_relaxed);
+}
+
+void test_set_load_file_hook(void (*hook)(const char* path)) { g_load_file_hook = hook; }
+
 util::Result<Snapshot> load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return err("snapshot.io", "cannot open " + path);
@@ -339,31 +459,96 @@ util::Result<Snapshot> load_file(const std::string& path) {
   const std::streamoff size = in.tellg();
   if (size < 0) return err("snapshot.io", "cannot size " + path);
   in.seekg(0, std::ios::beg);
+  if (g_load_file_hook != nullptr) g_load_file_hook(path.c_str());
   auto buffer =
       std::make_shared<std::vector<std::uint64_t>>((static_cast<std::size_t>(size) + 7) / 8);
   if (size > 0 && !in.read(reinterpret_cast<char*>(buffer->data()), size)) {
     return err("snapshot.io", "short read from " + path);
+  }
+  // A concurrent writer that APPENDS between the size probe and the read
+  // would otherwise pass validation on the prefix while the on-disk file
+  // says something else (a truncation already fails as a short read above).
+  // Anyone publishing through write_file_durable never hits this; reject
+  // the racy writer instead of guessing.
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return err("snapshot.io", "cannot re-stat " + path);
+  }
+  if (st.st_size != static_cast<off_t>(size)) {
+    return err("snapshot.io", "file size changed while reading " + path + " (" +
+                                  std::to_string(size) + " -> " +
+                                  std::to_string(static_cast<long long>(st.st_size)) +
+                                  " bytes); concurrent writer?");
   }
   const std::span<const std::uint8_t> bytes(
       reinterpret_cast<const std::uint8_t*>(buffer->data()), static_cast<std::size_t>(size));
   return load_validated(bytes, std::move(buffer));
 }
 
+util::Result<std::uint64_t> write_file_durable(const std::string& path,
+                                               std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  const auto fail = [&tmp](const std::string& what) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    return err("snapshot.io", what + " (" + std::strerror(saved) + ")");
+  };
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return fail("cannot create " + tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail("cannot write " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The tmp file's bytes must be on disk BEFORE the rename: otherwise a
+  // crash after the rename commits can leave the final path pointing at a
+  // file whose contents were never flushed — exactly the torn snapshot this
+  // helper exists to rule out.
+  if (!fsync_ok(fd)) {
+    ::close(fd);
+    return fail("cannot fsync " + tmp);
+  }
+  if (::close(fd) != 0) return fail("cannot close " + tmp);
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail("cannot rename " + tmp + " -> " + path);
+  }
+
+  // And the rename itself must reach disk: fsync the directory so the new
+  // directory entry is durable. Past this point the tmp no longer exists,
+  // so failures just report — the file at `path` is valid either way, but
+  // the caller must treat a non-ok publish as not-yet-durable.
+  std::string dir = path;
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? std::string(".") : dir.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return err("snapshot.io",
+               "cannot open directory " + dir + " (" + std::strerror(errno) + ")");
+  }
+  if (!fsync_ok(dfd)) {
+    const int saved = errno;
+    ::close(dfd);
+    return err("snapshot.io",
+               "cannot fsync directory " + dir + " (" + std::strerror(saved) + ")");
+  }
+  ::close(dfd);
+  return static_cast<std::uint64_t>(bytes.size());
+}
+
 util::Result<std::uint64_t> write_file(const std::string& path, const CompiledMatcher& matcher,
                                        const Metadata& meta) {
   const std::string bytes = serialize(matcher, meta);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size())) || !out.flush()) {
-      return err("snapshot.io", "cannot write " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return err("snapshot.io", "cannot rename " + tmp + " -> " + path);
-  }
-  return static_cast<std::uint64_t>(bytes.size());
+  return write_file_durable(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
 }
 
 }  // namespace psl::snapshot

@@ -11,6 +11,8 @@
 #include "psl/psl/list.hpp"
 #include "psl/serve/engine.hpp"
 #include "psl/serve/snapshot.hpp"
+#include "psl/store/store.hpp"
+#include "psl/util/date.hpp"
 
 namespace {
 
@@ -312,6 +314,70 @@ TEST(CApiClientTest, NullSafetyAndConnectFailure) {
   EXPECT_EQ(out[0], nullptr);
   EXPECT_EQ(out[1], nullptr);
   pslh_test_fail_next_allocs(0);
+
+  pslh_client_free(client);
+}
+
+TEST(CApiClientTest, MatchAtAndDivergence) {
+  LoopbackDaemon daemon("com\nuk\nco.uk\nmyshopify.com\n");
+  ASSERT_NE(daemon.port, 0);
+
+  // Attach a two-version store: 2020-06-01 lacks the myshopify.com rule,
+  // 2021-06-01 has it — the host's answer flips between the two.
+  psl::store::Builder builder;
+  const auto add = [&](const std::string& text, int year) {
+    auto parsed = psl::List::parse(text);
+    ASSERT_TRUE(parsed.ok());
+    psl::snapshot::Metadata meta;
+    meta.source_date = psl::util::Date::from_civil(year, 6, 1);
+    meta.rule_count = parsed->rules().size();
+    ASSERT_TRUE(builder.add(psl::CompiledMatcher(*parsed), meta).ok());
+  };
+  add("com\nuk\nco.uk\n", 2020);
+  add("com\nuk\nco.uk\nmyshopify.com\n", 2021);
+  const std::string path = testing::TempDir() + "capi_two_version.pstore";
+  ASSERT_TRUE(builder.write_file(path).ok());
+  ASSERT_TRUE(daemon.engine.open_store(path).ok());
+
+  pslh_client_t* client = pslh_client_connect("127.0.0.1", daemon.port, 5000);
+  ASSERT_NE(client, nullptr);
+
+  const long long early = psl::util::Date::from_civil(2020, 12, 1).days_since_epoch();
+  const long long late = psl::util::Date::from_civil(2022, 1, 1).days_since_epoch();
+  const char* hosts[] = {"shop1.myshopify.com", "co.uk"};
+  const char* out[2] = {nullptr, nullptr};
+  long long version_date = 0;
+
+  ASSERT_EQ(pslh_client_match_at(client, early, hosts, 2, out, &version_date), 1);
+  EXPECT_EQ(version_date, psl::util::Date::from_civil(2020, 6, 1).days_since_epoch());
+  EXPECT_EQ(take(out[0]), "myshopify.com");
+  EXPECT_EQ(out[1], nullptr);  // co.uk is itself a suffix in every version
+
+  ASSERT_EQ(pslh_client_match_at(client, late, hosts, 2, out, &version_date), 1);
+  EXPECT_EQ(version_date, psl::util::Date::from_civil(2021, 6, 1).days_since_epoch());
+  EXPECT_EQ(take(out[0]), "shop1.myshopify.com");
+
+  // A date before the first version, and bad arguments, report 0 all-NULL.
+  EXPECT_EQ(pslh_client_match_at(client, 0, hosts, 2, out, nullptr), 0);
+  EXPECT_EQ(out[0], nullptr);
+  EXPECT_EQ(pslh_client_match_at(client, early, nullptr, 2, out, nullptr), 0);
+  EXPECT_EQ(pslh_client_match_at(client, early, hosts, 0, out, nullptr), 1);
+
+  // Divergence: count-only probe, then the filled arrays.
+  const long long total =
+      pslh_client_divergence(client, "shop1.myshopify.com", nullptr, nullptr, nullptr, 0);
+  ASSERT_EQ(total, 2);
+  long long first[2] = {0, 0};
+  long long last[2] = {0, 0};
+  const char* domains[2] = {nullptr, nullptr};
+  ASSERT_EQ(pslh_client_divergence(client, "shop1.myshopify.com", first, last, domains, 2),
+            2);
+  EXPECT_EQ(first[0], psl::util::Date::from_civil(2020, 6, 1).days_since_epoch());
+  EXPECT_EQ(last[1], psl::util::Date::from_civil(2021, 6, 1).days_since_epoch());
+  EXPECT_EQ(take(domains[0]), "myshopify.com");
+  EXPECT_EQ(take(domains[1]), "shop1.myshopify.com");
+
+  EXPECT_EQ(pslh_client_divergence(client, nullptr, first, last, domains, 2), 0);
 
   pslh_client_free(client);
 }

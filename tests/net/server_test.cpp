@@ -30,6 +30,8 @@
 #include "psl/psl/list.hpp"
 #include "psl/serve/engine.hpp"
 #include "psl/serve/snapshot.hpp"
+#include "psl/store/store.hpp"
+#include "psl/util/date.hpp"
 
 namespace psl::net {
 namespace {
@@ -571,6 +573,153 @@ TEST(NetServerTest, ReloadUnderLoadManyClients) {
   EXPECT_EQ(engine.generation(), 1u + kReloads);
   server.shutdown();
   EXPECT_EQ(server.connection_count(), 0u);
+}
+
+/// Two-version store file (list_a dated 2020-06-01, list_b dated
+/// 2021-06-01) for the time-travel frames; returns its path.
+std::string write_two_version_store(const std::string& name) {
+  store::Builder builder;
+  const auto add = [&](const List& list, int year) {
+    snapshot::Metadata meta;
+    meta.source_date = util::Date::from_civil(year, 6, 1);
+    meta.rule_count = list.rules().size();
+    auto added = builder.add(CompiledMatcher(list), meta);
+    ASSERT_TRUE(added.ok()) << (added.ok() ? "" : added.error().message);
+  };
+  add(list_a(), 2020);
+  add(list_b(), 2021);
+  const std::string path = testing::TempDir() + name;
+  auto written = builder.write_file(path);
+  EXPECT_TRUE(written.ok()) << (written.ok() ? "" : written.error().message);
+  return path;
+}
+
+TEST(NetServerTest, MatchAtWithoutStoreIsUnsupported) {
+  serve::Engine engine(snap_of(list_a()), {.threads = 1});
+  Server server(engine, {});
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  Client client = connect_or_die(*port);
+  auto answer = client.match_at(util::Date::from_civil(2021, 1, 1), {"a.com"});
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.error().code, "net.unsupported");
+  auto ranges = client.divergence("a.com");
+  ASSERT_FALSE(ranges.ok());
+  EXPECT_EQ(ranges.error().code, "net.unsupported");
+  // The connection stays healthy after both rejections.
+  EXPECT_TRUE(client.ping().ok());
+}
+
+TEST(NetServerTest, MatchAtAndDivergenceRoundTrip) {
+  obs::MetricsRegistry metrics;
+  serve::Engine engine(snap_of(list_b()), {.threads = 2, .metrics = &metrics});
+  const std::string path = write_two_version_store("wire_two_version.pstore");
+  auto adopted = engine.open_store(path);
+  ASSERT_TRUE(adopted.ok()) << (adopted.ok() ? "" : adopted.error().message);
+
+  ServerOptions options;
+  options.metrics = &metrics;
+  Server server(engine, options);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  Client client = connect_or_die(*port);
+
+  // Before the rule existed: shop1.myshopify.com hangs off the implicit com
+  // boundary. The resolved version is the newest one dated <= the query.
+  auto before = client.match_at(util::Date::from_civil(2020, 12, 1),
+                                {"shop1.myshopify.com", "x.co.uk"});
+  ASSERT_TRUE(before.ok()) << before.error().message;
+  EXPECT_EQ(before->version_date_days,
+            util::Date::from_civil(2020, 6, 1).days_since_epoch());
+  EXPECT_EQ(before->rule_count, 4u);
+  ASSERT_EQ(before->matches.size(), 2u);
+  EXPECT_EQ(before->matches[0].registrable_domain, "myshopify.com");
+  EXPECT_EQ(before->matches[1].registrable_domain, "x.co.uk");
+
+  // After: the explicit myshopify.com rule pushes the boundary down a label.
+  auto after = client.match_at(util::Date::from_civil(2022, 1, 1),
+                               {"shop1.myshopify.com"});
+  ASSERT_TRUE(after.ok()) << after.error().message;
+  EXPECT_EQ(after->version_date_days,
+            util::Date::from_civil(2021, 6, 1).days_since_epoch());
+  ASSERT_EQ(after->matches.size(), 1u);
+  EXPECT_EQ(after->matches[0].registrable_domain, "shop1.myshopify.com");
+  EXPECT_TRUE(after->matches[0].matched_explicit_rule);
+
+  // A date before the first stored version cannot be answered.
+  auto too_early = client.match_at(util::Date::from_civil(2019, 1, 1), {"a.com"});
+  ASSERT_FALSE(too_early.ok());
+  EXPECT_EQ(too_early.error().code, "net.malformed");
+
+  // Divergence: the wire answer is exactly the offline sweep — one range per
+  // consecutive equal-answer run, covering the whole stored span.
+  auto ranges = client.divergence("shop1.myshopify.com");
+  ASSERT_TRUE(ranges.ok()) << ranges.error().message;
+  const std::vector<WireDivergenceRange> expected{
+      {util::Date::from_civil(2020, 6, 1).days_since_epoch(),
+       util::Date::from_civil(2020, 6, 1).days_since_epoch(), "myshopify.com"},
+      {util::Date::from_civil(2021, 6, 1).days_since_epoch(),
+       util::Date::from_civil(2021, 6, 1).days_since_epoch(), "shop1.myshopify.com"},
+  };
+  EXPECT_EQ(*ranges, expected);
+
+  // A host whose answer never changed collapses to a single range.
+  auto stable = client.divergence("x.co.uk");
+  ASSERT_TRUE(stable.ok());
+  ASSERT_EQ(stable->size(), 1u);
+  EXPECT_EQ((*stable)[0].registrable_domain, "x.co.uk");
+  EXPECT_EQ((*stable)[0].first_date_days,
+            util::Date::from_civil(2020, 6, 1).days_since_epoch());
+  EXPECT_EQ((*stable)[0].last_date_days,
+            util::Date::from_civil(2021, 6, 1).days_since_epoch());
+
+  EXPECT_GE(metrics.histogram("net.request_ms.match_at").count(), 2);
+  EXPECT_GE(metrics.histogram("net.request_ms.divergence").count(), 2);
+}
+
+TEST(NetServerTest, MatchAtMalformedPayloadKeepsConnection) {
+  serve::Engine engine(snap_of(list_b()), {.threads = 1});
+  const std::string path = write_two_version_store("wire_malformed.pstore");
+  ASSERT_TRUE(engine.open_store(path).ok());
+  Server server(engine, {});
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  RawConn raw(*port);
+  // A match_at request claiming 3 hosts with no data behind the count.
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, 18000);
+  put_u32(payload, 3);
+  std::vector<std::uint8_t> wire;
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kMatchAt), 91, payload);
+  raw.send_bytes(wire);
+
+  Frame response;
+  std::vector<std::uint8_t> storage;
+  ASSERT_TRUE(raw.recv_frame(response, storage));
+  EXPECT_EQ(response.header.type,
+            static_cast<std::uint8_t>(FrameType::kMatchAt) | kResponseBit);
+  ASSERT_FALSE(response.payload.empty());
+  EXPECT_EQ(response.payload[0], static_cast<std::uint8_t>(Status::kMalformed));
+
+  // Divergence with a truncated str16 is equally malformed, same socket.
+  payload.clear();
+  payload.push_back(0xFF);  // half of a u16 length prefix
+  wire.clear();
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kDivergence), 92, payload);
+  raw.send_bytes(wire);
+  ASSERT_TRUE(raw.recv_frame(response, storage));
+  EXPECT_EQ(response.payload[0], static_cast<std::uint8_t>(Status::kMalformed));
+
+  // Connection survives both.
+  const std::uint8_t probe[4] = {9, 9, 9, 9};
+  wire.clear();
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kPing), 93, probe);
+  raw.send_bytes(wire);
+  ASSERT_TRUE(raw.recv_frame(response, storage));
+  EXPECT_EQ(response.header.id, 93u);
+  EXPECT_EQ(response.payload[0], static_cast<std::uint8_t>(Status::kOk));
 }
 
 TEST(NetServerTest, ShutdownIsIdempotentAndRestartFails) {

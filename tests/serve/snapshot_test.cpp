@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -264,6 +266,69 @@ TEST(ServeSnapshotTest, ErrorCodesAreSpecific) {
   }
 
   EXPECT_EQ(snapshot::load_file("/nonexistent/psl.psnap").error().code, "snapshot.io");
+}
+
+// Hook for LoadFileRejectsConcurrentGrowth: a "concurrent writer" that
+// appends one byte between load_file's size probe and its read.
+void append_one_byte(const char* path) {
+  std::FILE* f = std::fopen(path, "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc('Z', f);
+  std::fclose(f);
+}
+
+TEST(ServeSnapshotTest, WriteFileFsyncFailureKeepsOldFileAndUnlinksTmp) {
+  const List list = small_list();
+  const CompiledMatcher matcher(list);
+  const auto meta = meta_for(list);
+  const std::string path = testing::TempDir() + "fsync_fail.psnap";
+  const std::string tmp = path + ".tmp";
+
+  // Seed a good published file.
+  ASSERT_TRUE(snapshot::write_file(path, matcher, meta).ok());
+
+  // The data fsync fails before rename: the publish must report snapshot.io,
+  // the previous file must be untouched, and the tmp sibling unlinked —
+  // fsync errors are data loss if swallowed (the old code never fsynced).
+  snapshot::test_fail_next_fsyncs(1);
+  auto failed = snapshot::write_file(path, matcher, meta);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, "snapshot.io");
+  EXPECT_NE(failed.error().message.find("fsync"), std::string::npos)
+      << failed.error().message;
+  EXPECT_NE(::access(path.c_str(), F_OK), -1);
+  EXPECT_EQ(::access(tmp.c_str(), F_OK), -1);
+  auto survived = snapshot::load_file(path);
+  ASSERT_TRUE(survived.ok()) << survived.error().message;
+  EXPECT_EQ(survived->matcher.match_view("a.co.uk").registrable_domain, "a.co.uk");
+
+  // With the countdown exhausted the same publish succeeds.
+  auto retried = snapshot::write_file(path, matcher, meta);
+  EXPECT_TRUE(retried.ok()) << (retried.ok() ? "" : retried.error().message);
+  EXPECT_EQ(::access(tmp.c_str(), F_OK), -1);
+}
+
+TEST(ServeSnapshotTest, LoadFileRejectsConcurrentGrowth) {
+  const List list = small_list();
+  const CompiledMatcher matcher(list);
+  const std::string path = testing::TempDir() + "grown.psnap";
+  ASSERT_TRUE(snapshot::write_file(path, matcher, meta_for(list)).ok());
+
+  // A file that GROWS between the size probe and the read used to pass
+  // validation silently on the stale prefix; it must be rejected now.
+  snapshot::test_set_load_file_hook(&append_one_byte);
+  auto raced = snapshot::load_file(path);
+  snapshot::test_set_load_file_hook(nullptr);
+  ASSERT_FALSE(raced.ok());
+  EXPECT_EQ(raced.error().code, "snapshot.io");
+  EXPECT_NE(raced.error().message.find("size changed"), std::string::npos)
+      << raced.error().message;
+
+  // The grown file straightforwardly read end-to-end is a layout mismatch,
+  // not an I/O race — and re-publishing fixes it.
+  EXPECT_EQ(snapshot::load_file(path).error().code, "snapshot.size-mismatch");
+  ASSERT_TRUE(snapshot::write_file(path, matcher, meta_for(list)).ok());
+  EXPECT_TRUE(snapshot::load_file(path).ok());
 }
 
 TEST(ServeSnapshotTest, EmptyListRoundTrips) {

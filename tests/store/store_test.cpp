@@ -1,0 +1,303 @@
+// psl::store — round-trip bit-identity over the history corpus, corruption
+// rejection (single-byte flips anywhere in the file), the epoch index, the
+// Engine integration, and divergence() against the offline per-version
+// sweep it must reproduce exactly.
+#include "psl/store/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "psl/history/history.hpp"
+#include "psl/history/timeline.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/serve/engine.hpp"
+#include "psl/serve/snapshot.hpp"
+
+namespace psl {
+namespace {
+
+const history::History& tiny_history() {
+  static const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  return h;
+}
+
+snapshot::Metadata meta_at(const history::History& h, std::size_t v) {
+  snapshot::Metadata meta;
+  meta.source_date = h.version_date(v);
+  meta.rule_count = h.rule_count(v);
+  return meta;
+}
+
+std::string standalone_snapshot(const history::History& h, std::size_t v) {
+  const List list = h.snapshot(v);
+  const CompiledMatcher matcher(list);
+  return snapshot::serialize(matcher, meta_at(h, v));
+}
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Build a store over versions [0, count) of the tiny corpus; returns the
+/// serialized file image plus the standalone snapshots it was fed.
+std::string build_store(std::size_t count, std::vector<std::string>* standalones = nullptr) {
+  const history::History& h = tiny_history();
+  store::Builder builder;
+  for (std::size_t v = 0; v < count; ++v) {
+    std::string bytes = standalone_snapshot(h, v);
+    const auto added = builder.add_snapshot(as_bytes(bytes));
+    EXPECT_TRUE(added.ok()) << (added.ok() ? "" : added.error().message);
+    if (standalones != nullptr) standalones->push_back(std::move(bytes));
+  }
+  const auto image = builder.serialize();
+  EXPECT_TRUE(image.ok());
+  return *image;
+}
+
+std::string write_temp(const std::string& name, const std::string& bytes) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good());
+  out.close();
+  return path;
+}
+
+TEST(StoreTest, EveryVersionMaterializesBitIdentical) {
+  const history::History& h = tiny_history();
+  const std::size_t count = h.version_count();
+  std::vector<std::string> standalones;
+  const std::string image = build_store(count, &standalones);
+  const std::string path = write_temp("store_roundtrip.pstore", image);
+
+  const auto view = store::StoreView::open(path);
+  ASSERT_TRUE(view.ok()) << view.error().message;
+  ASSERT_EQ((*view)->version_count(), count);
+
+  for (std::size_t v = 0; v < count; ++v) {
+    const auto snap = (*view)->open_version(v);
+    ASSERT_TRUE(snap.ok()) << "version " << v << ": " << snap.error().message;
+    EXPECT_EQ(snap->meta.source_date, h.version_date(v));
+    EXPECT_EQ(snap->meta.rule_count, h.rule_count(v));
+    // Re-serializing the materialized matcher must reproduce the standalone
+    // snapshot byte for byte — the strongest form of the round-trip claim.
+    EXPECT_EQ(snapshot::serialize(snap->matcher, snap->meta), standalones[v])
+        << "version " << v << " is not bit-identical";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, DedupBeatsStandaloneStorage) {
+  std::vector<std::string> standalones;
+  const std::string image = build_store(tiny_history().version_count(), &standalones);
+  std::uint64_t total = 0;
+  for (const auto& s : standalones) total += s.size();
+  // The acceptance bar for the full 1,142-version corpus is < 30%; the tiny
+  // corpus has proportionally fewer zero-churn versions, so hold it to 50%.
+  EXPECT_LT(image.size(), total / 2)
+      << "store is " << image.size() << " bytes vs " << total << " standalone";
+
+  const std::string path = write_temp("store_dedup.pstore", image);
+  const auto view = store::StoreView::open(path);
+  ASSERT_TRUE(view.ok());
+  const store::Stats& st = (*view)->stats();
+  EXPECT_EQ(st.file_bytes, image.size());
+  EXPECT_EQ(st.standalone_bytes, total);
+  EXPECT_GT(st.delta_segments, 0u);
+  EXPECT_GT(st.raw_segments, 0u);
+  EXPECT_LT(st.dedup_ratio(), 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, SingleByteFlipAnywhereIsRejected) {
+  // A small store (8 versions) so the whole file is scannable: EVERY byte
+  // of the image is load-bearing — header, segment data, padding, tables.
+  std::string image = build_store(8);
+  const std::string path = testing::TempDir() + "/store_flip.pstore";
+  for (std::size_t pos = 0; pos < image.size(); ++pos) {
+    image[pos] = static_cast<char>(image[pos] ^ 0x20);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.close();
+    const auto view = store::StoreView::open(path);
+    bool rejected = !view.ok();
+    if (!rejected) {
+      // Open-time validation does not re-run full snapshot validation;
+      // whatever it let through must die at materialization.
+      for (std::size_t v = 0; v < (*view)->version_count() && !rejected; ++v) {
+        rejected = !(*view)->open_version(v).ok();
+      }
+    }
+    EXPECT_TRUE(rejected) << "flipping byte " << pos << " went undetected";
+    image[pos] = static_cast<char>(image[pos] ^ 0x20);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, VersionIndexAtIsTheEpochIndex) {
+  const history::History& h = tiny_history();
+  const std::string path =
+      write_temp("store_epoch.pstore", build_store(h.version_count()));
+  const auto view = store::StoreView::open(path);
+  ASSERT_TRUE(view.ok());
+
+  // Exact dates, dates between versions, and dates past the end must agree
+  // with the generator's own version_index_at across the whole corpus.
+  const util::Date first = h.version_date(0);
+  const util::Date last = h.version_date(h.version_count() - 1);
+  for (std::int32_t d = first.days_since_epoch(); d <= last.days_since_epoch() + 30; d += 7) {
+    const util::Date date{d};
+    const auto got = (*view)->version_index_at(date);
+    const auto want = h.version_index_at(date);
+    ASSERT_TRUE(want.has_value());
+    ASSERT_TRUE(got.ok()) << date.to_string();
+    EXPECT_EQ(*got, *want) << date.to_string();
+  }
+  const util::Date before{first.days_since_epoch() - 1};
+  const auto none = (*view)->version_index_at(before);
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.error().code, "store.no-version");
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, DivergenceMatchesTheOfflineSweep) {
+  const history::History& h = tiny_history();
+  const std::string path =
+      write_temp("store_divergence.pstore", build_store(h.version_count()));
+  const auto view = store::StoreView::open(path);
+  ASSERT_TRUE(view.ok());
+
+  // Hosts under rules that churn mid-corpus (so the answer actually flips),
+  // plus a host no rule ever covers and one that IS a suffix.
+  std::vector<std::string> hosts = {"never.matched.invalid", "com"};
+  for (const history::ScheduledRule& sr : h.schedule()) {
+    if (hosts.size() >= 10) break;
+    if (sr.added <= h.version_date(0) && !sr.removed.has_value()) continue;
+    std::string host = "tenant.site";
+    for (const std::string& label : sr.rule.labels()) host += "." + label;
+    hosts.push_back(std::move(host));
+  }
+  ASSERT_GT(hosts.size(), 2u);
+
+  for (const std::string& host : hosts) {
+    // Offline ground truth: List::match per version, grouped into runs —
+    // exactly what the incremental sweeper computes.
+    std::vector<store::DivergenceRange> want;
+    for (std::size_t v = 0; v < h.version_count(); ++v) {
+      const std::string rd = h.snapshot(v).match(host).registrable_domain;
+      const util::Date date = h.version_date(v);
+      if (want.empty() || want.back().registrable_domain != rd) {
+        want.push_back(store::DivergenceRange{date, date, rd});
+      } else {
+        want.back().last_date = date;
+      }
+    }
+    const auto got = (*view)->divergence(host);
+    ASSERT_TRUE(got.ok()) << host;
+    EXPECT_EQ(*got, want) << host;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, BuilderRejectsOutOfOrderAndEmpty) {
+  const history::History& h = tiny_history();
+  store::Builder builder;
+  const auto empty = builder.serialize();
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().code, "store.empty");
+
+  const std::string v1 = standalone_snapshot(h, 1);
+  const std::string v0 = standalone_snapshot(h, 0);
+  ASSERT_TRUE(builder.add_snapshot(as_bytes(v1)).ok());
+  const auto backwards = builder.add_snapshot(as_bytes(v0));
+  ASSERT_FALSE(backwards.ok());
+  EXPECT_EQ(backwards.error().code, "store.out-of-order");
+  const auto duplicate = builder.add_snapshot(as_bytes(v1));
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.error().code, "store.out-of-order");
+
+  const auto garbage = builder.add_snapshot(as_bytes(std::string("not a snapshot")));
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(builder.version_count(), 1u);
+}
+
+TEST(StoreTest, EngineOpenStorePinAndTimeTravel) {
+  const history::History& h = tiny_history();
+  const std::string path =
+      write_temp("store_engine.pstore", build_store(h.version_count()));
+
+  // Engine boots on version 0, then adopts the store (serves the newest).
+  const List initial = h.snapshot(0);
+  serve::Engine engine(snapshot::Snapshot{CompiledMatcher(initial), meta_at(h, 0)});
+  EXPECT_FALSE(engine.store_view());
+  const auto none = engine.version_at(h.version_date(0));
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.error().code, "store.none");
+
+  const auto gen = engine.open_store(path);
+  ASSERT_TRUE(gen.ok()) << gen.error().message;
+  EXPECT_EQ(engine.generation(), *gen);
+  EXPECT_EQ(engine.metadata().source_date, h.version_date(h.version_count() - 1));
+  ASSERT_TRUE(engine.store_view());
+
+  // pin_version swaps the serving state to the version in effect at a date.
+  const auto pinned = engine.pin_version(h.version_date(2));
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(engine.metadata().source_date, h.version_date(2));
+
+  // version_at materializes without touching the serving state.
+  const auto at = engine.version_at(h.version_date(5));
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ(at->meta.source_date, h.version_date(5));
+  EXPECT_EQ(engine.metadata().source_date, h.version_date(2));
+
+  // A date before history begins is an error; serving state unaffected.
+  const auto early = engine.pin_version(util::Date{h.version_date(0).days_since_epoch() - 10});
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.error().code, "store.no-version");
+  EXPECT_EQ(engine.metadata().source_date, h.version_date(2));
+
+  // Engine::divergence delegates to the adopted store.
+  const auto div = engine.divergence("tenant.example.com");
+  ASSERT_TRUE(div.ok());
+  EXPECT_FALSE(div->empty());
+
+  // Keep-last-good: opening a nonexistent store leaves everything serving.
+  const auto missing = engine.open_store(testing::TempDir() + "/no_such.pstore");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(engine.metadata().source_date, h.version_date(2));
+  ASSERT_TRUE(engine.store_view());
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, SnapshotsOutliveTheStoreView) {
+  const history::History& h = tiny_history();
+  const std::string path = write_temp("store_outlive.pstore", build_store(4));
+  snapshot::Snapshot snap{CompiledMatcher(h.snapshot(0)), meta_at(h, 0)};
+  {
+    const auto view = store::StoreView::open(path);
+    ASSERT_TRUE(view.ok());
+    auto got = (*view)->open_version(3);
+    ASSERT_TRUE(got.ok());
+    snap = std::move(*got);
+  }
+  // The view (and its mmap) are gone; the snapshot's retain chain must keep
+  // the mapping alive. Under ASan a stale span faults loudly here.
+  const List list = h.snapshot(3);
+  const CompiledMatcher fresh(list);
+  for (const std::string host : {"tenant.example.com", "a.b.co.uk", "x.github.io"}) {
+    EXPECT_EQ(snap.matcher.match(host).registrable_domain,
+              fresh.match(host).registrable_domain);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace psl
