@@ -1,0 +1,176 @@
+// Live-update gate: measures the delta recompile path (updater::DeltaCompiler)
+// against from-scratch CompiledMatcher compiles over the synthetic history,
+// and proves structural equivalence along the way. Two numbers the design is
+// accountable for:
+//
+//   * single-rule reload speedup — apply one added/removed rule under the
+//     heaviest TLD and reassemble the arena, versus compiling the whole list
+//     from scratch. The pipeline's promise is O(diff) reloads, so this must
+//     come in >= 10x or the binary exits non-zero (CI treats that like a
+//     test failure, same as bench_store's dedup gate).
+//   * history walk — seed at version 0 and ride every successive diff
+//     through apply_diff()+compile(), versus recompiling each version from
+//     scratch; every sampled pair is checked equivalent() against the
+//     from-scratch arena (any mismatch exits non-zero).
+//
+// Results land machine-readably in BENCH_update.json, which CI archives.
+//
+// Usage: bench_update [--smoke] [reloads]
+//   --smoke   tiny 96-version timeline (CI Release job); same 10x gate
+//   reloads   single-rule reload iterations measured (default 200)
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "psl/history/timeline.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/psl/rule.hpp"
+#include "psl/updater/delta_compiler.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t reloads = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      reloads = static_cast<std::size_t>(std::atoll(argv[i]));
+    }
+  }
+  const double gate = 10.0;
+
+  psl::history::TimelineSpec spec;
+  if (smoke) spec = psl::history::TimelineSpec::tiny();
+  std::cerr << "[bench_update] generating " << (smoke ? "tiny" : "full")
+            << " history...\n";
+  const auto history = psl::history::generate_history(spec);
+  const std::size_t versions = history.version_count();
+  const psl::List newest = history.snapshot(versions - 1);
+
+  // Baseline: full from-scratch compiles of the newest list.
+  const std::size_t full_iters = smoke ? 20 : 50;
+  std::size_t sink = 0;
+  const auto t_full = Clock::now();
+  for (std::size_t i = 0; i < full_iters; ++i) {
+    psl::CompiledMatcher m(newest);
+    sink += m.match_view("a.example.com").public_suffix.size();
+  }
+  const double full_ms = secs_since(t_full) / static_cast<double>(full_iters) * 1e3;
+
+  // Single-rule reload: toggle a probe rule under .com — the heaviest TLD
+  // segment in the synthetic list, so this is the expensive end of a
+  // one-rule diff (the dirtied segment is the biggest one there is).
+  auto probe = psl::Rule::parse("bench-probe-rule.com", psl::Section::kIcann);
+  if (!probe.ok()) {
+    std::cerr << "PROBE RULE PARSE FAILED\n";
+    return 1;
+  }
+  psl::updater::DeltaCompiler delta(newest);
+  {
+    psl::CompiledMatcher seeded = delta.compile();  // flatten all segments once
+    sink += seeded.match_view("a.example.com").public_suffix.size();
+  }
+  const psl::Rule probe_rule = *probe;
+  const auto t_delta = Clock::now();
+  for (std::size_t i = 0; i < reloads; ++i) {
+    if (i % 2 == 0) {
+      delta.apply({&probe_rule, 1}, {});
+    } else {
+      delta.apply({}, {&probe_rule, 1});
+    }
+    psl::CompiledMatcher m = delta.compile();
+    sink += m.match_view("a.example.com").public_suffix.size();
+  }
+  const double delta_ms = secs_since(t_delta) / static_cast<double>(reloads) * 1e3;
+  if (reloads % 2 == 1) delta.apply({}, {&probe_rule, 1});  // restore newest
+  const double speedup = full_ms / delta_ms;
+  const auto stats = delta.stats();
+
+  // Spot-check the toggled-back compiler against a from-scratch compile.
+  if (!psl::updater::DeltaCompiler::equivalent(delta.compile(),
+                                               psl::CompiledMatcher(newest))) {
+    std::cerr << "EQUIVALENCE FAILED after probe toggling\n";
+    return 1;
+  }
+
+  // History walk: one DeltaCompiler rides every successive version diff;
+  // sampled versions are verified structurally equivalent to a from-scratch
+  // compile (the check itself is outside the timed region).
+  const std::size_t stride = smoke ? 7 : 31;  // ~14 / ~37 checked pairs
+  psl::List current = history.snapshot(0);
+  psl::updater::DeltaCompiler walker(current);
+  std::size_t checked = 0;
+  double walk_secs = 0.0;
+  double scratch_secs = 0.0;
+  for (std::size_t v = 1; v < versions; ++v) {
+    psl::List next = history.snapshot(v);
+    const auto t_step = Clock::now();
+    walker.apply_diff(current, next);
+    psl::CompiledMatcher incremental = walker.compile();
+    walk_secs += secs_since(t_step);
+
+    const auto t_scratch = Clock::now();
+    psl::CompiledMatcher scratch(next);
+    scratch_secs += secs_since(t_scratch);
+
+    if (v % stride == 0 || v == versions - 1) {
+      if (!psl::updater::DeltaCompiler::equivalent(incremental, scratch)) {
+        std::cerr << "EQUIVALENCE FAILED at version " << v << "\n";
+        return 1;
+      }
+      ++checked;
+    }
+    current = std::move(next);
+  }
+  const double walk_speedup = scratch_secs / walk_secs;
+
+  std::cout << "update: full compile " << full_ms << " ms, single-rule delta reload "
+            << delta_ms << " ms -> " << speedup << "x (gate " << gate << "x)\n";
+  std::cout << "history walk: " << versions - 1 << " diffs in " << walk_secs
+            << "s delta vs " << scratch_secs << "s from-scratch (" << walk_speedup
+            << "x), " << checked << " pairs equivalence-checked\n";
+  std::cout << "segments: " << stats.segments << " live, last compile reflattened "
+            << stats.dirty_segments << " (arena " << stats.arena_nodes << " nodes, sink "
+            << sink << ")\n";
+
+  std::ofstream json("BENCH_update.json");
+  json << "{\n";
+  json << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  json << "  \"versions\": " << versions << ",\n";
+  json << "  \"rules_newest\": " << newest.rule_count() << ",\n";
+  json << "  \"full_compile_ms\": " << full_ms << ",\n";
+  json << "  \"delta_reload_ms\": " << delta_ms << ",\n";
+  json << "  \"single_rule_speedup\": " << speedup << ",\n";
+  json << "  \"speedup_gate\": " << gate << ",\n";
+  json << "  \"reloads\": " << reloads << ",\n";
+  json << "  \"history_walk_delta_secs\": " << walk_secs << ",\n";
+  json << "  \"history_walk_scratch_secs\": " << scratch_secs << ",\n";
+  json << "  \"history_walk_speedup\": " << walk_speedup << ",\n";
+  json << "  \"equivalence_pairs_checked\": " << checked << ",\n";
+  json << "  \"live_segments\": " << stats.segments << ",\n";
+  psl::bench::emit_bench_delta(json);
+  json << "\n}\n";
+
+  if (speedup < gate) {
+    std::cout << "SPEEDUP GATE FAILED: " << speedup << "x < " << gate << "x\n";
+    return 1;
+  }
+  std::cout << "speedup gate passed (" << speedup << "x >= " << gate << "x)\n";
+  return 0;
+}

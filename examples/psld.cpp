@@ -28,6 +28,9 @@
 //   $ psld ping   <addr:port>                 # liveness probe, exit 0/1
 //   $ psld stats  <addr:port>                 # generation / rules / conns
 //   $ psld reload <addr:port> <snap.psnap>    # push a snapshot over the wire
+//   $ psld watch  <addr:port> [count]         # subscribe; print pushed
+//                                             # generation changes (no polling
+//                                             # queries — the daemon pushes)
 //
 // Wire payloads (notably reload snapshots) are bounded by the frame cap;
 // --max-frame raises it on both the server and the client subcommands.
@@ -80,6 +83,7 @@ int usage() {
                "  psld ping   ADDR:PORT\n"
                "  psld stats  ADDR:PORT\n"
                "  psld reload ADDR:PORT SNAPSHOT_FILE\n"
+               "  psld watch  ADDR:PORT [COUNT]\n"
                "client subcommands also accept --max-frame BYTES (wire payloads,\n"
                "including reload snapshots, are bounded by the frame cap)\n");
   return 2;
@@ -265,6 +269,46 @@ int cmd_reload(std::string_view endpoint, const std::string& snapshot_path,
   return 0;
 }
 
+// Subscribe and print every pushed generation change — the process never
+// sends a query after the subscribe handshake, so each printed line is
+// proof of a server-initiated push (what the smoke script asserts on).
+// Exits 0 after `count` pushes; count == 0 watches until killed.
+int cmd_watch(std::string_view endpoint, long count, std::size_t max_frame) {
+  auto client = connect_to(endpoint, max_frame);
+  if (!client.ok()) {
+    std::fprintf(stderr, "psld: %s\n", client.error().message.c_str());
+    return 1;
+  }
+  long seen = 0;
+  client->set_push_callback([&seen](const psl::net::WireGenerationChanged& push) {
+    std::printf("psld: pushed generation %llu (%llu rules, delta %+lld)\n",
+                static_cast<unsigned long long>(push.generation),
+                static_cast<unsigned long long>(push.rule_count),
+                static_cast<long long>(push.rule_delta));
+    std::fflush(stdout);
+    ++seen;
+  });
+  auto subscribed = client->subscribe();
+  if (!subscribed.ok()) {
+    std::fprintf(stderr, "psld: subscribe failed: %s (%s)\n",
+                 subscribed.error().message.c_str(), subscribed.error().code.c_str());
+    return 1;
+  }
+  std::printf("psld: watching from generation %llu\n",
+              static_cast<unsigned long long>(*subscribed));
+  std::fflush(stdout);
+  while (count == 0 || seen < count) {
+    auto drained = client->poll_pushes();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "psld: watch ended: %s (%s)\n",
+                   drained.error().message.c_str(), drained.error().code.c_str());
+      return 1;
+    }
+    if (*drained == 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
 int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
               const std::string& store_path, std::size_t threads,
               std::size_t max_conns, std::size_t queue_depth, std::size_t max_frame,
@@ -438,6 +482,12 @@ int main(int argc, char** argv) {
   }
   if (args[0] == "reload") {
     return args.size() == 3 ? cmd_reload(args[1], args[2], max_frame) : usage();
+  }
+  if (args[0] == "watch") {
+    if (args.size() != 2 && args.size() != 3) return usage();
+    const long count = args.size() == 3 ? std::atol(args[2].c_str()) : 0;
+    if (count < 0) return usage();
+    return cmd_watch(args[1], count, max_frame);
   }
 
   std::string listen, snapshot_path, store_path;

@@ -15,9 +15,9 @@
  * free()/delete — the allocator may differ across the library boundary).
  * NULL is always a valid argument to pslh_string_free. Strings PASSED IN
  * remain owned by the caller; the library copies what it needs before
- * returning. Handles (pslh_ctx_t*, pslh_engine_t*) are owned by the caller
- * and released with their matching *_free — except pslh_builtin()'s
- * context, which the library owns.
+ * returning. Handles (pslh_ctx_t*, pslh_engine_t*, pslh_client_t*) are
+ * owned by the caller and released with their matching *_free — except
+ * pslh_builtin()'s context, which the library owns.
  *
  * The "pslh_" prefix ("PSL harms") avoids colliding with a real libpsl in
  * the same process.
@@ -30,6 +30,31 @@
 #ifdef __cplusplus
 extern "C" {
 #endif
+
+/* STATUS CONVENTION
+ * -----------------
+ * Every fallible call in this API returns pslh_status. The numeric values
+ * are frozen (they predate the enum, so older callers comparing against
+ * 1/0/-1 keep working):
+ *
+ *   PSLH_OK            (1)  success — all documented outputs are filled;
+ *                           batch answers come from ONE list generation.
+ *   PSLH_ERROR         (0)  bad arguments, allocation failure, I/O or
+ *                           protocol failure — no live strings are left in
+ *                           any output array (all-NULL / zero-filled).
+ *   PSLH_BACKPRESSURE (-1)  the serving queue (or daemon) rejected the
+ *                           batch; NOTHING was computed — retry later or
+ *                           shed load.
+ *
+ * Predicates (pslh_is_public_suffix, pslh_same_site, pslh_client_connected)
+ * return plain int 1/0 — they answer a question, not report an outcome —
+ * and getters (generation counters, rule counts) return their value with a
+ * documented NULL-safe fallback. */
+typedef enum pslh_status {
+  PSLH_BACKPRESSURE = -1,
+  PSLH_ERROR = 0,
+  PSLH_OK = 1
+} pslh_status;
 
 typedef struct pslh_ctx pslh_ctx_t;
 
@@ -60,11 +85,11 @@ const char* pslh_registrable_domain(const pslh_ctx_t* ctx, const char* domain);
 int pslh_same_site(const pslh_ctx_t* ctx, const char* a, const char* b);
 
 /* Batch variant: out[i] = pslh_same_site(ctx, a[i], b[i]) for i < count.
- * Returns 1 on success; 0 when ctx/a/b/out is NULL (with count > 0) or any
- * a[i]/b[i] is NULL — `out` is zero-filled in that case if writable.
- * count == 0 succeeds trivially. */
-int pslh_same_site_batch(const pslh_ctx_t* ctx, const char* const* a, const char* const* b,
-                         size_t count, int* out);
+ * PSLH_ERROR when ctx/a/b/out is NULL (with count > 0) or any a[i]/b[i] is
+ * NULL — `out` is zero-filled in that case if writable. count == 0 succeeds
+ * trivially. Never backpressures (no queue involved). */
+pslh_status pslh_same_site_batch(const pslh_ctx_t* ctx, const char* const* a,
+                                 const char* const* b, size_t count, int* out);
 
 /* Number of rules in the context's list. */
 size_t pslh_rule_count(const pslh_ctx_t* ctx);
@@ -82,11 +107,8 @@ void pslh_free_string(const char* s);
  * list serving). All pslh_engine_* functions are thread-safe on one engine,
  * except pslh_engine_free, which must not race with anything else.
  *
- * Batch return convention:
- *    1  success — every out[i] is filled, all answers from ONE generation;
- *    0  bad arguments or allocation failure — out holds no live strings;
- *   -1  backpressure — the queue is full; nothing was computed, retry later.
- */
+ * Batch calls return pslh_status (see the convention block above);
+ * PSLH_BACKPRESSURE means the bounded queue was full and nothing ran. */
 
 typedef struct pslh_engine pslh_engine_t;
 
@@ -102,25 +124,25 @@ void pslh_engine_free(pslh_engine_t* engine);
  * successful reload. 0 when `engine` is NULL. */
 unsigned long long pslh_engine_generation(const pslh_engine_t* engine);
 
-/* Parse a list from `data` and hot-swap it in. Returns 1 on success, 0 on
- * NULL arguments or parse failure (the previous list keeps serving). */
-int pslh_engine_reload_list(pslh_engine_t* engine, const char* data, size_t length);
+/* Parse a list from `data` and hot-swap it in. PSLH_ERROR on NULL arguments
+ * or parse failure (the previous list keeps serving). */
+pslh_status pslh_engine_reload_list(pslh_engine_t* engine, const char* data, size_t length);
 
 /* Validate serialized snapshot bytes (psl::snapshot format) and hot-swap.
- * Returns 1 on success, 0 on NULL arguments or validation failure (the
- * previous state keeps serving). */
-int pslh_engine_reload_snapshot(pslh_engine_t* engine, const unsigned char* bytes,
-                                size_t length);
+ * PSLH_ERROR on NULL arguments or validation failure (the previous state
+ * keeps serving). */
+pslh_status pslh_engine_reload_snapshot(pslh_engine_t* engine, const unsigned char* bytes,
+                                        size_t length);
 
 /* Batched eTLD+1: out[i] receives a fresh caller-owned string, or NULL when
  * hosts[i] has no registrable domain. Free each non-NULL out[i] with
- * pslh_string_free. On any failure (0/-1) out is all-NULL. */
-int pslh_engine_registrable_domains(pslh_engine_t* engine, const char* const* hosts,
-                                    size_t count, const char** out);
+ * pslh_string_free. On PSLH_ERROR / PSLH_BACKPRESSURE out is all-NULL. */
+pslh_status pslh_engine_registrable_domains(pslh_engine_t* engine, const char* const* hosts,
+                                            size_t count, const char** out);
 
 /* Batched same-site over pairs (a[i], b[i]): out[i] = 1 or 0. */
-int pslh_engine_same_site(pslh_engine_t* engine, const char* const* a, const char* const* b,
-                          size_t count, int* out);
+pslh_status pslh_engine_same_site(pslh_engine_t* engine, const char* const* a,
+                                  const char* const* b, size_t count, int* out);
 
 /* TESTING ONLY: make the next `count` internal string allocations fail, so
  * allocation-failure paths can be exercised deterministically. 0 disables.
@@ -130,10 +152,10 @@ void pslh_test_fail_next_allocs(int count);
 /* ---------------------------------------------------------------------------
  * Network client (psl::net): a blocking connection to a psld daemon speaking
  * the PSLN wire protocol (see docs/API.md "psl_net"). One client is one TCP
- * connection and is NOT thread-safe — use one per thread. Batch return
- * convention matches the engine: 1 success, 0 bad arguments / I/O / protocol
- * failure, -1 backpressure (the server rejected the batch; retry later). Any
- * 0 return may have closed the connection; pslh_client_connected tells.
+ * connection and is NOT thread-safe — use one per thread. Every fallible
+ * call returns pslh_status; PSLH_BACKPRESSURE means the daemon rejected the
+ * batch (retry later). Any PSLH_ERROR may have closed the connection;
+ * pslh_client_connected tells.
  */
 
 typedef struct pslh_client pslh_client_t;
@@ -148,23 +170,23 @@ void pslh_client_free(pslh_client_t* client);
 /* 1 while the connection is usable, 0 after an error closed it. */
 int pslh_client_connected(const pslh_client_t* client);
 
-/* Round-trip liveness probe: 1 on pong, 0 on failure. */
-int pslh_client_ping(pslh_client_t* client);
+/* Round-trip liveness probe: PSLH_OK on pong. */
+pslh_status pslh_client_ping(pslh_client_t* client);
 
 /* Batched eTLD+1 over the wire: out[i] receives a fresh caller-owned string
  * (free with pslh_string_free), or NULL when hosts[i] has no registrable
- * domain. On 0/-1 out is all-NULL. */
-int pslh_client_registrable_domains(pslh_client_t* client, const char* const* hosts,
-                                    size_t count, const char** out);
+ * domain. On PSLH_ERROR / PSLH_BACKPRESSURE out is all-NULL. */
+pslh_status pslh_client_registrable_domains(pslh_client_t* client, const char* const* hosts,
+                                            size_t count, const char** out);
 
 /* Batched same-site over pairs (a[i], b[i]): out[i] = 1 or 0. */
-int pslh_client_same_site(pslh_client_t* client, const char* const* a, const char* const* b,
-                          size_t count, int* out);
+pslh_status pslh_client_same_site(pslh_client_t* client, const char* const* a,
+                                  const char* const* b, size_t count, int* out);
 
 /* Ship serialized snapshot bytes (psl::snapshot format) for a hot reload.
- * 1 on success, 0 on rejection or I/O failure (keep-last-good either way). */
-int pslh_client_reload_snapshot(pslh_client_t* client, const unsigned char* bytes,
-                                size_t length);
+ * PSLH_ERROR on rejection or I/O failure (keep-last-good either way). */
+pslh_status pslh_client_reload_snapshot(pslh_client_t* client, const unsigned char* bytes,
+                                        size_t length);
 
 /* Serving generation reported by the daemon, or 0 on failure. */
 unsigned long long pslh_client_generation(pslh_client_t* client);
@@ -174,24 +196,69 @@ unsigned long long pslh_client_generation(pslh_client_t* client);
  * newest version dated <= date_days). out[i] receives a fresh caller-owned
  * string (free with pslh_string_free), or NULL when hosts[i] had no
  * registrable domain under that version. version_date_days_out (optional,
- * may be NULL) receives the resolved version's date. Returns 1 on success,
- * -1 on backpressure, 0 otherwise — including when the daemon has no store
- * or date_days precedes its first version; on 0/-1 out is all-NULL. */
-int pslh_client_match_at(pslh_client_t* client, long long date_days,
-                         const char* const* hosts, size_t count, const char** out,
-                         long long* version_date_days_out);
+ * may be NULL) receives the resolved version's date. PSLH_ERROR includes
+ * the daemon having no store and date_days preceding its first version; on
+ * PSLH_ERROR / PSLH_BACKPRESSURE out is all-NULL. */
+pslh_status pslh_client_match_at(pslh_client_t* client, long long date_days,
+                                 const char* const* hosts, size_t count, const char** out,
+                                 long long* version_date_days_out);
 
 /* Registrable-domain history of one host across every version in the
  * daemon's store (requires psld --store): consecutive equal-answer runs,
  * oldest first, covering the whole stored span. Fills up to max_ranges
  * entries of first_days/last_days/domains (parallel arrays; domains[i] is a
- * fresh caller-owned string, or NULL for "no registrable domain during that
- * range") and returns the TOTAL range count — call with max_ranges 0 (array
- * pointers may then be NULL) to size buffers first. Returns 0 on failure,
- * -1 on backpressure; entries past the total are zeroed/NULL. */
-long long pslh_client_divergence(pslh_client_t* client, const char* host,
-                                 long long* first_days, long long* last_days,
-                                 const char** domains, size_t max_ranges);
+ * fresh caller-owned string freed with pslh_string_free, or NULL for "no
+ * registrable domain during that range") and stores the TOTAL range count
+ * in *total_out (required) — call with max_ranges 0 (array pointers may
+ * then be NULL) to size buffers first. On PSLH_ERROR / PSLH_BACKPRESSURE
+ * *total_out is 0 and the arrays are zeroed/NULL; entries past the total
+ * are zeroed/NULL too. */
+pslh_status pslh_client_divergence(pslh_client_t* client, const char* host,
+                                   long long* first_days, long long* last_days,
+                                   const char** domains, size_t max_ranges,
+                                   size_t* total_out);
+
+/* --- the push channel ----------------------------------------------------
+ * Mirrors net::Client's subscription surface: subscribe once, then the
+ * daemon pushes generation_changed frames on every reload. Pushes are
+ * consumed wherever the client reads the socket — interleaved with any
+ * response, or explicitly via pslh_client_poll_pushes — and each one
+ * updates pslh_client_last_pushed_generation and fires the registered
+ * callback (from inside whichever pslh_client_* call drained it). */
+
+/* Fired once per consumed generation_changed push. rule_delta is the signed
+ * rule-count change versus the previously pushed generation on this
+ * connection. user_data is the pointer registered alongside the callback. */
+typedef void (*pslh_push_callback_t)(unsigned long long generation,
+                                     unsigned long long rule_count, long long rule_delta,
+                                     void* user_data);
+
+/* Register for generation_changed pushes. generation_out (optional, may be
+ * NULL) receives the daemon's CURRENT generation, carried in the subscribe
+ * response — the caller converges immediately, before any push. Survives
+ * pslh_client_reconnect (the reconnected client re-subscribes). */
+pslh_status pslh_client_subscribe(pslh_client_t* client, unsigned long long* generation_out);
+
+/* Register `callback` (NULL unregisters) to run for every consumed push.
+ * PSLH_ERROR only when `client` is NULL. */
+pslh_status pslh_client_set_push_callback(pslh_client_t* client, pslh_push_callback_t callback,
+                                          void* user_data);
+
+/* Drain pushes sitting in the socket without blocking or sending anything.
+ * drained_out (optional, may be NULL) receives how many arrived. PSLH_ERROR
+ * when the connection is closed or a non-push frame arrives between round
+ * trips (protocol violation; the connection is closed). */
+pslh_status pslh_client_poll_pushes(pslh_client_t* client, size_t* drained_out);
+
+/* Newest generation the daemon has told this client about — via the
+ * subscribe response or any consumed push. 0 before either, or when
+ * `client` is NULL. */
+unsigned long long pslh_client_last_pushed_generation(const pslh_client_t* client);
+
+/* Drop the dead socket, dial the original address/port again, and
+ * re-subscribe if pslh_client_subscribe had been called. The push callback
+ * carries over. */
+pslh_status pslh_client_reconnect(pslh_client_t* client);
 
 #ifdef __cplusplus
 }

@@ -6,6 +6,23 @@
 // benches, the C API, and the psld CLI all want "send a batch, wait for the
 // answer" — callers that need concurrency open one Client per thread.
 //
+// The push channel: subscribe() registers this connection for
+// generation_changed frames, which the server pushes whenever a reload
+// installs a new list generation. Pushes arrive asynchronously and are
+// consumed wherever the client reads the socket — interleaved with a
+// response inside any round trip, or explicitly via poll_pushes() — never
+// treated as protocol errors. Each push updates last_pushed_generation()
+// and fires the optional push callback.
+//
+// Client-side caching: with ClientOptions::cache_slots > 0 AND an active
+// subscription, registrable_domains() answers repeated hosts from a local
+// RegDomainCache without touching the network. The cache is keyed on the
+// pushed generation — before serving hits the client drains pending pushes,
+// and a generation change drops the whole cache, so a stale boundary is
+// never served once the server has told us the list moved (the push-driven
+// mirror of the server's RCU cache invalidation). Without a subscription
+// the cache stays disabled: the client would have no invalidation signal.
+//
 // Error codes (util::Result, stable):
 //   net.io             socket create/connect/send/recv failed (message has
 //                      errno text)
@@ -27,12 +44,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "psl/net/frame.hpp"
+#include "psl/serve/regdomain_cache.hpp"
 #include "psl/util/date.hpp"
 #include "psl/util/result.hpp"
 
@@ -42,6 +61,10 @@ struct ClientOptions {
   int connect_timeout_ms = 5000;
   int io_timeout_ms = 10000;  ///< bound on each blocking send/recv
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Client-side registrable-domain cache slots (rounded up to a power of
+  /// two; 0 disables). Served only while subscribed — pushed generation
+  /// changes are the invalidation signal (see the header comment).
+  std::size_t cache_slots = 0;
 };
 
 class Client {
@@ -89,6 +112,35 @@ class Client {
 
   util::Result<WireStats> stats();
 
+  // --- the push channel ---------------------------------------------------
+
+  /// Invoked (from whichever call consumed the push off the socket) for
+  /// every generation_changed frame received.
+  using PushCallback = std::function<void(const WireGenerationChanged&)>;
+
+  /// Register for generation_changed pushes. Returns the server's CURRENT
+  /// generation (carried in the subscribe response), so the caller converges
+  /// immediately instead of waiting for the first push. Survives reconnect():
+  /// a reconnected client re-subscribes automatically.
+  util::Result<std::uint64_t> subscribe();
+  void set_push_callback(PushCallback callback) { push_callback_ = std::move(callback); }
+  /// Newest generation the server has told us about — via the subscribe
+  /// response or any push consumed since (0 before either).
+  std::uint64_t last_pushed_generation() const noexcept { return pushed_generation_; }
+  bool subscribed() const noexcept { return subscribed_; }
+
+  /// Drain any pushes sitting in the socket without blocking (no request is
+  /// sent). Returns how many arrived. Any non-push frame here is a protocol
+  /// violation — nothing else may arrive between round trips — and closes
+  /// the connection. net.closed when the server hung up.
+  util::Result<std::size_t> poll_pushes();
+
+  /// Drop the dead socket, dial the original address again and re-subscribe
+  /// if subscribe() had been called. The push callback and options carry
+  /// over; the registrable-domain cache is dropped (its generation key is
+  /// meaningless across connections until the re-subscribe answers).
+  util::Result<bool> reconnect();
+
  private:
   Client(int fd, ClientOptions options);
 
@@ -99,6 +151,11 @@ class Client {
   util::Result<bool> round_trip(FrameType type, std::span<const std::uint8_t> payload,
                                 Frame& out);
   util::Result<bool> send_all(std::span<const std::uint8_t> bytes);
+  /// Record one generation_changed frame (updates last_pushed_generation,
+  /// fires the callback). net.protocol + close on a malformed push body.
+  util::Result<bool> handle_push(const Frame& frame);
+  /// Drop every cached boundary and re-key the cache on `generation`.
+  void reset_cache(std::uint64_t generation);
 
   int fd_ = -1;
   ClientOptions options_;
@@ -107,6 +164,15 @@ class Client {
   std::vector<std::uint8_t> send_buf_;
   std::vector<std::uint8_t> payload_buf_;
   std::vector<std::uint8_t> recv_scratch_;
+
+  std::string address_;  ///< dial target, kept for reconnect()
+  std::uint16_t port_ = 0;
+  bool subscribed_ = false;
+  std::uint64_t pushed_generation_ = 0;
+  PushCallback push_callback_;
+  /// Generation-keyed registrable-domain cache (see the header comment).
+  serve::RegDomainCache cache_{0};
+  std::uint64_t cache_generation_ = 0;
 };
 
 }  // namespace psl::net

@@ -5,7 +5,8 @@
 //   offset  size  field
 //        0     4  magic 0x4E4C5350 ("PSLN" when read as little-endian bytes)
 //        4     1  protocol version (currently 1)
-//        5     1  frame type (request 0x01..0x05; response = request | 0x80)
+//        5     1  frame type (request 0x01..0x08; response = request | 0x80;
+//                 0x09 is server-pushed, see below)
 //        6     2  flags (reserved; MUST be zero, receivers reject nonzero)
 //        8     4  request id (chosen by the client, echoed in the response)
 //       12     4  payload length in bytes
@@ -24,6 +25,19 @@
 //                         version in effect at that date (psl::store)
 //   0x07 divergence       str16 host — the host's registrable-domain
 //                         history across every stored list version
+//   0x08 subscribe        empty payload — register this connection for
+//                         generation_changed pushes until it closes
+//
+// One frame type flows the OTHER way. 0x09 generation_changed is pushed by
+// the server to every subscribed connection when a reload installs a new
+// list generation; it is NOT a response (no response bit, request id 0,
+// no status byte) and the client must not reply to it:
+//
+//   0x09 generation_changed  u64 new generation, u64 rule_count, u64 source
+//                            date (days since 1970-01-01, two's complement),
+//                            i64 rule-count delta vs. the previously pushed
+//                            generation (two's complement; the rule-delta
+//                            summary)
 //
 // (str16 = u16 length + that many bytes, so hostnames cap at 65535 bytes —
 // far above any valid DNS name.) Every response payload begins with one
@@ -46,6 +60,8 @@
 //              date — both days since 1970-01-01, two's complement —
 //              str16 registrable_domain, empty = none); ranges partition
 //              the store's whole version span, oldest first
+//   subscribe  u64 current generation — the subscriber converges
+//              immediately instead of waiting for the first push
 //
 // match_at and divergence require the server to carry a psl::store
 // (psld --store): without one they answer kUnsupported with detail
@@ -90,6 +106,10 @@ inline constexpr std::size_t kHeaderBytes = 16;
 inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
 inline constexpr std::uint8_t kResponseBit = 0x80;
 
+/// The single source of truth for PSLN frame types. Server, client, psld
+/// and psltool all speak through this enum (and the typed begin_frame /
+/// encode_frame overloads below) — adding a frame type means adding an
+/// enumerator here and nothing byte-level anywhere else.
 enum class FrameType : std::uint8_t {
   kPing = 0x01,
   kSameSiteBatch = 0x02,
@@ -98,7 +118,16 @@ enum class FrameType : std::uint8_t {
   kStats = 0x05,
   kMatchAt = 0x06,
   kDivergence = 0x07,
+  kSubscribe = 0x08,
+  /// Server-pushed on generation change; never sent by clients, never
+  /// carries the response bit, never answered.
+  kGenerationChanged = 0x09,
 };
+
+/// The wire type byte of the response to a `type` request.
+constexpr std::uint8_t response_type(FrameType type) noexcept {
+  return static_cast<std::uint8_t>(static_cast<std::uint8_t>(type) | 0x80u);
+}
 
 /// First byte of every response payload.
 enum class Status : std::uint8_t {
@@ -165,6 +194,18 @@ class FrameDecoder {
 std::size_t begin_frame(std::vector<std::uint8_t>& out, std::uint8_t type, std::uint32_t id);
 void end_frame(std::vector<std::uint8_t>& out, std::size_t frame_begin);
 
+/// Typed variants — the ones production code uses. The raw std::uint8_t
+/// overloads above exist for tests and fuzzers that must construct hostile
+/// type bytes.
+inline std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type, std::uint32_t id) {
+  return begin_frame(out, static_cast<std::uint8_t>(type), id);
+}
+/// Start the response frame for a `type` request (type byte | response bit).
+inline std::size_t begin_response_frame(std::vector<std::uint8_t>& out, FrameType type,
+                                        std::uint32_t id) {
+  return begin_frame(out, response_type(type), id);
+}
+
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
@@ -176,6 +217,10 @@ void put_str16(std::vector<std::uint8_t>& out, std::string_view s);
 /// Convenience: one complete frame with a ready payload.
 void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t type, std::uint32_t id,
                   std::span<const std::uint8_t> payload);
+inline void encode_frame(std::vector<std::uint8_t>& out, FrameType type, std::uint32_t id,
+                         std::span<const std::uint8_t> payload) {
+  encode_frame(out, static_cast<std::uint8_t>(type), id, payload);
+}
 
 // --- payload readers --------------------------------------------------------
 
@@ -249,6 +294,23 @@ struct WireStats {
   std::uint32_t connections = 0;
   std::uint32_t queue_depth = 0;
 };
+
+/// generation_changed push payload (no status byte — pushes are not
+/// responses). `rule_delta` is the rule-count change versus the generation
+/// previously pushed on this connection (the rule-delta summary).
+struct WireGenerationChanged {
+  std::uint64_t generation = 0;
+  std::uint64_t rule_count = 0;
+  std::int64_t source_date_days = 0;
+  std::int64_t rule_delta = 0;
+
+  friend bool operator==(const WireGenerationChanged&, const WireGenerationChanged&) = default;
+};
+
+/// Encode/decode the generation_changed payload body (the frame header is
+/// the caller's job). parse returns false on short or over-long payloads.
+void put_generation_changed(std::vector<std::uint8_t>& out, const WireGenerationChanged& push);
+bool parse_generation_changed(std::span<const std::uint8_t> payload, WireGenerationChanged& out);
 
 const char* status_name(Status s) noexcept;
 

@@ -29,6 +29,13 @@
 //     loop's poll timeout only tracks deadlines that can actually fire for a
 //     connection's current state, so a stalled peer parks the loop instead
 //     of spinning it.
+//   * Push, not polling: a connection that sends subscribe (0x08) receives a
+//     generation_changed (0x09) frame whenever a reload installs a new list
+//     generation — it never has to poll stats. Pushes ride the same bounded
+//     write buffers as responses, so a subscriber that stops reading is
+//     closed by the write-stall timeout instead of buffered unboundedly.
+//     Rapid consecutive reloads may coalesce into a single push carrying the
+//     newest generation.
 //   * Graceful drain: shutdown() stops accepting, lets in-flight engine
 //     batches finish and their responses flush (bounded by
 //     drain_timeout_ms), then closes everything and joins the loop thread.
@@ -42,8 +49,9 @@
 // counters net.accepted, net.frames_in, net.frames_out, net.bytes_in,
 // net.bytes_out, net.reject.backpressure, net.reject.malformed,
 // net.reject.max_conns, net.timeout.idle, net.timeout.read,
-// net.timeout.write_stall, net.frame_errors; histograms net.request_ms.{ping,same_site,match,reload,
-// stats} (decode-to-response-enqueue latency per request type).
+// net.timeout.write_stall, net.frame_errors, net.push.sent; histograms
+// net.request_ms.{ping,same_site,match,reload,stats} (decode-to-response-
+// enqueue latency per request type).
 #pragma once
 
 #include <atomic>
@@ -112,15 +120,16 @@ class Server {
   bool handle_readable(Connection& conn);
   bool flush_writes(Connection& conn);
   void dispatch_frame(Connection& conn, const Frame& frame);
-  void respond_status(Connection& conn, std::uint8_t type, std::uint32_t id, Status status,
+  void respond_status(Connection& conn, FrameType type, std::uint32_t id, Status status,
                       std::string_view detail);
-  void finish_submit(Connection& conn, serve::Engine::Enqueue enq, std::uint8_t type,
+  void finish_submit(Connection& conn, serve::Engine::Enqueue enq, FrameType type,
                      std::uint32_t id);
   void complete(Completion completion);  // engine workers -> loop thread
   void drain_completions();
+  void broadcast_generation();  // pending push -> subscribed connections
   void close_connection(std::uint64_t conn_id);
   int next_timeout_ms(std::chrono::steady_clock::time_point now) const;
-  void observe_latency(std::uint8_t request_type,
+  void observe_latency(FrameType request_type,
                        std::chrono::steady_clock::time_point t0);
   void update_read_interest(Connection& conn);
 
@@ -163,6 +172,25 @@ class Server {
   std::mutex buffer_pool_mutex_;
   std::vector<std::vector<std::uint8_t>> buffer_pool_;
 
+  // The push channel (subscribe / generation_changed). The engine's
+  // generation listener fires on whatever thread performed the reload; it
+  // records the newest generation here and wakes the loop, which fans one
+  // 0x09 frame out to every subscribed connection. The state is shared via
+  // shared_ptr so a listener invocation racing shutdown() holds it alive;
+  // disarming under the mutex guarantees no pipe write after shutdown
+  // closes the fd. Rapid reloads may coalesce into one push — subscribers
+  // always converge to the newest generation, not every intermediate one.
+  struct PushState {
+    std::mutex mutex;
+    bool armed = false;    ///< loop alive and interested in wakeups
+    bool pending = false;  ///< a generation change awaits broadcast
+    std::uint64_t generation = 0;
+    std::uint64_t rule_count = 0;
+    std::int64_t source_date_days = 0;
+    int wake_fd = -1;
+  };
+  std::shared_ptr<PushState> push_state_;
+
   // Loop-thread scratch (parse views point into the decoder buffer).
   std::vector<std::uint8_t> read_scratch_;
   std::vector<std::pair<std::string_view, std::string_view>> pair_scratch_;
@@ -181,6 +209,7 @@ class Server {
   obs::Counter* timeout_read_ = nullptr;
   obs::Counter* timeout_write_stall_ = nullptr;
   obs::Counter* frame_errors_ = nullptr;
+  obs::Counter* push_sent_ = nullptr;
   obs::Histogram* latency_ping_ = nullptr;
   obs::Histogram* latency_same_site_ = nullptr;
   obs::Histogram* latency_match_ = nullptr;

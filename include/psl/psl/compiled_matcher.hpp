@@ -45,6 +45,9 @@ namespace psl {
 namespace snapshot {
 struct Access;  // serialization backdoor, defined in src/serve/snapshot.cpp
 }
+namespace updater {
+struct ArenaAccess;  // delta-recompile backdoor, defined in src/updater/delta_compiler.cpp
+}
 
 class CompiledMatcher {
  public:
@@ -101,6 +104,7 @@ class CompiledMatcher {
 
  private:
   friend struct snapshot::Access;
+  friend struct updater::ArenaAccess;
 
   /// Raw matcher for the snapshot loader: spans are pointed at an external
   /// buffer (validated first; see psl::snapshot), owned storage stays empty.

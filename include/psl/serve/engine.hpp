@@ -80,6 +80,10 @@ class StoreView;
 struct DivergenceRange;
 }  // namespace psl::store
 
+namespace psl::updater {
+class DeltaCompiler;
+}  // namespace psl::updater
+
 namespace psl::serve {
 
 struct EngineOptions {
@@ -105,10 +109,16 @@ class Engine {
 
   /// The serving state pinned for one batch: references stay valid for the
   /// duration of the job callback (the worker holds the State shared_ptr).
-  /// The helpers below are the batch fast path — they consult this worker's
-  /// registrable-domain cache first and fall through to the pinned matcher's
-  /// match_batch, so front-ends (psl::net::Server, the typed submits, the C
-  /// API engine mirror) get the cached path without touching the cache API.
+  ///
+  /// Pinned's helpers are the CANONICAL batch-lookup entrypoint — the one
+  /// implementation of the cached batch fast path. They consult this
+  /// worker's registrable-domain cache first and fall through to the pinned
+  /// matcher's match_batch, so every front-end (psl::net::Server, the typed
+  /// submit_* wrappers below, the C API engine mirror) gets cache hits,
+  /// batched miss handling, and instrumentation from one place. New callers
+  /// should run through submit_job + these helpers; the submit_* methods
+  /// exist as owning-type conveniences and delegate here, never the other
+  /// way around (docs/API.md, "Batch lookups: which entrypoint").
   struct Pinned {
     const CompiledMatcher& matcher;
     const snapshot::Metadata& meta;
@@ -154,9 +164,13 @@ class Engine {
 
   // --- batched queries (worker pool; one State per batch) ----------------
   //
-  // On acceptance the future is always eventually fulfilled (shutdown
-  // drains the queue). Errors: "serve.backpressure" (queue full; counted in
-  // serve.rejected), "serve.stopped" (engine shutting down).
+  // Thin delegating wrappers over the canonical Pinned helpers, for callers
+  // that want owning std::string/std::future types instead of wiring a
+  // submit_job callback: each submit_* pins one State, calls the matching
+  // Pinned helper, and copies views into owned results. No query logic
+  // lives here. On acceptance the future is always eventually fulfilled
+  // (shutdown drains the queue). Errors: "serve.backpressure" (queue full;
+  // counted in serve.rejected), "serve.stopped" (engine shutting down).
 
   util::Result<std::future<std::vector<std::string>>> submit_registrable_domains(
       std::vector<std::string> hosts);
@@ -178,6 +192,35 @@ class Engine {
   util::Result<std::uint64_t> reload_snapshot(std::span<const std::uint8_t> bytes);
   /// load_file() + the same keep-last-good contract.
   util::Result<std::uint64_t> reload_file(const std::string& path);
+
+  /// Observer invoked (from the reloading thread, after publication, with
+  /// reload serialization held — notifications are ordered and generations
+  /// monotone) every time a new state is installed, including the swap that
+  /// happens inside this very call if the engine is already serving. The
+  /// push channel: psl::net::Server registers here to fan generation
+  /// changes out to subscribed connections. Must be fast and must not call
+  /// back into reload paths. Pass nullptr to clear.
+  using GenerationListener = std::function<void(std::uint64_t generation,
+                                                const snapshot::Metadata& meta)>;
+  void set_generation_listener(GenerationListener listener);
+
+  // --- delta reload (incremental recompile; implemented in src/updater so
+  // --- psl_serve does not link psl_updater — callers needing these link
+  // --- psl_updater, as bench_update and the tests do) ---------------------
+
+  /// Seed the delta-recompile pipeline: keep `list` and a persistent
+  /// updater::DeltaCompiler alongside the engine, compile, and swap.
+  /// Returns the new generation. When meta.rule_count is 0 it is filled
+  /// from the list's rule count.
+  std::uint64_t load_list(List list, snapshot::Metadata meta = {});
+  /// Incremental reload: diff `newer` against the list most recently given
+  /// to load_list/reload_delta, patch only the affected arena subtries
+  /// (O(diff) — see updater::DeltaCompiler), and swap. Errors:
+  /// "serve.no-delta-state" when load_list was never called. The
+  /// delta-compiled arena is structurally equivalent to a from-scratch
+  /// compile of `newer` (the equivalence contract DeltaCompiler's tests
+  /// sweep across the history corpus).
+  util::Result<std::uint64_t> reload_delta(List newer, snapshot::Metadata meta = {});
 
   // --- multi-version store (time-travel; implemented in src/store so
   // --- psl_serve does not link psl_store — callers needing these link
@@ -241,6 +284,15 @@ class Engine {
 
   mutable std::mutex store_mutex_;  ///< held only to copy/replace store_
   std::shared_ptr<const store::StoreView> store_;
+
+  /// Delta-reload state (persistent DeltaCompiler + the list it mirrors),
+  /// defined in src/updater/engine_delta.cpp. Guarded by delta_mutex_.
+  struct DeltaState;
+  std::mutex delta_mutex_;
+  std::shared_ptr<DeltaState> delta_;
+
+  std::mutex listener_mutex_;  ///< guards generation_listener_
+  GenerationListener generation_listener_;
 
   std::mutex reload_mutex_;  ///< serializes swaps so generations are monotone
   std::uint64_t next_generation_ = 0;

@@ -1,0 +1,104 @@
+// Incremental arena recompile — the update half of the live-update pipeline.
+//
+// The paper's central harm is *stale* PSL copies; ROADMAP item 3 makes our
+// own stack Updated-continuous. The cost model matters: real list churn is
+// a handful of rules per day (Scheitle et al.'s top-list churn numbers,
+// PAPERS.md), so a reload should cost O(diff), not O(list). A full
+// CompiledMatcher compile walks every rule through a node-allocating map
+// trie before flattening — linear in the 9k-rule list however small the
+// change.
+//
+// DeltaCompiler keeps the compile's Pass-1 build trie *alive* between
+// versions and partitions the flattened arena by TLD:
+//
+//   * The persistent build trie supports removal: clearing a rule's flag
+//     bit and pruning upward any node left flagless and childless restores
+//     exactly the trie a from-scratch Pass 1 over the new rule set would
+//     build (node identity aside). Pruned nodes go on a free list.
+//   * Every root child (TLD) is an independent *segment* with its own
+//     cached flattened chunk — local node/hash/child arrays plus a local
+//     label pool. Applying a diff dirties only the segments whose TLD a
+//     changed rule names; compile() reflattens just those and splices all
+//     chunks into one arena with pure index/offset arithmetic (memcpy plus
+//     three integer fixups per record — no hashing, no allocation per
+//     node, no sorting except the root's child range).
+//
+// The spliced arena is NOT byte-identical to a from-scratch compile: node
+// indices follow segment order rather than rule-insertion order, and each
+// segment keeps a private label pool (so a label used under two TLDs is
+// stored twice — snapshot validation deliberately does not require pool
+// dedup). It IS structurally equivalent, which is the property matching
+// depends on: both arenas sort every child range by the same
+// (fnv1a_reverse(label), label) key, so equivalent() can walk the two
+// tries in index-aligned lockstep comparing labels, flags and sections.
+// tests/updater/delta_compiler_test.cpp sweeps that check across sampled
+// version pairs of the 1,142-version history corpus, and bench_update
+// gates the >= 10x single-rule-reload speedup in CI.
+//
+// Preconditions mirror List::add_rule/remove_rule: apply() must not add a
+// rule already present or remove one that is absent, and the seed list
+// must be duplicate-free (List::parse/from_rules guarantee this).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/psl/rule.hpp"
+
+namespace psl::updater {
+
+/// Introspection counters for tests and bench_update.
+struct DeltaStats {
+  std::size_t segments = 0;        ///< live TLD segments
+  std::size_t dirty_segments = 0;  ///< segments reflattened by the last compile()
+  std::size_t build_nodes = 0;     ///< live build-trie nodes (free list excluded)
+  std::size_t arena_nodes = 0;     ///< nodes emitted by the last compile()
+};
+
+class DeltaCompiler {
+ public:
+  /// Seed the persistent build trie from `initial` (cost: one full Pass 1).
+  /// Every segment starts dirty; the first compile() flattens them all.
+  explicit DeltaCompiler(const List& initial);
+  ~DeltaCompiler();
+  DeltaCompiler(DeltaCompiler&&) noexcept;
+  DeltaCompiler& operator=(DeltaCompiler&&) noexcept;
+  DeltaCompiler(const DeltaCompiler&) = delete;
+  DeltaCompiler& operator=(const DeltaCompiler&) = delete;
+
+  /// Apply one rule diff, removals first (List::diff reports a section
+  /// change as remove+add of the same labels/kind, and that ordering makes
+  /// the pair land correctly). O(diff) trie mutations; dirties only the
+  /// touched TLD segments.
+  void apply(std::span<const Rule> added, std::span<const Rule> removed);
+
+  /// Convenience: diff `current` against `newer` and apply it. `current`
+  /// must be the list the trie currently represents.
+  void apply_diff(const List& current, const List& newer);
+
+  /// Assemble the arena for the current rule set: reflatten dirty segments,
+  /// splice every cached chunk. The returned matcher owns its storage and
+  /// is structurally equivalent to CompiledMatcher(current_list).
+  CompiledMatcher compile();
+
+  /// Counters as of the last apply()/compile().
+  const DeltaStats& stats() const noexcept;
+
+  /// Structural-equivalence check: do `a` and `b` encode the same rule
+  /// trie (same reachable nodes, labels, rule flags and sections)? This is
+  /// exactly the state the shared match walk reads, so equivalent arenas
+  /// answer every possible query identically. Child ranges in any
+  /// CompiledMatcher are sorted by (hash, label), making the walk a
+  /// lockstep index-aligned comparison — O(arena), no recursion on label
+  /// content.
+  static bool equivalent(const CompiledMatcher& a, const CompiledMatcher& b);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace psl::updater

@@ -2,7 +2,9 @@
 # Loopback end-to-end smoke for psld: compile a snapshot, serve it, query it
 # over the PSLN wire protocol, hot-reload via SIGHUP (answers must flip,
 # keep-last-good must hold for a corrupt file) and via a wire-level
-# `psld reload`, then drain via SIGTERM and require a clean exit 0. A second
+# `psld reload`, prove the push channel (a subscribed `psld watch` is told
+# about a SIGHUP reload without issuing a single query), then drain via
+# SIGTERM and require a clean exit 0. A second
 # act covers the multi-version store: psltool store build from two dated
 # lists, psld --store, match-at answers flipping across the version
 # boundary, divergence ranges, a corrupted store rejected at boot, and the
@@ -28,7 +30,8 @@ PSLTOOL=$(readlink -f "$PSLTOOL")
 WORK=$(mktemp -d)
 DAEMON_PID=
 STORE_PID=
-trap 'kill "$DAEMON_PID" "$STORE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+WATCH_PID=
+trap 'kill "$DAEMON_PID" "$STORE_PID" "$WATCH_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 cd "$WORK"
 
 fail() {
@@ -97,6 +100,32 @@ grep -q "reload rejected .*, still serving generation 2" psld.log \
 "$PSLD" query "$ADDR" shop1.myshopify.com | grep -qx "shop1.myshopify.com myshopify.com" \
   || fail "wire reload did not flip the answer back: $("$PSLD" query "$ADDR" shop1.myshopify.com)"
 "$PSLD" stats "$ADDR" | grep -q "generation 3, 4 rules" || fail "stats after wire reload"
+
+# --- push channel: a subscriber is TOLD about reloads, no polling --------
+# `psld watch N` subscribes and then only drains pushes — it never sends a
+# query frame after the subscribe handshake, so the "pushed generation" line
+# can only come from a server-initiated generation_changed push.
+"$PSLD" watch "$ADDR" 1 > watch.log 2> watch.err &
+WATCH_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "watching from generation 3" watch.log 2>/dev/null && break
+  kill -0 "$WATCH_PID" 2>/dev/null || fail "watcher died during subscribe: $(cat watch.err)"
+  sleep 0.1
+done
+grep -q "watching from generation 3" watch.log || fail "watcher did not subscribe"
+
+cp b.psnap live.psnap
+kill -HUP "$DAEMON_PID"
+for _ in $(seq 1 100); do
+  grep -q "pushed generation 4" watch.log 2>/dev/null && break
+  sleep 0.1
+done
+grep -qx "psld: pushed generation 4 (5 rules, delta +1)" watch.log \
+  || fail "push notification missing or wrong: $(cat watch.log)"
+STATUS=0
+wait "$WATCH_PID" || STATUS=$?  # count=1: exits 0 after that one push
+[[ "$STATUS" -eq 0 ]] || fail "watcher exited $STATUS"
+WATCH_PID=
 
 # --- SIGTERM: graceful drain, exit 0 -------------------------------------
 kill -TERM "$DAEMON_PID"

@@ -36,6 +36,8 @@ struct pslh_engine {
 
 struct pslh_client {
   psl::net::Client client;
+  pslh_push_callback_t push_callback = nullptr;
+  void* push_user_data = nullptr;
 };
 
 namespace {
@@ -106,14 +108,14 @@ int pslh_same_site(const pslh_ctx_t* ctx, const char* a, const char* b) {
   return ctx->list.same_site(a, b) ? 1 : 0;
 }
 
-int pslh_same_site_batch(const pslh_ctx_t* ctx, const char* const* a, const char* const* b,
-                         size_t count, int* out) {
-  if (count == 0) return 1;
-  if (out == nullptr) return 0;
+pslh_status pslh_same_site_batch(const pslh_ctx_t* ctx, const char* const* a,
+                                 const char* const* b, size_t count, int* out) {
+  if (count == 0) return PSLH_OK;
+  if (out == nullptr) return PSLH_ERROR;
   std::memset(out, 0, count * sizeof(int));
-  if (ctx == nullptr || a == nullptr || b == nullptr) return 0;
+  if (ctx == nullptr || a == nullptr || b == nullptr) return PSLH_ERROR;
   for (size_t i = 0; i < count; ++i) {
-    if (a[i] == nullptr || b[i] == nullptr) return 0;
+    if (a[i] == nullptr || b[i] == nullptr) return PSLH_ERROR;
   }
   // Each side of the pair list rides one interleaved batch walk; the packed
   // keys re-attach to the caller's strings, so the predicate below is the
@@ -141,7 +143,7 @@ int pslh_same_site_batch(const pslh_ctx_t* ctx, const char* const* a, const char
     }
     out[i] = same ? 1 : 0;
   }
-  return 1;
+  return PSLH_OK;
 }
 
 size_t pslh_rule_count(const pslh_ctx_t* ctx) {
@@ -179,43 +181,45 @@ unsigned long long pslh_engine_generation(const pslh_engine_t* engine) {
   return engine == nullptr ? 0 : engine->engine.generation();
 }
 
-int pslh_engine_reload_list(pslh_engine_t* engine, const char* data, size_t length) {
-  if (engine == nullptr || data == nullptr) return 0;
+pslh_status pslh_engine_reload_list(pslh_engine_t* engine, const char* data, size_t length) {
+  if (engine == nullptr || data == nullptr) return PSLH_ERROR;
   try {
     auto parsed = psl::List::parse(std::string_view(data, length));
-    if (!parsed) return 0;
+    if (!parsed) return PSLH_ERROR;
     engine->engine.reload_list(*parsed);
-    return 1;
+    return PSLH_OK;
   } catch (...) {
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
-int pslh_engine_reload_snapshot(pslh_engine_t* engine, const unsigned char* bytes,
-                                size_t length) {
-  if (engine == nullptr || bytes == nullptr) return 0;
+pslh_status pslh_engine_reload_snapshot(pslh_engine_t* engine, const unsigned char* bytes,
+                                        size_t length) {
+  if (engine == nullptr || bytes == nullptr) return PSLH_ERROR;
   try {
-    return engine->engine.reload_snapshot({bytes, length}).ok() ? 1 : 0;
+    return engine->engine.reload_snapshot({bytes, length}).ok() ? PSLH_OK : PSLH_ERROR;
   } catch (...) {
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
-int pslh_engine_registrable_domains(pslh_engine_t* engine, const char* const* hosts,
-                                    size_t count, const char** out) {
-  if (count == 0) return 1;
-  if (out == nullptr) return 0;
+pslh_status pslh_engine_registrable_domains(pslh_engine_t* engine, const char* const* hosts,
+                                            size_t count, const char** out) {
+  if (count == 0) return PSLH_OK;
+  if (out == nullptr) return PSLH_ERROR;
   for (size_t i = 0; i < count; ++i) out[i] = nullptr;
-  if (engine == nullptr || hosts == nullptr) return 0;
+  if (engine == nullptr || hosts == nullptr) return PSLH_ERROR;
   try {
     std::vector<std::string> batch;
     batch.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-      if (hosts[i] == nullptr) return 0;
+      if (hosts[i] == nullptr) return PSLH_ERROR;
       batch.emplace_back(hosts[i]);
     }
     auto submitted = engine->engine.submit_registrable_domains(std::move(batch));
-    if (!submitted) return submitted.error().code == "serve.backpressure" ? -1 : 0;
+    if (!submitted) {
+      return submitted.error().code == "serve.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
     const std::vector<std::string> answers = submitted->get();
     for (size_t i = 0; i < count; ++i) {
       if (answers[i].empty()) continue;  // no eTLD+1: out[i] stays NULL
@@ -225,39 +229,41 @@ int pslh_engine_registrable_domains(pslh_engine_t* engine, const char* const* ho
           pslh_string_free(out[j]);
           out[j] = nullptr;
         }
-        return 0;
+        return PSLH_ERROR;
       }
     }
-    return 1;
+    return PSLH_OK;
   } catch (...) {
     for (size_t i = 0; i < count; ++i) {
       pslh_string_free(out[i]);
       out[i] = nullptr;
     }
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
-int pslh_engine_same_site(pslh_engine_t* engine, const char* const* a, const char* const* b,
-                          size_t count, int* out) {
-  if (count == 0) return 1;
-  if (out == nullptr) return 0;
+pslh_status pslh_engine_same_site(pslh_engine_t* engine, const char* const* a,
+                                  const char* const* b, size_t count, int* out) {
+  if (count == 0) return PSLH_OK;
+  if (out == nullptr) return PSLH_ERROR;
   std::memset(out, 0, count * sizeof(int));
-  if (engine == nullptr || a == nullptr || b == nullptr) return 0;
+  if (engine == nullptr || a == nullptr || b == nullptr) return PSLH_ERROR;
   try {
     std::vector<std::pair<std::string, std::string>> pairs;
     pairs.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-      if (a[i] == nullptr || b[i] == nullptr) return 0;
+      if (a[i] == nullptr || b[i] == nullptr) return PSLH_ERROR;
       pairs.emplace_back(a[i], b[i]);
     }
     auto submitted = engine->engine.submit_same_site(std::move(pairs));
-    if (!submitted) return submitted.error().code == "serve.backpressure" ? -1 : 0;
+    if (!submitted) {
+      return submitted.error().code == "serve.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
     const std::vector<std::uint8_t> answers = submitted->get();
     for (size_t i = 0; i < count; ++i) out[i] = answers[i] ? 1 : 0;
-    return 1;
+    return PSLH_OK;
   } catch (...) {
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
@@ -283,30 +289,32 @@ int pslh_client_connected(const pslh_client_t* client) {
   return client != nullptr && client->client.connected() ? 1 : 0;
 }
 
-int pslh_client_ping(pslh_client_t* client) {
-  if (client == nullptr) return 0;
+pslh_status pslh_client_ping(pslh_client_t* client) {
+  if (client == nullptr) return PSLH_ERROR;
   try {
-    return client->client.ping().ok() ? 1 : 0;
+    return client->client.ping().ok() ? PSLH_OK : PSLH_ERROR;
   } catch (...) {
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
-int pslh_client_registrable_domains(pslh_client_t* client, const char* const* hosts,
-                                    size_t count, const char** out) {
-  if (count == 0) return 1;
-  if (out == nullptr) return 0;
+pslh_status pslh_client_registrable_domains(pslh_client_t* client, const char* const* hosts,
+                                            size_t count, const char** out) {
+  if (count == 0) return PSLH_OK;
+  if (out == nullptr) return PSLH_ERROR;
   for (size_t i = 0; i < count; ++i) out[i] = nullptr;
-  if (client == nullptr || hosts == nullptr) return 0;
+  if (client == nullptr || hosts == nullptr) return PSLH_ERROR;
   try {
     std::vector<std::string> batch;
     batch.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-      if (hosts[i] == nullptr) return 0;
+      if (hosts[i] == nullptr) return PSLH_ERROR;
       batch.emplace_back(hosts[i]);
     }
     auto answers = client->client.registrable_domains(batch);
-    if (!answers) return answers.error().code == "net.backpressure" ? -1 : 0;
+    if (!answers) {
+      return answers.error().code == "net.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
     for (size_t i = 0; i < count; ++i) {
       if ((*answers)[i].empty()) continue;  /* no eTLD+1: out[i] stays NULL */
       out[i] = dup_string((*answers)[i]);
@@ -315,48 +323,50 @@ int pslh_client_registrable_domains(pslh_client_t* client, const char* const* ho
           pslh_string_free(out[j]);
           out[j] = nullptr;
         }
-        return 0;
+        return PSLH_ERROR;
       }
     }
-    return 1;
+    return PSLH_OK;
   } catch (...) {
     for (size_t i = 0; i < count; ++i) {
       pslh_string_free(out[i]);
       out[i] = nullptr;
     }
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
-int pslh_client_same_site(pslh_client_t* client, const char* const* a, const char* const* b,
-                          size_t count, int* out) {
-  if (count == 0) return 1;
-  if (out == nullptr) return 0;
+pslh_status pslh_client_same_site(pslh_client_t* client, const char* const* a,
+                                  const char* const* b, size_t count, int* out) {
+  if (count == 0) return PSLH_OK;
+  if (out == nullptr) return PSLH_ERROR;
   std::memset(out, 0, count * sizeof(int));
-  if (client == nullptr || a == nullptr || b == nullptr) return 0;
+  if (client == nullptr || a == nullptr || b == nullptr) return PSLH_ERROR;
   try {
     std::vector<std::pair<std::string, std::string>> pairs;
     pairs.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-      if (a[i] == nullptr || b[i] == nullptr) return 0;
+      if (a[i] == nullptr || b[i] == nullptr) return PSLH_ERROR;
       pairs.emplace_back(a[i], b[i]);
     }
     auto answers = client->client.same_site_batch(pairs);
-    if (!answers) return answers.error().code == "net.backpressure" ? -1 : 0;
+    if (!answers) {
+      return answers.error().code == "net.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
     for (size_t i = 0; i < count; ++i) out[i] = (*answers)[i] ? 1 : 0;
-    return 1;
+    return PSLH_OK;
   } catch (...) {
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
-int pslh_client_reload_snapshot(pslh_client_t* client, const unsigned char* bytes,
-                                size_t length) {
-  if (client == nullptr || (bytes == nullptr && length > 0)) return 0;
+pslh_status pslh_client_reload_snapshot(pslh_client_t* client, const unsigned char* bytes,
+                                        size_t length) {
+  if (client == nullptr || (bytes == nullptr && length > 0)) return PSLH_ERROR;
   try {
-    return client->client.reload({bytes, length}).ok() ? 1 : 0;
+    return client->client.reload({bytes, length}).ok() ? PSLH_OK : PSLH_ERROR;
   } catch (...) {
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
@@ -370,25 +380,27 @@ unsigned long long pslh_client_generation(pslh_client_t* client) {
   }
 }
 
-int pslh_client_match_at(pslh_client_t* client, long long date_days,
-                         const char* const* hosts, size_t count, const char** out,
-                         long long* version_date_days_out) {
+pslh_status pslh_client_match_at(pslh_client_t* client, long long date_days,
+                                 const char* const* hosts, size_t count, const char** out,
+                                 long long* version_date_days_out) {
   if (version_date_days_out != nullptr) *version_date_days_out = 0;
-  if (count == 0) return 1;
-  if (out == nullptr) return 0;
+  if (count == 0) return PSLH_OK;
+  if (out == nullptr) return PSLH_ERROR;
   for (size_t i = 0; i < count; ++i) out[i] = nullptr;
-  if (client == nullptr || hosts == nullptr) return 0;
-  if (date_days < INT32_MIN || date_days > INT32_MAX) return 0;
+  if (client == nullptr || hosts == nullptr) return PSLH_ERROR;
+  if (date_days < INT32_MIN || date_days > INT32_MAX) return PSLH_ERROR;
   try {
     std::vector<std::string> batch;
     batch.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-      if (hosts[i] == nullptr) return 0;
+      if (hosts[i] == nullptr) return PSLH_ERROR;
       batch.emplace_back(hosts[i]);
     }
     auto answer =
         client->client.match_at(psl::util::Date{static_cast<std::int32_t>(date_days)}, batch);
-    if (!answer) return answer.error().code == "net.backpressure" ? -1 : 0;
+    if (!answer) {
+      return answer.error().code == "net.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
     for (size_t i = 0; i < count; ++i) {
       const auto& rd = answer->matches[i].registrable_domain;
       if (rd.empty()) continue; /* no eTLD+1 under that version: out[i] stays NULL */
@@ -398,38 +410,42 @@ int pslh_client_match_at(pslh_client_t* client, long long date_days,
           pslh_string_free(out[j]);
           out[j] = nullptr;
         }
-        return 0;
+        return PSLH_ERROR;
       }
     }
     if (version_date_days_out != nullptr) {
       *version_date_days_out = answer->version_date_days;
     }
-    return 1;
+    return PSLH_OK;
   } catch (...) {
     for (size_t i = 0; i < count; ++i) {
       pslh_string_free(out[i]);
       out[i] = nullptr;
     }
-    return 0;
+    return PSLH_ERROR;
   }
 }
 
-long long pslh_client_divergence(pslh_client_t* client, const char* host,
-                                 long long* first_days, long long* last_days,
-                                 const char** domains, size_t max_ranges) {
+pslh_status pslh_client_divergence(pslh_client_t* client, const char* host,
+                                   long long* first_days, long long* last_days,
+                                   const char** domains, size_t max_ranges,
+                                   size_t* total_out) {
+  if (total_out != nullptr) *total_out = 0;
   for (size_t i = 0; i < max_ranges; ++i) {
     if (first_days != nullptr) first_days[i] = 0;
     if (last_days != nullptr) last_days[i] = 0;
     if (domains != nullptr) domains[i] = nullptr;
   }
-  if (client == nullptr || host == nullptr) return 0;
+  if (client == nullptr || host == nullptr || total_out == nullptr) return PSLH_ERROR;
   if (max_ranges > 0 &&
       (first_days == nullptr || last_days == nullptr || domains == nullptr)) {
-    return 0;
+    return PSLH_ERROR;
   }
   try {
     auto ranges = client->client.divergence(host);
-    if (!ranges) return ranges.error().code == "net.backpressure" ? -1 : 0;
+    if (!ranges) {
+      return ranges.error().code == "net.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
     const size_t fill = ranges->size() < max_ranges ? ranges->size() : max_ranges;
     for (size_t i = 0; i < fill; ++i) {
       const auto& r = (*ranges)[i];
@@ -446,10 +462,11 @@ long long pslh_client_divergence(pslh_client_t* client, const char* host,
           first_days[j] = 0;
           last_days[j] = 0;
         }
-        return 0;
+        return PSLH_ERROR;
       }
     }
-    return static_cast<long long>(ranges->size());
+    *total_out = ranges->size();
+    return PSLH_OK;
   } catch (...) {
     for (size_t i = 0; i < max_ranges; ++i) {
       if (domains != nullptr) {
@@ -459,7 +476,68 @@ long long pslh_client_divergence(pslh_client_t* client, const char* host,
       if (first_days != nullptr) first_days[i] = 0;
       if (last_days != nullptr) last_days[i] = 0;
     }
-    return 0;
+    return PSLH_ERROR;
+  }
+}
+
+/* --- the push channel ----------------------------------------------------- */
+
+pslh_status pslh_client_subscribe(pslh_client_t* client, unsigned long long* generation_out) {
+  if (generation_out != nullptr) *generation_out = 0;
+  if (client == nullptr) return PSLH_ERROR;
+  try {
+    auto generation = client->client.subscribe();
+    if (!generation) return PSLH_ERROR;
+    if (generation_out != nullptr) *generation_out = *generation;
+    return PSLH_OK;
+  } catch (...) {
+    return PSLH_ERROR;
+  }
+}
+
+pslh_status pslh_client_set_push_callback(pslh_client_t* client, pslh_push_callback_t callback,
+                                          void* user_data) {
+  if (client == nullptr) return PSLH_ERROR;
+  client->push_callback = callback;
+  client->push_user_data = user_data;
+  if (callback == nullptr) {
+    client->client.set_push_callback(nullptr);
+    return PSLH_OK;
+  }
+  /* The lambda reads the handle's fields at fire time, so re-registering a
+   * different callback/user_data takes effect without another wire call. */
+  client->client.set_push_callback([client](const psl::net::WireGenerationChanged& push) {
+    if (client->push_callback != nullptr) {
+      client->push_callback(push.generation, push.rule_count, push.rule_delta,
+                            client->push_user_data);
+    }
+  });
+  return PSLH_OK;
+}
+
+pslh_status pslh_client_poll_pushes(pslh_client_t* client, size_t* drained_out) {
+  if (drained_out != nullptr) *drained_out = 0;
+  if (client == nullptr) return PSLH_ERROR;
+  try {
+    auto drained = client->client.poll_pushes();
+    if (!drained) return PSLH_ERROR;
+    if (drained_out != nullptr) *drained_out = *drained;
+    return PSLH_OK;
+  } catch (...) {
+    return PSLH_ERROR;
+  }
+}
+
+unsigned long long pslh_client_last_pushed_generation(const pslh_client_t* client) {
+  return client == nullptr ? 0 : client->client.last_pushed_generation();
+}
+
+pslh_status pslh_client_reconnect(pslh_client_t* client) {
+  if (client == nullptr) return PSLH_ERROR;
+  try {
+    return client->client.reconnect().ok() ? PSLH_OK : PSLH_ERROR;
+  } catch (...) {
+    return PSLH_ERROR;
   }
 }
 

@@ -49,7 +49,7 @@ util::Error status_error(Status status, std::string_view detail) {
 }  // namespace
 
 Client::Client(int fd, ClientOptions options)
-    : fd_(fd), options_(options), decoder_(options.max_frame_bytes) {
+    : fd_(fd), options_(options), decoder_(options.max_frame_bytes), cache_(options.cache_slots) {
   recv_scratch_.resize(64 * 1024);
 }
 
@@ -60,7 +60,14 @@ Client::Client(Client&& other) noexcept
       decoder_(std::move(other.decoder_)),
       send_buf_(std::move(other.send_buf_)),
       payload_buf_(std::move(other.payload_buf_)),
-      recv_scratch_(std::move(other.recv_scratch_)) {
+      recv_scratch_(std::move(other.recv_scratch_)),
+      address_(std::move(other.address_)),
+      port_(other.port_),
+      subscribed_(other.subscribed_),
+      pushed_generation_(other.pushed_generation_),
+      push_callback_(std::move(other.push_callback_)),
+      cache_(std::move(other.cache_)),
+      cache_generation_(other.cache_generation_) {
   other.fd_ = -1;
 }
 
@@ -74,6 +81,13 @@ Client& Client::operator=(Client&& other) noexcept {
     send_buf_ = std::move(other.send_buf_);
     payload_buf_ = std::move(other.payload_buf_);
     recv_scratch_ = std::move(other.recv_scratch_);
+    address_ = std::move(other.address_);
+    port_ = other.port_;
+    subscribed_ = other.subscribed_;
+    pushed_generation_ = other.pushed_generation_;
+    push_callback_ = std::move(other.push_callback_);
+    cache_ = std::move(other.cache_);
+    cache_generation_ = other.cache_generation_;
     other.fd_ = -1;
   }
   return *this;
@@ -129,7 +143,10 @@ util::Result<Client> Client::connect(const std::string& address, std::uint16_t p
   set_timeout(fd, SO_SNDTIMEO, options.io_timeout_ms);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return Client(fd, options);
+  Client client(fd, options);
+  client.address_ = address;  // kept for reconnect()
+  client.port_ = port;
+  return client;
 }
 
 util::Result<bool> Client::send_all(std::span<const std::uint8_t> bytes) {
@@ -157,7 +174,7 @@ util::Result<bool> Client::round_trip(FrameType type, std::span<const std::uint8
   }
   const std::uint32_t id = next_id_++;
   send_buf_.clear();
-  encode_frame(send_buf_, static_cast<std::uint8_t>(type), id, payload);
+  encode_frame(send_buf_, type, id, payload);
   if (auto sent = send_all(send_buf_); !sent.ok()) {
     close();
     return sent.error();
@@ -166,8 +183,13 @@ util::Result<bool> Client::round_trip(FrameType type, std::span<const std::uint8
   for (;;) {
     switch (decoder_.next(out)) {
       case FrameDecoder::Next::kFrame: {
-        if (out.header.type != (static_cast<std::uint8_t>(type) | kResponseBit) ||
-            out.header.id != id) {
+        // A generation_changed push may interleave ahead of (or between) our
+        // responses — consume it and keep waiting for the real answer.
+        if (out.header.type == static_cast<std::uint8_t>(FrameType::kGenerationChanged)) {
+          if (auto handled = handle_push(out); !handled.ok()) return handled.error();
+          continue;
+        }
+        if (out.header.type != response_type(type) || out.header.id != id) {
           close();
           return util::make_error("net.protocol", "response type/id mismatch");
         }
@@ -380,12 +402,157 @@ util::Result<std::vector<WireDivergenceRange>> Client::divergence(const std::str
 
 util::Result<std::vector<std::string>> Client::registrable_domains(
     const std::vector<std::string>& hosts) {
-  auto matches = match_batch(hosts);
+  // Cached path: only with slots configured AND an active subscription —
+  // the pushed generation is the invalidation signal, so serving cached
+  // boundaries without one could hand out stale answers forever.
+  if (!cache_.enabled() || !subscribed_) {
+    auto matches = match_batch(hosts);
+    if (!matches.ok()) return matches.error();
+    std::vector<std::string> out;
+    out.reserve(matches->size());
+    for (WireMatch& m : *matches) out.push_back(std::move(m.registrable_domain));
+    return out;
+  }
+
+  // Drain pending pushes BEFORE consulting the cache: a generation change
+  // sitting unread in the socket must invalidate, not be discovered after
+  // stale hits were already served. A drain failure means the connection
+  // died; surface that instead of answering from a cache we can no longer
+  // invalidate.
+  if (auto drained = poll_pushes(); !drained.ok()) return drained.error();
+  if (cache_generation_ != pushed_generation_) reset_cache(pushed_generation_);
+
+  std::vector<std::string> out(hosts.size());
+  std::vector<std::string> miss_hosts;
+  std::vector<std::size_t> miss_index;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const std::uint64_t hash = serve::RegDomainCache::hash_host(hosts[i]);
+    std::uint32_t rd_len = 0;
+    if (cache_.lookup(hash, rd_len)) {
+      if (rd_len != serve::RegDomainCache::kNoDomain && rd_len <= hosts[i].size()) {
+        out[i] = hosts[i].substr(hosts[i].size() - rd_len);
+      }
+      continue;  // kNoDomain -> "" (already default-constructed)
+    }
+    miss_index.push_back(i);
+    miss_hosts.push_back(hosts[i]);
+  }
+  if (miss_hosts.empty()) return out;
+
+  auto matches = match_batch(miss_hosts);
   if (!matches.ok()) return matches.error();
-  std::vector<std::string> out;
-  out.reserve(matches->size());
-  for (WireMatch& m : *matches) out.push_back(std::move(m.registrable_domain));
+  for (std::size_t m = 0; m < matches->size(); ++m) {
+    const std::size_t i = miss_index[m];
+    std::string& domain = (*matches)[m].registrable_domain;
+    // Cache entries are suffix LENGTHS of the queried host; a boundary the
+    // server normalized into something that is not a literal suffix (rare:
+    // trailing-dot hosts) is served but not cached.
+    if (domain.empty()) {
+      cache_.insert(serve::RegDomainCache::hash_host(hosts[i]),
+                    serve::RegDomainCache::kNoDomain);
+    } else if (hosts[i].ends_with(domain)) {
+      cache_.insert(serve::RegDomainCache::hash_host(hosts[i]),
+                    static_cast<std::uint32_t>(domain.size()));
+    }
+    out[i] = std::move(domain);
+  }
   return out;
+}
+
+// --- the push channel --------------------------------------------------------
+
+util::Result<bool> Client::handle_push(const Frame& frame) {
+  WireGenerationChanged push;
+  if (frame.header.id != 0 || !parse_generation_changed(frame.payload, push)) {
+    close();
+    return util::make_error("net.protocol", "bad generation_changed push");
+  }
+  pushed_generation_ = push.generation;
+  if (push_callback_) push_callback_(push);
+  return true;
+}
+
+util::Result<std::uint64_t> Client::subscribe() {
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kSubscribe, {}, frame); !ok.ok()) return ok.error();
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  std::uint64_t generation = 0;
+  if (!reader.u8(status) || !reader.u64(generation) || !reader.done()) {
+    return util::make_error("net.protocol", "bad subscribe response body");
+  }
+  subscribed_ = true;
+  // The subscribe response pins where this connection's knowledge starts;
+  // the cache re-keys here so pre-subscription state can never satisfy a
+  // post-subscription lookup.
+  pushed_generation_ = generation;
+  reset_cache(generation);
+  return generation;
+}
+
+util::Result<std::size_t> Client::poll_pushes() {
+  if (fd_ < 0) return util::make_error("net.closed", "client is not connected");
+  std::size_t received = 0;
+  for (;;) {
+    Frame frame;
+    switch (decoder_.next(frame)) {
+      case FrameDecoder::Next::kFrame: {
+        // Nothing but pushes may arrive between round trips.
+        if (frame.header.type != static_cast<std::uint8_t>(FrameType::kGenerationChanged)) {
+          close();
+          return util::make_error("net.protocol", "unsolicited non-push frame");
+        }
+        if (auto handled = handle_push(frame); !handled.ok()) return handled.error();
+        ++received;
+        continue;
+      }
+      case FrameDecoder::Next::kError:
+        close();
+        return util::make_error("net.protocol", decoder_.error().message);
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, recv_scratch_.data(), recv_scratch_.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      decoder_.feed({recv_scratch_.data(), static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n == 0) {
+      close();
+      return util::make_error("net.closed", "server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return received;  // socket drained
+    close();
+    return util::make_error("net.io", errno_text("recv"));
+  }
+}
+
+util::Result<bool> Client::reconnect() {
+  if (address_.empty()) {
+    return util::make_error("net.io", "client has no dial target (not created via connect())");
+  }
+  close();
+  auto fresh = connect(address_, port_, options_);
+  if (!fresh.ok()) return fresh.error();
+  // Adopt the new socket but keep this client's identity (callback, options,
+  // subscription intent). The decoder restarts clean — the old stream died
+  // mid-anything and none of it can be trusted.
+  fd_ = fresh->fd_;
+  fresh->fd_ = -1;
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+  reset_cache(0);
+  pushed_generation_ = 0;
+  if (subscribed_) {
+    subscribed_ = false;  // re-established by the subscribe below
+    if (auto generation = subscribe(); !generation.ok()) return generation.error();
+  }
+  return true;
+}
+
+void Client::reset_cache(std::uint64_t generation) {
+  if (cache_.enabled()) cache_ = serve::RegDomainCache(options_.cache_slots);
+  cache_generation_ = generation;
 }
 
 util::Result<std::uint64_t> Client::reload(std::span<const std::uint8_t> snapshot_bytes) {

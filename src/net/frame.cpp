@@ -247,6 +247,26 @@ bool parse_divergence_request(std::span<const std::uint8_t> payload, std::string
   return reader.str16(host) && reader.done();
 }
 
+void put_generation_changed(std::vector<std::uint8_t>& out, const WireGenerationChanged& push) {
+  put_u64(out, push.generation);
+  put_u64(out, push.rule_count);
+  put_u64(out, static_cast<std::uint64_t>(push.source_date_days));
+  put_u64(out, static_cast<std::uint64_t>(push.rule_delta));
+}
+
+bool parse_generation_changed(std::span<const std::uint8_t> payload, WireGenerationChanged& out) {
+  WireReader reader(payload);
+  std::uint64_t date = 0;
+  std::uint64_t delta = 0;
+  if (!reader.u64(out.generation) || !reader.u64(out.rule_count) || !reader.u64(date) ||
+      !reader.u64(delta) || !reader.done()) {
+    return false;
+  }
+  out.source_date_days = static_cast<std::int64_t>(date);
+  out.rule_delta = static_cast<std::int64_t>(delta);
+  return true;
+}
+
 const char* status_name(Status s) noexcept {
   switch (s) {
     case Status::kOk: return "ok";

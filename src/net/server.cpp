@@ -193,6 +193,11 @@ struct Server::Connection {
   std::size_t out_off = 0;
   std::size_t inflight = 0;  ///< engine jobs whose responses are pending
   bool draining = false;
+  bool subscribed = false;  ///< receives generation_changed pushes
+  /// Last generation/rule count pushed (or implied by the subscribe reply);
+  /// the next push carries rule_delta relative to pushed_rule_count.
+  std::uint64_t pushed_generation = 0;
+  std::uint64_t pushed_rule_count = 0;
   bool want_read = true;
   bool want_write = false;
   bool mid_frame = false;
@@ -208,7 +213,7 @@ struct Server::Connection {
 struct Server::Completion {
   std::uint64_t conn_id = 0;
   std::vector<std::uint8_t> frame;  ///< recycled via the buffer pool
-  std::uint8_t request_type = 0;
+  FrameType request_type = FrameType::kPing;
   std::chrono::steady_clock::time_point t0;
 };
 
@@ -231,6 +236,7 @@ Server::Server(serve::Engine& engine, ServerOptions options)
     timeout_read_ = &m.counter("net.timeout.read");
     timeout_write_stall_ = &m.counter("net.timeout.write_stall");
     frame_errors_ = &m.counter("net.frame_errors");
+    push_sent_ = &m.counter("net.push.sent");
     latency_ping_ = &m.histogram("net.request_ms.ping");
     latency_same_site_ = &m.histogram("net.request_ms.same_site");
     latency_match_ = &m.histogram("net.request_ms.match");
@@ -294,6 +300,27 @@ util::Result<std::uint16_t> Server::start() {
 
   read_scratch_.resize(64 * 1024);
   stop_requested_.store(false, std::memory_order_release);
+
+  // Arm the push channel: the engine's generation listener records the new
+  // generation and wakes the loop, which broadcasts to subscribed
+  // connections. The listener captures the shared state (not `this`), so an
+  // invocation racing shutdown() cannot dangle; disarming under the mutex
+  // guarantees no pipe write after the fd closes.
+  push_state_ = std::make_shared<PushState>();
+  push_state_->armed = true;
+  push_state_->wake_fd = wake_write_fd_;
+  engine_.set_generation_listener(
+      [state = push_state_](std::uint64_t generation, const snapshot::Metadata& meta) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->armed) return;
+        state->pending = true;
+        state->generation = generation;
+        state->rule_count = meta.rule_count;
+        state->source_date_days = meta.source_date.days_since_epoch();
+        const std::uint8_t byte = 1;
+        (void)!::write(state->wake_fd, &byte, 1);  // EAGAIN = wakeup already pending
+      });
+
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { loop(); });
   return port_;
@@ -301,6 +328,15 @@ util::Result<std::uint16_t> Server::start() {
 
 void Server::shutdown() {
   if (!running_.load(std::memory_order_acquire)) return;
+  // Disarm the push channel first: clearing the engine listener stops new
+  // invocations, and flipping `armed` under the mutex waits out any
+  // listener mid-write so nothing touches the wake pipe once it closes.
+  engine_.set_generation_listener(nullptr);
+  if (push_state_) {
+    std::lock_guard<std::mutex> lock(push_state_->mutex);
+    push_state_->armed = false;
+    push_state_->wake_fd = -1;
+  }
   stop_requested_.store(true, std::memory_order_release);
   const std::uint8_t byte = 1;
   // A full pipe already guarantees a pending wakeup.
@@ -435,16 +471,25 @@ void Server::loop() {
     }
 
     poller_->wait(events, timeout_ms);
+
+    // Drain the wake pipe BEFORE anything that can make a worker write to
+    // it. Draining it mid-batch (after dispatching a connection's request)
+    // could swallow a byte the worker wrote for a completion that
+    // drain_completions() already missed this iteration — the next wait()
+    // would then block indefinitely with that response stranded.
+    for (const Poller::Event& ev : events) {
+      if (ev.fd != wake_read_fd_) continue;
+      std::uint8_t sink[256];
+      while (::read(wake_read_fd_, sink, sizeof sink) > 0) {
+      }
+      break;
+    }
     drain_completions();
+    broadcast_generation();
 
     bool accept_ready = false;
     for (const Poller::Event& ev : events) {
-      if (ev.fd == wake_read_fd_) {
-        std::uint8_t sink[256];
-        while (::read(wake_read_fd_, sink, sizeof sink) > 0) {
-        }
-        continue;
-      }
+      if (ev.fd == wake_read_fd_) continue;  // drained above
       if (ev.fd == listen_fd_) {
         accept_ready = true;  // handled after existing connections, so a
         continue;             // just-closed fd cannot alias a fresh accept
@@ -642,19 +687,19 @@ void Server::update_read_interest(Connection& conn) {
 
 // --- request dispatch -------------------------------------------------------
 
-void Server::respond_status(Connection& conn, std::uint8_t type, std::uint32_t id, Status status,
+void Server::respond_status(Connection& conn, FrameType type, std::uint32_t id, Status status,
                             std::string_view detail) {
-  const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+  const std::size_t frame_begin = begin_response_frame(conn.out, type, id);
   put_u8(conn.out, static_cast<std::uint8_t>(status));
   put_str16(conn.out, detail.substr(0, 512));
   end_frame(conn.out, frame_begin);
   if (frames_out_) frames_out_->add();
 }
 
-void Server::observe_latency(std::uint8_t request_type,
+void Server::observe_latency(FrameType request_type,
                              std::chrono::steady_clock::time_point t0) {
   obs::Histogram* sink = nullptr;
-  switch (static_cast<FrameType>(request_type)) {
+  switch (request_type) {
     case FrameType::kPing: sink = latency_ping_; break;
     case FrameType::kSameSiteBatch: sink = latency_same_site_; break;
     case FrameType::kMatchBatch: sink = latency_match_; break;
@@ -662,6 +707,8 @@ void Server::observe_latency(std::uint8_t request_type,
     case FrameType::kStats: sink = latency_stats_; break;
     case FrameType::kMatchAt: sink = latency_match_at_; break;
     case FrameType::kDivergence: sink = latency_divergence_; break;
+    case FrameType::kSubscribe:
+    case FrameType::kGenerationChanged: break;  // loop-thread only, not timed
   }
   if (!sink) return;
   const auto elapsed = std::chrono::steady_clock::now() - t0;
@@ -670,7 +717,7 @@ void Server::observe_latency(std::uint8_t request_type,
 
 void Server::dispatch_frame(Connection& conn, const Frame& frame) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint8_t type = frame.header.type;
+  const FrameType type = static_cast<FrameType>(frame.header.type);
   const std::uint32_t id = frame.header.id;
 
   if (conn.draining) {
@@ -678,9 +725,9 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
     return;
   }
 
-  switch (static_cast<FrameType>(type)) {
+  switch (type) {
     case FrameType::kPing: {
-      const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+      const std::size_t frame_begin = begin_response_frame(conn.out, type, id);
       put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
       put_raw(conn.out, frame.payload);
       end_frame(conn.out, frame_begin);
@@ -690,7 +737,7 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
     }
 
     case FrameType::kStats: {
-      const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+      const std::size_t frame_begin = begin_response_frame(conn.out, type, id);
       put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
       const snapshot::Metadata meta = engine_.metadata();
       put_u64(conn.out, engine_.generation());
@@ -705,12 +752,31 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
       return;
     }
 
+    case FrameType::kSubscribe: {
+      if (!frame.payload.empty()) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_status(conn, type, id, Status::kMalformed, "subscribe payload must be empty");
+        return;
+      }
+      // Record what this peer now knows so the first push carries a
+      // meaningful rule_delta and a generation it already saw is skipped.
+      conn.subscribed = true;
+      conn.pushed_generation = engine_.generation();
+      conn.pushed_rule_count = engine_.metadata().rule_count;
+      const std::size_t frame_begin = begin_response_frame(conn.out, type, id);
+      put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
+      put_u64(conn.out, conn.pushed_generation);
+      end_frame(conn.out, frame_begin);
+      if (frames_out_) frames_out_->add();
+      return;
+    }
+
     case FrameType::kReload: {
       // Validation is keep-last-good inside the engine; running it on the
       // loop thread briefly pauses I/O but never the engine workers.
       auto swapped = engine_.reload_snapshot(frame.payload);
       if (swapped.ok()) {
-        const std::size_t frame_begin = begin_frame(conn.out, type | kResponseBit, id);
+        const std::size_t frame_begin = begin_response_frame(conn.out, type, id);
         put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
         put_u64(conn.out, *swapped);
         end_frame(conn.out, frame_begin);
@@ -754,7 +820,7 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
             thread_local std::vector<std::pair<std::string_view, std::string_view>> pairs;
             parse_same_site_request(request, pairs);  // validated on the loop thread
             std::vector<std::uint8_t> buf = acquire_buffer();
-            const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+            const std::size_t frame_begin = begin_response_frame(buf, type, id);
             put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
             put_u32(buf, static_cast<std::uint32_t>(pairs.size()));
             for (const auto& [a, b] : pairs) {
@@ -794,7 +860,7 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
             views.resize(hosts.size());
             pinned.match_batch(hosts, views);  // interleaved + prefetched walk
             std::vector<std::uint8_t> buf = acquire_buffer();
-            const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+            const std::size_t frame_begin = begin_response_frame(buf, type, id);
             put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
             put_u32(buf, static_cast<std::uint32_t>(hosts.size()));
             for (const MatchView& view : views) {
@@ -845,7 +911,7 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
             parse_match_at_request(request, days, hosts);  // validated on the loop thread
             std::vector<std::uint8_t> buf = acquire_buffer();
             const auto respond_error = [&](Status status, std::string_view detail) {
-              const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+              const std::size_t frame_begin = begin_response_frame(buf, type, id);
               put_u8(buf, static_cast<std::uint8_t>(status));
               put_str16(buf, detail.substr(0, 512));
               end_frame(buf, frame_begin);
@@ -861,7 +927,7 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
               } else {
                 views.resize(hosts.size());
                 snap->matcher.match_batch(hosts, views);
-                const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+                const std::size_t frame_begin = begin_response_frame(buf, type, id);
                 put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
                 put_u64(buf, static_cast<std::uint64_t>(static_cast<std::int64_t>(
                                  snap->meta.source_date.days_since_epoch())));
@@ -911,14 +977,14 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
             std::vector<std::uint8_t> buf = acquire_buffer();
             const auto ranges = engine->divergence(h);
             if (!ranges.ok()) {
-              const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+              const std::size_t frame_begin = begin_response_frame(buf, type, id);
               put_u8(buf, static_cast<std::uint8_t>(ranges.error().code == "store.none"
                                                         ? Status::kUnsupported
                                                         : Status::kMalformed));
               put_str16(buf, std::string_view(ranges.error().code).substr(0, 512));
               end_frame(buf, frame_begin);
             } else {
-              const std::size_t frame_begin = begin_frame(buf, type | kResponseBit, id);
+              const std::size_t frame_begin = begin_response_frame(buf, type, id);
               put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
               put_u32(buf, static_cast<std::uint32_t>(ranges->size()));
               for (const store::DivergenceRange& r : *ranges) {
@@ -938,13 +1004,16 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
       finish_submit(conn, enq, type, id);
       return;
     }
+
+    case FrameType::kGenerationChanged:
+      break;  // server-push only; a client sending it gets kUnsupported
   }
 
   respond_status(conn, type, id, Status::kUnsupported,
-                 "unknown frame type " + std::to_string(type));
+                 "unknown frame type " + std::to_string(frame.header.type));
 }
 
-void Server::finish_submit(Connection& conn, serve::Engine::Enqueue enq, std::uint8_t type,
+void Server::finish_submit(Connection& conn, serve::Engine::Enqueue enq, FrameType type,
                            std::uint32_t id) {
   switch (enq) {
     case serve::Engine::Enqueue::kOk:
@@ -975,6 +1044,39 @@ void Server::complete(Completion completion) {
     const std::uint8_t byte = 1;
     (void)!::write(wake_write_fd_, &byte, 1);  // EAGAIN = wakeup already pending
   }
+}
+
+void Server::broadcast_generation() {
+  WireGenerationChanged push;
+  {
+    std::lock_guard<std::mutex> lock(push_state_->mutex);
+    if (!push_state_->pending) return;
+    push_state_->pending = false;
+    push.generation = push_state_->generation;
+    push.rule_count = push_state_->rule_count;
+    push.source_date_days = push_state_->source_date_days;
+  }
+  std::vector<std::uint64_t> dead;
+  for (auto& [id, conn] : connections_) {
+    if (!conn->subscribed || conn->draining) continue;
+    // The subscribe reply (or a previous push) already told this peer about
+    // this generation — e.g. it subscribed after the listener fired but
+    // before this broadcast ran.
+    if (conn->pushed_generation == push.generation) continue;
+    push.rule_delta =
+        static_cast<std::int64_t>(push.rule_count) -
+        static_cast<std::int64_t>(conn->pushed_rule_count);
+    // A push is not a response: no response bit, request id 0.
+    const std::size_t frame_begin = begin_frame(conn->out, FrameType::kGenerationChanged, 0);
+    put_generation_changed(conn->out, push);
+    end_frame(conn->out, frame_begin);
+    conn->pushed_generation = push.generation;
+    conn->pushed_rule_count = push.rule_count;
+    if (frames_out_) frames_out_->add();
+    if (push_sent_) push_sent_->add();
+    if (!flush_writes(*conn)) dead.push_back(id);
+  }
+  for (const std::uint64_t id : dead) close_connection(id);
 }
 
 void Server::drain_completions() {

@@ -311,6 +311,7 @@ std::uint64_t Engine::install(snapshot::Snapshot next) {
   for (std::size_t i = 0; i < configured_workers_; ++i) {
     fresh->caches.emplace_back(cache_slots_);
   }
+  const snapshot::Metadata meta = fresh->meta;
   std::shared_ptr<const State> state = std::move(fresh);
   {
     std::lock_guard<std::mutex> state_lock(state_mutex_);
@@ -318,7 +319,22 @@ std::uint64_t Engine::install(snapshot::Snapshot next) {
   }
   // `state` (the previous State) is released outside state_mutex_, so a
   // reader never waits on the old matcher's destruction.
+  //
+  // Notify AFTER publication (a listener that queries sees the new
+  // generation) and still under reload_mutex_ (notifications arrive in
+  // generation order, never interleaved).
+  GenerationListener listener;
+  {
+    std::lock_guard<std::mutex> listener_lock(listener_mutex_);
+    listener = generation_listener_;
+  }
+  if (listener) listener(generation, meta);
   return generation;
+}
+
+void Engine::set_generation_listener(GenerationListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  generation_listener_ = std::move(listener);
 }
 
 std::uint64_t Engine::swap(snapshot::Snapshot next) {

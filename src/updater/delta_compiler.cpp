@@ -1,0 +1,389 @@
+#include "psl/updater/delta_compiler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "psl/psl/detail/match_walk.hpp"
+
+namespace psl::updater {
+
+// The friend backdoor into CompiledMatcher's arena: re-exports the private
+// record types and flag bits, constructs a matcher from pre-built arena
+// vectors, and exposes the spans for the equivalence walk. Mirrors
+// snapshot::Access — the arena layout stays private to everyone else.
+struct ArenaAccess {
+  using Node = CompiledMatcher::Node;
+  using Child = CompiledMatcher::Child;
+  static constexpr std::uint8_t kHasNormal = CompiledMatcher::kHasNormal;
+  static constexpr std::uint8_t kHasWildcard = CompiledMatcher::kHasWildcard;
+  static constexpr std::uint8_t kHasException = CompiledMatcher::kHasException;
+
+  static CompiledMatcher adopt(std::vector<Node> nodes, std::vector<std::uint32_t> hashes,
+                               std::vector<Child> children, std::vector<char> pool) {
+    CompiledMatcher m;
+    m.owned_nodes_ = std::move(nodes);
+    m.owned_hashes_ = std::move(hashes);
+    m.owned_children_ = std::move(children);
+    m.owned_pool_ = std::move(pool);
+    m.adopt_owned();
+    return m;
+  }
+
+  static std::span<const Node> nodes(const CompiledMatcher& m) noexcept { return m.nodes_; }
+  static std::span<const std::uint32_t> hashes(const CompiledMatcher& m) noexcept {
+    return m.child_hashes_;
+  }
+  static std::span<const Child> children(const CompiledMatcher& m) noexcept {
+    return m.children_;
+  }
+  static std::string_view pool(const CompiledMatcher& m) noexcept { return m.pool_; }
+};
+
+namespace {
+
+using Node = ArenaAccess::Node;
+using Child = ArenaAccess::Child;
+
+std::uint8_t flag_bit(RuleKind kind) noexcept {
+  switch (kind) {
+    case RuleKind::kNormal: return ArenaAccess::kHasNormal;
+    case RuleKind::kWildcard: return ArenaAccess::kHasWildcard;
+    case RuleKind::kException: return ArenaAccess::kHasException;
+  }
+  return 0;
+}
+
+}  // namespace
+
+struct DeltaCompiler::Impl {
+  // The persistent Pass-1 trie. Matches CompiledMatcher's throwaway
+  // BuildNode exactly, plus a parent link so removal can prune upward.
+  struct BuildNode {
+    std::map<std::string, std::uint32_t, std::less<>> children;
+    std::uint32_t parent = 0;
+    std::uint8_t flags = 0;
+    std::uint8_t sections = 0;
+  };
+
+  // One TLD subtree plus its cached flattened chunk. All indices/offsets
+  // in the chunk are segment-local: nodes[0] is the TLD node itself,
+  // Child::node indexes `nodes`, Child::label_offset indexes `pool`.
+  struct Segment {
+    std::uint32_t build_root = 0;
+    bool dirty = true;
+    std::vector<Node> nodes;
+    std::vector<std::uint32_t> hashes;
+    std::vector<Child> children;
+    std::string pool;
+  };
+
+  std::vector<BuildNode> build{1};  // [0] = root
+  std::vector<std::uint32_t> free_nodes;
+  std::map<std::string, Segment, std::less<>> segments;
+  DeltaStats stats;
+
+  std::uint32_t alloc_node(std::uint32_t parent) {
+    if (!free_nodes.empty()) {
+      const std::uint32_t idx = free_nodes.back();
+      free_nodes.pop_back();
+      build[idx].parent = parent;
+      return idx;
+    }
+    const auto idx = static_cast<std::uint32_t>(build.size());
+    build.emplace_back().parent = parent;
+    return idx;
+  }
+
+  void insert(const Rule& rule) {
+    std::uint32_t node = 0;
+    const auto& labels = rule.labels();
+    for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+      const auto found = build[node].children.find(*it);
+      if (found != build[node].children.end()) {
+        node = found->second;
+      } else {
+        const std::uint32_t idx = alloc_node(node);
+        build[node].children.emplace(*it, idx);
+        node = idx;
+      }
+    }
+    const std::uint8_t bit = flag_bit(rule.kind());
+    build[node].flags |= bit;
+    if (rule.section() == Section::kPrivate) {
+      build[node].sections |= bit;
+    } else {
+      build[node].sections &= static_cast<std::uint8_t>(~bit);
+    }
+  }
+
+  void remove(const Rule& rule) {
+    // Descend, remembering the path so the prune can walk back up.
+    std::uint32_t node = 0;
+    const auto& labels = rule.labels();
+    struct Hop {
+      std::uint32_t parent;
+      std::string_view label;
+      std::uint32_t child;
+    };
+    std::vector<Hop> path;
+    path.reserve(labels.size());
+    for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+      const auto found = build[node].children.find(*it);
+      if (found == build[node].children.end()) return;  // precondition violated; no-op
+      path.push_back({node, *it, found->second});
+      node = found->second;
+    }
+    const std::uint8_t bit = flag_bit(rule.kind());
+    build[node].flags &= static_cast<std::uint8_t>(~bit);
+    build[node].sections &= static_cast<std::uint8_t>(~bit);
+
+    // Prune: a node left flagless and childless would not exist in a
+    // from-scratch Pass 1 over the new rule set — drop it from its parent
+    // and keep walking up while that keeps being true.
+    for (std::size_t i = path.size(); i-- > 0;) {
+      const Hop& hop = path[i];
+      if (build[hop.child].flags != 0 || !build[hop.child].children.empty()) break;
+      const auto it = build[hop.parent].children.find(hop.label);
+      build[hop.parent].children.erase(it);
+      build[hop.child] = BuildNode{};
+      free_nodes.push_back(hop.child);
+    }
+  }
+
+  /// Re-sync the segment for `tld` with the build trie: (re)create it
+  /// dirty if the TLD node exists, drop it if the prune removed the TLD.
+  void touch(std::string_view tld) {
+    const auto found = build[0].children.find(tld);
+    if (found == build[0].children.end()) {
+      const auto seg = segments.find(tld);
+      if (seg != segments.end()) segments.erase(seg);
+      return;
+    }
+    auto [it, inserted] = segments.try_emplace(std::string(tld));
+    it->second.build_root = found->second;
+    it->second.dirty = true;
+  }
+
+  /// Flatten one TLD subtree into its local chunk — the same (hash, label)
+  /// child ordering as CompiledMatcher's Pass 2, with node indices assigned
+  /// in BFS order and labels interned into the segment-local pool.
+  void flatten(Segment& seg) {
+    seg.nodes.clear();
+    seg.hashes.clear();
+    seg.children.clear();
+    seg.pool.clear();
+
+    // Keys view into the build trie's map keys, stable for this pass.
+    std::unordered_map<std::string_view, std::uint32_t> pool_offsets;
+    const auto intern = [&](std::string_view label) {
+      const auto found = pool_offsets.find(label);
+      if (found != pool_offsets.end()) return found->second;
+      const auto offset = static_cast<std::uint32_t>(seg.pool.size());
+      seg.pool.append(label);
+      pool_offsets.emplace(label, offset);
+      return offset;
+    };
+
+    struct PendingChild {
+      std::uint32_t hash;
+      std::string_view label;
+      std::uint32_t local_node;
+    };
+    std::vector<PendingChild> pending;
+
+    std::vector<std::uint32_t> order{seg.build_root};  // build index; position = local index
+    for (std::size_t qi = 0; qi < order.size(); ++qi) {
+      const BuildNode& b = build[order[qi]];
+      pending.clear();
+      for (const auto& [label, child] : b.children) {
+        pending.push_back(
+            {detail::fnv1a_reverse(label), label, static_cast<std::uint32_t>(order.size())});
+        order.push_back(child);
+      }
+      std::sort(pending.begin(), pending.end(), [](const PendingChild& a, const PendingChild& b2) {
+        if (a.hash != b2.hash) return a.hash < b2.hash;
+        return a.label < b2.label;
+      });
+
+      Node node;
+      node.children_begin = static_cast<std::uint32_t>(seg.children.size());
+      for (const PendingChild& p : pending) {
+        seg.hashes.push_back(p.hash);
+        seg.children.push_back(
+            {intern(p.label), static_cast<std::uint32_t>(p.label.size()), p.local_node});
+      }
+      node.children_end = static_cast<std::uint32_t>(seg.children.size());
+      node.flags = b.flags;
+      node.sections = b.sections;
+      seg.nodes.push_back(node);
+    }
+  }
+};
+
+DeltaCompiler::DeltaCompiler(const List& initial) : impl_(std::make_unique<Impl>()) {
+  for (const Rule& rule : initial.rules()) impl_->insert(rule);
+  for (const auto& [label, node] : impl_->build[0].children) {
+    Impl::Segment& seg = impl_->segments[label];
+    seg.build_root = node;
+    seg.dirty = true;
+  }
+  impl_->stats.segments = impl_->segments.size();
+  impl_->stats.build_nodes = impl_->build.size() - impl_->free_nodes.size();
+}
+
+DeltaCompiler::~DeltaCompiler() = default;
+DeltaCompiler::DeltaCompiler(DeltaCompiler&&) noexcept = default;
+DeltaCompiler& DeltaCompiler::operator=(DeltaCompiler&&) noexcept = default;
+
+void DeltaCompiler::apply(std::span<const Rule> added, std::span<const Rule> removed) {
+  for (const Rule& rule : removed) impl_->remove(rule);
+  for (const Rule& rule : added) impl_->insert(rule);
+  // Re-sync touched TLD segments only after every mutation has landed —
+  // a TLD node pruned by a removal and re-created by an addition keeps a
+  // consistent build_root this way.
+  for (const Rule& rule : removed) impl_->touch(rule.labels().back());
+  for (const Rule& rule : added) impl_->touch(rule.labels().back());
+  impl_->stats.segments = impl_->segments.size();
+  impl_->stats.build_nodes = impl_->build.size() - impl_->free_nodes.size();
+}
+
+void DeltaCompiler::apply_diff(const List& current, const List& newer) {
+  const auto [added, removed] = current.diff(newer);
+  apply(added, removed);
+}
+
+CompiledMatcher DeltaCompiler::compile() {
+  Impl& impl = *impl_;
+  std::size_t dirty = 0;
+  for (auto& [label, seg] : impl.segments) {
+    if (!seg.dirty) continue;
+    impl.flatten(seg);
+    seg.dirty = false;
+    ++dirty;
+  }
+  impl.stats.dirty_segments = dirty;
+
+  const auto segment_count = static_cast<std::uint32_t>(impl.segments.size());
+  std::size_t node_total = 1;
+  std::size_t child_total = segment_count;
+  std::size_t pool_total = 0;
+  for (const auto& [label, seg] : impl.segments) {
+    node_total += seg.nodes.size();
+    child_total += seg.children.size();
+    pool_total += label.size() + seg.pool.size();
+  }
+
+  std::vector<Node> nodes;
+  std::vector<std::uint32_t> hashes;
+  std::vector<Child> children;
+  std::vector<char> pool;
+  nodes.reserve(node_total);
+  hashes.reserve(child_total);
+  children.reserve(child_total);
+  pool.reserve(pool_total);
+
+  Node root;
+  root.children_begin = 0;
+  root.children_end = segment_count;
+  nodes.push_back(root);
+
+  // The root's child range must honor the arena-wide (hash, label) order.
+  struct RootChild {
+    std::uint32_t hash;
+    std::string_view label;
+    const Impl::Segment* seg;
+    std::uint32_t node_base = 0;
+    std::uint32_t child_base = 0;
+  };
+  std::vector<RootChild> roots;
+  roots.reserve(segment_count);
+  for (const auto& [label, seg] : impl.segments) {
+    roots.push_back({detail::fnv1a_reverse(label), label, &seg});
+  }
+  std::sort(roots.begin(), roots.end(), [](const RootChild& a, const RootChild& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.label < b.label;
+  });
+
+  std::uint32_t node_base = 1;
+  std::uint32_t child_base = segment_count;
+  for (RootChild& rc : roots) {
+    rc.node_base = node_base;
+    rc.child_base = child_base;
+    node_base += static_cast<std::uint32_t>(rc.seg->nodes.size());
+    child_base += static_cast<std::uint32_t>(rc.seg->children.size());
+
+    const auto label_offset = static_cast<std::uint32_t>(pool.size());
+    pool.insert(pool.end(), rc.label.begin(), rc.label.end());
+    hashes.push_back(rc.hash);
+    children.push_back(
+        {label_offset, static_cast<std::uint32_t>(rc.label.size()), rc.node_base});
+  }
+
+  // Splice every segment chunk: a straight copy with three integer fixups
+  // per record. No hashing, no per-node allocation, no sorting.
+  for (const RootChild& rc : roots) {
+    const auto pool_base = static_cast<std::uint32_t>(pool.size());
+    pool.insert(pool.end(), rc.seg->pool.begin(), rc.seg->pool.end());
+    for (const Node& n : rc.seg->nodes) {
+      nodes.push_back({n.children_begin + rc.child_base, n.children_end + rc.child_base, n.flags,
+                       n.sections, 0});
+    }
+    hashes.insert(hashes.end(), rc.seg->hashes.begin(), rc.seg->hashes.end());
+    for (const Child& c : rc.seg->children) {
+      children.push_back({c.label_offset + pool_base, c.label_len, c.node + rc.node_base});
+    }
+  }
+
+  impl.stats.arena_nodes = nodes.size();
+  return ArenaAccess::adopt(std::move(nodes), std::move(hashes), std::move(children),
+                            std::move(pool));
+}
+
+const DeltaStats& DeltaCompiler::stats() const noexcept { return impl_->stats; }
+
+bool DeltaCompiler::equivalent(const CompiledMatcher& a, const CompiledMatcher& b) {
+  const auto a_nodes = ArenaAccess::nodes(a);
+  const auto b_nodes = ArenaAccess::nodes(b);
+  if (a_nodes.empty() || b_nodes.empty()) return a_nodes.empty() == b_nodes.empty();
+  const auto a_hashes = ArenaAccess::hashes(a);
+  const auto b_hashes = ArenaAccess::hashes(b);
+  const auto a_children = ArenaAccess::children(a);
+  const auto b_children = ArenaAccess::children(b);
+  const std::string_view a_pool = ArenaAccess::pool(a);
+  const std::string_view b_pool = ArenaAccess::pool(b);
+
+  // Both arenas sort every child range by (hash, label-content), so the
+  // reachable tries compare index-aligned: pair the roots and walk.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [ai, bi] = stack.back();
+    stack.pop_back();
+    const Node& an = a_nodes[ai];
+    const Node& bn = b_nodes[bi];
+    if (an.flags != bn.flags || an.sections != bn.sections) return false;
+    const std::uint32_t count = an.children_end - an.children_begin;
+    if (count != bn.children_end - bn.children_begin) return false;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const std::uint32_t ak = an.children_begin + k;
+      const std::uint32_t bk = bn.children_begin + k;
+      if (a_hashes[ak] != b_hashes[bk]) return false;
+      const Child& ac = a_children[ak];
+      const Child& bc = b_children[bk];
+      if (std::string_view(a_pool.data() + ac.label_offset, ac.label_len) !=
+          std::string_view(b_pool.data() + bc.label_offset, bc.label_len)) {
+        return false;
+      }
+      stack.emplace_back(ac.node, bc.node);
+    }
+  }
+  return true;
+}
+
+}  // namespace psl::updater

@@ -1,0 +1,50 @@
+// serve::Engine's delta-reload methods. They live in psl_updater (not
+// psl_serve) so the serve library does not depend on the updater layer —
+// the same split as the store methods in src/store/engine_store.cpp. The
+// engine holds the delta state behind a forward-declared shared_ptr, and
+// only binaries that reload incrementally (bench_update, the tests) link
+// these definitions in.
+
+#include <optional>
+
+#include "psl/serve/engine.hpp"
+#include "psl/updater/delta_compiler.hpp"
+
+namespace psl::serve {
+
+struct Engine::DeltaState {
+  updater::DeltaCompiler compiler;
+  List list;  ///< the list the compiler's trie currently represents
+
+  DeltaState(updater::DeltaCompiler c, List l) : compiler(std::move(c)), list(std::move(l)) {}
+};
+
+std::uint64_t Engine::load_list(List list, snapshot::Metadata meta) {
+  if (meta.rule_count == 0) meta.rule_count = list.rules().size();
+  updater::DeltaCompiler compiler(list);
+  CompiledMatcher matcher = compiler.compile();
+  {
+    std::lock_guard<std::mutex> lock(delta_mutex_);
+    delta_ = std::make_shared<DeltaState>(std::move(compiler), std::move(list));
+  }
+  return swap(snapshot::Snapshot{std::move(matcher), meta});
+}
+
+util::Result<std::uint64_t> Engine::reload_delta(List newer, snapshot::Metadata meta) {
+  if (meta.rule_count == 0) meta.rule_count = newer.rules().size();
+  std::optional<snapshot::Snapshot> next;
+  {
+    std::lock_guard<std::mutex> lock(delta_mutex_);
+    if (!delta_) {
+      if (reload_failure_) reload_failure_->add();
+      return util::make_error("serve.no-delta-state",
+                              "reload_delta requires a prior load_list seed");
+    }
+    delta_->compiler.apply_diff(delta_->list, newer);
+    next.emplace(snapshot::Snapshot{delta_->compiler.compile(), meta});
+    delta_->list = std::move(newer);
+  }
+  return swap(std::move(*next));
+}
+
+}  // namespace psl::serve

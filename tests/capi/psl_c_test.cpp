@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -364,20 +366,80 @@ TEST(CApiClientTest, MatchAtAndDivergence) {
   EXPECT_EQ(pslh_client_match_at(client, early, hosts, 0, out, nullptr), 1);
 
   // Divergence: count-only probe, then the filled arrays.
-  const long long total =
-      pslh_client_divergence(client, "shop1.myshopify.com", nullptr, nullptr, nullptr, 0);
-  ASSERT_EQ(total, 2);
+  size_t total = 0;
+  ASSERT_EQ(pslh_client_divergence(client, "shop1.myshopify.com", nullptr, nullptr, nullptr,
+                                   0, &total),
+            PSLH_OK);
+  ASSERT_EQ(total, 2u);
   long long first[2] = {0, 0};
   long long last[2] = {0, 0};
   const char* domains[2] = {nullptr, nullptr};
-  ASSERT_EQ(pslh_client_divergence(client, "shop1.myshopify.com", first, last, domains, 2),
-            2);
+  ASSERT_EQ(pslh_client_divergence(client, "shop1.myshopify.com", first, last, domains, 2,
+                                   &total),
+            PSLH_OK);
+  EXPECT_EQ(total, 2u);
   EXPECT_EQ(first[0], psl::util::Date::from_civil(2020, 6, 1).days_since_epoch());
   EXPECT_EQ(last[1], psl::util::Date::from_civil(2021, 6, 1).days_since_epoch());
   EXPECT_EQ(take(domains[0]), "myshopify.com");
   EXPECT_EQ(take(domains[1]), "shop1.myshopify.com");
 
-  EXPECT_EQ(pslh_client_divergence(client, nullptr, first, last, domains, 2), 0);
+  EXPECT_EQ(pslh_client_divergence(client, nullptr, first, last, domains, 2, &total),
+            PSLH_ERROR);
+  EXPECT_EQ(pslh_client_divergence(client, "shop1.myshopify.com", first, last, domains, 2,
+                                   nullptr),
+            PSLH_ERROR);  // total_out is required
+
+  pslh_client_free(client);
+}
+
+/// The C mirror of the push channel: subscribe converges immediately, a
+/// server-side reload is observed through the pushed generation (and the
+/// registered callback) without the client issuing any query.
+TEST(CApiClientTest, SubscribePushAndCallback) {
+  LoopbackDaemon daemon("com\nuk\nco.uk\n");
+  ASSERT_NE(daemon.port, 0);
+  pslh_client_t* client = pslh_client_connect("127.0.0.1", daemon.port, 5000);
+  ASSERT_NE(client, nullptr);
+
+  struct Seen {
+    std::vector<std::pair<unsigned long long, long long>> pushes;  // (generation, delta)
+  } seen;
+  ASSERT_EQ(pslh_client_set_push_callback(
+                client,
+                [](unsigned long long generation, unsigned long long, long long rule_delta,
+                   void* user_data) {
+                  static_cast<Seen*>(user_data)->pushes.emplace_back(generation, rule_delta);
+                },
+                &seen),
+            PSLH_OK);
+
+  unsigned long long generation = 0;
+  ASSERT_EQ(pslh_client_subscribe(client, &generation), PSLH_OK);
+  EXPECT_EQ(generation, 1u);
+  EXPECT_EQ(pslh_client_last_pushed_generation(client), 1u);
+
+  // Reload server-side; the client learns about it by draining pushes only.
+  auto parsed = psl::List::parse("com\nuk\nco.uk\ngithub.io\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(daemon.engine.reload_list(*std::move(parsed)), 2u);
+  size_t drained = 0;
+  for (int waited = 0; waited < 5000 && pslh_client_last_pushed_generation(client) < 2u;
+       waited += 5) {
+    ASSERT_EQ(pslh_client_poll_pushes(client, &drained), PSLH_OK);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(pslh_client_last_pushed_generation(client), 2u);
+  ASSERT_EQ(seen.pushes.size(), 1u);
+  EXPECT_EQ(seen.pushes[0].first, 2u);
+  EXPECT_EQ(seen.pushes[0].second, 1);  // one rule more than the subscribed generation
+
+  // NULL safety for the push surface.
+  EXPECT_EQ(pslh_client_subscribe(nullptr, &generation), PSLH_ERROR);
+  EXPECT_EQ(pslh_client_set_push_callback(nullptr, nullptr, nullptr), PSLH_ERROR);
+  EXPECT_EQ(pslh_client_poll_pushes(nullptr, &drained), PSLH_ERROR);
+  EXPECT_EQ(pslh_client_last_pushed_generation(nullptr), 0u);
+  EXPECT_EQ(pslh_client_reconnect(nullptr), PSLH_ERROR);
+  EXPECT_EQ(pslh_client_set_push_callback(client, nullptr, nullptr), PSLH_OK);  // unregister
 
   pslh_client_free(client);
 }

@@ -347,6 +347,47 @@ TEST(NetFrameTest, SteadyStateDecodeEncodeDoesNotAllocate) {
   EXPECT_EQ(after - before, 0u) << "decode/encode hot path allocated";
 }
 
+TEST(NetFrameTest, GenerationChangedPayloadRoundTrips) {
+  WireGenerationChanged push;
+  push.generation = 42;
+  push.rule_count = 9368;
+  push.source_date_days = 19500;
+  push.rule_delta = -17;  // negative deltas must survive the wire
+
+  std::vector<std::uint8_t> payload;
+  put_generation_changed(payload, push);
+  EXPECT_EQ(payload.size(), 32u);  // four u64 fields, nothing optional
+
+  WireGenerationChanged parsed;
+  ASSERT_TRUE(parse_generation_changed(payload, parsed));
+  EXPECT_EQ(parsed, push);
+
+  // Short and over-long payloads are both rejected.
+  WireGenerationChanged sink;
+  EXPECT_FALSE(parse_generation_changed(std::span(payload).first(31), sink));
+  payload.push_back(0);
+  EXPECT_FALSE(parse_generation_changed(payload, sink));
+}
+
+TEST(NetFrameTest, TypedEncodeHelpersMatchRawOverloads) {
+  // The typed begin/encode overloads are byte-for-byte the raw ones — the
+  // enum is the single source of truth, not a second encoding.
+  std::vector<std::uint8_t> typed, raw;
+  const std::uint8_t body[3] = {1, 2, 3};
+  encode_frame(typed, FrameType::kSubscribe, 7, body);
+  encode_frame(raw, static_cast<std::uint8_t>(0x08), 7, body);
+  EXPECT_EQ(typed, raw);
+
+  typed.clear();
+  raw.clear();
+  const std::size_t typed_begin = begin_response_frame(typed, FrameType::kMatchBatch, 9);
+  end_frame(typed, typed_begin);
+  const std::size_t raw_begin = begin_frame(raw, static_cast<std::uint8_t>(0x03 | kResponseBit), 9);
+  end_frame(raw, raw_begin);
+  EXPECT_EQ(typed, raw);
+  EXPECT_EQ(response_type(FrameType::kMatchBatch), 0x83);
+}
+
 TEST(NetFrameTest, StatusNamesAreStable) {
   EXPECT_STREQ(status_name(Status::kOk), "ok");
   EXPECT_STREQ(status_name(Status::kBackpressure), "backpressure");

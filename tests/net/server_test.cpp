@@ -260,7 +260,7 @@ TEST(NetServerTest, WireReloadIsKeepLastGood) {
   ASSERT_TRUE(good.ok()) << good.error().message;
   EXPECT_EQ(*good, 2u);
   auto after = client.registrable_domains({"shop1.myshopify.com"});
-  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after.ok()) << after.error().code << ": " << after.error().message;
   EXPECT_EQ((*after)[0], "shop1.myshopify.com");  // myshopify.com is now a suffix
 
   EXPECT_GE(metrics.counter("serve.reload.failure").value(), 1);

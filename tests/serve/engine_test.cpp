@@ -156,13 +156,16 @@ TEST(ServeEngineTest, ShutdownDrainsAcceptedBatches) {
 
 TEST(ServeEngineTest, MetricsAreWired) {
   obs::MetricsRegistry metrics;
-  Engine engine(snap_of(list_a()), {.threads = 2, .metrics = &metrics});
+  {
+    Engine engine(snap_of(list_a()), {.threads = 2, .metrics = &metrics});
 
-  auto batch = engine.submit_registrable_domains({"a.example.com", "b.example.com"});
-  ASSERT_TRUE(batch.ok());
-  batch->get();
-  engine.registrable_domain("c.example.com");
-  engine.reload_list(list_b());
+    auto batch = engine.submit_registrable_domains({"a.example.com", "b.example.com"});
+    ASSERT_TRUE(batch.ok());
+    batch->get();
+    engine.registrable_domain("c.example.com");
+    engine.reload_list(list_b());
+  }  // join workers: the batch future resolves before the worker's batch_ms
+     // timer records, so read the histogram only after the pool is gone.
 
   EXPECT_EQ(metrics.counter("serve.batches").value(), 1);
   EXPECT_EQ(metrics.counter("serve.queries").value(), 3);  // 2 batched + 1 inline

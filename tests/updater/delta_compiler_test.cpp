@@ -1,0 +1,198 @@
+// DeltaCompiler: incremental arena recompile must stay structurally
+// equivalent to a from-scratch CompiledMatcher compile — for hand-built
+// diffs exercising every rule kind, for a full sequential replay of the
+// tiny synthetic timeline, and for sampled version pairs of the full
+// 1,142-version history corpus (the ISSUE's equivalence contract).
+#include "psl/updater/delta_compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "psl/history/history.hpp"
+#include "psl/history/timeline.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+
+namespace psl::updater {
+namespace {
+
+Rule rule_of(std::string_view text, Section section = Section::kIcann) {
+  auto parsed = Rule::parse(text, section);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return *parsed;
+}
+
+List make_list(std::initializer_list<std::string_view> lines) {
+  std::vector<Rule> rules;
+  for (const auto line : lines) rules.push_back(rule_of(line));
+  return List::from_rules(std::move(rules));
+}
+
+/// Equivalence plus a behavioral spot check over hosts that exercise the
+/// normal/wildcard/exception paths of both arenas.
+void expect_matches_from_scratch(DeltaCompiler& delta, const List& list) {
+  const CompiledMatcher incremental = delta.compile();
+  const CompiledMatcher scratch(list);
+  EXPECT_TRUE(DeltaCompiler::equivalent(incremental, scratch));
+  EXPECT_TRUE(DeltaCompiler::equivalent(scratch, incremental));
+  for (const std::string_view host :
+       {"a.b.co.uk", "shop1.myshopify.com", "user.github.io", "x.anything.ck", "www.ck",
+        "deep.x.y.z.example.org", "com", "plain.net"}) {
+    const MatchView a = incremental.match_view(host);
+    const MatchView b = scratch.match_view(host);
+    EXPECT_EQ(a.public_suffix, b.public_suffix) << host;
+    EXPECT_EQ(a.registrable_domain, b.registrable_domain) << host;
+    EXPECT_EQ(a.matched_explicit_rule, b.matched_explicit_rule) << host;
+    EXPECT_EQ(a.section, b.section) << host;
+    EXPECT_EQ(a.rule_kind, b.rule_kind) << host;
+  }
+}
+
+TEST(DeltaCompiler, SeedCompileMatchesFromScratch) {
+  const List list = make_list({"com", "uk", "co.uk", "*.ck", "!www.ck", "github.io"});
+  DeltaCompiler delta(list);
+  expect_matches_from_scratch(delta, list);
+  EXPECT_EQ(delta.stats().segments, 4u);  // com, uk, ck, io
+}
+
+TEST(DeltaCompiler, EquivalentRejectsDifferingArenas) {
+  const CompiledMatcher a(make_list({"com", "co.uk", "uk"}));
+  const CompiledMatcher b(make_list({"com", "co.uk", "uk", "github.io"}));
+  const CompiledMatcher c(make_list({"com", "co.uk", "uk"}));
+  EXPECT_FALSE(DeltaCompiler::equivalent(a, b));
+  EXPECT_FALSE(DeltaCompiler::equivalent(b, a));
+  EXPECT_TRUE(DeltaCompiler::equivalent(a, c));
+}
+
+TEST(DeltaCompiler, EquivalentSeesSectionDifference) {
+  const List icann = List::from_rules({rule_of("com"), rule_of("example.com")});
+  const List priv =
+      List::from_rules({rule_of("com"), rule_of("example.com", Section::kPrivate)});
+  EXPECT_FALSE(DeltaCompiler::equivalent(CompiledMatcher(icann), CompiledMatcher(priv)));
+}
+
+TEST(DeltaCompiler, SingleRuleAddDirtiesOneSegment) {
+  List list = make_list({"com", "uk", "co.uk", "github.io"});
+  DeltaCompiler delta(list);
+  (void)delta.compile();  // flatten everything once
+
+  const Rule added = rule_of("myshopify.com");
+  const std::vector<Rule> add{added};
+  delta.apply(add, {});
+  list.add_rule(added);
+
+  expect_matches_from_scratch(delta, list);
+  EXPECT_EQ(delta.stats().dirty_segments, 1u);  // only the "com" segment reflattened
+}
+
+TEST(DeltaCompiler, RemovalPrunesBackToEquivalence) {
+  List list = make_list({"com", "uk", "co.uk", "github.io", "a.b.c.example"});
+  DeltaCompiler delta(list);
+  (void)delta.compile();
+
+  // Removing the deep rule must prune the whole now-empty chain; removing
+  // github.io empties the "io" TLD and must drop its segment entirely.
+  const std::vector<Rule> removed{rule_of("a.b.c.example"), rule_of("github.io")};
+  delta.apply({}, removed);
+  list.remove_rule(removed[0]);
+  list.remove_rule(removed[1]);
+
+  expect_matches_from_scratch(delta, list);
+  EXPECT_EQ(delta.stats().segments, 2u);  // com, uk survive
+}
+
+TEST(DeltaCompiler, SectionFlipAsRemovePlusAdd) {
+  // List::diff reports a section change as remove+add; apply() takes
+  // removals first so the pair lands as an overwrite.
+  List list = List::from_rules({rule_of("com"), rule_of("shop.com")});
+  DeltaCompiler delta(list);
+  (void)delta.compile();
+
+  const List newer =
+      List::from_rules({rule_of("com"), rule_of("shop.com", Section::kPrivate)});
+  delta.apply_diff(list, newer);
+  expect_matches_from_scratch(delta, newer);
+
+  const CompiledMatcher m = delta.compile();
+  EXPECT_EQ(m.match_view("x.shop.com").section, Section::kPrivate);
+}
+
+TEST(DeltaCompiler, WildcardAndExceptionChurn) {
+  List list = make_list({"jp", "com"});
+  DeltaCompiler delta(list);
+  (void)delta.compile();
+
+  // Grow: broad wildcard plus carve-out (the early-ccTLD pattern the
+  // timeline generator replays), then shrink it back out again.
+  std::vector<Rule> grown_rules = list.rules();
+  grown_rules.push_back(rule_of("*.hokkaido.jp"));
+  grown_rules.push_back(rule_of("!pref.hokkaido.jp"));
+  const List grown = List::from_rules(std::move(grown_rules));
+  delta.apply_diff(list, grown);
+  expect_matches_from_scratch(delta, grown);
+  {
+    const CompiledMatcher m = delta.compile();
+    EXPECT_EQ(m.match_view("a.b.hokkaido.jp").public_suffix, "b.hokkaido.jp");
+    EXPECT_EQ(m.match_view("x.pref.hokkaido.jp").registrable_domain, "pref.hokkaido.jp");
+  }
+
+  delta.apply_diff(grown, list);
+  expect_matches_from_scratch(delta, list);
+}
+
+TEST(DeltaCompiler, ReAddingAfterTldPruneRebindsSegment) {
+  List list = make_list({"com", "github.io"});
+  DeltaCompiler delta(list);
+  (void)delta.compile();
+
+  // Remove the only "io" rule and add a different one in the same apply():
+  // the TLD node is pruned and re-created, and the segment must follow the
+  // new build root, not a dangling index.
+  const std::vector<Rule> removed{rule_of("github.io")};
+  const std::vector<Rule> added{rule_of("glitch.io")};
+  delta.apply(added, removed);
+
+  const List newer = make_list({"com", "glitch.io"});
+  expect_matches_from_scratch(delta, newer);
+}
+
+TEST(DeltaCompiler, TinyTimelineSequentialReplay) {
+  const history::History h = history::generate_history(history::TimelineSpec::tiny());
+  List current = h.snapshot(0);
+  DeltaCompiler delta(current);
+  expect_matches_from_scratch(delta, current);
+
+  for (std::size_t v = 1; v < h.version_count(); ++v) {
+    List next = h.snapshot(v);
+    delta.apply_diff(current, next);
+    current = std::move(next);
+    // Full equivalence at every eighth version (and the last); replaying the
+    // diff chain itself runs at every step.
+    if (v % 8 == 0 || v + 1 == h.version_count()) {
+      const CompiledMatcher incremental = delta.compile();
+      ASSERT_TRUE(DeltaCompiler::equivalent(incremental, CompiledMatcher(current)))
+          << "diverged at version " << v;
+    }
+  }
+}
+
+TEST(DeltaCompiler, FullHistorySampledPairsStayEquivalent) {
+  const history::History h = history::generate_history(history::TimelineSpec{});
+  const std::vector<std::size_t> sampled = h.sampled_versions(8);
+  ASSERT_GE(sampled.size(), 2u);
+  for (std::size_t i = 0; i + 1 < sampled.size(); ++i) {
+    const List from = h.snapshot(sampled[i]);
+    const List to = h.snapshot(sampled[i + 1]);
+    DeltaCompiler delta(from);
+    (void)delta.compile();
+    delta.apply_diff(from, to);
+    ASSERT_TRUE(DeltaCompiler::equivalent(delta.compile(), CompiledMatcher(to)))
+        << "pair " << sampled[i] << " -> " << sampled[i + 1];
+  }
+}
+
+}  // namespace
+}  // namespace psl::updater

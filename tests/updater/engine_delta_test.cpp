@@ -1,0 +1,111 @@
+// serve::Engine delta-reload path (load_list / reload_delta, defined in
+// src/updater/engine_delta.cpp) and the generation listener it feeds.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/psl/list.hpp"
+#include "psl/serve/engine.hpp"
+#include "psl/updater/delta_compiler.hpp"
+
+namespace psl::serve {
+namespace {
+
+Rule rule_of(std::string_view text, Section section = Section::kIcann) {
+  auto parsed = Rule::parse(text, section);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return *parsed;
+}
+
+List make_list(std::initializer_list<std::string_view> lines) {
+  std::vector<Rule> rules;
+  for (const auto line : lines) rules.push_back(rule_of(line));
+  return List::from_rules(std::move(rules));
+}
+
+Engine make_engine() {
+  const List seed = make_list({"com", "uk", "co.uk"});
+  return Engine(snapshot::Snapshot{CompiledMatcher(seed), {}}, EngineOptions{.threads = 1});
+}
+
+TEST(EngineDelta, ReloadDeltaWithoutSeedIsRejected) {
+  Engine engine = make_engine();
+  auto result = engine.reload_delta(make_list({"com"}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "serve.no-delta-state");
+  EXPECT_EQ(engine.generation(), 1u);  // keep-last-good: nothing swapped
+}
+
+TEST(EngineDelta, LoadListSeedsAndReloadDeltaFlipsAnswers) {
+  Engine engine = make_engine();
+
+  snapshot::Metadata meta;
+  meta.source_date = util::Date(20000);
+  const std::uint64_t seeded = engine.load_list(make_list({"com", "io"}), meta);
+  EXPECT_EQ(seeded, 2u);
+  EXPECT_EQ(engine.metadata().rule_count, 2u);  // filled from the list
+  EXPECT_EQ(engine.registrable_domain("pages.github.io"), "github.io");
+
+  auto reloaded = engine.reload_delta(make_list({"com", "io", "github.io"}));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*reloaded, 3u);
+  EXPECT_EQ(engine.metadata().rule_count, 3u);
+  EXPECT_EQ(engine.registrable_domain("pages.github.io"), "pages.github.io");
+
+  // And back: a removal-only delta restores the old answer.
+  auto shrunk = engine.reload_delta(make_list({"com", "io"}));
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(engine.registrable_domain("pages.github.io"), "github.io");
+}
+
+TEST(EngineDelta, DeltaReloadMatchesFromScratchCompile) {
+  Engine engine = make_engine();
+  engine.load_list(make_list({"com", "uk", "co.uk", "io"}));
+
+  List newer = make_list({"com", "uk", "co.uk", "io", "github.io", "ck", "*.ck", "!www.ck"});
+  // From-scratch reference BEFORE handing `newer` to the engine (List is
+  // move-only).
+  const CompiledMatcher reference(newer);
+  ASSERT_TRUE(engine.reload_delta(std::move(newer)).ok());
+
+  for (const std::string_view host :
+       {"a.b.example.co.uk", "pages.github.io", "www.ck", "shop.unknown-tld"}) {
+    EXPECT_EQ(engine.registrable_domain(host),
+              std::string(reference.match_view(host).registrable_domain))
+        << host;
+  }
+}
+
+TEST(EngineDelta, GenerationListenerFiresAfterEverySwapInOrder) {
+  Engine engine = make_engine();
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen;  // (generation, rule_count)
+  engine.set_generation_listener(
+      [&seen](std::uint64_t generation, const snapshot::Metadata& meta) {
+        seen.emplace_back(generation, meta.rule_count);
+      });
+
+  engine.load_list(make_list({"com", "io"}));
+  ASSERT_TRUE(engine.reload_delta(make_list({"com", "io", "github.io"})).ok());
+  engine.reload_list(make_list({"com"}));  // plain reloads notify too
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, std::uint64_t>{2u, 2u}));
+  EXPECT_EQ(seen[1], (std::pair<std::uint64_t, std::uint64_t>{3u, 3u}));
+  EXPECT_EQ(seen[2], (std::pair<std::uint64_t, std::uint64_t>{4u, 1u}));
+
+  // Clearing the listener stops notifications.
+  engine.set_generation_listener(nullptr);
+  engine.reload_list(make_list({"com", "uk"}));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace psl::serve
