@@ -5,7 +5,7 @@
 //
 //   $ psld --listen 127.0.0.1:7878 (--snapshot list.psnap | --store hist.pstore)
 //          [--threads N] [--max-conns N] [--queue-depth N]
-//          [--max-frame BYTES] [--force-poll]
+//          [--max-frame BYTES] [--force-poll] [--analytics]
 //
 //   Boots a serve::Engine from the validated snapshot file — or, with
 //   --store, from the newest version of a multi-version psl::store file,
@@ -19,6 +19,12 @@
 //     SIGTERM/SIGINT  graceful drain (in-flight batches finish, responses
 //              flush), metrics to stderr, exit 0.
 //
+//   --analytics attaches a bounded-memory psl::analytics census to every
+//   serving generation: clients stream (page_host, resource_host) records
+//   via ingest_batch and read the harm aggregates back via census_query.
+//   A hot swap starts a FRESH census — the census describes one list
+//   generation, never a blend (same RCU doctrine as the per-worker caches).
+//
 // Tooling subcommands (what the CI loopback smoke job drives):
 //
 //   $ psld compile <list.txt> <out.psnap>     # PSL text -> snapshot file
@@ -27,6 +33,7 @@
 //   $ psld divergence <addr:port> <host>      # eTLD+1 history ranges
 //   $ psld ping   <addr:port>                 # liveness probe, exit 0/1
 //   $ psld stats  <addr:port>                 # generation / rules / conns
+//   $ psld census <addr:port> [K]             # analytics census (top-K trackers)
 //   $ psld reload <addr:port> <snap.psnap>    # push a snapshot over the wire
 //   $ psld watch  <addr:port> [count]         # subscribe; print pushed
 //                                             # generation changes (no polling
@@ -49,6 +56,7 @@
 
 #include <unistd.h>
 
+#include "psl/analytics/census.hpp"
 #include "psl/net/client.hpp"
 #include "psl/net/server.hpp"
 #include "psl/obs/json.hpp"
@@ -76,12 +84,14 @@ int usage() {
                "usage:\n"
                "  psld --listen ADDR:PORT (--snapshot FILE | --store FILE) [--threads N]\n"
                "       [--max-conns N] [--queue-depth N] [--max-frame BYTES] [--force-poll]\n"
+               "       [--analytics]\n"
                "  psld compile LIST_FILE OUT_SNAPSHOT\n"
                "  psld query  ADDR:PORT HOST...\n"
                "  psld match-at ADDR:PORT YYYY-MM-DD HOST...\n"
                "  psld divergence ADDR:PORT HOST\n"
                "  psld ping   ADDR:PORT\n"
                "  psld stats  ADDR:PORT\n"
+               "  psld census ADDR:PORT [TOP_K]\n"
                "  psld reload ADDR:PORT SNAPSHOT_FILE\n"
                "  psld watch  ADDR:PORT [COUNT]\n"
                "client subcommands also accept --max-frame BYTES (wire payloads,\n"
@@ -239,6 +249,52 @@ int cmd_stats(std::string_view endpoint, std::size_t max_frame) {
   return 0;
 }
 
+// Grep-friendly one-fact-per-line census dump (net_smoke.sh asserts on the
+// "census generation"/"census records" lines across a SIGHUP reload).
+int cmd_census(std::string_view endpoint, long top_k, std::size_t max_frame) {
+  auto client = connect_to(endpoint, max_frame);
+  if (!client.ok()) {
+    std::fprintf(stderr, "psld: %s\n", client.error().message.c_str());
+    return 1;
+  }
+  auto census = client->census(static_cast<std::uint32_t>(top_k));
+  if (!census.ok()) {
+    std::fprintf(stderr, "psld: %s (%s)\n", census.error().message.c_str(),
+                 census.error().code.c_str());
+    if (census.error().code == "net.unsupported") {
+      std::fprintf(stderr, "psld: server runs without --analytics\n");
+    }
+    return 1;
+  }
+  std::printf("census generation %llu\n", static_cast<unsigned long long>(census->generation));
+  std::printf("census records %llu\n", static_cast<unsigned long long>(census->records));
+  std::printf("census first-party %llu\n",
+              static_cast<unsigned long long>(census->first_party));
+  std::printf("census third-party %llu\n",
+              static_cast<unsigned long long>(census->third_party));
+  std::printf("census unique-hosts %llu\n",
+              static_cast<unsigned long long>(census->unique_hosts));
+  std::printf("census sites-formed %llu\n",
+              static_cast<unsigned long long>(census->sites_formed));
+  std::printf("census misbound-hosts %llu\n",
+              static_cast<unsigned long long>(census->misbound_hosts));
+  std::printf("census dropped %llu\n", static_cast<unsigned long long>(census->dropped));
+  std::printf("census state-bytes %llu\n",
+              static_cast<unsigned long long>(census->state_bytes));
+  for (const auto& row : census->etlds) {
+    std::printf("census etld %s misbound %llu\n", row.etld.c_str(),
+                static_cast<unsigned long long>(row.misbound));
+  }
+  for (const auto& row : census->trackers) {
+    std::printf("census tracker %s requests %llu (+-%llu) reach %llu (-%llu)\n",
+                row.domain.c_str(), static_cast<unsigned long long>(row.requests),
+                static_cast<unsigned long long>(row.requests_err),
+                static_cast<unsigned long long>(row.reach),
+                static_cast<unsigned long long>(row.reach_err));
+  }
+  return 0;
+}
+
 int cmd_reload(std::string_view endpoint, const std::string& snapshot_path,
                std::size_t max_frame) {
   std::ifstream in(snapshot_path, std::ios::binary);
@@ -312,7 +368,7 @@ int cmd_watch(std::string_view endpoint, long count, std::size_t max_frame) {
 int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
               const std::string& store_path, std::size_t threads,
               std::size_t max_conns, std::size_t queue_depth, std::size_t max_frame,
-              bool force_poll) {
+              bool force_poll, bool analytics) {
   std::string address;
   std::uint16_t port = 0;
   if (!parse_endpoint(endpoint, address, port)) {
@@ -346,6 +402,13 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
   }
 
   psl::obs::MetricsRegistry metrics;
+  psl::serve::EngineOptions engine_options;
+  engine_options.threads = threads;
+  engine_options.max_queue_depth = queue_depth;
+  engine_options.metrics = &metrics;
+  if (analytics) {
+    engine_options.census_factory = psl::analytics::census_factory({});
+  }
   std::unique_ptr<psl::serve::Engine> engine;
   if (!store_path.empty()) {
     auto view = psl::store::StoreView::open(store_path);
@@ -360,10 +423,7 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
                    newest.error().message.c_str(), newest.error().code.c_str());
       return 1;
     }
-    engine = std::make_unique<psl::serve::Engine>(
-        *std::move(newest),
-        psl::serve::EngineOptions{
-            .threads = threads, .max_queue_depth = queue_depth, .metrics = &metrics});
+    engine = std::make_unique<psl::serve::Engine>(*std::move(newest), engine_options);
     (void)!engine->adopt_store(*std::move(view));
   } else {
     auto snapshot = psl::snapshot::load_file(snapshot_path);
@@ -372,10 +432,7 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
                    snapshot.error().message.c_str(), snapshot.error().code.c_str());
       return 1;
     }
-    engine = std::make_unique<psl::serve::Engine>(
-        *std::move(snapshot),
-        psl::serve::EngineOptions{
-            .threads = threads, .max_queue_depth = queue_depth, .metrics = &metrics});
+    engine = std::make_unique<psl::serve::Engine>(*std::move(snapshot), engine_options);
   }
 
   psl::net::ServerOptions options;
@@ -392,11 +449,12 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
     return 1;
   }
 
-  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu workers%s\n",
+  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu workers%s%s\n",
               static_cast<unsigned long long>(engine->generation()),
               static_cast<unsigned long long>(engine->metadata().rule_count),
               address.c_str(), *started, engine->worker_count(),
-              store_path.empty() ? "" : " [store]");
+              store_path.empty() ? "" : " [store]",
+              analytics ? " [analytics]" : "");
   std::fflush(stdout);
 
   for (;;) {
@@ -480,6 +538,12 @@ int main(int argc, char** argv) {
   if (args[0] == "stats") {
     return args.size() == 2 ? cmd_stats(args[1], max_frame) : usage();
   }
+  if (args[0] == "census") {
+    if (args.size() != 2 && args.size() != 3) return usage();
+    const long top_k = args.size() == 3 ? std::atol(args[2].c_str()) : 0;
+    if (top_k < 0) return usage();
+    return cmd_census(args[1], top_k, max_frame);
+  }
   if (args[0] == "reload") {
     return args.size() == 3 ? cmd_reload(args[1], args[2], max_frame) : usage();
   }
@@ -493,6 +557,7 @@ int main(int argc, char** argv) {
   std::string listen, snapshot_path, store_path;
   std::size_t threads = 2, max_conns = 256, queue_depth = 64;
   bool force_poll = false;
+  bool analytics = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto value = [&](const char* flag) -> const std::string* {
       if (i + 1 >= args.size()) {
@@ -527,6 +592,8 @@ int main(int argc, char** argv) {
       queue_depth = static_cast<std::size_t>(std::atol(v->c_str()));
     } else if (args[i] == "--force-poll") {
       force_poll = true;
+    } else if (args[i] == "--analytics") {
+      analytics = true;
     } else {
       std::fprintf(stderr, "psld: unknown argument %s\n", args[i].c_str());
       return usage();
@@ -534,5 +601,5 @@ int main(int argc, char** argv) {
   }
   if (listen.empty() || (snapshot_path.empty() == store_path.empty())) return usage();
   return cmd_serve(listen, snapshot_path, store_path, threads, max_conns, queue_depth,
-                   max_frame, force_poll);
+                   max_frame, force_poll, analytics);
 }

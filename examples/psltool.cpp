@@ -10,6 +10,10 @@
 //                       [--list YYYY-MM-DD:FILE ...]
 //                                            build a multi-version store file
 //   psltool store stat <file.pstore>         store layout + dedup report
+//   psltool census gen <out.csv> [--full]    emit a synthetic request corpus
+//   psltool census replay <file.csv> <addr:port> [--batch N]
+//                                            stream the corpus at a psld
+//                                            --analytics census over the wire
 //
 // Without a list-file argument, commands run against the newest synthetic
 // list (the full 9,368-rule 2022-10-20 snapshot). `store build` with no
@@ -17,6 +21,7 @@
 // 96-version tiny timeline with --tiny); with --list entries it packs those
 // dated PSL text files instead, oldest date first.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,9 +29,13 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "psl/archive/corpus.hpp"
+#include "psl/archive/csv.hpp"
 #include "psl/history/timeline.hpp"
+#include "psl/net/client.hpp"
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/lint.hpp"
 #include "psl/repos/scanner.hpp"
@@ -53,7 +62,9 @@ int usage() {
                "  gen-list [YYYY-MM-DD]\n"
                "  store build <out.pstore> [--tiny] [--max-versions N]\n"
                "              [--list YYYY-MM-DD:FILE ...]\n"
-               "  store stat <file.pstore>\n");
+               "  store stat <file.pstore>\n"
+               "  census gen <out.csv> [--full]\n"
+               "  census replay <file.csv> <addr:port> [--batch N]\n");
   return 2;
 }
 
@@ -368,6 +379,133 @@ int cmd_store_stat(int argc, char** argv) {
   return 0;
 }
 
+int cmd_census_gen(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string out_path = argv[3];
+  bool full = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--full") {
+      full = true;
+    } else {
+      std::fprintf(stderr, "psltool: unknown census gen argument %s\n", argv[i]);
+      return usage();
+    }
+  }
+  const auto spec = full ? psl::archive::CorpusSpec{} : psl::archive::CorpusSpec::tiny();
+  const auto corpus = psl::archive::generate_corpus(spec, history());
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "psltool: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  psl::archive::write_csv(corpus, out);
+  if (!out.flush()) {
+    std::fprintf(stderr, "psltool: write to %s failed\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu hosts, %zu requests\n", out_path.c_str(),
+              corpus.unique_host_count(), corpus.request_count());
+  return 0;
+}
+
+// Stream an archive CSV corpus at a psld --analytics census: each request
+// becomes one (page_host, resource_host) record, timestamped with its
+// record index so the census observes a deterministic monotonic clock.
+int cmd_census_replay(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string csv_path = argv[3];
+  const std::string_view endpoint = argv[4];
+  std::size_t batch_size = 1024;
+  for (int i = 5; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--batch" && i + 1 < argc) {
+      const long parsed = std::atol(argv[++i]);
+      if (parsed < 1) {
+        std::fprintf(stderr, "psltool: bad --batch value\n");
+        return 1;
+      }
+      batch_size = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "psltool: unknown census replay argument %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  std::ifstream in(csv_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "psltool: cannot open %s\n", csv_path.c_str());
+    return 1;
+  }
+  auto corpus = psl::archive::read_csv(in);
+  if (!corpus) {
+    std::fprintf(stderr, "psltool: %s: %s\n", csv_path.c_str(),
+                 corpus.error().message.c_str());
+    return 1;
+  }
+
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == endpoint.size()) {
+    std::fprintf(stderr, "psltool: bad endpoint (want ADDR:PORT): %s\n",
+                 std::string(endpoint).c_str());
+    return 1;
+  }
+  const long port = std::atol(std::string(endpoint.substr(colon + 1)).c_str());
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "psltool: bad port in %s\n", std::string(endpoint).c_str());
+    return 1;
+  }
+  auto client = psl::net::Client::connect(std::string(endpoint.substr(0, colon)),
+                                          static_cast<std::uint16_t>(port));
+  if (!client) {
+    std::fprintf(stderr, "psltool: %s\n", client.error().message.c_str());
+    return 1;
+  }
+
+  const auto& requests = corpus->requests();
+  std::vector<psl::net::WireIngestRecord> batch;
+  batch.reserve(batch_size);
+  std::uint64_t sent = 0;
+  std::uint64_t first_generation = 0, last_generation = 0;
+  for (std::size_t offset = 0; offset < requests.size(); offset += batch_size) {
+    const std::size_t end = std::min(offset + batch_size, requests.size());
+    batch.clear();
+    for (std::size_t i = offset; i < end; ++i) {
+      batch.push_back(psl::net::WireIngestRecord{corpus->hostname(requests[i].page_host),
+                                                 corpus->hostname(requests[i].resource_host),
+                                                 static_cast<std::uint64_t>(i)});
+    }
+    for (;;) {
+      auto ack = client->ingest_batch(batch);
+      if (!ack) {
+        if (ack.error().code == "net.backpressure") {
+          // Engine queue full: nothing was ingested, retry the same batch.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        std::fprintf(stderr, "psltool: ingest failed at record %zu: %s (%s)\n", offset,
+                     ack.error().message.c_str(), ack.error().code.c_str());
+        return 1;
+      }
+      sent += ack->accepted;
+      if (first_generation == 0) first_generation = ack->generation;
+      last_generation = ack->generation;
+      break;
+    }
+  }
+  std::printf("replayed %llu records from %s (generation %llu..%llu)\n",
+              static_cast<unsigned long long>(sent), csv_path.c_str(),
+              static_cast<unsigned long long>(first_generation),
+              static_cast<unsigned long long>(last_generation));
+  return 0;
+}
+
+int cmd_census(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string_view sub = argv[2];
+  if (sub == "gen") return cmd_census_gen(argc, argv);
+  if (sub == "replay") return cmd_census_replay(argc, argv);
+  return usage();
+}
+
 int cmd_store(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string_view sub = argv[2];
@@ -390,5 +528,6 @@ int main(int argc, char** argv) {
   if (command == "advise") return cmd_advise(argc, argv);
   if (command == "gen-list") return cmd_gen_list(argc, argv);
   if (command == "store") return cmd_store(argc, argv);
+  if (command == "census") return cmd_census(argc, argv);
   return usage();
 }

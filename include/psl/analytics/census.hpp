@@ -1,0 +1,203 @@
+// psl::analytics::Census — the paper's harm aggregates maintained ONLINE
+// over a streamed request log, per serving generation.
+//
+// The offline pipeline (core::Sweeper over an archive::Corpus) computes
+// sites formed, third-party request counts and per-eTLD mis-bounding for one
+// list version at a time. The census maintains the same aggregates
+// incrementally while psld serves, against whatever list generation each
+// ingest batch was pinned to:
+//
+//   * EXACT small-state aggregates — record totals, first- vs third-party
+//     request counts (page site key != resource site key, site keys formed
+//     exactly as harm::SiteAssigner does: IP literals and suffix-only hosts
+//     stand alone, everything else groups by eTLD+1), unique hosts, sites
+//     formed, and per-eTLD mis-bounding tallies (a unique host whose match
+//     fell through to the implicit * rule — the matcher GUESSED its eTLD
+//     boundary, the mis-bounding harm of paper §6 — keyed by the
+//     public-suffix span the matcher chose, i.e. the complement of the
+//     host's RegDomainKey boundary). Exactness comes from shared lock-free
+//     HashFilters (unique hosts, distinct site keys, tracker×site pairs);
+//     filter saturation is surfaced as `dropped`, never as a silent error.
+//   * BOUNDED sketches for the WhoTracks.Me-style tracker table — per shard,
+//     a SpaceSaving top-K of third-party registrable domains by request
+//     count and a CountMinSketch of tracker REACH (distinct first-party
+//     sites a tracker is embedded on — a reach increment fires exactly once
+//     per new (site, tracker) pair, so the estimate tracks a distinct
+//     count, not a request count). Every estimate crosses the wire with its
+//     error bound; the bounds are contracts, tested in
+//     tests/analytics/census_test.cpp and the net cross-check suite.
+//
+// Concurrency: the census is fed by per-worker shards and merged on read.
+// A worker's ingest touches the shared filters and the shard's sketch cells
+// lock-free (CAS / relaxed atomics) and takes its OWN shard's mutex once
+// per batch for the heavy-hitter table and eTLD tallies — never another
+// worker's, so ingest never serializes against ingest. The only thing that
+// ever contends on a shard mutex is a census read, which locks each shard
+// briefly in turn while merging. Totals are relaxed atomics so the stats
+// frame can read them without touching any lock.
+//
+// Ownership: one Census per Engine::State generation, created by the
+// factory in serve::EngineOptions (see census_factory below). A hot swap
+// publishes a fresh census with the new generation and old readers drain on
+// the old one — the same RCU visibility doctrine as the per-worker
+// registrable-domain caches, which is what makes "no record is ever
+// attributed across a generation boundary" automatic: a batch writes into
+// the census of the State it pinned, and acks carry that generation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "psl/analytics/sketch.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+
+namespace psl::analytics {
+
+struct CensusOptions {
+  // Shared exact-aggregate filters (bytes = slots * 8, fixed at creation).
+  std::size_t host_filter_slots = 1u << 21;  ///< unique-host dedup (16 MiB)
+  std::size_t site_filter_slots = 1u << 20;  ///< distinct site keys (8 MiB)
+  std::size_t pair_filter_slots = 1u << 20;  ///< (site, tracker) reach pairs (8 MiB)
+  // Per-shard sketches.
+  std::size_t sketch_width = 1u << 16;  ///< count-min columns (epsilon = 2/width)
+  std::size_t sketch_depth = 4;         ///< count-min rows (failure prob 2^-depth)
+  std::size_t heavy_hitters = 512;      ///< space-saving capacity per shard
+  std::size_t max_etlds = 4096;         ///< per-shard mis-bounding keys before drop
+  // Query shaping.
+  std::size_t top_k = 32;         ///< census_query default table size
+  std::size_t max_etld_rows = 512;  ///< largest tallies reported per snapshot
+};
+
+/// One streamed observation: a third-party (or first-party) request from a
+/// page to a resource. Views must stay valid for the ingest() call.
+struct CensusRecord {
+  std::string_view page_host;
+  std::string_view resource_host;
+  std::uint64_t timestamp_ms = 0;
+};
+
+/// What one ingest batch did (the wire ack + obs deltas).
+struct IngestResult {
+  std::uint32_t records = 0;  ///< records processed from this batch
+  std::uint32_t dropped = 0;  ///< saturation events (filters / eTLD cap)
+};
+
+/// Merged view of the whole census at one instant (see Census::snapshot).
+struct CensusSnapshot {
+  std::uint64_t records = 0;
+  std::uint64_t first_party = 0;
+  std::uint64_t third_party = 0;
+  std::uint64_t unique_hosts = 0;
+  std::uint64_t sites_formed = 0;
+  std::uint64_t misbound_hosts = 0;  ///< unique hosts matched only by the implicit *
+  std::uint64_t dropped = 0;
+  std::uint64_t first_timestamp_ms = 0;
+  std::uint64_t last_timestamp_ms = 0;
+  std::uint64_t state_bytes = 0;
+
+  struct EtldRow {
+    std::string etld;            ///< the public suffix the matcher guessed
+    std::uint64_t misbound = 0;  ///< unique hosts mis-bounded under it
+  };
+  struct TrackerRow {
+    std::string domain;  ///< third-party registrable domain (site key)
+    std::uint64_t requests = 0;      ///< SpaceSaving estimate (upper bound)
+    std::uint64_t requests_err = 0;  ///< true count in [requests-err, requests+err]
+    std::uint64_t reach = 0;         ///< count-min estimate of distinct sites
+    std::uint64_t reach_err = 0;     ///< true reach in [reach-err, reach] + overestimate slack
+  };
+  /// Sorted by (misbound desc, etld asc), capped at max_etld_rows;
+  /// misbound_hosts above still counts every tallied host.
+  std::vector<EtldRow> etlds;
+  /// Sorted by (reach desc, requests desc, domain asc), capped at top_k.
+  std::vector<TrackerRow> trackers;
+};
+
+class Census {
+ public:
+  /// `shards` should equal the engine's worker count (clamped to >= 1).
+  Census(CensusOptions options, std::size_t shards);
+
+  Census(const Census&) = delete;
+  Census& operator=(const Census&) = delete;
+
+  /// Ingest one batch on behalf of worker `shard` (clamped into range). The
+  /// matcher must be the one from the same pinned Engine::State as this
+  /// census — that is what scopes every aggregate to one generation.
+  IngestResult ingest(std::size_t shard, const CompiledMatcher& matcher,
+                      std::span<const CensusRecord> records);
+
+  /// Merge every shard into one consistent-enough view: exact totals are
+  /// sums of shard counters, distinct counts come from the shared filters,
+  /// the tracker table is the SpaceSaving union (absent shards charge their
+  /// min_count as error) with reach summed across shard sketches.
+  /// `top_k` = 0 uses options().top_k. Safe under concurrent ingest.
+  CensusSnapshot snapshot(std::size_t top_k = 0) const;
+
+  // Lock-free totals for the stats frame / gauges (relaxed reads).
+  std::uint64_t records() const noexcept;
+  std::uint64_t dropped() const noexcept;
+  std::uint64_t unique_hosts() const noexcept { return host_filter_.occupancy(); }
+  std::uint64_t sites_formed() const noexcept { return site_filter_.occupancy(); }
+  std::uint64_t reach_pairs() const noexcept { return pair_filter_.occupancy(); }
+  std::size_t state_bytes() const noexcept;
+
+  const CensusOptions& options() const noexcept { return options_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(const CensusOptions& options);
+
+    // Lock-free: totals + reach sketch.
+    std::atomic<std::uint64_t> records{0};
+    std::atomic<std::uint64_t> third_party{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> reach_increments{0};
+    CountMinSketch reach;
+
+    struct TransparentHash {
+      using is_transparent = void;
+      std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+      }
+    };
+
+    // Guarded by `mutex` (taken once per ingest batch by this shard's
+    // worker; by snapshot() while merging).
+    mutable std::mutex mutex;
+    SpaceSaving trackers;
+    std::unordered_map<std::string, std::uint64_t, TransparentHash, std::equal_to<>>
+        etld_misbound;
+    std::uint64_t first_timestamp_ms = 0;
+    std::uint64_t last_timestamp_ms = 0;
+    bool has_timestamp = false;
+  };
+
+  /// harm::SiteAssigner's key rule, verbatim: IPs and suffix-only hosts
+  /// stand alone, everything else groups by registrable domain.
+  static std::string_view site_key(std::string_view host, const MatchView& m) noexcept;
+
+  CensusOptions options_;
+  HashFilter host_filter_;
+  HashFilter site_filter_;
+  HashFilter pair_filter_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Adapter for serve::EngineOptions::census_factory — every generation the
+/// engine installs gets a fresh census with these options and one shard per
+/// worker. (psl_serve itself never links psl_analytics; the factory is a
+/// plain std::function the caller wires in.)
+inline auto census_factory(CensusOptions options) {
+  return [options](std::size_t shards) { return std::make_shared<Census>(options, shards); };
+}
+
+}  // namespace psl::analytics

@@ -1,0 +1,228 @@
+// psl::analytics sketch primitives — the bounded-memory building blocks of
+// the online census (docs/API.md, "Analytics").
+//
+// Three structures, each with an explicit, testable contract:
+//
+//   * CountMinSketch — per-key frequency estimates in O(width × depth)
+//     memory. Cells are relaxed atomics, so concurrent add() from many
+//     threads is lock-free and merging two sketches' answers is plain
+//     addition of estimates. Overestimate-only: for any key,
+//       true <= estimate <= true + epsilon * N   (per row, by Markov)
+//     where epsilon = 2 / width and N is the total weight added; taking the
+//     min over `depth` independent rows drives the failure probability of
+//     the upper bound to 2^-depth. error_bound(N) is that epsilon * N slack,
+//     the number the wire protocol reports next to every estimate.
+//
+//   * SpaceSaving — the classic top-K heavy-hitter table (Metwally et al.):
+//     at most `capacity` entries; a new key evicts the current minimum and
+//     inherits its count as `error`. Guarantees, with N = total offers:
+//       count - error <= true count <= count
+//       min_count()   <= N / capacity
+//     and any key with true count > min_count() is present. Single-writer
+//     (the census guards each shard's table with the shard mutex).
+//
+//   * HashFilter — a lock-free insert-only set of 64-bit hashes (linear
+//     probing over CAS slots, zero = empty). The census uses shared filters
+//     for exact distinct-counting (unique hosts, sites formed, tracker×site
+//     reach pairs): insert() says whether the hash is new, already present,
+//     or whether the probe limit was hit (kSaturated — the caller counts a
+//     drop instead of corrupting the exact aggregates). Collisions of the
+//     64-bit hash itself are the only source of undercount (~n^2 / 2^64,
+//     irrelevant at the 498M-request scale the paper works at).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psl::analytics {
+
+/// SplitMix64 finalizer: the bijective mixer used for row seeding and for
+/// combining hashes (pairs, shard spreading). Fixed forever — sketch
+/// contents are never serialized, but tests rely on determinism.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the raw bytes; the census hashes hostnames and site keys
+/// through this (already-lowercased by the corpus/wire contract).
+inline std::uint64_t hash_bytes(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Order-sensitive pair combiner for (site, tracker) reach dedup.
+inline std::uint64_t hash_pair(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ mix64(b + 0x165667B19E3779F9ull));
+}
+
+class CountMinSketch {
+ public:
+  /// `width` is rounded up to a power of two (minimum 16); `depth` clamped
+  /// to [1, 8]. Memory: width * depth * 8 bytes, allocated once.
+  CountMinSketch(std::size_t width, std::size_t depth);
+
+  CountMinSketch(const CountMinSketch&) = delete;
+  CountMinSketch& operator=(const CountMinSketch&) = delete;
+
+  /// Lock-free; relaxed atomics (estimates are statistical, not ordered).
+  void add(std::uint64_t key_hash, std::uint64_t weight = 1) noexcept {
+    for (std::size_t row = 0; row < depth_; ++row) {
+      cell(row, key_hash).fetch_add(weight, std::memory_order_relaxed);
+    }
+  }
+
+  /// min over rows; >= the true weight added for this key.
+  std::uint64_t estimate(std::uint64_t key_hash) const noexcept {
+    std::uint64_t best = cell(0, key_hash).load(std::memory_order_relaxed);
+    for (std::size_t row = 1; row < depth_; ++row) {
+      const std::uint64_t v = cell(row, key_hash).load(std::memory_order_relaxed);
+      if (v < best) best = v;
+    }
+    return best;
+  }
+
+  /// epsilon = 2 / width: estimate <= true + epsilon * N with probability
+  /// >= 1 - 2^-depth, N being total weight added across all keys.
+  double epsilon() const noexcept { return 2.0 / static_cast<double>(width_); }
+  /// ceil(epsilon * total_weight): the additive slack reported on the wire.
+  std::uint64_t error_bound(std::uint64_t total_weight) const noexcept {
+    return (2 * total_weight + width_ - 1) / width_;
+  }
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t state_bytes() const noexcept { return cells_.size() * sizeof(cells_[0]); }
+
+ private:
+  std::atomic<std::uint64_t>& cell(std::size_t row, std::uint64_t key_hash) noexcept {
+    return cells_[row * width_ + (mix64(key_hash + seeds_[row]) & mask_)];
+  }
+  const std::atomic<std::uint64_t>& cell(std::size_t row,
+                                         std::uint64_t key_hash) const noexcept {
+    return cells_[row * width_ + (mix64(key_hash + seeds_[row]) & mask_)];
+  }
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<std::atomic<std::uint64_t>> cells_;
+};
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;  ///< upper bound on the true count
+    std::uint64_t error = 0;  ///< count - error is a lower bound
+  };
+
+  /// `capacity` clamped to >= 1. Memory: capacity entries + index.
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Count one (or `weight`) occurrence of `key`. O(log capacity) via an
+  /// indexed min-heap; evicts the current minimum when full and `key` is
+  /// absent (the evictee's count becomes the newcomer's `error`).
+  void offer(std::string_view key, std::uint64_t weight = 1);
+
+  /// All tracked entries, unordered. Views stay valid until the next offer().
+  std::span<const Entry> entries() const noexcept { return entries_; }
+  /// The smallest tracked count, 0 while the table is not yet full. Any key
+  /// with true count > min_count() is guaranteed present; a merge charges
+  /// this as the uncertainty for keys a shard is not tracking.
+  std::uint64_t min_count() const noexcept;
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t state_bytes() const noexcept;
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  void sift_down(std::size_t heap_pos);
+  void sift_up(std::size_t heap_pos);
+  bool heap_less(std::size_t a, std::size_t b) const noexcept {
+    return entries_[heap_[a]].count < entries_[heap_[b]].count;
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> heap_;  ///< entry indices, min-heap by count
+  std::vector<std::size_t> pos_;   ///< entry index -> position in heap_
+  std::unordered_map<std::string, std::size_t, TransparentHash, std::equal_to<>> index_;
+};
+
+class HashFilter {
+ public:
+  enum class Insert : std::uint8_t {
+    kNew,        ///< hash was absent and is now recorded
+    kSeen,       ///< hash was already present
+    kSaturated,  ///< probe limit hit; membership unknown, caller counts a drop
+  };
+
+  /// `slots` rounded up to a power of two (minimum 64). Memory: slots * 8
+  /// bytes, allocated once — the census's fixed bound, never rehashed.
+  explicit HashFilter(std::size_t slots);
+
+  HashFilter(const HashFilter&) = delete;
+  HashFilter& operator=(const HashFilter&) = delete;
+
+  /// Lock-free linear probing (bounded at kMaxProbes). Zero is the empty
+  /// sentinel, so a zero hash is remapped to a fixed non-zero constant.
+  Insert insert(std::uint64_t hash) noexcept {
+    if (hash == 0) hash = 0x9E3779B97F4A7C15ull;
+    std::size_t idx = mix64(hash) & mask_;
+    for (std::size_t probe = 0; probe < kMaxProbes; ++probe) {
+      std::uint64_t cur = slots_[idx].load(std::memory_order_relaxed);
+      if (cur == hash) return Insert::kSeen;
+      if (cur == 0) {
+        if (slots_[idx].compare_exchange_strong(cur, hash, std::memory_order_relaxed)) {
+          occupancy_.fetch_add(1, std::memory_order_relaxed);
+          return Insert::kNew;
+        }
+        if (cur == hash) return Insert::kSeen;  // lost the race to ourselves
+      }
+      idx = (idx + 1) & mask_;
+    }
+    saturated_.fetch_add(1, std::memory_order_relaxed);
+    return Insert::kSaturated;
+  }
+
+  /// Exact number of distinct hashes recorded (the census's exact distinct
+  /// counts read this directly).
+  std::uint64_t occupancy() const noexcept {
+    return occupancy_.load(std::memory_order_relaxed);
+  }
+  /// insert() calls that hit the probe limit (visible as census drops).
+  std::uint64_t saturated() const noexcept {
+    return saturated_.load(std::memory_order_relaxed);
+  }
+  std::size_t slots() const noexcept { return slots_.size(); }
+  std::size_t state_bytes() const noexcept { return slots_.size() * sizeof(slots_[0]); }
+
+  static constexpr std::size_t kMaxProbes = 128;
+
+ private:
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> occupancy_{0};
+  std::atomic<std::uint64_t> saturated_{0};
+  std::vector<std::atomic<std::uint64_t>> slots_;
+};
+
+}  // namespace psl::analytics

@@ -218,6 +218,55 @@ pslh_status pslh_client_divergence(pslh_client_t* client, const char* host,
                                    const char** domains, size_t max_ranges,
                                    size_t* total_out);
 
+/* --- streaming analytics (requires psld --analytics) ---------------------
+ * Stream observed (page_host, resource_host) request records into the
+ * daemon's census and read the aggregates back. Without --analytics every
+ * call here returns PSLH_ERROR (wire detail "analytics.none"). */
+
+/* Ingest one batch of `count` records (parallel arrays; timestamps_ms may
+ * be NULL for all-zero timestamps). The whole batch is attributed to ONE
+ * serving generation — batches never straddle a reload — and
+ * generation_out (optional, may be NULL) receives it. */
+pslh_status pslh_client_ingest_batch(pslh_client_t* client, const char* const* page_hosts,
+                                     const char* const* resource_hosts,
+                                     const long long* timestamps_ms, size_t count,
+                                     unsigned long long* generation_out);
+
+/* One census snapshot. Scalar totals are exact (sites formed, first- vs
+ * third-party splits, per-eTLD mis-bounding); the tracker table carries
+ * sketch estimates with their error bounds: the true request count lies in
+ * [requests - requests_err, requests + requests_err] and the true reach
+ * (distinct embedding sites) in [reach - reach_err, reach]. All arrays and
+ * strings are owned by the struct; release everything with
+ * pslh_census_free (safe on a zeroed struct). */
+typedef struct pslh_census {
+  unsigned long long generation;
+  unsigned long long records;
+  unsigned long long first_party;
+  unsigned long long third_party;
+  unsigned long long unique_hosts;
+  unsigned long long sites_formed;
+  unsigned long long misbound_hosts;
+  unsigned long long dropped;
+  unsigned long long state_bytes;
+  size_t etld_count; /* per-eTLD mis-bounding rows, largest first */
+  const char** etlds;
+  unsigned long long* etld_misbound;
+  size_t tracker_count; /* top-K third-party registrable domains */
+  const char** tracker_domains;
+  unsigned long long* tracker_requests;
+  unsigned long long* tracker_requests_err;
+  unsigned long long* tracker_reach;
+  unsigned long long* tracker_reach_err;
+} pslh_census_t;
+
+/* Fill *out with a fresh census snapshot (top_k 0 = daemon default table
+ * size). On PSLH_ERROR / PSLH_BACKPRESSURE *out is zeroed. */
+pslh_status pslh_client_census(pslh_client_t* client, unsigned int top_k, pslh_census_t* out);
+
+/* Free every allocation inside *out and zero it. NULL is a no-op. */
+void pslh_census_free(pslh_census_t* out);
+
 /* --- the push channel ----------------------------------------------------
  * Mirrors net::Client's subscription surface: subscribe once, then the
  * daemon pushes generation_changed frames on every reload. Pushes are

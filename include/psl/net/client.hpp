@@ -112,6 +112,20 @@ class Client {
 
   util::Result<WireStats> stats();
 
+  // --- analytics (psld --analytics) ---------------------------------------
+
+  /// Stream one batch of (page_host, resource_host, timestamp) observations
+  /// into the server's analytics census. The ack names the ONE generation
+  /// the whole batch was attributed to — batches are never split across a
+  /// reload. Views must stay valid for the call. net.unsupported with
+  /// detail "analytics.none" when the server carries no census.
+  util::Result<WireIngestAck> ingest_batch(std::span<const WireIngestRecord> records);
+
+  /// Snapshot the serving generation's census aggregates (top_k = 0 asks
+  /// for the server's default tracker-table size). Same "analytics.none"
+  /// contract as ingest_batch.
+  util::Result<WireCensus> census(std::uint32_t top_k = 0);
+
   // --- the push channel ---------------------------------------------------
 
   /// Invoked (from whichever call consumed the push off the socket) for

@@ -27,6 +27,14 @@
 //                         history across every stored list version
 //   0x08 subscribe        empty payload — register this connection for
 //                         generation_changed pushes until it closes
+//   0x0A ingest_batch     u32 count, then count x (str16 page_host,
+//                         str16 resource_host, u64 timestamp_ms) — stream
+//                         one batch of observed requests into the serving
+//                         generation's analytics census (psld --analytics).
+//                         Status is per-BATCH: the whole batch lands in one
+//                         generation or is rejected whole
+//   0x0B census_query     u32 top_k (0 = server default) — snapshot the
+//                         serving generation's census aggregates
 //
 // One frame type flows the OTHER way. 0x09 generation_changed is pushed by
 // the server to every subscribed connection when a reload installs a new
@@ -51,7 +59,10 @@
 //   reload     u64 new generation
 //   stats      u64 generation, u64 rule_count, u64 source date (days since
 //              1970-01-01, two's complement), u32 open connections,
-//              u32 engine queue depth
+//              u32 engine queue depth, u8 analytics_enabled,
+//              u64 analytics records ingested, u64 analytics drops,
+//              u64 census queries answered, u64 census state bytes (the
+//              analytics block is zeroed when --analytics is off)
 //   match_at   u64 resolved version source date (days, two's complement),
 //              u64 that version's rule_count, u32 count, then count x
 //              (str16 public_suffix, str16 registrable_domain, u8 flags:
@@ -62,6 +73,25 @@
 //              the store's whole version span, oldest first
 //   subscribe  u64 current generation — the subscriber converges
 //              immediately instead of waiting for the first push
+//   ingest     u64 generation the batch was attributed to (exactly one —
+//              the engine pins one State per batch), u32 records accepted
+//   census     u64 generation, u64 records, u64 first_party,
+//              u64 third_party, u64 unique_hosts, u64 sites_formed,
+//              u64 misbound_hosts, u64 dropped, u64 first_timestamp_ms,
+//              u64 last_timestamp_ms, u64 state_bytes, u32 etld_count,
+//              count x (str16 etld, u64 misbound), u32 tracker_count,
+//              count x (str16 domain, u64 requests, u64 requests_err,
+//              u64 reach, u64 reach_err). Row order is deterministic:
+//              eTLDs by (misbound desc, etld asc), trackers by (reach
+//              desc, requests desc, domain asc). The sketch error-bound
+//              contract: true requests in [requests - requests_err,
+//              requests + requests_err] (space-saving merge), true reach
+//              in [reach - reach_err, reach] plus count-min's
+//              overestimate-only slack — see docs/API.md "Analytics"
+//
+// ingest_batch and census_query require the server to carry an analytics
+// census (psld --analytics): without one they answer kUnsupported with
+// detail "analytics.none".
 //
 // match_at and divergence require the server to carry a psl::store
 // (psld --store): without one they answer kUnsupported with detail
@@ -79,7 +109,8 @@
 // rejects versions it does not speak (net.frame.version) instead of
 // guessing; additive evolution happens through new frame types (unknown
 // types get a kUnsupported response, not a disconnect) — existing payload
-// layouts never change within a version.
+// layouts only ever grow by appending fields (the stats analytics block is
+// the one such revision so far), never by moving existing ones.
 //
 // FrameDecoder is incremental: feed() whatever the socket produced, call
 // next() until kNeedMore. Partial frames are not errors — they simply wait
@@ -122,6 +153,8 @@ enum class FrameType : std::uint8_t {
   /// Server-pushed on generation change; never sent by clients, never
   /// carries the response bit, never answered.
   kGenerationChanged = 0x09,
+  kIngestBatch = 0x0A,
+  kCensusQuery = 0x0B,
 };
 
 /// The wire type byte of the response to a `type` request.
@@ -260,6 +293,18 @@ bool parse_match_at_request(std::span<const std::uint8_t> payload, std::int64_t&
 /// divergence: the single host operand.
 bool parse_divergence_request(std::span<const std::uint8_t> payload, std::string_view& host);
 
+/// One ingest_batch request record; views point into the request payload.
+struct WireIngestRecord {
+  std::string_view page_host;
+  std::string_view resource_host;
+  std::uint64_t timestamp_ms = 0;
+};
+/// ingest_batch request: u32 count then the records.
+bool parse_ingest_request(std::span<const std::uint8_t> payload,
+                          std::vector<WireIngestRecord>& out);
+/// census_query request: exactly one u32 top_k (0 = server default).
+bool parse_census_request(std::span<const std::uint8_t> payload, std::uint32_t& top_k);
+
 /// One match_batch response entry, owned (the client's return type).
 struct WireMatch {
   std::string public_suffix;
@@ -286,14 +331,69 @@ struct WireDivergenceRange {
   friend bool operator==(const WireDivergenceRange&, const WireDivergenceRange&) = default;
 };
 
-/// stats response body.
+/// stats response body. The analytics block was appended for protocol
+/// version 1 servers that carry a census (servers without one send it
+/// zeroed with analytics_enabled = 0 — the fields are always present).
 struct WireStats {
   std::uint64_t generation = 0;
   std::uint64_t rule_count = 0;
   std::int64_t source_date_days = 0;
   std::uint32_t connections = 0;
   std::uint32_t queue_depth = 0;
+  std::uint8_t analytics_enabled = 0;
+  std::uint64_t analytics_records = 0;
+  std::uint64_t analytics_dropped = 0;
+  std::uint64_t analytics_census_queries = 0;
+  std::uint64_t analytics_state_bytes = 0;
 };
+
+/// ingest_batch response body (the client's return type).
+struct WireIngestAck {
+  std::uint64_t generation = 0;  ///< every record in the batch landed here
+  std::uint32_t accepted = 0;
+
+  friend bool operator==(const WireIngestAck&, const WireIngestAck&) = default;
+};
+
+/// census_query response body (the client's return type). Semantics and
+/// error-bound contracts mirror analytics::CensusSnapshot field for field.
+struct WireCensus {
+  std::uint64_t generation = 0;
+  std::uint64_t records = 0;
+  std::uint64_t first_party = 0;
+  std::uint64_t third_party = 0;
+  std::uint64_t unique_hosts = 0;
+  std::uint64_t sites_formed = 0;
+  std::uint64_t misbound_hosts = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t first_timestamp_ms = 0;
+  std::uint64_t last_timestamp_ms = 0;
+  std::uint64_t state_bytes = 0;
+
+  struct EtldRow {
+    std::string etld;
+    std::uint64_t misbound = 0;
+    friend bool operator==(const EtldRow&, const EtldRow&) = default;
+  };
+  struct TrackerRow {
+    std::string domain;
+    std::uint64_t requests = 0;
+    std::uint64_t requests_err = 0;
+    std::uint64_t reach = 0;
+    std::uint64_t reach_err = 0;
+    friend bool operator==(const TrackerRow&, const TrackerRow&) = default;
+  };
+  std::vector<EtldRow> etlds;
+  std::vector<TrackerRow> trackers;
+
+  friend bool operator==(const WireCensus&, const WireCensus&) = default;
+};
+
+/// Encode/decode the census response BODY (after the status byte; the frame
+/// header and status are the caller's job). parse returns false on short
+/// payloads, trailing bytes, or impossible row counts.
+void put_census(std::vector<std::uint8_t>& out, const WireCensus& census);
+bool parse_census(std::span<const std::uint8_t> payload, WireCensus& out);
 
 /// generation_changed push payload (no status byte — pushes are not
 /// responses). `rule_delta` is the rule-count change versus the generation

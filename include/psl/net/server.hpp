@@ -50,8 +50,13 @@
 // net.bytes_out, net.reject.backpressure, net.reject.malformed,
 // net.reject.max_conns, net.timeout.idle, net.timeout.read,
 // net.timeout.write_stall, net.frame_errors, net.push.sent; histograms
-// net.request_ms.{ping,same_site,match,reload,stats} (decode-to-response-
-// enqueue latency per request type).
+// net.request_ms.{ping,same_site,match,reload,stats,ingest,census}
+// (decode-to-response-enqueue latency per request type). With --analytics:
+// counters analytics.ingest.records, analytics.ingest.dropped,
+// analytics.census.queries; gauges analytics.{hosts,sites,pairs}.occupancy
+// (the census's exact-aggregate filter fill levels, refreshed per ingest
+// batch). The same numbers ride the stats frame's analytics block, so an
+// uninstrumented deployment still sees them over the wire.
 #pragma once
 
 #include <atomic>
@@ -195,6 +200,11 @@ class Server {
   std::vector<std::uint8_t> read_scratch_;
   std::vector<std::pair<std::string_view, std::string_view>> pair_scratch_;
   std::vector<std::string_view> host_scratch_;
+  std::vector<WireIngestRecord> ingest_scratch_;
+
+  // census_query answers served over this server's lifetime (the stats
+  // frame reports it even without a metrics registry).
+  std::atomic<std::uint64_t> census_queries_total_{0};
 
   obs::Gauge* connections_gauge_ = nullptr;
   obs::Counter* accepted_ = nullptr;
@@ -217,6 +227,14 @@ class Server {
   obs::Histogram* latency_stats_ = nullptr;
   obs::Histogram* latency_match_at_ = nullptr;
   obs::Histogram* latency_divergence_ = nullptr;
+  obs::Histogram* latency_ingest_ = nullptr;
+  obs::Histogram* latency_census_ = nullptr;
+  obs::Counter* analytics_ingest_records_ = nullptr;
+  obs::Counter* analytics_ingest_dropped_ = nullptr;
+  obs::Counter* analytics_census_queries_ = nullptr;
+  obs::Gauge* analytics_hosts_gauge_ = nullptr;
+  obs::Gauge* analytics_sites_gauge_ = nullptr;
+  obs::Gauge* analytics_pairs_gauge_ = nullptr;
 };
 
 }  // namespace psl::net

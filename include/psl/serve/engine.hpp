@@ -75,6 +75,10 @@
 #include "psl/serve/snapshot.hpp"
 #include "psl/util/result.hpp"
 
+namespace psl::analytics {
+class Census;
+}  // namespace psl::analytics
+
 namespace psl::store {
 class StoreView;
 struct DivergenceRange;
@@ -93,6 +97,13 @@ struct EngineOptions {
   /// two; 0 disables caching — every query walks the trie).
   std::size_t cache_slots = 16384;
   obs::MetricsRegistry* metrics = nullptr;  ///< optional; null = uninstrumented
+  /// When set, every installed State carries a fresh analytics::Census from
+  /// this factory (called with the worker count; hot swap ⇒ fresh census —
+  /// the same RCU invalidation story as the per-worker caches). Wire it via
+  /// analytics::census_factory(); psl_serve itself never links
+  /// psl_analytics, the factory is an opaque std::function.
+  std::function<std::shared_ptr<analytics::Census>(std::size_t shards)> census_factory =
+      nullptr;
 };
 
 class Engine {
@@ -127,6 +138,12 @@ class Engine {
     /// disabled. Single-writer: only this worker, only during this batch.
     RegDomainCache* cache = nullptr;
     const Engine* engine = nullptr;  ///< for cache/batch instrumentation
+    /// This generation's analytics census (null when analytics is off).
+    /// Ingest through it with `worker` as the shard index: the census
+    /// belongs to the pinned State, so a batch can never write across a
+    /// generation boundary.
+    analytics::Census* census = nullptr;
+    std::size_t worker = 0;  ///< index of the worker running this batch
 
     /// Cached single lookup: the registrable domain of `host` as a view
     /// into `host`'s own buffer ("" when it has none). Hits skip the trie.
@@ -256,6 +273,14 @@ class Engine {
   snapshot::Metadata metadata() const;
   std::size_t queue_depth() const;
   std::size_t worker_count() const noexcept { return workers_.size(); }
+  /// The current generation's census (shared with the State that owns it),
+  /// or null when EngineOptions::census_factory was not set. Front-ends use
+  /// this for the stats frame; ingest goes through Pinned::census so the
+  /// generation attribution stays batch-granular.
+  std::shared_ptr<analytics::Census> census() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return state_->census;
+  }
 
  private:
   /// One immutable serving state; readers pin it via shared_ptr.
@@ -269,6 +294,12 @@ class Engine {
     /// the caches only memoize them. New State ⇒ new cold caches, which is
     /// the whole hot-swap invalidation story.
     mutable std::vector<RegDomainCache> caches;
+    /// This generation's analytics census (null when analytics is off).
+    /// Same doctrine as the caches: a new State gets a FRESH census, old
+    /// readers drain on the old one, so no ingest record or census answer
+    /// ever crosses a generation boundary. shared_ptr because the stats
+    /// path hands it out beyond the State pin.
+    std::shared_ptr<analytics::Census> census;
   };
 
   std::shared_ptr<const State> current() const {
@@ -296,6 +327,10 @@ class Engine {
 
   std::mutex reload_mutex_;  ///< serializes swaps so generations are monotone
   std::uint64_t next_generation_ = 0;
+
+  /// From EngineOptions; install() calls it (under reload_mutex_) to give
+  /// every new State its own census. Immutable after construction.
+  std::function<std::shared_ptr<analytics::Census>(std::size_t)> census_factory_;
 
   mutable std::mutex mutex_;  ///< guards queue_ + stopping_
   std::condition_variable cv_;

@@ -9,7 +9,11 @@
 # lists, psld --store, match-at answers flipping across the version
 # boundary, divergence ranges, a corrupted store rejected at boot, and the
 # handlers-before-listener fix (SIGTERM during startup still drains
-# cleanly). CI runs this against the freshly built tree:
+# cleanly). A third act covers streaming analytics: psld --analytics, a
+# psltool-generated corpus replayed into the census, aggregates read back
+# over the wire, and a SIGHUP hot swap starting a fresh census for the new
+# generation while ingest keeps flowing. CI runs this against the freshly
+# built tree:
 #
 #   scripts/net_smoke.sh build/examples/psld [build/examples/psltool]
 set -euo pipefail
@@ -212,4 +216,87 @@ wait "$STORE_PID" || STATUS=$?
 grep -q "psld: bye" early.log || fail "early SIGTERM did not drain cleanly"
 STORE_PID=
 
-echo "net_smoke: OK (ports $PORT/$STORE_PORT)"
+# ==========================================================================
+# Act 3: streaming analytics. Serve with --analytics, replay a synthetic
+# request corpus at the census, read the aggregates back, and prove the
+# census-per-generation doctrine: a SIGHUP hot swap starts a FRESH census
+# (records drop to zero under the new generation) while ingest keeps
+# flowing.
+# ==========================================================================
+ANALYTICS_PORT=$(( PORT + 2 ))
+ANALYTICS_ADDR="127.0.0.1:$ANALYTICS_PORT"
+cp a.psnap live_analytics.psnap
+"$PSLD" --listen "$ANALYTICS_ADDR" --snapshot live_analytics.psnap --threads 2 --analytics \
+  > psld_analytics.log 2> psld_analytics.err &
+ANALYTICS_PID=$!
+trap 'kill "$DAEMON_PID" "$STORE_PID" "$WATCH_PID" "$ANALYTICS_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+for _ in $(seq 1 100); do
+  grep -q "serving generation" psld_analytics.log 2>/dev/null && break
+  kill -0 "$ANALYTICS_PID" 2>/dev/null || fail "analytics daemon died during startup"
+  sleep 0.1
+done
+grep -q "\[analytics\]" psld_analytics.log || fail "daemon did not report analytics mode"
+
+# An empty census exists from the first generation on.
+"$PSLD" census "$ANALYTICS_ADDR" > census0.txt || fail "census query on a fresh daemon"
+grep -qx "census generation 1" census0.txt || fail "fresh census generation: $(cat census0.txt)"
+grep -qx "census records 0" census0.txt || fail "fresh census not empty: $(cat census0.txt)"
+
+# Replay a synthetic corpus at it; the census totals must account for every
+# replayed record exactly.
+"$PSLTOOL" census gen corpus.csv > gen.txt || fail "psltool census gen"
+REQUESTS=$(sed -n 's/.* hosts, \([0-9]*\) requests/\1/p' gen.txt)
+[[ -n "$REQUESTS" && "$REQUESTS" -gt 0 ]] || fail "census gen reported no requests: $(cat gen.txt)"
+"$PSLTOOL" census replay corpus.csv "$ANALYTICS_ADDR" > replay1.txt || fail "census replay"
+grep -q "replayed $REQUESTS records .* (generation 1..1)" replay1.txt \
+  || fail "replay record count or generation: $(cat replay1.txt)"
+
+"$PSLD" census "$ANALYTICS_ADDR" 8 > census1.txt || fail "census query after replay"
+grep -qx "census generation 1" census1.txt || fail "census generation: $(cat census1.txt)"
+grep -qx "census records $REQUESTS" census1.txt \
+  || fail "census did not account for every replayed record: $(grep 'census records' census1.txt)"
+FIRST=$(sed -n 's/^census first-party \([0-9]*\)$/\1/p' census1.txt)
+THIRD=$(sed -n 's/^census third-party \([0-9]*\)$/\1/p' census1.txt)
+[[ $(( FIRST + THIRD )) -eq "$REQUESTS" ]] \
+  || fail "first-party ($FIRST) + third-party ($THIRD) != records ($REQUESTS)"
+grep -qx "census dropped 0" census1.txt || fail "census dropped records on the tiny corpus"
+grep -q "^census tracker " census1.txt || fail "census reported no trackers"
+[[ $(grep -c "^census tracker " census1.txt) -le 8 ]] || fail "census ignored top_k 8"
+
+# Queries and ingest share the daemon: the boundary path must still serve.
+"$PSLD" query "$ANALYTICS_ADDR" shop1.myshopify.com \
+  | grep -qx "shop1.myshopify.com myshopify.com" || fail "analytics daemon query"
+
+# SIGHUP hot swap: the new generation starts a FRESH census — aggregates
+# describe exactly one (list, stream) pairing, never a mixture.
+cp b.psnap live_analytics.psnap
+kill -HUP "$ANALYTICS_PID"
+for _ in $(seq 1 100); do
+  grep -q "generation 2" psld_analytics.log 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "reloaded .* generation 2" psld_analytics.log || fail "analytics SIGHUP reload"
+"$PSLD" census "$ANALYTICS_ADDR" > census2.txt || fail "census query after reload"
+grep -qx "census generation 2" census2.txt \
+  || fail "census still on the old generation: $(cat census2.txt)"
+grep -qx "census records 0" census2.txt \
+  || fail "hot swap did not start a fresh census: $(grep 'census records' census2.txt)"
+
+# Ingest keeps flowing into the new generation's census.
+"$PSLTOOL" census replay corpus.csv "$ANALYTICS_ADDR" > replay2.txt \
+  || fail "census replay after reload"
+grep -q "(generation 2..2)" replay2.txt || fail "replay landed on a stale generation: $(cat replay2.txt)"
+"$PSLD" census "$ANALYTICS_ADDR" > census3.txt || fail "census query after second replay"
+grep -qx "census records $REQUESTS" census3.txt \
+  || fail "new generation census did not ingest the second replay: $(grep 'census records' census3.txt)"
+
+kill -TERM "$ANALYTICS_PID"
+STATUS=0
+wait "$ANALYTICS_PID" || STATUS=$?
+[[ "$STATUS" -eq 0 ]] || fail "analytics daemon exited $STATUS on SIGTERM"
+grep -q "psld: bye" psld_analytics.log || fail "analytics daemon did not drain cleanly"
+grep -q '"analytics.ingest.records"' psld_analytics.err \
+  || fail "analytics counters missing from the metrics dump"
+ANALYTICS_PID=
+
+echo "net_smoke: OK (ports $PORT/$STORE_PORT/$ANALYTICS_PORT)"

@@ -1,0 +1,254 @@
+#include "psl/analytics/census.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "psl/url/host.hpp"
+
+namespace psl::analytics {
+
+Census::Shard::Shard(const CensusOptions& options)
+    : reach(options.sketch_width, options.sketch_depth), trackers(options.heavy_hitters) {
+  etld_misbound.reserve(options.max_etlds);
+}
+
+Census::Census(CensusOptions options, std::size_t shards)
+    : options_(options),
+      host_filter_(options.host_filter_slots),
+      site_filter_(options.site_filter_slots),
+      pair_filter_(options.pair_filter_slots) {
+  const std::size_t count = std::max<std::size_t>(shards, 1);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_));
+  }
+}
+
+std::string_view Census::site_key(std::string_view host, const MatchView& m) noexcept {
+  if (url::looks_like_ip_literal(host)) return host;  // an IP stands alone
+  return m.registrable_domain.empty() ? host : m.registrable_domain;
+}
+
+IngestResult Census::ingest(std::size_t shard_index, const CompiledMatcher& matcher,
+                            std::span<const CensusRecord> records) {
+  if (records.empty()) return {};
+  Shard& shard = *shards_[shard_index % shards_.size()];
+
+  // Match both endpoints of every record in one batch (zero-allocation
+  // after the scratch reaches high-water size).
+  thread_local std::vector<std::string_view> hosts;
+  thread_local std::vector<MatchView> views;
+  hosts.clear();
+  hosts.reserve(records.size() * 2);
+  for (const CensusRecord& r : records) {
+    hosts.push_back(r.page_host);
+    hosts.push_back(r.resource_host);
+  }
+  views.resize(hosts.size());
+  matcher.match_batch(hosts, views);
+
+  std::uint64_t third_party = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t reach_increments = 0;
+
+  // One lock per BATCH, and only this shard's — ingest never serializes
+  // against another worker's ingest; only a concurrent census read can
+  // contend here, briefly.
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  // First sight of a host classifies it once: its site key joins the
+  // distinct-sites filter, and a host the matcher only bounded with the
+  // implicit * rule joins the per-eTLD mis-bounding tally.
+  const auto account_host = [&](std::string_view host, const MatchView& m,
+                                std::string_view site) {
+    switch (host_filter_.insert(hash_bytes(host))) {
+      case HashFilter::Insert::kSeen:
+        return;
+      case HashFilter::Insert::kSaturated:
+        ++drops;
+        return;
+      case HashFilter::Insert::kNew:
+        break;
+    }
+    if (site_filter_.insert(hash_bytes(site)) == HashFilter::Insert::kSaturated) ++drops;
+    if (!m.matched_explicit_rule && !m.public_suffix.empty() &&
+        !url::looks_like_ip_literal(host)) {
+      if (const auto it = shard.etld_misbound.find(m.public_suffix);
+          it != shard.etld_misbound.end()) {
+        ++it->second;
+      } else if (shard.etld_misbound.size() < options_.max_etlds) {
+        shard.etld_misbound.emplace(std::string(m.public_suffix), 1);
+      } else {
+        ++drops;  // tally table full; misbound_hosts undercounts, visibly
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const CensusRecord& r = records[i];
+    const std::string_view page_site = site_key(r.page_host, views[2 * i]);
+    const std::string_view resource_site = site_key(r.resource_host, views[2 * i + 1]);
+    account_host(r.page_host, views[2 * i], page_site);
+    account_host(r.resource_host, views[2 * i + 1], resource_site);
+
+    if (page_site != resource_site) {
+      ++third_party;
+      shard.trackers.offer(resource_site);
+      const std::uint64_t tracker_hash = hash_bytes(resource_site);
+      switch (pair_filter_.insert(hash_pair(hash_bytes(page_site), tracker_hash))) {
+        case HashFilter::Insert::kNew:
+          shard.reach.add(tracker_hash);
+          ++reach_increments;
+          break;
+        case HashFilter::Insert::kSeen:
+          break;
+        case HashFilter::Insert::kSaturated:
+          ++drops;
+          break;
+      }
+    }
+
+    if (!shard.has_timestamp || r.timestamp_ms < shard.first_timestamp_ms) {
+      shard.first_timestamp_ms = r.timestamp_ms;
+    }
+    if (!shard.has_timestamp || r.timestamp_ms > shard.last_timestamp_ms) {
+      shard.last_timestamp_ms = r.timestamp_ms;
+    }
+    shard.has_timestamp = true;
+  }
+
+  // records before third_party: a concurrent merge that clamps
+  // first_party = records - third_party never sees third_party run ahead
+  // by more than this batch (and clamps to zero regardless).
+  shard.records.fetch_add(records.size(), std::memory_order_relaxed);
+  shard.third_party.fetch_add(third_party, std::memory_order_relaxed);
+  shard.dropped.fetch_add(drops, std::memory_order_relaxed);
+  shard.reach_increments.fetch_add(reach_increments, std::memory_order_relaxed);
+
+  return IngestResult{static_cast<std::uint32_t>(records.size()),
+                      static_cast<std::uint32_t>(drops)};
+}
+
+std::uint64_t Census::records() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->records.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Census::dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t Census::state_bytes() const noexcept {
+  std::size_t bytes = host_filter_.state_bytes() + site_filter_.state_bytes() +
+                      pair_filter_.state_bytes();
+  for (const auto& shard : shards_) {
+    bytes += sizeof(Shard) + shard->reach.state_bytes();
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    bytes += shard->trackers.state_bytes();
+    // unordered_map nodes: key string + bucket overhead, approximated.
+    for (const auto& [etld, count] : shard->etld_misbound) {
+      bytes += sizeof(std::string) + etld.capacity() + sizeof(count) + 48;
+    }
+  }
+  return bytes;
+}
+
+CensusSnapshot Census::snapshot(std::size_t top_k) const {
+  if (top_k == 0) top_k = options_.top_k;
+  CensusSnapshot out;
+
+  struct ShardView {
+    std::vector<SpaceSaving::Entry> entries;
+    std::uint64_t min_count = 0;
+    std::uint64_t reach_increments = 0;
+  };
+  std::vector<ShardView> shard_views(shards_.size());
+  std::unordered_map<std::string, std::uint64_t> etlds;
+  bool saw_timestamp = false;
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    out.records += shard.records.load(std::memory_order_relaxed);
+    out.third_party += shard.third_party.load(std::memory_order_relaxed);
+    out.dropped += shard.dropped.load(std::memory_order_relaxed);
+    shard_views[s].reach_increments =
+        shard.reach_increments.load(std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto entries = shard.trackers.entries();
+    shard_views[s].entries.assign(entries.begin(), entries.end());
+    shard_views[s].min_count = shard.trackers.min_count();
+    for (const auto& [etld, count] : shard.etld_misbound) etlds[etld] += count;
+    if (shard.has_timestamp) {
+      if (!saw_timestamp || shard.first_timestamp_ms < out.first_timestamp_ms) {
+        out.first_timestamp_ms = shard.first_timestamp_ms;
+      }
+      if (!saw_timestamp || shard.last_timestamp_ms > out.last_timestamp_ms) {
+        out.last_timestamp_ms = shard.last_timestamp_ms;
+      }
+      saw_timestamp = true;
+    }
+  }
+  // Clamp: under concurrent ingest the two relaxed counters may be read a
+  // batch apart; quiesced, first_party is exact.
+  out.first_party = out.records >= out.third_party ? out.records - out.third_party : 0;
+  out.unique_hosts = host_filter_.occupancy();
+  out.sites_formed = site_filter_.occupancy();
+
+  for (const auto& [etld, count] : etlds) out.misbound_hosts += count;
+  out.etlds.reserve(etlds.size());
+  for (auto& [etld, count] : etlds) out.etlds.push_back({etld, count});
+  std::sort(out.etlds.begin(), out.etlds.end(), [](const auto& a, const auto& b) {
+    if (a.misbound != b.misbound) return a.misbound > b.misbound;
+    return a.etld < b.etld;
+  });
+  if (out.etlds.size() > options_.max_etld_rows) out.etlds.resize(options_.max_etld_rows);
+
+  // Tracker table: union of the shard SpaceSaving tables. A shard that does
+  // not track a candidate contributes at most its min_count requests — that
+  // uncertainty is charged to the row's error, so the merged contract stays
+  // |true - requests| <= requests_err.
+  std::unordered_map<std::string_view, CensusSnapshot::TrackerRow> merged;
+  for (const ShardView& view : shard_views) {
+    for (const SpaceSaving::Entry& entry : view.entries) {
+      merged.try_emplace(entry.key).first->second.domain = entry.key;
+    }
+  }
+  std::uint64_t reach_err = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    reach_err += shards_[s]->reach.error_bound(shard_views[s].reach_increments);
+  }
+  for (auto& [key, row] : merged) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const ShardView& view = shard_views[s];
+      const auto it = std::find_if(view.entries.begin(), view.entries.end(),
+                                   [&](const auto& e) { return e.key == key; });
+      if (it != view.entries.end()) {
+        row.requests += it->count;
+        row.requests_err += it->error;
+      } else {
+        row.requests_err += view.min_count;
+      }
+      row.reach += shards_[s]->reach.estimate(hash_bytes(key));
+    }
+    row.reach_err = reach_err;
+  }
+
+  out.trackers.reserve(merged.size());
+  for (auto& [key, row] : merged) out.trackers.push_back(std::move(row));
+  std::sort(out.trackers.begin(), out.trackers.end(), [](const auto& a, const auto& b) {
+    if (a.reach != b.reach) return a.reach > b.reach;
+    if (a.requests != b.requests) return a.requests > b.requests;
+    return a.domain < b.domain;
+  });
+  if (out.trackers.size() > top_k) out.trackers.resize(top_k);
+
+  out.state_bytes = state_bytes();
+  return out;
+}
+
+}  // namespace psl::analytics

@@ -1,0 +1,108 @@
+#include "psl/analytics/sketch.hpp"
+
+#include <algorithm>
+
+namespace psl::analytics {
+
+namespace {
+
+std::size_t round_pow2(std::size_t n, std::size_t floor) {
+  std::size_t p = floor;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth)
+    : width_(round_pow2(width, 16)),
+      depth_(std::clamp<std::size_t>(depth, 1, 8)),
+      mask_(width_ - 1),
+      cells_(width_ * depth_) {
+  seeds_.reserve(depth_);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    seeds_.push_back(mix64(0x5EEDC0DEull + row * 0x9E3779B97F4A7C15ull));
+  }
+}
+
+HashFilter::HashFilter(std::size_t slots)
+    : mask_(round_pow2(slots, 64) - 1), slots_(round_pow2(slots, 64)) {}
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  entries_.reserve(capacity_);
+  heap_.reserve(capacity_);
+  pos_.reserve(capacity_);
+  index_.reserve(capacity_ * 2);
+}
+
+std::uint64_t SpaceSaving::min_count() const noexcept {
+  if (entries_.size() < capacity_) return 0;
+  return entries_[heap_[0]].count;
+}
+
+std::size_t SpaceSaving::state_bytes() const noexcept {
+  std::size_t bytes = entries_.capacity() * sizeof(Entry) +
+                      heap_.capacity() * sizeof(std::size_t) +
+                      pos_.capacity() * sizeof(std::size_t);
+  for (const Entry& e : entries_) bytes += e.key.capacity();
+  // unordered_map nodes: key string + bucket overhead, approximated.
+  bytes += index_.size() * (sizeof(std::string) + 48);
+  return bytes;
+}
+
+void SpaceSaving::sift_down(std::size_t heap_pos) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * heap_pos + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = heap_pos;
+    if (left < n && heap_less(left, smallest)) smallest = left;
+    if (right < n && heap_less(right, smallest)) smallest = right;
+    if (smallest == heap_pos) return;
+    std::swap(heap_[heap_pos], heap_[smallest]);
+    pos_[heap_[heap_pos]] = heap_pos;
+    pos_[heap_[smallest]] = smallest;
+    heap_pos = smallest;
+  }
+}
+
+void SpaceSaving::sift_up(std::size_t heap_pos) {
+  while (heap_pos > 0) {
+    const std::size_t parent = (heap_pos - 1) / 2;
+    if (!heap_less(heap_pos, parent)) return;
+    std::swap(heap_[heap_pos], heap_[parent]);
+    pos_[heap_[heap_pos]] = heap_pos;
+    pos_[heap_[parent]] = parent;
+    heap_pos = parent;
+  }
+}
+
+void SpaceSaving::offer(std::string_view key, std::uint64_t weight) {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    entries_[it->second].count += weight;
+    sift_down(pos_[it->second]);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    const std::size_t idx = entries_.size();
+    entries_.push_back(Entry{std::string(key), weight, 0});
+    heap_.push_back(idx);
+    pos_.push_back(heap_.size() - 1);
+    index_.emplace(entries_[idx].key, idx);
+    sift_up(pos_[idx]);
+    return;
+  }
+  // Full and absent: the newcomer takes over the minimum entry, inheriting
+  // its count as the newcomer's error (the Space-Saving invariant).
+  const std::size_t idx = heap_[0];
+  Entry& victim = entries_[idx];
+  index_.erase(victim.key);
+  const std::uint64_t floor = victim.count;
+  victim.key.assign(key);
+  victim.error = floor;
+  victim.count = floor + weight;
+  index_.emplace(victim.key, idx);
+  sift_down(0);
+}
+
+}  // namespace psl::analytics

@@ -480,6 +480,119 @@ pslh_status pslh_client_divergence(pslh_client_t* client, const char* host,
   }
 }
 
+/* --- streaming analytics --------------------------------------------------- */
+
+pslh_status pslh_client_ingest_batch(pslh_client_t* client, const char* const* page_hosts,
+                                     const char* const* resource_hosts,
+                                     const long long* timestamps_ms, size_t count,
+                                     unsigned long long* generation_out) {
+  if (generation_out != nullptr) *generation_out = 0;
+  if (count == 0) return PSLH_OK;
+  if (client == nullptr || page_hosts == nullptr || resource_hosts == nullptr) return PSLH_ERROR;
+  try {
+    std::vector<psl::net::WireIngestRecord> records;
+    records.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (page_hosts[i] == nullptr || resource_hosts[i] == nullptr) return PSLH_ERROR;
+      records.push_back(psl::net::WireIngestRecord{
+          page_hosts[i], resource_hosts[i],
+          timestamps_ms == nullptr ? 0 : static_cast<std::uint64_t>(timestamps_ms[i])});
+    }
+    auto ack = client->client.ingest_batch(records);
+    if (!ack) {
+      return ack.error().code == "net.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
+    if (generation_out != nullptr) *generation_out = ack->generation;
+    return PSLH_OK;
+  } catch (...) {
+    return PSLH_ERROR;
+  }
+}
+
+pslh_status pslh_client_census(pslh_client_t* client, unsigned int top_k, pslh_census_t* out) {
+  if (out == nullptr) return PSLH_ERROR;
+  std::memset(out, 0, sizeof(*out));
+  if (client == nullptr) return PSLH_ERROR;
+  try {
+    auto census = client->client.census(static_cast<std::uint32_t>(top_k));
+    if (!census) {
+      return census.error().code == "net.backpressure" ? PSLH_BACKPRESSURE : PSLH_ERROR;
+    }
+    out->generation = census->generation;
+    out->records = census->records;
+    out->first_party = census->first_party;
+    out->third_party = census->third_party;
+    out->unique_hosts = census->unique_hosts;
+    out->sites_formed = census->sites_formed;
+    out->misbound_hosts = census->misbound_hosts;
+    out->dropped = census->dropped;
+    out->state_bytes = census->state_bytes;
+    const size_t etlds = census->etlds.size();
+    const size_t trackers = census->trackers.size();
+    /* All arrays first (value-only, so a later dup_string failure unwinds
+     * through pslh_census_free without partially-typed state). */
+    if (etlds > 0) {
+      out->etlds = new (std::nothrow) const char*[etlds]();
+      out->etld_misbound = new (std::nothrow) unsigned long long[etlds]();
+    }
+    if (trackers > 0) {
+      out->tracker_domains = new (std::nothrow) const char*[trackers]();
+      out->tracker_requests = new (std::nothrow) unsigned long long[trackers]();
+      out->tracker_requests_err = new (std::nothrow) unsigned long long[trackers]();
+      out->tracker_reach = new (std::nothrow) unsigned long long[trackers]();
+      out->tracker_reach_err = new (std::nothrow) unsigned long long[trackers]();
+    }
+    if ((etlds > 0 && (out->etlds == nullptr || out->etld_misbound == nullptr)) ||
+        (trackers > 0 &&
+         (out->tracker_domains == nullptr || out->tracker_requests == nullptr ||
+          out->tracker_requests_err == nullptr || out->tracker_reach == nullptr ||
+          out->tracker_reach_err == nullptr))) {
+      pslh_census_free(out);
+      return PSLH_ERROR;
+    }
+    out->etld_count = etlds;
+    out->tracker_count = trackers;
+    for (size_t i = 0; i < etlds; ++i) {
+      out->etlds[i] = dup_string(census->etlds[i].etld);
+      if (out->etlds[i] == nullptr) {
+        pslh_census_free(out);
+        return PSLH_ERROR;
+      }
+      out->etld_misbound[i] = census->etlds[i].misbound;
+    }
+    for (size_t i = 0; i < trackers; ++i) {
+      const auto& row = census->trackers[i];
+      out->tracker_domains[i] = dup_string(row.domain);
+      if (out->tracker_domains[i] == nullptr) {
+        pslh_census_free(out);
+        return PSLH_ERROR;
+      }
+      out->tracker_requests[i] = row.requests;
+      out->tracker_requests_err[i] = row.requests_err;
+      out->tracker_reach[i] = row.reach;
+      out->tracker_reach_err[i] = row.reach_err;
+    }
+    return PSLH_OK;
+  } catch (...) {
+    pslh_census_free(out);
+    return PSLH_ERROR;
+  }
+}
+
+void pslh_census_free(pslh_census_t* out) {
+  if (out == nullptr) return;
+  for (size_t i = 0; i < out->etld_count; ++i) pslh_string_free(out->etlds[i]);
+  for (size_t i = 0; i < out->tracker_count; ++i) pslh_string_free(out->tracker_domains[i]);
+  delete[] out->etlds;
+  delete[] out->etld_misbound;
+  delete[] out->tracker_domains;
+  delete[] out->tracker_requests;
+  delete[] out->tracker_requests_err;
+  delete[] out->tracker_reach;
+  delete[] out->tracker_reach_err;
+  std::memset(out, 0, sizeof(*out));
+}
+
 /* --- the push channel ----------------------------------------------------- */
 
 pslh_status pslh_client_subscribe(pslh_client_t* client, unsigned long long* generation_out) {

@@ -33,7 +33,9 @@ util::Error status_error(Status status, std::string_view detail) {
     case Status::kMalformed:
       return util::make_error("net.malformed", "server could not parse the request payload");
     case Status::kUnsupported:
-      return util::make_error("net.unsupported", "server does not support this frame type");
+      return util::make_error("net.unsupported",
+                              detail.empty() ? "server does not support this frame type"
+                                             : std::string(detail));
     case Status::kReloadRejected:
       return util::make_error("net.reload-rejected",
                               "reload refused, previous list keeps serving: " +
@@ -577,11 +579,55 @@ util::Result<WireStats> Client::stats() {
   WireStats stats;
   std::uint64_t date = 0;
   if (!reader.u8(status) || !reader.u64(stats.generation) || !reader.u64(stats.rule_count) ||
-      !reader.u64(date) || !reader.u32(stats.connections) || !reader.u32(stats.queue_depth)) {
+      !reader.u64(date) || !reader.u32(stats.connections) || !reader.u32(stats.queue_depth) ||
+      !reader.u8(stats.analytics_enabled) || !reader.u64(stats.analytics_records) ||
+      !reader.u64(stats.analytics_dropped) || !reader.u64(stats.analytics_census_queries) ||
+      !reader.u64(stats.analytics_state_bytes)) {
     return util::make_error("net.protocol", "bad stats response body");
   }
   stats.source_date_days = static_cast<std::int64_t>(date);
   return stats;
+}
+
+util::Result<WireIngestAck> Client::ingest_batch(std::span<const WireIngestRecord> records) {
+  payload_buf_.clear();
+  put_u32(payload_buf_, static_cast<std::uint32_t>(records.size()));
+  for (const WireIngestRecord& r : records) {
+    if (r.page_host.size() > 0xFFFF || r.resource_host.size() > 0xFFFF) {
+      return util::make_error("net.oversize", "hostname exceeds the 65535-byte wire bound");
+    }
+    put_str16(payload_buf_, r.page_host);
+    put_str16(payload_buf_, r.resource_host);
+    put_u64(payload_buf_, r.timestamp_ms);
+  }
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kIngestBatch, payload_buf_, frame); !ok.ok()) {
+    return ok.error();
+  }
+  WireReader reader(frame.payload);
+  std::uint8_t status = 0;
+  WireIngestAck ack;
+  if (!reader.u8(status) || !reader.u64(ack.generation) || !reader.u32(ack.accepted) ||
+      !reader.done()) {
+    return util::make_error("net.protocol", "bad ingest response body");
+  }
+  return ack;
+}
+
+util::Result<WireCensus> Client::census(std::uint32_t top_k) {
+  payload_buf_.clear();
+  put_u32(payload_buf_, top_k);
+  Frame frame;
+  if (auto ok = round_trip(FrameType::kCensusQuery, payload_buf_, frame); !ok.ok()) {
+    return ok.error();
+  }
+  WireCensus out;
+  // round_trip already consumed the leading status byte's semantics; the
+  // body after it is the census payload.
+  if (frame.payload.empty() || !parse_census(frame.payload.subspan(1), out)) {
+    return util::make_error("net.protocol", "bad census response body");
+  }
+  return out;
 }
 
 }  // namespace psl::net

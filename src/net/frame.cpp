@@ -247,6 +247,97 @@ bool parse_divergence_request(std::span<const std::uint8_t> payload, std::string
   return reader.str16(host) && reader.done();
 }
 
+bool parse_ingest_request(std::span<const std::uint8_t> payload,
+                          std::vector<WireIngestRecord>& out) {
+  out.clear();
+  WireReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.u32(count)) return false;
+  // Each record needs two length prefixes plus a timestamp: a count the
+  // payload could not possibly hold is rejected before any reserve.
+  if (static_cast<std::uint64_t>(count) * 12 > reader.remaining()) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WireIngestRecord record;
+    if (!reader.str16(record.page_host) || !reader.str16(record.resource_host) ||
+        !reader.u64(record.timestamp_ms)) {
+      return false;
+    }
+    out.push_back(record);
+  }
+  return reader.done();
+}
+
+bool parse_census_request(std::span<const std::uint8_t> payload, std::uint32_t& top_k) {
+  WireReader reader(payload);
+  return reader.u32(top_k) && reader.done();
+}
+
+void put_census(std::vector<std::uint8_t>& out, const WireCensus& census) {
+  put_u64(out, census.generation);
+  put_u64(out, census.records);
+  put_u64(out, census.first_party);
+  put_u64(out, census.third_party);
+  put_u64(out, census.unique_hosts);
+  put_u64(out, census.sites_formed);
+  put_u64(out, census.misbound_hosts);
+  put_u64(out, census.dropped);
+  put_u64(out, census.first_timestamp_ms);
+  put_u64(out, census.last_timestamp_ms);
+  put_u64(out, census.state_bytes);
+  put_u32(out, static_cast<std::uint32_t>(census.etlds.size()));
+  for (const WireCensus::EtldRow& row : census.etlds) {
+    put_str16(out, row.etld);
+    put_u64(out, row.misbound);
+  }
+  put_u32(out, static_cast<std::uint32_t>(census.trackers.size()));
+  for (const WireCensus::TrackerRow& row : census.trackers) {
+    put_str16(out, row.domain);
+    put_u64(out, row.requests);
+    put_u64(out, row.requests_err);
+    put_u64(out, row.reach);
+    put_u64(out, row.reach_err);
+  }
+}
+
+bool parse_census(std::span<const std::uint8_t> payload, WireCensus& out) {
+  out = WireCensus{};
+  WireReader reader(payload);
+  if (!reader.u64(out.generation) || !reader.u64(out.records) || !reader.u64(out.first_party) ||
+      !reader.u64(out.third_party) || !reader.u64(out.unique_hosts) ||
+      !reader.u64(out.sites_formed) || !reader.u64(out.misbound_hosts) ||
+      !reader.u64(out.dropped) || !reader.u64(out.first_timestamp_ms) ||
+      !reader.u64(out.last_timestamp_ms) || !reader.u64(out.state_bytes)) {
+    return false;
+  }
+  std::uint32_t etld_count = 0;
+  if (!reader.u32(etld_count)) return false;
+  if (static_cast<std::uint64_t>(etld_count) * 10 > reader.remaining()) return false;
+  out.etlds.reserve(etld_count);
+  for (std::uint32_t i = 0; i < etld_count; ++i) {
+    std::string_view etld;
+    WireCensus::EtldRow row;
+    if (!reader.str16(etld) || !reader.u64(row.misbound)) return false;
+    row.etld.assign(etld);
+    out.etlds.push_back(std::move(row));
+  }
+  std::uint32_t tracker_count = 0;
+  if (!reader.u32(tracker_count)) return false;
+  if (static_cast<std::uint64_t>(tracker_count) * 34 > reader.remaining()) return false;
+  out.trackers.reserve(tracker_count);
+  for (std::uint32_t i = 0; i < tracker_count; ++i) {
+    std::string_view domain;
+    WireCensus::TrackerRow row;
+    if (!reader.str16(domain) || !reader.u64(row.requests) || !reader.u64(row.requests_err) ||
+        !reader.u64(row.reach) || !reader.u64(row.reach_err)) {
+      return false;
+    }
+    row.domain.assign(domain);
+    out.trackers.push_back(std::move(row));
+  }
+  return reader.done();
+}
+
 void put_generation_changed(std::vector<std::uint8_t>& out, const WireGenerationChanged& push) {
   put_u64(out, push.generation);
   put_u64(out, push.rule_count);

@@ -13,6 +13,7 @@
 #include <climits>
 #include <cstring>
 
+#include "psl/analytics/census.hpp"
 #include "psl/store/store.hpp"
 
 #if defined(__linux__)
@@ -244,6 +245,14 @@ Server::Server(serve::Engine& engine, ServerOptions options)
     latency_stats_ = &m.histogram("net.request_ms.stats");
     latency_match_at_ = &m.histogram("net.request_ms.match_at");
     latency_divergence_ = &m.histogram("net.request_ms.divergence");
+    latency_ingest_ = &m.histogram("net.request_ms.ingest");
+    latency_census_ = &m.histogram("net.request_ms.census");
+    analytics_ingest_records_ = &m.counter("analytics.ingest.records");
+    analytics_ingest_dropped_ = &m.counter("analytics.ingest.dropped");
+    analytics_census_queries_ = &m.counter("analytics.census.queries");
+    analytics_hosts_gauge_ = &m.gauge("analytics.hosts.occupancy");
+    analytics_sites_gauge_ = &m.gauge("analytics.sites.occupancy");
+    analytics_pairs_gauge_ = &m.gauge("analytics.pairs.occupancy");
   }
 }
 
@@ -707,6 +716,8 @@ void Server::observe_latency(FrameType request_type,
     case FrameType::kStats: sink = latency_stats_; break;
     case FrameType::kMatchAt: sink = latency_match_at_; break;
     case FrameType::kDivergence: sink = latency_divergence_; break;
+    case FrameType::kIngestBatch: sink = latency_ingest_; break;
+    case FrameType::kCensusQuery: sink = latency_census_; break;
     case FrameType::kSubscribe:
     case FrameType::kGenerationChanged: break;  // loop-thread only, not timed
   }
@@ -746,6 +757,14 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
                             static_cast<std::int64_t>(meta.source_date.days_since_epoch())));
       put_u32(conn.out, static_cast<std::uint32_t>(connections_.size()));
       put_u32(conn.out, static_cast<std::uint32_t>(engine_.queue_depth()));
+      // Analytics block: the SERVING generation's census (zeroed when
+      // --analytics is off); census queries are server-lifetime.
+      const auto census = engine_.census();
+      put_u8(conn.out, census ? 1 : 0);
+      put_u64(conn.out, census ? census->records() : 0);
+      put_u64(conn.out, census ? census->dropped() : 0);
+      put_u64(conn.out, census_queries_total_.load(std::memory_order_relaxed));
+      put_u64(conn.out, census ? census->state_bytes() : 0);
       end_frame(conn.out, frame_begin);
       if (frames_out_) frames_out_->add();
       observe_latency(type, t0);
@@ -999,6 +1018,121 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
             }
             if (frames_out) frames_out->add();
             release_buffer(std::move(request));
+            complete(Completion{conn_id, std::move(buf), type, t0});
+          });
+      finish_submit(conn, enq, type, id);
+      return;
+    }
+
+    case FrameType::kIngestBatch: {
+      if (!parse_ingest_request(frame.payload, ingest_scratch_)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_status(conn, type, id, Status::kMalformed, "bad ingest_batch payload");
+        return;
+      }
+      std::vector<std::uint8_t> request = acquire_buffer();
+      request.assign(frame.payload.begin(), frame.payload.end());
+      auto* frames_out = frames_out_;
+      const std::uint64_t conn_id = conn.id;
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        ++outstanding_jobs_;
+      }
+      const auto enq = engine_.submit_job(
+          [this, frames_out, conn_id, id, type, t0,
+           request = std::move(request)](const serve::Engine::Pinned& pinned) mutable {
+            thread_local std::vector<WireIngestRecord> records;
+            thread_local std::vector<analytics::CensusRecord> batch;
+            parse_ingest_request(request, records);  // validated on the loop thread
+            std::vector<std::uint8_t> buf = acquire_buffer();
+            const std::size_t frame_begin = begin_response_frame(buf, type, id);
+            if (!pinned.census) {
+              put_u8(buf, static_cast<std::uint8_t>(Status::kUnsupported));
+              put_str16(buf, "analytics.none");
+            } else {
+              batch.clear();
+              batch.reserve(records.size());
+              for (const WireIngestRecord& r : records) {
+                batch.push_back({r.page_host, r.resource_host, r.timestamp_ms});
+              }
+              // The whole batch lands in the pinned generation's census —
+              // that is the ack's generation, and the atomicity contract.
+              const analytics::IngestResult result =
+                  pinned.census->ingest(pinned.worker, pinned.matcher, batch);
+              if (analytics_ingest_records_) {
+                analytics_ingest_records_->add(static_cast<std::int64_t>(result.records));
+              }
+              if (analytics_ingest_dropped_ && result.dropped > 0) {
+                analytics_ingest_dropped_->add(static_cast<std::int64_t>(result.dropped));
+              }
+              if (analytics_hosts_gauge_) {
+                analytics_hosts_gauge_->set(static_cast<double>(pinned.census->unique_hosts()));
+                analytics_sites_gauge_->set(static_cast<double>(pinned.census->sites_formed()));
+                analytics_pairs_gauge_->set(static_cast<double>(pinned.census->reach_pairs()));
+              }
+              put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
+              put_u64(buf, pinned.generation);
+              put_u32(buf, result.records);
+            }
+            end_frame(buf, frame_begin);
+            if (frames_out) frames_out->add();
+            release_buffer(std::move(request));
+            complete(Completion{conn_id, std::move(buf), type, t0});
+          });
+      finish_submit(conn, enq, type, id);
+      return;
+    }
+
+    case FrameType::kCensusQuery: {
+      std::uint32_t top_k = 0;
+      if (!parse_census_request(frame.payload, top_k)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_status(conn, type, id, Status::kMalformed, "bad census_query payload");
+        return;
+      }
+      auto* frames_out = frames_out_;
+      const std::uint64_t conn_id = conn.id;
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        ++outstanding_jobs_;
+      }
+      const auto enq = engine_.submit_job(
+          [this, frames_out, conn_id, id, type, t0, top_k](const serve::Engine::Pinned& pinned) {
+            std::vector<std::uint8_t> buf = acquire_buffer();
+            const std::size_t frame_begin = begin_response_frame(buf, type, id);
+            if (!pinned.census) {
+              put_u8(buf, static_cast<std::uint8_t>(Status::kUnsupported));
+              put_str16(buf, "analytics.none");
+            } else {
+              analytics::CensusSnapshot snap = pinned.census->snapshot(top_k);
+              WireCensus wire;
+              wire.generation = pinned.generation;
+              wire.records = snap.records;
+              wire.first_party = snap.first_party;
+              wire.third_party = snap.third_party;
+              wire.unique_hosts = snap.unique_hosts;
+              wire.sites_formed = snap.sites_formed;
+              wire.misbound_hosts = snap.misbound_hosts;
+              wire.dropped = snap.dropped;
+              wire.first_timestamp_ms = snap.first_timestamp_ms;
+              wire.last_timestamp_ms = snap.last_timestamp_ms;
+              wire.state_bytes = snap.state_bytes;
+              wire.etlds.reserve(snap.etlds.size());
+              for (auto& row : snap.etlds) {
+                wire.etlds.push_back({std::move(row.etld), row.misbound});
+              }
+              wire.trackers.reserve(snap.trackers.size());
+              for (auto& row : snap.trackers) {
+                wire.trackers.push_back({std::move(row.domain), row.requests,
+                                         row.requests_err, row.reach, row.reach_err});
+              }
+              put_u8(buf, static_cast<std::uint8_t>(Status::kOk));
+              put_census(buf, wire);
+              census_queries_total_.fetch_add(1, std::memory_order_relaxed);
+              if (analytics_census_queries_) analytics_census_queries_->add();
+            }
+            end_frame(buf, frame_begin);
+            if (frames_out) frames_out->add();
             complete(Completion{conn_id, std::move(buf), type, t0});
           });
       finish_submit(conn, enq, type, id);

@@ -13,7 +13,9 @@ constexpr double kBatchSizeBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 10
 }  // namespace
 
 Engine::Engine(snapshot::Snapshot initial, EngineOptions options)
-    : max_queue_depth_(options.max_queue_depth), cache_slots_(options.cache_slots) {
+    : census_factory_(std::move(options.census_factory)),
+      max_queue_depth_(options.max_queue_depth),
+      cache_slots_(options.cache_slots) {
   if (options.metrics) {
     queries_ = &options.metrics->counter("serve.queries");
     batches_ = &options.metrics->counter("serve.batches");
@@ -88,7 +90,8 @@ Engine::Enqueue Engine::submit_job(std::function<void(const Pinned&)> job) {
         worker < state->caches.size() && state->caches[worker].enabled()
             ? &state->caches[worker]
             : nullptr;
-    job(Pinned{state->matcher, state->meta, state->generation, cache, this});
+    job(Pinned{state->matcher, state->meta, state->generation, cache, this,
+               state->census.get(), worker});
   });
   if (outcome == Enqueue::kBackpressure && rejected_) rejected_->add();
   return outcome;
@@ -302,7 +305,8 @@ util::Result<std::future<std::vector<Match>>> Engine::submit_match(
 std::uint64_t Engine::install(snapshot::Snapshot next) {
   std::lock_guard<std::mutex> lock(reload_mutex_);
   const std::uint64_t generation = ++next_generation_;
-  auto fresh = std::make_shared<State>(State{std::move(next.matcher), next.meta, generation, {}});
+  auto fresh =
+      std::make_shared<State>(State{std::move(next.matcher), next.meta, generation, {}, {}});
   // Cold caches, one per worker. Built before publication (the state_mutex_
   // handoff below is the happens-before edge workers read through), sized
   // here so even the constructor's initial install — which runs before the
@@ -311,6 +315,9 @@ std::uint64_t Engine::install(snapshot::Snapshot next) {
   for (std::size_t i = 0; i < configured_workers_; ++i) {
     fresh->caches.emplace_back(cache_slots_);
   }
+  // Fresh census per generation, built before publication like the caches:
+  // no ingest record can ever be attributed across a generation boundary.
+  if (census_factory_) fresh->census = census_factory_(configured_workers_);
   const snapshot::Metadata meta = fresh->meta;
   std::shared_ptr<const State> state = std::move(fresh);
   {

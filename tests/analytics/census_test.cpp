@@ -1,0 +1,341 @@
+// Census vs a brute-force reference on the tiny synthetic corpus: every
+// exact aggregate must match a naive recomputation record by record, and
+// every sketch estimate must respect its documented bracket.
+#include "psl/analytics/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psl/archive/corpus.hpp"
+#include "psl/history/timeline.hpp"
+#include "psl/psl/compiled_matcher.hpp"
+#include "psl/url/host.hpp"
+
+namespace psl::analytics {
+namespace {
+
+struct Reference {
+  std::uint64_t records = 0;
+  std::uint64_t third_party = 0;
+  std::set<std::string> hosts;
+  std::set<std::string> sites;
+  std::map<std::string, std::uint64_t> etld_misbound;  // suffix -> misbound hosts
+  std::map<std::string, std::uint64_t> tracker_requests;
+  std::map<std::string, std::set<std::string>> tracker_sites;  // reach
+};
+
+std::string ref_site_key(const std::string& host, const CompiledMatcher& matcher) {
+  if (url::looks_like_ip_literal(host)) return host;
+  const auto m = matcher.match(host);
+  return m.registrable_domain.empty() ? host : m.registrable_domain;
+}
+
+Reference compute_reference(const std::vector<CensusRecord>& records,
+                            const CompiledMatcher& matcher) {
+  Reference ref;
+  for (const auto& r : records) {
+    ++ref.records;
+    const std::string page(r.page_host);
+    const std::string resource(r.resource_host);
+    for (const auto& host : {page, resource}) {
+      if (!ref.hosts.insert(host).second) continue;
+      ref.sites.insert(ref_site_key(host, matcher));
+      if (url::looks_like_ip_literal(host)) continue;
+      const auto m = matcher.match(host);
+      if (!m.matched_explicit_rule && !m.public_suffix.empty()) {
+        ++ref.etld_misbound[m.public_suffix];
+      }
+    }
+    const std::string page_site = ref_site_key(page, matcher);
+    const std::string resource_site = ref_site_key(resource, matcher);
+    if (page_site != resource_site) {
+      ++ref.third_party;
+      ++ref.tracker_requests[resource_site];
+      ref.tracker_sites[resource_site].insert(page_site);
+    }
+  }
+  return ref;
+}
+
+std::vector<CensusRecord> corpus_records(const archive::Corpus& corpus) {
+  std::vector<CensusRecord> records;
+  records.reserve(corpus.request_count());
+  std::uint64_t ts = 0;
+  for (const auto& req : corpus.requests()) {
+    records.push_back(CensusRecord{corpus.hostname(req.page_host),
+                                   corpus.hostname(req.resource_host), ts++});
+  }
+  return records;
+}
+
+class CensusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    history_ = new history::History(history::generate_history(history::TimelineSpec{}));
+    matcher_ = new CompiledMatcher(history_->latest());
+    corpus_ = new archive::Corpus(
+        archive::generate_corpus(archive::CorpusSpec::tiny(), *history_));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete matcher_;
+    delete history_;
+    corpus_ = nullptr;
+    matcher_ = nullptr;
+    history_ = nullptr;
+  }
+
+  static history::History* history_;
+  static CompiledMatcher* matcher_;
+  static archive::Corpus* corpus_;
+};
+
+history::History* CensusTest::history_ = nullptr;
+CompiledMatcher* CensusTest::matcher_ = nullptr;
+archive::Corpus* CensusTest::corpus_ = nullptr;
+
+TEST_F(CensusTest, EmptySnapshotIsAllZero) {
+  Census census(CensusOptions{}, 2);
+  const auto snap = census.snapshot();
+  EXPECT_EQ(snap.records, 0u);
+  EXPECT_EQ(snap.first_party, 0u);
+  EXPECT_EQ(snap.third_party, 0u);
+  EXPECT_EQ(snap.unique_hosts, 0u);
+  EXPECT_EQ(snap.sites_formed, 0u);
+  EXPECT_EQ(snap.misbound_hosts, 0u);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_TRUE(snap.etlds.empty());
+  EXPECT_TRUE(snap.trackers.empty());
+  EXPECT_GT(snap.state_bytes, 0u) << "filters + sketches are pre-allocated";
+}
+
+TEST_F(CensusTest, ExactAggregatesMatchBruteForceReference) {
+  const auto records = corpus_records(*corpus_);
+  const auto ref = compute_reference(records, *matcher_);
+
+  Census census(CensusOptions{}, 4);
+  // Spread batches across shards the way distinct engine workers would.
+  constexpr std::size_t kBatch = 257;  // deliberately not a divisor
+  std::size_t shard = 0;
+  for (std::size_t offset = 0; offset < records.size(); offset += kBatch) {
+    const std::size_t end = std::min(offset + kBatch, records.size());
+    const auto result = census.ingest(shard++ % 4, *matcher_,
+                                      std::span(records).subspan(offset, end - offset));
+    EXPECT_EQ(result.records, end - offset);
+    EXPECT_EQ(result.dropped, 0u);
+  }
+
+  const auto snap = census.snapshot(0);
+  EXPECT_EQ(snap.records, ref.records);
+  EXPECT_EQ(snap.third_party, ref.third_party);
+  EXPECT_EQ(snap.first_party, ref.records - ref.third_party);
+  EXPECT_EQ(snap.unique_hosts, ref.hosts.size());
+  EXPECT_EQ(snap.sites_formed, ref.sites.size());
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(snap.first_timestamp_ms, 0u);
+  EXPECT_EQ(snap.last_timestamp_ms, records.size() - 1);
+
+  std::uint64_t ref_misbound = 0;
+  for (const auto& [suffix, count] : ref.etld_misbound) ref_misbound += count;
+  EXPECT_EQ(snap.misbound_hosts, ref_misbound);
+  ASSERT_LE(snap.etlds.size(), CensusOptions{}.max_etld_rows);
+  std::map<std::string, std::uint64_t> online_etlds;
+  for (const auto& row : snap.etlds) online_etlds[row.etld] = row.misbound;
+  EXPECT_EQ(online_etlds, ref.etld_misbound);
+  // Sorted by (misbound desc, etld asc).
+  for (std::size_t i = 1; i < snap.etlds.size(); ++i) {
+    const auto& a = snap.etlds[i - 1];
+    const auto& b = snap.etlds[i];
+    EXPECT_TRUE(a.misbound > b.misbound || (a.misbound == b.misbound && a.etld < b.etld));
+  }
+}
+
+TEST_F(CensusTest, TrackerTableRespectsSketchBrackets) {
+  const auto records = corpus_records(*corpus_);
+  const auto ref = compute_reference(records, *matcher_);
+
+  Census census(CensusOptions{}, 2);
+  census.ingest(0, *matcher_, std::span(records).first(records.size() / 2));
+  census.ingest(1, *matcher_, std::span(records).subspan(records.size() / 2));
+
+  const auto snap = census.snapshot(16);
+  ASSERT_LE(snap.trackers.size(), 16u);
+  ASSERT_FALSE(snap.trackers.empty());
+  for (const auto& row : snap.trackers) {
+    const auto req_it = ref.tracker_requests.find(row.domain);
+    ASSERT_NE(req_it, ref.tracker_requests.end()) << row.domain;
+    EXPECT_GE(row.requests, req_it->second) << "space-saving upper bound";
+    EXPECT_LE(row.requests - std::min(row.requests, row.requests_err), req_it->second);
+
+    const auto reach_it = ref.tracker_sites.find(row.domain);
+    ASSERT_NE(reach_it, ref.tracker_sites.end()) << row.domain;
+    const std::uint64_t true_reach = reach_it->second.size();
+    EXPECT_GE(row.reach, true_reach) << "count-min never undercounts";
+    EXPECT_LE(row.reach, true_reach + row.reach_err);
+  }
+  // Sorted by (reach desc, requests desc, domain asc).
+  for (std::size_t i = 1; i < snap.trackers.size(); ++i) {
+    const auto& a = snap.trackers[i - 1];
+    const auto& b = snap.trackers[i];
+    EXPECT_TRUE(a.reach > b.reach ||
+                (a.reach == b.reach &&
+                 (a.requests > b.requests ||
+                  (a.requests == b.requests && a.domain < b.domain))));
+  }
+  // The corpus's dominant tracker must surface at the top of the table.
+  std::string heaviest;
+  std::uint64_t heaviest_reach = 0;
+  for (const auto& [domain, sites] : ref.tracker_sites) {
+    if (sites.size() > heaviest_reach) {
+      heaviest_reach = sites.size();
+      heaviest = domain;
+    }
+  }
+  EXPECT_EQ(snap.trackers.front().domain, heaviest);
+}
+
+TEST_F(CensusTest, ShardCountDoesNotChangeExactAggregates) {
+  const auto records = corpus_records(*corpus_);
+  Census one(CensusOptions{}, 1);
+  Census four(CensusOptions{}, 4);
+  one.ingest(0, *matcher_, records);
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    const std::size_t chunk = records.size() / 4;
+    const std::size_t offset = shard * chunk;
+    const std::size_t len = shard == 3 ? records.size() - offset : chunk;
+    four.ingest(shard, *matcher_, std::span(records).subspan(offset, len));
+  }
+  const auto a = one.snapshot();
+  const auto b = four.snapshot();
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.first_party, b.first_party);
+  EXPECT_EQ(a.third_party, b.third_party);
+  EXPECT_EQ(a.unique_hosts, b.unique_hosts);
+  EXPECT_EQ(a.sites_formed, b.sites_formed);
+  EXPECT_EQ(a.misbound_hosts, b.misbound_hosts);
+  std::map<std::string, std::uint64_t> ea, eb;
+  for (const auto& row : a.etlds) ea[row.etld] = row.misbound;
+  for (const auto& row : b.etlds) eb[row.etld] = row.misbound;
+  EXPECT_EQ(ea, eb);
+}
+
+TEST_F(CensusTest, ConcurrentIngestStaysExact) {
+  const auto records = corpus_records(*corpus_);
+  const auto ref = compute_reference(records, *matcher_);
+  constexpr std::size_t kThreads = 4;
+  Census census(CensusOptions{}, kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread replays a strided quarter of the log in small batches.
+      std::vector<CensusRecord> mine;
+      for (std::size_t i = t; i < records.size(); i += kThreads) mine.push_back(records[i]);
+      constexpr std::size_t kBatch = 64;
+      for (std::size_t offset = 0; offset < mine.size(); offset += kBatch) {
+        const std::size_t len = std::min(kBatch, mine.size() - offset);
+        census.ingest(t, *matcher_, std::span(mine).subspan(offset, len));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto snap = census.snapshot();
+  EXPECT_EQ(snap.records, ref.records);
+  EXPECT_EQ(snap.third_party, ref.third_party);
+  EXPECT_EQ(snap.first_party, ref.records - ref.third_party);
+  EXPECT_EQ(snap.unique_hosts, ref.hosts.size());
+  EXPECT_EQ(snap.sites_formed, ref.sites.size());
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST_F(CensusTest, IpLiteralsStandAloneAndAreNeverMisbound) {
+  Census census(CensusOptions{}, 1);
+  const std::vector<CensusRecord> records = {
+      {"10.0.0.1", "10.0.0.1", 5},       // first-party: IP is its own site
+      {"10.0.0.1", "10.0.0.2", 6},       // third-party: different IPs
+      {"example.com", "10.0.0.1", 7},    // third-party: IP vs eTLD+1 site
+  };
+  const auto result = census.ingest(0, *matcher_, records);
+  EXPECT_EQ(result.records, 3u);
+  const auto snap = census.snapshot();
+  EXPECT_EQ(snap.records, 3u);
+  EXPECT_EQ(snap.first_party, 1u);
+  EXPECT_EQ(snap.third_party, 2u);
+  EXPECT_EQ(snap.unique_hosts, 3u);   // 10.0.0.1, 10.0.0.2, example.com
+  EXPECT_EQ(snap.sites_formed, 3u);
+  EXPECT_EQ(snap.misbound_hosts, 0u) << "IP literals never tally as misbound";
+  EXPECT_EQ(snap.first_timestamp_ms, 5u);
+  EXPECT_EQ(snap.last_timestamp_ms, 7u);
+}
+
+TEST_F(CensusTest, MisboundKeyIsTheGuessedSuffix) {
+  Census census(CensusOptions{}, 1);
+  // An unknown TLD falls through to the implicit * rule: the matcher GUESSES
+  // the last label as the suffix, which is exactly the misbounding tally.
+  const std::vector<CensusRecord> records = {
+      {"a.b.notarealtld", "c.notarealtld", 0},
+  };
+  census.ingest(0, *matcher_, records);
+  const auto snap = census.snapshot();
+  EXPECT_EQ(snap.misbound_hosts, 2u);
+  ASSERT_EQ(snap.etlds.size(), 1u);
+  EXPECT_EQ(snap.etlds[0].etld, "notarealtld");
+  EXPECT_EQ(snap.etlds[0].misbound, 2u);
+  // Both hosts share the guessed registrable domain b.notarealtld?  No:
+  // a.b.notarealtld -> b.notarealtld, c.notarealtld -> c.notarealtld.
+  EXPECT_EQ(snap.sites_formed, 2u);
+  EXPECT_EQ(snap.third_party, 1u);
+}
+
+TEST_F(CensusTest, FilterSaturationSurfacesAsDropped) {
+  CensusOptions options;
+  options.host_filter_slots = 64;  // minimum size: saturates immediately
+  options.site_filter_slots = 64;
+  options.pair_filter_slots = 64;
+  Census census(options, 1);
+  std::vector<std::string> names;
+  std::vector<CensusRecord> records;
+  names.reserve(1000);
+  for (int i = 0; i < 500; ++i) {
+    names.push_back("host" + std::to_string(i) + ".example");
+    names.push_back("res" + std::to_string(i) + ".example");
+  }
+  records.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    records.push_back(CensusRecord{names[2 * i], names[2 * i + 1],
+                                   static_cast<std::uint64_t>(i)});
+  }
+  const auto result = census.ingest(0, *matcher_, records);
+  EXPECT_EQ(result.records, 500u);
+  EXPECT_GT(result.dropped, 0u) << "saturation must be visible, never silent";
+  const auto snap = census.snapshot();
+  EXPECT_EQ(snap.records, 500u);
+  EXPECT_EQ(snap.dropped, census.dropped());
+  EXPECT_LE(snap.unique_hosts, 64u);
+}
+
+TEST_F(CensusTest, StateBytesStaysWithinTheDocumentedBudget) {
+  Census census(CensusOptions{}, 4);
+  const auto records = corpus_records(*corpus_);
+  census.ingest(0, *matcher_, records);
+  EXPECT_LE(census.state_bytes(), 64u << 20)
+      << "default census must fit the 64 MiB analytics budget";
+  EXPECT_EQ(census.state_bytes(), census.snapshot().state_bytes);
+}
+
+TEST_F(CensusTest, OutOfRangeShardIsClamped) {
+  Census census(CensusOptions{}, 2);
+  const std::vector<CensusRecord> records = {{"example.com", "tracker.net", 0}};
+  const auto result = census.ingest(99, *matcher_, records);
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_EQ(census.records(), 1u);
+}
+
+}  // namespace
+}  // namespace psl::analytics

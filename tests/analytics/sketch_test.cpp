@@ -1,0 +1,204 @@
+// The sketch contracts the wire protocol advertises (docs/API.md,
+// "Analytics"): count-min estimates never undercount and stay within
+// error_bound(N); the space-saving table brackets every true count and
+// guarantees presence above min_count(); the hash filter's distinct count
+// is exact under concurrent insertion.
+#include "psl/analytics/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psl/util/rng.hpp"
+
+namespace psl::analytics {
+namespace {
+
+TEST(CountMinSketch, RoundsWidthClampsDepth) {
+  CountMinSketch s(1000, 12);
+  EXPECT_EQ(s.width(), 1024u);
+  EXPECT_EQ(s.depth(), 8u);
+  CountMinSketch tiny(0, 0);
+  EXPECT_EQ(tiny.width(), 16u);
+  EXPECT_EQ(tiny.depth(), 1u);
+  EXPECT_EQ(s.state_bytes(), 1024u * 8u * 8u);
+}
+
+TEST(CountMinSketch, NeverUnderestimatesAndRespectsErrorBound) {
+  CountMinSketch s(1u << 10, 4);
+  util::Rng rng(0x5EEDF0221ull);
+  // Zipf-ish synthetic frequencies: key i added (1000 / (i + 1)) times.
+  std::map<std::uint64_t, std::uint64_t> truth;
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const std::uint64_t key = rng();
+    const std::uint64_t count = 1000 / (i + 1);
+    truth[key] += count;
+    s.add(key, count);
+    total += count;
+  }
+  const std::uint64_t slack = s.error_bound(total);
+  EXPECT_EQ(slack, (2 * total + s.width() - 1) / s.width());
+  for (const auto& [key, count] : truth) {
+    const std::uint64_t estimate = s.estimate(key);
+    EXPECT_GE(estimate, count) << "count-min must never undercount";
+    EXPECT_LE(estimate, count + slack);
+  }
+  // A key never added can only read other keys' collisions, also <= slack.
+  EXPECT_LE(s.estimate(0xDEADBEEFull), slack);
+}
+
+TEST(CountMinSketch, ConcurrentAddsLoseNothing) {
+  CountMinSketch s(1u << 12, 4);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        s.add(mix64(static_cast<std::uint64_t>(t)));  // one hot key per thread
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_GE(s.estimate(mix64(static_cast<std::uint64_t>(t))), kPerThread);
+  }
+}
+
+TEST(SpaceSaving, ExactWhileNotFull) {
+  SpaceSaving table(8);
+  for (int i = 0; i < 5; ++i) {
+    table.offer("key" + std::to_string(i), static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(table.size(), 5u);
+  EXPECT_EQ(table.min_count(), 0u) << "min_count is 0 until the table fills";
+  for (const auto& e : table.entries()) {
+    EXPECT_EQ(e.error, 0u);
+    EXPECT_EQ(e.count, static_cast<std::uint64_t>(e.key.back() - '0') + 1);
+  }
+}
+
+TEST(SpaceSaving, BracketsTrueCountsAndKeepsHeavyHitters) {
+  constexpr std::size_t kCapacity = 16;
+  SpaceSaving table(kCapacity);
+  util::Rng rng(0x5EEDF0221ull);
+  // 40 keys, Zipf-ish: key i offered 2000/(i+1) times, in shuffled order.
+  std::vector<std::string> stream;
+  std::map<std::string, std::uint64_t> truth;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const std::string key = "dom" + std::to_string(i) + ".example";
+    const std::uint64_t count = 2000 / (i + 1);
+    truth[key] = count;
+    for (std::uint64_t c = 0; c < count; ++c) stream.push_back(key);
+  }
+  for (std::size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng() % i]);
+  }
+  std::uint64_t total = 0;
+  for (const auto& key : stream) {
+    table.offer(key);
+    ++total;
+  }
+
+  EXPECT_EQ(table.size(), kCapacity);
+  EXPECT_LE(table.min_count(), total / kCapacity) << "Space-Saving invariant";
+  for (const auto& e : table.entries()) {
+    const auto it = truth.find(e.key);
+    ASSERT_NE(it, truth.end());
+    EXPECT_GE(e.count, it->second) << "count is an upper bound";
+    EXPECT_LE(e.count - e.error, it->second) << "count - error is a lower bound";
+  }
+  // Any key with true count > min_count() must be present.
+  for (const auto& [key, count] : truth) {
+    if (count <= table.min_count()) continue;
+    const auto entries = table.entries();
+    const bool present = std::any_of(entries.begin(), entries.end(),
+                                     [&](const auto& e) { return e.key == key; });
+    EXPECT_TRUE(present) << key << " (" << count << ") above min_count "
+                         << table.min_count();
+  }
+}
+
+TEST(SpaceSaving, EvictionChargesTheMinimumAsError) {
+  SpaceSaving table(2);
+  table.offer("a.example", 10);
+  table.offer("b.example", 4);
+  table.offer("c.example");  // evicts b (count 4): error 4, count 5
+  ASSERT_EQ(table.size(), 2u);
+  for (const auto& e : table.entries()) {
+    if (e.key == "c.example") {
+      EXPECT_EQ(e.count, 5u);
+      EXPECT_EQ(e.error, 4u);
+    } else {
+      EXPECT_EQ(e.key, "a.example");
+      EXPECT_EQ(e.count, 10u);
+      EXPECT_EQ(e.error, 0u);
+    }
+  }
+}
+
+TEST(HashFilter, NewSeenAndExactOccupancy) {
+  HashFilter filter(1024);
+  EXPECT_EQ(filter.insert(hash_bytes("a.example")), HashFilter::Insert::kNew);
+  EXPECT_EQ(filter.insert(hash_bytes("a.example")), HashFilter::Insert::kSeen);
+  EXPECT_EQ(filter.insert(0), HashFilter::Insert::kNew) << "zero hash is remapped";
+  EXPECT_EQ(filter.insert(0), HashFilter::Insert::kSeen);
+  EXPECT_EQ(filter.occupancy(), 2u);
+  EXPECT_EQ(filter.saturated(), 0u);
+}
+
+TEST(HashFilter, SaturationIsReportedNotSilent) {
+  HashFilter filter(1);  // rounded up to 64 slots, kMaxProbes > slots
+  std::uint64_t news = 0, saturations = 0;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    switch (filter.insert(mix64(i))) {
+      case HashFilter::Insert::kNew: ++news; break;
+      case HashFilter::Insert::kSaturated: ++saturations; break;
+      case HashFilter::Insert::kSeen: FAIL() << "distinct hashes cannot be seen";
+    }
+  }
+  EXPECT_EQ(news, 64u) << "every slot fills before saturation";
+  EXPECT_EQ(saturations, 500u - 64u);
+  EXPECT_EQ(filter.occupancy(), 64u);
+  EXPECT_EQ(filter.saturated(), saturations);
+}
+
+TEST(HashFilter, ConcurrentInsertsCountEachDistinctHashOnce) {
+  HashFilter filter(1u << 16);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 10000;  // all threads insert the SAME key set
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> new_counts(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&filter, &new_counts, t] {
+      for (std::uint64_t i = 1; i <= kKeys; ++i) {
+        if (filter.insert(mix64(i)) == HashFilter::Insert::kNew) ++new_counts[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::uint64_t total_new = 0;
+  for (const auto n : new_counts) total_new += n;
+  EXPECT_EQ(total_new, kKeys) << "exactly one thread wins kNew per distinct hash";
+  EXPECT_EQ(filter.occupancy(), kKeys);
+}
+
+TEST(Hashing, DeterministicAndPairOrderSensitive) {
+  EXPECT_EQ(hash_bytes("example.com"), hash_bytes("example.com"));
+  EXPECT_NE(hash_bytes("example.com"), hash_bytes("example.net"));
+  const std::uint64_t a = hash_bytes("site.example");
+  const std::uint64_t b = hash_bytes("tracker.example");
+  EXPECT_NE(hash_pair(a, b), hash_pair(b, a));
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+}  // namespace
+}  // namespace psl::analytics

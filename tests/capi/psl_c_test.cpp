@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "psl/analytics/census.hpp"
 #include "psl/net/server.hpp"
 #include "psl/psl/compiled_matcher.hpp"
 #include "psl/psl/list.hpp"
@@ -208,11 +209,18 @@ struct LoopbackDaemon {
   psl::net::Server server;
   unsigned short port = 0;
 
-  explicit LoopbackDaemon(const std::string& list_text)
-      : engine(snapshot_of(list_text), {.threads = 1}), server(engine, {}) {
+  explicit LoopbackDaemon(const std::string& list_text, bool analytics = false)
+      : engine(snapshot_of(list_text), engine_options(analytics)), server(engine, {}) {
     auto started = server.start();
     EXPECT_TRUE(started.ok());
     port = started.ok() ? *started : 0;
+  }
+
+  static psl::serve::EngineOptions engine_options(bool analytics) {
+    psl::serve::EngineOptions options;
+    options.threads = 1;
+    if (analytics) options.census_factory = psl::analytics::census_factory({});
+    return options;
   }
 
   static psl::snapshot::Snapshot snapshot_of(const std::string& text) {
@@ -440,6 +448,85 @@ TEST(CApiClientTest, SubscribePushAndCallback) {
   EXPECT_EQ(pslh_client_last_pushed_generation(nullptr), 0u);
   EXPECT_EQ(pslh_client_reconnect(nullptr), PSLH_ERROR);
   EXPECT_EQ(pslh_client_set_push_callback(client, nullptr, nullptr), PSLH_OK);  // unregister
+
+  pslh_client_free(client);
+}
+
+/// The C mirror of the analytics surface: stream a batch, read the census
+/// back with every row family allocated, and free it twice safely.
+TEST(CApiClientTest, IngestBatchAndCensus) {
+  LoopbackDaemon daemon("com\nuk\nco.uk\nnet\n", /*analytics=*/true);
+  ASSERT_NE(daemon.port, 0);
+  pslh_client_t* client = pslh_client_connect("127.0.0.1", daemon.port, 5000);
+  ASSERT_NE(client, nullptr);
+
+  const char* pages[] = {"www.example.com", "www.example.com", "shop.example.co.uk"};
+  const char* resources[] = {"tracker.net", "cdn.example.com", "tracker.net"};
+  const long long timestamps[] = {10, 20, 30};
+  unsigned long long generation = 0;
+  ASSERT_EQ(pslh_client_ingest_batch(client, pages, resources, timestamps, 3, &generation),
+            PSLH_OK);
+  EXPECT_EQ(generation, 1u);
+  // NULL timestamps are allowed (they ingest as 0).
+  ASSERT_EQ(pslh_client_ingest_batch(client, pages, resources, nullptr, 0, nullptr), PSLH_OK);
+
+  pslh_census_t census;
+  ASSERT_EQ(pslh_client_census(client, 8, &census), PSLH_OK);
+  EXPECT_EQ(census.generation, 1u);
+  EXPECT_EQ(census.records, 3u);
+  EXPECT_EQ(census.first_party, 1u);   // cdn.example.com under example.com
+  EXPECT_EQ(census.third_party, 2u);   // tracker.net from both sites
+  EXPECT_EQ(census.unique_hosts, 4u);
+  EXPECT_EQ(census.sites_formed, 3u);
+  EXPECT_EQ(census.dropped, 0u);
+  EXPECT_GT(census.state_bytes, 0u);
+  ASSERT_EQ(census.tracker_count, 1u);
+  EXPECT_EQ(take(census.tracker_domains[0]), "tracker.net");
+  census.tracker_domains[0] = nullptr;  // take() freed it
+  EXPECT_EQ(census.tracker_requests[0], 2u);
+  EXPECT_EQ(census.tracker_reach[0], 2u);
+  pslh_census_free(&census);
+  pslh_census_free(&census);  // freeing the zeroed struct is a no-op
+  pslh_census_free(nullptr);
+
+  // NULL safety.
+  EXPECT_EQ(pslh_client_ingest_batch(nullptr, pages, resources, nullptr, 3, nullptr),
+            PSLH_ERROR);
+  EXPECT_EQ(pslh_client_ingest_batch(client, nullptr, resources, nullptr, 3, nullptr),
+            PSLH_ERROR);
+  EXPECT_EQ(pslh_client_ingest_batch(client, pages, nullptr, nullptr, 3, nullptr),
+            PSLH_ERROR);
+  EXPECT_EQ(pslh_client_census(nullptr, 0, &census), PSLH_ERROR);
+  EXPECT_EQ(pslh_client_census(client, 0, nullptr), PSLH_ERROR);
+
+  // A duplication failure mid-copy unwinds the whole census, not half of it.
+  pslh_test_fail_next_allocs(1);
+  EXPECT_EQ(pslh_client_census(client, 8, &census), PSLH_ERROR);
+  pslh_test_fail_next_allocs(0);
+  EXPECT_EQ(census.tracker_count, 0u);
+  EXPECT_EQ(census.etlds, nullptr);
+
+  pslh_client_free(client);
+}
+
+/// Without a census on the server, the analytics calls fail cleanly and the
+/// connection keeps serving.
+TEST(CApiClientTest, AnalyticsUnsupportedWithoutCensus) {
+  LoopbackDaemon daemon("com\n");
+  ASSERT_NE(daemon.port, 0);
+  pslh_client_t* client = pslh_client_connect("127.0.0.1", daemon.port, 5000);
+  ASSERT_NE(client, nullptr);
+
+  const char* pages[] = {"a.example.com"};
+  const char* resources[] = {"b.example.com"};
+  unsigned long long generation = 7;
+  EXPECT_EQ(pslh_client_ingest_batch(client, pages, resources, nullptr, 1, &generation),
+            PSLH_ERROR);
+  EXPECT_EQ(generation, 0u);  // outputs are zeroed on failure
+  pslh_census_t census;
+  EXPECT_EQ(pslh_client_census(client, 0, &census), PSLH_ERROR);
+  EXPECT_EQ(census.records, 0u);
+  EXPECT_EQ(pslh_client_ping(client), 1);  // the rejection is not fatal
 
   pslh_client_free(client);
 }

@@ -1,0 +1,124 @@
+// Fuzz harness for the analytics wire parsers (ingest_batch 0x0A and
+// census_query/census 0x0B payloads).
+//
+// Invariants:
+//   - parse_ingest_request on arbitrary bytes never crashes or reads out of
+//     bounds; every accepted record's host views point inside the payload
+//   - parse_census_request accepts exactly the 4-byte u32 shape and nothing
+//     else
+//   - parse_census on arbitrary bytes never crashes; accepted bodies carry
+//     row counts consistent with the bytes consumed
+//   - a census body built from fuzz-derived parameters survives
+//     put_census -> parse_census byte-exactly (round-trip), and a
+//     truncation at ANY prefix length is rejected, never mis-parsed
+//
+// Chunked re-feeding is the frame decoder's job (fuzz_net_frame); here the
+// payloads are attacked directly, the way the server's loop thread and the
+// client's response path see them.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "psl/net/frame.hpp"
+
+namespace {
+
+void check_view_bounds(std::span<const std::uint8_t> payload, std::string_view v) {
+  if (v.empty()) return;
+  const auto* begin = payload.data();
+  const auto* end = begin + payload.size();
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  if (p < begin || p + v.size() > end) __builtin_trap();
+}
+
+void attack_parsers(std::span<const std::uint8_t> payload) {
+  std::vector<psl::net::WireIngestRecord> records;
+  if (psl::net::parse_ingest_request(payload, records)) {
+    // u32 count + per record two str16 (>=2+2 bytes) + u64 timestamp.
+    if (payload.size() < 4 + records.size() * 12) __builtin_trap();
+    for (const psl::net::WireIngestRecord& r : records) {
+      check_view_bounds(payload, r.page_host);
+      check_view_bounds(payload, r.resource_host);
+    }
+  }
+
+  std::uint32_t top_k = 0;
+  if (psl::net::parse_census_request(payload, top_k) && payload.size() != 4) {
+    __builtin_trap();  // the only valid shape is exactly one u32
+  }
+
+  psl::net::WireCensus census;
+  if (psl::net::parse_census(payload, census)) {
+    // 11 u64 scalars + 2 u32 row counts precede any rows; each etld row is
+    // at least 2+8 bytes and each tracker row at least 2+32.
+    const std::size_t floor = 11 * 8 + 8 + census.etlds.size() * 10 +
+                              census.trackers.size() * 34;
+    if (payload.size() < floor) __builtin_trap();
+  }
+}
+
+/// Build a structurally valid census body from fuzz bytes, round-trip it,
+/// and verify every strict prefix is rejected.
+void round_trip_census(const std::uint8_t* data, std::size_t size) {
+  psl::net::WireCensus census;
+  census.generation = data[0];
+  census.records = static_cast<std::uint64_t>(data[1]) << 32;
+  census.third_party = data[2];
+  census.first_party =
+      census.records >= census.third_party ? census.records - census.third_party : 0;
+  census.unique_hosts = data[3];
+  census.sites_formed = data[4];
+  census.misbound_hosts = data[5];
+  census.dropped = data[6];
+  census.first_timestamp_ms = data[7];
+  census.last_timestamp_ms = census.first_timestamp_ms + data[8];
+  census.state_bytes = static_cast<std::uint64_t>(data[9]) * 1024;
+
+  const std::size_t etld_rows = data[0] % 4;
+  for (std::size_t i = 0; i < etld_rows; ++i) {
+    census.etlds.push_back({std::string(1 + i % 3, static_cast<char>('a' + i)),
+                            static_cast<std::uint64_t>(data[i % size])});
+  }
+  const std::size_t tracker_rows = data[1] % 4;
+  for (std::size_t i = 0; i < tracker_rows; ++i) {
+    std::string domain("t");
+    domain.append(1 + i, static_cast<char>('x' + i % 3));
+    census.trackers.push_back({std::move(domain),
+                               static_cast<std::uint64_t>(data[(i + 2) % size]),
+                               static_cast<std::uint64_t>(data[(i + 3) % size]),
+                               static_cast<std::uint64_t>(data[(i + 4) % size]),
+                               static_cast<std::uint64_t>(data[(i + 5) % size])});
+  }
+
+  std::vector<std::uint8_t> encoded;
+  psl::net::put_census(encoded, census);
+
+  psl::net::WireCensus out;
+  if (!psl::net::parse_census(encoded, out)) __builtin_trap();
+  if (!(out == census)) __builtin_trap();
+
+  // Truncation at every prefix must be rejected — the parser demands the
+  // declared row counts and no trailing bytes.
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    psl::net::WireCensus partial;
+    if (psl::net::parse_census({encoded.data(), cut}, partial)) __builtin_trap();
+  }
+
+  // One flipped trailing byte appended to a valid body must be rejected too.
+  encoded.push_back(0x5A);
+  psl::net::WireCensus padded;
+  if (psl::net::parse_census(encoded, padded)) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  attack_parsers({data, size});
+  if (size >= 10) round_trip_census(data, size);
+  return 0;
+}
