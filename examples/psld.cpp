@@ -54,10 +54,15 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "psl/analytics/census.hpp"
 #include "psl/net/client.hpp"
+#include "psl/net/latch.hpp"
 #include "psl/net/server.hpp"
 #include "psl/obs/json.hpp"
 #include "psl/obs/metrics.hpp"
@@ -75,7 +80,7 @@ namespace {
 int g_signal_pipe[2] = {-1, -1};
 
 extern "C" void on_signal(int sig) {
-  const std::uint8_t byte = sig == SIGHUP ? 'H' : 'T';
+  const std::uint8_t byte = sig == SIGHUP ? 'H' : sig == SIGCHLD ? 'C' : 'T';
   (void)!::write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -83,8 +88,13 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  psld --listen ADDR:PORT (--snapshot FILE | --store FILE) [--threads N]\n"
-               "       [--max-conns N] [--queue-depth N] [--max-frame BYTES] [--force-poll]\n"
-               "       [--analytics]\n"
+               "       [--max-conns N] [--queue-depth N] [--max-frame BYTES]\n"
+               "       [--backend auto|epoll|poll|io_uring] [--force-poll] [--udp]\n"
+               "       [--shards N] [--analytics]\n"
+               "PORT 0 asks the kernel for an ephemeral port; the banner names it.\n"
+               "--shards N forks N acceptor processes sharing the port via\n"
+               "SO_REUSEPORT and the snapshot via a shared mapping (requires\n"
+               "--snapshot; publish new snapshots by rename, never in place).\n"
                "  psld compile LIST_FILE OUT_SNAPSHOT\n"
                "  psld query  ADDR:PORT HOST...\n"
                "  psld match-at ADDR:PORT YYYY-MM-DD HOST...\n"
@@ -95,7 +105,8 @@ int usage() {
                "  psld reload ADDR:PORT SNAPSHOT_FILE\n"
                "  psld watch  ADDR:PORT [COUNT]\n"
                "client subcommands also accept --max-frame BYTES (wire payloads,\n"
-               "including reload snapshots, are bounded by the frame cap)\n");
+               "including reload snapshots, are bounded by the frame cap) and\n"
+               "--udp (query/ping/stats over the datagram fast path)\n");
   return 2;
 }
 
@@ -105,8 +116,12 @@ bool parse_endpoint(std::string_view endpoint, std::string& address, std::uint16
     return false;
   }
   address = std::string(endpoint.substr(0, colon));
-  const long parsed = std::atol(std::string(endpoint.substr(colon + 1)).c_str());
-  if (parsed < 1 || parsed > 65535) return false;
+  const std::string port_text(endpoint.substr(colon + 1));
+  if (port_text.find_first_not_of("0123456789") != std::string::npos) return false;
+  const long parsed = std::atol(port_text.c_str());
+  // 0 is legal for --listen (kernel-assigned ephemeral port, printed in the
+  // serving banner); connecting to 0 just fails at the socket layer.
+  if (parsed < 0 || parsed > 65535) return false;
   port = static_cast<std::uint16_t>(parsed);
   return true;
 }
@@ -137,6 +152,10 @@ int cmd_compile(const std::string& list_path, const std::string& out_path) {
   return 0;
 }
 
+// Client subcommands: --udp (stripped in main, like --max-frame) switches
+// query/ping/stats to the datagram fast path.
+bool g_client_udp = false;
+
 psl::util::Result<psl::net::Client> connect_to(std::string_view endpoint,
                                                std::size_t max_frame) {
   std::string address;
@@ -147,7 +166,8 @@ psl::util::Result<psl::net::Client> connect_to(std::string_view endpoint,
   }
   psl::net::ClientOptions options;
   options.max_frame_bytes = max_frame;
-  return psl::net::Client::connect(address, port, options);
+  return g_client_udp ? psl::net::Client::connect_udp(address, port, options)
+                      : psl::net::Client::connect(address, port, options);
 }
 
 int cmd_query(std::string_view endpoint, std::vector<std::string> hosts,
@@ -365,18 +385,289 @@ int cmd_watch(std::string_view endpoint, long count, std::size_t max_frame) {
   return 0;
 }
 
-int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
-              const std::string& store_path, std::size_t threads,
-              std::size_t max_conns, std::size_t queue_depth, std::size_t max_frame,
-              bool force_poll, bool analytics) {
+struct ServeConfig {
   std::string address;
   std::uint16_t port = 0;
-  if (!parse_endpoint(endpoint, address, port)) {
-    std::fprintf(stderr, "psld: bad --listen endpoint (want ADDR:PORT): %s\n",
-                 endpoint.c_str());
-    return 2;
+  std::string snapshot_path;
+  std::string store_path;
+  std::size_t threads = 2;
+  std::size_t max_conns = 256;
+  std::size_t queue_depth = 64;
+  std::size_t max_frame = psl::net::kDefaultMaxFrameBytes;
+  std::size_t shards = 1;
+  psl::net::Backend backend = psl::net::Backend::kAuto;
+  bool udp = false;
+  bool analytics = false;
+};
+
+// The daemon is graceful where the library is strict: an explicit
+// --backend io_uring on a kernel without it serves anyway (on epoll/poll)
+// with a log line, instead of refusing to boot a fleet over a scheduler
+// detail. Tests that NEED io_uring use the library and skip.
+psl::net::Backend resolve_backend(psl::net::Backend requested) {
+  if (requested == psl::net::Backend::kIoUring && !psl::net::Server::io_uring_supported()) {
+    std::fprintf(stderr, "psld: io_uring unsupported on this kernel, falling back\n");
+    return psl::net::Backend::kAuto;
+  }
+  return requested;
+}
+
+// One shard: engine + server + signal loop, run in a forked child. The shard
+// maps the SAME snapshot file as every other shard (load_file_view — one
+// physical copy in the page cache) and installs it as the latch's current
+// generation, so a respawned shard rejoins the fleet at the fleet's number,
+// not at 1. SIGHUP (forwarded by the parent AFTER it bumped the latch) makes
+// the shard reload the file as the published generation.
+int shard_main(const ServeConfig& cfg, std::size_t shard_index,
+               const psl::net::GenerationLatch& latch, int placeholder_fd) {
+  if (placeholder_fd >= 0) ::close(placeholder_fd);
+  // The inherited signal pipe belongs to the parent; a shard writing into it
+  // would feed the parent's loop. Re-plumb before anything can signal us.
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "psld: shard %zu pipe: %s\n", shard_index, std::strerror(errno));
+    return 1;
+  }
+  ::signal(SIGCHLD, SIG_DFL);  // shards do not fork
+
+  psl::obs::MetricsRegistry metrics;
+  psl::serve::EngineOptions engine_options;
+  engine_options.threads = cfg.threads;
+  engine_options.max_queue_depth = cfg.queue_depth;
+  engine_options.metrics = &metrics;
+  engine_options.initial_generation = latch.generation();
+  if (cfg.analytics) {
+    engine_options.census_factory = psl::analytics::census_factory({});
   }
 
+  auto snapshot = psl::snapshot::load_file_view(cfg.snapshot_path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "psld: shard %zu snapshot load failed: %s (%s)\n", shard_index,
+                 snapshot.error().message.c_str(), snapshot.error().code.c_str());
+    return 1;
+  }
+  psl::serve::Engine engine(*std::move(snapshot), engine_options);
+
+  psl::net::ServerOptions options;
+  options.bind_address = cfg.address;
+  options.port = cfg.port;  // concrete by now — the parent resolved port 0
+  options.max_connections = cfg.max_conns;
+  options.max_frame_bytes = cfg.max_frame;
+  options.backend = resolve_backend(cfg.backend);
+  options.reuse_port = true;
+  options.enable_udp = cfg.udp;
+  options.metrics = &metrics;
+  psl::net::Server server(engine, options);
+  auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "psld: shard %zu: %s\n", shard_index,
+                 started.error().message.c_str());
+    return 1;
+  }
+  std::printf("psld: shard %zu serving generation %llu on %s:%u (backend %s, pid %d)\n",
+              shard_index, static_cast<unsigned long long>(engine.generation()),
+              cfg.address.c_str(), *started, server.backend_name(),
+              static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  for (;;) {
+    std::uint8_t byte = 0;
+    const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (byte == 'H') {
+      const psl::net::LatchValue target = latch.read();
+      if (target.generation <= engine.generation()) {
+        std::printf("psld: shard %zu already at generation %llu\n", shard_index,
+                    static_cast<unsigned long long>(engine.generation()));
+        std::fflush(stdout);
+        continue;
+      }
+      auto swapped = engine.reload_file_view(cfg.snapshot_path, target.generation);
+      if (swapped.ok()) {
+        std::printf("psld: shard %zu reloaded -> generation %llu\n", shard_index,
+                    static_cast<unsigned long long>(*swapped));
+      } else {
+        std::printf("psld: shard %zu reload rejected (%s), still serving generation %llu\n",
+                    shard_index, swapped.error().code.c_str(),
+                    static_cast<unsigned long long>(engine.generation()));
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    break;  // SIGTERM/SIGINT: drain and exit
+  }
+
+  std::printf("psld: shard %zu draining...\n", shard_index);
+  std::fflush(stdout);
+  server.shutdown();
+  std::fprintf(stderr, "%s\n", psl::obs::to_json(metrics).c_str());
+  return 0;
+}
+
+// Bind a SO_REUSEPORT placeholder to port 0 so the kernel picks ONE
+// ephemeral port the whole shard group then binds concretely. The socket
+// never listens — a bound, non-listening TCP socket in a reuseport group
+// receives nothing — and stays open in the parent for the daemon's life, so
+// the port cannot be reassigned between a shard dying and its respawn.
+int reserve_shared_port(const std::string& address, std::uint16_t& port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "psld: bad listen address: %s\n", address.c_str());
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "psld: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "psld: port reservation failed: %s\n", std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port = ntohs(addr.sin_port);
+  return fd;
+}
+
+// The shard parent: no engine, no sockets (beyond the port placeholder) —
+// just the latch, the shard pids, and the signal loop. SIGHUP: validate the
+// new snapshot ONCE, bump the latch, then forward SIGHUP to every shard
+// (keep-last-good is fleet-wide: a bad file never reaches the latch, so no
+// shard even tries it). SIGCHLD: reap and respawn — the replacement re-reads
+// the latch and comes back at the fleet's current generation.
+int cmd_serve_sharded(ServeConfig cfg) {
+  psl::net::LatchValue boot{};
+  {
+    auto snap = psl::snapshot::load_file_view(cfg.snapshot_path);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "psld: snapshot load failed: %s (%s)\n",
+                   snap.error().message.c_str(), snap.error().code.c_str());
+      return 1;
+    }
+    boot.generation = 1;
+    boot.rule_count = snap->meta.rule_count;
+    boot.source_date_days = snap->meta.source_date.days_since_epoch();
+  }
+
+  auto latch_made = psl::net::GenerationLatch::create_shared();
+  if (!latch_made.ok()) {
+    std::fprintf(stderr, "psld: %s\n", latch_made.error().message.c_str());
+    return 1;
+  }
+  psl::net::GenerationLatch latch = *std::move(latch_made);
+  latch.publish(boot);
+
+  int placeholder_fd = -1;
+  if (cfg.port == 0) {
+    placeholder_fd = reserve_shared_port(cfg.address, cfg.port);
+    if (placeholder_fd < 0) return 1;
+  }
+
+  std::vector<pid_t> shard_pids(cfg.shards, -1);
+  auto spawn = [&](std::size_t idx) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "psld: fork: %s\n", std::strerror(errno));
+      return false;
+    }
+    if (pid == 0) ::_exit(shard_main(cfg, idx, latch, placeholder_fd));
+    shard_pids[idx] = pid;
+    return true;
+  };
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
+    if (!spawn(i)) {
+      for (const pid_t pid : shard_pids) {
+        if (pid > 0) ::kill(pid, SIGTERM);
+      }
+      return 1;
+    }
+  }
+
+  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu shards%s%s\n",
+              static_cast<unsigned long long>(boot.generation),
+              static_cast<unsigned long long>(boot.rule_count), cfg.address.c_str(),
+              cfg.port, cfg.shards, cfg.udp ? " [udp]" : "",
+              cfg.analytics ? " [analytics]" : "");
+  std::fflush(stdout);
+
+  std::uint64_t generation = boot.generation;
+  bool draining = false;
+  const auto live_shards = [&] {
+    std::size_t n = 0;
+    for (const pid_t pid : shard_pids) n += pid > 0 ? 1 : 0;
+    return n;
+  };
+  for (;;) {
+    std::uint8_t byte = 0;
+    const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) byte = 'T';
+    if (byte == 'H' && !draining) {
+      auto snap = psl::snapshot::load_file_view(cfg.snapshot_path);
+      if (!snap.ok()) {
+        std::printf("psld: reload rejected (%s), fleet stays on generation %llu\n",
+                    snap.error().code.c_str(), static_cast<unsigned long long>(generation));
+        std::fflush(stdout);
+        continue;
+      }
+      psl::net::LatchValue next;
+      next.generation = ++generation;
+      next.rule_count = snap->meta.rule_count;
+      next.source_date_days = snap->meta.source_date.days_since_epoch();
+      latch.publish(next);
+      for (const pid_t pid : shard_pids) {
+        if (pid > 0) ::kill(pid, SIGHUP);
+      }
+      std::printf("psld: published generation %llu to %zu shards\n",
+                  static_cast<unsigned long long>(generation), live_shards());
+      std::fflush(stdout);
+      continue;
+    }
+    if (byte == 'C') {
+      for (;;) {
+        int status = 0;
+        const pid_t dead = ::waitpid(-1, &status, WNOHANG);
+        if (dead <= 0) break;
+        for (std::size_t idx = 0; idx < shard_pids.size(); ++idx) {
+          if (shard_pids[idx] != dead) continue;
+          shard_pids[idx] = -1;
+          if (!draining) {
+            std::printf("psld: shard %zu (pid %d) exited, respawning\n", idx,
+                        static_cast<int>(dead));
+            std::fflush(stdout);
+            if (!spawn(idx)) {
+              std::fprintf(stderr, "psld: shard %zu respawn failed\n", idx);
+            }
+          }
+        }
+      }
+      if (draining && live_shards() == 0) break;
+      continue;
+    }
+    if (!draining) {  // 'T' or the pipe died
+      draining = true;
+      std::printf("psld: draining %zu shards...\n", live_shards());
+      std::fflush(stdout);
+      for (const pid_t pid : shard_pids) {
+        if (pid > 0) ::kill(pid, SIGTERM);
+      }
+      if (live_shards() == 0) break;
+    }
+  }
+  if (placeholder_fd >= 0) ::close(placeholder_fd);
+  std::printf("psld: bye\n");
+  return 0;
+}
+
+int cmd_serve(const ServeConfig& cfg) {
   // Signal plumbing comes FIRST — before the (possibly slow) snapshot/store
   // load and before the listener goes live. A supervisor that sends SIGTERM
   // as soon as fork() returns must hit our graceful-drain handler, not the
@@ -401,17 +692,24 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
     if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   }
 
+  if (cfg.shards > 1) {
+    // SIGCHLD only matters to the shard parent (respawn); installed before
+    // the first fork so no exit can slip past the handler.
+    ::sigaction(SIGCHLD, &sa, nullptr);
+    return cmd_serve_sharded(cfg);
+  }
+
   psl::obs::MetricsRegistry metrics;
   psl::serve::EngineOptions engine_options;
-  engine_options.threads = threads;
-  engine_options.max_queue_depth = queue_depth;
+  engine_options.threads = cfg.threads;
+  engine_options.max_queue_depth = cfg.queue_depth;
   engine_options.metrics = &metrics;
-  if (analytics) {
+  if (cfg.analytics) {
     engine_options.census_factory = psl::analytics::census_factory({});
   }
   std::unique_ptr<psl::serve::Engine> engine;
-  if (!store_path.empty()) {
-    auto view = psl::store::StoreView::open(store_path);
+  if (!cfg.store_path.empty()) {
+    auto view = psl::store::StoreView::open(cfg.store_path);
     if (!view.ok()) {
       std::fprintf(stderr, "psld: store open failed: %s (%s)\n",
                    view.error().message.c_str(), view.error().code.c_str());
@@ -426,7 +724,9 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
     engine = std::make_unique<psl::serve::Engine>(*std::move(newest), engine_options);
     (void)!engine->adopt_store(*std::move(view));
   } else {
-    auto snapshot = psl::snapshot::load_file(snapshot_path);
+    // Shared mapping even single-process: the daemon never holds a private
+    // copy of the arena, and the rename-publish contract is uniform.
+    auto snapshot = psl::snapshot::load_file_view(cfg.snapshot_path);
     if (!snapshot.ok()) {
       std::fprintf(stderr, "psld: snapshot load failed: %s (%s)\n",
                    snapshot.error().message.c_str(), snapshot.error().code.c_str());
@@ -436,11 +736,12 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
   }
 
   psl::net::ServerOptions options;
-  options.bind_address = address;
-  options.port = port;
-  options.max_connections = max_conns;
-  options.max_frame_bytes = max_frame;
-  options.force_poll = force_poll;
+  options.bind_address = cfg.address;
+  options.port = cfg.port;
+  options.max_connections = cfg.max_conns;
+  options.max_frame_bytes = cfg.max_frame;
+  options.backend = resolve_backend(cfg.backend);
+  options.enable_udp = cfg.udp;
   options.metrics = &metrics;
   psl::net::Server server(*engine, options);
   auto started = server.start();
@@ -449,12 +750,13 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
     return 1;
   }
 
-  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu workers%s%s\n",
+  std::printf("psld: serving generation %llu (%llu rules) on %s:%u, %zu workers"
+              " (backend %s)%s%s%s\n",
               static_cast<unsigned long long>(engine->generation()),
               static_cast<unsigned long long>(engine->metadata().rule_count),
-              address.c_str(), *started, engine->worker_count(),
-              store_path.empty() ? "" : " [store]",
-              analytics ? " [analytics]" : "");
+              cfg.address.c_str(), *started, engine->worker_count(),
+              server.backend_name(), cfg.store_path.empty() ? "" : " [store]",
+              cfg.udp ? " [udp]" : "", cfg.analytics ? " [analytics]" : "");
   std::fflush(stdout);
 
   for (;;) {
@@ -463,9 +765,10 @@ int cmd_serve(const std::string& endpoint, const std::string& snapshot_path,
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     if (byte == 'H') {
-      const std::string& reload_path = store_path.empty() ? snapshot_path : store_path;
-      auto swapped = store_path.empty() ? engine->reload_file(snapshot_path)
-                                        : engine->open_store(store_path);
+      const std::string& reload_path =
+          cfg.store_path.empty() ? cfg.snapshot_path : cfg.store_path;
+      auto swapped = cfg.store_path.empty() ? engine->reload_file_view(cfg.snapshot_path)
+                                            : engine->open_store(cfg.store_path);
       if (swapped.ok()) {
         std::printf("psld: reloaded %s -> generation %llu\n", reload_path.c_str(),
                     static_cast<unsigned long long>(*swapped));
@@ -514,6 +817,18 @@ int main(int argc, char** argv) {
     args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
   }
+  // --udp is meaningful in both modes: it enables the datagram socket when
+  // serving and switches the client subcommands to the datagram fast path.
+  bool udp = false;
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] != "--udp") {
+      ++i;
+      continue;
+    }
+    udp = true;
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  g_client_udp = udp;
   if (args.empty()) return usage();
 
   if (args[0] == "compile") {
@@ -554,10 +869,10 @@ int main(int argc, char** argv) {
     return cmd_watch(args[1], count, max_frame);
   }
 
-  std::string listen, snapshot_path, store_path;
-  std::size_t threads = 2, max_conns = 256, queue_depth = 64;
-  bool force_poll = false;
-  bool analytics = false;
+  std::string listen;
+  ServeConfig cfg;
+  cfg.max_frame = max_frame;
+  cfg.udp = udp;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto value = [&](const char* flag) -> const std::string* {
       if (i + 1 >= args.size()) {
@@ -573,33 +888,70 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--snapshot") {
       const std::string* v = value("--snapshot");
       if (!v) return 2;
-      snapshot_path = *v;
+      cfg.snapshot_path = *v;
     } else if (args[i] == "--store") {
       const std::string* v = value("--store");
       if (!v) return 2;
-      store_path = *v;
+      cfg.store_path = *v;
     } else if (args[i] == "--threads") {
       const std::string* v = value("--threads");
       if (!v) return 2;
-      threads = static_cast<std::size_t>(std::atol(v->c_str()));
+      cfg.threads = static_cast<std::size_t>(std::atol(v->c_str()));
     } else if (args[i] == "--max-conns") {
       const std::string* v = value("--max-conns");
       if (!v) return 2;
-      max_conns = static_cast<std::size_t>(std::atol(v->c_str()));
+      cfg.max_conns = static_cast<std::size_t>(std::atol(v->c_str()));
     } else if (args[i] == "--queue-depth") {
       const std::string* v = value("--queue-depth");
       if (!v) return 2;
-      queue_depth = static_cast<std::size_t>(std::atol(v->c_str()));
+      cfg.queue_depth = static_cast<std::size_t>(std::atol(v->c_str()));
+    } else if (args[i] == "--shards") {
+      const std::string* v = value("--shards");
+      if (!v) return 2;
+      const long parsed = std::atol(v->c_str());
+      if (parsed < 1 || parsed > 64) {
+        std::fprintf(stderr, "psld: --shards wants 1..64, got %s\n", v->c_str());
+        return 2;
+      }
+      cfg.shards = static_cast<std::size_t>(parsed);
+    } else if (args[i] == "--backend") {
+      const std::string* v = value("--backend");
+      if (!v) return 2;
+      if (*v == "auto") {
+        cfg.backend = psl::net::Backend::kAuto;
+      } else if (*v == "epoll") {
+        cfg.backend = psl::net::Backend::kEpoll;
+      } else if (*v == "poll") {
+        cfg.backend = psl::net::Backend::kPoll;
+      } else if (*v == "io_uring") {
+        cfg.backend = psl::net::Backend::kIoUring;
+      } else {
+        std::fprintf(stderr, "psld: unknown --backend %s\n", v->c_str());
+        return 2;
+      }
     } else if (args[i] == "--force-poll") {
-      force_poll = true;
+      cfg.backend = psl::net::Backend::kPoll;  // legacy alias for --backend poll
     } else if (args[i] == "--analytics") {
-      analytics = true;
+      cfg.analytics = true;
     } else {
       std::fprintf(stderr, "psld: unknown argument %s\n", args[i].c_str());
       return usage();
     }
   }
-  if (listen.empty() || (snapshot_path.empty() == store_path.empty())) return usage();
-  return cmd_serve(listen, snapshot_path, store_path, threads, max_conns, queue_depth,
-                   max_frame, force_poll, analytics);
+  if (listen.empty() || (cfg.snapshot_path.empty() == cfg.store_path.empty())) {
+    return usage();
+  }
+  if (cfg.shards > 1 && cfg.snapshot_path.empty()) {
+    // The store serves history (time travel) single-process; the sharded
+    // fast path serves the CURRENT list. Latch generations only align with
+    // snapshot reloads.
+    std::fprintf(stderr, "psld: --shards requires --snapshot (--store is single-process)\n");
+    return 2;
+  }
+  if (!parse_endpoint(listen, cfg.address, cfg.port)) {
+    std::fprintf(stderr, "psld: bad --listen endpoint (want ADDR:PORT): %s\n",
+                 listen.c_str());
+    return 2;
+  }
+  return cmd_serve(cfg);
 }

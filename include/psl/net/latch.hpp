@@ -1,0 +1,100 @@
+// psl::net::GenerationLatch — a one-page shared-memory seqlock that keeps a
+// fleet of forked psld shards agreed on "which snapshot generation is
+// current".
+//
+// The sharded deployment model (psld --shards N) forks N independent
+// acceptor processes; each runs its own serve::Engine over the same mmap'd
+// snapshot file. A SIGHUP lands on the *parent*, which validates the new
+// file, bumps the latch, and only then forwards the signal to every shard.
+// Shards reload and install the snapshot *as* the latch generation, so
+// stats frames and pushed generation_changed frames report one coherent
+// number across the whole fleet — and a shard respawned after a crash reads
+// the latch to adopt the current generation instead of restarting at 1.
+//
+// The latch is a single MAP_SHARED | MAP_ANONYMOUS page created before
+// fork() and inherited by every shard (including respawns — the parent
+// re-forks, so the child re-inherits the same mapping; no named shm, no
+// cleanup on crash). Concurrency is a classic seqlock:
+//
+//   * exactly ONE writer (the parent) — publish() bumps the sequence to odd,
+//     writes the fields, bumps it back to even;
+//   * any number of readers — read() retries until it observes the same even
+//     sequence before and after copying the fields, so a torn read is
+//     impossible by construction (tests/net/latch_test.cpp hammers this
+//     with correlated tuples under TSan).
+//
+// Every word in the page is a lock-free std::atomic accessed with relaxed
+// loads/stores fenced by the sequence's acquire/release pair — valid C++
+// (no data races for TSan to flag) and safe across processes because the
+// atomics are address-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "psl/util/result.hpp"
+
+namespace psl::net {
+
+/// The fields the parent publishes and shards consume. `generation` is the
+/// fleet-wide snapshot generation (starts at 1 for the boot snapshot);
+/// `rule_count` / `source_date_days` mirror the snapshot header's metadata
+/// so a respawning shard can sanity-log what it is adopting;
+/// `publish_count` counts publishes (monotonic, distinct from generation so
+/// tests can detect re-publishes of the same generation).
+struct LatchValue {
+  std::uint64_t generation = 0;
+  std::uint64_t rule_count = 0;
+  std::int64_t source_date_days = 0;
+  std::uint64_t publish_count = 0;
+
+  friend bool operator==(const LatchValue&, const LatchValue&) = default;
+};
+
+class GenerationLatch {
+ public:
+  /// Bytes of backing memory the latch needs (attach() demands at least
+  /// this much, 8-byte aligned).
+  static constexpr std::size_t kBytes = 64;
+
+  GenerationLatch() = default;
+  GenerationLatch(const GenerationLatch&) = delete;
+  GenerationLatch& operator=(const GenerationLatch&) = delete;
+  GenerationLatch(GenerationLatch&& other) noexcept;
+  GenerationLatch& operator=(GenerationLatch&& other) noexcept;
+  ~GenerationLatch();
+
+  /// Create a latch backed by a fresh MAP_SHARED | MAP_ANONYMOUS page owned
+  /// by this object (munmap'd on destruction). Call BEFORE fork(); children
+  /// inherit the mapping and see every later publish. Error code:
+  /// "latch.mmap".
+  static util::Result<GenerationLatch> create_shared();
+
+  /// Adopt caller-owned memory (>= kBytes, 8-byte aligned) without taking
+  /// ownership. First attach in a region initializes it; attaching to a
+  /// region already initialized by create_shared()/attach() joins it.
+  /// Error codes: "latch.misaligned", "latch.truncated".
+  static util::Result<GenerationLatch> attach(void* mem, std::size_t bytes);
+
+  bool valid() const noexcept { return cell_ != nullptr; }
+
+  /// Writer side (single writer — the shard parent). Stores `v` with
+  /// publish_count overwritten by the internal counter.
+  void publish(const LatchValue& v) noexcept;
+
+  /// Reader side: a consistent (never torn) copy of the latest publish.
+  LatchValue read() const noexcept;
+
+  /// Reader convenience: the current generation alone.
+  std::uint64_t generation() const noexcept { return read().generation; }
+
+ private:
+  struct Cell;  // the in-page layout (defined in latch.cpp)
+
+  Cell* cell_ = nullptr;
+  void* owned_page_ = nullptr;  // non-null when create_shared() mapped it
+  std::size_t owned_bytes_ = 0;
+};
+
+}  // namespace psl::net

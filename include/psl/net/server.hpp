@@ -79,7 +79,22 @@
 
 namespace psl::net {
 
-class Poller;  // epoll/poll backend, internal to server.cpp
+class Poller;  // epoll/poll/io_uring backend, internal to server.cpp
+
+/// Event-loop readiness backend. kAuto prefers epoll on Linux and falls back
+/// to poll() everywhere else. kIoUring is strict: start() fails with
+/// "net.backend" when the kernel cannot run it (syscalls absent, disabled by
+/// the kernel.io_uring_disabled sysctl, or timed waits unsupported) —
+/// callers wanting graceful fallback probe Server::io_uring_supported()
+/// first, which is exactly what psld --backend io_uring does.
+enum class Backend : std::uint8_t { kAuto, kEpoll, kPoll, kIoUring };
+
+// UDP frames are bounded by kUdpMaxDatagramBytes (frame.hpp), both
+// directions. A response that would exceed the bound is replaced by a
+// kUnsupported status frame with detail "udp.oversize" (the request WAS
+// valid — the caller must shrink its batch); an oversized or truncated
+// request datagram is dropped outright, since a datagram, unlike a stream,
+// cannot be resynchronized or answered reliably once mangled.
 
 struct ServerOptions {
   std::string bind_address = "127.0.0.1";  ///< IPv4 dotted quad
@@ -90,7 +105,18 @@ struct ServerOptions {
   int read_timeout_ms = 10000;   ///< a started frame must complete this fast
   int write_stall_timeout_ms = 10000;  ///< pending output must make progress this fast
   int drain_timeout_ms = 5000;   ///< graceful-shutdown bound before force-close
-  bool force_poll = false;       ///< use the portable poll() backend everywhere
+  bool force_poll = false;       ///< legacy alias: true pins Backend::kPoll
+  Backend backend = Backend::kAuto;  ///< readiness backend (see Backend)
+  /// SO_REUSEPORT on the listener (and the UDP socket): N processes bind
+  /// the same port and the kernel load-balances connections across them —
+  /// the psld --shards fan-out. Every process on the port must set it.
+  bool reuse_port = false;
+  /// Serve the UDP fast path on the same port: one request frame per
+  /// datagram, answered inline on the loop thread (no worker hop) — for
+  /// clients that cannot amortize a TCP batch. Supported request types:
+  /// ping, same_site_batch, match_batch, stats; everything else answers
+  /// kUnsupported with detail "udp.unsupported". See kUdpMaxDatagramBytes.
+  bool enable_udp = false;
   obs::MetricsRegistry* metrics = nullptr;  ///< optional; null = uninstrumented
 };
 
@@ -115,6 +141,13 @@ class Server {
   std::uint16_t port() const noexcept { return port_; }
   /// Open connections (tests; the live value is also the net.connections gauge).
   std::size_t connection_count() const;
+  /// The active readiness backend ("epoll", "poll", "io_uring"); "none"
+  /// before the first successful start().
+  const char* backend_name() const noexcept { return backend_name_; }
+  /// Can this kernel run the io_uring backend? One real ring is set up and
+  /// torn down on the first call (the result is cached): syscalls present,
+  /// not disabled by sysctl, and EXT_ARG timed waits available.
+  static bool io_uring_supported();
 
  private:
   struct Connection;
@@ -122,11 +155,14 @@ class Server {
 
   void loop();
   void handle_accept();
+  void handle_udp();
+  void dispatch_udp_frame(const FrameHeader& header, std::span<const std::uint8_t> payload);
   bool handle_readable(Connection& conn);
   bool flush_writes(Connection& conn);
   void dispatch_frame(Connection& conn, const Frame& frame);
   void respond_status(Connection& conn, FrameType type, std::uint32_t id, Status status,
                       std::string_view detail);
+  void append_stats_response(std::vector<std::uint8_t>& out, std::uint32_t id);
   void finish_submit(Connection& conn, serve::Engine::Enqueue enq, FrameType type,
                      std::uint32_t id);
   void complete(Completion completion);  // engine workers -> loop thread
@@ -148,8 +184,10 @@ class Server {
   std::uint16_t port_ = 0;
 
   int listen_fd_ = -1;
+  int udp_fd_ = -1;         // the UDP fast path (enable_udp), same port
   int wake_read_fd_ = -1;   // self-pipe: workers/shutdown wake the loop
   int wake_write_fd_ = -1;
+  const char* backend_name_ = "none";
   std::unique_ptr<Poller> poller_;
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
@@ -201,6 +239,10 @@ class Server {
   std::vector<std::pair<std::string_view, std::string_view>> pair_scratch_;
   std::vector<std::string_view> host_scratch_;
   std::vector<WireIngestRecord> ingest_scratch_;
+  // UDP scratch (loop thread): the request datagram and the response under
+  // construction. Both reach high-water size once and are reused.
+  std::vector<std::uint8_t> udp_in_;
+  std::vector<std::uint8_t> udp_out_;
 
   // census_query answers served over this server's lifetime (the stats
   // frame reports it even without a metrics registry).
@@ -220,6 +262,8 @@ class Server {
   obs::Counter* timeout_write_stall_ = nullptr;
   obs::Counter* frame_errors_ = nullptr;
   obs::Counter* push_sent_ = nullptr;
+  obs::Counter* udp_datagrams_ = nullptr;
+  obs::Counter* udp_dropped_ = nullptr;
   obs::Histogram* latency_ping_ = nullptr;
   obs::Histogram* latency_same_site_ = nullptr;
   obs::Histogram* latency_match_ = nullptr;

@@ -97,6 +97,11 @@ struct EngineOptions {
   /// two; 0 disables caching — every query walks the trie).
   std::size_t cache_slots = 16384;
   obs::MetricsRegistry* metrics = nullptr;  ///< optional; null = uninstrumented
+  /// Generation the initial state is installed as (0 = the default, 1).
+  /// A psld shard respawned into a running fleet passes the shared latch's
+  /// current generation here so its stats and pushes agree with the
+  /// surviving shards instead of restarting at 1.
+  std::uint64_t initial_generation = 0;
   /// When set, every installed State carries a fresh analytics::Census from
   /// this factory (called with the worker count; hot swap ⇒ fresh census —
   /// the same RCU invalidation story as the per-worker caches). Wire it via
@@ -209,6 +214,17 @@ class Engine {
   util::Result<std::uint64_t> reload_snapshot(std::span<const std::uint8_t> bytes);
   /// load_file() + the same keep-last-good contract.
   util::Result<std::uint64_t> reload_file(const std::string& path);
+  /// load_file_view() (shared read-only mmap — N shards, one physical
+  /// arena) + the same keep-last-good contract. `target_generation`
+  /// installs the state AS that generation (0 = auto-increment): the
+  /// multi-shard coherence hook — every shard reloading for latch
+  /// generation G reports G, not a drifting local counter. Monotonicity is
+  /// preserved regardless: a target at or below the current generation
+  /// falls back to the auto-increment.
+  util::Result<std::uint64_t> reload_file_view(const std::string& path,
+                                               std::uint64_t target_generation = 0);
+  /// swap() with the same explicit-generation contract as reload_file_view.
+  std::uint64_t swap_as(snapshot::Snapshot next, std::uint64_t target_generation);
 
   /// Observer invoked (from the reloading thread, after publication, with
   /// reload serialization held — notifications are ordered and generations
@@ -306,7 +322,7 @@ class Engine {
     std::lock_guard<std::mutex> lock(state_mutex_);
     return state_;
   }
-  std::uint64_t install(snapshot::Snapshot next);
+  std::uint64_t install(snapshot::Snapshot next, std::uint64_t target_generation = 0);
   Enqueue enqueue(std::function<void(std::size_t)> job);
   void worker_loop(std::size_t worker_index);
 

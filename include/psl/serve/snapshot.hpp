@@ -169,6 +169,20 @@ util::Result<Snapshot> load_view_sections(std::span<const std::uint8_t> header,
 /// observed first.
 util::Result<Snapshot> load_file(const std::string& path);
 
+/// mmap `path` read-only (PROT_READ, MAP_SHARED) and load_view the mapping
+/// zero-copy; the mapping is retained by the returned matcher and unmapped
+/// when the last copy drops. N forked psld shards loading the same file
+/// through this entry point share ONE physical copy of the arena — the
+/// kernel page cache — instead of N private heap copies, which is what
+/// makes `--shards N` memory-free to scale.
+///
+/// Contract for publishers: the mapped file must be IMMUTABLE while served.
+/// Overwriting it in place (e.g. `cp new old`) mutates live mappings in
+/// every shard mid-query; publish a new file and rename() it over the old
+/// path instead (write_file_durable does exactly this), which leaves
+/// existing mappings pointing at the old inode untouched.
+util::Result<Snapshot> load_file_view(const std::string& path);
+
 /// serialize() to `path` via write_file_durable below. Returns the byte
 /// count written.
 util::Result<std::uint64_t> write_file(const std::string& path, const CompiledMatcher& matcher,

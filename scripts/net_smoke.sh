@@ -12,8 +12,19 @@
 # cleanly). A third act covers streaming analytics: psld --analytics, a
 # psltool-generated corpus replayed into the census, aggregates read back
 # over the wire, and a SIGHUP hot swap starting a fresh census for the new
-# generation while ingest keeps flowing. CI runs this against the freshly
-# built tree:
+# generation while ingest keeps flowing. A fourth act covers the sharded
+# deployment: psld --shards 3 --udp on one SO_REUSEPORT port, queries over
+# TCP and the UDP fast path, a SIGHUP flipping every shard to the same latch
+# generation, one shard SIGKILLed under live query load (service keeps
+# answering; the parent respawns it and the replacement adopts the latch
+# generation, not generation 1), and a clean fleet-wide drain.
+#
+# Every daemon listens on 127.0.0.1:0 — the kernel picks a free ephemeral
+# port, the banner names it, and the script greps it back out; nothing here
+# can collide with another test's port again. Snapshots are published by
+# rename (tmp + mv), never overwritten in place: the daemon serves them from
+# shared mappings, and rewriting a mapped file would corrupt live memory.
+# CI runs this against the freshly built tree:
 #
 #   scripts/net_smoke.sh build/examples/psld [build/examples/psltool]
 set -euo pipefail
@@ -42,7 +53,14 @@ fail() {
   echo "net_smoke: FAIL: $*" >&2
   [[ -f psld.log ]] && sed 's/^/net_smoke: psld| /' psld.log >&2
   [[ -f psld_store.log ]] && sed 's/^/net_smoke: psld-store| /' psld_store.log >&2
+  [[ -f psld_shards.log ]] && sed 's/^/net_smoke: psld-shards| /' psld_shards.log >&2
   exit 1
+}
+
+# Daemons bind 127.0.0.1:0 and the kernel's pick is announced in the
+# "serving generation ... on 127.0.0.1:PORT" banner; fish it back out.
+bound_port() {
+  sed -n 's/.*serving generation .* on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$1" | head -1
 }
 
 # --- compile two list vintages -------------------------------------------
@@ -51,11 +69,9 @@ printf 'com\nuk\nco.uk\ngithub.io\nmyshopify.com\n' > list_b.txt
 "$PSLD" compile list_a.txt a.psnap
 "$PSLD" compile list_b.txt b.psnap
 
-# --- boot the daemon on a port derived from the PID ----------------------
-PORT=$(( 20000 + ($$ % 20000) ))
-ADDR="127.0.0.1:$PORT"
+# --- boot the daemon on an ephemeral port the kernel picks ----------------
 cp a.psnap live.psnap
-"$PSLD" --listen "$ADDR" --snapshot live.psnap --threads 2 > psld.log 2> psld.err &
+"$PSLD" --listen 127.0.0.1:0 --snapshot live.psnap --threads 2 > psld.log 2> psld.err &
 DAEMON_PID=$!
 
 for _ in $(seq 1 100); do
@@ -64,6 +80,9 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 grep -q "serving generation 1" psld.log || fail "daemon did not report generation 1"
+PORT=$(bound_port psld.log)
+[[ -n "$PORT" && "$PORT" -gt 0 ]] || fail "could not read bound port from the banner"
+ADDR="127.0.0.1:$PORT"
 
 # --- liveness + queries under the first vintage --------------------------
 "$PSLD" ping "$ADDR" | grep -qx "pong" || fail "ping"
@@ -75,7 +94,9 @@ grep -qx "user.github.io user.github.io" q1.txt || fail "github.io query: $(cat 
 "$PSLD" stats "$ADDR" | grep -q "generation 1, 4 rules" || fail "stats before reload"
 
 # --- SIGHUP hot reload: the answer must flip -----------------------------
-cp b.psnap live.psnap
+# Publish by rename: the daemon maps live.psnap shared, so the new bytes
+# must arrive under a fresh inode, never by rewriting the mapped file.
+cp b.psnap stage.psnap && mv stage.psnap live.psnap
 kill -HUP "$DAEMON_PID"
 for _ in $(seq 1 100); do
   grep -q "generation 2" psld.log 2>/dev/null && break
@@ -88,7 +109,7 @@ grep -qx "shop1.myshopify.com shop1.myshopify.com" q2.txt \
 "$PSLD" stats "$ADDR" | grep -q "generation 2, 5 rules" || fail "stats after reload"
 
 # --- keep-last-good: a corrupt snapshot must be rejected, serving intact --
-printf 'not a snapshot' > live.psnap
+printf 'not a snapshot' > stage.psnap && mv stage.psnap live.psnap
 kill -HUP "$DAEMON_PID"
 for _ in $(seq 1 100); do
   grep -q "reload rejected" psld.log 2>/dev/null && break
@@ -118,7 +139,7 @@ for _ in $(seq 1 100); do
 done
 grep -q "watching from generation 3" watch.log || fail "watcher did not subscribe"
 
-cp b.psnap live.psnap
+cp b.psnap stage.psnap && mv stage.psnap live.psnap
 kill -HUP "$DAEMON_PID"
 for _ in $(seq 1 100); do
   grep -q "pushed generation 4" watch.log 2>/dev/null && break
@@ -149,9 +170,7 @@ grep -q '"net.accepted"' psld.err || fail "metrics dump missing from stderr"
 grep -q "2 versions" store_build.txt || fail "store build report: $(cat store_build.txt)"
 "$PSLTOOL" store stat hist.pstore | grep -q "versions:  2" || fail "store stat"
 
-STORE_PORT=$(( PORT + 1 ))
-STORE_ADDR="127.0.0.1:$STORE_PORT"
-"$PSLD" --listen "$STORE_ADDR" --store hist.pstore --threads 2 \
+"$PSLD" --listen 127.0.0.1:0 --store hist.pstore --threads 2 \
   > psld_store.log 2> psld_store.err &
 STORE_PID=$!
 for _ in $(seq 1 100); do
@@ -160,6 +179,9 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 grep -q "\[store\]" psld_store.log || fail "store daemon did not report store mode"
+STORE_PORT=$(bound_port psld_store.log)
+[[ -n "$STORE_PORT" ]] || fail "could not read the store daemon's bound port"
+STORE_ADDR="127.0.0.1:$STORE_PORT"
 
 # match-at answers must flip across the 2021-01-01 version boundary.
 "$PSLD" match-at "$STORE_ADDR" 2020-06-01 shop1.myshopify.com > ma1.txt
@@ -197,7 +219,7 @@ STORE_PID=
 cp hist.pstore corrupt.pstore
 SIZE=$(stat -c %s corrupt.pstore)
 printf '\xff' | dd of=corrupt.pstore bs=1 seek=$(( SIZE / 2 )) conv=notrunc status=none
-if "$PSLD" --listen "$STORE_ADDR" --store corrupt.pstore > corrupt.log 2>&1; then
+if "$PSLD" --listen 127.0.0.1:0 --store corrupt.pstore > corrupt.log 2>&1; then
   fail "corrupt store was accepted"
 fi
 grep -q "store" corrupt.log || fail "corrupt store rejection message: $(cat corrupt.log)"
@@ -205,7 +227,7 @@ grep -q "store" corrupt.log || fail "corrupt store rejection message: $(cat corr
 # Handlers-before-listener: SIGTERM inside the widened startup window must
 # still be caught and drain cleanly (the old ordering died with the default
 # disposition here).
-PSLD_STARTUP_DELAY_MS=500 "$PSLD" --listen "$STORE_ADDR" --store hist.pstore \
+PSLD_STARTUP_DELAY_MS=500 "$PSLD" --listen 127.0.0.1:0 --store hist.pstore \
   > early.log 2>/dev/null &
 STORE_PID=$!
 sleep 0.1
@@ -223,10 +245,8 @@ STORE_PID=
 # (records drop to zero under the new generation) while ingest keeps
 # flowing.
 # ==========================================================================
-ANALYTICS_PORT=$(( PORT + 2 ))
-ANALYTICS_ADDR="127.0.0.1:$ANALYTICS_PORT"
 cp a.psnap live_analytics.psnap
-"$PSLD" --listen "$ANALYTICS_ADDR" --snapshot live_analytics.psnap --threads 2 --analytics \
+"$PSLD" --listen 127.0.0.1:0 --snapshot live_analytics.psnap --threads 2 --analytics \
   > psld_analytics.log 2> psld_analytics.err &
 ANALYTICS_PID=$!
 trap 'kill "$DAEMON_PID" "$STORE_PID" "$WATCH_PID" "$ANALYTICS_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
@@ -236,6 +256,9 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 grep -q "\[analytics\]" psld_analytics.log || fail "daemon did not report analytics mode"
+ANALYTICS_PORT=$(bound_port psld_analytics.log)
+[[ -n "$ANALYTICS_PORT" ]] || fail "could not read the analytics daemon's bound port"
+ANALYTICS_ADDR="127.0.0.1:$ANALYTICS_PORT"
 
 # An empty census exists from the first generation on.
 "$PSLD" census "$ANALYTICS_ADDR" > census0.txt || fail "census query on a fresh daemon"
@@ -269,7 +292,7 @@ grep -q "^census tracker " census1.txt || fail "census reported no trackers"
 
 # SIGHUP hot swap: the new generation starts a FRESH census — aggregates
 # describe exactly one (list, stream) pairing, never a mixture.
-cp b.psnap live_analytics.psnap
+cp b.psnap stage.psnap && mv stage.psnap live_analytics.psnap
 kill -HUP "$ANALYTICS_PID"
 for _ in $(seq 1 100); do
   grep -q "generation 2" psld_analytics.log 2>/dev/null && break
@@ -299,4 +322,100 @@ grep -q '"analytics.ingest.records"' psld_analytics.err \
   || fail "analytics counters missing from the metrics dump"
 ANALYTICS_PID=
 
-echo "net_smoke: OK (ports $PORT/$STORE_PORT/$ANALYTICS_PORT)"
+# ==========================================================================
+# Act 4: the sharded fleet. Two forked shards accept on one SO_REUSEPORT
+# port, each mapping the same snapshot file; the UDP fast path answers
+# beside TCP; one SIGHUP to the parent publishes a generation through the
+# shared latch to every shard; a shard SIGKILLed under live query load is
+# respawned and adopts the latch generation (not generation 1); SIGTERM
+# drains the whole fleet to a clean exit 0.
+# ==========================================================================
+cp a.psnap live_shards.psnap
+"$PSLD" --listen 127.0.0.1:0 --snapshot live_shards.psnap --shards 2 --udp \
+  > psld_shards.log 2> psld_shards.err &
+SHARDS_PID=$!
+LOAD_PID=
+trap 'kill "$DAEMON_PID" "$STORE_PID" "$WATCH_PID" "$ANALYTICS_PID" "$SHARDS_PID" "$LOAD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+for _ in $(seq 1 100); do
+  grep -q "2 shards" psld_shards.log 2>/dev/null && break
+  kill -0 "$SHARDS_PID" 2>/dev/null || fail "sharded daemon died during startup"
+  sleep 0.1
+done
+grep -q "serving generation 1 .* 2 shards" psld_shards.log \
+  || fail "sharded daemon did not report the fleet banner"
+grep -q "\[udp\]" psld_shards.log || fail "sharded daemon did not report UDP mode"
+SHARD_PORT=$(bound_port psld_shards.log)
+[[ -n "$SHARD_PORT" ]] || fail "could not read the sharded daemon's bound port"
+SHARD_ADDR="127.0.0.1:$SHARD_PORT"
+for _ in $(seq 1 100); do
+  [[ $(grep -c "shard [0-9]* serving generation 1" psld_shards.log) -eq 2 ]] && break
+  sleep 0.1
+done
+[[ $(grep -c "shard [0-9]* serving generation 1" psld_shards.log) -eq 2 ]] \
+  || fail "expected 2 shard banners: $(cat psld_shards.log)"
+
+# Both transports answer from the shared snapshot mapping.
+"$PSLD" ping "$SHARD_ADDR" | grep -qx "pong" || fail "sharded TCP ping"
+"$PSLD" query "$SHARD_ADDR" shop1.myshopify.com a.b.co.uk > qs1.txt
+grep -qx "shop1.myshopify.com myshopify.com" qs1.txt || fail "sharded TCP query: $(cat qs1.txt)"
+grep -qx "a.b.co.uk b.co.uk" qs1.txt || fail "sharded TCP co.uk query: $(cat qs1.txt)"
+"$PSLD" --udp ping "$SHARD_ADDR" | grep -qx "pong" || fail "UDP ping"
+"$PSLD" --udp query "$SHARD_ADDR" shop1.myshopify.com a.b.co.uk > qs2.txt
+grep -qx "shop1.myshopify.com myshopify.com" qs2.txt || fail "UDP query: $(cat qs2.txt)"
+grep -qx "a.b.co.uk b.co.uk" qs2.txt || fail "UDP co.uk query: $(cat qs2.txt)"
+"$PSLD" --udp stats "$SHARD_ADDR" | grep -q "generation 1, 4 rules" || fail "UDP stats"
+
+# One SIGHUP to the parent must flip EVERY shard to the same generation.
+cp b.psnap stage.psnap && mv stage.psnap live_shards.psnap
+kill -HUP "$SHARDS_PID"
+for _ in $(seq 1 100); do
+  [[ $(grep -c "reloaded -> generation 2" psld_shards.log) -eq 2 ]] && break
+  sleep 0.1
+done
+grep -q "published generation 2 to 2 shards" psld_shards.log \
+  || fail "latch publish did not land: $(cat psld_shards.log)"
+[[ $(grep -c "reloaded -> generation 2" psld_shards.log) -eq 2 ]] \
+  || fail "not every shard reloaded to generation 2: $(cat psld_shards.log)"
+"$PSLD" query "$SHARD_ADDR" shop1.myshopify.com \
+  | grep -qx "shop1.myshopify.com shop1.myshopify.com" || fail "fleet reload did not flip the answer"
+
+# Kill one shard under live load: the service keeps answering, the parent
+# respawns it, and the replacement adopts the LATCH generation — a respawn
+# banner saying "generation 2" proves it did not boot back to generation 1.
+( while [[ ! -f stop_load ]]; do
+    "$PSLD" query "$SHARD_ADDR" a.b.co.uk > /dev/null 2>&1 || true
+  done ) &
+LOAD_PID=$!
+VICTIM=$(sed -n 's/.*shard 0 serving generation 1 .*pid \([0-9]*\)).*/\1/p' psld_shards.log | head -1)
+[[ -n "$VICTIM" ]] || fail "could not extract shard 0's pid from: $(cat psld_shards.log)"
+kill -KILL "$VICTIM"
+for _ in $(seq 1 100); do
+  grep -q "exited, respawning" psld_shards.log 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "shard 0 (pid $VICTIM) exited, respawning" psld_shards.log \
+  || fail "parent did not respawn the killed shard: $(cat psld_shards.log)"
+for _ in $(seq 1 100); do
+  grep -q "shard 0 serving generation 2" psld_shards.log 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "shard 0 serving generation 2" psld_shards.log \
+  || fail "respawned shard did not adopt the latch generation: $(cat psld_shards.log)"
+: > stop_load
+wait "$LOAD_PID" 2>/dev/null || true
+LOAD_PID=
+"$PSLD" query "$SHARD_ADDR" shop1.myshopify.com \
+  | grep -qx "shop1.myshopify.com shop1.myshopify.com" || fail "service lost after shard respawn"
+"$PSLD" --udp stats "$SHARD_ADDR" | grep -q "generation 2, 5 rules" \
+  || fail "UDP stats after respawn"
+
+# SIGTERM drains the whole fleet; the parent exits 0 only after every shard.
+kill -TERM "$SHARDS_PID"
+STATUS=0
+wait "$SHARDS_PID" || STATUS=$?
+[[ "$STATUS" -eq 0 ]] || fail "sharded daemon exited $STATUS on SIGTERM"
+grep -q "draining 2 shards" psld_shards.log || fail "fleet drain banner missing"
+grep -q "psld: bye" psld_shards.log || fail "sharded daemon did not drain cleanly"
+SHARDS_PID=
+
+echo "net_smoke: OK (ports $PORT/$STORE_PORT/$ANALYTICS_PORT/$SHARD_PORT)"

@@ -283,6 +283,21 @@ pslh_client_t* pslh_client_connect(const char* address, unsigned short port, int
   }
 }
 
+pslh_client_t* pslh_client_connect_udp(const char* address, unsigned short port,
+                                       int timeout_ms) {
+  if (address == nullptr) return nullptr;
+  try {
+    psl::net::ClientOptions options;
+    options.connect_timeout_ms = timeout_ms > 0 ? timeout_ms : 10000;
+    options.io_timeout_ms = timeout_ms > 0 ? timeout_ms : 10000;
+    auto connected = psl::net::Client::connect_udp(address, port, options);
+    if (!connected) return nullptr;
+    return new (std::nothrow) pslh_client{*std::move(connected)};
+  } catch (...) {
+    return nullptr;
+  }
+}
+
 void pslh_client_free(pslh_client_t* client) { delete client; }
 
 int pslh_client_connected(const pslh_client_t* client) {

@@ -1,0 +1,126 @@
+#include "psl/net/latch.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace psl::net {
+
+namespace {
+constexpr std::uint64_t kLatchMagic = 0x50534C4C41544348ULL;  // "PSLLATCH"
+}  // namespace
+
+// One cache line of atomics. The sequence is the seqlock: odd while the
+// writer is mid-publish, even when the fields are consistent. Fields are
+// atomics so the unsynchronized reader loads are race-free C++; the
+// acquire/release pairing on `sequence` orders them.
+struct GenerationLatch::Cell {
+  std::atomic<std::uint64_t> magic;
+  std::atomic<std::uint64_t> sequence;
+  std::atomic<std::uint64_t> generation;
+  std::atomic<std::uint64_t> rule_count;
+  std::atomic<std::int64_t> source_date_days;
+  std::atomic<std::uint64_t> publish_count;
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "the latch lives in shared memory; a lock-backed atomic would "
+              "not be address-free");
+
+GenerationLatch::GenerationLatch(GenerationLatch&& other) noexcept
+    : cell_(std::exchange(other.cell_, nullptr)),
+      owned_page_(std::exchange(other.owned_page_, nullptr)),
+      owned_bytes_(std::exchange(other.owned_bytes_, 0)) {}
+
+GenerationLatch& GenerationLatch::operator=(GenerationLatch&& other) noexcept {
+  if (this != &other) {
+    if (owned_page_ != nullptr) ::munmap(owned_page_, owned_bytes_);
+    cell_ = std::exchange(other.cell_, nullptr);
+    owned_page_ = std::exchange(other.owned_page_, nullptr);
+    owned_bytes_ = std::exchange(other.owned_bytes_, 0);
+  }
+  return *this;
+}
+
+GenerationLatch::~GenerationLatch() {
+  if (owned_page_ != nullptr) ::munmap(owned_page_, owned_bytes_);
+}
+
+util::Result<GenerationLatch> GenerationLatch::create_shared() {
+  static_assert(sizeof(Cell) <= kBytes);
+  const std::size_t page = 4096;
+  void* mem = ::mmap(nullptr, page, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return util::make_error("latch.mmap", "mmap of the shared latch page failed");
+  }
+  auto attached = attach(mem, page);
+  if (!attached.ok()) {  // unreachable: the page is aligned and large enough
+    ::munmap(mem, page);
+    return attached.error();
+  }
+  GenerationLatch latch = std::move(attached).value();
+  latch.owned_page_ = mem;
+  latch.owned_bytes_ = page;
+  return latch;
+}
+
+util::Result<GenerationLatch> GenerationLatch::attach(void* mem, std::size_t bytes) {
+  if (mem == nullptr || (reinterpret_cast<std::uintptr_t>(mem) % alignof(std::uint64_t)) != 0) {
+    return util::make_error("latch.misaligned", "latch memory must be 8-byte aligned");
+  }
+  if (bytes < kBytes) {
+    return util::make_error("latch.truncated", "latch memory must be at least 64 bytes");
+  }
+  GenerationLatch latch;
+  // Atomics of unsigned 64-bit are trivially default-constructible and
+  // lock-free here; placement-new over fresh zero pages (or an
+  // already-initialized cell — the stores below are idempotent for a zeroed
+  // page and skipped for a live one) sets up the object representation.
+  auto* cell = reinterpret_cast<Cell*>(mem);
+  if (cell->magic.load(std::memory_order_acquire) != kLatchMagic) {
+    cell = new (mem) Cell{};
+    cell->sequence.store(0, std::memory_order_relaxed);
+    cell->generation.store(0, std::memory_order_relaxed);
+    cell->rule_count.store(0, std::memory_order_relaxed);
+    cell->source_date_days.store(0, std::memory_order_relaxed);
+    cell->publish_count.store(0, std::memory_order_relaxed);
+    cell->magic.store(kLatchMagic, std::memory_order_release);
+  }
+  latch.cell_ = cell;
+  return latch;
+}
+
+void GenerationLatch::publish(const LatchValue& v) noexcept {
+  Cell& c = *cell_;
+  // Odd sequence = publish in flight. The acquire on the first bump keeps
+  // the field stores from hoisting above it; the release on the second
+  // keeps them from sinking below.
+  const std::uint64_t seq = c.sequence.load(std::memory_order_relaxed);
+  c.sequence.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  c.generation.store(v.generation, std::memory_order_relaxed);
+  c.rule_count.store(v.rule_count, std::memory_order_relaxed);
+  c.source_date_days.store(v.source_date_days, std::memory_order_relaxed);
+  c.publish_count.store(c.publish_count.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  c.sequence.store(seq + 2, std::memory_order_release);
+}
+
+LatchValue GenerationLatch::read() const noexcept {
+  const Cell& c = *cell_;
+  for (;;) {
+    const std::uint64_t before = c.sequence.load(std::memory_order_acquire);
+    if ((before & 1) != 0) continue;  // writer mid-publish; retry
+    LatchValue v;
+    v.generation = c.generation.load(std::memory_order_relaxed);
+    v.rule_count = c.rule_count.load(std::memory_order_relaxed);
+    v.source_date_days = c.source_date_days.load(std::memory_order_relaxed);
+    v.publish_count = c.publish_count.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (c.sequence.load(std::memory_order_relaxed) == before) return v;
+  }
+}
+
+}  // namespace psl::net

@@ -20,6 +20,19 @@
 #include <sys/epoll.h>
 #endif
 
+// The io_uring backend talks to the kernel through raw syscalls (no liburing
+// dependency); it is compiled in only where the uapi header exists and still
+// probes at runtime before first use (Server::io_uring_supported()).
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define PSL_HAVE_IO_URING 1
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#else
+#define PSL_HAVE_IO_URING 0
+#endif
+
 namespace psl::net {
 
 namespace {
@@ -60,8 +73,13 @@ class Poller {
   virtual void del(int fd) = 0;
   /// Fill `out` (cleared first) with ready fds; timeout_ms < 0 blocks.
   virtual int wait(std::vector<Event>& out, int timeout_ms) = 0;
+  virtual const char* name() const noexcept = 0;
 
-  static std::unique_ptr<Poller> make(bool force_poll);
+  /// Resolve `backend` to a concrete poller. kAuto prefers epoll where
+  /// available; kIoUring returns nullptr when the kernel cannot run it (the
+  /// caller turns that into a "net.backend" error — no silent substitution
+  /// of an explicitly requested backend).
+  static std::unique_ptr<Poller> make(Backend backend);
 };
 
 namespace {
@@ -113,6 +131,8 @@ class PollPoller final : public Poller {
     return n;
   }
 
+  const char* name() const noexcept override { return "poll"; }
+
  private:
   static short events_of(bool want_read, bool want_write) {
     return static_cast<short>((want_read ? POLLIN : 0) | (want_write ? POLLOUT : 0));
@@ -155,6 +175,8 @@ class EpollPoller final : public Poller {
     return n;
   }
 
+  const char* name() const noexcept override { return "epoll"; }
+
  private:
   bool ctl(int op, int fd, bool want_read, bool want_write) {
     epoll_event ev{};
@@ -167,18 +189,302 @@ class EpollPoller final : public Poller {
 };
 #endif  // __linux__
 
+#if PSL_HAVE_IO_URING
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete, unsigned flags,
+                       const void* arg, std::size_t argsz) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete, flags, arg, argsz));
+}
+
+/// io_uring backend with poll()-equivalent level-triggered semantics: every
+/// watched fd is armed with a ONE-SHOT IORING_OP_POLL_ADD; a completion
+/// disarms it and the next wait() re-arms it with the fd's current interest
+/// mask. That costs one SQE per *ready* fd per loop iteration (idle fds stay
+/// armed for free) and keeps the Server's event-loop logic — which was
+/// written against level-triggered poll/epoll — valid without modification.
+///
+/// Interest changes (mod/del) cancel the in-flight arm with
+/// IORING_OP_POLL_REMOVE and bump the fd's arm token; CQEs carry
+/// (fd, token) in user_data, so a completion from a canceled arm that raced
+/// the cancellation is recognized as stale and dropped instead of being
+/// misread as fresh readiness for the new interest mask.
+class IoUringPoller final : public Poller {
+ public:
+  /// Set up the ring; nullptr when the kernel cannot run this backend
+  /// (ENOSYS, the io_uring_disabled sysctl, or missing EXT_ARG timed waits).
+  static std::unique_ptr<IoUringPoller> try_make() {
+    auto poller = std::unique_ptr<IoUringPoller>(new IoUringPoller());
+    if (!poller->init()) return nullptr;
+    return poller;
+  }
+
+  ~IoUringPoller() override {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  bool add(int fd, bool want_read, bool want_write) override {
+    if (states_.count(fd) != 0) return false;
+    states_[fd] = FdState{want_read, want_write, false, next_token_++};
+    return true;
+  }
+
+  bool mod(int fd, bool want_read, bool want_write) override {
+    auto it = states_.find(fd);
+    if (it == states_.end()) return false;
+    FdState& s = it->second;
+    if (s.want_read == want_read && s.want_write == want_write) return true;
+    if (s.armed) cancel_arm(fd, s);
+    s.want_read = want_read;
+    s.want_write = want_write;
+    return true;
+  }
+
+  void del(int fd) override {
+    auto it = states_.find(fd);
+    if (it == states_.end()) return;
+    if (it->second.armed) cancel_arm(fd, it->second);
+    states_.erase(it);
+    // Flush the POLL_REMOVE now: the caller is about to close(fd), and the
+    // armed POLL_ADD holds a reference on the file until canceled.
+    submit_pending(0, nullptr, 0, 0);
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    for (auto& [fd, s] : states_) {
+      if (s.armed) continue;
+      io_uring_sqe* sqe = next_sqe();
+      if (sqe == nullptr) break;  // ring full; the rest re-arm next wait
+      sqe->opcode = IORING_OP_POLL_ADD;
+      sqe->fd = fd;
+      // POLLERR/POLLHUP are always reported, as with poll(2), even when the
+      // interest mask is empty (a write-stalled connection being back-
+      // pressured still notices the peer vanishing).
+      sqe->poll32_events = (s.want_read ? POLLIN : 0u) | (s.want_write ? POLLOUT : 0u);
+      sqe->user_data = pack(fd, s.token);
+      s.armed = true;
+    }
+
+    io_uring_getevents_arg arg{};
+    __kernel_timespec ts{};
+    const void* argp = nullptr;
+    std::size_t argsz = 0;
+    unsigned flags = IORING_ENTER_GETEVENTS;
+    unsigned min_complete = 1;
+    if (timeout_ms == 0) {
+      min_complete = 0;
+    } else if (timeout_ms > 0) {
+      ts.tv_sec = timeout_ms / 1000;
+      ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1'000'000;
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      argp = &arg;
+      argsz = sizeof arg;
+      flags |= IORING_ENTER_EXT_ARG;
+    }
+    submit_pending(min_complete, argp, argsz, flags);  // ETIME/EINTR: reap & return
+
+    int n = 0;
+    const unsigned tail = cq_tail_->load(std::memory_order_acquire);
+    unsigned head = cq_head_->load(std::memory_order_relaxed);
+    for (; head != tail; ++head) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      if (cqe.user_data == kCancelData) continue;  // a POLL_REMOVE's own CQE
+      const int fd = unpack_fd(cqe.user_data);
+      const std::uint32_t token = unpack_token(cqe.user_data);
+      auto it = states_.find(fd);
+      if (it == states_.end() || it->second.token != token) continue;  // stale arm
+      it->second.armed = false;
+      if (cqe.res == -ECANCELED) continue;
+      Event ev;
+      ev.fd = fd;
+      if (cqe.res < 0) {
+        ev.error = true;  // e.g. -EBADF: surface as an error event
+      } else {
+        const unsigned mask = static_cast<unsigned>(cqe.res);
+        ev.readable = (mask & (POLLIN | POLLHUP)) != 0;
+        ev.writable = (mask & POLLOUT) != 0;
+        ev.error = (mask & (POLLERR | POLLNVAL)) != 0;
+      }
+      out.push_back(ev);
+      ++n;
+    }
+    cq_head_->store(head, std::memory_order_release);
+    return n;
+  }
+
+  const char* name() const noexcept override { return "io_uring"; }
+
+ private:
+  struct FdState {
+    bool want_read = false;
+    bool want_write = false;
+    bool armed = false;          ///< a one-shot POLL_ADD is in flight
+    std::uint32_t token = 0;     ///< arm identity; bumped on cancel
+  };
+
+  IoUringPoller() = default;
+
+  static constexpr unsigned kEntries = 256;
+  static constexpr std::uint64_t kCancelData = ~std::uint64_t{0};
+
+  static std::uint64_t pack(int fd, std::uint32_t token) {
+    return (static_cast<std::uint64_t>(token) << 32) | static_cast<std::uint32_t>(fd);
+  }
+  static int unpack_fd(std::uint64_t data) { return static_cast<int>(data & 0xFFFFFFFFu); }
+  static std::uint32_t unpack_token(std::uint64_t data) {
+    return static_cast<std::uint32_t>(data >> 32);
+  }
+
+  bool init() {
+    io_uring_params params{};
+    ring_fd_ = sys_io_uring_setup(kEntries, &params);
+    if (ring_fd_ < 0) return false;
+    // EXT_ARG (5.11+) carries the wait timeout through io_uring_enter —
+    // without it every timed wait would need a TIMEOUT SQE competing for
+    // ring space. Treat its absence as "kernel too old for this backend".
+    if ((params.features & IORING_FEAT_EXT_ARG) == 0) return false;
+
+    sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+    cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                      ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      return false;
+    }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        return false;
+      }
+    }
+    sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                                              MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                              IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return false;
+    }
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<std::atomic<unsigned>*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<unsigned>*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<std::atomic<unsigned>*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<unsigned>*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    local_tail_ = sq_tail_->load(std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Next free SQE (zeroed, already indexed in the SQ array), or nullptr
+  /// when the ring is full.
+  io_uring_sqe* next_sqe() {
+    const unsigned head = sq_head_->load(std::memory_order_acquire);
+    if (local_tail_ - head >= kEntries) return nullptr;
+    io_uring_sqe* sqe = &sqes_[local_tail_ & sq_mask_];
+    std::memset(sqe, 0, sizeof *sqe);
+    sq_array_[local_tail_ & sq_mask_] = local_tail_ & sq_mask_;
+    ++local_tail_;
+    return sqe;
+  }
+
+  /// Cancel `fd`'s in-flight arm and retire its token. The POLL_REMOVE SQE
+  /// is queued here and flushed by the caller (del() immediately, mod() at
+  /// the next wait()).
+  void cancel_arm(int fd, FdState& s) {
+    io_uring_sqe* sqe = next_sqe();
+    if (sqe == nullptr) {
+      submit_pending(0, nullptr, 0, 0);
+      sqe = next_sqe();
+    }
+    if (sqe != nullptr) {
+      sqe->opcode = IORING_OP_POLL_REMOVE;
+      sqe->addr = pack(fd, s.token);  // user_data of the arm to cancel
+      sqe->user_data = kCancelData;
+    }
+    // Even if the ring was too full to queue the cancel, the token bump
+    // makes any late completion stale — the old arm can only leak until its
+    // fd next becomes ready, never corrupt readiness.
+    s.token = next_token_++;
+    s.armed = false;
+  }
+
+  /// Publish queued SQEs and (optionally) wait for completions.
+  void submit_pending(unsigned min_complete, const void* argp, std::size_t argsz,
+                      unsigned flags) {
+    sq_tail_->store(local_tail_, std::memory_order_release);
+    const unsigned to_submit = local_tail_ - sq_head_->load(std::memory_order_acquire);
+    if (to_submit == 0 && min_complete == 0 && (flags & IORING_ENTER_GETEVENTS) == 0) return;
+    (void)sys_io_uring_enter(ring_fd_, to_submit, min_complete, flags, argp, argsz);
+    // ETIME (timed out), EINTR (signal): both fine — the caller reaps
+    // whatever completed. Submission errors leave arms pending and the
+    // affected fds simply re-arm on a later wait.
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0, cq_ring_bytes_ = 0, sqes_bytes_ = 0;
+  std::atomic<unsigned>* sq_head_ = nullptr;
+  std::atomic<unsigned>* sq_tail_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_mask_ = 0;
+  std::atomic<unsigned>* cq_head_ = nullptr;
+  std::atomic<unsigned>* cq_tail_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned cq_mask_ = 0;
+  unsigned local_tail_ = 0;
+
+  std::uint32_t next_token_ = 1;
+  std::unordered_map<int, FdState> states_;
+};
+
+#endif  // PSL_HAVE_IO_URING
+
 }  // namespace
 
-std::unique_ptr<Poller> Poller::make(bool force_poll) {
+std::unique_ptr<Poller> Poller::make(Backend backend) {
+  switch (backend) {
+    case Backend::kPoll:
+      return std::make_unique<PollPoller>();
+    case Backend::kIoUring:
+#if PSL_HAVE_IO_URING
+      return IoUringPoller::try_make();  // nullptr when the kernel can't
+#else
+      return nullptr;
+#endif
+    case Backend::kEpoll:
+    case Backend::kAuto:
+      break;
+  }
 #if defined(__linux__)
-  if (!force_poll) {
+  {
     auto epoll = std::make_unique<EpollPoller>();
     if (epoll->ok()) return epoll;
   }
-#else
-  (void)force_poll;
 #endif
-  return std::make_unique<PollPoller>();
+  return backend == Backend::kEpoll ? nullptr : std::make_unique<PollPoller>();
 }
 
 // --- connection + completion state ------------------------------------------
@@ -238,6 +544,8 @@ Server::Server(serve::Engine& engine, ServerOptions options)
     timeout_write_stall_ = &m.counter("net.timeout.write_stall");
     frame_errors_ = &m.counter("net.frame_errors");
     push_sent_ = &m.counter("net.push.sent");
+    udp_datagrams_ = &m.counter("net.udp.datagrams");
+    udp_dropped_ = &m.counter("net.udp.dropped");
     latency_ping_ = &m.histogram("net.request_ms.ping");
     latency_same_site_ = &m.histogram("net.request_ms.same_site");
     latency_match_ = &m.histogram("net.request_ms.match");
@@ -258,10 +566,32 @@ Server::Server(serve::Engine& engine, ServerOptions options)
 
 Server::~Server() { shutdown(); }
 
+bool Server::io_uring_supported() {
+#if PSL_HAVE_IO_URING
+  static const bool supported = [] { return IoUringPoller::try_make() != nullptr; }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
 util::Result<std::uint16_t> Server::start() {
   if (running_.load(std::memory_order_acquire)) {
     return util::make_error("net.started", "server is already running");
   }
+
+  // Resolve the backend before touching any socket so an unsupported
+  // explicit request fails with nothing to unwind.
+  const Backend backend = options_.force_poll ? Backend::kPoll : options_.backend;
+  poller_ = Poller::make(backend);
+  if (!poller_) {
+    return util::make_error(
+        "net.backend",
+        backend == Backend::kIoUring
+            ? "io_uring backend unavailable on this kernel (probe Server::io_uring_supported)"
+            : "requested event backend unavailable");
+  }
+  backend_name_ = poller_->name();
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -274,6 +604,16 @@ util::Result<std::uint16_t> Server::start() {
   if (listen_fd_ < 0) return util::make_error("net.listen", errno_text("socket"));
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (options_.reuse_port) {
+    // Must be set on EVERY socket sharing the port, before bind — this is
+    // the kernel's shard load-balancer (psld --shards).
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      const auto err = util::make_error("net.listen", errno_text("setsockopt(SO_REUSEPORT)"));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return err;
+    }
+  }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(listen_fd_, 128) != 0 || !set_nonblocking(listen_fd_)) {
     const auto err = util::make_error("net.listen", errno_text("bind/listen"));
@@ -291,11 +631,38 @@ util::Result<std::uint16_t> Server::start() {
   }
   port_ = ntohs(bound.sin_port);
 
+  if (options_.enable_udp) {
+    udp_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (udp_fd_ < 0) {
+      const auto err = util::make_error("net.listen", errno_text("socket(udp)"));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return err;
+    }
+    if (options_.reuse_port) ::setsockopt(udp_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+    sockaddr_in udp_addr = addr;
+    udp_addr.sin_port = htons(port_);  // the TCP-resolved port, even when 0 was asked
+    if (::bind(udp_fd_, reinterpret_cast<sockaddr*>(&udp_addr), sizeof udp_addr) != 0 ||
+        !set_nonblocking(udp_fd_)) {
+      const auto err = util::make_error("net.listen", errno_text("bind(udp)"));
+      ::close(udp_fd_);
+      udp_fd_ = -1;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return err;
+    }
+    udp_in_.resize(std::min(options_.max_frame_bytes + kHeaderBytes, kUdpMaxDatagramBytes));
+  }
+
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
     const auto err = util::make_error("net.listen", errno_text("pipe"));
     ::close(listen_fd_);
     listen_fd_ = -1;
+    if (udp_fd_ >= 0) {
+      ::close(udp_fd_);
+      udp_fd_ = -1;
+    }
     return err;
   }
   wake_read_fd_ = pipe_fds[0];
@@ -303,9 +670,9 @@ util::Result<std::uint16_t> Server::start() {
   set_nonblocking(wake_read_fd_);
   set_nonblocking(wake_write_fd_);
 
-  poller_ = Poller::make(options_.force_poll);
   poller_->add(listen_fd_, true, false);
   poller_->add(wake_read_fd_, true, false);
+  if (udp_fd_ >= 0) poller_->add(udp_fd_, true, false);
 
   read_scratch_.resize(64 * 1024);
   stop_requested_.store(false, std::memory_order_release);
@@ -365,6 +732,10 @@ void Server::shutdown() {
   wake_read_fd_ = -1;
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (udp_fd_ >= 0) {
+    ::close(udp_fd_);
+    udp_fd_ = -1;
+  }
   poller_.reset();
   running_.store(false, std::memory_order_release);
 }
@@ -405,6 +776,7 @@ void Server::loop() {
       draining = true;
       drain_deadline = now + std::chrono::milliseconds(options_.drain_timeout_ms);
       poller_->del(listen_fd_);
+      if (udp_fd_ >= 0) poller_->del(udp_fd_);
       for (auto& [id, conn] : connections_) {
         conn->draining = true;
         update_read_interest(*conn);
@@ -502,6 +874,10 @@ void Server::loop() {
       if (ev.fd == listen_fd_) {
         accept_ready = true;  // handled after existing connections, so a
         continue;             // just-closed fd cannot alias a fresh accept
+      }
+      if (udp_fd_ >= 0 && ev.fd == udp_fd_) {
+        if (!draining) handle_udp();
+        continue;
       }
       auto it = fd_to_conn_.find(ev.fd);
       if (it == fd_to_conn_.end()) continue;  // closed earlier this batch
@@ -705,6 +1081,181 @@ void Server::respond_status(Connection& conn, FrameType type, std::uint32_t id, 
   if (frames_out_) frames_out_->add();
 }
 
+void Server::append_stats_response(std::vector<std::uint8_t>& out, std::uint32_t id) {
+  const std::size_t frame_begin = begin_response_frame(out, FrameType::kStats, id);
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  const snapshot::Metadata meta = engine_.metadata();
+  put_u64(out, engine_.generation());
+  put_u64(out, meta.rule_count);
+  put_u64(out, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(meta.source_date.days_since_epoch())));
+  put_u32(out, static_cast<std::uint32_t>(connections_.size()));
+  put_u32(out, static_cast<std::uint32_t>(engine_.queue_depth()));
+  // Analytics block: the SERVING generation's census (zeroed when
+  // --analytics is off); census queries are server-lifetime.
+  const auto census = engine_.census();
+  put_u8(out, census ? 1 : 0);
+  put_u64(out, census ? census->records() : 0);
+  put_u64(out, census ? census->dropped() : 0);
+  put_u64(out, census_queries_total_.load(std::memory_order_relaxed));
+  put_u64(out, census ? census->state_bytes() : 0);
+  end_frame(out, frame_begin);
+}
+
+// --- the UDP fast path ------------------------------------------------------
+//
+// One datagram = one PSLN frame, same header and payload layouts as TCP.
+// Requests are answered INLINE on the loop thread — no worker hop, no
+// completion queue — which is the whole point: a client that cannot amortize
+// a TCP batch (one lookup per event, e.g. a resolver plugin) gets an answer
+// in one socket round trip with no connection state on either side.
+// Datagram loss/reordering is the client's problem by UDP contract (the
+// request id echoes back for matching); oversized responses are replaced by
+// a kUnsupported("udp.oversize") status so the peer learns the bound rather
+// than silently missing a truncated reply.
+
+namespace {
+
+/// Decode the one frame a request datagram must contain: full header, exact
+/// payload length, nothing else. Datagrams that fail this are dropped —
+/// answering would require trusting the very bytes that failed validation.
+bool parse_udp_datagram(std::span<const std::uint8_t> bytes, FrameHeader& header,
+                        std::span<const std::uint8_t>& payload) {
+  if (bytes.size() < kHeaderBytes) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  if (magic != kMagic) return false;
+  header.version = bytes[4];
+  header.type = bytes[5];
+  std::memcpy(&header.flags, bytes.data() + 6, 2);
+  std::memcpy(&header.id, bytes.data() + 8, 4);
+  std::memcpy(&header.payload_len, bytes.data() + 12, 4);
+  if (header.version != kProtocolVersion || header.flags != 0) return false;
+  if (bytes.size() != kHeaderBytes + header.payload_len) return false;
+  payload = bytes.subspan(kHeaderBytes);
+  return true;
+}
+
+}  // namespace
+
+void Server::handle_udp() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const ssize_t n = ::recvfrom(udp_fd_, udp_in_.data(), udp_in_.size(), MSG_TRUNC,
+                                 reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient error: next wake retries
+    }
+    if (udp_datagrams_) udp_datagrams_->add();
+    if (bytes_in_) bytes_in_->add(n);
+    if (static_cast<std::size_t>(n) > udp_in_.size()) {
+      // MSG_TRUNC reported the true size: the datagram exceeded the frame
+      // bound and was truncated — undecodable by construction.
+      if (udp_dropped_) udp_dropped_->add();
+      continue;
+    }
+    FrameHeader header;
+    std::span<const std::uint8_t> payload;
+    if (!parse_udp_datagram({udp_in_.data(), static_cast<std::size_t>(n)}, header, payload)) {
+      if (udp_dropped_) udp_dropped_->add();
+      continue;
+    }
+    if (frames_in_) frames_in_->add();
+    dispatch_udp_frame(header, payload);
+    if (udp_out_.empty()) continue;
+    const ssize_t sent = ::sendto(udp_fd_, udp_out_.data(), udp_out_.size(), 0,
+                                  reinterpret_cast<sockaddr*>(&peer), peer_len);
+    if (sent > 0) {
+      if (bytes_out_) bytes_out_->add(sent);
+      if (frames_out_) frames_out_->add();
+    } else if (udp_dropped_) {
+      udp_dropped_->add();  // full socket buffer: lossy by UDP contract
+    }
+  }
+}
+
+void Server::dispatch_udp_frame(const FrameHeader& header, std::span<const std::uint8_t> payload) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const FrameType type = static_cast<FrameType>(header.type);
+  const std::uint32_t id = header.id;
+  udp_out_.clear();
+
+  const auto respond_error = [&](Status status, std::string_view detail) {
+    udp_out_.clear();
+    const std::size_t frame_begin = begin_response_frame(udp_out_, type, id);
+    put_u8(udp_out_, static_cast<std::uint8_t>(status));
+    put_str16(udp_out_, detail);
+    end_frame(udp_out_, frame_begin);
+  };
+
+  switch (type) {
+    case FrameType::kPing: {
+      const std::size_t frame_begin = begin_response_frame(udp_out_, type, id);
+      put_u8(udp_out_, static_cast<std::uint8_t>(Status::kOk));
+      put_raw(udp_out_, payload);
+      end_frame(udp_out_, frame_begin);
+      break;
+    }
+
+    case FrameType::kStats:
+      append_stats_response(udp_out_, id);
+      break;
+
+    case FrameType::kMatchBatch: {
+      if (!parse_match_request(payload, host_scratch_)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_error(Status::kMalformed, "bad match_batch payload");
+        break;
+      }
+      const std::size_t frame_begin = begin_response_frame(udp_out_, type, id);
+      put_u8(udp_out_, static_cast<std::uint8_t>(Status::kOk));
+      put_u32(udp_out_, static_cast<std::uint32_t>(host_scratch_.size()));
+      for (const std::string_view host : host_scratch_) {
+        const Match match = engine_.match(host);
+        put_str16(udp_out_, match.public_suffix);
+        put_str16(udp_out_, match.registrable_domain);
+        const std::uint8_t flags = (match.matched_explicit_rule ? 1u : 0u) |
+                                   (match.section == Section::kPrivate ? 2u : 0u);
+        put_u8(udp_out_, flags);
+      }
+      end_frame(udp_out_, frame_begin);
+      engine_.count_queries(host_scratch_.size());
+      break;
+    }
+
+    case FrameType::kSameSiteBatch: {
+      if (!parse_same_site_request(payload, pair_scratch_)) {
+        if (reject_malformed_) reject_malformed_->add();
+        respond_error(Status::kMalformed, "bad same_site_batch payload");
+        break;
+      }
+      const std::size_t frame_begin = begin_response_frame(udp_out_, type, id);
+      put_u8(udp_out_, static_cast<std::uint8_t>(Status::kOk));
+      put_u32(udp_out_, static_cast<std::uint32_t>(pair_scratch_.size()));
+      for (const auto& [a, b] : pair_scratch_) {
+        put_u8(udp_out_, engine_.same_site(a, b) ? 1 : 0);
+      }
+      end_frame(udp_out_, frame_begin);
+      engine_.count_queries(pair_scratch_.size());
+      break;
+    }
+
+    // Stateful (subscribe), mutating (reload, ingest), or unboundedly large
+    // (census, divergence, match_at) request types stay TCP-only: they need
+    // a connection's ordering, bounded-buffer, and drain guarantees.
+    default:
+      respond_error(Status::kUnsupported, "udp.unsupported");
+      break;
+  }
+
+  if (udp_out_.size() > kUdpMaxDatagramBytes) {
+    respond_error(Status::kUnsupported, "udp.oversize");
+  }
+  observe_latency(type, t0);
+}
+
 void Server::observe_latency(FrameType request_type,
                              std::chrono::steady_clock::time_point t0) {
   obs::Histogram* sink = nullptr;
@@ -748,24 +1299,7 @@ void Server::dispatch_frame(Connection& conn, const Frame& frame) {
     }
 
     case FrameType::kStats: {
-      const std::size_t frame_begin = begin_response_frame(conn.out, type, id);
-      put_u8(conn.out, static_cast<std::uint8_t>(Status::kOk));
-      const snapshot::Metadata meta = engine_.metadata();
-      put_u64(conn.out, engine_.generation());
-      put_u64(conn.out, meta.rule_count);
-      put_u64(conn.out, static_cast<std::uint64_t>(
-                            static_cast<std::int64_t>(meta.source_date.days_since_epoch())));
-      put_u32(conn.out, static_cast<std::uint32_t>(connections_.size()));
-      put_u32(conn.out, static_cast<std::uint32_t>(engine_.queue_depth()));
-      // Analytics block: the SERVING generation's census (zeroed when
-      // --analytics is off); census queries are server-lifetime.
-      const auto census = engine_.census();
-      put_u8(conn.out, census ? 1 : 0);
-      put_u64(conn.out, census ? census->records() : 0);
-      put_u64(conn.out, census ? census->dropped() : 0);
-      put_u64(conn.out, census_queries_total_.load(std::memory_order_relaxed));
-      put_u64(conn.out, census ? census->state_bytes() : 0);
-      end_frame(conn.out, frame_begin);
+      append_stats_response(conn.out, id);
       if (frames_out_) frames_out_->add();
       observe_latency(type, t0);
       return;

@@ -1,5 +1,7 @@
 #include "psl/serve/engine.hpp"
 
+#include <algorithm>
+
 #include "psl/obs/span.hpp"
 #include "psl/psl/match.hpp"
 
@@ -31,7 +33,7 @@ Engine::Engine(snapshot::Snapshot initial, EngineOptions options)
   }
   const std::size_t threads = options.threads == 0 ? 1 : options.threads;
   configured_workers_ = threads;  // install() sizes the per-worker caches
-  install(std::move(initial));
+  install(std::move(initial), options.initial_generation);
 
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -302,9 +304,12 @@ util::Result<std::future<std::vector<Match>>> Engine::submit_match(
 
 // --- hot reload --------------------------------------------------------------
 
-std::uint64_t Engine::install(snapshot::Snapshot next) {
+std::uint64_t Engine::install(snapshot::Snapshot next, std::uint64_t target_generation) {
   std::lock_guard<std::mutex> lock(reload_mutex_);
-  const std::uint64_t generation = ++next_generation_;
+  // An explicit target (the shard-latch generation) wins when it moves the
+  // counter forward; generations stay strictly monotone either way.
+  const std::uint64_t generation = std::max(target_generation, next_generation_ + 1);
+  next_generation_ = generation;
   auto fresh =
       std::make_shared<State>(State{std::move(next.matcher), next.meta, generation, {}, {}});
   // Cold caches, one per worker. Built before publication (the state_mutex_
@@ -371,6 +376,22 @@ util::Result<std::uint64_t> Engine::reload_file(const std::string& path) {
     return loaded.error();  // keep-last-good: state_ untouched
   }
   return swap(std::move(loaded).value());
+}
+
+util::Result<std::uint64_t> Engine::reload_file_view(const std::string& path,
+                                                     std::uint64_t target_generation) {
+  auto loaded = snapshot::load_file_view(path);
+  if (!loaded) {
+    if (reload_failure_) reload_failure_->add();
+    return loaded.error();  // keep-last-good: state_ untouched
+  }
+  return swap_as(std::move(loaded).value(), target_generation);
+}
+
+std::uint64_t Engine::swap_as(snapshot::Snapshot next, std::uint64_t target_generation) {
+  const std::uint64_t generation = install(std::move(next), target_generation);
+  if (reload_success_) reload_success_->add();
+  return generation;
 }
 
 // --- introspection ------------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "psl/serve/snapshot.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -483,6 +484,30 @@ util::Result<Snapshot> load_file(const std::string& path) {
   const std::span<const std::uint8_t> bytes(
       reinterpret_cast<const std::uint8_t*>(buffer->data()), static_cast<std::size_t>(size));
   return load_validated(bytes, std::move(buffer));
+}
+
+util::Result<Snapshot> load_file_view(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return err("snapshot.io", "cannot open " + path);
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return err("snapshot.io", "cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return err("snapshot.truncated", path + " is empty");
+  }
+  void* mem = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping pins the inode; the fd is no longer needed
+  if (mem == MAP_FAILED) return err("snapshot.io", "cannot mmap " + path);
+  std::shared_ptr<const void> mapping(mem, [size](const void* p) {
+    ::munmap(const_cast<void*>(p), size);
+  });
+  const std::span<const std::uint8_t> bytes(static_cast<const std::uint8_t*>(mem), size);
+  // mmap is page-aligned, so load_view's 8-byte alignment contract holds.
+  return load_validated(bytes, std::move(mapping));
 }
 
 util::Result<std::uint64_t> write_file_durable(const std::string& path,

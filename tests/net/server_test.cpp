@@ -1,9 +1,12 @@
 // psl::net::Server + Client over real loopback sockets: round trips for
 // every request type, wire-level backpressure (reject, never hang), frame-
 // vs payload-level violation handling, keep-last-good reloads over the
-// wire, timeouts, max-connection shedding, both poller backends, graceful
-// drain, and reload-under-load with concurrent clients (the TSan CI job
-// runs this suite via `ctest -R '^(Serve|Net)'`).
+// wire, timeouts, max-connection shedding, all three poller backends
+// (epoll/poll always, io_uring when the kernel can run it), the UDP fast
+// path and its datagram contract, SO_REUSEPORT load-balancing across two
+// servers on one port, graceful drain, and reload-under-load with
+// concurrent clients (the TSan CI job runs this suite via
+// `ctest -R '^(Serve|Net)'`).
 #include "psl/net/server.hpp"
 
 #include <gtest/gtest.h>
@@ -720,6 +723,271 @@ TEST(NetServerTest, MatchAtMalformedPayloadKeepsConnection) {
   ASSERT_TRUE(raw.recv_frame(response, storage));
   EXPECT_EQ(response.header.id, 93u);
   EXPECT_EQ(response.payload[0], static_cast<std::uint8_t>(Status::kOk));
+}
+
+TEST(NetServerTest, BackendNameReportsTheActiveBackend) {
+  serve::Engine engine(snap_of(list_a()), {.threads = 1});
+  {
+    Server server(engine, {});
+    EXPECT_STREQ(server.backend_name(), "none");  // nothing bound yet
+    ASSERT_TRUE(server.start().ok());
+    EXPECT_STREQ(server.backend_name(), "epoll");  // kAuto resolves to epoll on Linux
+    server.shutdown();
+  }
+  {
+    ServerOptions options;
+    options.backend = Backend::kPoll;
+    Server server(engine, options);
+    ASSERT_TRUE(server.start().ok());
+    EXPECT_STREQ(server.backend_name(), "poll");
+  }
+}
+
+TEST(NetServerTest, IoUringBackendServesIdentically) {
+  if (!Server::io_uring_supported()) {
+    GTEST_SKIP() << "kernel cannot run io_uring";
+  }
+  serve::Engine engine(snap_of(list_a()), {.threads = 2});
+  ServerOptions options;
+  options.backend = Backend::kIoUring;
+  Server server(engine, options);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok()) << port.error().message;
+  EXPECT_STREQ(server.backend_name(), "io_uring");
+
+  Client client = connect_or_die(*port);
+  EXPECT_TRUE(client.ping().ok());
+  auto domains = client.registrable_domains({"a.b.example.com", "x.co.uk"});
+  ASSERT_TRUE(domains.ok()) << domains.error().message;
+  EXPECT_EQ(*domains, (std::vector<std::string>{"example.com", "x.co.uk"}));
+
+  // Reload over the wire and read the flipped answer on the SAME connection,
+  // so completion wakeups (worker -> ring) are exercised too.
+  auto good = client.reload(snapshot_bytes(list_b()));
+  ASSERT_TRUE(good.ok()) << good.error().message;
+  EXPECT_EQ(*good, 2u);
+  auto after = client.registrable_domains({"shop1.myshopify.com"});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)[0], "shop1.myshopify.com");
+
+  // Payload-level violations answer kMalformed and keep the connection,
+  // identical to the epoll backend.
+  RawConn raw(*port);
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, 5);  // same_site_batch claiming 5 pairs, no data
+  std::vector<std::uint8_t> wire;
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kSameSiteBatch), 44, payload);
+  raw.send_bytes(wire);
+  Frame response;
+  std::vector<std::uint8_t> storage;
+  ASSERT_TRUE(raw.recv_frame(response, storage));
+  EXPECT_EQ(response.payload[0], static_cast<std::uint8_t>(Status::kMalformed));
+}
+
+TEST(NetServerTest, IoUringIsStrictInTheLibraryWhenUnsupported) {
+  if (Server::io_uring_supported()) {
+    GTEST_SKIP() << "kernel supports io_uring; the strict-failure path is unreachable";
+  }
+  // An explicit backend request must fail loudly, never silently downgrade —
+  // graceful fallback is the daemon's policy (psld resolve_backend), not the
+  // library's.
+  serve::Engine engine(snap_of(list_a()), {.threads = 1});
+  ServerOptions options;
+  options.backend = Backend::kIoUring;
+  Server server(engine, options);
+  auto port = server.start();
+  ASSERT_FALSE(port.ok());
+  EXPECT_EQ(port.error().code, "net.backend");
+  EXPECT_FALSE(server.running());
+}
+
+TEST(NetServerTest, UdpFastPathRoundTrips) {
+  obs::MetricsRegistry metrics;
+  serve::Engine engine(snap_of(list_a()), {.threads = 2, .metrics = &metrics});
+  ServerOptions options;
+  options.enable_udp = true;
+  options.metrics = &metrics;
+  Server server(engine, options);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  auto connected = Client::connect_udp("127.0.0.1", *port, {});
+  ASSERT_TRUE(connected.ok()) << connected.error().message;
+  Client udp = *std::move(connected);
+  EXPECT_TRUE(udp.udp());
+  EXPECT_TRUE(udp.ping().ok());
+
+  // The datagram answers must be byte-for-byte the TCP batch semantics.
+  auto domains = udp.registrable_domains({"a.b.example.com", "x.co.uk", "co.uk"});
+  ASSERT_TRUE(domains.ok()) << domains.error().message;
+  EXPECT_EQ(*domains, (std::vector<std::string>{"example.com", "x.co.uk", ""}));
+
+  auto matches = udp.match_batch({"www.example.co.uk"});
+  ASSERT_TRUE(matches.ok()) << matches.error().message;
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].public_suffix, "co.uk");
+  EXPECT_EQ((*matches)[0].registrable_domain, "example.co.uk");
+  EXPECT_TRUE((*matches)[0].matched_explicit_rule);
+
+  auto sites = udp.same_site_batch(
+      {{"a.example.com", "b.example.com"}, {"one.com", "two.com"}});
+  ASSERT_TRUE(sites.ok()) << sites.error().message;
+  EXPECT_EQ(*sites, (std::vector<std::uint8_t>{1, 0}));
+
+  auto stats = udp.stats();
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats->generation, 1u);
+  EXPECT_EQ(stats->rule_count, 4u);
+
+  // No push channel over datagrams — that is a documented contract, not a
+  // timeout.
+  auto pushes = udp.poll_pushes();
+  ASSERT_FALSE(pushes.ok());
+  EXPECT_EQ(pushes.error().code, "net.unsupported");
+
+  // A TCP client coexists on the same port and sees the same list.
+  Client tcp = connect_or_die(*port);
+  auto tcp_domains = tcp.registrable_domains({"a.b.example.com"});
+  ASSERT_TRUE(tcp_domains.ok());
+  EXPECT_EQ((*tcp_domains)[0], "example.com");
+
+  EXPECT_GE(metrics.counter("net.udp.datagrams").value(), 5);
+  EXPECT_EQ(metrics.counter("net.udp.dropped").value(), 0);
+}
+
+/// Raw UDP socket for datagram-contract tests the Client refuses to send.
+class RawUdp {
+ public:
+  explicit RawUdp(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    timeval tv{0, 300'000};  // short: "no response" tests wait this out
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~RawUdp() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_datagram(std::span<const std::uint8_t> bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// One datagram or -1 on timeout.
+  ssize_t recv_datagram(std::vector<std::uint8_t>& out) {
+    out.resize(kUdpMaxDatagramBytes);
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) out.resize(static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(NetServerTest, UdpDatagramContract) {
+  obs::MetricsRegistry metrics;
+  serve::Engine engine(snap_of(list_a()), {.threads = 1, .metrics = &metrics});
+  ServerOptions options;
+  options.enable_udp = true;
+  options.metrics = &metrics;
+  Server server(engine, options);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  RawUdp raw(*port);
+  std::vector<std::uint8_t> wire;
+  std::vector<std::uint8_t> datagram;
+
+  // Stream-only request types answer kUnsupported with the udp detail —
+  // reload over a lossy datagram would be a silent-corruption hazard.
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kReload), 7, {});
+  raw.send_datagram(wire);
+  ASSERT_GE(raw.recv_datagram(datagram), 17);
+  // Type byte at offset 5 (frame.hpp layout), status right after the header.
+  EXPECT_EQ(datagram[5], static_cast<std::uint8_t>(FrameType::kReload) | kResponseBit);
+  EXPECT_EQ(datagram[kHeaderBytes], static_cast<std::uint8_t>(Status::kUnsupported));
+
+  // A malformed datagram (broken magic) is dropped silently: datagrams
+  // cannot be resynchronized or answered reliably, so there is no reply.
+  wire.clear();
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kPing), 8, {});
+  wire[0] ^= 0xFF;
+  raw.send_datagram(wire);
+  EXPECT_LT(raw.recv_datagram(datagram), 0);  // recv timeout, not a response
+
+  // The socket (and server) keep serving valid requests afterwards.
+  wire.clear();
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kPing), 9, {});
+  raw.send_datagram(wire);
+  ASSERT_GE(raw.recv_datagram(datagram), 17);
+  EXPECT_EQ(datagram[kHeaderBytes], static_cast<std::uint8_t>(Status::kOk));
+
+  EXPECT_GE(metrics.counter("net.udp.dropped").value(), 1);
+}
+
+TEST(NetServerTest, UdpDisabledByDefault) {
+  serve::Engine engine(snap_of(list_a()), {.threads = 1});
+  Server server(engine, {});  // enable_udp defaults to false
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  RawUdp raw(*port);
+  std::vector<std::uint8_t> wire;
+  encode_frame(wire, static_cast<std::uint8_t>(FrameType::kPing), 1, {});
+  raw.send_datagram(wire);
+  std::vector<std::uint8_t> datagram;
+  EXPECT_LT(raw.recv_datagram(datagram), 0);  // nobody home on UDP
+}
+
+TEST(NetServerTest, ReusePortServersShareOnePort) {
+  // Two servers (stand-ins for two psld shard processes) join one
+  // SO_REUSEPORT group; the kernel picks the member per connection, so the
+  // assertion is that every connection is answered by SOME member, and that
+  // shutting one down hands the whole port to the survivor.
+  serve::Engine engine_a(snap_of(list_a()), {.threads = 1});
+  serve::Engine engine_b(snap_of(list_b()), {.threads = 1});
+  ServerOptions first_options;
+  first_options.reuse_port = true;
+  Server first(engine_a, first_options);
+  auto port = first.start();
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  ServerOptions second_options;
+  second_options.reuse_port = true;
+  second_options.port = *port;
+  Server second(engine_b, second_options);
+  auto joined = second.start();
+  ASSERT_TRUE(joined.ok()) << joined.error().message;
+  EXPECT_EQ(*joined, *port);
+
+  for (int i = 0; i < 8; ++i) {
+    Client client = connect_or_die(*port);
+    auto stats = client.stats();
+    ASSERT_TRUE(stats.ok()) << stats.error().message;
+    EXPECT_EQ(stats->generation, 1u);
+    EXPECT_TRUE(stats->rule_count == 4u || stats->rule_count == 5u)
+        << "answered by neither group member: " << stats->rule_count;
+  }
+
+  first.shutdown();
+  Client client = connect_or_die(*port);
+  auto stats = client.stats();
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats->rule_count, 5u);  // only engine_b's server remains
+
+  // Without reuse_port, joining the occupied port is refused by the kernel.
+  ServerOptions plain;
+  plain.port = *port;
+  Server third(engine_a, plain);
+  auto refused = third.start();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, "net.listen");
 }
 
 TEST(NetServerTest, ShutdownIsIdempotentAndRestartFails) {
